@@ -1,0 +1,75 @@
+//! Model-zoo benches: train and predict cost per model class (the
+//! trade-off §3.7's champion selection navigates: cheap stable heuristics
+//! vs expensive better models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gallery_forecast::{
+    AnyForecaster, CityConfig, Ewma, Forecaster, MeanOfLastK, RandomForest, RidgeForecaster,
+    SeasonalNaive,
+};
+use std::hint::black_box;
+
+fn zoo(day: usize) -> Vec<AnyForecaster> {
+    vec![
+        AnyForecaster::MeanOfLastK(MeanOfLastK::new(5)),
+        AnyForecaster::Ewma(Ewma::new(0.3)),
+        AnyForecaster::SeasonalNaive(SeasonalNaive::new(day)),
+        AnyForecaster::Ridge(RidgeForecaster::standard(day, 1.0)),
+        AnyForecaster::Forest(RandomForest::new(day, 8, 6, 10, 42)),
+    ]
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    let cfg = CityConfig::new("bench", 1);
+    let day = cfg.samples_per_day();
+    let series = cfg.generate(day * 14, 0);
+    for template in zoo(day) {
+        group.bench_function(BenchmarkId::new("class", template.name()), |b| {
+            b.iter_batched(
+                || template.clone(),
+                |mut model| {
+                    model.fit(&series).unwrap();
+                    black_box(model)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict");
+    let cfg = CityConfig::new("bench", 2);
+    let day = cfg.samples_per_day();
+    let series = cfg.generate(day * 14, 0);
+    for mut model in zoo(day) {
+        model.fit(&series).unwrap();
+        group.bench_function(BenchmarkId::new("class", model.name()), |b| {
+            b.iter(|| {
+                black_box(model.forecast_next(&series.values, series.len(), false))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blob_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_blob");
+    let cfg = CityConfig::new("bench", 3);
+    let day = cfg.samples_per_day();
+    let series = cfg.generate(day * 14, 0);
+    let mut model = AnyForecaster::Forest(RandomForest::new(day, 8, 6, 10, 7));
+    model.fit(&series).unwrap();
+    let blob = model.to_blob();
+    group.bench_function("serialize_forest", |b| b.iter(|| black_box(model.to_blob())));
+    group.bench_function("deserialize_forest", |b| {
+        b.iter(|| black_box(AnyForecaster::from_blob(&blob).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction, bench_blob_roundtrip);
+criterion_main!(benches);

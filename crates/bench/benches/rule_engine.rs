@@ -1,0 +1,144 @@
+//! Rule engine benches: expression evaluation cost, selection over growing
+//! candidate pools, and end-to-end queue throughput vs worker count
+//! (ablation: event-driven queue vs synchronous evaluation).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gallery_core::metadata::fields;
+use gallery_core::{Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec};
+use gallery_rules::rule::{listing1_selection_rule, listing2_action_rule};
+use gallery_rules::{eval, parser, ActionRegistry, CompiledRule, EvalContext, EvalValue, RuleEngine};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_expressions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expression");
+    let sources = [
+        ("simple_compare", "metrics.bias <= 0.1"),
+        (
+            "listing2_when",
+            "metrics.bias <= 0.1 && metrics.bias >= -0.1",
+        ),
+        (
+            "listing1_given",
+            r#"modelName == "linear_regression" && model_domain == "UberX""#,
+        ),
+        (
+            "arith_and_calls",
+            "abs(metrics.bias) + max(metrics.mae, 0.2) * 2 < 1.5",
+        ),
+    ];
+    let metrics = EvalValue::object([
+        ("bias".to_string(), EvalValue::Num(0.05)),
+        ("mae".to_string(), EvalValue::Num(0.3)),
+    ]);
+    let ctx = EvalContext::new()
+        .with("modelName", "linear_regression")
+        .with("model_domain", "UberX")
+        .with("metrics", metrics);
+    for (name, src) in sources {
+        group.bench_function(BenchmarkId::new("parse", name), |b| {
+            b.iter(|| black_box(parser::parse(src).unwrap()))
+        });
+        let expr = parser::parse(src).unwrap();
+        group.bench_function(BenchmarkId::new("eval", name), |b| {
+            b.iter(|| black_box(eval::eval(&expr, &ctx).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn gallery_with_candidates(n: usize) -> Arc<Gallery> {
+    let gallery = Arc::new(Gallery::in_memory());
+    let model = gallery
+        .create_model(ModelSpec::new("bench", "candidates").name("linear_regression"))
+        .unwrap();
+    for i in 0..n {
+        let inst = gallery
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(
+                    Metadata::new()
+                        .with(fields::MODEL_NAME, "linear_regression")
+                        .with(fields::MODEL_DOMAIN, "UberX"),
+                ),
+                Bytes::from(format!("weights-{i}")),
+            )
+            .unwrap();
+        gallery
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("r2", MetricScope::Validation, 0.5 + 0.4 * (i as f64 / n as f64)),
+            )
+            .unwrap();
+    }
+    gallery
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(20);
+    for n in [10usize, 100, 500] {
+        let gallery = gallery_with_candidates(n);
+        let rule = CompiledRule::compile(&listing1_selection_rule()).unwrap();
+        group.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    gallery_rules::select_from_gallery(&gallery, &rule)
+                        .unwrap()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let gallery = Arc::new(Gallery::in_memory());
+                let model = gallery
+                    .create_model(ModelSpec::new("bench", "tp").name("Random Forest"))
+                    .unwrap();
+                let inst = gallery
+                    .upload_instance(
+                        &model.id,
+                        InstanceSpec::new().metadata(
+                            Metadata::new()
+                                .with(fields::MODEL_NAME, "Random Forest")
+                                .with(fields::MODEL_DOMAIN, "UberX"),
+                        ),
+                        Bytes::from_static(b"rf"),
+                    )
+                    .unwrap();
+                let (actions, _) = ActionRegistry::with_defaults();
+                actions.register("forecasting_deployment", |_| Ok(()));
+                let engine = RuleEngine::new(Arc::clone(&gallery), actions, workers);
+                engine.register(CompiledRule::compile(&listing2_action_rule()).unwrap());
+                engine.attach();
+                b.iter(|| {
+                    for i in 0..200 {
+                        let bias = if i % 2 == 0 { 0.05 } else { 0.5 };
+                        gallery
+                            .insert_metric(
+                                &inst.id,
+                                MetricSpec::new("bias", MetricScope::Production, bias),
+                            )
+                            .unwrap();
+                    }
+                    engine.drain();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expressions, bench_selection, bench_event_throughput);
+criterion_main!(benches);

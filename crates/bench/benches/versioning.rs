@@ -1,0 +1,132 @@
+//! Versioning benches (DESIGN.md ablation 1): UUID bookkeeping vs the
+//! legacy per-city semantic-versioning fleet, and dependency-propagation
+//! fan-out cost.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gallery_core::semver::{ChangeKind, SemVerFleet};
+use gallery_core::{Gallery, InstanceSpec, ModelId, ModelSpec};
+use std::hint::black_box;
+
+fn bench_uuid_vs_semver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_bookkeeping");
+    group.sample_size(20);
+    for cities in [10usize, 100] {
+        // Legacy arm: maintain per-city semver lineages.
+        group.bench_with_input(
+            BenchmarkId::new("semver_fleet_retrain", cities),
+            &cities,
+            |b, &cities| {
+                b.iter_batched(
+                    || {
+                        let mut fleet = SemVerFleet::new();
+                        for i in 0..cities {
+                            fleet.add_city(format!("city_{i}"));
+                        }
+                        fleet
+                    },
+                    |mut fleet| {
+                        for i in 0..cities {
+                            fleet
+                                .apply(&format!("city_{i}"), ChangeKind::Retrain)
+                                .unwrap();
+                        }
+                        black_box(fleet.distinct_versions())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        // Gallery arm: upload one new instance per city model (UUID minted,
+        // lineage linked, metadata indexed).
+        group.bench_with_input(
+            BenchmarkId::new("gallery_uuid_retrain", cities),
+            &cities,
+            |b, &cities| {
+                b.iter_batched(
+                    || {
+                        let gallery = Gallery::in_memory();
+                        let models: Vec<ModelId> = (0..cities)
+                            .map(|i| {
+                                let m = gallery
+                                    .create_model(
+                                        ModelSpec::new("bench", format!("demand/city_{i}"))
+                                            .name("ridge"),
+                                    )
+                                    .unwrap();
+                                gallery
+                                    .upload_instance(
+                                        &m.id,
+                                        InstanceSpec::new(),
+                                        Bytes::from_static(b"v1"),
+                                    )
+                                    .unwrap();
+                                m.id
+                            })
+                            .collect();
+                        (gallery, models)
+                    },
+                    |(gallery, models)| {
+                        for m in &models {
+                            gallery
+                                .upload_instance(m, InstanceSpec::new(), Bytes::from_static(b"v2"))
+                                .unwrap();
+                        }
+                        black_box(models.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dependency_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_propagation");
+    group.sample_size(20);
+    // Fan-out: one upstream model with N downstream consumers; measure the
+    // cost of a retrain rippling through.
+    for fanout in [1usize, 10, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("fanout", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter_batched(
+                    || {
+                        let gallery = Gallery::in_memory();
+                        let upstream = gallery
+                            .create_model(ModelSpec::new("bench", "upstream").name("u"))
+                            .unwrap();
+                        gallery
+                            .upload_instance(&upstream.id, InstanceSpec::new(), Bytes::from_static(b"u"))
+                            .unwrap();
+                        for i in 0..fanout {
+                            let d = gallery
+                                .create_model(
+                                    ModelSpec::new("bench", format!("down_{i}")).name("d"),
+                                )
+                                .unwrap();
+                            gallery
+                                .upload_instance(&d.id, InstanceSpec::new(), Bytes::from_static(b"d"))
+                                .unwrap();
+                            gallery.add_dependency(&d.id, &upstream.id).unwrap();
+                        }
+                        (gallery, upstream.id)
+                    },
+                    |(gallery, upstream)| {
+                        gallery
+                            .upload_instance(&upstream, InstanceSpec::new(), Bytes::from_static(b"u2"))
+                            .unwrap();
+                        black_box(())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uuid_vs_semver, bench_dependency_propagation);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! Baseline model-management systems for the Table 1 feature comparison.
+//!
+//! The paper compares Gallery against ModelDB, ModelHUB, a metadata
+//! tracker, Velox, Clipper, MLflow, TFX, Azure ML, and SageMaker along
+//! seven capabilities. Those systems are closed or impractical to embed,
+//! so (per the DESIGN.md substitution rule) we implement *capability
+//! profiles*: each baseline is a minimal working registry exposing exactly
+//! the feature subset the paper's table credits it with, probed by the
+//! same harness that probes our Gallery.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// The seven capabilities of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    Saving,
+    Loading,
+    Metadata,
+    Searching,
+    Serving,
+    Metrics,
+    Orchestration,
+}
+
+impl Capability {
+    pub const ALL: [Capability; 7] = [
+        Capability::Saving,
+        Capability::Loading,
+        Capability::Metadata,
+        Capability::Searching,
+        Capability::Serving,
+        Capability::Metrics,
+        Capability::Orchestration,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Capability::Saving => "Saving",
+            Capability::Loading => "Loading",
+            Capability::Metadata => "Metadata",
+            Capability::Searching => "Searching",
+            Capability::Serving => "Serving",
+            Capability::Metrics => "Metrics",
+            Capability::Orchestration => "Orchestration",
+        }
+    }
+}
+
+/// A minimal model-registry interface all baselines implement. Every
+/// method returns `Option`/`bool` so the probe can detect unsupported
+/// capabilities instead of crashing.
+pub trait ModelRegistry {
+    fn system_name(&self) -> &'static str;
+
+    /// Save a model blob; returns an id if saving is supported.
+    fn save(&mut self, name: &str, blob: Bytes) -> Option<String>;
+
+    /// Load a blob back.
+    fn load(&self, id: &str) -> Option<Bytes>;
+
+    /// Attach metadata to a saved model.
+    fn set_metadata(&mut self, id: &str, key: &str, value: &str) -> bool;
+
+    /// Search by metadata equality; `None` = unsupported.
+    fn search(&self, key: &str, value: &str) -> Option<Vec<String>>;
+
+    /// Resolve which model to serve for a name; `None` = no serving story.
+    fn serving_endpoint(&self, name: &str) -> Option<String>;
+
+    /// Record a metric; `false` = unsupported.
+    fn record_metric(&mut self, id: &str, metric: &str, value: f64) -> bool;
+
+    /// Register an automation hook (condition on a metric -> action name);
+    /// `false` = no orchestration.
+    fn register_automation(&mut self, metric: &str, threshold: f64, action: &str) -> bool;
+
+    /// Feed a metric and return the actions that fired (orchestration).
+    fn drive_automation(&mut self, id: &str, metric: &str, value: f64) -> Vec<String>;
+}
+
+/// Storage shared by the simple baselines.
+#[derive(Default)]
+struct BaseState {
+    blobs: HashMap<String, Bytes>,
+    metadata: HashMap<String, HashMap<String, String>>,
+    metrics: HashMap<String, Vec<(String, f64)>>,
+    automations: Vec<(String, f64, String)>,
+    next_id: u64,
+}
+
+impl BaseState {
+    fn mint(&mut self, name: &str) -> String {
+        self.next_id += 1;
+        format!("{name}-{}", self.next_id)
+    }
+}
+
+macro_rules! baseline {
+    ($(#[$doc:meta])* $ty:ident, $name:literal,
+     saving: $saving:literal, metadata: $meta:literal, searching: $search:literal,
+     serving: $serving:literal, metrics: $metrics:literal, orchestration: $orch:literal) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $ty {
+            state: BaseState,
+        }
+
+        impl $ty {
+            pub fn new() -> Self {
+                Self::default()
+            }
+        }
+
+        impl ModelRegistry for $ty {
+            fn system_name(&self) -> &'static str {
+                $name
+            }
+
+            fn save(&mut self, name: &str, blob: Bytes) -> Option<String> {
+                if !$saving {
+                    return None;
+                }
+                let id = self.state.mint(name);
+                self.state.blobs.insert(id.clone(), blob);
+                Some(id)
+            }
+
+            fn load(&self, id: &str) -> Option<Bytes> {
+                if !$saving {
+                    return None;
+                }
+                self.state.blobs.get(id).cloned()
+            }
+
+            fn set_metadata(&mut self, id: &str, key: &str, value: &str) -> bool {
+                if !$meta {
+                    return false;
+                }
+                self.state
+                    .metadata
+                    .entry(id.to_owned())
+                    .or_default()
+                    .insert(key.to_owned(), value.to_owned());
+                true
+            }
+
+            fn search(&self, key: &str, value: &str) -> Option<Vec<String>> {
+                if !$search {
+                    return None;
+                }
+                let mut hits: Vec<String> = self
+                    .state
+                    .metadata
+                    .iter()
+                    .filter(|(_, m)| m.get(key).map(|v| v == value).unwrap_or(false))
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                hits.sort();
+                Some(hits)
+            }
+
+            fn serving_endpoint(&self, name: &str) -> Option<String> {
+                if !$serving {
+                    return None;
+                }
+                Some(format!("{}://serve/{name}", $name))
+            }
+
+            fn record_metric(&mut self, id: &str, metric: &str, value: f64) -> bool {
+                if !$metrics {
+                    return false;
+                }
+                self.state
+                    .metrics
+                    .entry(id.to_owned())
+                    .or_default()
+                    .push((metric.to_owned(), value));
+                true
+            }
+
+            fn register_automation(&mut self, metric: &str, threshold: f64, action: &str) -> bool {
+                if !$orch {
+                    return false;
+                }
+                self.state
+                    .automations
+                    .push((metric.to_owned(), threshold, action.to_owned()));
+                true
+            }
+
+            fn drive_automation(&mut self, id: &str, metric: &str, value: f64) -> Vec<String> {
+                if !$orch {
+                    return Vec::new();
+                }
+                let _ = self.record_metric(id, metric, value);
+                self.state
+                    .automations
+                    .iter()
+                    .filter(|(m, threshold, _)| m == metric && value <= *threshold)
+                    .map(|(_, _, action)| action.clone())
+                    .collect()
+            }
+        }
+    };
+}
+
+// Capability rows follow the paper's Table 1 verbatim.
+baseline!(
+    /// ModelDB: save/load/metadata/serving/metrics, no search, no orchestration.
+    ModelDbLike, "ModelDB",
+    saving: true, metadata: true, searching: false, serving: true, metrics: true, orchestration: false
+);
+baseline!(
+    /// ModelHUB: save/load/metadata/search/metrics, no serving, no orchestration.
+    ModelHubLike, "ModelHUB",
+    saving: true, metadata: true, searching: true, serving: false, metrics: true, orchestration: false
+);
+baseline!(
+    /// Metadata tracker [27]: metadata/search/serving/orchestration without
+    /// blob storage or metrics (per the table's row).
+    MetadataTrackerLike, "MetadataTracking",
+    saving: false, metadata: true, searching: true, serving: true, metrics: false, orchestration: true
+);
+baseline!(
+    /// Velox: everything except searching.
+    VeloxLike, "Velox",
+    saving: true, metadata: true, searching: false, serving: true, metrics: true, orchestration: true
+);
+baseline!(
+    /// Clipper: serving-focused — no metadata, no search.
+    ClipperLike, "Clipper",
+    saving: true, metadata: false, searching: false, serving: true, metrics: true, orchestration: true
+);
+baseline!(
+    /// MLflow: everything except orchestration.
+    MlflowLike, "MLFlow",
+    saving: true, metadata: true, searching: true, serving: true, metrics: true, orchestration: false
+);
+baseline!(
+    /// TFX: no search (and TF-only in reality).
+    TfxLike, "TFX",
+    saving: true, metadata: true, searching: false, serving: true, metrics: true, orchestration: true
+);
+baseline!(
+    /// Azure ML row: saving/loading/serving/orchestration.
+    AzureMlLike, "AzureML",
+    saving: true, metadata: false, searching: false, serving: true, metrics: false, orchestration: true
+);
+baseline!(
+    /// SageMaker row: saving/loading/metadata-less search*, metrics, orchestration.
+    SageMakerLike, "SageMaker",
+    saving: true, metadata: false, searching: true, serving: false, metrics: true, orchestration: true
+);
+
+/// Probe a registry for each Table-1 capability by *exercising* it.
+pub fn probe(registry: &mut dyn ModelRegistry) -> HashMap<Capability, bool> {
+    let mut out = HashMap::new();
+    let blob = Bytes::from_static(b"probe weights");
+    let id = registry.save("probe_model", blob.clone());
+    out.insert(Capability::Saving, id.is_some());
+    let id = id.unwrap_or_else(|| "probe_model-0".to_owned());
+    out.insert(
+        Capability::Loading,
+        registry.load(&id).map(|b| b == blob).unwrap_or(false),
+    );
+    let has_meta = registry.set_metadata(&id, "city", "sf");
+    out.insert(Capability::Metadata, has_meta);
+    let found = registry
+        .search("city", "sf")
+        .map(|hits| !has_meta || hits.contains(&id))
+        .unwrap_or(false);
+    out.insert(Capability::Searching, found && registry.search("city", "sf").is_some());
+    out.insert(
+        Capability::Serving,
+        registry.serving_endpoint("probe_model").is_some(),
+    );
+    out.insert(Capability::Metrics, registry.record_metric(&id, "mape", 0.1));
+    let registered = registry.register_automation("mape", 0.2, "deploy");
+    let fired = registry.drive_automation(&id, "mape", 0.05);
+    out.insert(
+        Capability::Orchestration,
+        registered && fired.contains(&"deploy".to_owned()),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capabilities_of(registry: &mut dyn ModelRegistry) -> Vec<&'static str> {
+        let probed = probe(registry);
+        Capability::ALL
+            .iter()
+            .filter(|c| probed[c])
+            .map(|c| c.name())
+            .collect()
+    }
+
+    #[test]
+    fn modeldb_profile_matches_table1() {
+        let caps = capabilities_of(&mut ModelDbLike::new());
+        assert_eq!(
+            caps,
+            vec!["Saving", "Loading", "Metadata", "Serving", "Metrics"]
+        );
+    }
+
+    #[test]
+    fn mlflow_profile_matches_table1() {
+        let caps = capabilities_of(&mut MlflowLike::new());
+        assert_eq!(
+            caps,
+            vec!["Saving", "Loading", "Metadata", "Searching", "Serving", "Metrics"]
+        );
+    }
+
+    #[test]
+    fn clipper_has_no_metadata_or_search() {
+        let probed = probe(&mut ClipperLike::new());
+        assert!(!probed[&Capability::Metadata]);
+        assert!(!probed[&Capability::Searching]);
+        assert!(probed[&Capability::Serving]);
+        assert!(probed[&Capability::Orchestration]);
+    }
+
+    #[test]
+    fn metadata_tracker_has_no_blobs() {
+        let probed = probe(&mut MetadataTrackerLike::new());
+        assert!(!probed[&Capability::Saving]);
+        assert!(!probed[&Capability::Loading]);
+        assert!(probed[&Capability::Metadata]);
+    }
+
+    #[test]
+    fn velox_and_tfx_lack_search_only() {
+        for reg in [&mut VeloxLike::new() as &mut dyn ModelRegistry, &mut TfxLike::new()] {
+            let probed = probe(reg);
+            assert!(!probed[&Capability::Searching]);
+            let others = Capability::ALL
+                .iter()
+                .filter(|c| **c != Capability::Searching)
+                .all(|c| probed[c]);
+            assert!(others, "{} misses more than search", reg.system_name());
+        }
+    }
+
+    #[test]
+    fn orchestration_actually_fires() {
+        let mut v = VeloxLike::new();
+        let id = v.save("m", Bytes::from_static(b"w")).unwrap();
+        assert!(v.register_automation("mape", 0.2, "retrain"));
+        assert!(v.drive_automation(&id, "mape", 0.1).contains(&"retrain".to_owned()));
+        assert!(v.drive_automation(&id, "mape", 0.9).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! E7 — §4.2 claim: "dynamic model switching for forecasts when there are
+//! events e.g., holidays ... improves the accuracy of the served
+//! predictions by more than 10% MAPE compared to a static served model."
+//!
+//! Per city: train a static champion (no event features) and an
+//! event-aware model. Register both in Gallery; action rules inform the
+//! serving system which model performs better when events approach, and
+//! the serving loop asks Gallery which instance to serve each interval.
+//! Reports served MAPE static-only vs dynamically switched.
+
+use bytes::Bytes;
+use gallery_bench::{banner, TextTable};
+use gallery_core::metadata::fields;
+use gallery_core::{Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec};
+use gallery_forecast::{
+    backtest_where, evaluate, AnyForecaster, CityConfig, EventWindow, FeatureSpec, Forecaster,
+    RidgeForecaster,
+};
+use std::sync::Arc;
+
+/// Build a city with recurring holiday windows in train and test weeks.
+fn event_city(index: usize, day: usize) -> CityConfig {
+    let mut cfg = CityConfig::new(format!("city_{index:02}"), 7_000 + index as u64)
+        .noise_std(0.03 + 0.005 * (index % 3) as f64);
+    // Holidays: one half-day window per few days, in training (weeks 1-2)
+    // and in the serving window (week 3+).
+    for d in [2usize, 5, 9, 12, 15, 17, 19] {
+        cfg = cfg.with_event(EventWindow {
+            start: d * day + day / 3,
+            end: d * day + day / 3 + day / 2,
+            multiplier: 1.7 + 0.1 * (index % 3) as f64,
+        });
+    }
+    cfg
+}
+
+fn day_scale_spec(day: usize, event_flag: bool) -> FeatureSpec {
+    FeatureSpec {
+        // Day-scale lags: forecasts are made from the daily pattern, the
+        // operational regime for sub-hour demand planning.
+        lags: vec![day, 2 * day],
+        samples_per_day: day,
+        weekly: true,
+        event_flag,
+    }
+}
+
+fn main() {
+    banner(
+        "E7: dynamic model switching during events",
+        "§4.2 '>10% MAPE improvement vs a static served model'",
+    );
+    let gallery = Arc::new(Gallery::in_memory());
+    let n_cities = 12;
+    let mut table = TextTable::new(&[
+        "city",
+        "static MAPE",
+        "switched MAPE",
+        "improvement",
+        "event-window improvement",
+    ]);
+    let mut improvements = Vec::new();
+
+    for index in 0..n_cities {
+        let cfg = event_city(index, 96);
+        let day = cfg.samples_per_day();
+        let series = cfg.generate(day * 21, 0);
+        let serve_start = day * 14;
+        let (train, _) = series.split_at(serve_start);
+
+        // Train both model classes.
+        let mut static_model =
+            AnyForecaster::Ridge(RidgeForecaster::new(day_scale_spec(day, false), 1.0));
+        static_model.fit(&train).unwrap();
+        let mut event_model =
+            AnyForecaster::Ridge(RidgeForecaster::new(day_scale_spec(day, true), 1.0));
+        event_model.fit(&train).unwrap();
+
+        // Register both in Gallery with validation metrics split by regime
+        // — this is the signal the paper's action rules consume ("Gallery
+        // is able to inform forecasting serving system about the
+        // performance of models that include holiday/event features versus
+        // those that do not").
+        let model = gallery
+            .create_model(
+                ModelSpec::new("marketplace", format!("demand/{}", cfg.name)).name("ridge"),
+            )
+            .unwrap();
+        let register = |forecaster: &AnyForecaster| {
+            let inst = gallery
+                .upload_instance(
+                    &model.id,
+                    InstanceSpec::new().metadata(
+                        Metadata::new()
+                            .with(fields::CITY, cfg.name.clone())
+                            .with(fields::MODEL_NAME, forecaster.name()),
+                    ),
+                    Bytes::from(forecaster.to_blob()),
+                )
+                .unwrap();
+            let on_events =
+                backtest_where(forecaster, &series, day * 7, |t| t < serve_start && series.event_flags[t]);
+            let off_events =
+                backtest_where(forecaster, &series, day * 7, |t| t < serve_start && !series.event_flags[t]);
+            gallery
+                .insert_metric(
+                    &inst.id,
+                    MetricSpec::new("mape_events", MetricScope::Validation, on_events.mape),
+                )
+                .unwrap();
+            gallery
+                .insert_metric(
+                    &inst.id,
+                    MetricSpec::new("mape_normal", MetricScope::Validation, off_events.mape),
+                )
+                .unwrap();
+            inst.id
+        };
+        let static_id = register(&static_model);
+        let event_id = register(&event_model);
+
+        // Serving loop over the test window: each interval, pick the model
+        // the metrics say is better for the *current regime* (the rule
+        // engine's selection logic, inlined per-interval for measurement).
+        let served_static: Vec<&AnyForecaster> = vec![&static_model];
+        let _ = served_static;
+        let pick = |event_now: bool| -> &AnyForecaster {
+            let metric = if event_now { "mape_events" } else { "mape_normal" };
+            let s = gallery
+                .latest_metric(&static_id, metric, MetricScope::Validation)
+                .unwrap()
+                .unwrap()
+                .value;
+            let e = gallery
+                .latest_metric(&event_id, metric, MetricScope::Validation)
+                .unwrap()
+                .unwrap()
+                .value;
+            if e < s {
+                &event_model
+            } else {
+                &static_model
+            }
+        };
+
+        let mut static_preds = Vec::new();
+        let mut switched_preds = Vec::new();
+        let mut actuals = Vec::new();
+        let mut ev_static = Vec::new();
+        let mut ev_switched = Vec::new();
+        let mut ev_actuals = Vec::new();
+        for t in serve_start..series.len() {
+            let event_now = series.event_flags[t];
+            let s = static_model.forecast_next(&series.values[..t], t, event_now);
+            let w = pick(event_now).forecast_next(&series.values[..t], t, event_now);
+            static_preds.push(s);
+            switched_preds.push(w);
+            actuals.push(series.values[t]);
+            if event_now {
+                ev_static.push(s);
+                ev_switched.push(w);
+                ev_actuals.push(series.values[t]);
+            }
+        }
+        let static_mape = evaluate(&static_preds, &actuals).mape;
+        let switched_mape = evaluate(&switched_preds, &actuals).mape;
+        let ev_static_mape = evaluate(&ev_static, &ev_actuals).mape;
+        let ev_switched_mape = evaluate(&ev_switched, &ev_actuals).mape;
+        let improvement = 100.0 * (static_mape - switched_mape) / static_mape;
+        let ev_improvement = 100.0 * (ev_static_mape - ev_switched_mape) / ev_static_mape;
+        improvements.push(improvement);
+        table.add_row(vec![
+            cfg.name.clone(),
+            format!("{:.2}%", 100.0 * static_mape),
+            format!("{:.2}%", 100.0 * switched_mape),
+            format!("{improvement:+.1}%"),
+            format!("{ev_improvement:+.1}%"),
+        ]);
+    }
+    println!("{}", table.render());
+    let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!("mean MAPE improvement from dynamic switching: {mean:+.1}%");
+    println!("paper shape: switching to event-aware models during events improves served");
+    println!("accuracy by more than 10% MAPE ✓ (relative reduction of served MAPE)");
+    assert!(
+        mean > 10.0,
+        "dynamic switching must improve MAPE by >10% (got {mean:.1}%)"
+    );
+}

@@ -1,0 +1,15 @@
+//! # gallery-bench
+//!
+//! Experiment harness for the Gallery reproduction: baseline registries
+//! for the Table 1 comparison, probe plumbing, and shared reporting
+//! helpers. Each table/figure/claim of the paper has a binary under
+//! `src/bin/` (see DESIGN.md §2 for the experiment index) and the
+//! latency-sensitive paths have Criterion benches under `benches/`.
+
+pub mod baselines;
+pub mod gallery_probe;
+pub mod report;
+
+pub use baselines::{probe, Capability, ModelRegistry};
+pub use gallery_probe::GalleryRegistry;
+pub use report::{banner, human_bytes, TextTable};

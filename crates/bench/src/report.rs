@@ -1,0 +1,108 @@
+//! Tiny plain-text table renderer shared by the experiment binaries, so
+//! every experiment prints rows the way the paper's tables read.
+
+/// A left-aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |row: &[String], widths: &mut Vec<usize>| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&self.header, &mut widths);
+        for row in &self.rows {
+            measure(row, &mut widths);
+        }
+        let fmt_row = |row: &[String]| {
+            let cells: Vec<String> = (0..cols)
+                .map(|i| {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    format!("{cell:<width$}", width = widths[i])
+                })
+                .collect();
+            cells.join("  ").trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format bytes human-readably.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Banner printed at the top of each experiment.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("== {experiment}");
+    println!("   reproduces: {paper_ref}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["a-much-longer-name".into(), "12345".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        // columns align: "value" header starts at same index as 1 and 12345
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].rfind('1').map(|_| lines[2][col..].trim()), Some("1"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(8 * 1024 * 1024 * 1024), "8.0 GiB");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the Gallery core.
+
+use gallery_store::StoreError;
+use std::fmt;
+
+/// Errors produced by the Gallery registry and its subsystems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GalleryError {
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// No model with this id.
+    NoSuchModel(String),
+    /// No model instance with this id.
+    NoSuchInstance(String),
+    /// A model with this id already exists.
+    ModelExists(String),
+    /// Adding this dependency would create a cycle.
+    DependencyCycle { from: String, to: String },
+    /// The dependency edge already exists.
+    DuplicateDependency { from: String, to: String },
+    /// The dependency edge does not exist.
+    NoSuchDependency { from: String, to: String },
+    /// Illegal lifecycle transition.
+    IllegalTransition { from: String, to: String },
+    /// The entity is deprecated and the operation requires an active one.
+    Deprecated(String),
+    /// Malformed input (bad metric blob, bad version string, ...).
+    Invalid(String),
+    /// Nothing matched a selection that requires at least one candidate.
+    NoCandidates(String),
+}
+
+impl fmt::Display for GalleryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GalleryError::Store(e) => write!(f, "storage error: {e}"),
+            GalleryError::NoSuchModel(id) => write!(f, "no such model: {id}"),
+            GalleryError::NoSuchInstance(id) => write!(f, "no such model instance: {id}"),
+            GalleryError::ModelExists(id) => write!(f, "model already exists: {id}"),
+            GalleryError::DependencyCycle { from, to } => {
+                write!(f, "dependency {from} -> {to} would create a cycle")
+            }
+            GalleryError::DuplicateDependency { from, to } => {
+                write!(f, "dependency {from} -> {to} already exists")
+            }
+            GalleryError::NoSuchDependency { from, to } => {
+                write!(f, "no dependency {from} -> {to}")
+            }
+            GalleryError::IllegalTransition { from, to } => {
+                write!(f, "illegal lifecycle transition {from} -> {to}")
+            }
+            GalleryError::Deprecated(id) => write!(f, "entity is deprecated: {id}"),
+            GalleryError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            GalleryError::NoCandidates(msg) => write!(f, "no candidates: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GalleryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GalleryError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for GalleryError {
+    fn from(e: StoreError) -> Self {
+        GalleryError::Store(e)
+    }
+}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, GalleryError>;

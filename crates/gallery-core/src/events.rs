@@ -1,0 +1,126 @@
+//! Gallery change events.
+//!
+//! The rule engine (§3.7.2) evaluates rules when "any metadata or metrics
+//! specific in a registered rule" are updated. The registry publishes one
+//! event per mutation; subscribers (the rule engine, monitors, tests)
+//! receive them synchronously on the mutating thread and are expected to
+//! enqueue work rather than block.
+
+use crate::id::{InstanceId, ModelId};
+use crate::metrics::MetricScope;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One change in Gallery state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GalleryEvent {
+    ModelCreated {
+        model_id: ModelId,
+    },
+    InstanceCreated {
+        model_id: ModelId,
+        instance_id: InstanceId,
+        /// True when the instance is automatic dependency bookkeeping.
+        automatic: bool,
+    },
+    MetricInserted {
+        instance_id: InstanceId,
+        metric_name: String,
+        scope: MetricScope,
+        value: f64,
+    },
+    Deployed {
+        model_id: ModelId,
+        instance_id: InstanceId,
+        environment: String,
+    },
+    Deprecated {
+        /// `"model"` or `"instance"`.
+        kind: &'static str,
+        id: String,
+    },
+    DependencyAdded {
+        model_id: ModelId,
+        upstream: ModelId,
+    },
+    DependencyRemoved {
+        model_id: ModelId,
+        upstream: ModelId,
+    },
+    StageChanged {
+        instance_id: InstanceId,
+        stage: String,
+    },
+}
+
+/// A subscriber callback.
+pub type EventHandler = Arc<dyn Fn(&GalleryEvent) + Send + Sync>;
+
+/// Fan-out event bus. Handlers run synchronously in registration order.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    handlers: Arc<RwLock<Vec<EventHandler>>>,
+}
+
+impl EventBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn subscribe(&self, handler: EventHandler) {
+        self.handlers.write().push(handler);
+    }
+
+    pub fn publish(&self, event: &GalleryEvent) {
+        let handlers = self.handlers.read();
+        for h in handlers.iter() {
+            h(event);
+        }
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.handlers.read().len()
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let bus = EventBus::new();
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+        for tag in ["a", "b"] {
+            let seen = Arc::clone(&seen);
+            let tag = tag.to_owned();
+            bus.subscribe(Arc::new(move |e| {
+                if let GalleryEvent::ModelCreated { model_id } = e {
+                    seen.lock().push(format!("{tag}:{model_id}"));
+                }
+            }));
+        }
+        bus.publish(&GalleryEvent::ModelCreated {
+            model_id: ModelId::from("m1"),
+        });
+        let seen = seen.lock();
+        assert_eq!(&*seen, &["a:m1".to_string(), "b:m1".to_string()]);
+    }
+
+    #[test]
+    fn clone_shares_subscribers() {
+        let bus = EventBus::new();
+        let bus2 = bus.clone();
+        bus2.subscribe(Arc::new(|_| {}));
+        assert_eq!(bus.subscriber_count(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Model drift detection (§3.6).
+//!
+//! "Model drift refers to the case when the statistical properties of the
+//! target variable ... change over time in unpredictable ways." Gallery
+//! derives drift signals from the stored performance metrics; once
+//! detected, drift "triggers model re-training via Gallery rule engine".
+//!
+//! Three complementary detectors, all from scratch:
+//! - [`WindowMeanShift`] — compares a recent window's mean against a
+//!   reference window (z-test style);
+//! - [`Cusum`] — cumulative-sum change-point detector for slow creep;
+//! - [`PopulationStabilityIndex`] — distribution-level shift between a
+//!   reference and a current sample.
+
+/// Outcome of a drift check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    pub drifted: bool,
+    /// Detector-specific magnitude (z-score, CUSUM statistic, or PSI).
+    pub statistic: f64,
+    /// The threshold the statistic was compared against.
+    pub threshold: f64,
+}
+
+/// Sliding-window mean-shift detector: maintains a frozen reference window
+/// and a moving recent window; flags drift when the recent mean departs
+/// from the reference mean by more than `z_threshold` standard errors.
+#[derive(Debug, Clone)]
+pub struct WindowMeanShift {
+    reference: Vec<f64>,
+    recent: std::collections::VecDeque<f64>,
+    window: usize,
+    z_threshold: f64,
+}
+
+impl WindowMeanShift {
+    /// `window`: size of both the reference and the moving recent window.
+    pub fn new(window: usize, z_threshold: f64) -> Self {
+        assert!(window >= 2, "window must hold at least 2 observations");
+        WindowMeanShift {
+            reference: Vec::with_capacity(window),
+            recent: std::collections::VecDeque::with_capacity(window),
+            window,
+            z_threshold,
+        }
+    }
+
+    /// Feed one observation (e.g. a production MAPE reading).
+    pub fn observe(&mut self, value: f64) {
+        if self.reference.len() < self.window {
+            self.reference.push(value);
+            return;
+        }
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(value);
+    }
+
+    /// Number of observations still needed before verdicts are meaningful.
+    pub fn warmup_remaining(&self) -> usize {
+        (self.window - self.reference.len()) + (self.window - self.recent.len())
+    }
+
+    pub fn check(&self) -> DriftVerdict {
+        if self.reference.len() < self.window || self.recent.len() < self.window {
+            return DriftVerdict {
+                drifted: false,
+                statistic: 0.0,
+                threshold: self.z_threshold,
+            };
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let ref_mean = mean(&self.reference);
+        let ref_var = self
+            .reference
+            .iter()
+            .map(|x| (x - ref_mean).powi(2))
+            .sum::<f64>()
+            / (self.reference.len() - 1) as f64;
+        let recent_slice: Vec<f64> = self.recent.iter().copied().collect();
+        let recent_mean = mean(&recent_slice);
+        let se = (ref_var / self.window as f64).sqrt().max(1e-12);
+        let z = (recent_mean - ref_mean).abs() / se;
+        DriftVerdict {
+            drifted: z > self.z_threshold,
+            statistic: z,
+            threshold: self.z_threshold,
+        }
+    }
+}
+
+/// One-sided CUSUM detector for upward creep of an error metric. The
+/// statistic accumulates `max(0, S + (x - target - slack))`; drift is
+/// flagged when it exceeds `decision_threshold`.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    target: f64,
+    slack: f64,
+    decision_threshold: f64,
+    statistic: f64,
+}
+
+impl Cusum {
+    pub fn new(target: f64, slack: f64, decision_threshold: f64) -> Self {
+        Cusum {
+            target,
+            slack,
+            decision_threshold,
+            statistic: 0.0,
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        self.statistic = (self.statistic + (value - self.target - self.slack)).max(0.0);
+    }
+
+    pub fn check(&self) -> DriftVerdict {
+        DriftVerdict {
+            drifted: self.statistic > self.decision_threshold,
+            statistic: self.statistic,
+            threshold: self.decision_threshold,
+        }
+    }
+
+    /// Reset after a retrain.
+    pub fn reset(&mut self) {
+        self.statistic = 0.0;
+    }
+}
+
+/// Population Stability Index between a reference sample and a current
+/// sample, over `bins` equal-width buckets spanning the reference range.
+/// Common industry reading: PSI < 0.1 stable, 0.1–0.25 moderate shift,
+/// > 0.25 significant shift.
+#[derive(Debug, Clone)]
+pub struct PopulationStabilityIndex {
+    bins: usize,
+    threshold: f64,
+}
+
+impl PopulationStabilityIndex {
+    pub fn new(bins: usize, threshold: f64) -> Self {
+        assert!(bins >= 2);
+        PopulationStabilityIndex { bins, threshold }
+    }
+
+    pub fn compute(&self, reference: &[f64], current: &[f64]) -> DriftVerdict {
+        if reference.is_empty() || current.is_empty() {
+            return DriftVerdict {
+                drifted: false,
+                statistic: 0.0,
+                threshold: self.threshold,
+            };
+        }
+        let lo = reference.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = reference.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / self.bins as f64).max(1e-12);
+        let bucket = |x: f64| -> usize {
+            let b = ((x - lo) / width).floor();
+            (b.max(0.0) as usize).min(self.bins - 1)
+        };
+        let hist = |xs: &[f64]| -> Vec<f64> {
+            let mut h = vec![0f64; self.bins];
+            for &x in xs {
+                h[bucket(x)] += 1.0;
+            }
+            // Laplace-smooth to avoid log(0).
+            let n = xs.len() as f64 + self.bins as f64 * 1e-4;
+            h.iter().map(|c| (c + 1e-4) / n).collect()
+        };
+        let p = hist(reference);
+        let q = hist(current);
+        let psi: f64 = p
+            .iter()
+            .zip(&q)
+            .map(|(pi, qi)| (qi - pi) * (qi / pi).ln())
+            .sum();
+        DriftVerdict {
+            drifted: psi > self.threshold,
+            statistic: psi,
+            threshold: self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(rng: &mut StdRng, mean: f64, spread: f64) -> f64 {
+        mean + (rng.gen::<f64>() - 0.5) * 2.0 * spread
+    }
+
+    #[test]
+    fn mean_shift_quiet_on_stationary() {
+        let mut d = WindowMeanShift::new(20, 4.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            d.observe(noise(&mut rng, 0.10, 0.02));
+        }
+        assert!(!d.check().drifted, "stationary stream must not drift");
+    }
+
+    #[test]
+    fn mean_shift_fires_on_level_change() {
+        let mut d = WindowMeanShift::new(20, 4.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            d.observe(noise(&mut rng, 0.10, 0.02));
+        }
+        for _ in 0..20 {
+            d.observe(noise(&mut rng, 0.25, 0.02)); // MAPE jumped
+        }
+        let v = d.check();
+        assert!(v.drifted, "shift of 0.15 over noise 0.02 must fire (z={})", v.statistic);
+    }
+
+    #[test]
+    fn mean_shift_warmup() {
+        let mut d = WindowMeanShift::new(5, 3.0);
+        assert_eq!(d.warmup_remaining(), 10);
+        for _ in 0..7 {
+            d.observe(1.0);
+        }
+        assert_eq!(d.warmup_remaining(), 3);
+        assert!(!d.check().drifted);
+    }
+
+    #[test]
+    fn cusum_detects_slow_creep() {
+        let mut c = Cusum::new(0.10, 0.01, 0.5);
+        // On-target observations: statistic stays near zero.
+        for _ in 0..50 {
+            c.observe(0.10);
+        }
+        assert!(!c.check().drifted);
+        // Slow creep +0.03 above target: accumulates and fires.
+        for _ in 0..30 {
+            c.observe(0.13);
+        }
+        assert!(c.check().drifted);
+        c.reset();
+        assert!(!c.check().drifted);
+    }
+
+    #[test]
+    fn psi_stable_vs_shifted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let reference: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let same: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let shifted: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() * 0.5 + 0.5).collect();
+        let psi = PopulationStabilityIndex::new(10, 0.25);
+        let v_same = psi.compute(&reference, &same);
+        assert!(!v_same.drifted, "identical distributions: psi={}", v_same.statistic);
+        let v_shift = psi.compute(&reference, &shifted);
+        assert!(v_shift.drifted, "half-range shift: psi={}", v_shift.statistic);
+        assert!(v_shift.statistic > v_same.statistic);
+    }
+
+    #[test]
+    fn psi_empty_inputs_are_quiet() {
+        let psi = PopulationStabilityIndex::new(10, 0.25);
+        assert!(!psi.compute(&[], &[1.0]).drifted);
+        assert!(!psi.compute(&[1.0], &[]).drifted);
+    }
+}

@@ -1,0 +1,194 @@
+//! Model performance and health (§3.6).
+//!
+//! Two metric categories define model health:
+//! 1. **completeness** of model information — enough metadata to reproduce
+//!    the model and performance recorded for monitoring;
+//! 2. a **holistic performance view** across lifecycle stages (training,
+//!    validation, production).
+//!
+//! On top of the raw information Gallery derives insights: model drift
+//! ([`drift`]) and production skew ([`skew`]).
+
+pub mod drift;
+pub mod skew;
+
+use crate::error::Result;
+use crate::id::InstanceId;
+use crate::metadata::REPRODUCIBILITY_FIELDS;
+use crate::metrics::MetricScope;
+use crate::registry::Gallery;
+use skew::{default_direction, detect_skew_from_records, SkewVerdict};
+
+/// Health report of one model instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    pub instance_id: InstanceId,
+    /// Fraction of reproducibility metadata present (0–1).
+    pub reproducibility_score: f64,
+    /// Reproducibility fields that are missing.
+    pub missing_fields: Vec<String>,
+    /// Whether any performance metric is recorded per scope.
+    pub has_training_metrics: bool,
+    pub has_validation_metrics: bool,
+    pub has_production_metrics: bool,
+    /// Production-skew verdicts for metrics observed on both sides.
+    pub skew: Vec<SkewVerdict>,
+}
+
+impl HealthReport {
+    /// The completeness category of §3.6: reproducible metadata and at
+    /// least one recorded evaluation.
+    pub fn is_complete(&self) -> bool {
+        self.reproducibility_score >= 1.0
+            && (self.has_training_metrics || self.has_validation_metrics)
+    }
+
+    /// Overall health score in [0, 1]: half completeness, half performance
+    /// coverage, minus a penalty per skewed metric.
+    pub fn score(&self) -> f64 {
+        let coverage = [
+            self.has_training_metrics,
+            self.has_validation_metrics,
+            self.has_production_metrics,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count() as f64
+            / 3.0;
+        let skew_penalty = 0.2 * self.skew.iter().filter(|s| s.skewed).count() as f64;
+        (0.5 * self.reproducibility_score + 0.5 * coverage - skew_penalty).clamp(0.0, 1.0)
+    }
+}
+
+impl Gallery {
+    /// Build the §3.6 health report for an instance.
+    pub fn health_report(&self, instance_id: &InstanceId) -> Result<HealthReport> {
+        self.health_report_with_tolerance(instance_id, 0.25)
+    }
+
+    /// Health report with an explicit skew tolerance (relative degradation
+    /// of production vs offline above which a metric counts as skewed).
+    pub fn health_report_with_tolerance(
+        &self,
+        instance_id: &InstanceId,
+        skew_tolerance: f64,
+    ) -> Result<HealthReport> {
+        let instance = self.get_instance(instance_id)?;
+        let metrics = self.metrics_of_instance(instance_id)?;
+        let missing_fields: Vec<String> = REPRODUCIBILITY_FIELDS
+            .iter()
+            .filter(|f| !instance.metadata.contains(f))
+            .map(|f| (*f).to_owned())
+            .collect();
+        let has = |scope: MetricScope| metrics.iter().any(|m| m.scope == scope);
+        let skew = detect_skew_from_records(&metrics, default_direction, skew_tolerance);
+        Ok(HealthReport {
+            instance_id: instance_id.clone(),
+            reproducibility_score: instance.metadata.reproducibility_score(),
+            missing_fields,
+            has_training_metrics: has(MetricScope::Training),
+            has_validation_metrics: has(MetricScope::Validation),
+            has_production_metrics: has(MetricScope::Production),
+            skew,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use crate::metadata::{fields, Metadata};
+    use crate::metrics::MetricSpec;
+    use crate::model::ModelSpec;
+    use bytes::Bytes;
+
+    fn reproducible_metadata() -> Metadata {
+        let mut m = Metadata::new();
+        for f in REPRODUCIBILITY_FIELDS {
+            m.insert(*f, "present");
+        }
+        m.insert(fields::CITY, "sf");
+        m
+    }
+
+    #[test]
+    fn complete_instance_scores_high() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(ModelSpec::new("p", "demand").name("rf"))
+            .unwrap();
+        let inst = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(reproducible_metadata()),
+                Bytes::from_static(b"w"),
+            )
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Training, 0.1))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.11))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, 0.12))
+            .unwrap();
+        let report = g.health_report(&inst.id).unwrap();
+        assert!(report.is_complete());
+        assert!(report.missing_fields.is_empty());
+        assert!(report.skew.iter().all(|s| !s.skewed));
+        assert!(report.score() > 0.9);
+    }
+
+    #[test]
+    fn missing_metadata_lowers_score() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(ModelSpec::new("p", "demand").name("rf"))
+            .unwrap();
+        let inst = g
+            .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        let report = g.health_report(&inst.id).unwrap();
+        assert!(!report.is_complete());
+        assert_eq!(report.missing_fields.len(), REPRODUCIBILITY_FIELDS.len());
+        assert_eq!(report.reproducibility_score, 0.0);
+    }
+
+    #[test]
+    fn skew_surfaces_in_report() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(ModelSpec::new("p", "demand").name("rf"))
+            .unwrap();
+        let inst = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(reproducible_metadata()),
+                Bytes::from_static(b"w"),
+            )
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, 0.30))
+            .unwrap();
+        let report = g.health_report(&inst.id).unwrap();
+        assert_eq!(report.skew.len(), 1);
+        assert!(report.skew[0].skewed);
+        let healthy_score = {
+            let g2 = Gallery::in_memory();
+            let m2 = g2.create_model(ModelSpec::new("p", "d").name("rf")).unwrap();
+            let i2 = g2
+                .upload_instance(
+                    &m2.id,
+                    InstanceSpec::new().metadata(reproducible_metadata()),
+                    Bytes::from_static(b"w"),
+                )
+                .unwrap();
+            g2.insert_metric(&i2.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
+                .unwrap();
+            g2.insert_metric(&i2.id, MetricSpec::new("mape", MetricScope::Production, 0.10))
+                .unwrap();
+            g2.health_report(&i2.id).unwrap().score()
+        };
+        assert!(report.score() < healthy_score);
+    }
+}

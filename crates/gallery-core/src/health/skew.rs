@@ -1,0 +1,177 @@
+//! Production skew detection (§3.6).
+//!
+//! "Production skew is the difference between performance at training time
+//! and serving time." The detector compares the same named metric across
+//! scopes for one instance and flags when the production reading degrades
+//! beyond a relative tolerance.
+
+use crate::metrics::{MetricRecord, MetricScope};
+
+/// Direction in which a metric is "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Lower is better (MAE, MAPE, MSE, |bias|).
+    LowerIsBetter,
+    /// Higher is better (AUC, precision, recall, R²).
+    HigherIsBetter,
+}
+
+/// Verdict of a skew check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewVerdict {
+    pub skewed: bool,
+    pub metric_name: String,
+    pub offline_value: f64,
+    pub production_value: f64,
+    /// Relative degradation of production vs offline (positive = worse).
+    pub relative_degradation: f64,
+    pub tolerance: f64,
+}
+
+/// Compare an offline (training or validation) reading against production.
+pub fn detect_skew(
+    metric_name: &str,
+    offline_value: f64,
+    production_value: f64,
+    direction: MetricDirection,
+    tolerance: f64,
+) -> SkewVerdict {
+    let denom = offline_value.abs().max(1e-12);
+    let relative_degradation = match direction {
+        MetricDirection::LowerIsBetter => (production_value - offline_value) / denom,
+        MetricDirection::HigherIsBetter => (offline_value - production_value) / denom,
+    };
+    SkewVerdict {
+        skewed: relative_degradation > tolerance,
+        metric_name: metric_name.to_owned(),
+        offline_value,
+        production_value,
+        relative_degradation,
+        tolerance,
+    }
+}
+
+/// Convenience: run the skew check over stored metric records, pairing the
+/// latest offline reading (validation preferred, else training) with the
+/// latest production reading of the same name. Returns one verdict per
+/// metric name that has both sides.
+pub fn detect_skew_from_records(
+    records: &[MetricRecord],
+    direction_of: impl Fn(&str) -> MetricDirection,
+    tolerance: f64,
+) -> Vec<SkewVerdict> {
+    use std::collections::HashMap;
+    // name -> (latest validation, latest training, latest production)
+    let mut latest: HashMap<&str, [Option<&MetricRecord>; 3]> = HashMap::new();
+    for r in records {
+        let slot = match r.scope {
+            MetricScope::Validation => 0,
+            MetricScope::Training => 1,
+            MetricScope::Production => 2,
+        };
+        let entry = latest.entry(r.name.as_str()).or_default();
+        let newer = entry[slot].map(|e| r.created_at > e.created_at).unwrap_or(true);
+        if newer {
+            entry[slot] = Some(r);
+        }
+    }
+    let mut names: Vec<&str> = latest.keys().copied().collect();
+    names.sort_unstable();
+    let mut out = Vec::new();
+    for name in names {
+        let [val, train, prod] = latest[name];
+        let offline = val.or(train);
+        if let (Some(offline), Some(prod)) = (offline, prod) {
+            out.push(detect_skew(
+                name,
+                offline.value,
+                prod.value,
+                direction_of(name),
+                tolerance,
+            ));
+        }
+    }
+    out
+}
+
+/// Default direction convention for the metric names used across this
+/// repository's substrates.
+pub fn default_direction(name: &str) -> MetricDirection {
+    match name {
+        "auc" | "precision" | "recall" | "r2" | "accuracy" | "f1" => {
+            MetricDirection::HigherIsBetter
+        }
+        _ => MetricDirection::LowerIsBetter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{InstanceId, MetricId};
+    use crate::metadata::Metadata;
+
+    fn record(name: &str, scope: MetricScope, value: f64, ts: i64) -> MetricRecord {
+        MetricRecord {
+            id: MetricId::from(format!("m-{name}-{ts}").as_str()),
+            instance_id: InstanceId::from("i1"),
+            name: name.into(),
+            value,
+            scope,
+            metadata: Metadata::new(),
+            created_at: ts,
+        }
+    }
+
+    #[test]
+    fn lower_is_better_skew() {
+        // validation MAPE 0.10, production 0.16 => 60% worse
+        let v = detect_skew("mape", 0.10, 0.16, MetricDirection::LowerIsBetter, 0.25);
+        assert!(v.skewed);
+        assert!((v.relative_degradation - 0.6).abs() < 1e-9);
+        // within tolerance
+        let v = detect_skew("mape", 0.10, 0.12, MetricDirection::LowerIsBetter, 0.25);
+        assert!(!v.skewed);
+    }
+
+    #[test]
+    fn higher_is_better_skew() {
+        let v = detect_skew("auc", 0.90, 0.70, MetricDirection::HigherIsBetter, 0.1);
+        assert!(v.skewed);
+        let v = detect_skew("auc", 0.90, 0.88, MetricDirection::HigherIsBetter, 0.1);
+        assert!(!v.skewed);
+    }
+
+    #[test]
+    fn production_better_than_offline_is_not_skew() {
+        let v = detect_skew("mape", 0.10, 0.08, MetricDirection::LowerIsBetter, 0.1);
+        assert!(!v.skewed);
+        assert!(v.relative_degradation < 0.0);
+    }
+
+    #[test]
+    fn records_pairing_prefers_validation_and_latest() {
+        let records = vec![
+            record("mape", MetricScope::Training, 0.20, 1),
+            record("mape", MetricScope::Validation, 0.10, 2),
+            record("mape", MetricScope::Validation, 0.11, 3), // latest offline
+            record("mape", MetricScope::Production, 0.30, 4),
+            record("mape", MetricScope::Production, 0.20, 5), // latest prod
+            record("auc", MetricScope::Production, 0.9, 6),   // no offline side
+        ];
+        let verdicts = detect_skew_from_records(&records, default_direction, 0.25);
+        assert_eq!(verdicts.len(), 1);
+        let v = &verdicts[0];
+        assert_eq!(v.metric_name, "mape");
+        assert_eq!(v.offline_value, 0.11);
+        assert_eq!(v.production_value, 0.20);
+        assert!(v.skewed);
+    }
+
+    #[test]
+    fn default_directions() {
+        assert_eq!(default_direction("auc"), MetricDirection::HigherIsBetter);
+        assert_eq!(default_direction("mape"), MetricDirection::LowerIsBetter);
+        assert_eq!(default_direction("custom_loss"), MetricDirection::LowerIsBetter);
+    }
+}

@@ -1,0 +1,221 @@
+//! Identifiers: UUIDv4 generation and typed id newtypes.
+//!
+//! §3.4.1: "we adopted a Git style versioning approach and assign a UUID
+//! for each model instance", with a human-meaningful *base version id*
+//! (e.g. `demand_conversion`) linking the instances of one modeling
+//! approach together. UUIDs are generated from `rand` to avoid an extra
+//! dependency.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A version-4 (random) UUID, RFC 4122 variant 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Uuid([u8; 16]);
+
+impl Uuid {
+    /// Generate a fresh random UUID using the thread RNG.
+    pub fn new_v4() -> Self {
+        let mut bytes = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        Self::from_random_bytes(bytes)
+    }
+
+    /// Generate from a caller-supplied RNG (deterministic tests/sims).
+    pub fn new_v4_from(rng: &mut impl RngCore) -> Self {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        Self::from_random_bytes(bytes)
+    }
+
+    fn from_random_bytes(mut bytes: [u8; 16]) -> Self {
+        bytes[6] = (bytes[6] & 0x0F) | 0x40; // version 4
+        bytes[8] = (bytes[8] & 0x3F) | 0x80; // RFC 4122 variant
+        Uuid(bytes)
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Parse the canonical 8-4-4-4-12 hex form.
+    pub fn parse(s: &str) -> Option<Self> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 || s.len() != 36 {
+            return None;
+        }
+        // dashes must be at canonical positions
+        let dash_positions = [8, 13, 18, 23];
+        for (i, c) in s.char_indices() {
+            let should_dash = dash_positions.contains(&i);
+            if should_dash != (c == '-') {
+                return None;
+            }
+        }
+        let mut bytes = [0u8; 16];
+        for i in 0..16 {
+            bytes[i] = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).ok()?;
+        }
+        Some(Uuid(bytes))
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12],
+            b[13], b[14], b[15]
+        )
+    }
+}
+
+macro_rules! typed_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        pub struct $name(pub String);
+
+        impl $name {
+            /// Mint a fresh random id.
+            pub fn generate() -> Self {
+                $name(Uuid::new_v4().to_string())
+            }
+
+            /// Mint from a caller-supplied RNG (deterministic tests).
+            pub fn generate_from(rng: &mut impl rand::RngCore) -> Self {
+                $name(Uuid::new_v4_from(rng).to_string())
+            }
+
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name(s)
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Unique id of a model (an abstract data transformation, §2).
+    ModelId,
+    "model"
+);
+typed_id!(
+    /// Unique id of a trained model instance (§3.3.2).
+    InstanceId,
+    "instance"
+);
+typed_id!(
+    /// Unique id of a stored metric record.
+    MetricId,
+    "metric"
+);
+typed_id!(
+    /// Unique id of a deployment event.
+    DeploymentId,
+    "deployment"
+);
+
+/// The human-meaningful top-level identifier linking all descendant model
+/// instances of one approach (§3.4.1), e.g. `"demand_conversion"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BaseVersionId(pub String);
+
+impl BaseVersionId {
+    pub fn new(s: impl Into<String>) -> Self {
+        BaseVersionId(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BaseVersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BaseVersionId {
+    fn from(s: &str) -> Self {
+        BaseVersionId(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uuid_has_version_and_variant_bits() {
+        for _ in 0..32 {
+            let u = Uuid::new_v4();
+            assert_eq!(u.as_bytes()[6] >> 4, 4, "version nibble");
+            assert_eq!(u.as_bytes()[8] >> 6, 0b10, "variant bits");
+        }
+    }
+
+    #[test]
+    fn uuid_display_parse_roundtrip() {
+        let u = Uuid::new_v4();
+        let s = u.to_string();
+        assert_eq!(s.len(), 36);
+        assert_eq!(Uuid::parse(&s), Some(u));
+    }
+
+    #[test]
+    fn uuid_parse_rejects_garbage() {
+        assert!(Uuid::parse("not-a-uuid").is_none());
+        assert!(Uuid::parse("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz").is_none());
+        assert!(Uuid::parse("0123456789abcdef0123456789abcdef").is_none()); // no dashes
+        // dashes in wrong positions
+        assert!(Uuid::parse("012345678-9ab-cdef-0123-456789abcdef").is_none());
+    }
+
+    #[test]
+    fn uuid_deterministic_from_seeded_rng() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(Uuid::new_v4_from(&mut a), Uuid::new_v4_from(&mut b));
+    }
+
+    #[test]
+    fn uuids_are_unique_in_practice() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = (0..10_000).map(|_| Uuid::new_v4()).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn typed_ids() {
+        let m = ModelId::generate();
+        assert_eq!(m.as_str().len(), 36);
+        let i: InstanceId = "fixed-id".into();
+        assert_eq!(i.to_string(), "fixed-id");
+        let b = BaseVersionId::new("demand_conversion");
+        assert_eq!(b.as_str(), "demand_conversion");
+    }
+}

@@ -1,0 +1,116 @@
+//! Model instance records (§3.3.2).
+//!
+//! An instance is "a realization of a model given a set of training data":
+//! an uninterpreted binary blob plus the metadata needed to reproduce and
+//! serve it. Instances are identified by UUID; the `display_version`
+//! carries the compact `major.minor` counter the paper uses in its
+//! dependency figures.
+
+use crate::clock::TimestampMs;
+use crate::id::{BaseVersionId, InstanceId, ModelId};
+use crate::metadata::Metadata;
+use crate::version::{DisplayVersion, InstanceTrigger};
+use gallery_store::BlobLocation;
+use serde::{Deserialize, Serialize};
+
+/// A trained (or automatically versioned) model instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInstance {
+    pub id: InstanceId,
+    pub model_id: ModelId,
+    pub base_version_id: BaseVersionId,
+    pub display_version: DisplayVersion,
+    /// Where the opaque model blob lives (S3/HDFS path in the paper).
+    /// `None` for automatic dependency-bookkeeping versions that reuse the
+    /// parent's blob.
+    pub blob_location: Option<BlobLocation>,
+    pub metadata: Metadata,
+    pub created_at: TimestampMs,
+    /// Why this version exists (real training vs dependency bookkeeping).
+    pub trigger: InstanceTrigger,
+    /// The instance this one supersedes, if any (lineage).
+    pub parent: Option<InstanceId>,
+    pub deprecated: bool,
+}
+
+impl ModelInstance {
+    /// Whether this instance was produced by a real training run (as
+    /// opposed to automatic dependency versioning).
+    pub fn is_trained(&self) -> bool {
+        !self.trigger.is_automatic()
+    }
+
+    /// The blob to serve: this instance's own blob. Automatic versions
+    /// have no blob of their own; callers should fall back to the lineage
+    /// via the registry.
+    pub fn servable_blob(&self) -> Option<&BlobLocation> {
+        self.blob_location.as_ref()
+    }
+}
+
+/// Spec supplied when uploading a trained instance (Listing 3).
+#[derive(Debug, Clone, Default)]
+pub struct InstanceSpec {
+    pub metadata: Metadata,
+    /// Explicit parent instance; defaults to the model's latest instance.
+    pub parent: Option<InstanceId>,
+}
+
+impl InstanceSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn metadata(mut self, m: Metadata) -> Self {
+        self.metadata = m;
+        self
+    }
+
+    pub fn parent(mut self, p: InstanceId) -> Self {
+        self.parent = Some(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::fields;
+
+    #[test]
+    fn trained_vs_automatic() {
+        let base = ModelInstance {
+            id: InstanceId::from("i1"),
+            model_id: ModelId::from("m1"),
+            base_version_id: BaseVersionId::new("demand"),
+            display_version: DisplayVersion::new(1, 0),
+            blob_location: Some(BlobLocation::new("mem://x")),
+            metadata: Metadata::new().with(fields::CITY, "sf"),
+            created_at: 1,
+            trigger: InstanceTrigger::Trained,
+            parent: None,
+            deprecated: false,
+        };
+        assert!(base.is_trained());
+        assert!(base.servable_blob().is_some());
+
+        let auto = ModelInstance {
+            trigger: InstanceTrigger::DependencyUpdate {
+                upstream_model: "m2".into(),
+            },
+            blob_location: None,
+            ..base
+        };
+        assert!(!auto.is_trained());
+        assert!(auto.servable_blob().is_none());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = InstanceSpec::new()
+            .metadata(Metadata::new().with(fields::CITY, "nyc"))
+            .parent(InstanceId::from("p"));
+        assert_eq!(spec.parent, Some(InstanceId::from("p")));
+        assert_eq!(spec.metadata.get_str(fields::CITY), Some("nyc"));
+    }
+}

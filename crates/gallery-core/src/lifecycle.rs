@@ -1,0 +1,165 @@
+//! The model lifecycle state machine (Figure 1).
+//!
+//! A model starts in exploration; production instances move through
+//! training, evaluation, deployment, and monitoring; degradation or new
+//! models trigger retraining and deprecation of old instances. Gallery
+//! enforces which stage transitions are legal so that orchestration rules
+//! cannot move an instance backwards through impossible paths.
+
+use crate::error::{GalleryError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stages of the model lifecycle (Fig 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Designing and exploring candidate models.
+    Exploration,
+    /// A training run is producing (or has just produced) this instance.
+    Trained,
+    /// Offline evaluation / backtesting against thresholds.
+    Evaluated,
+    /// Deployed and serving in some environment.
+    Deployed,
+    /// Live, with performance monitoring attached.
+    Monitoring,
+    /// Flagged for retraining after drift/degradation.
+    Retraining,
+    /// Deprecated: kept, flagged, skipped in fetch/search.
+    Deprecated,
+}
+
+impl Stage {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Exploration => "exploration",
+            Stage::Trained => "trained",
+            Stage::Evaluated => "evaluated",
+            Stage::Deployed => "deployed",
+            Stage::Monitoring => "monitoring",
+            Stage::Retraining => "retraining",
+            Stage::Deprecated => "deprecated",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "exploration" => Ok(Stage::Exploration),
+            "trained" => Ok(Stage::Trained),
+            "evaluated" => Ok(Stage::Evaluated),
+            "deployed" => Ok(Stage::Deployed),
+            "monitoring" => Ok(Stage::Monitoring),
+            "retraining" => Ok(Stage::Retraining),
+            "deprecated" => Ok(Stage::Deprecated),
+            _ => Err(GalleryError::Invalid(format!("bad stage: {s}"))),
+        }
+    }
+
+    /// Legal next stages from this stage, following Figure 1's arrows:
+    /// exploration → training; training → evaluation; evaluation →
+    /// deployment (pass) or back to training (fail/improve); deployment →
+    /// monitoring; monitoring → retraining (degradation) or deprecation;
+    /// retraining → trained (a new run) or deprecation; anything except
+    /// deprecated may be deprecated directly.
+    pub fn allowed_next(self) -> &'static [Stage] {
+        match self {
+            Stage::Exploration => &[Stage::Trained, Stage::Deprecated],
+            Stage::Trained => &[Stage::Evaluated, Stage::Deprecated],
+            Stage::Evaluated => &[Stage::Deployed, Stage::Trained, Stage::Deprecated],
+            Stage::Deployed => &[Stage::Monitoring, Stage::Deprecated],
+            Stage::Monitoring => &[Stage::Retraining, Stage::Deprecated],
+            Stage::Retraining => &[Stage::Trained, Stage::Deprecated],
+            Stage::Deprecated => &[],
+        }
+    }
+
+    pub fn can_transition_to(self, next: Stage) -> bool {
+        self.allowed_next().contains(&next)
+    }
+
+    /// Validate a transition, returning an error naming both stages.
+    pub fn transition_to(self, next: Stage) -> Result<Stage> {
+        if self.can_transition_to(next) {
+            Ok(next)
+        } else {
+            Err(GalleryError::IllegalTransition {
+                from: self.as_str().to_owned(),
+                to: next.as_str().to_owned(),
+            })
+        }
+    }
+
+    /// All stages, in lifecycle order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Exploration,
+        Stage::Trained,
+        Stage::Evaluated,
+        Stage::Deployed,
+        Stage::Monitoring,
+        Stage::Retraining,
+        Stage::Deprecated,
+    ];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.as_str()).unwrap(), s);
+        }
+        assert!(Stage::parse("flying").is_err());
+    }
+
+    #[test]
+    fn happy_path_through_figure_1() {
+        let mut s = Stage::Exploration;
+        for next in [
+            Stage::Trained,
+            Stage::Evaluated,
+            Stage::Deployed,
+            Stage::Monitoring,
+            Stage::Retraining,
+            Stage::Trained, // retrain loops back
+            Stage::Evaluated,
+        ] {
+            s = s.transition_to(next).unwrap();
+        }
+        assert_eq!(s, Stage::Evaluated);
+    }
+
+    #[test]
+    fn evaluation_can_fail_back_to_training() {
+        assert!(Stage::Evaluated.can_transition_to(Stage::Trained));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        assert!(Stage::Exploration.transition_to(Stage::Deployed).is_err());
+        assert!(Stage::Trained.transition_to(Stage::Monitoring).is_err());
+        assert!(Stage::Deployed.transition_to(Stage::Trained).is_err());
+    }
+
+    #[test]
+    fn deprecated_is_terminal() {
+        assert!(Stage::Deprecated.allowed_next().is_empty());
+        assert!(Stage::Deprecated.transition_to(Stage::Trained).is_err());
+    }
+
+    #[test]
+    fn everything_can_deprecate() {
+        for s in Stage::ALL {
+            if s != Stage::Deprecated {
+                assert!(s.can_transition_to(Stage::Deprecated), "{s} must deprecate");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Model performance metrics (§3.3.3, §3.6).
+//!
+//! Metrics are model-neutral `<metric>:<value>` pairs scoped to a lifecycle
+//! stage (training / validation / production). Gallery "treats all the
+//! metrics the same" — it stores, indexes, and serves them without
+//! interpreting their semantics.
+
+use crate::clock::TimestampMs;
+use crate::error::{GalleryError, Result};
+use crate::id::{InstanceId, MetricId};
+use crate::metadata::Metadata;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which lifecycle stage produced a metric (§3.6: training, validation,
+/// production performance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricScope {
+    Training,
+    Validation,
+    Production,
+}
+
+impl MetricScope {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricScope::Training => "training",
+            MetricScope::Validation => "validation",
+            MetricScope::Production => "production",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "training" => Ok(MetricScope::Training),
+            "validation" => Ok(MetricScope::Validation),
+            "production" => Ok(MetricScope::Production),
+            _ => Err(GalleryError::Invalid(format!("bad metric scope: {s}"))),
+        }
+    }
+}
+
+impl fmt::Display for MetricScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stored metric observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    pub id: MetricId,
+    pub instance_id: InstanceId,
+    pub name: String,
+    pub value: f64,
+    pub scope: MetricScope,
+    pub metadata: Metadata,
+    pub created_at: TimestampMs,
+}
+
+/// Spec supplied when inserting a metric (Listing 4's
+/// `ModelEvaluationMetric(metricName='bias', scope='Validation', value=0.05)`).
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    pub name: String,
+    pub value: f64,
+    pub scope: MetricScope,
+    pub metadata: Metadata,
+}
+
+impl MetricSpec {
+    pub fn new(name: impl Into<String>, scope: MetricScope, value: f64) -> Self {
+        MetricSpec {
+            name: name.into(),
+            value,
+            scope,
+            metadata: Metadata::new(),
+        }
+    }
+
+    pub fn metadata(mut self, m: Metadata) -> Self {
+        self.metadata = m;
+        self
+    }
+}
+
+/// Parse a structured metric blob: newline- or comma-separated
+/// `<metric>:<value>` pairs (§3.3.3 "the metrics take the form of a
+/// structured blob with the basic format of `<metric>:<value>` pairs").
+pub fn parse_metric_blob(blob: &str) -> Result<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for raw in blob.split(['\n', ',']) {
+        let pair = raw.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, value) = pair
+            .split_once(':')
+            .ok_or_else(|| GalleryError::Invalid(format!("bad metric pair: {pair}")))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(GalleryError::Invalid(format!("empty metric name in: {pair}")));
+        }
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| GalleryError::Invalid(format!("bad metric value in: {pair}")))?;
+        out.push((name.to_owned(), value));
+    }
+    Ok(out)
+}
+
+/// Render pairs back to the canonical blob format.
+pub fn format_metric_blob(pairs: &[(String, f64)]) -> String {
+    pairs
+        .iter()
+        .map(|(n, v)| format!("{n}:{v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_roundtrip() {
+        for s in [MetricScope::Training, MetricScope::Validation, MetricScope::Production] {
+            assert_eq!(MetricScope::parse(s.as_str()).unwrap(), s);
+        }
+        assert_eq!(MetricScope::parse("Validation").unwrap(), MetricScope::Validation);
+        assert!(MetricScope::parse("staging").is_err());
+    }
+
+    #[test]
+    fn blob_parse_newlines_and_commas() {
+        let pairs = parse_metric_blob("mae:0.2\nbias:0.05,r2:0.93").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("mae".to_string(), 0.2),
+                ("bias".to_string(), 0.05),
+                ("r2".to_string(), 0.93)
+            ]
+        );
+    }
+
+    #[test]
+    fn blob_parse_tolerates_whitespace_and_blanks() {
+        let pairs = parse_metric_blob("  mae : 0.2 \n\n precision:0.9 ").unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "mae");
+    }
+
+    #[test]
+    fn blob_parse_rejects_malformed() {
+        assert!(parse_metric_blob("mae=0.2").is_err());
+        assert!(parse_metric_blob("mae:abc").is_err());
+        assert!(parse_metric_blob(":0.2").is_err());
+    }
+
+    #[test]
+    fn blob_format_roundtrip() {
+        let pairs = vec![("mape".to_string(), 0.12), ("bias".to_string(), -0.01)];
+        let blob = format_metric_blob(&pairs);
+        assert_eq!(parse_metric_blob(&blob).unwrap(), pairs);
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = MetricSpec::new("bias", MetricScope::Validation, 0.05);
+        assert_eq!(spec.name, "bias");
+        assert_eq!(spec.scope, MetricScope::Validation);
+        assert_eq!(spec.value, 0.05);
+    }
+}

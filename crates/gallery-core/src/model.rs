@@ -1,0 +1,99 @@
+//! The model record (§3.3.1).
+//!
+//! A *model* is an abstract data transformation: its record carries the
+//! owner, description (formula / network structure), features and
+//! hyperparameters, and how it can be trained and served. Evolution is
+//! tracked with previous pointers; because records are immutable, the
+//! forward (`next`) pointer of the paper's Figure 3 is *derived* by
+//! querying for models whose `prev` points here rather than mutated in
+//! place.
+
+use crate::clock::TimestampMs;
+use crate::id::{BaseVersionId, ModelId};
+use crate::metadata::Metadata;
+use serde::{Deserialize, Serialize};
+
+/// A registered model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    pub id: ModelId,
+    /// Top-level identifier of the modeling approach (§3.4.1), e.g.
+    /// `demand_conversion`. All descendant instances link back to it.
+    pub base_version_id: BaseVersionId,
+    pub project: String,
+    /// Model family name, e.g. `linear_regression` or `random_forest`.
+    pub name: String,
+    pub owner: String,
+    pub description: String,
+    pub metadata: Metadata,
+    pub created_at: TimestampMs,
+    /// Previous model in the evolution lineage, if this model supersedes
+    /// an earlier approach.
+    pub prev: Option<ModelId>,
+    pub deprecated: bool,
+}
+
+/// Builder-ish spec used when registering a model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelSpec {
+    pub base_version_id: String,
+    pub project: String,
+    pub name: String,
+    pub owner: String,
+    pub description: String,
+    pub metadata: Metadata,
+    pub prev: Option<ModelId>,
+}
+
+impl ModelSpec {
+    pub fn new(project: impl Into<String>, base_version_id: impl Into<String>) -> Self {
+        ModelSpec {
+            project: project.into(),
+            base_version_id: base_version_id.into(),
+            ..Default::default()
+        }
+    }
+
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    pub fn owner(mut self, owner: impl Into<String>) -> Self {
+        self.owner = owner.into();
+        self
+    }
+
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    pub fn metadata(mut self, m: Metadata) -> Self {
+        self.metadata = m;
+        self
+    }
+
+    pub fn evolved_from(mut self, prev: ModelId) -> Self {
+        self.prev = Some(prev);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder() {
+        let prev = ModelId::from("prev-id");
+        let spec = ModelSpec::new("marketplace", "supply_cancellation")
+            .name("random_forest")
+            .owner("forecasting")
+            .description("per-city supply cancellation")
+            .evolved_from(prev.clone());
+        assert_eq!(spec.project, "marketplace");
+        assert_eq!(spec.base_version_id, "supply_cancellation");
+        assert_eq!(spec.prev, Some(prev));
+    }
+}

@@ -1,0 +1,1009 @@
+//! The Gallery registry: the system's main API surface (§3.3–§3.6, §4.1).
+//!
+//! A [`Gallery`] wraps the storage DAL and exposes the operations the
+//! paper's Listings 3–5 show: registering models, uploading trained
+//! instances (blob-first), recording metrics, constraint search, lineage
+//! traversal, deployment pointers, lifecycle stages, and deprecation.
+//! Dependency management lives in [`crate::deps`] (a second `impl Gallery`
+//! block); model health in [`crate::health`].
+
+use crate::clock::{Clock, SystemClock, TimestampMs};
+use crate::error::{GalleryError, Result};
+use crate::events::{EventBus, GalleryEvent};
+use crate::id::{DeploymentId, InstanceId, MetricId, ModelId};
+use crate::instance::{InstanceSpec, ModelInstance};
+use crate::lifecycle::Stage;
+use crate::metrics::{parse_metric_blob, MetricRecord, MetricScope, MetricSpec};
+use crate::model::{Model, ModelSpec};
+use crate::schemas::{self, tables, Deployment};
+use crate::version::{DisplayVersion, InstanceTrigger};
+use bytes::Bytes;
+use gallery_store::blob::memory::MemoryBlobStore;
+use gallery_store::{Constraint, Dal, MetadataStore, Query, Record, Value};
+use std::sync::Arc;
+
+/// The Gallery model-management system.
+pub struct Gallery {
+    dal: Arc<Dal>,
+    clock: Arc<dyn Clock>,
+    events: EventBus,
+    /// Serializes read-latest-then-insert version assignment so display
+    /// versions are unique per model under concurrent uploads (UUIDs are
+    /// the identity; display versions are the human-facing counter and
+    /// must not collide).
+    version_lock: parking_lot::Mutex<()>,
+}
+
+impl Gallery {
+    /// Open a Gallery over an existing DAL, creating any missing tables.
+    pub fn open(dal: Arc<Dal>, clock: Arc<dyn Clock>) -> Result<Self> {
+        for schema in schemas::all_schemas() {
+            if !dal.metadata().has_table(&schema.name) {
+                dal.create_table(schema)?;
+            }
+        }
+        Ok(Gallery {
+            // Strictly increasing timestamps: "latest" queries (stage,
+            // production pointer, newest instance) order by created-time.
+            clock: crate::clock::MonotonicClock::wrap(clock),
+            dal,
+            events: EventBus::new(),
+            version_lock: parking_lot::Mutex::new(()),
+        })
+    }
+
+    /// Fully in-memory Gallery with the system clock — the common test and
+    /// example entry point.
+    pub fn in_memory() -> Self {
+        let dal = Arc::new(Dal::new(
+            Arc::new(MetadataStore::in_memory()),
+            Arc::new(MemoryBlobStore::new()),
+        ));
+        Self::open(dal, Arc::new(SystemClock)).expect("fresh in-memory store cannot fail")
+    }
+
+    /// In-memory Gallery with a caller-supplied clock (deterministic tests).
+    pub fn in_memory_with_clock(clock: Arc<dyn Clock>) -> Self {
+        let dal = Arc::new(Dal::new(
+            Arc::new(MetadataStore::in_memory()),
+            Arc::new(MemoryBlobStore::new()),
+        ));
+        Self::open(dal, clock).expect("fresh in-memory store cannot fail")
+    }
+
+    pub fn dal(&self) -> &Arc<Dal> {
+        &self.dal
+    }
+
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    pub fn now_ms(&self) -> TimestampMs {
+        self.clock.now_ms()
+    }
+
+    // ------------------------------------------------------------------
+    // Models
+    // ------------------------------------------------------------------
+
+    /// Register a new model (Listing 3's `createGalleryModel`). The
+    /// optional `display_major` seeds the compact version counter used in
+    /// the paper's dependency figures; defaults to 1.
+    pub fn create_model(&self, spec: ModelSpec) -> Result<Model> {
+        self.create_model_with_major(spec, 1)
+    }
+
+    /// Register a new model with an explicit display-major (used by the
+    /// figure-reproduction experiments to match the paper's numbering).
+    pub fn create_model_with_major(&self, spec: ModelSpec, display_major: u32) -> Result<Model> {
+        if spec.base_version_id.is_empty() || spec.project.is_empty() {
+            return Err(GalleryError::Invalid(
+                "model spec requires project and base_version_id".into(),
+            ));
+        }
+        if let Some(prev) = &spec.prev {
+            // The predecessor must exist for lineage to be traversable.
+            self.get_model(prev)?;
+        }
+        let model = Model {
+            id: ModelId::generate(),
+            base_version_id: spec.base_version_id.as_str().into(),
+            project: spec.project,
+            name: if spec.name.is_empty() { "unnamed".into() } else { spec.name },
+            owner: spec.owner,
+            description: spec.description,
+            metadata: spec.metadata,
+            created_at: self.clock.now_ms(),
+            prev: spec.prev,
+            deprecated: false,
+        };
+        self.dal
+            .put(tables::MODELS, schemas::model_to_record(&model, display_major))?;
+        self.events.publish(&GalleryEvent::ModelCreated {
+            model_id: model.id.clone(),
+        });
+        Ok(model)
+    }
+
+    pub fn get_model(&self, id: &ModelId) -> Result<Model> {
+        let record = self
+            .dal
+            .get(tables::MODELS, id.as_str())?
+            .ok_or_else(|| GalleryError::NoSuchModel(id.to_string()))?;
+        schemas::model_from_record(&record)
+    }
+
+    fn model_display_major(&self, id: &ModelId) -> Result<u32> {
+        let record = self
+            .dal
+            .get(tables::MODELS, id.as_str())?
+            .ok_or_else(|| GalleryError::NoSuchModel(id.to_string()))?;
+        Ok(record
+            .get("display_major")
+            .and_then(|v| v.as_int())
+            .unwrap_or(1) as u32)
+    }
+
+    /// Search models by constraints over the `models` table columns.
+    pub fn find_models(&self, query: &Query) -> Result<Vec<Model>> {
+        let rows = self.dal.query(tables::MODELS, query)?;
+        rows.iter().map(schemas::model_from_record).collect()
+    }
+
+    /// Models that evolved *from* the given model (the derived `next`
+    /// pointers of Fig 3).
+    pub fn next_models(&self, id: &ModelId) -> Result<Vec<Model>> {
+        self.find_models(&Query::all().and(Constraint::eq("prev", id.as_str())))
+    }
+
+    /// Walk `prev` pointers back to the root of the evolution lineage.
+    pub fn model_lineage(&self, id: &ModelId) -> Result<Vec<Model>> {
+        let mut chain = vec![self.get_model(id)?];
+        let mut guard = 0;
+        while let Some(prev) = chain.last().expect("nonempty").prev.clone() {
+            chain.push(self.get_model(&prev)?);
+            guard += 1;
+            if guard > 10_000 {
+                return Err(GalleryError::Invalid("model lineage cycle".into()));
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Flag a model as deprecated (kept, skipped in search — §3.7).
+    pub fn deprecate_model(&self, id: &ModelId) -> Result<()> {
+        self.get_model(id)?;
+        self.dal
+            .set_flag(tables::MODELS, id.as_str(), "deprecated", true)?;
+        self.events.publish(&GalleryEvent::Deprecated {
+            kind: "model",
+            id: id.to_string(),
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Instances
+    // ------------------------------------------------------------------
+
+    /// Upload a trained model instance with its opaque blob (Listing 3's
+    /// `uploadModel`). Blob-first write ordering is enforced by the DAL.
+    pub fn upload_instance(
+        &self,
+        model_id: &ModelId,
+        spec: InstanceSpec,
+        blob: Bytes,
+    ) -> Result<ModelInstance> {
+        let model = self.get_model(model_id)?;
+        if model.deprecated {
+            return Err(GalleryError::Deprecated(model_id.to_string()));
+        }
+        // Scope the version lock tightly: `propagate_from` below re-enters
+        // version assignment for downstream models and must not deadlock.
+        let instance = {
+            let _version_guard = self.version_lock.lock();
+            let latest = self.latest_instance(model_id)?;
+            let display_version = match &latest {
+                Some(prev) => prev.display_version.bump_minor(),
+                None => DisplayVersion::new(self.model_display_major(model_id)?, 0),
+            };
+            let parent = spec.parent.or_else(|| latest.map(|i| i.id));
+            let instance = ModelInstance {
+                id: InstanceId::generate(),
+                model_id: model_id.clone(),
+                base_version_id: model.base_version_id.clone(),
+                display_version,
+                blob_location: None, // filled by the DAL
+                metadata: spec.metadata,
+                created_at: self.clock.now_ms(),
+                trigger: InstanceTrigger::Trained,
+                parent,
+                deprecated: false,
+            };
+            let record = schemas::instance_to_record(&instance, &model.project);
+            let stored = self.dal.put_with_blob(tables::INSTANCES, record, blob)?;
+            let mut instance = instance;
+            instance.blob_location = Some(stored.blob.location);
+            instance
+        };
+        self.events.publish(&GalleryEvent::InstanceCreated {
+            model_id: model_id.clone(),
+            instance_id: instance.id.clone(),
+            automatic: false,
+        });
+        // A real retrain ripples through the dependency graph (Fig 6).
+        self.propagate_from(model_id)?;
+        Ok(instance)
+    }
+
+    /// Internal: create an automatic (dependency bookkeeping) instance
+    /// version. No blob; production pointers untouched.
+    pub(crate) fn create_automatic_instance(
+        &self,
+        model_id: &ModelId,
+        trigger: InstanceTrigger,
+    ) -> Result<ModelInstance> {
+        debug_assert!(trigger.is_automatic());
+        let model = self.get_model(model_id)?;
+        let _version_guard = self.version_lock.lock();
+        let latest = self.latest_instance(model_id)?;
+        let (display_version, parent) = match latest {
+            Some(prev) => (prev.display_version.bump_minor(), Some(prev.id)),
+            // A model with no instances yet has nothing to version-bump,
+            // but we still materialize a 1st version so the owner sees the
+            // dependency change.
+            None => (
+                DisplayVersion::new(self.model_display_major(model_id)?, 0),
+                None,
+            ),
+        };
+        let instance = ModelInstance {
+            id: InstanceId::generate(),
+            model_id: model_id.clone(),
+            base_version_id: model.base_version_id.clone(),
+            display_version,
+            blob_location: None,
+            metadata: crate::metadata::Metadata::new(),
+            created_at: self.clock.now_ms(),
+            trigger,
+            parent,
+            deprecated: false,
+        };
+        self.dal.put(
+            tables::INSTANCES,
+            schemas::instance_to_record(&instance, &model.project),
+        )?;
+        self.events.publish(&GalleryEvent::InstanceCreated {
+            model_id: model_id.clone(),
+            instance_id: instance.id.clone(),
+            automatic: true,
+        });
+        Ok(instance)
+    }
+
+    pub fn get_instance(&self, id: &InstanceId) -> Result<ModelInstance> {
+        let record = self
+            .dal
+            .get(tables::INSTANCES, id.as_str())?
+            .ok_or_else(|| GalleryError::NoSuchInstance(id.to_string()))?;
+        schemas::instance_from_record(&record)
+    }
+
+    /// All instances of a model, oldest first.
+    pub fn instances_of_model(&self, model_id: &ModelId) -> Result<Vec<ModelInstance>> {
+        let rows = self.dal.query(
+            tables::INSTANCES,
+            &Query::all()
+                .and(Constraint::eq("model_id", model_id.as_str()))
+                .order_by("created", false),
+        )?;
+        rows.iter().map(schemas::instance_from_record).collect()
+    }
+
+    /// Fig 4's traversal: "users can ... traverse the evolution of their
+    /// model by following all instances linked to a given base version id",
+    /// sorted by time.
+    pub fn instances_of_base_version(&self, base: &str) -> Result<Vec<ModelInstance>> {
+        let rows = self.dal.query(
+            tables::INSTANCES,
+            &Query::all()
+                .and(Constraint::eq("base_version_id", base))
+                .order_by("created", false),
+        )?;
+        rows.iter().map(schemas::instance_from_record).collect()
+    }
+
+    /// Latest (most recently created) non-deprecated instance of a model.
+    pub fn latest_instance(&self, model_id: &ModelId) -> Result<Option<ModelInstance>> {
+        let rows = self.dal.query(
+            tables::INSTANCES,
+            &Query::all()
+                .and(Constraint::eq("model_id", model_id.as_str()))
+                .order_by("created", true)
+                .limit(1),
+        )?;
+        rows.first().map(schemas::instance_from_record).transpose()
+    }
+
+    /// Fetch the serving blob of an instance. Automatic versions carry no
+    /// blob of their own; the lineage is walked to the nearest trained
+    /// ancestor's blob (that is what "no real change of Model A" means in
+    /// Fig 6 — the served artifact is unchanged).
+    pub fn fetch_instance_blob(&self, id: &InstanceId) -> Result<Bytes> {
+        let mut current = self.get_instance(id)?;
+        let mut guard = 0;
+        loop {
+            if let Some(loc) = &current.blob_location {
+                return Ok(self.dal.fetch_blob(loc)?);
+            }
+            match &current.parent {
+                Some(parent) => current = self.get_instance(parent)?,
+                None => {
+                    return Err(GalleryError::Invalid(format!(
+                        "instance {id} has no blob anywhere in its lineage"
+                    )))
+                }
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return Err(GalleryError::Invalid("instance lineage cycle".into()));
+            }
+        }
+    }
+
+    /// Instance lineage: this instance, its parent, grandparent, ...
+    pub fn instance_lineage(&self, id: &InstanceId) -> Result<Vec<ModelInstance>> {
+        let mut chain = vec![self.get_instance(id)?];
+        let mut guard = 0;
+        while let Some(parent) = chain.last().expect("nonempty").parent.clone() {
+            chain.push(self.get_instance(&parent)?);
+            guard += 1;
+            if guard > 10_000 {
+                return Err(GalleryError::Invalid("instance lineage cycle".into()));
+            }
+        }
+        Ok(chain)
+    }
+
+    pub fn deprecate_instance(&self, id: &InstanceId) -> Result<()> {
+        self.get_instance(id)?;
+        self.dal
+            .set_flag(tables::INSTANCES, id.as_str(), "deprecated", true)?;
+        self.events.publish(&GalleryEvent::Deprecated {
+            kind: "instance",
+            id: id.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Search instances by constraints over the `instances` table columns.
+    pub fn find_instances(&self, query: &Query) -> Result<Vec<ModelInstance>> {
+        let rows = self.dal.query(tables::INSTANCES, query)?;
+        rows.iter().map(schemas::instance_from_record).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Record a metric for an instance (Listing 4).
+    pub fn insert_metric(&self, instance_id: &InstanceId, spec: MetricSpec) -> Result<MetricRecord> {
+        self.get_instance(instance_id)?;
+        if !spec.value.is_finite() {
+            return Err(GalleryError::Invalid(format!(
+                "metric {} value must be finite, got {}",
+                spec.name, spec.value
+            )));
+        }
+        let metric = MetricRecord {
+            id: MetricId::generate(),
+            instance_id: instance_id.clone(),
+            name: spec.name,
+            value: spec.value,
+            scope: spec.scope,
+            metadata: spec.metadata,
+            created_at: self.clock.now_ms(),
+        };
+        self.dal
+            .put(tables::METRICS, schemas::metric_to_record(&metric))?;
+        self.events.publish(&GalleryEvent::MetricInserted {
+            instance_id: instance_id.clone(),
+            metric_name: metric.name.clone(),
+            scope: metric.scope,
+            value: metric.value,
+        });
+        Ok(metric)
+    }
+
+    /// Record a whole `<metric>:<value>` blob at once (§3.3.3).
+    pub fn insert_metric_blob(
+        &self,
+        instance_id: &InstanceId,
+        scope: MetricScope,
+        blob: &str,
+    ) -> Result<Vec<MetricRecord>> {
+        let pairs = parse_metric_blob(blob)?;
+        pairs
+            .into_iter()
+            .map(|(name, value)| self.insert_metric(instance_id, MetricSpec::new(name, scope, value)))
+            .collect()
+    }
+
+    /// All metrics recorded for an instance, oldest first.
+    pub fn metrics_of_instance(&self, instance_id: &InstanceId) -> Result<Vec<MetricRecord>> {
+        let rows = self.dal.query(
+            tables::METRICS,
+            &Query::all()
+                .and(Constraint::eq("instance_id", instance_id.as_str()))
+                .order_by("created", false),
+        )?;
+        rows.iter().map(schemas::metric_from_record).collect()
+    }
+
+    /// Latest value of a named metric for an instance in a scope.
+    pub fn latest_metric(
+        &self,
+        instance_id: &InstanceId,
+        name: &str,
+        scope: MetricScope,
+    ) -> Result<Option<MetricRecord>> {
+        let rows = self.dal.query(
+            tables::METRICS,
+            &Query::all()
+                .and(Constraint::eq("instance_id", instance_id.as_str()))
+                .and(Constraint::eq("name", name))
+                .and(Constraint::eq("scope", scope.as_str()))
+                .order_by("created", true)
+                .limit(1),
+        )?;
+        rows.first().map(schemas::metric_from_record).transpose()
+    }
+
+    /// Latest stored value of a named metric for an instance across all
+    /// scopes (the rule engine's hot lookup).
+    pub fn latest_metric_any_scope(
+        &self,
+        instance_id: &InstanceId,
+        name: &str,
+    ) -> Result<Option<f64>> {
+        let rows = self.dal.query(
+            tables::METRICS,
+            &Query::all()
+                .and(Constraint::eq("instance_id", instance_id.as_str()))
+                .and(Constraint::eq("name", name))
+                .order_by("created", true)
+                .limit(1),
+        )?;
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("value"))
+            .and_then(Value::as_float))
+    }
+
+    /// The Listing 5 search: constraints over instance columns plus
+    /// `metricName` / `metricValue` constraints joined against the metrics
+    /// table. Instance-side fields use the instances schema names
+    /// (`project`, `model_name`, `city`, ...); metric-side constraints use
+    /// the reserved fields `metricName`, `metricValue`, `metricScope`.
+    pub fn model_query(&self, constraints: &[Constraint]) -> Result<Vec<ModelInstance>> {
+        let mut instance_constraints = Vec::new();
+        let mut metric_name: Option<String> = None;
+        let mut metric_scope: Option<String> = None;
+        let mut metric_value_constraints: Vec<Constraint> = Vec::new();
+        for c in constraints {
+            match c.field.as_str() {
+                "metricName" => {
+                    metric_name = Some(
+                        c.value
+                            .as_str()
+                            .ok_or_else(|| {
+                                GalleryError::Invalid("metricName must be a string".into())
+                            })?
+                            .to_owned(),
+                    )
+                }
+                "metricScope" => {
+                    metric_scope = Some(
+                        c.value
+                            .as_str()
+                            .ok_or_else(|| {
+                                GalleryError::Invalid("metricScope must be a string".into())
+                            })?
+                            .to_owned(),
+                    )
+                }
+                "metricValue" => metric_value_constraints.push(Constraint {
+                    field: "value".into(),
+                    op: c.op,
+                    value: c.value.clone(),
+                }),
+                // Accept the paper's camelCase aliases.
+                "projectName" => instance_constraints.push(Constraint {
+                    field: "project".into(),
+                    op: c.op,
+                    value: c.value.clone(),
+                }),
+                "modelName" => instance_constraints.push(Constraint {
+                    field: "model_name".into(),
+                    op: c.op,
+                    value: c.value.clone(),
+                }),
+                _ => instance_constraints.push(c.clone()),
+            }
+        }
+        let instances = self.find_instances(&Query::new(instance_constraints))?;
+        if metric_name.is_none() && metric_value_constraints.is_empty() && metric_scope.is_none() {
+            return Ok(instances);
+        }
+        // Join: keep instances with at least one metric row matching all
+        // metric-side constraints (latest observation per name wins).
+        let mut out = Vec::new();
+        for inst in instances {
+            let mut q = Query::all().and(Constraint::eq("instance_id", inst.id.as_str()));
+            if let Some(name) = &metric_name {
+                q = q.and(Constraint::eq("name", name.clone()));
+            }
+            if let Some(scope) = &metric_scope {
+                q = q.and(Constraint::eq("scope", scope.clone()));
+            }
+            for c in &metric_value_constraints {
+                q = q.and(c.clone());
+            }
+            let matches = self.dal.query(tables::METRICS, &q.limit(1))?;
+            if !matches.is_empty() {
+                out.push(inst);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Deployments
+    // ------------------------------------------------------------------
+
+    /// Deploy an instance of a model to an environment. Deployments are an
+    /// append-only history; the current production pointer is the latest
+    /// row for (model, environment).
+    pub fn deploy(
+        &self,
+        model_id: &ModelId,
+        instance_id: &InstanceId,
+        environment: &str,
+    ) -> Result<DeploymentId> {
+        let instance = self.get_instance(instance_id)?;
+        if &instance.model_id != model_id {
+            return Err(GalleryError::Invalid(format!(
+                "instance {instance_id} belongs to model {}, not {model_id}",
+                instance.model_id
+            )));
+        }
+        if instance.deprecated {
+            return Err(GalleryError::Deprecated(instance_id.to_string()));
+        }
+        let d = Deployment {
+            id: DeploymentId::generate(),
+            model_id: model_id.clone(),
+            instance_id: instance_id.clone(),
+            environment: environment.to_owned(),
+            created_at: self.clock.now_ms(),
+        };
+        self.dal
+            .put(tables::DEPLOYMENTS, schemas::deployment_to_record(&d))?;
+        self.events.publish(&GalleryEvent::Deployed {
+            model_id: model_id.clone(),
+            instance_id: instance_id.clone(),
+            environment: environment.to_owned(),
+        });
+        Ok(d.id)
+    }
+
+    /// Currently deployed instance for (model, environment), if any.
+    pub fn deployed_instance(
+        &self,
+        model_id: &ModelId,
+        environment: &str,
+    ) -> Result<Option<InstanceId>> {
+        let rows = self.dal.query(
+            tables::DEPLOYMENTS,
+            &Query::all()
+                .and(Constraint::eq("model_id", model_id.as_str()))
+                .and(Constraint::eq("environment", environment))
+                .order_by("created", true)
+                .limit(1),
+        )?;
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("instance_id"))
+            .and_then(Value::as_str)
+            .map(InstanceId::from))
+    }
+
+    /// Full deployment history for a model, newest first.
+    pub fn deployment_history(&self, model_id: &ModelId) -> Result<Vec<Deployment>> {
+        let rows = self.dal.query(
+            tables::DEPLOYMENTS,
+            &Query::all()
+                .and(Constraint::eq("model_id", model_id.as_str()))
+                .order_by("created", true),
+        )?;
+        rows.iter().map(schemas::deployment_from_record).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle stages
+    // ------------------------------------------------------------------
+
+    /// Current lifecycle stage of an instance. A freshly uploaded trained
+    /// instance with no explicit stage history is implicitly `Trained`;
+    /// automatic versions are implicitly `Exploration` (they have not been
+    /// trained).
+    pub fn stage_of(&self, instance_id: &InstanceId) -> Result<Stage> {
+        let instance = self.get_instance(instance_id)?;
+        let rows = self.dal.query(
+            tables::LIFECYCLE,
+            &Query::all()
+                .and(Constraint::eq("instance_id", instance_id.as_str()))
+                .order_by("created", true)
+                .limit(1),
+        )?;
+        match rows.first().and_then(|r| r.get("stage")).and_then(Value::as_str) {
+            Some(s) => Stage::parse(s),
+            None => Ok(if instance.is_trained() {
+                Stage::Trained
+            } else {
+                Stage::Exploration
+            }),
+        }
+    }
+
+    /// Transition an instance's lifecycle stage, enforcing Figure 1's
+    /// legal edges.
+    pub fn set_stage(&self, instance_id: &InstanceId, next: Stage) -> Result<Stage> {
+        let current = self.stage_of(instance_id)?;
+        let next = current.transition_to(next)?;
+        let record = Record::new()
+            .set("id", MetricId::generate().0)
+            .set("instance_id", instance_id.as_str())
+            .set("stage", next.as_str())
+            .set("created", Value::Timestamp(self.clock.now_ms()));
+        self.dal.put(tables::LIFECYCLE, record)?;
+        self.events.publish(&GalleryEvent::StageChanged {
+            instance_id: instance_id.clone(),
+            stage: next.as_str().to_owned(),
+        });
+        if next == Stage::Deprecated {
+            self.deprecate_instance(instance_id)?;
+        }
+        Ok(next)
+    }
+
+    /// Full stage history of an instance, oldest first.
+    pub fn stage_history(&self, instance_id: &InstanceId) -> Result<Vec<(Stage, TimestampMs)>> {
+        let rows = self.dal.query(
+            tables::LIFECYCLE,
+            &Query::all()
+                .and(Constraint::eq("instance_id", instance_id.as_str()))
+                .order_by("created", false),
+        )?;
+        rows.iter()
+            .map(|r| {
+                let stage = Stage::parse(
+                    r.get("stage")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| GalleryError::Invalid("bad lifecycle row".into()))?,
+                )?;
+                let ts = r
+                    .get("created")
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| GalleryError::Invalid("bad lifecycle row".into()))?;
+                Ok((stage, ts))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::metadata::{fields, Metadata};
+
+    fn gallery() -> Gallery {
+        Gallery::in_memory_with_clock(Arc::new(ManualClock::new(1_000)))
+    }
+
+    fn spec(base: &str) -> ModelSpec {
+        ModelSpec::new("example-project", base)
+            .name("random_forest")
+            .owner("forecasting")
+    }
+
+    #[test]
+    fn create_and_get_model() {
+        let g = gallery();
+        let m = g.create_model(spec("supply_rejection")).unwrap();
+        let back = g.get_model(&m.id).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn create_model_requires_project_and_base() {
+        let g = gallery();
+        assert!(g.create_model(ModelSpec::default()).is_err());
+    }
+
+    #[test]
+    fn upload_instance_and_fetch_blob() {
+        let g = gallery();
+        let m = g.create_model(spec("supply_rejection")).unwrap();
+        let inst = g
+            .upload_instance(
+                &m.id,
+                InstanceSpec::new().metadata(Metadata::new().with(fields::CITY, "New York City")),
+                Bytes::from_static(b"serialized model"),
+            )
+            .unwrap();
+        assert_eq!(inst.display_version, DisplayVersion::new(1, 0));
+        let blob = g.fetch_instance_blob(&inst.id).unwrap();
+        assert_eq!(blob, Bytes::from_static(b"serialized model"));
+    }
+
+    #[test]
+    fn versions_bump_on_retrain() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let i1 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"v1"))
+            .unwrap();
+        let i2 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"v2"))
+            .unwrap();
+        assert_eq!(i1.display_version, DisplayVersion::new(1, 0));
+        assert_eq!(i2.display_version, DisplayVersion::new(1, 1));
+        assert_eq!(i2.parent, Some(i1.id));
+    }
+
+    #[test]
+    fn base_version_traversal_is_time_ordered() {
+        let g = gallery();
+        let m = g.create_model(spec("supply_cancellation")).unwrap();
+        let mut ids = Vec::new();
+        for v in 0..4 {
+            let inst = g
+                .upload_instance(
+                    &m.id,
+                    InstanceSpec::new(),
+                    Bytes::from(format!("weights-{v}")),
+                )
+                .unwrap();
+            ids.push(inst.id);
+        }
+        let instances = g.instances_of_base_version("supply_cancellation").unwrap();
+        assert_eq!(instances.len(), 4);
+        let got: Vec<_> = instances.iter().map(|i| i.id.clone()).collect();
+        assert_eq!(got, ids);
+        assert!(instances.windows(2).all(|w| w[0].created_at < w[1].created_at));
+    }
+
+    #[test]
+    fn metrics_roundtrip_and_latest() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.03))
+            .unwrap();
+        let latest = g
+            .latest_metric(&inst.id, "bias", MetricScope::Validation)
+            .unwrap()
+            .unwrap();
+        assert_eq!(latest.value, 0.03);
+        assert_eq!(g.metrics_of_instance(&inst.id).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metric_blob_insert() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        let metrics = g
+            .insert_metric_blob(&inst.id, MetricScope::Training, "mae:0.2\nmape:0.12")
+            .unwrap();
+        assert_eq!(metrics.len(), 2);
+    }
+
+    #[test]
+    fn nonfinite_metric_rejected() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        assert!(g
+            .insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Training, f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn listing5_model_query() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let good = g
+            .upload_instance(
+                &m.id,
+                InstanceSpec::new()
+                    .metadata(Metadata::new().with(fields::MODEL_NAME, "random_forest")),
+                Bytes::from_static(b"g"),
+            )
+            .unwrap();
+        let bad = g
+            .upload_instance(
+                &m.id,
+                InstanceSpec::new()
+                    .metadata(Metadata::new().with(fields::MODEL_NAME, "random_forest")),
+                Bytes::from_static(b"b"),
+            )
+            .unwrap();
+        g.insert_metric(&good.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
+            .unwrap();
+        g.insert_metric(&bad.id, MetricSpec::new("bias", MetricScope::Validation, 0.9))
+            .unwrap();
+        // Listing 5: projectName == example-project, modelName ==
+        // random_forest, metricName == bias, metricValue < 0.25.
+        let found = g
+            .model_query(&[
+                Constraint::eq("projectName", "example-project"),
+                Constraint::eq("modelName", "random_forest"),
+                Constraint::eq("metricName", "bias"),
+                Constraint::lt("metricValue", 0.25),
+            ])
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, good.id);
+    }
+
+    #[test]
+    fn deploy_and_pointer() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let i1 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"1"))
+            .unwrap();
+        let i2 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"2"))
+            .unwrap();
+        g.deploy(&m.id, &i1.id, "production").unwrap();
+        assert_eq!(
+            g.deployed_instance(&m.id, "production").unwrap(),
+            Some(i1.id.clone())
+        );
+        g.deploy(&m.id, &i2.id, "production").unwrap();
+        assert_eq!(
+            g.deployed_instance(&m.id, "production").unwrap(),
+            Some(i2.id.clone())
+        );
+        assert_eq!(g.deployment_history(&m.id).unwrap().len(), 2);
+        // other environments unaffected
+        assert_eq!(g.deployed_instance(&m.id, "staging").unwrap(), None);
+    }
+
+    #[test]
+    fn deploy_rejects_foreign_instance() {
+        let g = gallery();
+        let m1 = g.create_model(spec("a")).unwrap();
+        let m2 = g.create_model(spec("b")).unwrap();
+        let i = g
+            .upload_instance(&m2.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        assert!(g.deploy(&m1.id, &i.id, "production").is_err());
+    }
+
+    #[test]
+    fn deprecation_hides_from_search_but_keeps_record() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        g.deprecate_instance(&inst.id).unwrap();
+        // hidden from default search
+        let found = g
+            .find_instances(&Query::all().and(Constraint::eq("model_id", m.id.as_str())))
+            .unwrap();
+        assert!(found.is_empty());
+        // still fetchable directly ("any application depending on these
+        // deprecated models ... can still use them")
+        let direct = g.get_instance(&inst.id).unwrap();
+        assert!(direct.deprecated);
+        assert!(g.fetch_instance_blob(&inst.id).is_ok());
+    }
+
+    #[test]
+    fn deprecated_model_rejects_uploads() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        g.deprecate_model(&m.id).unwrap();
+        assert!(g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .is_err());
+    }
+
+    #[test]
+    fn lifecycle_stage_transitions() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        assert_eq!(g.stage_of(&inst.id).unwrap(), Stage::Trained);
+        g.set_stage(&inst.id, Stage::Evaluated).unwrap();
+        g.set_stage(&inst.id, Stage::Deployed).unwrap();
+        g.set_stage(&inst.id, Stage::Monitoring).unwrap();
+        assert_eq!(g.stage_of(&inst.id).unwrap(), Stage::Monitoring);
+        // illegal jump
+        assert!(g.set_stage(&inst.id, Stage::Exploration).is_err());
+        let history = g.stage_history(&inst.id).unwrap();
+        assert_eq!(history.len(), 3);
+        assert!(history.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn stage_deprecation_sets_flag() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        g.set_stage(&inst.id, Stage::Deprecated).unwrap();
+        assert!(g.get_instance(&inst.id).unwrap().deprecated);
+    }
+
+    #[test]
+    fn model_evolution_lineage() {
+        let g = gallery();
+        let v1 = g.create_model(spec("demand")).unwrap();
+        let v2 = g
+            .create_model(spec("demand").evolved_from(v1.id.clone()))
+            .unwrap();
+        let v3 = g
+            .create_model(spec("demand").evolved_from(v2.id.clone()))
+            .unwrap();
+        let lineage = g.model_lineage(&v3.id).unwrap();
+        assert_eq!(
+            lineage.iter().map(|m| m.id.clone()).collect::<Vec<_>>(),
+            vec![v3.id.clone(), v2.id.clone(), v1.id.clone()]
+        );
+        let next = g.next_models(&v1.id).unwrap();
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].id, v2.id);
+    }
+
+    #[test]
+    fn events_published() {
+        use parking_lot::Mutex;
+        let g = gallery();
+        let events: Arc<Mutex<Vec<String>>> = Arc::default();
+        {
+            let events = Arc::clone(&events);
+            g.events().subscribe(Arc::new(move |e| {
+                events.lock().push(format!("{e:?}"));
+            }));
+        }
+        let m = g.create_model(spec("demand")).unwrap();
+        let inst = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Training, 0.1))
+            .unwrap();
+        let log = events.lock();
+        assert!(log.iter().any(|e| e.contains("ModelCreated")));
+        assert!(log.iter().any(|e| e.contains("InstanceCreated")));
+        assert!(log.iter().any(|e| e.contains("MetricInserted")));
+    }
+}

@@ -1,0 +1,255 @@
+//! Model reproducibility (§6.2).
+//!
+//! "Users need the ability to recreate models or replay history in order
+//! to understand their production flows and debug performance." Gallery
+//! stores everything needed to re-run training (§3.3.4): training data
+//! pointer + version, framework, code pointer, features, hyperparameters,
+//! and the random seed. This module turns that metadata into an actionable
+//! [`ReproductionPlan`] and checks whether a reproduction attempt matches
+//! the original ("Note that it is not always possible to generate exactly
+//! the same model instance due to the randomness introduced in training" —
+//! so the check distinguishes *exact* from *config-faithful* matches).
+
+use crate::error::{GalleryError, Result};
+use crate::id::InstanceId;
+use crate::instance::ModelInstance;
+use crate::metadata::{fields, REPRODUCIBILITY_FIELDS};
+use crate::registry::Gallery;
+use gallery_store::blob::checksum::crc32;
+
+/// Everything needed to re-run the training that produced an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproductionPlan {
+    pub instance_id: InstanceId,
+    pub training_data: String,
+    pub training_data_version: String,
+    pub training_framework: String,
+    pub training_code: String,
+    pub features: String,
+    pub hyperparameters: String,
+    /// Seed, when recorded — without it only config-faithful (not
+    /// bit-exact) reproduction is promised.
+    pub random_seed: Option<i64>,
+    /// CRC of the original blob, for exact-match verification.
+    pub original_blob_crc: u32,
+}
+
+/// How closely a reproduction attempt matched the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReproductionMatch {
+    /// Identical bytes — the strongest outcome.
+    Exact,
+    /// Same training configuration but different bytes (expected when
+    /// training is nondeterministic or no seed was recorded).
+    ConfigFaithful,
+    /// The attempt's configuration diverges from the plan.
+    ConfigMismatch { field: &'static str },
+}
+
+impl Gallery {
+    /// Build the reproduction plan for an instance. Fails with the list of
+    /// missing fields when the instance was registered without full
+    /// reproducibility metadata — the §3.6 completeness check made
+    /// actionable.
+    pub fn reproduction_plan(&self, instance_id: &InstanceId) -> Result<ReproductionPlan> {
+        let instance = self.get_instance(instance_id)?;
+        let missing: Vec<&str> = REPRODUCIBILITY_FIELDS
+            .iter()
+            .copied()
+            .filter(|f| !instance.metadata.contains(f))
+            .collect();
+        if !missing.is_empty() {
+            return Err(GalleryError::Invalid(format!(
+                "instance {instance_id} is not reproducible; missing metadata: {missing:?}"
+            )));
+        }
+        let blob = self.fetch_instance_blob(instance_id)?;
+        let get = |key: &str| -> String {
+            instance
+                .metadata
+                .get(key)
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        };
+        Ok(ReproductionPlan {
+            instance_id: instance_id.clone(),
+            training_data: get(fields::TRAINING_DATA),
+            training_data_version: get(fields::TRAINING_DATA_VERSION),
+            training_framework: get(fields::TRAINING_FRAMEWORK),
+            training_code: get(fields::TRAINING_CODE),
+            features: get(fields::FEATURES),
+            hyperparameters: get(fields::HYPERPARAMETERS),
+            random_seed: instance
+                .metadata
+                .get_num(fields::RANDOM_SEED)
+                .map(|x| x as i64),
+            original_blob_crc: crc32(&blob),
+        })
+    }
+
+    /// Verify a reproduction attempt (a freshly trained instance) against
+    /// the plan of the original.
+    pub fn verify_reproduction(
+        &self,
+        plan: &ReproductionPlan,
+        attempt: &ModelInstance,
+    ) -> Result<ReproductionMatch> {
+        let meta = &attempt.metadata;
+        let check = |key: &str, expected: &str| -> bool {
+            meta.get(key).map(|v| v.to_string()).as_deref() == Some(expected)
+        };
+        if !check(fields::TRAINING_DATA, &plan.training_data) {
+            return Ok(ReproductionMatch::ConfigMismatch {
+                field: fields::TRAINING_DATA,
+            });
+        }
+        if !check(fields::TRAINING_DATA_VERSION, &plan.training_data_version) {
+            return Ok(ReproductionMatch::ConfigMismatch {
+                field: fields::TRAINING_DATA_VERSION,
+            });
+        }
+        if !check(fields::TRAINING_FRAMEWORK, &plan.training_framework) {
+            return Ok(ReproductionMatch::ConfigMismatch {
+                field: fields::TRAINING_FRAMEWORK,
+            });
+        }
+        if !check(fields::FEATURES, &plan.features) {
+            return Ok(ReproductionMatch::ConfigMismatch {
+                field: fields::FEATURES,
+            });
+        }
+        if !check(fields::HYPERPARAMETERS, &plan.hyperparameters) {
+            return Ok(ReproductionMatch::ConfigMismatch {
+                field: fields::HYPERPARAMETERS,
+            });
+        }
+        let attempt_blob = self.fetch_instance_blob(&attempt.id)?;
+        if crc32(&attempt_blob) == plan.original_blob_crc {
+            Ok(ReproductionMatch::Exact)
+        } else {
+            Ok(ReproductionMatch::ConfigFaithful)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use crate::metadata::Metadata;
+    use crate::model::ModelSpec;
+    use bytes::Bytes;
+
+    fn full_metadata() -> Metadata {
+        Metadata::new()
+            .with(fields::TRAINING_DATA, "citygen://sf/7")
+            .with(fields::TRAINING_DATA_VERSION, "n=1344")
+            .with(fields::TRAINING_FRAMEWORK, "gallery-forecast/0.1")
+            .with(fields::TRAINING_CODE, "crates/gallery-forecast")
+            .with(fields::FEATURES, "lags,daily_fourier")
+            .with(fields::HYPERPARAMETERS, "lambda=1.0")
+            .with(fields::RANDOM_SEED, 7i64)
+    }
+
+    #[test]
+    fn plan_requires_full_metadata() {
+        let g = Gallery::in_memory();
+        let model = g.create_model(ModelSpec::new("p", "r").name("m")).unwrap();
+        let bare = g
+            .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        let err = g.reproduction_plan(&bare.id).unwrap_err();
+        assert!(err.to_string().contains("missing metadata"));
+
+        let full = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"weights"),
+            )
+            .unwrap();
+        let plan = g.reproduction_plan(&full.id).unwrap();
+        assert_eq!(plan.training_data, "citygen://sf/7");
+        assert_eq!(plan.random_seed, Some(7));
+    }
+
+    #[test]
+    fn exact_reproduction_detected() {
+        let g = Gallery::in_memory();
+        let model = g.create_model(ModelSpec::new("p", "r").name("m")).unwrap();
+        let original = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"identical bytes"),
+            )
+            .unwrap();
+        let plan = g.reproduction_plan(&original.id).unwrap();
+        // Re-run with the same seed: identical bytes.
+        let attempt = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"identical bytes"),
+            )
+            .unwrap();
+        assert_eq!(
+            g.verify_reproduction(&plan, &attempt).unwrap(),
+            ReproductionMatch::Exact
+        );
+    }
+
+    #[test]
+    fn nondeterministic_training_is_config_faithful() {
+        let g = Gallery::in_memory();
+        let model = g.create_model(ModelSpec::new("p", "r").name("m")).unwrap();
+        let original = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"run one"),
+            )
+            .unwrap();
+        let plan = g.reproduction_plan(&original.id).unwrap();
+        let attempt = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"run two: different randomness"),
+            )
+            .unwrap();
+        assert_eq!(
+            g.verify_reproduction(&plan, &attempt).unwrap(),
+            ReproductionMatch::ConfigFaithful
+        );
+    }
+
+    #[test]
+    fn config_drift_flagged_with_field() {
+        let g = Gallery::in_memory();
+        let model = g.create_model(ModelSpec::new("p", "r").name("m")).unwrap();
+        let original = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(full_metadata()),
+                Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        let plan = g.reproduction_plan(&original.id).unwrap();
+        let mut drifted = full_metadata();
+        drifted.insert(fields::HYPERPARAMETERS, "lambda=5.0");
+        let attempt = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(drifted),
+                Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        assert_eq!(
+            g.verify_reproduction(&plan, &attempt).unwrap(),
+            ReproductionMatch::ConfigMismatch {
+                field: fields::HYPERPARAMETERS
+            }
+        );
+    }
+}

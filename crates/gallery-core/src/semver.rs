@@ -1,0 +1,189 @@
+//! Legacy semantic versioning (§3.4.1).
+//!
+//! Before Gallery, instances were versioned `<major>.<minor>.<patch>`:
+//! major = architecture change, minor = feature/hyperparameter change,
+//! patch = retrain. The paper describes why this collapses at fleet scale
+//! (per-city versions diverge and the schema "loses meaning"); we keep a
+//! faithful implementation as the baseline arm of the versioning ablation
+//! bench.
+
+use crate::error::{GalleryError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `<major>.<minor>.<patch>` version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SemVer {
+    pub major: u32,
+    pub minor: u32,
+    pub patch: u32,
+}
+
+impl SemVer {
+    pub const fn new(major: u32, minor: u32, patch: u32) -> Self {
+        SemVer {
+            major,
+            minor,
+            patch,
+        }
+    }
+
+    /// Parse `"1.3.10"`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 3 {
+            return Err(GalleryError::Invalid(format!("bad semver: {s}")));
+        }
+        let nums: Vec<u32> = parts
+            .iter()
+            .map(|p| {
+                p.parse::<u32>()
+                    .map_err(|_| GalleryError::Invalid(format!("bad semver component in {s}")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(SemVer::new(nums[0], nums[1], nums[2]))
+    }
+
+    /// Rule 1: "update major versions when model architectures change".
+    pub fn bump_major(self) -> Self {
+        SemVer::new(self.major + 1, 0, 0)
+    }
+
+    /// Rule 2: "update minor versions when features or hyper-parameters
+    /// change".
+    pub fn bump_minor(self) -> Self {
+        SemVer::new(self.major, self.minor + 1, 0)
+    }
+
+    /// Rule 3: "update patch versions when the model instance is retrained".
+    pub fn bump_patch(self) -> Self {
+        SemVer::new(self.major, self.minor, self.patch + 1)
+    }
+}
+
+impl fmt::Display for SemVer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// The kind of change being versioned, mapping to the paper's three rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    ArchitectureChange,
+    FeatureOrHyperparamChange,
+    Retrain,
+}
+
+impl SemVer {
+    pub fn bump(self, kind: ChangeKind) -> Self {
+        match kind {
+            ChangeKind::ArchitectureChange => self.bump_major(),
+            ChangeKind::FeatureOrHyperparamChange => self.bump_minor(),
+            ChangeKind::Retrain => self.bump_patch(),
+        }
+    }
+}
+
+/// Baseline fleet bookkeeping: one semver lineage *per city* (the paper's
+/// failure mode — "cities are no longer aligned against the same
+/// versions"). Used by the versioning ablation bench and tests to quantify
+/// divergence.
+#[derive(Debug, Default, Clone)]
+pub struct SemVerFleet {
+    versions: std::collections::BTreeMap<String, SemVer>,
+}
+
+impl SemVerFleet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a city at 1.0.0.
+    pub fn add_city(&mut self, city: impl Into<String>) {
+        self.versions.insert(city.into(), SemVer::new(1, 0, 0));
+    }
+
+    /// Apply a change to one city's lineage; returns the new version.
+    pub fn apply(&mut self, city: &str, kind: ChangeKind) -> Result<SemVer> {
+        let v = self
+            .versions
+            .get_mut(city)
+            .ok_or_else(|| GalleryError::Invalid(format!("unknown city {city}")))?;
+        *v = v.bump(kind);
+        Ok(*v)
+    }
+
+    pub fn version_of(&self, city: &str) -> Option<SemVer> {
+        self.versions.get(city).copied()
+    }
+
+    /// Number of *distinct* versions across the fleet — the paper's
+    /// misalignment signal. 1 means aligned; approaches the city count as
+    /// per-city retraining diverges.
+    pub fn distinct_versions(&self) -> usize {
+        let set: std::collections::BTreeSet<SemVer> = self.versions.values().copied().collect();
+        set.len()
+    }
+
+    pub fn city_count(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let v = SemVer::parse("1.3.10").unwrap();
+        assert_eq!(v, SemVer::new(1, 3, 10));
+        assert_eq!(v.to_string(), "1.3.10");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SemVer::parse("1.3").is_err());
+        assert!(SemVer::parse("1.3.x").is_err());
+        assert!(SemVer::parse("").is_err());
+        assert!(SemVer::parse("1.2.3.4").is_err());
+    }
+
+    #[test]
+    fn bump_rules() {
+        let v = SemVer::new(1, 3, 10);
+        assert_eq!(v.bump_major(), SemVer::new(2, 0, 0));
+        assert_eq!(v.bump_minor(), SemVer::new(1, 4, 0));
+        assert_eq!(v.bump_patch(), SemVer::new(1, 3, 11));
+        assert_eq!(v.bump(ChangeKind::Retrain), v.bump_patch());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SemVer::new(2, 0, 0) > SemVer::new(1, 9, 9));
+        assert!(SemVer::new(1, 2, 0) > SemVer::new(1, 1, 9));
+    }
+
+    #[test]
+    fn fleet_divergence() {
+        let mut fleet = SemVerFleet::new();
+        for c in ["sf", "nyc", "la", "chicago"] {
+            fleet.add_city(c);
+        }
+        assert_eq!(fleet.distinct_versions(), 1);
+        // Retrain only the cities that need it — versions diverge.
+        fleet.apply("sf", ChangeKind::Retrain).unwrap();
+        fleet.apply("sf", ChangeKind::Retrain).unwrap();
+        fleet.apply("nyc", ChangeKind::Retrain).unwrap();
+        assert_eq!(fleet.distinct_versions(), 3);
+        assert_eq!(fleet.version_of("sf"), Some(SemVer::new(1, 0, 2)));
+        assert_eq!(fleet.version_of("la"), Some(SemVer::new(1, 0, 0)));
+    }
+
+    #[test]
+    fn fleet_unknown_city() {
+        let mut fleet = SemVerFleet::new();
+        assert!(fleet.apply("nowhere", ChangeKind::Retrain).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Health-module integration: drift detectors consuming real stored
+//! Gallery metrics, and health scores differentiating good from bad
+//! instances across a fleet.
+
+use bytes::Bytes;
+use gallery_core::health::drift::{Cusum, WindowMeanShift};
+use gallery_core::metadata::{Metadata, REPRODUCIBILITY_FIELDS};
+use gallery_core::{Gallery, InstanceSpec, MetricScope, MetricSpec, ModelSpec};
+
+fn reproducible_metadata() -> Metadata {
+    let mut m = Metadata::new();
+    for f in REPRODUCIBILITY_FIELDS {
+        m.insert(*f, "present");
+    }
+    m
+}
+
+/// Feed stored production metrics (as a monitoring job would read them)
+/// into detectors and confirm end-to-end drift visibility.
+#[test]
+fn detectors_over_stored_metrics() {
+    let g = Gallery::in_memory();
+    let model = g.create_model(ModelSpec::new("p", "drifty").name("m")).unwrap();
+    let inst = g
+        .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+        .unwrap();
+    // 30 stable days then 15 degraded days, written to Gallery.
+    for day in 0..45 {
+        let mape = if day < 30 { 0.10 } else { 0.22 } + 0.001 * (day % 3) as f64;
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, mape))
+            .unwrap();
+    }
+    // A monitoring job reads the stored series back, oldest first.
+    let series: Vec<f64> = g
+        .metrics_of_instance(&inst.id)
+        .unwrap()
+        .into_iter()
+        .filter(|m| m.name == "mape")
+        .map(|m| m.value)
+        .collect();
+    assert_eq!(series.len(), 45);
+
+    let mut shift = WindowMeanShift::new(10, 5.0);
+    let mut cusum = Cusum::new(0.10, 0.02, 0.3);
+    let mut shift_day = None;
+    let mut cusum_day = None;
+    for (day, &v) in series.iter().enumerate() {
+        shift.observe(v);
+        cusum.observe(v);
+        if shift_day.is_none() && shift.check().drifted {
+            shift_day = Some(day);
+        }
+        if cusum_day.is_none() && cusum.check().drifted {
+            cusum_day = Some(day);
+        }
+    }
+    let shift_day = shift_day.expect("mean shift fires");
+    let cusum_day = cusum_day.expect("cusum fires");
+    assert!((30..45).contains(&shift_day), "fires after the change: {shift_day}");
+    assert!((30..45).contains(&cusum_day), "fires after the change: {cusum_day}");
+}
+
+/// Health scores rank instances sensibly: complete+consistent > skewed >
+/// metadata-poor.
+#[test]
+fn health_scores_rank_fleet() {
+    let g = Gallery::in_memory();
+    let model = g.create_model(ModelSpec::new("p", "rank").name("m")).unwrap();
+
+    // (a) complete metadata, consistent metrics
+    let good = g
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new().metadata(reproducible_metadata()),
+            Bytes::from_static(b"a"),
+        )
+        .unwrap();
+    for (scope, v) in [
+        (MetricScope::Training, 0.09),
+        (MetricScope::Validation, 0.10),
+        (MetricScope::Production, 0.11),
+    ] {
+        g.insert_metric(&good.id, MetricSpec::new("mape", scope, v)).unwrap();
+    }
+
+    // (b) complete metadata but heavy production skew
+    let skewed = g
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new().metadata(reproducible_metadata()),
+            Bytes::from_static(b"b"),
+        )
+        .unwrap();
+    g.insert_metric(&skewed.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
+        .unwrap();
+    g.insert_metric(&skewed.id, MetricSpec::new("mape", MetricScope::Production, 0.40))
+        .unwrap();
+
+    // (c) no metadata, no metrics
+    let bare = g
+        .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"c"))
+        .unwrap();
+
+    let score = |id| g.health_report(id).unwrap().score();
+    let (sg, ss, sb) = (score(&good.id), score(&skewed.id), score(&bare.id));
+    assert!(sg > ss, "consistent ({sg}) must beat skewed ({ss})");
+    assert!(ss > sb, "skewed-but-documented ({ss}) must beat bare ({sb})");
+    assert!(g.health_report(&good.id).unwrap().is_complete());
+    assert!(!g.health_report(&bare.id).unwrap().is_complete());
+}

@@ -1,0 +1,155 @@
+//! Cross-module integration tests inside gallery-core: fleet-shaped usage
+//! of the registry with search selectivity, concurrent writers, and the
+//! deprecation sweep pattern from §3.7.
+
+use bytes::Bytes;
+use gallery_core::metadata::fields;
+use gallery_core::{
+    Gallery, InstanceSpec, ManualClock, Metadata, MetricScope, MetricSpec, ModelSpec,
+};
+use gallery_store::{Constraint, Query};
+use std::sync::Arc;
+
+fn fleet_gallery(cities: usize, classes: &[&str]) -> (Gallery, usize) {
+    let g = Gallery::in_memory_with_clock(Arc::new(ManualClock::new(1_000)));
+    let mut count = 0;
+    for city_index in 0..cities {
+        let city = format!("city_{city_index:03}");
+        for class in classes {
+            let model = g
+                .create_model(
+                    ModelSpec::new("marketplace", format!("demand/{city}/{class}")).name(*class),
+                )
+                .unwrap();
+            let inst = g
+                .upload_instance(
+                    &model.id,
+                    InstanceSpec::new().metadata(
+                        Metadata::new()
+                            .with(fields::CITY, city.clone())
+                            .with(fields::MODEL_NAME, *class),
+                    ),
+                    Bytes::from(format!("{city}/{class}")),
+                )
+                .unwrap();
+            g.insert_metric(
+                &inst.id,
+                MetricSpec::new(
+                    "mape",
+                    MetricScope::Validation,
+                    0.05 + 0.01 * (city_index % 10) as f64,
+                ),
+            )
+            .unwrap();
+            count += 1;
+        }
+    }
+    (g, count)
+}
+
+#[test]
+fn fleet_search_selectivity() {
+    let classes = ["heuristic", "ridge", "forest"];
+    let (g, total) = fleet_gallery(40, &classes);
+    // all instances
+    let all = g.find_instances(&Query::all()).unwrap();
+    assert_eq!(all.len(), total);
+    // one city -> 3 instances
+    let one_city = g
+        .find_instances(&Query::all().and(Constraint::eq("city", "city_007")))
+        .unwrap();
+    assert_eq!(one_city.len(), classes.len());
+    // one class -> 40 instances
+    let one_class = g
+        .find_instances(&Query::all().and(Constraint::eq("model_name", "ridge")))
+        .unwrap();
+    assert_eq!(one_class.len(), 40);
+    // class AND city -> exactly 1
+    let both = g
+        .find_instances(
+            &Query::all()
+                .and(Constraint::eq("model_name", "ridge"))
+                .and(Constraint::eq("city", "city_007")),
+        )
+        .unwrap();
+    assert_eq!(both.len(), 1);
+    // metric join: tight threshold selects only the low-mape cities
+    let good = g
+        .model_query(&[
+            Constraint::eq("metricName", "mape"),
+            Constraint::lt("metricValue", 0.075),
+        ])
+        .unwrap();
+    assert_eq!(good.len(), 3 * classes.len() * 4); // city_index % 10 in {0,1,2} -> 12 cities...
+    // NOTE: 40 cities, city_index % 10 < 3 -> 12 cities; 12 * 3 classes = 36
+    assert_eq!(good.len(), 36);
+}
+
+#[test]
+fn concurrent_fleet_uploads() {
+    let g = Arc::new(Gallery::in_memory());
+    let model = g
+        .create_model(ModelSpec::new("p", "concurrent").name("m"))
+        .unwrap();
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let g = Arc::clone(&g);
+        let model_id = model.id.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                g.upload_instance(
+                    &model_id,
+                    InstanceSpec::new(),
+                    Bytes::from(format!("{t}/{i}")),
+                )
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let instances = g.instances_of_model(&model.id).unwrap();
+    assert_eq!(instances.len(), 200);
+    // Every instance id unique; display versions 1.0 .. 1.199 all present.
+    let mut minors: Vec<u32> = instances.iter().map(|i| i.display_version.minor).collect();
+    minors.sort_unstable();
+    assert_eq!(minors, (0..200).collect::<Vec<u32>>());
+    // blobs all retrievable
+    for inst in instances.iter().take(10) {
+        assert!(g.fetch_instance_blob(&inst.id).is_ok());
+    }
+}
+
+/// §3.7 deprecation sweep: "when a model consistently performs worse than
+/// other models, we should deprecate it ... we can skip them during model
+/// fetching or searching."
+#[test]
+fn deprecation_sweep_hides_losers() {
+    let (g, total) = fleet_gallery(10, &["heuristic", "ridge"]);
+    // Sweep: deprecate every instance whose mape exceeds a threshold.
+    let all = g.find_instances(&Query::all()).unwrap();
+    let mut deprecated = 0;
+    for inst in &all {
+        let mape = g
+            .latest_metric(&inst.id, "mape", MetricScope::Validation)
+            .unwrap()
+            .unwrap()
+            .value;
+        if mape > 0.10 {
+            g.deprecate_instance(&inst.id).unwrap();
+            deprecated += 1;
+        }
+    }
+    assert!(deprecated > 0);
+    let live = g.find_instances(&Query::all()).unwrap();
+    assert_eq!(live.len(), total - deprecated);
+    // but deprecated ones are still directly fetchable for migration
+    let any_deprecated = all
+        .iter()
+        .find(|i| {
+            g.get_instance(&i.id).map(|x| x.deprecated).unwrap_or(false)
+        })
+        .expect("at least one deprecated");
+    assert!(g.fetch_instance_blob(&any_deprecated.id).is_ok());
+}

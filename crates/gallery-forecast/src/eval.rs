@@ -1,0 +1,222 @@
+//! Forecast evaluation: the metrics the paper's rules and case studies use
+//! (MAPE, MAE, RMSE, bias, R² — §3.3.3, §4.2) and a rolling one-step-ahead
+//! backtest harness.
+
+use crate::models::Forecaster;
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The standard regression metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    Mape,
+    Mae,
+    Rmse,
+    Bias,
+    R2,
+}
+
+impl Metric {
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Mape => "mape",
+            Metric::Mae => "mae",
+            Metric::Rmse => "rmse",
+            Metric::Bias => "bias",
+            Metric::R2 => "r2",
+        }
+    }
+}
+
+/// Evaluation result over a test window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    pub mape: f64,
+    pub mae: f64,
+    pub rmse: f64,
+    pub bias: f64,
+    pub r2: f64,
+    pub n: usize,
+}
+
+impl EvalReport {
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Mape => self.mape,
+            Metric::Mae => self.mae,
+            Metric::Rmse => self.rmse,
+            Metric::Bias => self.bias,
+            Metric::R2 => self.r2,
+        }
+    }
+
+    /// As `<metric>:<value>` pairs for Gallery's metric blob format.
+    pub fn to_pairs(&self) -> Vec<(String, f64)> {
+        vec![
+            ("mape".into(), self.mape),
+            ("mae".into(), self.mae),
+            ("rmse".into(), self.rmse),
+            ("bias".into(), self.bias),
+            ("r2".into(), self.r2),
+        ]
+    }
+}
+
+/// Compute all metrics from prediction/actual pairs. MAPE skips zero
+/// actuals (standard practice); bias is mean(pred - actual).
+pub fn evaluate(predictions: &[f64], actuals: &[f64]) -> EvalReport {
+    assert_eq!(predictions.len(), actuals.len(), "pred/actual misaligned");
+    let n = predictions.len();
+    if n == 0 {
+        return EvalReport {
+            mape: 0.0,
+            mae: 0.0,
+            rmse: 0.0,
+            bias: 0.0,
+            r2: 0.0,
+            n: 0,
+        };
+    }
+    let nf = n as f64;
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut bias_sum = 0.0;
+    let mut ape_sum = 0.0;
+    let mut ape_n = 0usize;
+    for (&p, &a) in predictions.iter().zip(actuals) {
+        let err = p - a;
+        abs_sum += err.abs();
+        sq_sum += err * err;
+        bias_sum += err;
+        if a.abs() > 1e-9 {
+            ape_sum += (err / a).abs();
+            ape_n += 1;
+        }
+    }
+    let actual_mean = actuals.iter().sum::<f64>() / nf;
+    let ss_tot: f64 = actuals.iter().map(|a| (a - actual_mean).powi(2)).sum();
+    let r2 = if ss_tot > 1e-12 {
+        1.0 - sq_sum / ss_tot
+    } else {
+        0.0
+    };
+    EvalReport {
+        mape: if ape_n == 0 { 0.0 } else { ape_sum / ape_n as f64 },
+        mae: abs_sum / nf,
+        rmse: (sq_sum / nf).sqrt(),
+        bias: bias_sum / nf,
+        r2,
+        n,
+    }
+}
+
+/// Rolling one-step-ahead backtest: for each test index `t >= test_start`,
+/// forecast `series[t]` from `series[..t]` (the model was fit on data
+/// before `test_start`; history grows as actuals arrive, matching a
+/// production serving loop).
+pub fn backtest(model: &dyn Forecaster, series: &TimeSeries, test_start: usize) -> EvalReport {
+    let mut predictions = Vec::with_capacity(series.len().saturating_sub(test_start));
+    let mut actuals = Vec::with_capacity(predictions.capacity());
+    for t in test_start..series.len() {
+        let pred = model.forecast_next(&series.values[..t], t, series.event_flags[t]);
+        predictions.push(pred);
+        actuals.push(series.values[t]);
+    }
+    evaluate(&predictions, &actuals)
+}
+
+/// Backtest restricted to indices where `mask(t)` holds (e.g. only event
+/// windows — used by the §4.2 switching analysis).
+pub fn backtest_where(
+    model: &dyn Forecaster,
+    series: &TimeSeries,
+    test_start: usize,
+    mask: impl Fn(usize) -> bool,
+) -> EvalReport {
+    let mut predictions = Vec::new();
+    let mut actuals = Vec::new();
+    for t in test_start..series.len() {
+        if !mask(t) {
+            continue;
+        }
+        let pred = model.forecast_next(&series.values[..t], t, series.event_flags[t]);
+        predictions.push(pred);
+        actuals.push(series.values[t]);
+    }
+    evaluate(&predictions, &actuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Forecaster, MeanOfLastK};
+
+    #[test]
+    fn perfect_predictions() {
+        let r = evaluate(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.bias, 0.0);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_values() {
+        // preds 10% above actuals
+        let actuals = [10.0, 20.0, 40.0];
+        let preds = [11.0, 22.0, 44.0];
+        let r = evaluate(&preds, &actuals);
+        assert!((r.mape - 0.1).abs() < 1e-12);
+        assert!((r.bias - (1.0 + 2.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((r.mae - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let r = evaluate(&[1.0, 5.0], &[0.0, 10.0]);
+        assert!((r.mape - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_sign_distinguishes_over_and_under() {
+        let over = evaluate(&[12.0], &[10.0]);
+        let under = evaluate(&[8.0], &[10.0]);
+        assert!(over.bias > 0.0);
+        assert!(under.bias < 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = evaluate(&[], &[]);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.mape, 0.0);
+    }
+
+    #[test]
+    fn backtest_runs_rolling() {
+        let series = TimeSeries::new(0, 1, vec![5.0; 100]);
+        let mut model = MeanOfLastK::new(5);
+        model.fit(&series).unwrap();
+        let r = backtest(&model, &series, 50);
+        assert_eq!(r.n, 50);
+        assert!(r.mae < 1e-12, "constant series is perfectly predictable");
+    }
+
+    #[test]
+    fn backtest_where_filters() {
+        let series = TimeSeries::new(0, 1, vec![5.0; 100]);
+        let model = MeanOfLastK::new(5);
+        let r = backtest_where(&model, &series, 50, |t| t % 2 == 0);
+        assert_eq!(r.n, 25);
+    }
+
+    #[test]
+    fn report_pairs_roundtrip_via_metric_blob() {
+        let r = evaluate(&[1.0, 2.0], &[1.5, 2.5]);
+        let pairs = r.to_pairs();
+        let blob = gallery_core::metrics::format_metric_blob(&pairs);
+        let parsed = gallery_core::metrics::parse_metric_blob(&blob).unwrap();
+        assert_eq!(parsed.len(), 5);
+    }
+}

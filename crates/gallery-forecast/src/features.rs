@@ -1,0 +1,187 @@
+//! Feature extraction for the regression-based forecasters.
+//!
+//! One-step-ahead supervised framing: the target at index `t` is
+//! `series[t]`; features are recent lags, Fourier terms encoding
+//! time-of-day and day-of-week, and (optionally) the event flag — the
+//! "holiday/event features" that §4.2's event-aware models include and the
+//! static models do not.
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Which features a model consumes. Stored inside the serialized model
+/// blob so serving rebuilds exactly the training-time features (§3.3.2
+/// reproducibility).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Lag offsets in samples, e.g. `[1, 2, 3, 96]`.
+    pub lags: Vec<usize>,
+    /// Samples per day (for time-of-day Fourier terms); 0 disables.
+    pub samples_per_day: usize,
+    /// Include day-of-week Fourier terms (needs `samples_per_day > 0`).
+    pub weekly: bool,
+    /// Include the event/holiday flag as a 0/1 feature.
+    pub event_flag: bool,
+}
+
+impl FeatureSpec {
+    /// Sensible default for 15-minute demand data: short lags + the same
+    /// time yesterday, daily and weekly seasonality encodings.
+    pub fn standard(samples_per_day: usize) -> Self {
+        FeatureSpec {
+            lags: vec![1, 2, 3, samples_per_day.max(4)],
+            samples_per_day,
+            weekly: true,
+            event_flag: false,
+        }
+    }
+
+    /// The event-aware variant (§4.2 "models that include holiday/event
+    /// features").
+    pub fn with_event_flag(mut self) -> Self {
+        self.event_flag = true;
+        self
+    }
+
+    /// Smallest index that has all lags available.
+    pub fn min_index(&self) -> usize {
+        self.lags.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total feature vector width (including the bias term).
+    pub fn width(&self) -> usize {
+        let mut w = 1 + self.lags.len(); // bias + lags
+        if self.samples_per_day > 0 {
+            w += 2; // daily sin/cos
+            if self.weekly {
+                w += 2; // weekly sin/cos
+            }
+        }
+        if self.event_flag {
+            w += 1;
+        }
+        w
+    }
+
+    /// Build the feature row for predicting index `t` from `history[..t]`.
+    /// `event_now` is the event flag of the point being predicted (known
+    /// in advance for scheduled holidays/events).
+    pub fn row(&self, history: &[f64], t: usize, event_now: bool) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.width());
+        row.push(1.0); // bias
+        for &lag in &self.lags {
+            let v = if t >= lag { history[t - lag] } else { history[0] };
+            row.push(v);
+        }
+        if self.samples_per_day > 0 {
+            let day_pos = TAU * (t % self.samples_per_day) as f64 / self.samples_per_day as f64;
+            row.push(day_pos.sin());
+            row.push(day_pos.cos());
+            if self.weekly {
+                let per_week = self.samples_per_day * 7;
+                let week_pos = TAU * (t % per_week) as f64 / per_week as f64;
+                row.push(week_pos.sin());
+                row.push(week_pos.cos());
+            }
+        }
+        if self.event_flag {
+            row.push(if event_now { 1.0 } else { 0.0 });
+        }
+        row
+    }
+
+    /// Build the full supervised design matrix and target vector over a
+    /// training series.
+    pub fn design_matrix(&self, series: &TimeSeries) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let start = self.min_index();
+        let mut xs = Vec::with_capacity(series.len().saturating_sub(start));
+        let mut ys = Vec::with_capacity(series.len().saturating_sub(start));
+        for t in start..series.len() {
+            xs.push(self.row(&series.values, t, series.event_flags[t]));
+            ys.push(series.values[t]);
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> TimeSeries {
+        TimeSeries::new(0, 60_000, (0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn width_matches_row_length() {
+        for spec in [
+            FeatureSpec::standard(96),
+            FeatureSpec::standard(96).with_event_flag(),
+            FeatureSpec {
+                lags: vec![1],
+                samples_per_day: 0,
+                weekly: false,
+                event_flag: false,
+            },
+        ] {
+            let s = series(200);
+            let row = spec.row(&s.values, 100, true);
+            assert_eq!(row.len(), spec.width(), "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn lags_pick_correct_values() {
+        let spec = FeatureSpec {
+            lags: vec![1, 5],
+            samples_per_day: 0,
+            weekly: false,
+            event_flag: false,
+        };
+        let s = series(50);
+        let row = spec.row(&s.values, 20, false);
+        assert_eq!(row, vec![1.0, 19.0, 15.0]);
+    }
+
+    #[test]
+    fn event_flag_appended() {
+        let spec = FeatureSpec {
+            lags: vec![1],
+            samples_per_day: 0,
+            weekly: false,
+            event_flag: true,
+        };
+        let s = series(10);
+        assert_eq!(spec.row(&s.values, 5, true).last(), Some(&1.0));
+        assert_eq!(spec.row(&s.values, 5, false).last(), Some(&0.0));
+    }
+
+    #[test]
+    fn design_matrix_shapes() {
+        let spec = FeatureSpec::standard(96);
+        let s = series(300);
+        let (xs, ys) = spec.design_matrix(&s);
+        assert_eq!(xs.len(), 300 - spec.min_index());
+        assert_eq!(xs.len(), ys.len());
+        assert!(xs.iter().all(|r| r.len() == spec.width()));
+        // target aligns: first target is series[min_index]
+        assert_eq!(ys[0], spec.min_index() as f64);
+    }
+
+    #[test]
+    fn daily_fourier_periodicity() {
+        let spec = FeatureSpec {
+            lags: vec![1],
+            samples_per_day: 96,
+            weekly: false,
+            event_flag: false,
+        };
+        let s = series(300);
+        let a = spec.row(&s.values, 100, false);
+        let b = spec.row(&s.values, 196, false); // one day later
+        // Fourier terms identical one period apart (indices 2 and 3).
+        assert!((a[2] - b[2]).abs() < 1e-12);
+        assert!((a[3] - b[3]).abs() < 1e-12);
+    }
+}

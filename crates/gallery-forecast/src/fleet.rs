@@ -1,0 +1,184 @@
+//! Fleet training: the §4.2 workflow — per city, train each model class,
+//! serialize to an opaque blob, upload to Gallery with searchable
+//! metadata, and record backtest metrics. This is the bridge the case
+//! studies and examples drive.
+
+use crate::citygen::CityConfig;
+use crate::eval::backtest;
+use crate::models::{AnyForecaster, Forecaster, ModelError};
+use crate::series::TimeSeries;
+use bytes::Bytes;
+use gallery_core::metadata::{fields, Metadata};
+use gallery_core::{
+    Gallery, GalleryError, InstanceId, InstanceSpec, MetricScope, Model, ModelId, ModelSpec,
+};
+
+/// Error from fleet operations.
+#[derive(Debug)]
+pub enum FleetError {
+    Gallery(GalleryError),
+    Model(ModelError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Gallery(e) => write!(f, "{e}"),
+            FleetError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<GalleryError> for FleetError {
+    fn from(e: GalleryError) -> Self {
+        FleetError::Gallery(e)
+    }
+}
+
+impl From<ModelError> for FleetError {
+    fn from(e: ModelError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+/// One trained-and-registered instance.
+#[derive(Debug, Clone)]
+pub struct TrainedEntry {
+    pub city: String,
+    pub model_class: &'static str,
+    pub model_id: ModelId,
+    pub instance_id: InstanceId,
+    pub validation_mape: f64,
+}
+
+/// Registers one Gallery model per (city, model-class) pair and uploads
+/// trained instances with reproducibility metadata.
+pub struct FleetTrainer<'g> {
+    pub gallery: &'g Gallery,
+    pub project: String,
+    pub model_domain: String,
+}
+
+impl<'g> FleetTrainer<'g> {
+    pub fn new(gallery: &'g Gallery, project: impl Into<String>) -> Self {
+        FleetTrainer {
+            gallery,
+            project: project.into(),
+            model_domain: "UberX".into(),
+        }
+    }
+
+    /// Register the Gallery model for a (city, model-class) pair. Base
+    /// version id encodes the approach, e.g. `demand_forecast/city_003/ridge`.
+    pub fn register_model(&self, city: &str, model_class: &str) -> Result<Model, FleetError> {
+        let base = format!("demand_forecast/{city}/{model_class}");
+        Ok(self.gallery.create_model(
+            ModelSpec::new(self.project.clone(), base)
+                .name(model_class)
+                .owner("marketplace-forecasting")
+                .description(format!("per-city demand forecaster ({model_class}) for {city}"))
+                .metadata(
+                    Metadata::new()
+                        .with(fields::CITY, city)
+                        .with(fields::MODEL_DOMAIN, self.model_domain.clone()),
+                ),
+        )?)
+    }
+
+    /// Train one model on `train`, upload the blob, backtest on
+    /// `full_series[test_start..]`, and record validation metrics.
+    pub fn train_and_upload(
+        &self,
+        model: &Model,
+        mut forecaster: AnyForecaster,
+        city: &CityConfig,
+        train: &TimeSeries,
+        full_series: &TimeSeries,
+        test_start: usize,
+    ) -> Result<TrainedEntry, FleetError> {
+        forecaster.fit(train)?;
+        let report = backtest(&forecaster, full_series, test_start);
+        let metadata = Metadata::new()
+            .with(fields::CITY, city.name.clone())
+            .with(fields::MODEL_NAME, forecaster.name())
+            .with(fields::MODEL_TYPE, "gallery-forecast")
+            .with(fields::MODEL_DOMAIN, self.model_domain.clone())
+            .with(fields::TRAINING_FRAMEWORK, "gallery-forecast/0.1")
+            .with(fields::TRAINING_DATA, format!("citygen://{}/{}", city.name, city.seed))
+            .with(fields::TRAINING_DATA_VERSION, format!("n={}", train.len()))
+            .with(fields::TRAINING_CODE, "crates/gallery-forecast/src/fleet.rs")
+            .with(fields::FEATURES, "lags,daily_fourier,weekly_fourier")
+            .with(fields::HYPERPARAMETERS, format!("{:?}", forecaster.name()))
+            .with(fields::RANDOM_SEED, city.seed as i64);
+        let instance = self.gallery.upload_instance(
+            &model.id,
+            InstanceSpec::new().metadata(metadata),
+            Bytes::from(forecaster.to_blob()),
+        )?;
+        for (name, value) in report.to_pairs() {
+            self.gallery.insert_metric(
+                &instance.id,
+                gallery_core::MetricSpec::new(name, MetricScope::Validation, value),
+            )?;
+        }
+        Ok(TrainedEntry {
+            city: city.name.clone(),
+            model_class: forecaster.name(),
+            model_id: model.id.clone(),
+            instance_id: instance.id,
+            validation_mape: report.mape,
+        })
+    }
+
+    /// Fetch a stored instance's blob and rebuild the forecaster — the
+    /// simulation platform's "instantiate such models as they're needed"
+    /// path (§4.3).
+    pub fn load_forecaster(&self, instance_id: &InstanceId) -> Result<AnyForecaster, FleetError> {
+        let blob = self.gallery.fetch_instance_blob(instance_id)?;
+        Ok(AnyForecaster::from_blob(&blob)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::MeanOfLastK;
+
+    #[test]
+    fn train_upload_reload_predicts_identically() {
+        let gallery = Gallery::in_memory();
+        let trainer = FleetTrainer::new(&gallery, "marketplace");
+        let cfg = CityConfig::new("sf", 5);
+        let day = cfg.samples_per_day();
+        let series = cfg.generate(day * 10, 0);
+        let (train, _) = series.split_at(day * 7);
+        let model = trainer.register_model("sf", "mean_of_last_k").unwrap();
+        let entry = trainer
+            .train_and_upload(
+                &model,
+                AnyForecaster::MeanOfLastK(MeanOfLastK::new(5)),
+                &cfg,
+                &train,
+                &series,
+                day * 7,
+            )
+            .unwrap();
+        // metrics recorded
+        let mape = gallery
+            .latest_metric(&entry.instance_id, "mape", MetricScope::Validation)
+            .unwrap()
+            .unwrap();
+        assert!((mape.value - entry.validation_mape).abs() < 1e-12);
+        // reload from blob and compare predictions
+        let restored = trainer.load_forecaster(&entry.instance_id).unwrap();
+        let p = restored.forecast_next(&series.values, series.len(), false);
+        let mut fresh = AnyForecaster::MeanOfLastK(MeanOfLastK::new(5));
+        fresh.fit(&train).unwrap();
+        assert_eq!(p, fresh.forecast_next(&series.values, series.len(), false));
+        // reproducibility metadata is complete
+        let health = gallery.health_report(&entry.instance_id).unwrap();
+        assert!(health.missing_fields.is_empty(), "{:?}", health.missing_fields);
+    }
+}

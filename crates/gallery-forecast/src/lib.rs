@@ -1,0 +1,39 @@
+//! # gallery-forecast
+//!
+//! The Marketplace-Forecasting substrate of the Gallery reproduction
+//! (§4.2 of the paper). Uber's production demand traces and SparkML/TF
+//! model stack are proprietary; this crate provides the closest synthetic
+//! equivalents, built from scratch:
+//!
+//! - [`citygen`] — per-city demand generator with daily/weekly
+//!   seasonality, market growth, noise, and injectable event windows
+//!   (holidays / transit outages);
+//! - [`models`] — a model zoo spanning the paper's model-class evolution:
+//!   the mean-of-last-5 heuristic, EWMA, seasonal-naive, ridge regression
+//!   (normal equations), CART regression trees, and bagged random forests,
+//!   each with an event-aware variant where features allow;
+//! - [`eval`] — MAPE/MAE/RMSE/bias/R² metrics and rolling one-step-ahead
+//!   backtesting;
+//! - [`fleet`] — the Gallery integration: train per-city instances,
+//!   serialize to opaque blobs, upload with reproducibility metadata, and
+//!   record validation metrics.
+
+pub mod citygen;
+pub mod eval;
+pub mod features;
+pub mod fleet;
+pub mod linalg;
+pub mod models;
+pub mod series;
+pub mod serving;
+
+pub use citygen::{city_fleet, CityConfig, EventWindow};
+pub use eval::{backtest, backtest_where, evaluate, EvalReport, Metric};
+pub use features::FeatureSpec;
+pub use fleet::{FleetError, FleetTrainer, TrainedEntry};
+pub use models::{
+    AnyForecaster, Ewma, Forecaster, MeanOfLastK, ModelError, RandomForest, RegressionTree,
+    RidgeForecaster, SeasonalNaive,
+};
+pub use series::TimeSeries;
+pub use serving::{GuardedServing, Served};

@@ -1,0 +1,169 @@
+//! Minimal dense linear algebra for the ridge-regression forecaster:
+//! normal equations assembled from a row-major design matrix, solved by
+//! Gaussian elimination with partial pivoting.
+
+/// Solve `A x = b` for square `A` (row-major), in place, with partial
+/// pivoting. Returns `None` for singular (or numerically singular) systems.
+#[allow(clippy::needless_range_loop)] // index form mirrors the textbook elimination
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/below row=col.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let upper = a[col][k];
+                a[row][k] -= factor * upper;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[allow(clippy::needless_range_loop)] // symmetric-matrix assembly is clearest indexed
+/// Assemble and solve the ridge normal equations
+/// `(Xᵀ X + λ I_reg) w = Xᵀ y`, where the bias column (index 0) is not
+/// regularized.
+pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let n = xs.len();
+    if n == 0 || n != ys.len() {
+        return None;
+    }
+    let d = xs[0].len();
+    if xs.iter().any(|r| r.len() != d) {
+        return None;
+    }
+    let mut xtx = vec![vec![0.0; d]; d];
+    let mut xty = vec![0.0; d];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..d {
+            xty[i] += row[i] * y;
+            for j in i..d {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge (skipping the bias).
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        if i > 0 {
+            xtx[i][i] += lambda;
+        }
+    }
+    solve(xtx, xty)
+}
+
+/// Dot product (used at predict time).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero pivot forces a row swap
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        assert!(solve(vec![vec![1.0, 2.0]], vec![1.0, 2.0]).is_none());
+        assert!(ridge_fit(&[vec![1.0]], &[1.0, 2.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        // y = 2 + 3a - b, exactly.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                xs.push(vec![1.0, a as f64, b as f64]);
+                ys.push(2.0 + 3.0 * a as f64 - b as f64);
+            }
+        }
+        let w = ridge_fit(&xs, &ys, 1e-8).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-4, "{w:?}");
+        assert!((w[1] - 3.0).abs() < 1e-6);
+        assert!((w[2] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![1.0, i as f64 / 10.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 5.0 * r[1]).collect();
+        let w_small = ridge_fit(&xs, &ys, 1e-9).unwrap();
+        let w_big = ridge_fit(&xs, &ys, 1e4).unwrap();
+        assert!(w_big[1].abs() < w_small[1].abs());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Exponentially weighted moving average forecaster.
+
+use super::{Forecaster, ModelError};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// EWMA with smoothing factor `alpha` in (0, 1]. The forecast for `t+1`
+/// is the exponentially weighted mean of all history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    pub alpha: f64,
+    pub fallback: f64,
+}
+
+impl Ewma {
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(1e-6, 1.0),
+            fallback: 0.0,
+        }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        if train.is_empty() {
+            return Err(ModelError::new("cannot fit on an empty series"));
+        }
+        self.fallback = train.mean();
+        Ok(())
+    }
+
+    fn forecast_next(&self, history: &[f64], _t: usize, _event_now: bool) -> f64 {
+        let mut state = None;
+        // Bound the scan: weights older than ~60/alpha steps are negligible.
+        let horizon = ((60.0 / self.alpha) as usize).min(history.len());
+        for &v in &history[history.len() - horizon..] {
+            state = Some(match state {
+                None => v,
+                Some(s) => self.alpha * v + (1.0 - self.alpha) * s,
+            });
+        }
+        state.unwrap_or(self.fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let m = Ewma::new(0.3);
+        let history = vec![5.0; 100];
+        assert!((m.forecast_next(&history, 100, false) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_values_dominate() {
+        let m = Ewma::new(0.5);
+        let mut history = vec![0.0; 50];
+        history.extend(vec![10.0; 10]);
+        assert!(m.forecast_next(&history, 60, false) > 9.0);
+    }
+
+    #[test]
+    fn alpha_clamped() {
+        assert_eq!(Ewma::new(5.0).alpha, 1.0);
+        assert!(Ewma::new(-1.0).alpha > 0.0);
+    }
+
+    #[test]
+    fn empty_history_falls_back() {
+        let mut m = Ewma::new(0.3);
+        m.fit(&TimeSeries::new(0, 1, vec![4.0])).unwrap();
+        assert_eq!(m.forecast_next(&[], 0, false), 4.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Bagged random forest regressor — the "Random Forest" model class the
+//! paper's rules reference (Listing 2), built from scratch on top of the
+//! CART trees: bootstrap sampling plus per-tree random feature subsets.
+
+use super::tree::RegressionTree;
+use super::{Forecaster, ModelError};
+use crate::features::FeatureSpec;
+use crate::series::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random forest over the shared feature spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    pub spec: FeatureSpec,
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_samples: usize,
+    pub seed: u64,
+    pub trees: Vec<RegressionTree>,
+    pub fallback: f64,
+}
+
+impl RandomForest {
+    pub fn new(
+        samples_per_day: usize,
+        n_trees: usize,
+        max_depth: usize,
+        min_samples: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_spec(
+            FeatureSpec::standard(samples_per_day),
+            n_trees,
+            max_depth,
+            min_samples,
+            seed,
+        )
+    }
+
+    pub fn with_spec(
+        spec: FeatureSpec,
+        n_trees: usize,
+        max_depth: usize,
+        min_samples: usize,
+        seed: u64,
+    ) -> Self {
+        RandomForest {
+            spec,
+            n_trees: n_trees.max(1),
+            max_depth: max_depth.max(1),
+            min_samples: min_samples.max(2),
+            seed,
+            trees: Vec::new(),
+            fallback: 0.0,
+        }
+    }
+
+    /// Event-aware variant used by the §4.2 switching experiment.
+    pub fn event_aware(
+        samples_per_day: usize,
+        n_trees: usize,
+        max_depth: usize,
+        min_samples: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_spec(
+            FeatureSpec::standard(samples_per_day).with_event_flag(),
+            n_trees,
+            max_depth,
+            min_samples,
+            seed,
+        )
+    }
+
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+impl Forecaster for RandomForest {
+    fn name(&self) -> &'static str {
+        if self.spec.event_flag {
+            "random_forest_event_aware"
+        } else {
+            "random_forest"
+        }
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        if train.len() <= self.spec.min_index() + self.min_samples * 2 {
+            return Err(ModelError::new("series too short for forest fitting"));
+        }
+        let (xs, ys) = self.spec.design_matrix(train);
+        let n = xs.len();
+        let width = self.spec.width();
+        // sqrt(d) feature subsampling, but always keep the bias column.
+        let per_tree_features = ((width as f64).sqrt().ceil() as usize).clamp(2, width);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let mut bxs = Vec::with_capacity(n);
+            let mut bys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bxs.push(xs[i].clone());
+                bys.push(ys[i]);
+            }
+            // Random feature subset (excluding bias index 0 from removal).
+            let mut features: Vec<usize> = (1..width).collect();
+            for i in (1..features.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                features.swap(i, j);
+            }
+            features.truncate(per_tree_features.saturating_sub(1).max(1));
+            features.push(0);
+            let mut tree =
+                RegressionTree::with_spec(self.spec.clone(), self.max_depth, self.min_samples);
+            tree.fit_matrix_with_features(&bxs, &bys, &features)?;
+            self.trees.push(tree);
+        }
+        self.fallback = train.mean();
+        Ok(())
+    }
+
+    fn forecast_next(&self, history: &[f64], t: usize, event_now: bool) -> f64 {
+        if self.trees.is_empty() || history.is_empty() {
+            return self.fallback;
+        }
+        let row = self.spec.row(history, t.max(history.len()), event_now);
+        let sum: f64 = self.trees.iter().map(|tree| tree.predict_row(&row)).sum();
+        (sum / self.trees.len() as f64).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::CityConfig;
+    use crate::eval::{backtest, Metric};
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let cfg = CityConfig::new("sf", 31);
+        let series = cfg.generate(cfg.samples_per_day() * 10, 0);
+        let mut a = RandomForest::new(cfg.samples_per_day(), 5, 5, 10, 7);
+        let mut b = RandomForest::new(cfg.samples_per_day(), 5, 5, 10, 7);
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(a, b);
+        let mut c = RandomForest::new(cfg.samples_per_day(), 5, 5, 10, 8);
+        c.fit(&series).unwrap();
+        assert_ne!(a.trees, c.trees);
+    }
+
+    #[test]
+    fn forest_beats_heuristic_on_seasonal_data() {
+        use crate::models::MeanOfLastK;
+        let cfg = CityConfig::new("sf", 32);
+        let day = cfg.samples_per_day();
+        let series = cfg.generate(day * 21, 0);
+        let test_start = day * 14;
+        let (train, _) = series.split_at(test_start);
+
+        let mut forest = RandomForest::new(day, 10, 7, 8, 42);
+        forest.fit(&train).unwrap();
+        let mut heuristic = MeanOfLastK::new(5);
+        heuristic.fit(&train).unwrap();
+
+        let forest_mape = backtest(&forest, &series, test_start).get(Metric::Mape);
+        let heuristic_mape = backtest(&heuristic, &series, test_start).get(Metric::Mape);
+        assert!(
+            forest_mape < heuristic_mape,
+            "forest {forest_mape} should beat mean-of-last-5 {heuristic_mape}"
+        );
+    }
+
+    #[test]
+    fn averaging_smooths_single_tree() {
+        let cfg = CityConfig::new("sf", 33);
+        let day = cfg.samples_per_day();
+        let series = cfg.generate(day * 14, 0);
+        let mut forest = RandomForest::new(day, 8, 6, 8, 1);
+        forest.fit(&series).unwrap();
+        assert_eq!(forest.trees.len(), 8);
+        let pred = forest.forecast_next(&series.values, series.len(), false);
+        assert!(pred.is_finite() && pred >= 0.0);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let mut forest = RandomForest::new(96, 3, 3, 10, 1);
+        assert!(forest.fit(&TimeSeries::new(0, 1, vec![1.0; 20])).is_err());
+    }
+}

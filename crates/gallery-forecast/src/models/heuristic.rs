@@ -1,0 +1,86 @@
+//! The heuristic baseline of §3.7: "a heuristic model which uses the mean
+//! value of last 5 minutes as the forecasts. The heuristic model is stable
+//! and consistent, but may not always produce the best performance."
+
+use super::{Forecaster, ModelError};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Mean of the last `k` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanOfLastK {
+    pub k: usize,
+    /// Fallback when no history exists (fit on the training mean).
+    pub fallback: f64,
+}
+
+impl MeanOfLastK {
+    pub fn new(k: usize) -> Self {
+        MeanOfLastK {
+            k: k.max(1),
+            fallback: 0.0,
+        }
+    }
+}
+
+impl Forecaster for MeanOfLastK {
+    fn name(&self) -> &'static str {
+        "mean_of_last_k"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        if train.is_empty() {
+            return Err(ModelError::new("cannot fit on an empty series"));
+        }
+        self.fallback = train.mean();
+        Ok(())
+    }
+
+    fn forecast_next(&self, history: &[f64], _t: usize, _event_now: bool) -> f64 {
+        if history.is_empty() {
+            return self.fallback;
+        }
+        let start = history.len().saturating_sub(self.k);
+        let window = &history[start..];
+        window.iter().sum::<f64>() / window.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_window() {
+        let mut m = MeanOfLastK::new(3);
+        m.fit(&TimeSeries::new(0, 1, vec![10.0, 10.0])).unwrap();
+        let history = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(m.forecast_next(&history, 5, false), 4.0);
+    }
+
+    #[test]
+    fn short_history_uses_what_exists() {
+        let m = MeanOfLastK::new(5);
+        assert_eq!(m.forecast_next(&[2.0, 4.0], 2, false), 3.0);
+    }
+
+    #[test]
+    fn empty_history_falls_back() {
+        let mut m = MeanOfLastK::new(5);
+        m.fit(&TimeSeries::new(0, 1, vec![7.0, 9.0])).unwrap();
+        assert_eq!(m.forecast_next(&[], 0, false), 8.0);
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        let mut m = MeanOfLastK::new(5);
+        assert!(m.fit(&TimeSeries::new(0, 1, vec![])).is_err());
+    }
+
+    #[test]
+    fn k_zero_clamped_to_one() {
+        let m = MeanOfLastK::new(0);
+        assert_eq!(m.k, 1);
+        assert_eq!(m.forecast_next(&[1.0, 9.0], 2, false), 9.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The forecasting model zoo.
+//!
+//! All models implement [`Forecaster`]; [`AnyForecaster`] is the serde-
+//! serializable sum type whose bytes become the opaque Gallery blob —
+//! Gallery itself never interprets them (§3.1 "Model Neutral").
+
+pub mod ewma;
+pub mod forest;
+pub mod heuristic;
+pub mod linear;
+pub mod seasonal;
+pub mod tree;
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+pub use ewma::Ewma;
+pub use forest::RandomForest;
+pub use heuristic::MeanOfLastK;
+pub use linear::RidgeForecaster;
+pub use seasonal::SeasonalNaive;
+pub use tree::RegressionTree;
+
+/// Error while fitting or (de)serializing a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelError {
+    pub message: String,
+}
+
+impl ModelError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ModelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A one-step-ahead forecaster.
+///
+/// `forecast_next(history, t, event_now)` predicts the value at absolute
+/// index `t` given `history[..t]` and whether a scheduled event covers `t`.
+pub trait Forecaster: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError>;
+    fn forecast_next(&self, history: &[f64], t: usize, event_now: bool) -> f64;
+}
+
+/// Serializable sum of every model class — the bytes Gallery stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyForecaster {
+    MeanOfLastK(MeanOfLastK),
+    Ewma(Ewma),
+    SeasonalNaive(SeasonalNaive),
+    Ridge(RidgeForecaster),
+    Tree(RegressionTree),
+    Forest(RandomForest),
+}
+
+impl AnyForecaster {
+    /// Serialize to an opaque blob (what `uploadModel` stores).
+    pub fn to_blob(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("forecasters are always serializable")
+    }
+
+    /// Deserialize from an opaque blob (what serving fetches).
+    pub fn from_blob(blob: &[u8]) -> Result<Self, ModelError> {
+        serde_json::from_slice(blob)
+            .map_err(|e| ModelError::new(format!("bad model blob: {e}")))
+    }
+
+    fn inner(&self) -> &dyn Forecaster {
+        match self {
+            AnyForecaster::MeanOfLastK(m) => m,
+            AnyForecaster::Ewma(m) => m,
+            AnyForecaster::SeasonalNaive(m) => m,
+            AnyForecaster::Ridge(m) => m,
+            AnyForecaster::Tree(m) => m,
+            AnyForecaster::Forest(m) => m,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Forecaster {
+        match self {
+            AnyForecaster::MeanOfLastK(m) => m,
+            AnyForecaster::Ewma(m) => m,
+            AnyForecaster::SeasonalNaive(m) => m,
+            AnyForecaster::Ridge(m) => m,
+            AnyForecaster::Tree(m) => m,
+            AnyForecaster::Forest(m) => m,
+        }
+    }
+}
+
+impl Forecaster for AnyForecaster {
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        self.inner_mut().fit(train)
+    }
+
+    fn forecast_next(&self, history: &[f64], t: usize, event_now: bool) -> f64 {
+        self.inner().forecast_next(history, t, event_now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::CityConfig;
+
+    #[test]
+    fn any_forecaster_blob_roundtrip_all_variants() {
+        let train = CityConfig::new("sf", 1).generate(96 * 14, 0);
+        let variants: Vec<AnyForecaster> = vec![
+            AnyForecaster::MeanOfLastK(MeanOfLastK::new(5)),
+            AnyForecaster::Ewma(Ewma::new(0.3)),
+            AnyForecaster::SeasonalNaive(SeasonalNaive::new(96)),
+            AnyForecaster::Ridge(RidgeForecaster::standard(96, 1.0)),
+            AnyForecaster::Tree(RegressionTree::new(96, 6, 10)),
+            AnyForecaster::Forest(RandomForest::new(96, 5, 5, 20, 42)),
+        ];
+        for mut model in variants {
+            model.fit(&train).unwrap();
+            let blob = model.to_blob();
+            let back = AnyForecaster::from_blob(&blob).unwrap();
+            assert_eq!(back, model, "{} blob roundtrip", model.name());
+            // restored model predicts identically
+            let p1 = model.forecast_next(&train.values, train.len(), false);
+            let p2 = back.forecast_next(&train.values, train.len(), false);
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn bad_blob_rejected() {
+        assert!(AnyForecaster::from_blob(b"not a model").is_err());
+    }
+}

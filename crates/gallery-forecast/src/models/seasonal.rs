@@ -1,0 +1,103 @@
+//! Seasonal-naive forecaster: predict the value one season ago.
+
+use super::{Forecaster, ModelError};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Predicts `history[t - period]`, averaged over the last `cycles`
+/// occurrences when available (a seasonal moving average).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalNaive {
+    pub period: usize,
+    pub cycles: usize,
+    pub fallback: f64,
+}
+
+impl SeasonalNaive {
+    pub fn new(period: usize) -> Self {
+        SeasonalNaive {
+            period: period.max(1),
+            cycles: 3,
+            fallback: 0.0,
+        }
+    }
+
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles.max(1);
+        self
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal_naive"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        if train.is_empty() {
+            return Err(ModelError::new("cannot fit on an empty series"));
+        }
+        self.fallback = train.mean();
+        Ok(())
+    }
+
+    fn forecast_next(&self, history: &[f64], _t: usize, _event_now: bool) -> f64 {
+        let t = history.len();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for c in 1..=self.cycles {
+            let offset = c * self.period;
+            if t >= offset {
+                sum += history[t - offset];
+                count += 1;
+            }
+        }
+        if count == 0 {
+            if history.is_empty() {
+                self.fallback
+            } else {
+                history[t - 1]
+            }
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_last_season() {
+        let m = SeasonalNaive::new(4).cycles(1);
+        let history = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // t=6, period=4 -> history[2] = 3.0
+        assert_eq!(m.forecast_next(&history, 6, false), 3.0);
+    }
+
+    #[test]
+    fn averages_multiple_cycles() {
+        let m = SeasonalNaive::new(2).cycles(2);
+        let history = [10.0, 0.0, 20.0, 0.0];
+        // offsets 2 and 4 -> history[2]=20, history[0]=10 -> 15
+        assert_eq!(m.forecast_next(&history, 4, false), 15.0);
+    }
+
+    #[test]
+    fn short_history_uses_last_value() {
+        let m = SeasonalNaive::new(96);
+        assert_eq!(m.forecast_next(&[7.0], 1, false), 7.0);
+    }
+
+    #[test]
+    fn exact_on_perfectly_seasonal_data() {
+        let m = SeasonalNaive::new(4).cycles(1);
+        let pattern = [1.0, 5.0, 9.0, 2.0];
+        let history: Vec<f64> = pattern.iter().cycle().take(40).copied().collect();
+        for t in 8..40 {
+            let pred = m.forecast_next(&history[..t], t, false);
+            assert_eq!(pred, history[t], "t={t}");
+        }
+    }
+}

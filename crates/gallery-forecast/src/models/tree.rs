@@ -1,0 +1,303 @@
+//! CART regression tree, built from scratch: greedy binary splits by
+//! variance reduction, depth- and leaf-size-limited.
+
+use super::{Forecaster, ModelError};
+use crate::features::FeatureSpec;
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// A node in the flattened tree arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    Leaf {
+        prediction: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the <= branch.
+        left: usize,
+        /// Arena index of the > branch.
+        right: usize,
+    },
+}
+
+/// Regression tree over the shared [`FeatureSpec`] features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    pub spec: FeatureSpec,
+    pub max_depth: usize,
+    pub min_samples: usize,
+    pub nodes: Vec<Node>,
+    pub fallback: f64,
+}
+
+impl RegressionTree {
+    pub fn new(samples_per_day: usize, max_depth: usize, min_samples: usize) -> Self {
+        Self::with_spec(FeatureSpec::standard(samples_per_day), max_depth, min_samples)
+    }
+
+    pub fn with_spec(spec: FeatureSpec, max_depth: usize, min_samples: usize) -> Self {
+        RegressionTree {
+            spec,
+            max_depth: max_depth.max(1),
+            min_samples: min_samples.max(2),
+            nodes: Vec::new(),
+            fallback: 0.0,
+        }
+    }
+
+    pub fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    /// Fit on an explicit design matrix (also used by the forest with
+    /// bootstrap samples and feature masks).
+    pub fn fit_matrix(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), ModelError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(ModelError::new("empty or misaligned training matrix"));
+        }
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let all_features: Vec<usize> = (0..xs[0].len()).collect();
+        self.build(xs, ys, indices, &all_features, 0);
+        self.fallback = ys.iter().sum::<f64>() / ys.len() as f64;
+        Ok(())
+    }
+
+    /// Fit restricted to a feature subset (random forests pass a random
+    /// mask per tree).
+    pub fn fit_matrix_with_features(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        features: &[usize],
+    ) -> Result<(), ModelError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(ModelError::new("empty or misaligned training matrix"));
+        }
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        self.build(xs, ys, indices, features, 0);
+        self.fallback = ys.iter().sum::<f64>() / ys.len() as f64;
+        Ok(())
+    }
+
+    /// Recursively build; returns the arena index of the created node.
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        indices: Vec<usize>,
+        features: &[usize],
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.max_depth || indices.len() < self.min_samples * 2 {
+            self.nodes.push(Node::Leaf { prediction: mean });
+            return self.nodes.len() - 1;
+        }
+        let parent_sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &feature in features {
+            // Candidate thresholds: quantile-ish cuts over sorted values.
+            let mut vals: Vec<f64> = indices.iter().map(|&i| xs[i][feature]).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let cuts = 16.min(vals.len() - 1);
+            for c in 1..=cuts {
+                let threshold = vals[c * (vals.len() - 1) / cuts];
+                let (mut ln, mut ls, mut rn, mut rs) = (0usize, 0.0f64, 0usize, 0.0f64);
+                for &i in &indices {
+                    if xs[i][feature] <= threshold {
+                        ln += 1;
+                        ls += ys[i];
+                    } else {
+                        rn += 1;
+                        rs += ys[i];
+                    }
+                }
+                if ln < self.min_samples || rn < self.min_samples {
+                    continue;
+                }
+                let (lm, rm) = (ls / ln as f64, rs / rn as f64);
+                let sse: f64 = indices
+                    .iter()
+                    .map(|&i| {
+                        let m = if xs[i][feature] <= threshold { lm } else { rm };
+                        (ys[i] - m).powi(2)
+                    })
+                    .sum();
+                if best.map(|(_, _, b)| sse < b).unwrap_or(true) {
+                    best = Some((feature, threshold, sse));
+                }
+            }
+        }
+        // Require a real variance reduction: splitting on float noise in a
+        // constant-target region would grow the tree without predictive
+        // value.
+        let min_gain = parent_sse * 1e-9 + 1e-9;
+        let Some((feature, threshold, best_sse)) = best else {
+            self.nodes.push(Node::Leaf { prediction: mean });
+            return self.nodes.len() - 1;
+        };
+        if best_sse + min_gain >= parent_sse {
+            self.nodes.push(Node::Leaf { prediction: mean });
+            return self.nodes.len() - 1;
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| xs[i][feature] <= threshold);
+        // Reserve our slot, then build children.
+        let my_index = self.nodes.len();
+        self.nodes.push(Node::Leaf { prediction: mean }); // placeholder
+        let left = self.build(xs, ys, left_idx, features, depth + 1);
+        let right = self.build(xs, ys, right_idx, features, depth + 1);
+        self.nodes[my_index] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        my_index
+    }
+
+    /// Predict from a feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return self.fallback;
+        }
+        let mut index = 0usize;
+        loop {
+            match &self.nodes[index] {
+                Node::Leaf { prediction } => return *prediction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    index = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], index: usize) -> usize {
+            match &nodes[index] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+impl Forecaster for RegressionTree {
+    fn name(&self) -> &'static str {
+        "regression_tree"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<(), ModelError> {
+        if train.len() <= self.spec.min_index() + self.min_samples * 2 {
+            return Err(ModelError::new("series too short for tree fitting"));
+        }
+        let (xs, ys) = self.spec.design_matrix(train);
+        self.fit_matrix(&xs, &ys)
+    }
+
+    fn forecast_next(&self, history: &[f64], t: usize, event_now: bool) -> f64 {
+        if history.is_empty() {
+            return self.fallback;
+        }
+        let row = self.spec.row(history, t.max(history.len()), event_now);
+        self.predict_row(&row).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xs with a single feature and a step function target.
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 9.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::with_spec(
+            FeatureSpec {
+                lags: vec![1],
+                samples_per_day: 0,
+                weekly: false,
+                event_flag: false,
+            },
+            4,
+            5,
+        );
+        tree.fit_matrix(&xs, &ys).unwrap();
+        assert!((tree.predict_row(&[10.0]) - 1.0).abs() < 0.5);
+        assert!((tree.predict_row(&[90.0]) - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (xs, ys) = step_data();
+        let mut tree = RegressionTree::new(0, 2, 2);
+        tree.fit_matrix(&xs, &ys).unwrap();
+        assert!(tree.depth() <= 3); // root + 2 levels
+    }
+
+    #[test]
+    fn min_samples_respected() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut tree = RegressionTree::new(0, 10, 5);
+        tree.fit_matrix(&xs, &ys).unwrap();
+        // with min 5 samples per side and 10 points, at most one split
+        assert!(tree.nodes.len() <= 3);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![4.2; 20];
+        let mut tree = RegressionTree::new(0, 5, 2);
+        tree.fit_matrix(&xs, &ys).unwrap();
+        assert_eq!(tree.nodes.len(), 1);
+        assert!((tree.predict_row(&[3.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let mut tree = RegressionTree::new(0, 5, 2);
+        assert!(tree.fit_matrix(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn fits_series_end_to_end() {
+        use crate::citygen::CityConfig;
+        let cfg = CityConfig::new("sf", 21);
+        let series = cfg.generate(cfg.samples_per_day() * 10, 0);
+        let mut tree = RegressionTree::new(cfg.samples_per_day(), 6, 10);
+        tree.fit(&series).unwrap();
+        let pred = tree.forecast_next(&series.values, series.len(), false);
+        assert!(pred > 0.0 && pred.is_finite());
+    }
+}

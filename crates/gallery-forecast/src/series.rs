@@ -1,0 +1,134 @@
+//! Time series container used across the forecasting substrate.
+
+use serde::{Deserialize, Serialize};
+
+/// A regularly sampled univariate series (e.g. trip demand per interval for
+/// one city), with an aligned boolean flag per point marking special events
+/// (holidays, transit outages — §4.2's "dynamic model switching" inputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Epoch ms of the first sample.
+    pub start_ms: i64,
+    /// Sampling interval in ms.
+    pub interval_ms: i64,
+    pub values: Vec<f64>,
+    /// `event_flags[i]` marks sample `i` as inside a special event window.
+    pub event_flags: Vec<bool>,
+}
+
+impl TimeSeries {
+    pub fn new(start_ms: i64, interval_ms: i64, values: Vec<f64>) -> Self {
+        let n = values.len();
+        TimeSeries {
+            start_ms,
+            interval_ms,
+            values,
+            event_flags: vec![false; n],
+        }
+    }
+
+    pub fn with_events(mut self, flags: Vec<bool>) -> Self {
+        assert_eq!(
+            flags.len(),
+            self.values.len(),
+            "event flags must align with values"
+        );
+        self.event_flags = flags;
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Timestamp of sample `i`.
+    pub fn timestamp(&self, i: usize) -> i64 {
+        self.start_ms + self.interval_ms * i as i64
+    }
+
+    /// Split at index: `(prefix, suffix)`; suffix keeps correct timestamps.
+    pub fn split_at(&self, index: usize) -> (TimeSeries, TimeSeries) {
+        let index = index.min(self.len());
+        let head = TimeSeries {
+            start_ms: self.start_ms,
+            interval_ms: self.interval_ms,
+            values: self.values[..index].to_vec(),
+            event_flags: self.event_flags[..index].to_vec(),
+        };
+        let tail = TimeSeries {
+            start_ms: self.timestamp(index),
+            interval_ms: self.interval_ms,
+            values: self.values[index..].to_vec(),
+            event_flags: self.event_flags[index..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(1_000, 60_000, (0..10).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn timestamps() {
+        let s = series();
+        assert_eq!(s.timestamp(0), 1_000);
+        assert_eq!(s.timestamp(3), 1_000 + 3 * 60_000);
+    }
+
+    #[test]
+    fn split_preserves_timestamps() {
+        let s = series();
+        let (head, tail) = s.split_at(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(tail.len(), 6);
+        assert_eq!(tail.start_ms, s.timestamp(4));
+        assert_eq!(tail.values[0], 4.0);
+        assert_eq!(tail.timestamp(1), s.timestamp(5));
+    }
+
+    #[test]
+    fn split_out_of_range_clamps() {
+        let s = series();
+        let (head, tail) = s.split_at(100);
+        assert_eq!(head.len(), 10);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let s = series();
+        assert_eq!(s.mean(), 4.5);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_events_panic() {
+        let _ = series().with_events(vec![true; 3]);
+    }
+}

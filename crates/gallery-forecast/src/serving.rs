@@ -1,0 +1,245 @@
+//! Champion serving with a guarded heuristic fallback (§3.7).
+//!
+//! "We have a heuristic model which ... is stable and consistent, but may
+//! not always produce the best performance. We also have complex
+//! forecasting models ... generally better performing but may not perform
+//! well when there are unanticipated events ... Therefore, we can combine
+//! the benefits of different models to achieve the overall best
+//! performance by using the model metrics in Gallery to make decisions."
+//!
+//! [`GuardedServing`] serves the champion while its recent rolling error
+//! stays within a guardrail relative to the fallback's, and switches to
+//! the stable heuristic the moment the champion misbehaves — recovering
+//! automatically once the champion is healthy again.
+
+use crate::models::Forecaster;
+use std::collections::VecDeque;
+
+/// Which model served a given interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    Champion,
+    Fallback,
+}
+
+/// Rolling absolute-percentage-error window for one model.
+#[derive(Debug, Clone)]
+struct RollingError {
+    window: usize,
+    errors: VecDeque<f64>,
+}
+
+impl RollingError {
+    fn new(window: usize) -> Self {
+        RollingError {
+            window: window.max(1),
+            errors: VecDeque::new(),
+        }
+    }
+
+    fn observe(&mut self, prediction: f64, actual: f64) {
+        if actual.abs() > 1e-9 {
+            if self.errors.len() == self.window {
+                self.errors.pop_front();
+            }
+            self.errors.push_back(((prediction - actual) / actual).abs());
+        }
+    }
+
+    fn mape(&self) -> Option<f64> {
+        if self.errors.is_empty() {
+            None
+        } else {
+            Some(self.errors.iter().sum::<f64>() / self.errors.len() as f64)
+        }
+    }
+
+    fn is_warm(&self) -> bool {
+        self.errors.len() >= self.window
+    }
+}
+
+/// Champion + guarded fallback serving policy.
+pub struct GuardedServing<'a> {
+    champion: &'a dyn Forecaster,
+    fallback: &'a dyn Forecaster,
+    champion_err: RollingError,
+    fallback_err: RollingError,
+    /// Serve the fallback when champion MAPE > ratio * fallback MAPE.
+    guardrail_ratio: f64,
+    switches: u64,
+    served_champion: u64,
+    served_fallback: u64,
+}
+
+impl<'a> GuardedServing<'a> {
+    pub fn new(
+        champion: &'a dyn Forecaster,
+        fallback: &'a dyn Forecaster,
+        window: usize,
+        guardrail_ratio: f64,
+    ) -> Self {
+        GuardedServing {
+            champion,
+            fallback,
+            champion_err: RollingError::new(window),
+            fallback_err: RollingError::new(window),
+            guardrail_ratio: guardrail_ratio.max(1.0),
+            switches: 0,
+            served_champion: 0,
+            served_fallback: 0,
+        }
+    }
+
+    /// Which model would serve right now.
+    pub fn current_choice(&self) -> Served {
+        match (self.champion_err.mape(), self.fallback_err.mape()) {
+            (Some(c), Some(f)) if self.champion_err.is_warm() && c > self.guardrail_ratio * f => {
+                Served::Fallback
+            }
+            _ => Served::Champion,
+        }
+    }
+
+    /// Serve one interval: both models predict (shadow evaluation), the
+    /// chosen model's prediction is returned, and once the actual arrives
+    /// the caller reports it via [`GuardedServing::observe`].
+    pub fn serve(&mut self, history: &[f64], t: usize, event_now: bool) -> (f64, Served) {
+        let choice = self.current_choice();
+        let prediction = match choice {
+            Served::Champion => {
+                self.served_champion += 1;
+                self.champion.forecast_next(history, t, event_now)
+            }
+            Served::Fallback => {
+                self.served_fallback += 1;
+                self.fallback.forecast_next(history, t, event_now)
+            }
+        };
+        (prediction, choice)
+    }
+
+    /// Report the actual value for interval `t`; both models' shadow
+    /// predictions are scored so the guardrail always has fresh evidence.
+    pub fn observe(&mut self, history: &[f64], t: usize, event_now: bool, actual: f64) {
+        let before = self.current_choice();
+        let champion_pred = self.champion.forecast_next(history, t, event_now);
+        let fallback_pred = self.fallback.forecast_next(history, t, event_now);
+        self.champion_err.observe(champion_pred, actual);
+        self.fallback_err.observe(fallback_pred, actual);
+        if self.current_choice() != before {
+            self.switches += 1;
+        }
+    }
+
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    pub fn served_counts(&self) -> (u64, u64) {
+        (self.served_champion, self.served_fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelError;
+    use crate::series::TimeSeries;
+
+    /// A forecaster with a fixed bias factor against the true value 100.
+    struct Scripted {
+        factor: f64,
+    }
+
+    impl Forecaster for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn fit(&mut self, _train: &TimeSeries) -> Result<(), ModelError> {
+            Ok(())
+        }
+        fn forecast_next(&self, _history: &[f64], t: usize, _event: bool) -> f64 {
+            100.0 * self.factor(t)
+        }
+    }
+
+    impl Scripted {
+        fn factor(&self, _t: usize) -> f64 {
+            self.factor
+        }
+    }
+
+    /// A forecaster that is accurate before `break_at` and wild after.
+    struct Breaking {
+        break_at: usize,
+    }
+
+    impl Forecaster for Breaking {
+        fn name(&self) -> &'static str {
+            "breaking"
+        }
+        fn fit(&mut self, _train: &TimeSeries) -> Result<(), ModelError> {
+            Ok(())
+        }
+        fn forecast_next(&self, _history: &[f64], t: usize, _event: bool) -> f64 {
+            if t < self.break_at {
+                100.0
+            } else {
+                400.0 // champion misbehaving
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_champion_keeps_serving() {
+        let champion = Scripted { factor: 1.01 }; // 1% error
+        let fallback = Scripted { factor: 1.10 }; // 10% error
+        let mut policy = GuardedServing::new(&champion, &fallback, 5, 1.5);
+        for t in 0..50 {
+            let (_, served) = policy.serve(&[], t, false);
+            assert_eq!(served, Served::Champion, "t={t}");
+            policy.observe(&[], t, false, 100.0);
+        }
+        assert_eq!(policy.switches(), 0);
+    }
+
+    #[test]
+    fn broken_champion_falls_back_and_recovers() {
+        let champion = Breaking { break_at: 20 };
+        let fallback = Scripted { factor: 1.05 };
+        let mut policy = GuardedServing::new(&champion, &fallback, 5, 1.5);
+        let mut served_after_break = Vec::new();
+        for t in 0..40 {
+            let (_, served) = policy.serve(&[], t, false);
+            if t >= 26 {
+                served_after_break.push(served);
+            }
+            policy.observe(&[], t, false, 100.0);
+        }
+        assert!(
+            served_after_break.iter().all(|s| *s == Served::Fallback),
+            "after the rolling window fills with bad champion errors, the fallback serves"
+        );
+        assert!(policy.switches() >= 1);
+        let (champ, fall) = policy.served_counts();
+        assert!(champ > 0 && fall > 0);
+    }
+
+    #[test]
+    fn guardrail_ratio_clamped_to_at_least_one() {
+        let champion = Scripted { factor: 1.0 };
+        let fallback = Scripted { factor: 1.0 };
+        let policy = GuardedServing::new(&champion, &fallback, 3, 0.1);
+        assert_eq!(policy.guardrail_ratio, 1.0);
+    }
+
+    #[test]
+    fn cold_start_serves_champion() {
+        let champion = Scripted { factor: 2.0 }; // terrible, but unknown yet
+        let fallback = Scripted { factor: 1.0 };
+        let mut policy = GuardedServing::new(&champion, &fallback, 10, 1.2);
+        let (_, served) = policy.serve(&[], 0, false);
+        assert_eq!(served, Served::Champion, "no evidence yet -> champion");
+    }
+}

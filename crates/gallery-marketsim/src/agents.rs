@@ -1,0 +1,80 @@
+//! Agents of the marketplace: riders (trip requests) and driver-partners.
+
+use crate::event::SimTime;
+use crate::geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A rider's trip request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripRequest {
+    pub id: u64,
+    pub origin: Point,
+    pub destination: Point,
+    pub requested_at: SimTime,
+    /// Surge multiplier quoted at request time.
+    pub quoted_surge: f64,
+}
+
+/// Driver availability state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriverStatus {
+    Idle,
+    /// En route to a pickup or carrying a rider; busy until the stored time.
+    Busy { until: SimTime },
+}
+
+/// A driver-partner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Driver {
+    pub id: u64,
+    pub position: Point,
+    pub status: DriverStatus,
+    pub trips_completed: u64,
+    pub earnings: f64,
+}
+
+impl Driver {
+    pub fn new(id: u64, position: Point) -> Self {
+        Driver {
+            id,
+            position,
+            status: DriverStatus::Idle,
+            trips_completed: 0,
+            earnings: 0.0,
+        }
+    }
+
+    pub fn is_idle(&self) -> bool {
+        matches!(self.status, DriverStatus::Idle)
+    }
+
+    /// Mark busy until `until`, ending at `destination`.
+    pub fn start_trip(&mut self, destination: Point, until: SimTime) {
+        self.status = DriverStatus::Busy { until };
+        self.position = destination;
+    }
+
+    pub fn finish_trip(&mut self, fare: f64) {
+        self.status = DriverStatus::Idle;
+        self.trips_completed += 1;
+        self.earnings += fare;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_trip_lifecycle() {
+        let mut d = Driver::new(1, Point::new(0, 0));
+        assert!(d.is_idle());
+        d.start_trip(Point::new(5, 5), 1000);
+        assert!(!d.is_idle());
+        assert_eq!(d.position, Point::new(5, 5));
+        d.finish_trip(12.5);
+        assert!(d.is_idle());
+        assert_eq!(d.trips_completed, 1);
+        assert_eq!(d.earnings, 12.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Discrete-event core: a time-ordered event queue with deterministic
+//! FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in milliseconds.
+pub type SimTime = u64;
+
+/// A scheduled occurrence. `K` is the domain event payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<K> {
+    pub time: SimTime,
+    seq: u64,
+    pub kind: K,
+}
+
+impl<K: Eq> Ord for Scheduled<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest first, with
+        // insertion order breaking ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<K: Eq> PartialOrd for Scheduled<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue driving a simulation.
+#[derive(Debug)]
+pub struct EventQueue<K: Eq> {
+    heap: BinaryHeap<Scheduled<K>>,
+    next_seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<K: Eq> Default for EventQueue<K> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            processed: 0,
+        }
+    }
+}
+
+impl<K: Eq> EventQueue<K> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `kind` at absolute time `time`. Scheduling in the past is
+    /// clamped to `now` (the event fires immediately next).
+    pub fn schedule(&mut self, time: SimTime, kind: K) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, kind });
+    }
+
+    /// Schedule `kind` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, kind: K) {
+        self.schedule(self.now.saturating_add(delay), kind);
+    }
+
+    /// Pop the earliest event, advancing simulated time.
+    pub fn pop(&mut self) -> Option<Scheduled<K>> {
+        let event = self.heap.pop()?;
+        debug_assert!(event.time >= self.now, "time must be monotone");
+        self.now = event.time;
+        self.processed += 1;
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop().unwrap().kind, "a");
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop().unwrap().kind, "b");
+        assert_eq!(q.pop().unwrap().kind, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "first");
+        q.schedule(5, "second");
+        q.schedule(5, "third");
+        assert_eq!(q.pop().unwrap().kind, "first");
+        assert_eq!(q.pop().unwrap().kind, "second");
+        assert_eq!(q.pop().unwrap().kind, "third");
+    }
+
+    #[test]
+    fn past_scheduling_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.pop();
+        q.schedule(3, "late");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 10);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "a");
+        q.pop();
+        q.schedule_in(50, "b");
+        assert_eq!(q.pop().unwrap().time, 150);
+    }
+}

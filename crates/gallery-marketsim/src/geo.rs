@@ -1,0 +1,107 @@
+//! Grid-city geometry.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A location on the city grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    pub fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan distance — the natural street-grid metric.
+    pub fn manhattan(&self, other: &Point) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// The city: a `size x size` grid with a denser core (trips cluster
+/// downtown, like real demand).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityGrid {
+    pub size: i32,
+    /// Fraction of trip endpoints drawn from the core quarter of the grid.
+    pub core_bias: f64,
+}
+
+impl CityGrid {
+    pub fn new(size: i32) -> Self {
+        CityGrid {
+            size: size.max(2),
+            core_bias: 0.6,
+        }
+    }
+
+    /// Sample a random point, biased toward the core.
+    pub fn sample_point(&self, rng: &mut impl Rng) -> Point {
+        let (lo, hi) = if rng.gen_bool(self.core_bias) {
+            (self.size * 3 / 8, self.size * 5 / 8 + 1)
+        } else {
+            (0, self.size)
+        };
+        Point::new(rng.gen_range(lo..hi), rng.gen_range(lo..hi))
+    }
+
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= 0 && p.y >= 0 && p.x < self.size && p.y < self.size
+    }
+
+    /// Travel time in ms for a distance, at a fixed grid-cell speed.
+    pub fn travel_time_ms(&self, from: &Point, to: &Point, ms_per_cell: u64) -> u64 {
+        from.manhattan(to) as u64 * ms_per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.manhattan(&b), 7);
+        assert_eq!(b.manhattan(&a), 7);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn sampled_points_in_bounds() {
+        let grid = CityGrid::new(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = grid.sample_point(&mut rng);
+            assert!(grid.contains(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn core_bias_concentrates_points() {
+        let grid = CityGrid::new(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let core = 24..41; // 3/8..5/8+1 of 64
+        let in_core = (0..2000)
+            .filter(|_| {
+                let p = grid.sample_point(&mut rng);
+                core.contains(&p.x) && core.contains(&p.y)
+            })
+            .count();
+        // ~60% biased draws land entirely in the core + some uniform hits
+        assert!(in_core > 1000, "core hits {in_core}");
+    }
+
+    #[test]
+    fn travel_time_scales() {
+        let grid = CityGrid::new(10);
+        let t = grid.travel_time_ms(&Point::new(0, 0), &Point::new(2, 3), 30_000);
+        assert_eq!(t, 5 * 30_000);
+    }
+}

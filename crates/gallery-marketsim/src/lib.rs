@@ -1,0 +1,33 @@
+//! # gallery-marketsim
+//!
+//! The Marketplace Simulation Platform substrate (§4.3 of the Gallery
+//! paper): an agent-based discrete-event simulator hosting "a simulated
+//! world with driver-partners and riders". Surge pricing consults a demand
+//! forecaster each interval; where that forecaster comes from is the §4.3
+//! case study:
+//!
+//! - [`modelsource::ModelSource::Inline`] — models implemented in the
+//!   simulator and trained on the fly (pre-Gallery), holding training
+//!   buffers and burning CPU inside the run;
+//! - [`modelsource::ModelSource::GalleryBacked`] — pretrained instances
+//!   fetched from Gallery and instantiated on demand (post-Gallery).
+//!
+//! [`memory::ResourceTracker`] quantifies the memory and training-CPU
+//! savings the paper reports (~8 GB and ~1 CPU-hour per simulation).
+
+pub mod agents;
+pub mod event;
+pub mod geo;
+pub mod matching;
+pub mod memory;
+pub mod modelsource;
+pub mod pricing;
+pub mod sim;
+
+pub use agents::{Driver, DriverStatus, TripRequest};
+pub use event::{EventQueue, SimTime};
+pub use geo::{CityGrid, Point};
+pub use memory::ResourceTracker;
+pub use modelsource::{InlineModel, ModelSource};
+pub use pricing::SurgePolicy;
+pub use sim::{run, run_gallery_backed, SimConfig, SimReport};

@@ -1,0 +1,59 @@
+//! Dispatch: match a trip request to the nearest idle driver.
+
+use crate::agents::Driver;
+use crate::geo::Point;
+
+/// Find the nearest idle driver to `origin`; ties break by lowest driver
+/// id (determinism). Returns the index into `drivers`.
+pub fn nearest_idle_driver(drivers: &[Driver], origin: &Point) -> Option<usize> {
+    drivers
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_idle())
+        .min_by_key(|(_, d)| (d.position.manhattan(origin), d.id))
+        .map(|(i, _)| i)
+}
+
+/// Count idle drivers (the supply signal pricing consumes).
+pub fn idle_count(drivers: &[Driver]) -> usize {
+    drivers.iter().filter(|d| d.is_idle()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::DriverStatus;
+
+    fn driver(id: u64, x: i32, y: i32, idle: bool) -> Driver {
+        let mut d = Driver::new(id, Point::new(x, y));
+        if !idle {
+            d.status = DriverStatus::Busy { until: 100 };
+        }
+        d
+    }
+
+    #[test]
+    fn picks_nearest_idle() {
+        let drivers = vec![
+            driver(1, 10, 10, true),
+            driver(2, 1, 1, false), // nearest but busy
+            driver(3, 3, 3, true),  // nearest idle
+        ];
+        let idx = nearest_idle_driver(&drivers, &Point::new(0, 0)).unwrap();
+        assert_eq!(drivers[idx].id, 3);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let drivers = vec![driver(7, 2, 0, true), driver(3, 0, 2, true)];
+        let idx = nearest_idle_driver(&drivers, &Point::new(0, 0)).unwrap();
+        assert_eq!(drivers[idx].id, 3);
+    }
+
+    #[test]
+    fn none_when_all_busy() {
+        let drivers = vec![driver(1, 0, 0, false)];
+        assert!(nearest_idle_driver(&drivers, &Point::new(0, 0)).is_none());
+        assert_eq!(idle_count(&drivers), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Resource accounting for the §4.3 comparison.
+//!
+//! The paper reports that decoupling model training from the simulator
+//! "saved the simulation platform an estimated 8GB memory and one hour CPU
+//! time per simulation". We track both resources explicitly: bytes held by
+//! training state inside the simulator process, and training CPU cost (in
+//! both accounted work units and measured wall time).
+
+use std::time::Duration;
+
+/// Tracks bytes attributable to in-simulator model training state.
+#[derive(Debug, Default, Clone)]
+pub struct ResourceTracker {
+    current_bytes: u64,
+    peak_bytes: u64,
+    /// Work units: training samples processed inside the simulation.
+    training_samples: u64,
+    /// Measured wall time spent inside training calls.
+    training_wall: Duration,
+    trainings: u64,
+}
+
+impl ResourceTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account an allocation of training state.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.current_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+    }
+
+    /// Account a release of training state.
+    pub fn free(&mut self, bytes: u64) {
+        self.current_bytes = self.current_bytes.saturating_sub(bytes);
+    }
+
+    /// Account one training run over `samples` samples taking `wall` time.
+    pub fn record_training(&mut self, samples: u64, wall: Duration) {
+        self.training_samples += samples;
+        self.training_wall += wall;
+        self.trainings += 1;
+    }
+
+    pub fn current_bytes(&self) -> u64 {
+        self.current_bytes
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    pub fn training_samples(&self) -> u64 {
+        self.training_samples
+    }
+
+    pub fn training_wall(&self) -> Duration {
+        self.training_wall
+    }
+
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = ResourceTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        t.free(120);
+        t.alloc(10);
+        assert_eq!(t.current_bytes(), 40);
+        assert_eq!(t.peak_bytes(), 150);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut t = ResourceTracker::new();
+        t.alloc(10);
+        t.free(100);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn training_accumulates() {
+        let mut t = ResourceTracker::new();
+        t.record_training(1000, Duration::from_millis(5));
+        t.record_training(500, Duration::from_millis(3));
+        assert_eq!(t.training_samples(), 1500);
+        assert_eq!(t.trainings(), 2);
+        assert_eq!(t.training_wall(), Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,299 @@
+//! Where the simulator's forecasting models come from — the crux of the
+//! §4.3 case study.
+//!
+//! **Inline**: models are implemented in the simulator and "trained on the
+//! fly as the simulator ran" — the simulator accumulates training buffers
+//! and burns CPU retraining, which is exactly the memory and compute the
+//! paper says Gallery eliminated.
+//!
+//! **Gallery-backed**: "offline processes can store reusable model
+//! instances into Gallery, and the simulation backend service can
+//! instantiate such models as they're needed" — the simulator fetches
+//! opaque blobs and deserializes; no buffers, no training.
+
+use crate::event::SimTime;
+use crate::memory::ResourceTracker;
+use gallery_core::{Gallery, InstanceId};
+use gallery_forecast::models::{AnyForecaster, Forecaster};
+use gallery_forecast::series::TimeSeries;
+use std::time::Instant;
+
+/// Bytes per buffered training sample (value + event flag + bookkeeping).
+const BYTES_PER_SAMPLE: u64 = 24;
+
+/// One inline-trained model: the untrained template plus its growing
+/// training buffer.
+#[derive(Debug, Clone)]
+pub struct InlineModel {
+    pub template: AnyForecaster,
+    pub fitted: Option<AnyForecaster>,
+    /// Intervals between retrains.
+    pub retrain_every: usize,
+}
+
+/// The simulator's model provider.
+pub enum ModelSource {
+    /// Models trained inside the simulation loop.
+    Inline {
+        models: Vec<InlineModel>,
+        /// Observed demand per interval (the shared training buffer).
+        buffer: Vec<f64>,
+        buffer_flags: Vec<bool>,
+        interval_ms: i64,
+        intervals_seen: usize,
+        /// Warmup intervals before the first fit attempt.
+        min_history: usize,
+    },
+    /// Pretrained models fetched from Gallery.
+    GalleryBacked {
+        models: Vec<AnyForecaster>,
+        /// Blob bytes fetched (accounted once).
+        fetched_bytes: u64,
+    },
+}
+
+impl ModelSource {
+    pub fn inline(models: Vec<InlineModel>, interval_ms: i64, min_history: usize) -> Self {
+        ModelSource::Inline {
+            models,
+            buffer: Vec::new(),
+            buffer_flags: Vec::new(),
+            interval_ms,
+            intervals_seen: 0,
+            min_history,
+        }
+    }
+
+    /// Fetch pretrained instances from Gallery (the §4.3 decoupled path).
+    pub fn from_gallery(
+        gallery: &Gallery,
+        instance_ids: &[InstanceId],
+        tracker: &mut ResourceTracker,
+    ) -> Result<Self, String> {
+        let mut models = Vec::with_capacity(instance_ids.len());
+        let mut fetched_bytes = 0u64;
+        for id in instance_ids {
+            let blob = gallery
+                .fetch_instance_blob(id)
+                .map_err(|e| e.to_string())?;
+            fetched_bytes += blob.len() as u64;
+            models.push(AnyForecaster::from_blob(&blob).map_err(|e| e.to_string())?);
+        }
+        // The only memory the decoupled simulator holds is the blobs.
+        tracker.alloc(fetched_bytes);
+        Ok(ModelSource::GalleryBacked {
+            models,
+            fetched_bytes,
+        })
+    }
+
+    pub fn model_count(&self) -> usize {
+        match self {
+            ModelSource::Inline { models, .. } => models.len(),
+            ModelSource::GalleryBacked { models, .. } => models.len(),
+        }
+    }
+
+    /// Record an observed interval demand. Inline mode grows its buffer
+    /// (accounted) and retrains due models; Gallery mode is a no-op.
+    pub fn observe_interval(
+        &mut self,
+        actual_demand: f64,
+        event_flag: bool,
+        tracker: &mut ResourceTracker,
+    ) {
+        match self {
+            ModelSource::GalleryBacked { .. } => {}
+            ModelSource::Inline {
+                models,
+                buffer,
+                buffer_flags,
+                interval_ms,
+                intervals_seen,
+                min_history,
+            } => {
+                buffer.push(actual_demand);
+                buffer_flags.push(event_flag);
+                // Each inline model keeps its own training pipeline state
+                // (features, buffers) — account per model, which is what
+                // made the paper's simulator memory-heavy.
+                tracker.alloc(BYTES_PER_SAMPLE * models.len().max(1) as u64);
+                *intervals_seen += 1;
+                if buffer.len() < *min_history {
+                    return;
+                }
+                let series = TimeSeries::new(0, *interval_ms, buffer.clone())
+                    .with_events(buffer_flags.clone());
+                for model in models.iter_mut() {
+                    let due = *intervals_seen % model.retrain_every == 0
+                        || model.fitted.is_none();
+                    if !due {
+                        continue;
+                    }
+                    let mut candidate = model.template.clone();
+                    // Transient training memory: a design-matrix-sized
+                    // allocation lives for the duration of the fit.
+                    let transient = buffer.len() as u64 * 16 * 8;
+                    tracker.alloc(transient);
+                    let started = Instant::now();
+                    let fitted = candidate.fit(&series).is_ok();
+                    tracker.record_training(buffer.len() as u64, started.elapsed());
+                    tracker.free(transient);
+                    if fitted {
+                        model.fitted = Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forecast the next interval's demand with the primary model.
+    ///
+    /// Units contract: `history` is the sequence of *observed arrival
+    /// counts per interval*; the returned forecast is in the same units.
+    /// Gallery-backed models must therefore be trained offline on
+    /// count-scale series (see `SimConfig::historical_counts`).
+    pub fn forecast(&self, history: &[f64], t: usize, event_now: bool) -> f64 {
+        match self {
+            ModelSource::GalleryBacked { models, .. } => models
+                .first()
+                .map(|m| m.forecast_next(history, t, event_now))
+                .unwrap_or(0.0),
+            ModelSource::Inline { models, buffer, .. } => models
+                .iter()
+                .find_map(|m| m.fitted.as_ref())
+                .map(|m| m.forecast_next(buffer, buffer.len(), event_now))
+                .unwrap_or_else(|| {
+                    // untrained warmup: last observed value
+                    buffer.last().copied().unwrap_or(history.last().copied().unwrap_or(0.0))
+                }),
+        }
+    }
+
+    /// When the next retrain would be due (Inline only; used by tests).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, ModelSource::Inline { .. })
+    }
+}
+
+impl std::fmt::Debug for ModelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelSource::Inline { models, buffer, .. } => f
+                .debug_struct("ModelSource::Inline")
+                .field("models", &models.len())
+                .field("buffered_samples", &buffer.len())
+                .finish(),
+            ModelSource::GalleryBacked {
+                models,
+                fetched_bytes,
+            } => f
+                .debug_struct("ModelSource::GalleryBacked")
+                .field("models", &models.len())
+                .field("fetched_bytes", fetched_bytes)
+                .finish(),
+        }
+    }
+}
+
+/// Time helper: one interval in simulated ms.
+pub fn interval_to_simtime(interval_ms: i64) -> SimTime {
+    interval_ms.max(1) as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gallery_core::{InstanceSpec, ModelSpec};
+    use gallery_forecast::models::MeanOfLastK;
+
+    fn template() -> AnyForecaster {
+        AnyForecaster::MeanOfLastK(MeanOfLastK::new(5))
+    }
+
+    #[test]
+    fn inline_accumulates_memory_and_training_cost() {
+        let mut tracker = ResourceTracker::new();
+        let mut source = ModelSource::inline(
+            vec![InlineModel {
+                template: template(),
+                fitted: None,
+                retrain_every: 10,
+            }],
+            60_000,
+            5,
+        );
+        for i in 0..100 {
+            source.observe_interval(50.0 + i as f64, false, &mut tracker);
+        }
+        assert!(tracker.current_bytes() >= 100 * BYTES_PER_SAMPLE);
+        assert!(tracker.trainings() >= 9, "trainings {}", tracker.trainings());
+        assert!(tracker.training_samples() > 0);
+        // transient training memory shows in the peak, not the steady state
+        assert!(tracker.peak_bytes() > tracker.current_bytes());
+        // and forecasting works
+        let f = source.forecast(&[], 100, false);
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn gallery_backed_holds_only_blobs() {
+        let gallery = Gallery::in_memory();
+        let model = gallery
+            .create_model(ModelSpec::new("p", "demand").name("heuristic"))
+            .unwrap();
+        let mut trained = template();
+        trained
+            .fit(&TimeSeries::new(0, 60_000, vec![40.0; 50]))
+            .unwrap();
+        let inst = gallery
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new(),
+                Bytes::from(trained.to_blob()),
+            )
+            .unwrap();
+        let mut tracker = ResourceTracker::new();
+        let mut source =
+            ModelSource::from_gallery(&gallery, &[inst.id], &mut tracker).unwrap();
+        let blob_bytes = tracker.current_bytes();
+        assert!(blob_bytes > 0);
+        // Observing many intervals adds no memory and no training.
+        for _ in 0..1000 {
+            source.observe_interval(50.0, false, &mut tracker);
+        }
+        assert_eq!(tracker.current_bytes(), blob_bytes);
+        assert_eq!(tracker.trainings(), 0);
+        let f = source.forecast(&[40.0; 20], 20, false);
+        assert!((f - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inline_warmup_uses_last_value() {
+        let mut tracker = ResourceTracker::new();
+        let mut source = ModelSource::inline(
+            vec![InlineModel {
+                template: template(),
+                fitted: None,
+                retrain_every: 10,
+            }],
+            60_000,
+            50,
+        );
+        source.observe_interval(42.0, false, &mut tracker);
+        assert_eq!(source.forecast(&[], 1, false), 42.0);
+    }
+
+    #[test]
+    fn missing_instance_reported() {
+        let gallery = Gallery::in_memory();
+        let mut tracker = ResourceTracker::new();
+        let err = ModelSource::from_gallery(
+            &gallery,
+            &[InstanceId::from("ghost")],
+            &mut tracker,
+        );
+        assert!(err.is_err());
+    }
+}

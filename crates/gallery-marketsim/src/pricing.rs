@@ -1,0 +1,83 @@
+//! Surge pricing driven by demand forecasts — the simulator's model
+//! consumption point. The §4.3 case study hinges on *where the model comes
+//! from*: trained inline during the run, or fetched pretrained from
+//! Gallery.
+
+/// Surge policy: quote a multiplier from forecast demand vs available
+/// supply over the next interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgePolicy {
+    /// Demand/supply ratio at which surge starts.
+    pub threshold: f64,
+    /// Multiplier gained per unit of excess ratio.
+    pub slope: f64,
+    pub max_surge: f64,
+}
+
+impl Default for SurgePolicy {
+    fn default() -> Self {
+        SurgePolicy {
+            threshold: 1.0,
+            slope: 0.8,
+            max_surge: 3.0,
+        }
+    }
+}
+
+impl SurgePolicy {
+    /// Compute the surge multiplier.
+    pub fn surge(&self, forecast_demand: f64, idle_supply: usize) -> f64 {
+        let supply = (idle_supply as f64).max(1.0);
+        let ratio = (forecast_demand / supply).max(0.0);
+        if ratio <= self.threshold {
+            1.0
+        } else {
+            (1.0 + self.slope * (ratio - self.threshold)).min(self.max_surge)
+        }
+    }
+
+    /// Base fare + per-distance fare, scaled by surge.
+    pub fn fare(&self, distance: u32, surge: f64) -> f64 {
+        (2.5 + 0.8 * distance as f64) * surge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_surge_when_supply_ample() {
+        let p = SurgePolicy::default();
+        assert_eq!(p.surge(10.0, 50), 1.0);
+    }
+
+    #[test]
+    fn surge_rises_with_imbalance() {
+        let p = SurgePolicy::default();
+        let low = p.surge(20.0, 10);
+        let high = p.surge(40.0, 10);
+        assert!(high > low);
+        assert!(low > 1.0);
+    }
+
+    #[test]
+    fn surge_capped() {
+        let p = SurgePolicy::default();
+        assert_eq!(p.surge(1e9, 1), p.max_surge);
+    }
+
+    #[test]
+    fn zero_supply_handled() {
+        let p = SurgePolicy::default();
+        let s = p.surge(10.0, 0);
+        assert!(s.is_finite() && s > 1.0);
+    }
+
+    #[test]
+    fn fare_scales_with_surge_and_distance() {
+        let p = SurgePolicy::default();
+        assert!(p.fare(10, 2.0) > p.fare(10, 1.0));
+        assert!(p.fare(20, 1.0) > p.fare(10, 1.0));
+    }
+}

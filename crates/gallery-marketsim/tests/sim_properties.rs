@@ -1,0 +1,69 @@
+//! Property tests for the marketplace simulator.
+
+use gallery_marketsim::{run, EventQueue, InlineModel, ModelSource, SimConfig};
+use gallery_forecast::models::{AnyForecaster, MeanOfLastK};
+use proptest::prelude::*;
+
+fn inline_source(interval_ms: i64) -> ModelSource {
+    ModelSource::inline(
+        vec![InlineModel {
+            template: AnyForecaster::MeanOfLastK(MeanOfLastK::new(5)),
+            fitted: None,
+            retrain_every: 24,
+        }],
+        interval_ms,
+        8,
+    )
+}
+
+proptest! {
+    /// Event queue pops in nondecreasing time order with FIFO ties, for
+    /// arbitrary schedules.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(*t, i);
+        }
+        let mut last_time = 0u64;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last_time);
+            if e.time != last_time {
+                seen_at_time.clear();
+                last_time = e.time;
+            }
+            // FIFO within a timestamp: payload indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(e.kind > prev, "FIFO violated at t={}", e.time);
+            }
+            seen_at_time.push(e.kind);
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Simulation accounting identities hold for arbitrary seeds and fleet
+    /// sizes: served + lost trips are consistent, revenue is nonnegative,
+    /// and reports are reproducible per seed.
+    #[test]
+    fn simulation_accounting(seed in 0u64..100, drivers in 5usize..60) {
+        let mut config = SimConfig::small(seed);
+        config.days = 1;
+        config.n_drivers = drivers;
+        let report = run(&config, inline_source(config.interval_ms()));
+        prop_assert!(report.trips_served + report.trips_lost > 0);
+        prop_assert!(report.total_revenue >= 0.0);
+        prop_assert!(report.service_rate() >= 0.0 && report.service_rate() <= 1.0);
+        prop_assert!(report.mean_wait_ms >= 0.0);
+        // reproducibility
+        let again = run(&config, inline_source(config.interval_ms()));
+        prop_assert_eq!(report.trips_served, again.trips_served);
+        prop_assert_eq!(report.trips_lost, again.trips_lost);
+        prop_assert_eq!(report.total_revenue, again.total_revenue);
+        prop_assert_eq!(report.events_processed, again.events_processed);
+    }
+}

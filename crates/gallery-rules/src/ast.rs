@@ -1,0 +1,202 @@
+//! Abstract syntax tree for the rule expression language.
+
+use std::fmt;
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+impl BinOp {
+    /// Precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    /// Variable reference, e.g. `modelName`.
+    Ident(String),
+    /// Member access, e.g. `metrics.bias`.
+    Member(Box<Expr>, String),
+    /// Bracket indexing, e.g. `metrics["r2"]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call, e.g. `abs(metrics.bias)`.
+    Call(String, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// All identifier roots referenced by this expression (`metrics.bias`
+    /// contributes `metrics`). Used by the rule engine to decide which
+    /// events can affect a rule.
+    pub fn referenced_roots(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_roots(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_roots(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ident(name) => out.push(name.clone()),
+            Expr::Member(base, _) => base.collect_roots(out),
+            Expr::Index(base, key) => {
+                base.collect_roots(out);
+                key.collect_roots(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_roots(out);
+                }
+            }
+            Expr::Unary(_, e) => e.collect_roots(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_roots(out);
+                r.collect_roots(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Metric names referenced via `metrics.<name>` or `metrics["<name>"]`.
+    /// Drives event-based rule triggering (§3.7.2: "updating any metadata
+    /// or metrics specific in a registered rule").
+    pub fn referenced_metrics(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_metrics(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_metrics(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Member(base, field) => {
+                if matches!(&**base, Expr::Ident(root) if root == "metrics") {
+                    out.push(field.clone());
+                }
+                base.collect_metrics(out);
+            }
+            Expr::Index(base, key) => {
+                if let (Expr::Ident(root), Expr::Str(name)) = (&**base, &**key) {
+                    if root == "metrics" {
+                        out.push(name.clone());
+                    }
+                }
+                base.collect_metrics(out);
+                key.collect_metrics(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_metrics(out);
+                }
+            }
+            Expr::Unary(_, e) => e.collect_metrics(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_metrics(out);
+                r.collect_metrics(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn referenced_roots() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Member(
+                Box::new(Expr::Ident("metrics".into())),
+                "bias".into(),
+            )),
+            Box::new(Expr::Ident("modelName".into())),
+        );
+        assert_eq!(e.referenced_roots(), vec!["metrics".to_string(), "modelName".to_string()]);
+    }
+
+    #[test]
+    fn referenced_metrics_dot_and_bracket() {
+        let e = Expr::Binary(
+            BinOp::Or,
+            Box::new(Expr::Member(
+                Box::new(Expr::Ident("metrics".into())),
+                "bias".into(),
+            )),
+            Box::new(Expr::Index(
+                Box::new(Expr::Ident("metrics".into())),
+                Box::new(Expr::Str("r2".into())),
+            )),
+        );
+        assert_eq!(e.referenced_metrics(), vec!["bias".to_string(), "r2".to_string()]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Building evaluation contexts from Gallery entities.
+//!
+//! A rule sees one candidate instance as a flat set of variables:
+//! `modelName`, `model_domain`, `city`, `created_time`, plus every
+//! metadata key, plus a `metrics` object holding the latest value per
+//! metric name (validation/production metrics as stored; the most recent
+//! observation wins, matching how the paper's rules read e.g.
+//! `metrics.bias`).
+
+use crate::eval::{EvalContext, EvalValue};
+use gallery_core::metadata::MetaValue;
+use gallery_core::{Gallery, InstanceId, ModelInstance, Result};
+use std::collections::BTreeMap;
+
+fn meta_to_eval(v: &MetaValue) -> EvalValue {
+    match v {
+        MetaValue::Str(s) => EvalValue::Str(s.clone()),
+        MetaValue::Num(x) => EvalValue::Num(*x),
+        MetaValue::Bool(b) => EvalValue::Bool(*b),
+        MetaValue::List(items) => EvalValue::Str(items.join(",")),
+    }
+}
+
+/// Build the evaluation context for one instance.
+///
+/// Variable set:
+/// - every metadata key verbatim (`city`, `model_domain`, ...);
+/// - `modelName` (alias of metadata `model_name`, falling back to the
+///   owning model's name) and `model_domain`;
+/// - `created_time` (instance creation, epoch ms);
+/// - `display_version`, `base_version_id`, `instance_id`, `model_id`;
+/// - `deprecated` (bool);
+/// - `metrics.<name>` — latest stored value per metric name.
+pub fn instance_context(gallery: &Gallery, instance: &ModelInstance) -> Result<EvalContext> {
+    let mut ctx = EvalContext::new();
+    for (k, v) in instance.metadata.iter() {
+        ctx.set(k.clone(), meta_to_eval(v));
+    }
+    // modelName alias: prefer instance metadata, fall back to model name.
+    let model_name = instance
+        .metadata
+        .get_str("model_name")
+        .map(str::to_owned)
+        .or_else(|| gallery.get_model(&instance.model_id).ok().map(|m| m.name));
+    if let Some(name) = model_name {
+        ctx.set("modelName", name.clone());
+        ctx.set("model_name", name);
+    }
+    ctx.set("created_time", instance.created_at);
+    ctx.set("display_version", instance.display_version.to_string());
+    ctx.set("base_version_id", instance.base_version_id.as_str());
+    ctx.set("instance_id", instance.id.as_str());
+    ctx.set("model_id", instance.model_id.as_str());
+    ctx.set("deprecated", instance.deprecated);
+
+    let mut latest: BTreeMap<String, (i64, f64)> = BTreeMap::new();
+    for metric in gallery.metrics_of_instance(&instance.id)? {
+        let entry = latest.entry(metric.name.clone()).or_insert((i64::MIN, 0.0));
+        if metric.created_at >= entry.0 {
+            *entry = (metric.created_at, metric.value);
+        }
+    }
+    let metrics_obj = EvalValue::Object(
+        latest
+            .into_iter()
+            .map(|(name, (_, value))| (name, EvalValue::Num(value)))
+            .collect(),
+    );
+    ctx.set("metrics", metrics_obj);
+    Ok(ctx)
+}
+
+/// Context by instance id.
+pub fn instance_context_by_id(gallery: &Gallery, id: &InstanceId) -> Result<EvalContext> {
+    let instance = gallery.get_instance(id)?;
+    instance_context(gallery, &instance)
+}
+
+/// Context restricted to the given metric names — the rule engine's hot
+/// path. Instead of materializing every stored metric (which grows without
+/// bound as production monitoring appends observations), fetch only the
+/// latest value of each metric the rule actually references.
+pub fn instance_context_scoped(
+    gallery: &Gallery,
+    instance: &ModelInstance,
+    metric_names: &[String],
+) -> Result<EvalContext> {
+    let mut ctx = EvalContext::new();
+    for (k, v) in instance.metadata.iter() {
+        ctx.set(k.clone(), meta_to_eval(v));
+    }
+    let model_name = instance
+        .metadata
+        .get_str("model_name")
+        .map(str::to_owned)
+        .or_else(|| gallery.get_model(&instance.model_id).ok().map(|m| m.name));
+    if let Some(name) = model_name {
+        ctx.set("modelName", name.clone());
+        ctx.set("model_name", name);
+    }
+    ctx.set("created_time", instance.created_at);
+    ctx.set("display_version", instance.display_version.to_string());
+    ctx.set("base_version_id", instance.base_version_id.as_str());
+    ctx.set("instance_id", instance.id.as_str());
+    ctx.set("model_id", instance.model_id.as_str());
+    ctx.set("deprecated", instance.deprecated);
+    let mut metrics = BTreeMap::new();
+    for name in metric_names {
+        // Latest observation regardless of scope: mirror the full-context
+        // semantics by taking the newest across all scopes.
+        if let Some(value) = gallery.latest_metric_any_scope(&instance.id, name)? {
+            metrics.insert(name.clone(), EvalValue::Num(value));
+        }
+    }
+    ctx.set("metrics", EvalValue::Object(metrics));
+    Ok(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::parser::parse;
+    use bytes::Bytes;
+    use gallery_core::metadata::{fields, Metadata};
+    use gallery_core::{InstanceSpec, MetricScope, MetricSpec, ModelSpec};
+
+    #[test]
+    fn context_exposes_paper_variables() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(
+                ModelSpec::new("example-project", "demand").name("linear_regression"),
+            )
+            .unwrap();
+        let inst = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new().metadata(
+                    Metadata::new()
+                        .with(fields::MODEL_DOMAIN, "UberX")
+                        .with(fields::CITY, "sf"),
+                ),
+                Bytes::from_static(b"w"),
+            )
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("r2", MetricScope::Validation, 0.85))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.02))
+            .unwrap();
+        let ctx = instance_context(&g, &inst).unwrap();
+
+        // Listing 1 GIVEN evaluates true.
+        let given = parse(r#"modelName == "linear_regression" && model_domain == "UberX""#).unwrap();
+        assert_eq!(eval(&given, &ctx).unwrap(), EvalValue::Bool(true));
+        // Listing 1 WHEN (r2 <= 0.9) is true for this instance.
+        let when = parse(r#"metrics["r2"] <= 0.9"#).unwrap();
+        assert_eq!(eval(&when, &ctx).unwrap(), EvalValue::Bool(true));
+        // Listing 2 WHEN bias corridor.
+        let when = parse("metrics.bias <= 0.1 && metrics.bias >= -0.1").unwrap();
+        assert_eq!(eval(&when, &ctx).unwrap(), EvalValue::Bool(true));
+        // created_time is queryable.
+        let e = parse("created_time > 0").unwrap();
+        assert_eq!(eval(&e, &ctx).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn latest_metric_wins() {
+        let g = Gallery::in_memory();
+        let model = g.create_model(ModelSpec::new("p", "d").name("m")).unwrap();
+        let inst = g
+            .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Production, 0.5))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Production, 0.2))
+            .unwrap();
+        let ctx = instance_context(&g, &inst).unwrap();
+        let e = parse("metrics.mae == 0.2").unwrap();
+        assert_eq!(eval(&e, &ctx).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn model_name_falls_back_to_model() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(ModelSpec::new("p", "d").name("heuristic"))
+            .unwrap();
+        let inst = g
+            .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+            .unwrap();
+        let ctx = instance_context(&g, &inst).unwrap();
+        let e = parse(r#"modelName == "heuristic""#).unwrap();
+        assert_eq!(eval(&e, &ctx).unwrap(), EvalValue::Bool(true));
+    }
+}
+
+#[cfg(test)]
+mod scoped_tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::parser::parse;
+    use bytes::Bytes;
+    use gallery_core::metadata::{fields, Metadata};
+    use gallery_core::{InstanceSpec, MetricScope, MetricSpec, ModelSpec};
+
+    #[test]
+    fn scoped_context_matches_full_context_on_watched_metrics() {
+        let g = Gallery::in_memory();
+        let model = g
+            .create_model(ModelSpec::new("p", "d").name("ridge"))
+            .unwrap();
+        let inst = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new()
+                    .metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
+                Bytes::from_static(b"w"),
+            )
+            .unwrap();
+        for i in 0..50 {
+            g.insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Production, 0.01 * i as f64),
+            )
+            .unwrap();
+            g.insert_metric(
+                &inst.id,
+                MetricSpec::new("mae", MetricScope::Production, 1.0 + i as f64),
+            )
+            .unwrap();
+        }
+        let full = instance_context(&g, &inst).unwrap();
+        let scoped =
+            instance_context_scoped(&g, &inst, &["bias".to_string()]).unwrap();
+        for src in ["metrics.bias", "model_domain", "created_time"] {
+            let e = parse(src).unwrap();
+            assert_eq!(
+                eval(&e, &full).unwrap(),
+                eval(&e, &scoped).unwrap(),
+                "{src} must agree"
+            );
+        }
+        // unwatched metric is simply absent (lenient null) in scoped ctx
+        let e = parse("metrics.mae == null").unwrap();
+        assert_eq!(eval(&e, &scoped).unwrap(), crate::eval::EvalValue::Bool(true));
+    }
+}

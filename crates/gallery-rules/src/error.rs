@@ -1,0 +1,77 @@
+//! Error types for the rule engine.
+
+use crate::eval::EvalError;
+use crate::parser::ParseError;
+use crate::rule::RuleError;
+use gallery_core::GalleryError;
+use std::fmt;
+
+/// Errors produced while loading, evaluating, or executing rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Underlying Gallery failure.
+    Gallery(GalleryError),
+    /// Expression failed to parse.
+    Parse(String),
+    /// Expression failed to evaluate.
+    Eval(String),
+    /// Rule document invalid.
+    Rule(String),
+    /// The named rule is not registered.
+    UnknownRule(String),
+    /// The named action is not registered.
+    UnknownAction(String),
+    /// The rule is an action rule but a selection was requested.
+    NotASelectionRule(String),
+    /// A callback action reported failure.
+    ActionFailed(String),
+    /// Rule repo violation (validation, review, unknown path...).
+    Repo(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Gallery(e) => write!(f, "gallery error: {e}"),
+            EngineError::Parse(m) => write!(f, "{m}"),
+            EngineError::Eval(m) => write!(f, "{m}"),
+            EngineError::Rule(m) => write!(f, "{m}"),
+            EngineError::UnknownRule(id) => write!(f, "unknown rule: {id}"),
+            EngineError::UnknownAction(name) => write!(f, "unknown action: {name}"),
+            EngineError::NotASelectionRule(id) => {
+                write!(f, "rule {id} is not a selection rule")
+            }
+            EngineError::ActionFailed(m) => write!(f, "action failed: {m}"),
+            EngineError::Repo(m) => write!(f, "rule repo error: {m}"),
+            EngineError::ShuttingDown => write!(f, "rule engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GalleryError> for EngineError {
+    fn from(e: GalleryError) -> Self {
+        EngineError::Gallery(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e.to_string())
+    }
+}
+
+impl From<RuleError> for EngineError {
+    fn from(e: RuleError) -> Self {
+        EngineError::Rule(e.to_string())
+    }
+}

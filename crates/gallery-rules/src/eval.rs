@@ -1,0 +1,435 @@
+//! Evaluator for rule expressions.
+//!
+//! Semantics follow JEXL's lenient style where the paper depends on it:
+//! unknown identifiers and missing members evaluate to `Null`, and any
+//! comparison involving `Null` is false (so a rule over a metric that has
+//! not been reported yet simply does not fire, rather than erroring).
+
+use crate::ast::{BinOp, Expr, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Runtime value of the expression language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Object(BTreeMap<String, EvalValue>),
+}
+
+impl EvalValue {
+    pub fn object(entries: impl IntoIterator<Item = (String, EvalValue)>) -> Self {
+        EvalValue::Object(entries.into_iter().collect())
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            EvalValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            EvalValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            EvalValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness: used by `&&`, `||`, `!`. Null and false are falsy;
+    /// everything else (including 0 and "") is an error-free truthy —
+    /// except numbers/strings are NOT silently coerced: boolean operators
+    /// require Bool or Null to keep rules unambiguous.
+    fn truthy(&self) -> Result<bool, EvalError> {
+        match self {
+            EvalValue::Bool(b) => Ok(*b),
+            EvalValue::Null => Ok(false),
+            other => Err(EvalError {
+                message: format!("expected boolean, got {other}"),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for EvalValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalValue::Null => write!(f, "null"),
+            EvalValue::Bool(b) => write!(f, "{b}"),
+            EvalValue::Num(x) => write!(f, "{x}"),
+            EvalValue::Str(s) => write!(f, "{s}"),
+            EvalValue::Object(o) => write!(f, "<object with {} fields>", o.len()),
+        }
+    }
+}
+
+impl From<bool> for EvalValue {
+    fn from(b: bool) -> Self {
+        EvalValue::Bool(b)
+    }
+}
+impl From<f64> for EvalValue {
+    fn from(x: f64) -> Self {
+        EvalValue::Num(x)
+    }
+}
+impl From<i64> for EvalValue {
+    fn from(x: i64) -> Self {
+        EvalValue::Num(x as f64)
+    }
+}
+impl From<&str> for EvalValue {
+    fn from(s: &str) -> Self {
+        EvalValue::Str(s.to_owned())
+    }
+}
+impl From<String> for EvalValue {
+    fn from(s: String) -> Self {
+        EvalValue::Str(s)
+    }
+}
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eval error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Variable bindings for one evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalContext {
+    vars: BTreeMap<String, EvalValue>,
+}
+
+impl EvalContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<EvalValue>) -> Self {
+        self.vars.insert(name.into(), value.into());
+        self
+    }
+
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<EvalValue>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    pub fn get(&self, name: &str) -> Option<&EvalValue> {
+        self.vars.get(name)
+    }
+
+    /// Merge another context's bindings under a prefix object, e.g.
+    /// `a.created_time` for selection comparators.
+    pub fn nest(&mut self, prefix: impl Into<String>, ctx: &EvalContext) {
+        self.vars
+            .insert(prefix.into(), EvalValue::Object(ctx.vars.clone()));
+    }
+
+    /// Set one entry of the `metrics` object (creating the object if
+    /// absent) — used by the rule engine to bind the metric value that
+    /// triggered an evaluation.
+    pub fn set_metric(&mut self, name: impl Into<String>, value: f64) {
+        match self.vars.get_mut("metrics") {
+            Some(EvalValue::Object(map)) => {
+                map.insert(name.into(), EvalValue::Num(value));
+            }
+            _ => {
+                self.vars.insert(
+                    "metrics".to_owned(),
+                    EvalValue::object([(name.into(), EvalValue::Num(value))]),
+                );
+            }
+        }
+    }
+}
+
+/// Evaluate an expression against a context.
+pub fn eval(expr: &Expr, ctx: &EvalContext) -> Result<EvalValue, EvalError> {
+    match expr {
+        Expr::Null => Ok(EvalValue::Null),
+        Expr::Bool(b) => Ok(EvalValue::Bool(*b)),
+        Expr::Num(x) => Ok(EvalValue::Num(*x)),
+        Expr::Str(s) => Ok(EvalValue::Str(s.clone())),
+        Expr::Ident(name) => Ok(ctx.get(name).cloned().unwrap_or(EvalValue::Null)),
+        Expr::Member(base, field) => {
+            let base = eval(base, ctx)?;
+            Ok(member(&base, field))
+        }
+        Expr::Index(base, key) => {
+            let base = eval(base, ctx)?;
+            let key = eval(key, ctx)?;
+            match key {
+                EvalValue::Str(k) => Ok(member(&base, &k)),
+                other => Err(EvalError {
+                    message: format!("index key must be a string, got {other}"),
+                }),
+            }
+        }
+        Expr::Call(name, args) => {
+            let values: Vec<EvalValue> = args
+                .iter()
+                .map(|a| eval(a, ctx))
+                .collect::<Result<_, _>>()?;
+            call(name, &values)
+        }
+        Expr::Unary(op, e) => {
+            let v = eval(e, ctx)?;
+            match op {
+                UnOp::Not => Ok(EvalValue::Bool(!v.truthy()?)),
+                UnOp::Neg => match v {
+                    EvalValue::Num(x) => Ok(EvalValue::Num(-x)),
+                    EvalValue::Null => Ok(EvalValue::Null),
+                    other => Err(EvalError {
+                        message: format!("cannot negate {other}"),
+                    }),
+                },
+            }
+        }
+        Expr::Binary(op, l, r) => eval_binary(*op, l, r, ctx),
+    }
+}
+
+fn member(base: &EvalValue, field: &str) -> EvalValue {
+    match base {
+        EvalValue::Object(map) => map.get(field).cloned().unwrap_or(EvalValue::Null),
+        // missing member on null stays null (lenient)
+        _ => EvalValue::Null,
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &EvalContext) -> Result<EvalValue, EvalError> {
+    // Short-circuit boolean operators.
+    match op {
+        BinOp::And => {
+            let lv = eval(l, ctx)?;
+            if !lv.truthy()? {
+                return Ok(EvalValue::Bool(false));
+            }
+            let rv = eval(r, ctx)?;
+            return Ok(EvalValue::Bool(rv.truthy()?));
+        }
+        BinOp::Or => {
+            let lv = eval(l, ctx)?;
+            if lv.truthy()? {
+                return Ok(EvalValue::Bool(true));
+            }
+            let rv = eval(r, ctx)?;
+            return Ok(EvalValue::Bool(rv.truthy()?));
+        }
+        _ => {}
+    }
+    let lv = eval(l, ctx)?;
+    let rv = eval(r, ctx)?;
+    use EvalValue::*;
+    Ok(match op {
+        BinOp::Eq => Bool(lv == rv),
+        BinOp::Ne => Bool(lv != rv),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // Null never satisfies an ordering comparison (lenient).
+            if lv == Null || rv == Null {
+                return Ok(Bool(false));
+            }
+            let ord = match (&lv, &rv) {
+                (Num(a), Num(b)) => a.partial_cmp(b),
+                (Str(a), Str(b)) => Some(a.cmp(b)),
+                _ => None,
+            }
+            .ok_or_else(|| EvalError {
+                message: format!("cannot compare {lv} with {rv}"),
+            })?;
+            Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        }
+        BinOp::Add => match (&lv, &rv) {
+            (Num(a), Num(b)) => Num(a + b),
+            (Str(a), Str(b)) => Str(format!("{a}{b}")),
+            _ => {
+                return Err(EvalError {
+                    message: format!("cannot add {lv} and {rv}"),
+                })
+            }
+        },
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            let (a, b) = match (&lv, &rv) {
+                (Num(a), Num(b)) => (*a, *b),
+                _ => {
+                    return Err(EvalError {
+                        message: format!("arithmetic needs numbers, got {lv} and {rv}"),
+                    })
+                }
+            };
+            Num(match op {
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                _ => unreachable!(),
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    })
+}
+
+fn call(name: &str, args: &[EvalValue]) -> Result<EvalValue, EvalError> {
+    let num = |v: &EvalValue, fname: &str| -> Result<f64, EvalError> {
+        v.as_num().ok_or_else(|| EvalError {
+            message: format!("{fname} needs a number, got {v}"),
+        })
+    };
+    match (name, args) {
+        ("abs", [v]) => Ok(EvalValue::Num(num(v, "abs")?.abs())),
+        ("min", [a, b]) => Ok(EvalValue::Num(num(a, "min")?.min(num(b, "min")?))),
+        ("max", [a, b]) => Ok(EvalValue::Num(num(a, "max")?.max(num(b, "max")?))),
+        ("contains", [EvalValue::Str(s), EvalValue::Str(sub)]) => {
+            Ok(EvalValue::Bool(s.contains(sub.as_str())))
+        }
+        ("starts_with", [EvalValue::Str(s), EvalValue::Str(p)]) => {
+            Ok(EvalValue::Bool(s.starts_with(p.as_str())))
+        }
+        ("defined", [v]) => Ok(EvalValue::Bool(*v != EvalValue::Null)),
+        ("len", [EvalValue::Str(s)]) => Ok(EvalValue::Num(s.chars().count() as f64)),
+        _ => Err(EvalError {
+            message: format!("unknown function {name}/{}", args.len()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ctx() -> EvalContext {
+        let metrics = EvalValue::object([
+            ("bias".to_string(), EvalValue::Num(0.05)),
+            ("r2".to_string(), EvalValue::Num(0.95)),
+        ]);
+        EvalContext::new()
+            .with("modelName", "linear_regression")
+            .with("model_domain", "UberX")
+            .with("created_time", 1000i64)
+            .with("metrics", metrics)
+    }
+
+    fn run(src: &str) -> EvalValue {
+        eval(&parse(src).unwrap(), &ctx()).unwrap()
+    }
+
+    #[test]
+    fn listing1_given_clause() {
+        assert_eq!(
+            run(r#"modelName == "linear_regression" && model_domain == "UberX""#),
+            EvalValue::Bool(true)
+        );
+        assert_eq!(
+            run(r#"modelName == "random_forest" && model_domain == "UberX""#),
+            EvalValue::Bool(false)
+        );
+    }
+
+    #[test]
+    fn listing1_when_clause_bracket_access() {
+        assert_eq!(run(r#"metrics["r2"] <= 0.9"#), EvalValue::Bool(false));
+        assert_eq!(run(r#"metrics["r2"] >= 0.9"#), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn listing2_when_clause() {
+        assert_eq!(
+            run("metrics.bias <= 0.1 && metrics.bias >= -0.1"),
+            EvalValue::Bool(true)
+        );
+    }
+
+    #[test]
+    fn missing_metric_is_lenient_false() {
+        assert_eq!(run("metrics.mae < 0.5"), EvalValue::Bool(false));
+        assert_eq!(run("defined(metrics.mae)"), EvalValue::Bool(false));
+        assert_eq!(run("defined(metrics.bias)"), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn unknown_identifier_is_null() {
+        assert_eq!(run("nonsense == null"), EvalValue::Bool(true));
+        assert_eq!(run("nonsense < 5"), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        assert_eq!(run("1 + 2 * 3"), EvalValue::Num(7.0));
+        assert_eq!(run("abs(0 - metrics.bias)"), EvalValue::Num(0.05));
+        assert_eq!(run("max(metrics.bias, 0.1)"), EvalValue::Num(0.1));
+        assert_eq!(run("min(metrics.bias, 0.1)"), EvalValue::Num(0.05));
+        assert_eq!(run("10 % 3"), EvalValue::Num(1.0));
+    }
+
+    #[test]
+    fn string_ops() {
+        assert_eq!(
+            run(r#"contains(modelName, "regression")"#),
+            EvalValue::Bool(true)
+        );
+        assert_eq!(run(r#"starts_with(modelName, "linear")"#), EvalValue::Bool(true));
+        assert_eq!(run(r#"len(model_domain)"#), EvalValue::Num(5.0));
+        assert_eq!(
+            run(r#"modelName + "_v2""#),
+            EvalValue::Str("linear_regression_v2".into())
+        );
+    }
+
+    #[test]
+    fn short_circuit() {
+        // rhs would error (arithmetic on string) but is never evaluated
+        let e = parse(r#"false && (modelName + 1 == 2)"#).unwrap();
+        assert_eq!(eval(&e, &ctx()).unwrap(), EvalValue::Bool(false));
+        let e = parse(r#"true || (modelName + 1 == 2)"#).unwrap();
+        assert_eq!(eval(&e, &ctx()).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        assert!(eval(&parse("modelName - 1").unwrap(), &ctx()).is_err());
+        assert!(eval(&parse("1 && true").unwrap(), &ctx()).is_err());
+        assert!(eval(&parse(r#"metrics[5]"#).unwrap(), &ctx()).is_err());
+        assert!(eval(&parse("bogus_fn(1)").unwrap(), &ctx()).is_err());
+    }
+
+    #[test]
+    fn nested_contexts_for_selection() {
+        let mut outer = EvalContext::new();
+        outer.nest("a", &ctx());
+        let mut b = ctx();
+        b.set("created_time", 2000i64);
+        outer.nest("b", &b);
+        let e = parse("a.created_time > b.created_time").unwrap();
+        assert_eq!(eval(&e, &outer).unwrap(), EvalValue::Bool(false));
+        let e = parse("b.created_time > a.created_time").unwrap();
+        assert_eq!(eval(&e, &outer).unwrap(), EvalValue::Bool(true));
+        // nested metric access
+        let e = parse(r#"a.metrics["r2"] == b.metrics.r2"#).unwrap();
+        assert_eq!(eval(&e, &outer).unwrap(), EvalValue::Bool(true));
+    }
+}

@@ -1,0 +1,36 @@
+//! # gallery-rules
+//!
+//! The orchestration rule engine of Gallery (§3.7 of *Gallery: A Machine
+//! Learning Model Management System at Uber*, EDBT 2020).
+//!
+//! Components:
+//! - a from-scratch JEXL-like expression language ([`token`], [`ast`],
+//!   [`parser`], [`eval`]) covering the paper's rule conditions;
+//! - Given/When/Then rule documents with two "Then" templates — model
+//!   selection and callback actions ([`rule`]);
+//! - champion selection over Gallery instances ([`selection`]);
+//! - a named callback [`actions::ActionRegistry`] with default actions;
+//! - a git-style versioned [`repo::RuleRepo`] with validation-before-commit
+//!   and enforced peer review;
+//! - the event-driven [`engine::RuleEngine`] with a job queue and a worker
+//!   pool (Figure 8).
+
+pub mod actions;
+pub mod ast;
+pub mod context;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod repo;
+pub mod rule;
+pub mod selection;
+pub mod token;
+
+pub use actions::{ActionInvocation, ActionLog, ActionRegistry};
+pub use engine::{EngineStats, RuleEngine};
+pub use error::EngineError;
+pub use eval::{EvalContext, EvalValue};
+pub use repo::{Commit, RuleRepo};
+pub use rule::{CompiledRule, RuleBody, RuleDoc, RuleKind};
+pub use selection::{select_champion, select_from_gallery};

@@ -1,0 +1,321 @@
+//! Recursive-descent / precedence-climbing parser for rule expressions.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::token::{lex, LexError, Token};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse an expression source string into an AST.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expression(0)?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: format!("trailing tokens starting at {}", p.peek_desc()),
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<end>".to_owned())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            got => Err(ParseError {
+                message: format!(
+                    "expected {want}, got {}",
+                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                ),
+            }),
+        }
+    }
+
+    fn binop_of(token: &Token) -> Option<BinOp> {
+        Some(match token {
+            Token::OrOr => BinOp::Or,
+            Token::AndAnd => BinOp::And,
+            Token::EqEq => BinOp::Eq,
+            Token::NotEq => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            Token::Plus => BinOp::Add,
+            Token::Minus => BinOp::Sub,
+            Token::Star => BinOp::Mul,
+            Token::Slash => BinOp::Div,
+            Token::Percent => BinOp::Rem,
+            _ => return None,
+        })
+    }
+
+    /// Precedence climbing.
+    fn expression(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.peek().and_then(Self::binop_of) {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.next();
+            // left-associative: parse the rhs at prec+1
+            let rhs = self.expression(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Some(Token::Minus) => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// Primary expression followed by any chain of `.member`, `[index]`.
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.next();
+                    match self.next() {
+                        Some(Token::Ident(name)) => {
+                            e = Expr::Member(Box::new(e), name);
+                        }
+                        got => {
+                            return Err(ParseError {
+                                message: format!(
+                                    "expected member name after '.', got {}",
+                                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                                ),
+                            })
+                        }
+                    }
+                }
+                Some(Token::LBracket) => {
+                    self.next();
+                    let index = self.expression(0)?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(index));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Num(x)) => Ok(Expr::Num(x)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Bool(b)) => Ok(Expr::Bool(b)),
+            Some(Token::Null) => Ok(Expr::Null),
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expression(0)?);
+                            match self.peek() {
+                                Some(Token::Comma) => {
+                                    self.next();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let e = self.expression(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            got => Err(ParseError {
+                message: format!(
+                    "expected expression, got {}",
+                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, UnOp};
+
+    #[test]
+    fn parse_listing1_when() {
+        let e = parse(r#"metrics["r2"] <= 0.9"#).unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Le,
+                Box::new(Expr::Index(
+                    Box::new(Expr::Ident("metrics".into())),
+                    Box::new(Expr::Str("r2".into())),
+                )),
+                Box::new(Expr::Num(0.9)),
+            )
+        );
+    }
+
+    #[test]
+    fn parse_listing2_when() {
+        let e = parse("metrics.bias <= 0.1 && metrics.bias >= -0.1").unwrap();
+        match e {
+            Expr::Binary(BinOp::And, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Le, _, _)));
+                match *r {
+                    Expr::Binary(BinOp::Ge, _, neg) => {
+                        assert_eq!(*neg, Expr::Unary(UnOp::Neg, Box::new(Expr::Num(0.1))));
+                    }
+                    other => panic!("unexpected rhs {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // a || b && c parses as a || (b && c)
+        let e = parse("a || b && c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+        // (a || b) && c
+        let e = parse("(a || b) && c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+        // arithmetic binds tighter than comparison
+        let e = parse("1 + 2 * 3 < 10").unwrap();
+        match e {
+            Expr::Binary(BinOp::Lt, l, _) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        // 10 - 3 - 2 == (10 - 3) - 2
+        let e = parse("10 - 3 - 2").unwrap();
+        match e {
+            Expr::Binary(BinOp::Sub, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Sub, _, _)));
+                assert_eq!(*r, Expr::Num(2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_chains() {
+        let e = parse("a.b.c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Member(
+                Box::new(Expr::Member(
+                    Box::new(Expr::Ident("a".into())),
+                    "b".into()
+                )),
+                "c".into()
+            )
+        );
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = parse("max(metrics.mae, 0.5)").unwrap();
+        match e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "max");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_comparator_parses() {
+        // Listing 1's MODEL_SELECTION comparator.
+        let e = parse("a.created_time > b.created_time").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Gt, _, _)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a &&").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("metrics[").is_err());
+        assert!(parse("f(a,").is_err());
+        assert!(parse("a .").is_err());
+    }
+
+    #[test]
+    fn not_operator() {
+        let e = parse("!deployed && !(a || b)").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+    }
+}

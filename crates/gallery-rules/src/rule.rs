@@ -1,0 +1,257 @@
+//! Rule definitions (§3.7.1, Listings 1–2).
+//!
+//! Rules follow the classical *Given/When/Then* shape. Two "Then"
+//! templates exist: **model selection** (return the champion among
+//! candidates) and **callback action** (trigger a registered action, e.g.
+//! deployment). Rules are JSON documents checked into the rule repo; this
+//! module parses and compiles them, validating every embedded expression
+//! eagerly so a bad rule can never reach production (§3.7.2: "a test
+//! framework to validate each rule before it can impact production").
+
+use crate::ast::Expr;
+use crate::parser::{parse, ParseError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// On-disk JSON form of a rule (Listings 1–2, with the paper's pseudo-JSON
+/// regularized: expressions are JSON strings; `AND` clauses are folded into
+/// the GIVEN/WHEN expressions with `&&`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleDoc {
+    pub team: String,
+    pub uuid: String,
+    pub rule: RuleBody,
+}
+
+/// The `rule` object of a [`RuleDoc`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleBody {
+    /// Candidate filter over model metadata (`GIVEN` + `AND` clauses).
+    #[serde(rename = "GIVEN")]
+    pub given: String,
+    /// Trigger condition over metrics/metadata (`WHEN` + `AND` clauses).
+    #[serde(rename = "WHEN")]
+    pub when: String,
+    #[serde(rename = "ENVIRONMENT", default)]
+    pub environment: String,
+    /// Pairwise comparator selecting the better of two candidates
+    /// (selection rules), e.g. `a.created_time > b.created_time`.
+    #[serde(rename = "MODEL_SELECTION", default, skip_serializing_if = "Option::is_none")]
+    pub model_selection: Option<String>,
+    /// Names of registered callback actions (action rules).
+    #[serde(rename = "CALLBACK_ACTIONS", default, skip_serializing_if = "Vec::is_empty")]
+    pub callback_actions: Vec<String>,
+}
+
+/// What a compiled rule does when it fires.
+#[derive(Debug, Clone)]
+pub enum RuleKind {
+    /// Return the best candidate under a pairwise comparator.
+    Selection { comparator: Expr },
+    /// Trigger the named callback actions.
+    Action { actions: Vec<String> },
+}
+
+/// Error compiling a rule document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleError {
+    pub message: String,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<ParseError> for RuleError {
+    fn from(e: ParseError) -> Self {
+        RuleError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A validated, compiled rule ready for evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    pub id: String,
+    pub team: String,
+    pub environment: String,
+    pub given: Expr,
+    pub when: Expr,
+    pub kind: RuleKind,
+    /// Metric names referenced anywhere in GIVEN/WHEN — the engine uses
+    /// these to decide which metric-insert events can trigger this rule.
+    pub watched_metrics: Vec<String>,
+    /// Source text kept for observability.
+    pub given_src: String,
+    pub when_src: String,
+}
+
+impl CompiledRule {
+    /// Compile and validate a rule document.
+    pub fn compile(doc: &RuleDoc) -> Result<Self, RuleError> {
+        if doc.uuid.trim().is_empty() {
+            return Err(RuleError {
+                message: "rule uuid must be non-empty".into(),
+            });
+        }
+        let given = parse(&doc.rule.given)?;
+        let when = parse(&doc.rule.when)?;
+        let kind = match (&doc.rule.model_selection, doc.rule.callback_actions.as_slice()) {
+            (Some(_), actions) if !actions.is_empty() => {
+                return Err(RuleError {
+                    message: "rule cannot be both selection and action".into(),
+                })
+            }
+            (Some(sel), _) => RuleKind::Selection {
+                comparator: parse(sel)?,
+            },
+            (None, []) => {
+                return Err(RuleError {
+                    message: "rule needs MODEL_SELECTION or CALLBACK_ACTIONS".into(),
+                })
+            }
+            (None, actions) => {
+                if actions.iter().any(|a| a.trim().is_empty()) {
+                    return Err(RuleError {
+                        message: "callback action names must be non-empty".into(),
+                    });
+                }
+                RuleKind::Action {
+                    actions: actions.to_vec(),
+                }
+            }
+        };
+        let mut watched = given.referenced_metrics();
+        watched.extend(when.referenced_metrics());
+        watched.sort();
+        watched.dedup();
+        Ok(CompiledRule {
+            id: doc.uuid.clone(),
+            team: doc.team.clone(),
+            environment: doc.rule.environment.clone(),
+            given,
+            when,
+            kind,
+            watched_metrics: watched,
+            given_src: doc.rule.given.clone(),
+            when_src: doc.rule.when.clone(),
+        })
+    }
+
+    /// Parse + compile straight from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, RuleError> {
+        let doc: RuleDoc = serde_json::from_str(json).map_err(|e| RuleError {
+            message: format!("bad rule json: {e}"),
+        })?;
+        Self::compile(&doc)
+    }
+
+    pub fn is_selection(&self) -> bool {
+        matches!(self.kind, RuleKind::Selection { .. })
+    }
+
+    pub fn is_action(&self) -> bool {
+        matches!(self.kind, RuleKind::Action { .. })
+    }
+}
+
+/// The Listing 1 example, as a ready-made document (used in docs, tests,
+/// and the E5 experiment).
+pub fn listing1_selection_rule() -> RuleDoc {
+    RuleDoc {
+        team: "forecasting".into(),
+        uuid: "316b3ab4-2509-4ea7-8025-ca879dac61".into(),
+        rule: RuleBody {
+            given: r#"modelName == "linear_regression" && model_domain == "UberX""#.into(),
+            when: r#"metrics["r2"] <= 0.9"#.into(),
+            environment: "production".into(),
+            model_selection: Some("a.created_time > b.created_time".into()),
+            callback_actions: vec![],
+        },
+    }
+}
+
+/// The Listing 2 example.
+pub fn listing2_action_rule() -> RuleDoc {
+    RuleDoc {
+        team: "forecasting".into(),
+        uuid: "4365754a-92bb-4421-a1be-d7d87f77a".into(),
+        rule: RuleBody {
+            given: r#"model_domain == "UberX" && modelName == "Random Forest""#.into(),
+            when: "metrics.bias <= 0.1 && metrics.bias >= -0.1".into(),
+            environment: "production".into(),
+            model_selection: None,
+            callback_actions: vec!["forecasting_deployment".into()],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_listing1() {
+        let rule = CompiledRule::compile(&listing1_selection_rule()).unwrap();
+        assert!(rule.is_selection());
+        assert_eq!(rule.environment, "production");
+        assert_eq!(rule.watched_metrics, vec!["r2".to_string()]);
+    }
+
+    #[test]
+    fn compile_listing2() {
+        let rule = CompiledRule::compile(&listing2_action_rule()).unwrap();
+        assert!(rule.is_action());
+        assert_eq!(rule.watched_metrics, vec!["bias".to_string()]);
+        match &rule.kind {
+            RuleKind::Action { actions } => {
+                assert_eq!(actions, &["forecasting_deployment".to_string()])
+            }
+            _ => panic!("expected action"),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = listing2_action_rule();
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let rule = CompiledRule::from_json(&json).unwrap();
+        assert!(rule.is_action());
+    }
+
+    #[test]
+    fn rejects_bad_expression() {
+        let mut doc = listing1_selection_rule();
+        doc.rule.when = "metrics[".into();
+        assert!(CompiledRule::compile(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_both_kinds() {
+        let mut doc = listing1_selection_rule();
+        doc.rule.callback_actions = vec!["x".into()];
+        assert!(CompiledRule::compile(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_neither_kind() {
+        let mut doc = listing1_selection_rule();
+        doc.rule.model_selection = None;
+        assert!(CompiledRule::compile(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_uuid_and_action_names() {
+        let mut doc = listing2_action_rule();
+        doc.uuid = "  ".into();
+        assert!(CompiledRule::compile(&doc).is_err());
+        let mut doc = listing2_action_rule();
+        doc.rule.callback_actions = vec!["".into()];
+        assert!(CompiledRule::compile(&doc).is_err());
+    }
+}

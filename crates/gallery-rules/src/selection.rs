@@ -1,0 +1,172 @@
+//! Model selection rules (§3.7.1).
+//!
+//! "Applying a model selection rule will return a model based on some
+//! selection criteria, e.g., returning the model that maximize AUC."
+//! Candidates are filtered by the rule's GIVEN and WHEN clauses, then
+//! ranked by the pairwise `MODEL_SELECTION` comparator: `a` beats `b` when
+//! the comparator evaluates true with the two candidates bound to `a` and
+//! `b`.
+
+use crate::context::instance_context;
+use crate::error::EngineError;
+use crate::eval::{eval, EvalContext, EvalValue};
+use crate::rule::{CompiledRule, RuleKind};
+use gallery_core::{Gallery, ModelInstance};
+
+/// Filter candidates by GIVEN && WHEN.
+pub fn filter_candidates(
+    gallery: &Gallery,
+    rule: &CompiledRule,
+    candidates: &[ModelInstance],
+) -> Result<Vec<ModelInstance>, EngineError> {
+    let mut out = Vec::new();
+    for cand in candidates {
+        let ctx = instance_context(gallery, cand)?;
+        let given = eval(&rule.given, &ctx)?;
+        if given != EvalValue::Bool(true) {
+            continue;
+        }
+        let when = eval(&rule.when, &ctx)?;
+        if when == EvalValue::Bool(true) {
+            out.push(cand.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Run a selection rule over explicit candidates; returns the champion, or
+/// `None` when no candidate passes the filters.
+pub fn select_champion(
+    gallery: &Gallery,
+    rule: &CompiledRule,
+    candidates: &[ModelInstance],
+) -> Result<Option<ModelInstance>, EngineError> {
+    let comparator = match &rule.kind {
+        RuleKind::Selection { comparator } => comparator,
+        RuleKind::Action { .. } => {
+            return Err(EngineError::NotASelectionRule(rule.id.clone()))
+        }
+    };
+    let survivors = filter_candidates(gallery, rule, candidates)?;
+    let mut survivors = survivors.into_iter();
+    let Some(mut champion) = survivors.next() else {
+        return Ok(None);
+    };
+    let mut champion_ctx = instance_context(gallery, &champion)?;
+    for challenger in survivors {
+        let challenger_ctx = instance_context(gallery, &challenger)?;
+        // comparator answers: "is a better than b?" with a = challenger.
+        let mut pair = EvalContext::new();
+        pair.nest("a", &challenger_ctx);
+        pair.nest("b", &champion_ctx);
+        if eval(comparator, &pair)? == EvalValue::Bool(true) {
+            champion = challenger;
+            champion_ctx = challenger_ctx;
+        }
+    }
+    Ok(Some(champion))
+}
+
+/// Run a selection rule against every live (non-deprecated) instance in
+/// Gallery — the serving-time entry point ("At serving time, users will
+/// query Gallery for the champion model to serve based on the user-defined
+/// rules").
+pub fn select_from_gallery(
+    gallery: &Gallery,
+    rule: &CompiledRule,
+) -> Result<Option<ModelInstance>, EngineError> {
+    let candidates = gallery.find_instances(&gallery_store::Query::all())?;
+    select_champion(gallery, rule, &candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{listing1_selection_rule, listing2_action_rule, CompiledRule};
+    use bytes::Bytes;
+    use gallery_core::metadata::{fields, Metadata};
+    use gallery_core::{InstanceSpec, MetricScope, MetricSpec, ModelSpec};
+
+    /// Build a gallery with three linear-regression instances for UberX:
+    /// old+good, new+good, new+bad(r2 high — fails WHEN), plus one from a
+    /// different domain (fails GIVEN).
+    fn setup() -> (Gallery, Vec<gallery_core::InstanceId>) {
+        // Manual clock: instance creation times are strictly increasing, so
+        // the "latest trained" comparator is deterministic.
+        let g = Gallery::in_memory_with_clock(std::sync::Arc::new(
+            gallery_core::ManualClock::new(1_000),
+        ));
+        let model = g
+            .create_model(ModelSpec::new("p", "demand").name("linear_regression"))
+            .unwrap();
+        let mut ids = Vec::new();
+        let mk = |g: &Gallery, domain: &str, r2: f64| {
+            let inst = g
+                .upload_instance(
+                    &model.id,
+                    InstanceSpec::new().metadata(
+                        Metadata::new()
+                            .with(fields::MODEL_NAME, "linear_regression")
+                            .with(fields::MODEL_DOMAIN, domain),
+                    ),
+                    Bytes::from_static(b"w"),
+                )
+                .unwrap();
+            g.insert_metric(&inst.id, MetricSpec::new("r2", MetricScope::Validation, r2))
+                .unwrap();
+            inst.id
+        };
+        ids.push(mk(&g, "UberX", 0.70)); // old, passes
+        ids.push(mk(&g, "UberX", 0.80)); // newer, passes
+        ids.push(mk(&g, "UberX", 0.95)); // newest but r2 > 0.9 fails WHEN
+        ids.push(mk(&g, "UberPool", 0.50)); // wrong domain
+        (g, ids)
+    }
+
+    #[test]
+    fn listing1_selects_latest_passing_instance() {
+        let (g, ids) = setup();
+        let rule = CompiledRule::compile(&listing1_selection_rule()).unwrap();
+        let champion = select_from_gallery(&g, &rule).unwrap().unwrap();
+        // Candidates passing GIVEN+WHEN: ids[0], ids[1]; comparator picks
+        // the later created one.
+        assert_eq!(champion.id, ids[1]);
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        let g = Gallery::in_memory();
+        let rule = CompiledRule::compile(&listing1_selection_rule()).unwrap();
+        assert!(select_from_gallery(&g, &rule).unwrap().is_none());
+    }
+
+    #[test]
+    fn action_rule_rejected() {
+        let (g, _) = setup();
+        let rule = CompiledRule::compile(&listing2_action_rule()).unwrap();
+        assert!(matches!(
+            select_from_gallery(&g, &rule),
+            Err(EngineError::NotASelectionRule(_))
+        ));
+    }
+
+    #[test]
+    fn metric_maximizing_comparator() {
+        let (g, ids) = setup();
+        let mut doc = listing1_selection_rule();
+        // champion = lowest r2 among passing candidates
+        doc.rule.model_selection = Some(r#"a.metrics["r2"] < b.metrics["r2"]"#.into());
+        let rule = CompiledRule::compile(&doc).unwrap();
+        let champion = select_from_gallery(&g, &rule).unwrap().unwrap();
+        assert_eq!(champion.id, ids[0]);
+    }
+
+    #[test]
+    fn deprecated_instances_excluded() {
+        let (g, ids) = setup();
+        g.deprecate_instance(&ids[1]).unwrap();
+        let rule = CompiledRule::compile(&listing1_selection_rule()).unwrap();
+        let champion = select_from_gallery(&g, &rule).unwrap().unwrap();
+        assert_eq!(champion.id, ids[0]);
+    }
+}

@@ -1,0 +1,425 @@
+//! Lexer for the rule expression language.
+//!
+//! The paper implements rule conditions with Apache JEXL (§3.7.2). Our
+//! from-scratch expression language covers the JEXL surface the paper's
+//! rules use (Listings 1–2): identifiers, member access (`metrics.bias`),
+//! bracket indexing (`metrics["r2"]`), string/number/bool literals,
+//! comparison, boolean, and arithmetic operators, and function calls.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+    // operators
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Dot,
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Num(x) => write!(f, "{x}"),
+            Token::Bool(b) => write!(f, "{b}"),
+            Token::Null => write!(f, "null"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Not => write!(f, "!"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an expression source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            b'.' => {
+                // Could be a leading-dot number like ".5"? Not supported:
+                // always member access.
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "single '=' (use '==')".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "single '&' (use '&&')".into(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "single '|' (use '||')".into(),
+                    });
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                position: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&c) if c == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).ok_or(LexError {
+                                position: i,
+                                message: "dangling escape".into(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                other => {
+                                    return Err(LexError {
+                                        position: i,
+                                        message: format!("bad escape \\{}", *other as char),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&c) => {
+                            // Multi-byte UTF-8: copy the full char.
+                            let ch_len = utf8_len(c);
+                            let end = (i + ch_len).min(bytes.len());
+                            s.push_str(std::str::from_utf8(&bytes[i..end]).map_err(|_| {
+                                LexError {
+                                    position: i,
+                                    message: "invalid utf-8 in string".into(),
+                                }
+                            })?);
+                            i = end;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    // Don't swallow a trailing member-access dot like `1.foo`
+                    // (numbers may contain at most one dot followed by digits).
+                    if bytes[i] == b'.'
+                        && !bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    position: start,
+                    message: format!("bad number: {text}"),
+                })?;
+                tokens.push(Token::Num(value));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                tokens.push(match word {
+                    "true" => Token::Bool(true),
+                    "false" => Token::Bool(false),
+                    "null" => Token::Null,
+                    "and" => Token::AndAnd,
+                    "or" => Token::OrOr,
+                    "not" => Token::Not,
+                    "eq" => Token::EqEq,
+                    "ne" => Token::NotEq,
+                    "lt" => Token::Lt,
+                    "le" => Token::Le,
+                    "gt" => Token::Gt,
+                    "ge" => Token::Ge,
+                    _ => Token::Ident(word.to_owned()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_listing1_given() {
+        let tokens = lex(r#"modelName == "linear_regression" && model_domain == "UberX""#)
+            .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("modelName".into()),
+                Token::EqEq,
+                Token::Str("linear_regression".into()),
+                Token::AndAnd,
+                Token::Ident("model_domain".into()),
+                Token::EqEq,
+                Token::Str("UberX".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_bracket_metric_access() {
+        let tokens = lex(r#"metrics["r2"] <= 0.9"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("metrics".into()),
+                Token::LBracket,
+                Token::Str("r2".into()),
+                Token::RBracket,
+                Token::Le,
+                Token::Num(0.9),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dotted_and_negative() {
+        let tokens = lex("metrics.bias >= -0.1").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("metrics".into()),
+                Token::Dot,
+                Token::Ident("bias".into()),
+                Token::Ge,
+                Token::Minus,
+                Token::Num(0.1),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_word_operators() {
+        let tokens = lex("a and b or not c").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("a".into()),
+                Token::AndAnd,
+                Token::Ident("b".into()),
+                Token::OrOr,
+                Token::Not,
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_single_quotes_and_escapes() {
+        let tokens = lex(r#"'New\'s' + "tab\t""#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Str("New's".into()),
+                Token::Plus,
+                Token::Str("tab\t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("a = b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn lex_number_member_boundary() {
+        // `5.max` must not parse "5." as a number prefix
+        let tokens = lex("5.abs()").unwrap();
+        assert_eq!(tokens[0], Token::Num(5.0));
+        assert_eq!(tokens[1], Token::Dot);
+    }
+
+    #[test]
+    fn lex_unicode_in_strings() {
+        let tokens = lex(r#""münchen""#).unwrap();
+        assert_eq!(tokens, vec![Token::Str("münchen".into())]);
+    }
+}

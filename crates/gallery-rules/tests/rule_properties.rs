@@ -1,0 +1,152 @@
+//! Property tests for the rule expression language and rule documents.
+
+use gallery_rules::ast::{BinOp, Expr, UnOp};
+use gallery_rules::eval::{eval, EvalContext, EvalValue};
+use gallery_rules::parser::parse;
+use gallery_rules::rule::{CompiledRule, RuleBody, RuleDoc};
+use proptest::prelude::*;
+
+/// Generate random well-formed expressions together with a printer, so we
+/// can test parse(print(e)) == e.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Null),
+        any::<bool>().prop_map(Expr::Bool),
+        (0u32..1000).prop_map(|n| Expr::Num(n as f64)),
+        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Str),
+        "v[a-z0-9_]{0,8}".prop_map(Expr::Ident),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), "v[a-z0-9_]{0,6}")
+                .prop_map(|(e, f)| Expr::Member(Box::new(e), f)),
+            (inner.clone(), "[a-z][a-z0-9_]{0,6}").prop_map(|(e, k)| Expr::Index(
+                Box::new(e),
+                Box::new(Expr::Str(k))
+            )),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (
+                prop_oneof![
+                    Just(BinOp::Or), Just(BinOp::And), Just(BinOp::Eq), Just(BinOp::Ne),
+                    Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
+                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                ],
+                inner.clone(),
+                inner,
+            )
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+/// Print an expression fully parenthesized (unambiguous).
+fn print(expr: &Expr) -> String {
+    match expr {
+        Expr::Null => "null".into(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Num(x) => format!("{x}"),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Ident(name) => name.clone(),
+        Expr::Member(base, field) => format!("({}).{field}", print(base)),
+        Expr::Index(base, key) => format!("({})[{}]", print(base), print(key)),
+        Expr::Call(name, args) => format!(
+            "{name}({})",
+            args.iter().map(print).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Unary(UnOp::Not, e) => format!("!({})", print(e)),
+        Expr::Unary(UnOp::Neg, e) => format!("-({})", print(e)),
+        Expr::Binary(op, l, r) => format!("({}) {op} ({})", print(l), print(r)),
+    }
+}
+
+/// Structural equality modulo the parenthesization that `print` inserts.
+fn normalize(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Member(base, f) => Expr::Member(Box::new(normalize(base)), f.clone()),
+        Expr::Index(base, k) => {
+            Expr::Index(Box::new(normalize(base)), Box::new(normalize(k)))
+        }
+        Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(normalize).collect()),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(normalize(e))),
+        Expr::Binary(op, l, r) => {
+            Expr::Binary(*op, Box::new(normalize(l)), Box::new(normalize(r)))
+        }
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    /// parse ∘ print is the identity on ASTs.
+    #[test]
+    fn parse_print_roundtrip(expr in arb_expr()) {
+        let src = print(&expr);
+        let parsed = parse(&src).unwrap_or_else(|e| panic!("printed {src:?} failed: {e}"));
+        prop_assert_eq!(normalize(&parsed), normalize(&expr), "src: {}", src);
+    }
+
+    /// Evaluation is deterministic and never panics over random
+    /// expressions and contexts.
+    #[test]
+    fn eval_is_deterministic(expr in arb_expr(), bias in any::<f64>()) {
+        let metrics = EvalValue::object([("bias".to_string(), EvalValue::Num(bias))]);
+        let ctx = EvalContext::new()
+            .with("metrics", metrics)
+            .with("modelName", "rf");
+        let a = eval(&expr, &ctx);
+        let b = eval(&expr, &ctx);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Compiled rules always watch exactly the metrics their sources
+    /// mention, and rule compilation never panics on arbitrary WHENs.
+    /// Word operators (`and`, `lt`, ...) are reserved in dot position —
+    /// such metric names use bracket syntax (covered below) — so the
+    /// generator avoids them.
+    #[test]
+    fn watched_metrics_found(names in proptest::collection::btree_set("[a-z]{1,6}", 1..4)) {
+        const RESERVED: [&str; 12] = [
+            "and", "or", "not", "eq", "ne", "lt", "le", "gt", "ge", "true", "false", "null",
+        ];
+        let names: std::collections::BTreeSet<String> = names
+            .into_iter()
+            .filter(|n| !RESERVED.contains(&n.as_str()))
+            .collect();
+        prop_assume!(!names.is_empty());
+        let when = names
+            .iter()
+            .map(|n| format!("metrics.{n} < 1"))
+            .collect::<Vec<_>>()
+            .join(" && ");
+        let doc = RuleDoc {
+            team: "t".into(),
+            uuid: "u".into(),
+            rule: RuleBody {
+                given: "true".into(),
+                when,
+                environment: "production".into(),
+                model_selection: None,
+                callback_actions: vec!["noop".into()],
+            },
+        };
+        let rule = CompiledRule::compile(&doc).unwrap();
+        let expected: Vec<String> = names.into_iter().collect();
+        prop_assert_eq!(rule.watched_metrics, expected);
+    }
+}
+
+/// Metric names that collide with word operators are still addressable via
+/// bracket syntax.
+#[test]
+fn reserved_word_metrics_use_bracket_syntax() {
+    let expr = parse(r#"metrics["or"] < 1 && metrics["lt"] >= 0"#).unwrap();
+    assert_eq!(
+        expr.referenced_metrics(),
+        vec!["lt".to_string(), "or".to_string()]
+    );
+    let metrics = EvalValue::object([
+        ("or".to_string(), EvalValue::Num(0.5)),
+        ("lt".to_string(), EvalValue::Num(0.2)),
+    ]);
+    let ctx = EvalContext::new().with("metrics", metrics);
+    assert_eq!(eval(&expr, &ctx).unwrap(), EvalValue::Bool(true));
+}

@@ -1,0 +1,468 @@
+//! Typed Gallery client (§4.1).
+//!
+//! Mirrors the paper's language-specific Thrift clients: each method
+//! encodes a request frame, sends it through a [`Transport`], and decodes
+//! the response. Listing 3–5 workflows map 1:1 onto
+//! [`GalleryClient::create_model`], [`GalleryClient::upload_model`],
+//! [`GalleryClient::insert_metric`], and [`GalleryClient::model_query`].
+
+use crate::messages::{
+    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
+};
+use crate::transport::Transport;
+use crate::wire::WireError;
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+/// Client-side error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The server returned an error response.
+    Remote { code: ErrorCode, message: String },
+    /// Transport failure.
+    Transport(String),
+    /// The response could not be decoded or had an unexpected shape.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Remote { code, message } => {
+                write!(f, "remote error ({code:?}): {message}")
+            }
+            ClientError::Transport(m) => write!(f, "transport: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// Typed client over any transport.
+#[derive(Clone)]
+pub struct GalleryClient {
+    transport: Arc<dyn Transport>,
+}
+
+impl GalleryClient {
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        GalleryClient { transport }
+    }
+
+    fn call(&self, request: Request) -> Result<Response, ClientError> {
+        let frame = request.encode();
+        let reply = self
+            .transport
+            .call(frame)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let response = Response::decode(reply)?;
+        if let Response::Err { code, message } = response {
+            return Err(ClientError::Remote { code, message });
+        }
+        Ok(response)
+    }
+
+    fn unexpected(response: Response) -> ClientError {
+        ClientError::Protocol(format!("unexpected response shape: {response:?}"))
+    }
+
+    /// Listing 3: `createGalleryModel(project=..., base_version_id=...)`.
+    pub fn create_model(
+        &self,
+        project: &str,
+        base_version_id: &str,
+        name: &str,
+        owner: &str,
+        description: &str,
+        metadata_json: &str,
+    ) -> Result<ModelDto, ClientError> {
+        match self.call(Request::CreateModel {
+            project: project.into(),
+            base_version_id: base_version_id.into(),
+            name: name.into(),
+            owner: owner.into(),
+            description: description.into(),
+            metadata_json: metadata_json.into(),
+        })? {
+            Response::ModelInfo(m) => Ok(m),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn get_model(&self, model_id: &str) -> Result<ModelDto, ClientError> {
+        match self.call(Request::GetModel {
+            model_id: model_id.into(),
+        })? {
+            Response::ModelInfo(m) => Ok(m),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Listing 3: `uploadModel(...)` — serialize your model to bytes, add
+    /// instance metadata, upload.
+    pub fn upload_model(
+        &self,
+        model_id: &str,
+        metadata_json: &str,
+        blob: Bytes,
+    ) -> Result<InstanceDto, ClientError> {
+        match self.call(Request::UploadModel {
+            model_id: model_id.into(),
+            metadata_json: metadata_json.into(),
+            blob,
+        })? {
+            Response::InstanceInfo(i) => Ok(*i),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn get_instance(&self, instance_id: &str) -> Result<InstanceDto, ClientError> {
+        match self.call(Request::GetInstance {
+            instance_id: instance_id.into(),
+        })? {
+            Response::InstanceInfo(i) => Ok(*i),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn fetch_blob(&self, instance_id: &str) -> Result<Bytes, ClientError> {
+        match self.call(Request::FetchBlob {
+            instance_id: instance_id.into(),
+        })? {
+            Response::Blob(b) => Ok(b),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Listing 4: `insertModelInstanceMetric(...)`.
+    pub fn insert_metric(
+        &self,
+        instance_id: &str,
+        name: &str,
+        scope: &str,
+        value: f64,
+    ) -> Result<(), ClientError> {
+        match self.call(Request::InsertMetric {
+            instance_id: instance_id.into(),
+            name: name.into(),
+            scope: scope.into(),
+            value,
+            metadata_json: "{}".into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Listing 5: `modelQuery(searchConstraint)`.
+    pub fn model_query(
+        &self,
+        constraints: Vec<WireConstraint>,
+    ) -> Result<Vec<InstanceDto>, ClientError> {
+        match self.call(Request::ModelQuery { constraints })? {
+            Response::Instances(list) => Ok(list),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn instances_of_base_version(
+        &self,
+        base_version_id: &str,
+    ) -> Result<Vec<InstanceDto>, ClientError> {
+        match self.call(Request::InstancesOfBaseVersion {
+            base_version_id: base_version_id.into(),
+        })? {
+            Response::Instances(list) => Ok(list),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn latest_instance(&self, model_id: &str) -> Result<Option<InstanceDto>, ClientError> {
+        match self.call(Request::LatestInstance {
+            model_id: model_id.into(),
+        })? {
+            Response::MaybeInstance(i) => Ok(i.map(|b| *b)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn deploy(
+        &self,
+        model_id: &str,
+        instance_id: &str,
+        environment: &str,
+    ) -> Result<(), ClientError> {
+        match self.call(Request::Deploy {
+            model_id: model_id.into(),
+            instance_id: instance_id.into(),
+            environment: environment.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn deployed_instance(
+        &self,
+        model_id: &str,
+        environment: &str,
+    ) -> Result<Option<String>, ClientError> {
+        match self.call(Request::DeployedInstance {
+            model_id: model_id.into(),
+            environment: environment.into(),
+        })? {
+            Response::MaybeId(id) => Ok(id),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn add_dependency(&self, model_id: &str, upstream_id: &str) -> Result<(), ClientError> {
+        match self.call(Request::AddDependency {
+            model_id: model_id.into(),
+            upstream_id: upstream_id.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn remove_dependency(
+        &self,
+        model_id: &str,
+        upstream_id: &str,
+    ) -> Result<(), ClientError> {
+        match self.call(Request::RemoveDependency {
+            model_id: model_id.into(),
+            upstream_id: upstream_id.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn upstream_of(&self, model_id: &str) -> Result<Vec<String>, ClientError> {
+        match self.call(Request::UpstreamOf {
+            model_id: model_id.into(),
+        })? {
+            Response::Ids(ids) => Ok(ids),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn downstream_of(&self, model_id: &str) -> Result<Vec<String>, ClientError> {
+        match self.call(Request::DownstreamOf {
+            model_id: model_id.into(),
+        })? {
+            Response::Ids(ids) => Ok(ids),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn deprecate_model(&self, model_id: &str) -> Result<(), ClientError> {
+        match self.call(Request::DeprecateModel {
+            model_id: model_id.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn deprecate_instance(&self, instance_id: &str) -> Result<(), ClientError> {
+        match self.call(Request::DeprecateInstance {
+            instance_id: instance_id.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn set_stage(&self, instance_id: &str, stage: &str) -> Result<String, ClientError> {
+        match self.call(Request::SetStage {
+            instance_id: instance_id.into(),
+            stage: stage.into(),
+        })? {
+            Response::Stage(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn stage_of(&self, instance_id: &str) -> Result<String, ClientError> {
+        match self.call(Request::StageOf {
+            instance_id: instance_id.into(),
+        })? {
+            Response::Stage(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn select_champion(&self, rule_id: &str) -> Result<Option<InstanceDto>, ClientError> {
+        match self.call(Request::SelectChampion {
+            rule_id: rule_id.into(),
+        })? {
+            Response::MaybeInstance(i) => Ok(i.map(|b| *b)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn trigger_rule(&self, rule_id: &str, instance_id: &str) -> Result<(), ClientError> {
+        match self.call(Request::TriggerRule {
+            rule_id: rule_id.into(),
+            instance_id: instance_id.into(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    pub fn health_report(&self, instance_id: &str) -> Result<HealthDto, ClientError> {
+        match self.call(Request::HealthReport {
+            instance_id: instance_id.into(),
+        })? {
+            Response::Health(h) => Ok(h),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{WireOp, WireValue};
+    use crate::server::GalleryServer;
+    use crate::transport::InProcCluster;
+    use gallery_core::Gallery;
+
+    fn client() -> (GalleryClient, InProcCluster) {
+        let gallery = Arc::new(Gallery::in_memory());
+        let cluster = InProcCluster::start(
+            {
+                let gallery = Arc::clone(&gallery);
+                move || GalleryServer::new(Arc::clone(&gallery))
+            },
+            2,
+        );
+        (GalleryClient::new(cluster.connect()), cluster)
+    }
+
+    /// The full Listing 3 → 4 → 5 workflow over the wire.
+    #[test]
+    fn paper_listings_end_to_end() {
+        let (client, _cluster) = client();
+        // Listing 3: create model + upload trained instance with metadata.
+        let model = client
+            .create_model(
+                "example-project",
+                "supply_rejection",
+                "Random Forest",
+                "fc",
+                "",
+                "{}",
+            )
+            .unwrap();
+        let instance = client
+            .upload_model(
+                &model.id,
+                r#"{"model_name":"random_forest","city":"New York City","model_type":"SparkML"}"#,
+                Bytes::from_static(b"serialized sparkml pipeline"),
+            )
+            .unwrap();
+        assert_eq!(instance.display_version, "1.0");
+        // Listing 4: upload a validation bias metric.
+        client
+            .insert_metric(&instance.id, "bias", "validation", 0.05)
+            .unwrap();
+        // Listing 5: query with the paper's constraints.
+        let found = client
+            .model_query(vec![
+                WireConstraint::new("projectName", WireOp::Eq, WireValue::Str("example-project".into())),
+                WireConstraint::new("modelName", WireOp::Eq, WireValue::Str("random_forest".into())),
+                WireConstraint::new("metricName", WireOp::Eq, WireValue::Str("bias".into())),
+                WireConstraint::new("metricValue", WireOp::Lt, WireValue::Float(0.25)),
+            ])
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, instance.id);
+        // And the blob round-trips.
+        let blob = client.fetch_blob(&instance.id).unwrap();
+        assert_eq!(&blob[..], b"serialized sparkml pipeline");
+    }
+
+    #[test]
+    fn remote_errors_surface() {
+        let (client, _cluster) = client();
+        let err = client.get_model("ghost").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Remote {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn lifecycle_via_client() {
+        let (client, _cluster) = client();
+        let model = client
+            .create_model("p", "b", "m", "o", "", "{}")
+            .unwrap();
+        let inst = client
+            .upload_model(&model.id, "{}", Bytes::from_static(b"w"))
+            .unwrap();
+        assert_eq!(client.stage_of(&inst.id).unwrap(), "trained");
+        assert_eq!(client.set_stage(&inst.id, "evaluated").unwrap(), "evaluated");
+        assert_eq!(client.set_stage(&inst.id, "deployed").unwrap(), "deployed");
+        // illegal transition surfaces as remote invalid
+        let err = client.set_stage(&inst.id, "trained").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Remote {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn deploy_and_dependencies_via_client() {
+        let (client, _cluster) = client();
+        let a = client.create_model("p", "a", "a", "o", "", "{}").unwrap();
+        let b = client.create_model("p", "b", "b", "o", "", "{}").unwrap();
+        let ia = client
+            .upload_model(&a.id, "{}", Bytes::from_static(b"a"))
+            .unwrap();
+        client
+            .upload_model(&b.id, "{}", Bytes::from_static(b"b"))
+            .unwrap();
+        client.deploy(&a.id, &ia.id, "production").unwrap();
+        assert_eq!(
+            client.deployed_instance(&a.id, "production").unwrap(),
+            Some(ia.id.clone())
+        );
+        client.add_dependency(&a.id, &b.id).unwrap();
+        assert_eq!(client.upstream_of(&a.id).unwrap(), vec![b.id.clone()]);
+        assert_eq!(client.downstream_of(&b.id).unwrap(), vec![a.id.clone()]);
+        client.remove_dependency(&a.id, &b.id).unwrap();
+        assert!(client.upstream_of(&a.id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn health_via_client() {
+        let (client, _cluster) = client();
+        let model = client.create_model("p", "b", "m", "o", "", "{}").unwrap();
+        let inst = client
+            .upload_model(&model.id, "{}", Bytes::from_static(b"w"))
+            .unwrap();
+        let health = client.health_report(&inst.id).unwrap();
+        assert_eq!(health.reproducibility_score, 0.0);
+        assert_eq!(health.missing_fields.len(), 6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gallery-service
+//!
+//! The service layer of Gallery (§4.1 of the paper): a compact binary wire
+//! protocol standing in for Thrift, a stateless [`server::GalleryServer`]
+//! dispatching requests against the shared registry, and a typed
+//! [`client::GalleryClient`] mirroring the paper's language-specific
+//! clients (Listings 3–5).
+//!
+//! Transports ([`transport`]) carry framed messages; the in-process
+//! cluster runs several stateless replicas over one store, preserving the
+//! paper's horizontal-scalability property at thread scale.
+
+pub mod client;
+pub mod messages;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientError, GalleryClient};
+pub use messages::{
+    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireOp,
+    WireValue,
+};
+pub use server::GalleryServer;
+pub use transport::{DirectTransport, InProcCluster, Transport, TransportError};
+pub use wire::{Reader, WireError, Writer};

@@ -1,0 +1,890 @@
+//! Request/response messages of the Gallery service API (§4.1) and their
+//! wire encodings.
+//!
+//! The method surface mirrors the paper's Listings 3–5 (`createGalleryModel`,
+//! `uploadModel`, `insertModelInstanceMetric`, `modelQuery`) plus the
+//! dependency, deployment, lifecycle, rule, and health operations the rest
+//! of the paper describes.
+
+use crate::wire::{Reader, WireError, Writer};
+use bytes::Bytes;
+
+/// A query constraint as carried on the wire (Listing 5's
+/// `(field, operator, value)` triples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireConstraint {
+    pub field: String,
+    pub op: WireOp,
+    pub value: WireValue,
+}
+
+/// Constraint operator tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOp {
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Le = 3,
+    Gt = 4,
+    Ge = 5,
+    Contains = 6,
+    StartsWith = 7,
+}
+
+impl WireOp {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => WireOp::Eq,
+            1 => WireOp::Ne,
+            2 => WireOp::Lt,
+            3 => WireOp::Le,
+            4 => WireOp::Gt,
+            5 => WireOp::Ge,
+            6 => WireOp::Contains,
+            7 => WireOp::StartsWith,
+            other => return Err(WireError::new(format!("bad op tag {other}"))),
+        })
+    }
+}
+
+/// A dynamically typed constraint value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl WireValue {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WireValue::Null => w.put_u8(0),
+            WireValue::Bool(b) => {
+                w.put_u8(1);
+                w.put_bool(*b);
+            }
+            WireValue::Int(i) => {
+                w.put_u8(2);
+                w.put_ivarint(*i);
+            }
+            WireValue::Float(x) => {
+                w.put_u8(3);
+                w.put_f64(*x);
+            }
+            WireValue::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => WireValue::Null,
+            1 => WireValue::Bool(r.get_bool()?),
+            2 => WireValue::Int(r.get_ivarint()?),
+            3 => WireValue::Float(r.get_f64()?),
+            4 => WireValue::Str(r.get_str()?),
+            other => return Err(WireError::new(format!("bad value tag {other}"))),
+        })
+    }
+}
+
+impl WireConstraint {
+    pub fn new(field: impl Into<String>, op: WireOp, value: WireValue) -> Self {
+        WireConstraint {
+            field: field.into(),
+            op,
+            value,
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.field);
+        w.put_u8(self.op as u8);
+        self.value.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(WireConstraint {
+            field: r.get_str()?,
+            op: WireOp::from_u8(r.get_u8()?)?,
+            value: WireValue::decode(r)?,
+        })
+    }
+}
+
+/// All service requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Listing 3: `createGalleryModel(project, base_version_id)`.
+    CreateModel {
+        project: String,
+        base_version_id: String,
+        name: String,
+        owner: String,
+        description: String,
+        metadata_json: String,
+    },
+    GetModel {
+        model_id: String,
+    },
+    /// Listing 3: `uploadModel(...)` — the blob rides along.
+    UploadModel {
+        model_id: String,
+        metadata_json: String,
+        blob: Bytes,
+    },
+    GetInstance {
+        instance_id: String,
+    },
+    FetchBlob {
+        instance_id: String,
+    },
+    /// Listing 4: `insertModelInstanceMetric(...)`.
+    InsertMetric {
+        instance_id: String,
+        name: String,
+        scope: String,
+        value: f64,
+        metadata_json: String,
+    },
+    /// Listing 5: `modelQuery(searchConstraint)`.
+    ModelQuery {
+        constraints: Vec<WireConstraint>,
+    },
+    InstancesOfBaseVersion {
+        base_version_id: String,
+    },
+    LatestInstance {
+        model_id: String,
+    },
+    Deploy {
+        model_id: String,
+        instance_id: String,
+        environment: String,
+    },
+    DeployedInstance {
+        model_id: String,
+        environment: String,
+    },
+    AddDependency {
+        model_id: String,
+        upstream_id: String,
+    },
+    RemoveDependency {
+        model_id: String,
+        upstream_id: String,
+    },
+    UpstreamOf {
+        model_id: String,
+    },
+    DownstreamOf {
+        model_id: String,
+    },
+    DeprecateModel {
+        model_id: String,
+    },
+    DeprecateInstance {
+        instance_id: String,
+    },
+    SetStage {
+        instance_id: String,
+        stage: String,
+    },
+    StageOf {
+        instance_id: String,
+    },
+    /// Run a registered selection rule, returning the champion.
+    SelectChampion {
+        rule_id: String,
+    },
+    /// Directly trigger a registered action rule against an instance.
+    TriggerRule {
+        rule_id: String,
+        instance_id: String,
+    },
+    HealthReport {
+        instance_id: String,
+    },
+}
+
+impl Request {
+    fn tag(&self) -> u8 {
+        match self {
+            Request::CreateModel { .. } => 1,
+            Request::GetModel { .. } => 2,
+            Request::UploadModel { .. } => 3,
+            Request::GetInstance { .. } => 4,
+            Request::FetchBlob { .. } => 5,
+            Request::InsertMetric { .. } => 6,
+            Request::ModelQuery { .. } => 7,
+            Request::InstancesOfBaseVersion { .. } => 8,
+            Request::LatestInstance { .. } => 9,
+            Request::Deploy { .. } => 10,
+            Request::DeployedInstance { .. } => 11,
+            Request::AddDependency { .. } => 12,
+            Request::RemoveDependency { .. } => 13,
+            Request::UpstreamOf { .. } => 14,
+            Request::DownstreamOf { .. } => 15,
+            Request::DeprecateModel { .. } => 16,
+            Request::DeprecateInstance { .. } => 17,
+            Request::SetStage { .. } => 18,
+            Request::StageOf { .. } => 19,
+            Request::SelectChampion { .. } => 20,
+            Request::TriggerRule { .. } => 21,
+            Request::HealthReport { .. } => 22,
+        }
+    }
+
+    /// Encode to a framed wire message.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u8(self.tag());
+        match self {
+            Request::CreateModel {
+                project,
+                base_version_id,
+                name,
+                owner,
+                description,
+                metadata_json,
+            } => {
+                w.put_str(project);
+                w.put_str(base_version_id);
+                w.put_str(name);
+                w.put_str(owner);
+                w.put_str(description);
+                w.put_str(metadata_json);
+            }
+            Request::GetModel { model_id }
+            | Request::UpstreamOf { model_id }
+            | Request::DownstreamOf { model_id }
+            | Request::DeprecateModel { model_id }
+            | Request::LatestInstance { model_id } => w.put_str(model_id),
+            Request::UploadModel {
+                model_id,
+                metadata_json,
+                blob,
+            } => {
+                w.put_str(model_id);
+                w.put_str(metadata_json);
+                w.put_bytes(blob);
+            }
+            Request::GetInstance { instance_id }
+            | Request::FetchBlob { instance_id }
+            | Request::DeprecateInstance { instance_id }
+            | Request::StageOf { instance_id }
+            | Request::HealthReport { instance_id } => w.put_str(instance_id),
+            Request::InsertMetric {
+                instance_id,
+                name,
+                scope,
+                value,
+                metadata_json,
+            } => {
+                w.put_str(instance_id);
+                w.put_str(name);
+                w.put_str(scope);
+                w.put_f64(*value);
+                w.put_str(metadata_json);
+            }
+            Request::ModelQuery { constraints } => {
+                w.put_uvarint(constraints.len() as u64);
+                for c in constraints {
+                    c.encode(&mut w);
+                }
+            }
+            Request::InstancesOfBaseVersion { base_version_id } => w.put_str(base_version_id),
+            Request::Deploy {
+                model_id,
+                instance_id,
+                environment,
+            } => {
+                w.put_str(model_id);
+                w.put_str(instance_id);
+                w.put_str(environment);
+            }
+            Request::DeployedInstance {
+                model_id,
+                environment,
+            } => {
+                w.put_str(model_id);
+                w.put_str(environment);
+            }
+            Request::AddDependency {
+                model_id,
+                upstream_id,
+            }
+            | Request::RemoveDependency {
+                model_id,
+                upstream_id,
+            } => {
+                w.put_str(model_id);
+                w.put_str(upstream_id);
+            }
+            Request::SetStage { instance_id, stage } => {
+                w.put_str(instance_id);
+                w.put_str(stage);
+            }
+            Request::SelectChampion { rule_id } => w.put_str(rule_id),
+            Request::TriggerRule {
+                rule_id,
+                instance_id,
+            } => {
+                w.put_str(rule_id);
+                w.put_str(instance_id);
+            }
+        }
+        w.frame()
+    }
+
+    /// Decode from a framed wire message.
+    pub fn decode(framed: Bytes) -> Result<Self, WireError> {
+        let mut r = Reader::unframe(framed)?;
+        let tag = r.get_u8()?;
+        let req = match tag {
+            1 => Request::CreateModel {
+                project: r.get_str()?,
+                base_version_id: r.get_str()?,
+                name: r.get_str()?,
+                owner: r.get_str()?,
+                description: r.get_str()?,
+                metadata_json: r.get_str()?,
+            },
+            2 => Request::GetModel {
+                model_id: r.get_str()?,
+            },
+            3 => Request::UploadModel {
+                model_id: r.get_str()?,
+                metadata_json: r.get_str()?,
+                blob: r.get_bytes()?,
+            },
+            4 => Request::GetInstance {
+                instance_id: r.get_str()?,
+            },
+            5 => Request::FetchBlob {
+                instance_id: r.get_str()?,
+            },
+            6 => Request::InsertMetric {
+                instance_id: r.get_str()?,
+                name: r.get_str()?,
+                scope: r.get_str()?,
+                value: r.get_f64()?,
+                metadata_json: r.get_str()?,
+            },
+            7 => {
+                let n = r.get_uvarint()? as usize;
+                let mut constraints = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    constraints.push(WireConstraint::decode(&mut r)?);
+                }
+                Request::ModelQuery { constraints }
+            }
+            8 => Request::InstancesOfBaseVersion {
+                base_version_id: r.get_str()?,
+            },
+            9 => Request::LatestInstance {
+                model_id: r.get_str()?,
+            },
+            10 => Request::Deploy {
+                model_id: r.get_str()?,
+                instance_id: r.get_str()?,
+                environment: r.get_str()?,
+            },
+            11 => Request::DeployedInstance {
+                model_id: r.get_str()?,
+                environment: r.get_str()?,
+            },
+            12 => Request::AddDependency {
+                model_id: r.get_str()?,
+                upstream_id: r.get_str()?,
+            },
+            13 => Request::RemoveDependency {
+                model_id: r.get_str()?,
+                upstream_id: r.get_str()?,
+            },
+            14 => Request::UpstreamOf {
+                model_id: r.get_str()?,
+            },
+            15 => Request::DownstreamOf {
+                model_id: r.get_str()?,
+            },
+            16 => Request::DeprecateModel {
+                model_id: r.get_str()?,
+            },
+            17 => Request::DeprecateInstance {
+                instance_id: r.get_str()?,
+            },
+            18 => Request::SetStage {
+                instance_id: r.get_str()?,
+                stage: r.get_str()?,
+            },
+            19 => Request::StageOf {
+                instance_id: r.get_str()?,
+            },
+            20 => Request::SelectChampion {
+                rule_id: r.get_str()?,
+            },
+            21 => Request::TriggerRule {
+                rule_id: r.get_str()?,
+                instance_id: r.get_str()?,
+            },
+            22 => Request::HealthReport {
+                instance_id: r.get_str()?,
+            },
+            other => return Err(WireError::new(format!("bad request tag {other}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Model data transfer object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDto {
+    pub id: String,
+    pub base_version_id: String,
+    pub project: String,
+    pub name: String,
+    pub owner: String,
+    pub description: String,
+    pub metadata_json: String,
+    pub created_at: i64,
+    pub prev: Option<String>,
+    pub deprecated: bool,
+}
+
+impl ModelDto {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.id);
+        w.put_str(&self.base_version_id);
+        w.put_str(&self.project);
+        w.put_str(&self.name);
+        w.put_str(&self.owner);
+        w.put_str(&self.description);
+        w.put_str(&self.metadata_json);
+        w.put_ivarint(self.created_at);
+        w.put_opt_str(self.prev.as_deref());
+        w.put_bool(self.deprecated);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(ModelDto {
+            id: r.get_str()?,
+            base_version_id: r.get_str()?,
+            project: r.get_str()?,
+            name: r.get_str()?,
+            owner: r.get_str()?,
+            description: r.get_str()?,
+            metadata_json: r.get_str()?,
+            created_at: r.get_ivarint()?,
+            prev: r.get_opt_str()?,
+            deprecated: r.get_bool()?,
+        })
+    }
+}
+
+/// Instance data transfer object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDto {
+    pub id: String,
+    pub model_id: String,
+    pub base_version_id: String,
+    pub display_version: String,
+    pub blob_location: Option<String>,
+    pub metadata_json: String,
+    pub created_at: i64,
+    pub trigger: String,
+    pub parent: Option<String>,
+    pub deprecated: bool,
+}
+
+impl InstanceDto {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.id);
+        w.put_str(&self.model_id);
+        w.put_str(&self.base_version_id);
+        w.put_str(&self.display_version);
+        w.put_opt_str(self.blob_location.as_deref());
+        w.put_str(&self.metadata_json);
+        w.put_ivarint(self.created_at);
+        w.put_str(&self.trigger);
+        w.put_opt_str(self.parent.as_deref());
+        w.put_bool(self.deprecated);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(InstanceDto {
+            id: r.get_str()?,
+            model_id: r.get_str()?,
+            base_version_id: r.get_str()?,
+            display_version: r.get_str()?,
+            blob_location: r.get_opt_str()?,
+            metadata_json: r.get_str()?,
+            created_at: r.get_ivarint()?,
+            trigger: r.get_str()?,
+            parent: r.get_opt_str()?,
+            deprecated: r.get_bool()?,
+        })
+    }
+}
+
+/// Health report DTO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthDto {
+    pub reproducibility_score: f64,
+    pub missing_fields: Vec<String>,
+    pub has_training: bool,
+    pub has_validation: bool,
+    pub has_production: bool,
+    pub skewed_metrics: Vec<String>,
+    pub score: f64,
+}
+
+impl HealthDto {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.reproducibility_score);
+        w.put_uvarint(self.missing_fields.len() as u64);
+        for f in &self.missing_fields {
+            w.put_str(f);
+        }
+        w.put_bool(self.has_training);
+        w.put_bool(self.has_validation);
+        w.put_bool(self.has_production);
+        w.put_uvarint(self.skewed_metrics.len() as u64);
+        for m in &self.skewed_metrics {
+            w.put_str(m);
+        }
+        w.put_f64(self.score);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let reproducibility_score = r.get_f64()?;
+        let n = r.get_uvarint()? as usize;
+        let mut missing_fields = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            missing_fields.push(r.get_str()?);
+        }
+        let has_training = r.get_bool()?;
+        let has_validation = r.get_bool()?;
+        let has_production = r.get_bool()?;
+        let n = r.get_uvarint()? as usize;
+        let mut skewed_metrics = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            skewed_metrics.push(r.get_str()?);
+        }
+        Ok(HealthDto {
+            reproducibility_score,
+            missing_fields,
+            has_training,
+            has_validation,
+            has_production,
+            skewed_metrics,
+            score: r.get_f64()?,
+        })
+    }
+}
+
+/// Error codes carried by [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    NotFound = 1,
+    Invalid = 2,
+    Conflict = 3,
+    Storage = 4,
+    Internal = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => ErrorCode::NotFound,
+            2 => ErrorCode::Invalid,
+            3 => ErrorCode::Conflict,
+            4 => ErrorCode::Storage,
+            5 => ErrorCode::Internal,
+            other => return Err(WireError::new(format!("bad error code {other}"))),
+        })
+    }
+}
+
+/// All service responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Ok,
+    Err { code: ErrorCode, message: String },
+    ModelInfo(ModelDto),
+    InstanceInfo(Box<InstanceDto>),
+    MaybeInstance(Option<Box<InstanceDto>>),
+    Instances(Vec<InstanceDto>),
+    Blob(Bytes),
+    MaybeId(Option<String>),
+    Ids(Vec<String>),
+    Stage(String),
+    Health(HealthDto),
+}
+
+impl Response {
+    fn tag(&self) -> u8 {
+        match self {
+            Response::Ok => 0,
+            Response::Err { .. } => 1,
+            Response::ModelInfo(_) => 2,
+            Response::InstanceInfo(_) => 3,
+            Response::MaybeInstance(_) => 4,
+            Response::Instances(_) => 5,
+            Response::Blob(_) => 6,
+            Response::MaybeId(_) => 7,
+            Response::Ids(_) => 8,
+            Response::Stage(_) => 9,
+            Response::Health(_) => 10,
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u8(self.tag());
+        match self {
+            Response::Ok => {}
+            Response::Err { code, message } => {
+                w.put_u8(*code as u8);
+                w.put_str(message);
+            }
+            Response::ModelInfo(m) => m.encode(&mut w),
+            Response::InstanceInfo(i) => i.encode(&mut w),
+            Response::MaybeInstance(opt) => match opt {
+                Some(i) => {
+                    w.put_bool(true);
+                    i.encode(&mut w);
+                }
+                None => w.put_bool(false),
+            },
+            Response::Instances(list) => {
+                w.put_uvarint(list.len() as u64);
+                for i in list {
+                    i.encode(&mut w);
+                }
+            }
+            Response::Blob(b) => w.put_bytes(b),
+            Response::MaybeId(opt) => w.put_opt_str(opt.as_deref()),
+            Response::Ids(ids) => {
+                w.put_uvarint(ids.len() as u64);
+                for id in ids {
+                    w.put_str(id);
+                }
+            }
+            Response::Stage(s) => w.put_str(s),
+            Response::Health(h) => h.encode(&mut w),
+        }
+        w.frame()
+    }
+
+    pub fn decode(framed: Bytes) -> Result<Self, WireError> {
+        let mut r = Reader::unframe(framed)?;
+        let tag = r.get_u8()?;
+        let resp = match tag {
+            0 => Response::Ok,
+            1 => Response::Err {
+                code: ErrorCode::from_u8(r.get_u8()?)?,
+                message: r.get_str()?,
+            },
+            2 => Response::ModelInfo(ModelDto::decode(&mut r)?),
+            3 => Response::InstanceInfo(Box::new(InstanceDto::decode(&mut r)?)),
+            4 => {
+                if r.get_bool()? {
+                    Response::MaybeInstance(Some(Box::new(InstanceDto::decode(&mut r)?)))
+                } else {
+                    Response::MaybeInstance(None)
+                }
+            }
+            5 => {
+                let n = r.get_uvarint()? as usize;
+                let mut list = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    list.push(InstanceDto::decode(&mut r)?);
+                }
+                Response::Instances(list)
+            }
+            6 => Response::Blob(r.get_bytes()?),
+            7 => Response::MaybeId(r.get_opt_str()?),
+            8 => {
+                let n = r.get_uvarint()? as usize;
+                let mut ids = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ids.push(r.get_str()?);
+                }
+                Response::Ids(ids)
+            }
+            9 => Response::Stage(r.get_str()?),
+            10 => Response::Health(HealthDto::decode(&mut r)?),
+            other => return Err(WireError::new(format!("bad response tag {other}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let framed = req.encode();
+        let back = Request::decode(framed).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let framed = resp.encode();
+        let back = Response::decode(framed).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    fn sample_instance() -> InstanceDto {
+        InstanceDto {
+            id: "i-1".into(),
+            model_id: "m-1".into(),
+            base_version_id: "supply_rejection".into(),
+            display_version: "2.1".into(),
+            blob_location: Some("mem://abc".into()),
+            metadata_json: r#"{"city":"nyc"}"#.into(),
+            created_at: 1234,
+            trigger: "trained".into(),
+            parent: None,
+            deprecated: false,
+        }
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_request(Request::CreateModel {
+            project: "example-project".into(),
+            base_version_id: "supply_rejection".into(),
+            name: "Random Forest".into(),
+            owner: "fc".into(),
+            description: "desc".into(),
+            metadata_json: "{}".into(),
+        });
+        roundtrip_request(Request::GetModel { model_id: "m".into() });
+        roundtrip_request(Request::UploadModel {
+            model_id: "m".into(),
+            metadata_json: r#"{"city":"New York City"}"#.into(),
+            blob: Bytes::from_static(b"serialized model"),
+        });
+        roundtrip_request(Request::GetInstance { instance_id: "i".into() });
+        roundtrip_request(Request::FetchBlob { instance_id: "i".into() });
+        roundtrip_request(Request::InsertMetric {
+            instance_id: "i".into(),
+            name: "bias".into(),
+            scope: "validation".into(),
+            value: 0.05,
+            metadata_json: "{}".into(),
+        });
+        roundtrip_request(Request::ModelQuery {
+            constraints: vec![
+                WireConstraint::new("projectName", WireOp::Eq, WireValue::Str("p".into())),
+                WireConstraint::new("metricValue", WireOp::Lt, WireValue::Float(0.25)),
+                WireConstraint::new("count", WireOp::Ge, WireValue::Int(-3)),
+                WireConstraint::new("flag", WireOp::Ne, WireValue::Bool(true)),
+                WireConstraint::new("x", WireOp::Eq, WireValue::Null),
+            ],
+        });
+        roundtrip_request(Request::InstancesOfBaseVersion {
+            base_version_id: "b".into(),
+        });
+        roundtrip_request(Request::LatestInstance { model_id: "m".into() });
+        roundtrip_request(Request::Deploy {
+            model_id: "m".into(),
+            instance_id: "i".into(),
+            environment: "production".into(),
+        });
+        roundtrip_request(Request::DeployedInstance {
+            model_id: "m".into(),
+            environment: "production".into(),
+        });
+        roundtrip_request(Request::AddDependency {
+            model_id: "m".into(),
+            upstream_id: "u".into(),
+        });
+        roundtrip_request(Request::RemoveDependency {
+            model_id: "m".into(),
+            upstream_id: "u".into(),
+        });
+        roundtrip_request(Request::UpstreamOf { model_id: "m".into() });
+        roundtrip_request(Request::DownstreamOf { model_id: "m".into() });
+        roundtrip_request(Request::DeprecateModel { model_id: "m".into() });
+        roundtrip_request(Request::DeprecateInstance { instance_id: "i".into() });
+        roundtrip_request(Request::SetStage {
+            instance_id: "i".into(),
+            stage: "deployed".into(),
+        });
+        roundtrip_request(Request::StageOf { instance_id: "i".into() });
+        roundtrip_request(Request::SelectChampion { rule_id: "r".into() });
+        roundtrip_request(Request::TriggerRule {
+            rule_id: "r".into(),
+            instance_id: "i".into(),
+        });
+        roundtrip_request(Request::HealthReport { instance_id: "i".into() });
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Err {
+            code: ErrorCode::NotFound,
+            message: "no such model".into(),
+        });
+        roundtrip_response(Response::ModelInfo(ModelDto {
+            id: "m-1".into(),
+            base_version_id: "demand".into(),
+            project: "p".into(),
+            name: "lr".into(),
+            owner: "o".into(),
+            description: "d".into(),
+            metadata_json: "{}".into(),
+            created_at: -5,
+            prev: Some("m-0".into()),
+            deprecated: true,
+        }));
+        roundtrip_response(Response::InstanceInfo(Box::new(sample_instance())));
+        roundtrip_response(Response::MaybeInstance(None));
+        roundtrip_response(Response::MaybeInstance(Some(Box::new(sample_instance()))));
+        roundtrip_response(Response::Instances(vec![sample_instance(), sample_instance()]));
+        roundtrip_response(Response::Blob(Bytes::from_static(b"weights")));
+        roundtrip_response(Response::MaybeId(Some("i-1".into())));
+        roundtrip_response(Response::MaybeId(None));
+        roundtrip_response(Response::Ids(vec!["a".into(), "b".into()]));
+        roundtrip_response(Response::Stage("monitoring".into()));
+        roundtrip_response(Response::Health(HealthDto {
+            reproducibility_score: 0.5,
+            missing_fields: vec!["training_data".into()],
+            has_training: true,
+            has_validation: false,
+            has_production: true,
+            skewed_metrics: vec!["mape".into()],
+            score: 0.42,
+        }));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(200);
+        assert!(Request::decode(w.frame()).is_err());
+        let mut w = Writer::new();
+        w.put_u8(200);
+        assert!(Response::decode(w.frame()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(2); // GetModel
+        w.put_str("m");
+        w.put_u8(99); // trailing
+        assert!(Request::decode(w.frame()).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! The stateless Gallery service (§4): decodes wire requests, dispatches
+//! against the shared registry (and optional rule engine), encodes wire
+//! responses. "Gallery was ... built as a stateless microservice": all
+//! state lives in the storage layer, so any number of `GalleryServer`
+//! instances can serve the same store.
+
+use crate::messages::{
+    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireOp,
+    WireValue,
+};
+use bytes::Bytes;
+use gallery_core::metadata::Metadata;
+use gallery_core::{
+    Gallery, GalleryError, InstanceId, InstanceSpec, MetricScope, MetricSpec, Model,
+    ModelId, ModelInstance, ModelSpec, Stage,
+};
+use gallery_rules::RuleEngine;
+use gallery_store::{Constraint, Op, StoreError, Value};
+use std::sync::Arc;
+
+/// Convert wire constraint triples into store constraints.
+fn to_store_constraint(c: &WireConstraint) -> Constraint {
+    let op = match c.op {
+        WireOp::Eq => Op::Eq,
+        WireOp::Ne => Op::Ne,
+        WireOp::Lt => Op::Lt,
+        WireOp::Le => Op::Le,
+        WireOp::Gt => Op::Gt,
+        WireOp::Ge => Op::Ge,
+        WireOp::Contains => Op::Contains,
+        WireOp::StartsWith => Op::StartsWith,
+    };
+    let value = match &c.value {
+        WireValue::Null => Value::Null,
+        WireValue::Bool(b) => Value::Bool(*b),
+        WireValue::Int(i) => Value::Int(*i),
+        WireValue::Float(x) => Value::Float(*x),
+        WireValue::Str(s) => Value::Str(s.clone()),
+    };
+    Constraint {
+        field: c.field.clone(),
+        op,
+        value,
+    }
+}
+
+fn model_dto(m: &Model) -> ModelDto {
+    ModelDto {
+        id: m.id.to_string(),
+        base_version_id: m.base_version_id.to_string(),
+        project: m.project.clone(),
+        name: m.name.clone(),
+        owner: m.owner.clone(),
+        description: m.description.clone(),
+        metadata_json: m.metadata.to_json(),
+        created_at: m.created_at,
+        prev: m.prev.as_ref().map(|p| p.to_string()),
+        deprecated: m.deprecated,
+    }
+}
+
+fn instance_dto(i: &ModelInstance) -> InstanceDto {
+    InstanceDto {
+        id: i.id.to_string(),
+        model_id: i.model_id.to_string(),
+        base_version_id: i.base_version_id.to_string(),
+        display_version: i.display_version.to_string(),
+        blob_location: i.blob_location.as_ref().map(|l| l.to_string()),
+        metadata_json: i.metadata.to_json(),
+        created_at: i.created_at,
+        trigger: i.trigger.encode(),
+        parent: i.parent.as_ref().map(|p| p.to_string()),
+        deprecated: i.deprecated,
+    }
+}
+
+fn error_response(e: GalleryError) -> Response {
+    let code = match &e {
+        GalleryError::NoSuchModel(_)
+        | GalleryError::NoSuchInstance(_)
+        | GalleryError::NoSuchDependency { .. }
+        | GalleryError::Store(StoreError::NoSuchKey(_))
+        | GalleryError::Store(StoreError::NoSuchTable(_))
+        | GalleryError::Store(StoreError::NoSuchBlob(_)) => ErrorCode::NotFound,
+        GalleryError::ModelExists(_)
+        | GalleryError::DuplicateDependency { .. }
+        | GalleryError::DependencyCycle { .. }
+        | GalleryError::Store(StoreError::DuplicateKey(_)) => ErrorCode::Conflict,
+        GalleryError::Invalid(_)
+        | GalleryError::IllegalTransition { .. }
+        | GalleryError::Deprecated(_)
+        | GalleryError::NoCandidates(_) => ErrorCode::Invalid,
+        GalleryError::Store(_) => ErrorCode::Storage,
+    };
+    Response::Err {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// A stateless Gallery server.
+pub struct GalleryServer {
+    gallery: Arc<Gallery>,
+    engine: Option<Arc<RuleEngine>>,
+}
+
+impl GalleryServer {
+    pub fn new(gallery: Arc<Gallery>) -> Self {
+        GalleryServer {
+            gallery,
+            engine: None,
+        }
+    }
+
+    /// Attach a rule engine so that `SelectChampion` / `TriggerRule`
+    /// requests can be served.
+    pub fn with_engine(mut self, engine: Arc<RuleEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    pub fn gallery(&self) -> &Arc<Gallery> {
+        &self.gallery
+    }
+
+    /// Handle one framed request, producing a framed response. Malformed
+    /// frames produce an `Err` response rather than tearing the connection.
+    pub fn handle_frame(&self, frame: Bytes) -> Bytes {
+        match Request::decode(frame) {
+            Ok(request) => self.dispatch(request).encode(),
+            Err(e) => Response::Err {
+                code: ErrorCode::Invalid,
+                message: e.to_string(),
+            }
+            .encode(),
+        }
+    }
+
+    /// Dispatch a decoded request.
+    pub fn dispatch(&self, request: Request) -> Response {
+        match self.try_dispatch(request) {
+            Ok(resp) => resp,
+            Err(e) => error_response(e),
+        }
+    }
+
+    fn try_dispatch(&self, request: Request) -> Result<Response, GalleryError> {
+        Ok(match request {
+            Request::CreateModel {
+                project,
+                base_version_id,
+                name,
+                owner,
+                description,
+                metadata_json,
+            } => {
+                let metadata = Metadata::from_json(&metadata_json).unwrap_or_default();
+                let model = self.gallery.create_model(
+                    ModelSpec::new(project, base_version_id)
+                        .name(name)
+                        .owner(owner)
+                        .description(description)
+                        .metadata(metadata),
+                )?;
+                Response::ModelInfo(model_dto(&model))
+            }
+            Request::GetModel { model_id } => {
+                let model = self.gallery.get_model(&ModelId(model_id))?;
+                Response::ModelInfo(model_dto(&model))
+            }
+            Request::UploadModel {
+                model_id,
+                metadata_json,
+                blob,
+            } => {
+                let metadata = Metadata::from_json(&metadata_json).ok_or_else(|| {
+                    GalleryError::Invalid("metadata_json must be a JSON object".into())
+                })?;
+                let instance = self.gallery.upload_instance(
+                    &ModelId(model_id),
+                    InstanceSpec::new().metadata(metadata),
+                    blob,
+                )?;
+                Response::InstanceInfo(Box::new(instance_dto(&instance)))
+            }
+            Request::GetInstance { instance_id } => {
+                let instance = self.gallery.get_instance(&InstanceId(instance_id))?;
+                Response::InstanceInfo(Box::new(instance_dto(&instance)))
+            }
+            Request::FetchBlob { instance_id } => {
+                let blob = self.gallery.fetch_instance_blob(&InstanceId(instance_id))?;
+                Response::Blob(blob)
+            }
+            Request::InsertMetric {
+                instance_id,
+                name,
+                scope,
+                value,
+                metadata_json,
+            } => {
+                let scope = MetricScope::parse(&scope)?;
+                let metadata = Metadata::from_json(&metadata_json).unwrap_or_default();
+                self.gallery.insert_metric(
+                    &InstanceId(instance_id),
+                    MetricSpec::new(name, scope, value).metadata(metadata),
+                )?;
+                Response::Ok
+            }
+            Request::ModelQuery { constraints } => {
+                let constraints: Vec<Constraint> =
+                    constraints.iter().map(to_store_constraint).collect();
+                let instances = self.gallery.model_query(&constraints)?;
+                Response::Instances(instances.iter().map(instance_dto).collect())
+            }
+            Request::InstancesOfBaseVersion { base_version_id } => {
+                let instances = self.gallery.instances_of_base_version(&base_version_id)?;
+                Response::Instances(instances.iter().map(instance_dto).collect())
+            }
+            Request::LatestInstance { model_id } => {
+                let latest = self.gallery.latest_instance(&ModelId(model_id))?;
+                Response::MaybeInstance(latest.map(|i| Box::new(instance_dto(&i))))
+            }
+            Request::Deploy {
+                model_id,
+                instance_id,
+                environment,
+            } => {
+                self.gallery
+                    .deploy(&ModelId(model_id), &InstanceId(instance_id), &environment)?;
+                Response::Ok
+            }
+            Request::DeployedInstance {
+                model_id,
+                environment,
+            } => {
+                let deployed = self
+                    .gallery
+                    .deployed_instance(&ModelId(model_id), &environment)?;
+                Response::MaybeId(deployed.map(|i| i.to_string()))
+            }
+            Request::AddDependency {
+                model_id,
+                upstream_id,
+            } => {
+                self.gallery
+                    .add_dependency(&ModelId(model_id), &ModelId(upstream_id))?;
+                Response::Ok
+            }
+            Request::RemoveDependency {
+                model_id,
+                upstream_id,
+            } => {
+                self.gallery
+                    .remove_dependency(&ModelId(model_id), &ModelId(upstream_id))?;
+                Response::Ok
+            }
+            Request::UpstreamOf { model_id } => {
+                let ids = self.gallery.upstream_of(&ModelId(model_id))?;
+                Response::Ids(ids.into_iter().map(|i| i.0).collect())
+            }
+            Request::DownstreamOf { model_id } => {
+                let ids = self.gallery.downstream_of(&ModelId(model_id))?;
+                Response::Ids(ids.into_iter().map(|i| i.0).collect())
+            }
+            Request::DeprecateModel { model_id } => {
+                self.gallery.deprecate_model(&ModelId(model_id))?;
+                Response::Ok
+            }
+            Request::DeprecateInstance { instance_id } => {
+                self.gallery.deprecate_instance(&InstanceId(instance_id))?;
+                Response::Ok
+            }
+            Request::SetStage { instance_id, stage } => {
+                let stage = Stage::parse(&stage)?;
+                let new_stage = self.gallery.set_stage(&InstanceId(instance_id), stage)?;
+                Response::Stage(new_stage.as_str().to_owned())
+            }
+            Request::StageOf { instance_id } => {
+                let stage = self.gallery.stage_of(&InstanceId(instance_id))?;
+                Response::Stage(stage.as_str().to_owned())
+            }
+            Request::SelectChampion { rule_id } => {
+                let engine = self.engine.as_ref().ok_or_else(|| {
+                    GalleryError::Invalid("no rule engine attached to this server".into())
+                })?;
+                match engine.select(&rule_id) {
+                    Ok(champion) => {
+                        Response::MaybeInstance(champion.map(|i| Box::new(instance_dto(&i))))
+                    }
+                    Err(e) => Response::Err {
+                        code: ErrorCode::Invalid,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::TriggerRule {
+                rule_id,
+                instance_id,
+            } => {
+                let engine = self.engine.as_ref().ok_or_else(|| {
+                    GalleryError::Invalid("no rule engine attached to this server".into())
+                })?;
+                match engine.trigger(&rule_id, &InstanceId(instance_id)) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err {
+                        code: ErrorCode::Invalid,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::HealthReport { instance_id } => {
+                let report = self.gallery.health_report(&InstanceId(instance_id))?;
+                Response::Health(HealthDto {
+                    reproducibility_score: report.reproducibility_score,
+                    missing_fields: report.missing_fields.clone(),
+                    has_training: report.has_training_metrics,
+                    has_validation: report.has_validation_metrics,
+                    has_production: report.has_production_metrics,
+                    skewed_metrics: report
+                        .skew
+                        .iter()
+                        .filter(|s| s.skewed)
+                        .map(|s| s.metric_name.clone())
+                        .collect(),
+                    score: report.score(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> GalleryServer {
+        GalleryServer::new(Arc::new(Gallery::in_memory()))
+    }
+
+    #[test]
+    fn create_and_get_model_via_frames() {
+        let s = server();
+        let resp = s.handle_frame(
+            Request::CreateModel {
+                project: "example-project".into(),
+                base_version_id: "supply_rejection".into(),
+                name: "Random Forest".into(),
+                owner: "fc".into(),
+                description: "".into(),
+                metadata_json: "{}".into(),
+            }
+            .encode(),
+        );
+        let Response::ModelInfo(model) = Response::decode(resp).unwrap() else {
+            panic!("expected ModelInfo");
+        };
+        let resp = s.handle_frame(Request::GetModel { model_id: model.id.clone() }.encode());
+        let Response::ModelInfo(back) = Response::decode(resp).unwrap() else {
+            panic!("expected ModelInfo");
+        };
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn errors_map_to_codes() {
+        let s = server();
+        let resp = s.dispatch(Request::GetModel {
+            model_id: "ghost".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ));
+        // invalid spec
+        let resp = s.dispatch(Request::CreateModel {
+            project: "".into(),
+            base_version_id: "".into(),
+            name: "".into(),
+            owner: "".into(),
+            description: "".into(),
+            metadata_json: "{}".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_frame_is_error_response() {
+        let s = server();
+        let resp = s.handle_frame(Bytes::from_static(&[0, 1, 2]));
+        assert!(matches!(
+            Response::decode(resp).unwrap(),
+            Response::Err { .. }
+        ));
+    }
+
+    #[test]
+    fn rule_requests_require_engine() {
+        let s = server();
+        let resp = s.dispatch(Request::SelectChampion {
+            rule_id: "r".into(),
+        });
+        assert!(matches!(resp, Response::Err { .. }));
+    }
+}

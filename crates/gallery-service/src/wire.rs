@@ -1,0 +1,325 @@
+//! Compact binary wire format — the stand-in for Thrift's compact protocol
+//! (§4.1: "Gallery users interact with Gallery via a standard set of
+//! Thrift APIs with language-specific clients").
+//!
+//! Primitives: LEB128 varints for unsigned integers, zigzag for signed,
+//! little-endian IEEE-754 for floats, length-prefixed UTF-8 strings and
+//! byte arrays, and `u8` tags for enums. Every message is framed as
+//! `[u32 little-endian payload length][payload]`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub message: String,
+}
+
+impl WireError {
+    pub fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoder over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                break;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn put_ivarint(&mut self, v: i64) {
+        self.put_uvarint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_uvarint(s.len() as u64);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_uvarint(b.len() as u64);
+        self.buf.put_slice(b);
+    }
+
+    pub fn put_opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.put_bool(true);
+                self.put_str(s);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Finish the payload and frame it with a u32 length prefix.
+    pub fn frame(self) -> Bytes {
+        let payload = self.buf.freeze();
+        let mut framed = BytesMut::with_capacity(4 + payload.len());
+        framed.put_u32_le(payload.len() as u32);
+        framed.put_slice(&payload);
+        framed.freeze()
+    }
+
+    /// Raw payload without framing.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Decoder over a byte buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    /// Strip and validate the u32 length frame.
+    pub fn unframe(mut framed: Bytes) -> Result<Self, WireError> {
+        if framed.len() < 4 {
+            return Err(WireError::new("frame shorter than length prefix"));
+        }
+        let len = framed.get_u32_le() as usize;
+        if framed.len() != len {
+            return Err(WireError::new(format!(
+                "frame length mismatch: header says {len}, got {}",
+                framed.len()
+            )));
+        }
+        Ok(Reader { buf: framed })
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        if self.buf.is_empty() {
+            return Err(WireError::new("unexpected end of buffer (u8)"));
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_uvarint(&mut self) -> Result<u64, WireError> {
+        let mut result = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(WireError::new("varint overflow"));
+            }
+            result |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_ivarint(&mut self) -> Result<i64, WireError> {
+        let v = self.get_uvarint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        if self.buf.len() < 8 {
+            return Err(WireError::new("unexpected end of buffer (f64)"));
+        }
+        Ok(self.buf.get_f64_le())
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::new(format!("bad bool byte {other}"))),
+        }
+    }
+
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_uvarint()? as usize;
+        if self.buf.len() < len {
+            return Err(WireError::new("unexpected end of buffer (str)"));
+        }
+        let bytes = self.buf.split_to(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::new("invalid utf-8 in string"))
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_uvarint()? as usize;
+        if self.buf.len() < len {
+            return Err(WireError::new("unexpected end of buffer (bytes)"));
+        }
+        Ok(self.buf.split_to(len))
+    }
+
+    pub fn get_opt_str(&mut self) -> Result<Option<String>, WireError> {
+        if self.get_bool()? {
+            Ok(Some(self.get_str()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Assert the buffer is fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::new(format!(
+                "{} trailing bytes after message",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_uvarint(v);
+            let mut r = Reader::new(w.into_bytes());
+            assert_eq!(r.get_uvarint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+            let mut w = Writer::new();
+            w.put_ivarint(v);
+            let mut r = Reader::new(w.into_bytes());
+            assert_eq!(r.get_ivarint().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_encode_small() {
+        let mut w = Writer::new();
+        w.put_uvarint(100);
+        assert_eq!(w.into_bytes().len(), 1);
+        let mut w = Writer::new();
+        w.put_ivarint(-2);
+        assert_eq!(w.into_bytes().len(), 1);
+    }
+
+    #[test]
+    fn mixed_message_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_str("hello");
+        w.put_f64(0.25);
+        w.put_bool(true);
+        w.put_bytes(b"blob");
+        w.put_opt_str(Some("x"));
+        w.put_opt_str(None);
+        let mut r = Reader::new(w.into_bytes());
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_f64().unwrap(), 0.25);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(&r.get_bytes().unwrap()[..], b"blob");
+        assert_eq!(r.get_opt_str().unwrap(), Some("x".into()));
+        assert_eq!(r.get_opt_str().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn framing_roundtrip() {
+        let mut w = Writer::new();
+        w.put_str("payload");
+        let framed = w.frame();
+        let mut r = Reader::unframe(framed).unwrap();
+        assert_eq!(r.get_str().unwrap(), "payload");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn framing_errors() {
+        assert!(Reader::unframe(Bytes::from_static(&[1, 2])).is_err());
+        // header says 10 bytes but only 2 present
+        let mut framed = BytesMut::new();
+        framed.put_u32_le(10);
+        framed.put_slice(&[1, 2]);
+        assert!(Reader::unframe(framed.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_str("hello world");
+        let bytes = w.into_bytes();
+        let truncated = bytes.slice(..bytes.len() - 3);
+        let mut r = Reader::new(truncated);
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let mut r = Reader::new(w.into_bytes());
+        let _ = r.get_u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let mut r = Reader::new(w.into_bytes());
+        assert!(r.get_str().is_err());
+    }
+}

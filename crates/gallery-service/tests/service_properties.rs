@@ -1,0 +1,97 @@
+//! Property tests for the service layer: DTO conversions and the
+//! dispatch path never panic, and every successful write through the wire
+//! is immediately readable through the wire.
+
+use bytes::Bytes;
+use gallery_core::Gallery;
+use gallery_service::{GalleryServer, Request, Response, WireConstraint, WireOp, WireValue};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn server() -> GalleryServer {
+    GalleryServer::new(Arc::new(Gallery::in_memory()))
+}
+
+proptest! {
+    /// Dispatch never panics on arbitrary (decodable) requests against an
+    /// empty store — every failure is a structured Err response.
+    #[test]
+    fn dispatch_never_panics(
+        model_id in "[a-zA-Z0-9-]{0,40}",
+        name in "[a-zA-Z0-9_ ]{0,20}",
+        scope in "[a-z]{0,12}",
+        value in any::<f64>(),
+        stage in "[a-z]{0,12}",
+    ) {
+        let s = server();
+        let requests = vec![
+            Request::GetModel { model_id: model_id.clone() },
+            Request::GetInstance { instance_id: model_id.clone() },
+            Request::FetchBlob { instance_id: model_id.clone() },
+            Request::InsertMetric {
+                instance_id: model_id.clone(),
+                name: name.clone(),
+                scope,
+                value,
+                metadata_json: "{}".into(),
+            },
+            Request::SetStage { instance_id: model_id.clone(), stage },
+            Request::DeployedInstance { model_id: model_id.clone(), environment: name.clone() },
+            Request::UpstreamOf { model_id: model_id.clone() },
+            Request::DeprecateModel { model_id },
+        ];
+        for request in requests {
+            let frame = request.encode();
+            let reply = s.handle_frame(frame);
+            // must decode to *something*
+            prop_assert!(Response::decode(reply).is_ok());
+        }
+    }
+
+    /// Write-then-read coherence over the wire: any uploaded blob with any
+    /// metric value round-trips and is findable by exact metric threshold.
+    #[test]
+    fn wire_write_read_coherence(
+        blob in proptest::collection::vec(any::<u8>(), 0..256),
+        metric in 0.0f64..100.0,
+    ) {
+        let s = server();
+        let Response::ModelInfo(model) = s.dispatch(Request::CreateModel {
+            project: "p".into(),
+            base_version_id: "b".into(),
+            name: "m".into(),
+            owner: "o".into(),
+            description: "".into(),
+            metadata_json: "{}".into(),
+        }) else { panic!("create failed") };
+        let Response::InstanceInfo(inst) = s.dispatch(Request::UploadModel {
+            model_id: model.id.clone(),
+            metadata_json: r#"{"model_name":"m"}"#.into(),
+            blob: Bytes::from(blob.clone()),
+        }) else { panic!("upload failed") };
+        let Response::Blob(back) = s.dispatch(Request::FetchBlob {
+            instance_id: inst.id.clone(),
+        }) else { panic!("fetch failed") };
+        prop_assert_eq!(&back[..], &blob[..]);
+
+        let inserted = matches!(
+            s.dispatch(Request::InsertMetric {
+                instance_id: inst.id.clone(),
+                name: "mape".into(),
+                scope: "validation".into(),
+                value: metric,
+                metadata_json: "{}".into(),
+            }),
+            Response::Ok
+        );
+        prop_assert!(inserted);
+        let Response::Instances(found) = s.dispatch(Request::ModelQuery {
+            constraints: vec![
+                WireConstraint::new("metricName", WireOp::Eq, WireValue::Str("mape".into())),
+                WireConstraint::new("metricValue", WireOp::Le, WireValue::Float(metric)),
+            ],
+        }) else { panic!("query failed") };
+        prop_assert_eq!(found.len(), 1);
+        prop_assert_eq!(&found[0].id, &inst.id);
+    }
+}

@@ -1,0 +1,251 @@
+//! Durable blob store over a local directory, sharded like object stores
+//! shard keys: `<root>/<first two hex chars>/<id>.blob`. Each file carries a
+//! small header (magic, crc, length) so integrity survives restarts.
+
+use super::checksum::crc32;
+use super::{BlobInfo, BlobLocation, ObjectStore};
+use crate::error::{Result, StoreError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: &[u8; 4] = b"GBL1";
+
+pub struct LocalFsBlobStore {
+    root: PathBuf,
+    next_id: AtomicU64,
+    // serializes directory creation; file writes are already unique-path
+    dir_lock: Mutex<()>,
+}
+
+impl LocalFsBlobStore {
+    /// Open (creating) a blob root directory. Existing blobs are respected;
+    /// the id counter resumes above the highest existing id.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        let mut max_id = 0u64;
+        for shard in fs::read_dir(&root)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())? {
+                let entry = entry?;
+                if let Some(stem) = entry.path().file_stem().and_then(|s| s.to_str()) {
+                    if let Ok(id) = u64::from_str_radix(stem, 16) {
+                        max_id = max_id.max(id + 1);
+                    }
+                }
+            }
+        }
+        Ok(LocalFsBlobStore {
+            root,
+            next_id: AtomicU64::new(max_id),
+            dir_lock: Mutex::new(()),
+        })
+    }
+
+    fn path_for(&self, id: u64) -> PathBuf {
+        let hex = format!("{id:016x}");
+        self.root.join(&hex[..2]).join(format!("{hex}.blob"))
+    }
+
+    fn location_for(&self, id: u64) -> BlobLocation {
+        BlobLocation::new(format!("fs://{:016x}", id))
+    }
+
+    fn id_of(location: &BlobLocation) -> Result<u64> {
+        let hex = location
+            .as_str()
+            .strip_prefix("fs://")
+            .ok_or_else(|| StoreError::NoSuchBlob(location.to_string()))?;
+        u64::from_str_radix(hex, 16).map_err(|_| StoreError::NoSuchBlob(location.to_string()))
+    }
+}
+
+impl ObjectStore for LocalFsBlobStore {
+    fn put(&self, data: Bytes) -> Result<BlobInfo> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = self.path_for(id);
+        {
+            let _g = self.dir_lock.lock();
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let crc = crc32(&data);
+        // Write to a temp file then rename, so a crash mid-write never
+        // leaves a half-written blob at a resolvable location.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&crc.to_le_bytes())?;
+            f.write_all(&(data.len() as u64).to_le_bytes())?;
+            f.write_all(&data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(BlobInfo {
+            location: self.location_for(id),
+            size: data.len(),
+            crc32: crc,
+        })
+    }
+
+    fn get(&self, location: &BlobLocation) -> Result<Bytes> {
+        let id = Self::id_of(location)?;
+        let path = self.path_for(id);
+        let mut f = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NoSuchBlob(location.to_string()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(StoreError::ChecksumMismatch {
+                location: location.to_string(),
+            });
+        }
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        let mut data = Vec::with_capacity(len);
+        f.read_to_end(&mut data)?;
+        if data.len() != len || crc32(&data) != crc {
+            return Err(StoreError::ChecksumMismatch {
+                location: location.to_string(),
+            });
+        }
+        Ok(Bytes::from(data))
+    }
+
+    fn contains(&self, location: &BlobLocation) -> bool {
+        Self::id_of(location)
+            .map(|id| self.path_for(id).exists())
+            .unwrap_or(false)
+    }
+
+    fn blob_count(&self) -> usize {
+        self.list().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for loc in self.list() {
+            if let Ok(id) = Self::id_of(&loc) {
+                if let Ok(meta) = fs::metadata(self.path_for(id)) {
+                    total += meta.len().saturating_sub(16);
+                }
+            }
+        }
+        total
+    }
+
+    fn list(&self) -> Vec<BlobLocation> {
+        let mut out = Vec::new();
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for shard in shards.flatten() {
+            let Ok(entries) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("blob") {
+                    continue;
+                }
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if let Ok(id) = u64::from_str_radix(stem, 16) {
+                        out.push(self.location_for(id));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gallery-blobfs-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = LocalFsBlobStore::open(tmp("rt")).unwrap();
+        let info = store.put(Bytes::from_static(b"weights")).unwrap();
+        assert_eq!(store.get(&info.location).unwrap(), Bytes::from_static(b"weights"));
+        assert!(store.contains(&info.location));
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let root = tmp("reopen");
+        let loc = {
+            let store = LocalFsBlobStore::open(&root).unwrap();
+            store.put(Bytes::from_static(b"persisted")).unwrap().location
+        };
+        let store = LocalFsBlobStore::open(&root).unwrap();
+        assert_eq!(store.get(&loc).unwrap(), Bytes::from_static(b"persisted"));
+        // new ids don't collide with old
+        let info = store.put(Bytes::from_static(b"more")).unwrap();
+        assert_ne!(info.location, loc);
+    }
+
+    #[test]
+    fn detects_on_disk_corruption() {
+        let root = tmp("corrupt");
+        let store = LocalFsBlobStore::open(&root).unwrap();
+        let info = store.put(Bytes::from_static(b"fragile")).unwrap();
+        // Flip a payload byte on disk.
+        let id = u64::from_str_radix(info.location.as_str().strip_prefix("fs://").unwrap(), 16)
+            .unwrap();
+        let path = store.path_for(id);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            store.get(&info.location),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_blob() {
+        let store = LocalFsBlobStore::open(tmp("missing")).unwrap();
+        assert!(matches!(
+            store.get(&BlobLocation::new("fs://00000000000000ff")),
+            Err(StoreError::NoSuchBlob(_))
+        ));
+        assert!(matches!(
+            store.get(&BlobLocation::new("garbage")),
+            Err(StoreError::NoSuchBlob(_))
+        ));
+    }
+
+    #[test]
+    fn list_and_accounting() {
+        let store = LocalFsBlobStore::open(tmp("list")).unwrap();
+        store.put(Bytes::from(vec![1u8; 10])).unwrap();
+        store.put(Bytes::from(vec![2u8; 20])).unwrap();
+        assert_eq!(store.blob_count(), 2);
+        assert_eq!(store.total_bytes(), 30);
+    }
+}

@@ -1,0 +1,245 @@
+//! In-memory object store with fault injection and simulated latency.
+
+use super::checksum::crc32;
+use super::{BlobInfo, BlobLocation, ObjectStore};
+use crate::error::{Result, StoreError};
+use crate::fault::{sites, FaultPlan};
+use crate::latency::{LatencyMeter, LatencyModel};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// In-memory blob store. Content is addressed by a monotonically increasing
+/// id plus the content CRC, so identical blobs still get distinct locations
+/// (immutability: re-uploading produces a new version, never a silent
+/// dedup that would alias two instances).
+pub struct MemoryBlobStore {
+    blobs: RwLock<HashMap<BlobLocation, (Bytes, u32)>>,
+    next_id: AtomicU64,
+    faults: FaultPlan,
+    latency: LatencyModel,
+    meter: LatencyMeter,
+    corrupt_next: RwLock<Option<BlobLocation>>,
+}
+
+impl Default for MemoryBlobStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryBlobStore {
+    pub fn new() -> Self {
+        MemoryBlobStore {
+            blobs: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            faults: FaultPlan::none(),
+            latency: LatencyModel::instant(),
+            meter: LatencyMeter::new(),
+            corrupt_next: RwLock::new(None),
+        }
+    }
+
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    pub fn with_latency(mut self, model: LatencyModel) -> Self {
+        self.latency = model;
+        self
+    }
+
+    /// Shared meter of simulated backend time.
+    pub fn meter(&self) -> LatencyMeter {
+        self.meter.clone()
+    }
+
+    /// Test hook: corrupt the stored bytes at `location` (flip one byte) so
+    /// the next `get` fails checksum verification.
+    pub fn corrupt(&self, location: &BlobLocation) {
+        let mut blobs = self.blobs.write();
+        if let Some((data, crc)) = blobs.get_mut(location) {
+            let mut v = data.to_vec();
+            if v.is_empty() {
+                v.push(0xFF);
+            } else {
+                v[0] ^= 0xFF;
+            }
+            *data = Bytes::from(v);
+            // keep original crc so verification fails
+            let _ = crc;
+        }
+        *self.corrupt_next.write() = None;
+    }
+}
+
+impl ObjectStore for MemoryBlobStore {
+    fn put(&self, data: Bytes) -> Result<BlobInfo> {
+        if self.faults.should_fail(sites::BLOB_PUT) {
+            return Err(StoreError::InjectedFault(sites::BLOB_PUT));
+        }
+        self.meter.charge(&self.latency, data.len());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let crc = crc32(&data);
+        let location = BlobLocation::new(format!("mem://{id:016x}-{crc:08x}"));
+        let size = data.len();
+        self.blobs.write().insert(location.clone(), (data, crc));
+        Ok(BlobInfo {
+            location,
+            size,
+            crc32: crc,
+        })
+    }
+
+    fn put_at(&self, location: &BlobLocation, data: Bytes) -> Result<BlobInfo> {
+        if self.faults.should_fail(sites::BLOB_PUT) {
+            return Err(StoreError::InjectedFault(sites::BLOB_PUT));
+        }
+        self.meter.charge(&self.latency, data.len());
+        let mut blobs = self.blobs.write();
+        if blobs.contains_key(location) {
+            return Err(StoreError::Io(format!("blob already exists at {location}")));
+        }
+        let crc = crc32(&data);
+        let size = data.len();
+        blobs.insert(location.clone(), (data, crc));
+        Ok(BlobInfo {
+            location: location.clone(),
+            size,
+            crc32: crc,
+        })
+    }
+
+    fn get(&self, location: &BlobLocation) -> Result<Bytes> {
+        if self.faults.should_fail(sites::BLOB_GET) {
+            return Err(StoreError::InjectedFault(sites::BLOB_GET));
+        }
+        let blobs = self.blobs.read();
+        let (data, crc) = blobs
+            .get(location)
+            .ok_or_else(|| StoreError::NoSuchBlob(location.to_string()))?;
+        self.meter.charge(&self.latency, data.len());
+        if crc32(data) != *crc {
+            return Err(StoreError::ChecksumMismatch {
+                location: location.to_string(),
+            });
+        }
+        Ok(data.clone())
+    }
+
+    fn contains(&self, location: &BlobLocation) -> bool {
+        self.blobs.read().contains_key(location)
+    }
+
+    fn blob_count(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.blobs.read().values().map(|(d, _)| d.len() as u64).sum()
+    }
+
+    fn list(&self) -> Vec<BlobLocation> {
+        self.blobs.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MemoryBlobStore::new();
+        let info = store.put(Bytes::from_static(b"model bytes")).unwrap();
+        assert_eq!(info.size, 11);
+        let back = store.get(&info.location).unwrap();
+        assert_eq!(&back[..], b"model bytes");
+    }
+
+    #[test]
+    fn identical_content_gets_distinct_locations() {
+        let store = MemoryBlobStore::new();
+        let a = store.put(Bytes::from_static(b"same")).unwrap();
+        let b = store.put(Bytes::from_static(b"same")).unwrap();
+        assert_ne!(a.location, b.location);
+        assert_eq!(store.blob_count(), 2);
+    }
+
+    #[test]
+    fn missing_blob_errors() {
+        let store = MemoryBlobStore::new();
+        let err = store.get(&BlobLocation::new("mem://nope"));
+        assert!(matches!(err, Err(StoreError::NoSuchBlob(_))));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let store = MemoryBlobStore::new();
+        let info = store.put(Bytes::from_static(b"precious weights")).unwrap();
+        store.corrupt(&info.location);
+        let err = store.get(&info.location);
+        assert!(matches!(err, Err(StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn injected_put_fault() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::BLOB_PUT);
+        let store = MemoryBlobStore::new().with_faults(plan);
+        let err = store.put(Bytes::from_static(b"x"));
+        assert!(matches!(err, Err(StoreError::InjectedFault(_))));
+        assert_eq!(store.blob_count(), 0);
+    }
+
+    #[test]
+    fn latency_is_metered() {
+        let store = MemoryBlobStore::new().with_latency(LatencyModel {
+            per_request: std::time::Duration::from_millis(10),
+            per_byte_ns: 0.0,
+            real_sleep: false,
+        });
+        let meter = store.meter();
+        let info = store.put(Bytes::from_static(b"x")).unwrap();
+        let _ = store.get(&info.location).unwrap();
+        assert_eq!(meter.requests(), 2);
+        assert_eq!(meter.total(), std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn accounting() {
+        let store = MemoryBlobStore::new();
+        store.put(Bytes::from(vec![0u8; 100])).unwrap();
+        store.put(Bytes::from(vec![0u8; 50])).unwrap();
+        assert_eq!(store.total_bytes(), 150);
+        assert_eq!(store.list().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod put_at_tests {
+    use super::*;
+
+    #[test]
+    fn put_at_roundtrip_and_conflict() {
+        let store = MemoryBlobStore::new();
+        let loc = BlobLocation::new("mem://chosen-1");
+        let info = store.put_at(&loc, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(info.location, loc);
+        assert_eq!(store.get(&loc).unwrap(), Bytes::from_static(b"x"));
+        // overwriting an existing location is rejected (immutability)
+        assert!(store.put_at(&loc, Bytes::from_static(b"y")).is_err());
+    }
+
+    #[test]
+    fn localfs_does_not_support_put_at() {
+        let dir = std::env::temp_dir().join(format!("gallery-putat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::blob::localfs::LocalFsBlobStore::open(&dir).unwrap();
+        assert!(store
+            .put_at(&BlobLocation::new("fs://custom"), Bytes::from_static(b"x"))
+            .is_err());
+    }
+}

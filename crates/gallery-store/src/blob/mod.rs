@@ -1,0 +1,95 @@
+//! Blob storage: Gallery's stand-in for Uber's S3/HDFS-backed large data
+//! storage service (§3.5).
+//!
+//! Model instance blobs are opaque binaries (model-neutral, §3.1). The
+//! store hands back an opaque [`BlobLocation`] which the metadata layer
+//! records next to the instance; at serving time the location is resolved
+//! back to bytes, optionally through an LRU cache.
+
+pub mod cache;
+pub mod checksum;
+pub mod localfs;
+pub mod memory;
+
+use crate::error::Result;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque blob address, e.g. `mem://a1b2c3...` or `fs://shard/af/af12...`.
+/// Analogous to the HDFS/S3 path stored in instance metadata in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlobLocation(pub String);
+
+impl BlobLocation {
+    pub fn new(s: impl Into<String>) -> Self {
+        BlobLocation(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlobLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Metadata about one stored blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobInfo {
+    pub location: BlobLocation,
+    pub size: usize,
+    pub crc32: u32,
+}
+
+/// Abstract object store. Implementations: [`memory::MemoryBlobStore`]
+/// (default, fast, supports fault injection) and
+/// [`localfs::LocalFsBlobStore`] (durable, content-sharded directories).
+///
+/// Blobs are immutable: `put` always creates a new location; there is no
+/// overwrite or delete in the public API (deprecation is a metadata flag,
+/// §3.7). Implementations must verify checksums on `get`.
+pub trait ObjectStore: Send + Sync {
+    /// Store a blob, returning its new, unique location.
+    fn put(&self, data: Bytes) -> Result<BlobInfo>;
+
+    /// Store a blob at a caller-chosen location (needed by the unsafe
+    /// metadata-first ordering ablation, where the location must be known
+    /// before the blob exists). Backends may not support this.
+    fn put_at(&self, location: &BlobLocation, _data: Bytes) -> Result<BlobInfo> {
+        Err(crate::error::StoreError::Io(format!(
+            "backend does not support caller-chosen locations ({location})"
+        )))
+    }
+
+    /// Fetch a blob by location, verifying integrity.
+    fn get(&self, location: &BlobLocation) -> Result<Bytes>;
+
+    /// Whether a blob exists at the location.
+    fn contains(&self, location: &BlobLocation) -> bool;
+
+    /// Number of blobs stored.
+    fn blob_count(&self) -> usize;
+
+    /// Total payload bytes stored.
+    fn total_bytes(&self) -> u64;
+
+    /// Locations of every stored blob (used by the consistency checker to
+    /// find orphans). Order unspecified.
+    fn list(&self) -> Vec<BlobLocation>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_display_roundtrip() {
+        let loc = BlobLocation::new("mem://abc");
+        assert_eq!(loc.to_string(), "mem://abc");
+        assert_eq!(loc.as_str(), "mem://abc");
+    }
+}

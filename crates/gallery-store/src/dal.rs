@@ -1,0 +1,332 @@
+//! The unified Data Access Layer (DAL) of §3.5.
+//!
+//! All Gallery reads and writes go through here. The DAL enforces the
+//! paper's crash-consistency discipline: *blob first, metadata second* —
+//! "we always write model blobs first and only write the model metadata
+//! after the model blobs are successfully stored. If the model blob of a
+//! model instance is saved but the metadata fails to save, then the model
+//! instance will not be available in the system." Orphan blobs are
+//! tolerated; dangling metadata is not.
+
+use crate::blob::{BlobInfo, BlobLocation, ObjectStore};
+use crate::error::{Result, StoreError};
+use crate::meta::MetadataStore;
+use crate::query::{AccessPath, Query};
+use crate::record::Record;
+use crate::schema::TableSchema;
+use bytes::Bytes;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Write ordering for blob+metadata pairs. `BlobFirst` is the paper's
+/// choice; `MetadataFirst` exists only as the ablation arm of experiment
+/// E10 and is deliberately unsafe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOrdering {
+    BlobFirst,
+    MetadataFirst,
+}
+
+/// Result of a combined blob+metadata write.
+#[derive(Debug, Clone)]
+pub struct StoredEntity {
+    pub blob: BlobInfo,
+}
+
+/// Outcome of a consistency audit over the whole store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Metadata rows whose `blob_location` points at a missing blob. Under
+    /// `BlobFirst` this must always be empty.
+    pub dangling_metadata: Vec<String>,
+    /// Blobs not referenced by any metadata row. Expected crash artifacts.
+    pub orphan_blobs: Vec<BlobLocation>,
+    pub rows_checked: usize,
+    pub blobs_checked: usize,
+}
+
+impl ConsistencyReport {
+    /// The §3.5 invariant: every metadata row resolves to a blob.
+    pub fn is_consistent(&self) -> bool {
+        self.dangling_metadata.is_empty()
+    }
+}
+
+/// Unified data access layer.
+pub struct Dal {
+    meta: Arc<MetadataStore>,
+    blobs: Arc<dyn ObjectStore>,
+    ordering: WriteOrdering,
+}
+
+impl Dal {
+    pub fn new(meta: Arc<MetadataStore>, blobs: Arc<dyn ObjectStore>) -> Self {
+        Dal {
+            meta,
+            blobs,
+            ordering: WriteOrdering::BlobFirst,
+        }
+    }
+
+    /// Ablation hook for E10: switch to the unsafe ordering.
+    pub fn with_ordering(mut self, ordering: WriteOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    pub fn ordering(&self) -> WriteOrdering {
+        self.ordering
+    }
+
+    pub fn metadata(&self) -> &Arc<MetadataStore> {
+        &self.meta
+    }
+
+    pub fn blobs(&self) -> &Arc<dyn ObjectStore> {
+        &self.blobs
+    }
+
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        self.meta.create_table(schema)
+    }
+
+    /// Store a blob together with its metadata record. The record's
+    /// `blob_location` column is filled in by the DAL. Under `BlobFirst`,
+    /// a metadata failure after a successful blob write leaves only an
+    /// orphan blob (harmless); under `MetadataFirst` (ablation), a blob
+    /// failure leaves dangling metadata (the failure mode the paper's
+    /// ordering prevents).
+    pub fn put_with_blob(
+        &self,
+        table: &str,
+        record: Record,
+        blob: Bytes,
+    ) -> Result<StoredEntity> {
+        match self.ordering {
+            WriteOrdering::BlobFirst => {
+                let info = self.blobs.put(blob)?;
+                let record = record.set("blob_location", info.location.as_str());
+                self.meta.insert(table, record)?;
+                Ok(StoredEntity { blob: info })
+            }
+            WriteOrdering::MetadataFirst => {
+                // Deliberately unsafe: pick the location up front, write
+                // metadata referencing it, then try the blob. A failure (or
+                // crash) between the two writes leaves dangling metadata —
+                // the hazard §3.5's blob-first rule prevents. Records are
+                // immutable, so the location cannot be fixed up afterwards.
+                let crc = crate::blob::checksum::crc32(&blob);
+                let location = BlobLocation::new(format!(
+                    "mem://pre-{:016x}-{crc:08x}",
+                    self.meta.row_count(table).unwrap_or(0) as u64,
+                ));
+                let record = record.set("blob_location", location.as_str());
+                self.meta.insert(table, record)?;
+                let info = self.blobs.put_at(&location, blob)?;
+                Ok(StoredEntity { blob: info })
+            }
+        }
+    }
+
+    /// Insert a metadata-only record (no blob).
+    pub fn put(&self, table: &str, record: Record) -> Result<()> {
+        self.meta.insert(table, record)
+    }
+
+    pub fn get(&self, table: &str, pk: &str) -> Result<Option<Record>> {
+        self.meta.get(table, pk)
+    }
+
+    pub fn query(&self, table: &str, query: &Query) -> Result<Vec<Record>> {
+        self.meta.query(table, query)
+    }
+
+    pub fn query_explain(&self, table: &str, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+        self.meta.query_explain(table, query)
+    }
+
+    pub fn set_flag(&self, table: &str, pk: &str, column: &str, value: bool) -> Result<()> {
+        self.meta.set_flag(table, pk, column, value)
+    }
+
+    /// Resolve a record's blob: read metadata, follow `blob_location`,
+    /// fetch bytes. This is the paper's two-hop read path (§3.5): "the
+    /// request first goes to MySQL to get the location of the model blob,
+    /// and then the model is directly accessed via the storage location."
+    pub fn fetch_blob_of(&self, table: &str, pk: &str) -> Result<Bytes> {
+        let record = self
+            .meta
+            .get(table, pk)?
+            .ok_or_else(|| StoreError::NoSuchKey(pk.to_owned()))?;
+        let loc = record
+            .get("blob_location")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| StoreError::BadQuery(format!("{table}/{pk} has no blob_location")))?;
+        self.blobs.get(&BlobLocation::new(loc))
+    }
+
+    pub fn fetch_blob(&self, location: &BlobLocation) -> Result<Bytes> {
+        self.blobs.get(location)
+    }
+
+    /// Audit referential integrity between metadata and blob store across
+    /// the given tables (checking each table's `blob_location` column).
+    pub fn audit_consistency(&self, tables: &[&str]) -> Result<ConsistencyReport> {
+        let mut report = ConsistencyReport::default();
+        let mut referenced: HashSet<BlobLocation> = HashSet::new();
+        for table in tables {
+            let rows = self.meta.query(table, &Query::all().with_deprecated())?;
+            for row in rows {
+                report.rows_checked += 1;
+                if let Some(loc) = row.get("blob_location").and_then(|v| v.as_str()) {
+                    let loc = BlobLocation::new(loc);
+                    if !self.blobs.contains(&loc) {
+                        let pk = row
+                            .get("id")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("<unknown>")
+                            .to_owned();
+                        report.dangling_metadata.push(format!("{table}/{pk}"));
+                    }
+                    referenced.insert(loc);
+                }
+            }
+        }
+        for loc in self.blobs.list() {
+            report.blobs_checked += 1;
+            if !referenced.contains(&loc) {
+                report.orphan_blobs.push(loc);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::memory::MemoryBlobStore;
+    use crate::fault::{sites, FaultPlan};
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "instances",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("blob_location", ValueType::Str).nullable(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dal_with(
+        meta_faults: Option<FaultPlan>,
+        blob_faults: Option<FaultPlan>,
+    ) -> Dal {
+        let meta = match meta_faults {
+            Some(p) => MetadataStore::in_memory().with_faults(p),
+            None => MetadataStore::in_memory(),
+        };
+        let blobs = match blob_faults {
+            Some(p) => MemoryBlobStore::new().with_faults(p),
+            None => MemoryBlobStore::new(),
+        };
+        let dal = Dal::new(Arc::new(meta), Arc::new(blobs));
+        dal.create_table(schema()).unwrap();
+        dal
+    }
+
+    #[test]
+    fn put_with_blob_roundtrip() {
+        let dal = dal_with(None, None);
+        let stored = dal
+            .put_with_blob("instances", Record::new().set("id", "i1"), Bytes::from_static(b"w"))
+            .unwrap();
+        assert!(dal.blobs().contains(&stored.blob.location));
+        let bytes = dal.fetch_blob_of("instances", "i1").unwrap();
+        assert_eq!(bytes, Bytes::from_static(b"w"));
+    }
+
+    #[test]
+    fn blob_first_metadata_failure_leaves_no_dangling() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::META_INSERT);
+        let dal = dal_with(Some(plan), None);
+        // create_table already done without faults on meta? create_table is
+        // not fault-injected (only insert is), so the table exists.
+        let err = dal.put_with_blob(
+            "instances",
+            Record::new().set("id", "i1"),
+            Bytes::from_static(b"w"),
+        );
+        assert!(err.is_err());
+        let report = dal.audit_consistency(&["instances"]).unwrap();
+        assert!(report.is_consistent());
+        assert_eq!(report.orphan_blobs.len(), 1); // harmless orphan
+    }
+
+    #[test]
+    fn blob_first_blob_failure_writes_nothing() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::BLOB_PUT);
+        let dal = dal_with(None, Some(plan));
+        let err = dal.put_with_blob(
+            "instances",
+            Record::new().set("id", "i1"),
+            Bytes::from_static(b"w"),
+        );
+        assert!(err.is_err());
+        assert_eq!(dal.metadata().row_count("instances").unwrap(), 0);
+        assert_eq!(dal.blobs().blob_count(), 0);
+    }
+
+    #[test]
+    fn metadata_first_ablation_produces_dangling() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::BLOB_PUT);
+        let dal = dal_with(None, Some(plan)).with_ordering(WriteOrdering::MetadataFirst);
+        let err = dal.put_with_blob(
+            "instances",
+            Record::new().set("id", "i1"),
+            Bytes::from_static(b"w"),
+        );
+        assert!(err.is_err());
+        let report = dal.audit_consistency(&["instances"]).unwrap();
+        assert!(!report.is_consistent());
+        assert_eq!(report.dangling_metadata, vec!["instances/i1".to_string()]);
+    }
+
+    #[test]
+    fn fetch_blob_of_missing_row() {
+        let dal = dal_with(None, None);
+        assert!(matches!(
+            dal.fetch_blob_of("instances", "nope"),
+            Err(StoreError::NoSuchKey(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_blob_of_row_without_blob() {
+        let dal = dal_with(None, None);
+        dal.put("instances", Record::new().set("id", "i1")).unwrap();
+        assert!(dal.fetch_blob_of("instances", "i1").is_err());
+    }
+
+    #[test]
+    fn audit_counts() {
+        let dal = dal_with(None, None);
+        dal.put_with_blob("instances", Record::new().set("id", "i1"), Bytes::from_static(b"a"))
+            .unwrap();
+        dal.put_with_blob("instances", Record::new().set("id", "i2"), Bytes::from_static(b"b"))
+            .unwrap();
+        let report = dal.audit_consistency(&["instances"]).unwrap();
+        assert_eq!(report.rows_checked, 2);
+        assert_eq!(report.blobs_checked, 2);
+        assert!(report.orphan_blobs.is_empty());
+        assert!(report.is_consistent());
+    }
+}

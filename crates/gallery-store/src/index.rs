@@ -1,0 +1,223 @@
+//! Secondary indexes over metadata tables.
+//!
+//! Two kinds are supported, mirroring what a MySQL deployment gives Gallery
+//! (§3.5 "model metadata searchability"): hash indexes for equality lookups
+//! and ordered (btree) indexes for range predicates such as
+//! `created_time > t` or `metricValue < 0.25`.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+
+/// Row identifiers are dense offsets into the table's row arena.
+pub type RowId = u32;
+
+/// A hash index: value -> set of row ids.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<RowId>>,
+}
+
+impl HashIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        self.map.entry(value).or_default().push(row);
+    }
+
+    pub fn get(&self, value: &Value) -> &[RowId] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn remove(&mut self, value: &Value, row: RowId) {
+        if let Some(rows) = self.map.get_mut(value) {
+            rows.retain(|r| *r != row);
+            if rows.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+}
+
+/// An ordered index: value -> set of row ids, supporting range scans.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<RowId>>,
+}
+
+impl BTreeIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        self.map.entry(value).or_default().push(row);
+    }
+
+    pub fn get(&self, value: &Value) -> &[RowId] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn remove(&mut self, value: &Value, row: RowId) {
+        if let Some(rows) = self.map.get_mut(value) {
+            rows.retain(|r| *r != row);
+            if rows.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Collect row ids whose indexed value lies within the given bounds.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for (_, rows) in self.map.range::<Value, _>((lo, hi)) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Smallest and largest indexed values, if any.
+    pub fn min_max(&self) -> Option<(&Value, &Value)> {
+        let min = self.map.keys().next()?;
+        let max = self.map.keys().next_back()?;
+        Some((min, max))
+    }
+}
+
+/// Either kind of index, chosen per-column by the schema.
+#[derive(Debug)]
+pub enum Index {
+    Hash(HashIndex),
+    BTree(BTreeIndex),
+}
+
+impl Index {
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        match self {
+            Index::Hash(ix) => ix.insert(value, row),
+            Index::BTree(ix) => ix.insert(value, row),
+        }
+    }
+
+    pub fn remove(&mut self, value: &Value, row: RowId) {
+        match self {
+            Index::Hash(ix) => ix.remove(value, row),
+            Index::BTree(ix) => ix.remove(value, row),
+        }
+    }
+
+    pub fn lookup_eq(&self, value: &Value) -> Vec<RowId> {
+        match self {
+            Index::Hash(ix) => ix.get(value).to_vec(),
+            Index::BTree(ix) => ix.get(value).to_vec(),
+        }
+    }
+
+    /// Number of rows an equality lookup would return (planner cost hint).
+    pub fn eq_bucket_len(&self, value: &Value) -> usize {
+        match self {
+            Index::Hash(ix) => ix.get(value).len(),
+            Index::BTree(ix) => ix.get(value).len(),
+        }
+    }
+
+    /// Range lookup; only ordered indexes support this.
+    pub fn lookup_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<Vec<RowId>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::BTree(ix) => Some(ix.range(lo, hi)),
+        }
+    }
+
+    pub fn supports_range(&self) -> bool {
+        matches!(self, Index::BTree(_))
+    }
+}
+
+/// Deduplicate row ids while preserving first-seen order.
+pub fn dedup_rows(rows: Vec<RowId>) -> Vec<RowId> {
+    let mut seen = HashSet::with_capacity(rows.len());
+    rows.into_iter().filter(|r| seen.insert(*r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_equality() {
+        let mut ix = HashIndex::new();
+        ix.insert(Value::from("a"), 0);
+        ix.insert(Value::from("a"), 1);
+        ix.insert(Value::from("b"), 2);
+        assert_eq!(ix.get(&Value::from("a")), &[0, 1]);
+        assert_eq!(ix.get(&Value::from("b")), &[2]);
+        assert!(ix.get(&Value::from("c")).is_empty());
+        assert_eq!(ix.distinct_values(), 2);
+    }
+
+    #[test]
+    fn hash_index_remove() {
+        let mut ix = HashIndex::new();
+        ix.insert(Value::from("a"), 0);
+        ix.insert(Value::from("a"), 1);
+        ix.remove(&Value::from("a"), 0);
+        assert_eq!(ix.get(&Value::from("a")), &[1]);
+        ix.remove(&Value::from("a"), 1);
+        assert_eq!(ix.distinct_values(), 0);
+    }
+
+    #[test]
+    fn btree_index_range() {
+        let mut ix = BTreeIndex::new();
+        for i in 0..10i64 {
+            ix.insert(Value::Int(i), i as RowId);
+        }
+        let rows = ix.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        assert_eq!(rows, vec![3, 4, 5, 6]);
+        let rows = ix.range(Bound::Unbounded, Bound::Included(&Value::Int(1)));
+        assert_eq!(rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn btree_min_max() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(Value::Int(5), 0);
+        ix.insert(Value::Int(2), 1);
+        let (min, max) = ix.min_max().unwrap();
+        assert_eq!(min, &Value::Int(2));
+        assert_eq!(max, &Value::Int(5));
+    }
+
+    #[test]
+    fn index_enum_dispatch() {
+        let mut ix = Index::Hash(HashIndex::new());
+        ix.insert(Value::Int(1), 7);
+        assert_eq!(ix.lookup_eq(&Value::Int(1)), vec![7]);
+        assert!(ix.lookup_range(Bound::Unbounded, Bound::Unbounded).is_none());
+        assert!(!ix.supports_range());
+
+        let mut ix = Index::BTree(BTreeIndex::new());
+        ix.insert(Value::Int(1), 7);
+        assert!(ix.supports_range());
+        assert_eq!(
+            ix.lookup_range(Bound::Unbounded, Bound::Unbounded).unwrap(),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        assert_eq!(dedup_rows(vec![3, 1, 3, 2, 1]), vec![3, 1, 2]);
+    }
+}

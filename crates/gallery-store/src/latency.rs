@@ -1,0 +1,147 @@
+//! Simulated backend latency.
+//!
+//! The blob store stands in for S3/HDFS; those systems have per-request
+//! latencies orders of magnitude above an in-process map. To make cache
+//! experiments (E9/ablation 5) meaningful, backends can be configured with
+//! a synthetic latency model that is *accounted* (cheap, deterministic)
+//! rather than slept, plus an optional real-sleep mode for wall-clock
+//! demonstrations.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency model for a simulated remote backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-request cost.
+    pub per_request: Duration,
+    /// Additional cost per byte transferred.
+    pub per_byte_ns: f64,
+    /// If true, actually sleep; otherwise only account the cost.
+    pub real_sleep: bool,
+}
+
+impl LatencyModel {
+    /// Zero-cost model (default for unit tests).
+    pub fn instant() -> Self {
+        LatencyModel {
+            per_request: Duration::ZERO,
+            per_byte_ns: 0.0,
+            real_sleep: false,
+        }
+    }
+
+    /// A model loosely shaped like an S3 GET/PUT from the same region:
+    /// ~15 ms per request plus ~10 ns/byte (≈100 MB/s).
+    pub fn object_store_like() -> Self {
+        LatencyModel {
+            per_request: Duration::from_millis(15),
+            per_byte_ns: 10.0,
+            real_sleep: false,
+        }
+    }
+
+    /// Cost of one request moving `bytes` bytes.
+    pub fn cost(&self, bytes: usize) -> Duration {
+        self.per_request + Duration::from_nanos((self.per_byte_ns * bytes as f64) as u64)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+/// Shared accumulator of simulated time spent in a backend.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyMeter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    total: Duration,
+    requests: u64,
+}
+
+impl LatencyMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one request of `bytes` bytes under `model`.
+    pub fn charge(&self, model: &LatencyModel, bytes: usize) {
+        let cost = model.cost(bytes);
+        {
+            let mut inner = self.inner.lock();
+            inner.total += cost;
+            inner.requests += 1;
+        }
+        if model.real_sleep && !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+
+    /// Total simulated time charged.
+    pub fn total(&self) -> Duration {
+        self.inner.lock().total
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.inner.lock().requests
+    }
+
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.total = Duration::ZERO;
+        inner.requests = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_costs_nothing() {
+        let m = LatencyModel::instant();
+        assert_eq!(m.cost(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn cost_scales_with_bytes() {
+        let m = LatencyModel {
+            per_request: Duration::from_millis(1),
+            per_byte_ns: 100.0,
+            real_sleep: false,
+        };
+        assert_eq!(m.cost(0), Duration::from_millis(1));
+        assert_eq!(m.cost(10_000), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let meter = LatencyMeter::new();
+        let model = LatencyModel {
+            per_request: Duration::from_micros(10),
+            per_byte_ns: 0.0,
+            real_sleep: false,
+        };
+        meter.charge(&model, 0);
+        meter.charge(&model, 0);
+        assert_eq!(meter.total(), Duration::from_micros(20));
+        assert_eq!(meter.requests(), 2);
+        meter.reset();
+        assert_eq!(meter.requests(), 0);
+    }
+
+    #[test]
+    fn meter_is_shared_across_clones() {
+        let meter = LatencyMeter::new();
+        let clone = meter.clone();
+        clone.charge(&LatencyModel { per_request: Duration::from_micros(5), per_byte_ns: 0.0, real_sleep: false }, 0);
+        assert_eq!(meter.requests(), 1);
+    }
+}

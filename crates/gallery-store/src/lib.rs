@@ -1,0 +1,45 @@
+//! # gallery-store
+//!
+//! Storage substrate for the Gallery model-management system (reproduction
+//! of *Gallery: A Machine Learning Model Management System at Uber*,
+//! EDBT 2020, §3.5).
+//!
+//! Gallery stores structured metadata in a relational database (MySQL at
+//! Uber) and opaque model blobs in a large object store (S3/HDFS at Uber),
+//! joined by a unified data access layer (DAL). This crate provides
+//! embedded, from-scratch equivalents:
+//!
+//! - [`meta::MetadataStore`] — typed tables with hash/btree secondary
+//!   indexes, constraint queries with a small planner, and WAL-based
+//!   durability;
+//! - [`blob`] — an [`blob::ObjectStore`] trait with in-memory and local-FS
+//!   backends, CRC-32 integrity, an LRU byte-budget cache, simulated
+//!   backend latency, and fault injection;
+//! - [`dal::Dal`] — the unified access layer enforcing the paper's
+//!   blob-first write ordering and auditing referential integrity.
+
+pub mod blob;
+pub mod dal;
+pub mod error;
+pub mod fault;
+pub mod index;
+pub mod latency;
+pub mod meta;
+pub mod query;
+pub mod record;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod wal;
+
+pub use blob::{BlobInfo, BlobLocation, ObjectStore};
+pub use dal::{ConsistencyReport, Dal, StoredEntity, WriteOrdering};
+pub use error::{Result, StoreError};
+pub use fault::FaultPlan;
+pub use latency::{LatencyMeter, LatencyModel};
+pub use meta::MetadataStore;
+pub use query::{AccessPath, Constraint, Op, OrderBy, Query};
+pub use record::Record;
+pub use schema::{ColumnDef, IndexKind, TableSchema};
+pub use value::{Value, ValueType};
+pub use wal::SyncPolicy;

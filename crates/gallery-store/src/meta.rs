@@ -1,0 +1,535 @@
+//! The metadata store: named tables behind one lock, optionally durable
+//! through a [`Wal`]. This is Gallery's stand-in for the HA MySQL service
+//! of §3.5 — it provides typed rows, secondary indexes, flexible
+//! constraint queries, and durability; replication/HA is out of scope (see
+//! DESIGN.md substitutions).
+
+use crate::error::{Result, StoreError};
+use crate::fault::{sites, FaultPlan};
+use crate::query::{AccessPath, Query};
+use crate::record::Record;
+use crate::schema::TableSchema;
+use crate::table::{Table, TableStats};
+use crate::wal::{SyncPolicy, Wal, WalOp};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+
+struct MetaInner {
+    tables: HashMap<String, Table>,
+    wal: Option<Wal>,
+}
+
+/// Thread-safe, optionally durable metadata store.
+pub struct MetadataStore {
+    inner: RwLock<MetaInner>,
+    faults: FaultPlan,
+}
+
+impl MetadataStore {
+    /// Purely in-memory store.
+    pub fn in_memory() -> Self {
+        MetadataStore {
+            inner: RwLock::new(MetaInner {
+                tables: HashMap::new(),
+                wal: None,
+            }),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Store durable through a WAL at `path`. Replays any existing log.
+    pub fn durable(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self> {
+        let path = path.as_ref();
+        let ops = Wal::replay(path)?;
+        let store = Self::in_memory();
+        {
+            let mut inner = store.inner.write();
+            for op in ops {
+                Self::apply(&mut inner.tables, op)?;
+            }
+            inner.wal = Some(Wal::open(path, sync)?);
+        }
+        Ok(store)
+    }
+
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    fn apply(tables: &mut HashMap<String, Table>, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::CreateTable { schema } => {
+                if tables.contains_key(&schema.name) {
+                    return Err(StoreError::TableExists(schema.name));
+                }
+                tables.insert(schema.name.clone(), Table::new(schema));
+                Ok(())
+            }
+            WalOp::Insert { table, record } => {
+                let t = tables
+                    .get_mut(&table)
+                    .ok_or(StoreError::NoSuchTable(table))?;
+                t.insert(record)?;
+                Ok(())
+            }
+            WalOp::SetFlag {
+                table,
+                pk,
+                column,
+                value,
+            } => {
+                let t = tables
+                    .get_mut(&table)
+                    .ok_or(StoreError::NoSuchTable(table))?;
+                t.set_flag(&pk, &column, value)
+            }
+        }
+    }
+
+    fn log(inner: &mut MetaInner, op: &WalOp) -> Result<()> {
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(op)?;
+        }
+        Ok(())
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&schema.name) {
+            return Err(StoreError::TableExists(schema.name));
+        }
+        let op = WalOp::CreateTable {
+            schema: schema.clone(),
+        };
+        Self::log(&mut inner, &op)?;
+        inner.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.read().tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// Insert an immutable record. WAL-first so that an acknowledged insert
+    /// survives restart.
+    pub fn insert(&self, table: &str, record: Record) -> Result<()> {
+        if self.faults.should_fail(sites::META_INSERT) {
+            return Err(StoreError::InjectedFault(sites::META_INSERT));
+        }
+        let mut inner = self.inner.write();
+        // Validate against schema before logging so the WAL never contains
+        // an op that fails on replay.
+        {
+            let t = inner
+                .tables
+                .get(table)
+                .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+            t.schema().validate_row(record.fields())?;
+            let pk_col = &t.schema().primary_key;
+            if let Some(pk) = record.get(pk_col).and_then(|v| v.as_str()) {
+                if t.contains(pk) {
+                    return Err(StoreError::DuplicateKey(pk.to_owned()));
+                }
+            }
+        }
+        let op = WalOp::Insert {
+            table: table.to_owned(),
+            record: record.clone(),
+        };
+        Self::log(&mut inner, &op)?;
+        let t = inner.tables.get_mut(table).expect("checked above");
+        t.insert(record)?;
+        Ok(())
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, table: &str, pk: &str) -> Result<Option<Record>> {
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        Ok(t.peek(pk).cloned())
+    }
+
+    /// Set a mutable flag column (e.g. `deprecated`).
+    pub fn set_flag(&self, table: &str, pk: &str, column: &str, value: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        // Validate before logging.
+        {
+            let t = inner
+                .tables
+                .get(table)
+                .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+            if !t.contains(pk) {
+                return Err(StoreError::NoSuchKey(pk.to_owned()));
+            }
+        }
+        let op = WalOp::SetFlag {
+            table: table.to_owned(),
+            pk: pk.to_owned(),
+            column: column.to_owned(),
+            value,
+        };
+        // set_flag still validates the column is a flag column; do that
+        // first on a dry-run basis by checking the constant here.
+        if !crate::table::MUTABLE_FLAG_COLUMNS.contains(&column) {
+            return Err(StoreError::BadQuery(format!(
+                "column {column} is immutable"
+            )));
+        }
+        Self::log(&mut inner, &op)?;
+        let t = inner.tables.get_mut(table).expect("checked above");
+        t.set_flag(pk, column, value)
+    }
+
+    /// Execute a constraint query.
+    pub fn query(&self, table: &str, query: &Query) -> Result<Vec<Record>> {
+        Ok(self.query_explain(table, query)?.0)
+    }
+
+    /// Execute a query and also report the access path chosen.
+    pub fn query_explain(&self, table: &str, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+        if self.faults.should_fail(sites::META_QUERY) {
+            return Err(StoreError::InjectedFault(sites::META_QUERY));
+        }
+        let mut inner = self.inner.write();
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        t.execute(query)
+    }
+
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        Ok(t.len())
+    }
+
+    pub fn table_stats(&self, table: &str) -> Result<TableStats> {
+        let inner = self.inner.read();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        Ok(t.stats())
+    }
+
+    /// Approximate resident bytes across all tables.
+    pub fn approx_size(&self) -> usize {
+        let inner = self.inner.read();
+        inner.tables.values().map(Table::approx_size).sum()
+    }
+
+    /// Entries appended to the WAL by this store instance (0 for
+    /// in-memory stores).
+    pub fn wal_entries(&self) -> u64 {
+        self.inner
+            .read()
+            .wal
+            .as_ref()
+            .map(|w| w.entries_written())
+            .unwrap_or(0)
+    }
+
+    /// On-disk WAL size in bytes, if durable.
+    pub fn wal_size_bytes(&self) -> Option<u64> {
+        let inner = self.inner.read();
+        let wal = inner.wal.as_ref()?;
+        std::fs::metadata(wal.path()).ok().map(|m| m.len())
+    }
+
+    /// Compact the WAL: rewrite it as the minimal operation sequence that
+    /// reproduces the current state (one `CreateTable` per table and one
+    /// `Insert` per live row — flag mutations are already materialized in
+    /// the rows). The compacted log is written to a temporary file, fsynced,
+    /// and atomically renamed over the old log, so a crash at any point
+    /// leaves a replayable log. No-op for in-memory stores.
+    pub fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let Some(wal) = inner.wal.as_ref() else {
+            return Ok(0);
+        };
+        let path = wal.path().to_path_buf();
+        let sync = wal.sync_policy();
+        let tmp = path.with_extension("compacting");
+        let mut compacted = Wal::create(&tmp, SyncPolicy::Never)?;
+        let mut table_names: Vec<&String> = inner.tables.keys().collect();
+        table_names.sort();
+        let mut entries = 0u64;
+        for name in table_names {
+            let table = &inner.tables[name];
+            compacted.append(&WalOp::CreateTable {
+                schema: table.schema().clone(),
+            })?;
+            entries += 1;
+            for record in table.iter() {
+                compacted.append(&WalOp::Insert {
+                    table: name.clone(),
+                    record: record.clone(),
+                })?;
+                entries += 1;
+            }
+        }
+        compacted.sync_all()?;
+        drop(compacted);
+        std::fs::rename(&tmp, &path)?;
+        inner.wal = Some(Wal::open(&path, sync)?);
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Constraint;
+    use crate::schema::ColumnDef;
+    use crate::value::{Value, ValueType};
+    use std::path::PathBuf;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "models",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("name", ValueType::Str).hash_indexed(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gallery-meta-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        store
+            .insert("models", Record::new().set("id", "m1").set("name", "rf"))
+            .unwrap();
+        let rows = store
+            .query("models", &Query::all().and(Constraint::eq("name", "rf")))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(store.row_count("models").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        assert!(matches!(
+            store.create_table(schema()),
+            Err(StoreError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let store = MetadataStore::in_memory();
+        assert!(matches!(
+            store.insert("nope", Record::new().set("id", "x")),
+            Err(StoreError::NoSuchTable(_))
+        ));
+        assert!(store.get("nope", "x").is_err());
+        assert!(store.query("nope", &Query::all()).is_err());
+    }
+
+    #[test]
+    fn durability_roundtrip() {
+        let path = tmp("durable");
+        {
+            let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+            store.create_table(schema()).unwrap();
+            store
+                .insert("models", Record::new().set("id", "m1").set("name", "rf"))
+                .unwrap();
+            store.set_flag("models", "m1", "deprecated", true).unwrap();
+        }
+        let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.row_count("models").unwrap(), 1);
+        let rec = store.get("models", "m1").unwrap().unwrap();
+        assert_eq!(rec.get("deprecated"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejected_writes_not_logged() {
+        let path = tmp("rejects");
+        {
+            let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+            store.create_table(schema()).unwrap();
+            store
+                .insert("models", Record::new().set("id", "m1").set("name", "rf"))
+                .unwrap();
+            // Duplicate key: must not reach the WAL.
+            assert!(store
+                .insert("models", Record::new().set("id", "m1").set("name", "x"))
+                .is_err());
+            // Type error: must not reach the WAL.
+            assert!(store
+                .insert("models", Record::new().set("id", "m2").set("name", 5i64))
+                .is_err());
+        }
+        // Replay must succeed (a bad op in the log would fail).
+        let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.row_count("models").unwrap(), 1);
+    }
+
+    #[test]
+    fn injected_insert_fault() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::META_INSERT);
+        let store = MetadataStore::in_memory().with_faults(plan);
+        store.create_table(schema()).unwrap();
+        assert!(matches!(
+            store.insert("models", Record::new().set("id", "m1").set("name", "rf")),
+            Err(StoreError::InjectedFault(_))
+        ));
+        assert_eq!(store.row_count("models").unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        use std::sync::Arc;
+        let store = Arc::new(MetadataStore::in_memory());
+        store.create_table(schema()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    store
+                        .insert(
+                            "models",
+                            Record::new()
+                                .set("id", format!("m{t}-{i}"))
+                                .set("name", "rf"),
+                        )
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.row_count("models").unwrap(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use crate::query::Constraint;
+    use crate::schema::ColumnDef;
+    use crate::value::{Value, ValueType};
+    use std::path::PathBuf;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "models",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("name", ValueType::Str).hash_indexed(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gallery-compact-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_state() {
+        let path = tmp("shrink");
+        let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        store.create_table(schema()).unwrap();
+        // Many flag flips blow up the raw log relative to the live state.
+        for i in 0..50 {
+            store
+                .insert(
+                    "models",
+                    Record::new().set("id", format!("m{i}")).set("name", "rf"),
+                )
+                .unwrap();
+        }
+        for _ in 0..10 {
+            for i in 0..50 {
+                store.set_flag("models", &format!("m{i}"), "deprecated", true).unwrap();
+                store.set_flag("models", &format!("m{i}"), "deprecated", false).unwrap();
+            }
+        }
+        store.set_flag("models", "m7", "deprecated", true).unwrap();
+        let before = store.wal_size_bytes().unwrap();
+        let entries = store.compact().unwrap();
+        let after = store.wal_size_bytes().unwrap();
+        assert_eq!(entries, 1 + 50);
+        assert!(after < before / 5, "log must shrink: {before} -> {after}");
+
+        // State survives compaction + restart, including the final flags.
+        drop(store);
+        let restored = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(restored.row_count("models").unwrap(), 50);
+        let rec = restored.get("models", "m7").unwrap().unwrap();
+        assert_eq!(rec.get("deprecated"), Some(&Value::Bool(true)));
+        let rec = restored.get("models", "m8").unwrap().unwrap();
+        assert_eq!(rec.get("deprecated"), Some(&Value::Bool(false)));
+        // Indexes rebuilt correctly.
+        let rows = restored
+            .query("models", &Query::all().and(Constraint::eq("name", "rf")).with_deprecated())
+            .unwrap();
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn writes_continue_after_compaction() {
+        let path = tmp("continue");
+        let store = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        store.create_table(schema()).unwrap();
+        store
+            .insert("models", Record::new().set("id", "a").set("name", "x"))
+            .unwrap();
+        store.compact().unwrap();
+        store
+            .insert("models", Record::new().set("id", "b").set("name", "y"))
+            .unwrap();
+        drop(store);
+        let restored = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(restored.row_count("models").unwrap(), 2);
+    }
+
+    #[test]
+    fn in_memory_compaction_is_noop() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        assert_eq!(store.compact().unwrap(), 0);
+        assert_eq!(store.wal_entries(), 0);
+        assert!(store.wal_size_bytes().is_none());
+    }
+}

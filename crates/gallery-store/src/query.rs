@@ -1,0 +1,259 @@
+//! Constraint-based queries over metadata tables.
+//!
+//! Gallery's search API (paper §4.1, Listing 5) expresses queries as lists
+//! of `(field, operator, value)` constraints, implicitly conjoined. The
+//! planner picks an index for the most selective indexable constraint and
+//! filters residual constraints row-by-row.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Bound;
+
+/// Comparison operator usable in a search constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Substring match on string columns.
+    Contains,
+    /// Prefix match on string columns.
+    StartsWith,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "==",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Contains => "contains",
+            Op::StartsWith => "starts_with",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Op {
+    /// Evaluate `lhs OP rhs`. Null never satisfies any predicate except
+    /// `Ne` against a non-null value (SQL-ish semantics kept simple).
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        if lhs.is_null() {
+            return self == Op::Ne && !rhs.is_null();
+        }
+        match self {
+            Op::Eq => lhs == rhs,
+            Op::Ne => lhs != rhs,
+            Op::Lt => lhs < rhs,
+            Op::Le => lhs <= rhs,
+            Op::Gt => lhs > rhs,
+            Op::Ge => lhs >= rhs,
+            Op::Contains => match (lhs.as_str(), rhs.as_str()) {
+                (Some(a), Some(b)) => a.contains(b),
+                _ => false,
+            },
+            Op::StartsWith => match (lhs.as_str(), rhs.as_str()) {
+                (Some(a), Some(b)) => a.starts_with(b),
+                _ => false,
+            },
+        }
+    }
+
+    /// Whether an equality (hash or btree) index can serve this operator.
+    pub fn index_eq_usable(self) -> bool {
+        self == Op::Eq
+    }
+
+    /// Whether an ordered index can serve this operator via a range scan.
+    pub fn index_range_usable(self) -> bool {
+        matches!(self, Op::Eq | Op::Lt | Op::Le | Op::Gt | Op::Ge)
+    }
+
+    /// Bounds for a btree range scan implementing this operator.
+    pub fn bounds(self, v: &Value) -> Option<(Bound<&Value>, Bound<&Value>)> {
+        match self {
+            Op::Eq => Some((Bound::Included(v), Bound::Included(v))),
+            Op::Lt => Some((Bound::Unbounded, Bound::Excluded(v))),
+            Op::Le => Some((Bound::Unbounded, Bound::Included(v))),
+            Op::Gt => Some((Bound::Excluded(v), Bound::Unbounded)),
+            Op::Ge => Some((Bound::Included(v), Bound::Unbounded)),
+            _ => None,
+        }
+    }
+}
+
+/// One `(field, operator, value)` constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    pub field: String,
+    pub op: Op,
+    pub value: Value,
+}
+
+impl Constraint {
+    pub fn new(field: impl Into<String>, op: Op, value: impl Into<Value>) -> Self {
+        Constraint {
+            field: field.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    pub fn eq(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(field, Op::Eq, value)
+    }
+
+    pub fn lt(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(field, Op::Lt, value)
+    }
+
+    pub fn gt(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(field, Op::Gt, value)
+    }
+
+    pub fn le(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(field, Op::Le, value)
+    }
+
+    pub fn ge(field: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(field, Op::Ge, value)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.field, self.op, self.value)
+    }
+}
+
+/// A conjunctive query: all constraints must hold. `limit` bounds the number
+/// of returned rows; `order_by` optionally sorts by one column.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Query {
+    pub constraints: Vec<Constraint>,
+    pub order_by: Option<OrderBy>,
+    pub limit: Option<usize>,
+    /// When false (the default) rows whose `deprecated` column is true are
+    /// skipped, implementing §3.7 "Model Deprecation": deprecated entries
+    /// are flagged, not deleted, and skipped during fetching/searching.
+    pub include_deprecated: bool,
+}
+
+/// Sort specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderBy {
+    pub field: String,
+    pub descending: bool,
+}
+
+impl Query {
+    pub fn new(constraints: Vec<Constraint>) -> Self {
+        Query {
+            constraints,
+            ..Default::default()
+        }
+    }
+
+    pub fn all() -> Self {
+        Query::default()
+    }
+
+    pub fn and(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    pub fn order_by(mut self, field: impl Into<String>, descending: bool) -> Self {
+        self.order_by = Some(OrderBy {
+            field: field.into(),
+            descending,
+        });
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    pub fn with_deprecated(mut self) -> Self {
+        self.include_deprecated = true;
+        self
+    }
+}
+
+/// How the planner decided to execute a query — surfaced for tests,
+/// benchmarks, and the E9 scale experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPath {
+    /// Full table scan, filtering every row.
+    FullScan,
+    /// Served by the index on the named column; residual constraints filtered.
+    IndexEq { column: String },
+    /// Range scan over the ordered index on the named column.
+    IndexRange { column: String },
+    /// Direct primary-key lookup.
+    PrimaryKey,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_basics() {
+        assert!(Op::Eq.eval(&Value::Int(1), &Value::Int(1)));
+        assert!(Op::Ne.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Op::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Op::Ge.eval(&Value::Float(2.0), &Value::Int(2)));
+        assert!(Op::Contains.eval(&Value::from("hello"), &Value::from("ell")));
+        assert!(Op::StartsWith.eval(&Value::from("hello"), &Value::from("he")));
+        assert!(!Op::StartsWith.eval(&Value::from("hello"), &Value::from("lo")));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(!Op::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!Op::Lt.eval(&Value::Null, &Value::Int(1)));
+        assert!(Op::Ne.eval(&Value::Null, &Value::Int(1)));
+        assert!(!Op::Ne.eval(&Value::Null, &Value::Null));
+    }
+
+    #[test]
+    fn op_index_usability() {
+        assert!(Op::Eq.index_eq_usable());
+        assert!(!Op::Lt.index_eq_usable());
+        assert!(Op::Lt.index_range_usable());
+        assert!(!Op::Contains.index_range_usable());
+    }
+
+    #[test]
+    fn bounds_for_range_ops() {
+        let v = Value::Int(5);
+        assert!(Op::Eq.bounds(&v).is_some());
+        assert!(Op::Contains.bounds(&v).is_none());
+        let (lo, hi) = Op::Gt.bounds(&v).unwrap();
+        assert_eq!(lo, Bound::Excluded(&v));
+        assert_eq!(hi, Bound::Unbounded);
+    }
+
+    #[test]
+    fn query_builder() {
+        let q = Query::all()
+            .and(Constraint::eq("name", "rf"))
+            .and(Constraint::lt("bias", 0.25))
+            .order_by("created", true)
+            .limit(10);
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert!(q.order_by.as_ref().unwrap().descending);
+        assert!(!q.include_deprecated);
+    }
+}

@@ -1,0 +1,483 @@
+//! A single metadata table: immutable row arena + primary key map +
+//! secondary indexes + a constraint-query executor with a tiny planner.
+
+use crate::error::{Result, StoreError};
+use crate::index::{dedup_rows, BTreeIndex, HashIndex, Index, RowId};
+use crate::query::{AccessPath, Op, Query};
+#[cfg(test)]
+use crate::query::Constraint;
+use crate::record::Record;
+use crate::schema::{IndexKind, TableSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Columns that the store treats as in-place mutable flags. Everything else
+/// is immutable after insert (paper §3.1 "Immutable").
+pub const MUTABLE_FLAG_COLUMNS: &[&str] = &["deprecated"];
+
+/// Counters describing how queries were executed; used by benchmarks and
+/// the scale experiment to show index-vs-scan behaviour.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TableStats {
+    pub inserts: u64,
+    pub pk_lookups: u64,
+    pub index_queries: u64,
+    pub full_scans: u64,
+    pub rows_examined: u64,
+}
+
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Record>,
+    pk_map: HashMap<String, RowId>,
+    /// column name -> secondary index
+    indexes: HashMap<String, Index>,
+    stats: TableStats,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        let mut indexes = HashMap::new();
+        for col in &schema.columns {
+            match col.index {
+                Some(IndexKind::Hash) => {
+                    indexes.insert(col.name.clone(), Index::Hash(HashIndex::new()));
+                }
+                Some(IndexKind::BTree) => {
+                    indexes.insert(col.name.clone(), Index::BTree(BTreeIndex::new()));
+                }
+                None => {}
+            }
+        }
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_map: HashMap::new(),
+            indexes,
+            stats: TableStats::default(),
+        }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    fn pk_of(&self, record: &Record) -> Result<String> {
+        match record.get(&self.schema.primary_key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            Some(v) => Err(StoreError::TypeMismatch {
+                column: self.schema.primary_key.clone(),
+                expected: "str",
+                got: v.type_name(),
+            }),
+            None => Err(StoreError::MissingColumn(self.schema.primary_key.clone())),
+        }
+    }
+
+    /// Insert an immutable record. Duplicate primary keys are rejected —
+    /// updates must create new versions (new keys) instead.
+    pub fn insert(&mut self, record: Record) -> Result<RowId> {
+        self.schema.validate_row(record.fields())?;
+        let pk = self.pk_of(&record)?;
+        if self.pk_map.contains_key(&pk) {
+            return Err(StoreError::DuplicateKey(pk));
+        }
+        let row_id = self.rows.len() as RowId;
+        for (col, index) in self.indexes.iter_mut() {
+            let v = record.get_or_null(col);
+            if !v.is_null() {
+                index.insert(v, row_id);
+            }
+        }
+        self.pk_map.insert(pk, row_id);
+        self.rows.push(record);
+        self.stats.inserts += 1;
+        Ok(row_id)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&mut self, pk: &str) -> Option<&Record> {
+        self.stats.pk_lookups += 1;
+        self.pk_map.get(pk).map(|&id| &self.rows[id as usize])
+    }
+
+    /// Non-stat-mutating lookup (for internal use and read-only callers).
+    pub fn peek(&self, pk: &str) -> Option<&Record> {
+        self.pk_map.get(pk).map(|&id| &self.rows[id as usize])
+    }
+
+    pub fn contains(&self, pk: &str) -> bool {
+        self.pk_map.contains_key(pk)
+    }
+
+    /// Set one of the explicitly mutable flag columns (e.g. `deprecated`).
+    /// All other columns are immutable; attempting to touch them is an error.
+    pub fn set_flag(&mut self, pk: &str, column: &str, value: bool) -> Result<()> {
+        if !MUTABLE_FLAG_COLUMNS.contains(&column) {
+            return Err(StoreError::BadQuery(format!(
+                "column {column} is immutable; only flag columns {MUTABLE_FLAG_COLUMNS:?} may be set in place"
+            )));
+        }
+        if self.schema.column(column).is_none() {
+            return Err(StoreError::NoSuchColumn {
+                table: self.schema.name.clone(),
+                column: column.to_owned(),
+            });
+        }
+        let row_id = *self
+            .pk_map
+            .get(pk)
+            .ok_or_else(|| StoreError::NoSuchKey(pk.to_owned()))?;
+        let old = self.rows[row_id as usize].get_or_null(column);
+        if let Some(index) = self.indexes.get_mut(column) {
+            if !old.is_null() {
+                index.remove(&old, row_id);
+            }
+            index.insert(Value::Bool(value), row_id);
+        }
+        let rec = std::mem::take(&mut self.rows[row_id as usize]);
+        self.rows[row_id as usize] = rec.set(column, value);
+        Ok(())
+    }
+
+    /// Iterate all rows (snapshot order = insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.rows.iter()
+    }
+
+    /// Plan a query: prefer primary-key equality, then an indexed equality
+    /// constraint, then an indexed range constraint, else a full scan.
+    pub fn plan(&self, query: &Query) -> AccessPath {
+        for c in &query.constraints {
+            if c.field == self.schema.primary_key && c.op == Op::Eq {
+                return AccessPath::PrimaryKey;
+            }
+        }
+        // Indexed equality first; among several indexed eq constraints pick
+        // the smallest bucket (cheapest candidate set).
+        let mut best_eq: Option<(&str, usize)> = None;
+        for c in &query.constraints {
+            if c.op.index_eq_usable() {
+                if let Some(index) = self.indexes.get(&c.field) {
+                    let len = index.eq_bucket_len(&c.value);
+                    if best_eq.map(|(_, b)| len < b).unwrap_or(true) {
+                        best_eq = Some((&c.field, len));
+                    }
+                }
+            }
+        }
+        if let Some((column, _)) = best_eq {
+            return AccessPath::IndexEq {
+                column: column.to_owned(),
+            };
+        }
+        for c in &query.constraints {
+            if c.op.index_range_usable() {
+                if let Some(ix) = self.indexes.get(&c.field) {
+                    if ix.supports_range() {
+                        return AccessPath::IndexRange {
+                            column: c.field.clone(),
+                        };
+                    }
+                }
+            }
+        }
+        AccessPath::FullScan
+    }
+
+    fn row_matches(&self, record: &Record, query: &Query) -> bool {
+        if !query.include_deprecated {
+            if let Some(Value::Bool(true)) = record.get("deprecated") {
+                return false;
+            }
+        }
+        query
+            .constraints
+            .iter()
+            .all(|c| c.op.eval(&record.get_or_null(&c.field), &c.value))
+    }
+
+    /// Execute a query, returning matching records (cloned) and the access
+    /// path the planner chose.
+    pub fn execute(&mut self, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+        for c in &query.constraints {
+            if self.schema.column(&c.field).is_none() {
+                return Err(StoreError::NoSuchColumn {
+                    table: self.schema.name.clone(),
+                    column: c.field.clone(),
+                });
+            }
+        }
+        if let Some(ob) = &query.order_by {
+            if self.schema.column(&ob.field).is_none() {
+                return Err(StoreError::NoSuchColumn {
+                    table: self.schema.name.clone(),
+                    column: ob.field.clone(),
+                });
+            }
+        }
+        let path = self.plan(query);
+        let candidate_rows: Vec<RowId> = match &path {
+            AccessPath::PrimaryKey => {
+                self.stats.pk_lookups += 1;
+                let pk_constraint = query
+                    .constraints
+                    .iter()
+                    .find(|c| c.field == self.schema.primary_key && c.op == Op::Eq)
+                    .expect("planner chose PrimaryKey without pk constraint");
+                match pk_constraint.value.as_str().and_then(|s| self.pk_map.get(s)) {
+                    Some(&id) => vec![id],
+                    None => vec![],
+                }
+            }
+            AccessPath::IndexEq { column } => {
+                self.stats.index_queries += 1;
+                let c = query
+                    .constraints
+                    .iter()
+                    .find(|c| &c.field == column && c.op == Op::Eq)
+                    .expect("planner chose IndexEq without eq constraint");
+                self.indexes[column].lookup_eq(&c.value)
+            }
+            AccessPath::IndexRange { column } => {
+                self.stats.index_queries += 1;
+                let c = query
+                    .constraints
+                    .iter()
+                    .find(|c| &c.field == column && c.op.index_range_usable())
+                    .expect("planner chose IndexRange without range constraint");
+                let (lo, hi) = c.op.bounds(&c.value).expect("range op has bounds");
+                self.indexes[column]
+                    .lookup_range(lo, hi)
+                    .expect("planner chose IndexRange on non-range index")
+            }
+            AccessPath::FullScan => {
+                self.stats.full_scans += 1;
+                (0..self.rows.len() as RowId).collect()
+            }
+        };
+        let candidate_rows = dedup_rows(candidate_rows);
+        self.stats.rows_examined += candidate_rows.len() as u64;
+
+        let mut matches: Vec<&Record> = candidate_rows
+            .into_iter()
+            .map(|id| &self.rows[id as usize])
+            .filter(|r| self.row_matches(r, query))
+            .collect();
+
+        if let Some(ob) = &query.order_by {
+            let cmp = |a: &&Record, b: &&Record| {
+                let ord = a.get_or_null(&ob.field).total_cmp(&b.get_or_null(&ob.field));
+                if ob.descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            };
+            // Partial selection: a LIMIT far below the match count (the
+            // common "latest metric" shape) avoids a full sort.
+            if let Some(limit) = query.limit {
+                if limit > 0 && limit < matches.len() {
+                    matches.select_nth_unstable_by(limit - 1, cmp);
+                    matches.truncate(limit);
+                }
+            }
+            matches.sort_by(cmp);
+        }
+        if let Some(limit) = query.limit {
+            matches.truncate(limit);
+        }
+        Ok((matches.into_iter().cloned().collect(), path))
+    }
+
+    /// Approximate memory footprint of all rows.
+    pub fn approx_size(&self) -> usize {
+        self.rows.iter().map(Record::approx_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "instances",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("model", ValueType::Str).hash_indexed(),
+                ColumnDef::new("city", ValueType::Str).hash_indexed(),
+                ColumnDef::new("created", ValueType::Timestamp).btree_indexed(),
+                ColumnDef::new("mape", ValueType::Float).nullable().btree_indexed(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(id: &str, model: &str, city: &str, created: i64, mape: f64) -> Record {
+        Record::new()
+            .set("id", id)
+            .set("model", model)
+            .set("city", city)
+            .set("created", Value::Timestamp(created))
+            .set("mape", mape)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        assert_eq!(t.get("i1").unwrap().get("model"), Some(&Value::from("rf")));
+        assert!(t.get("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        let err = t.insert(row("i1", "rf", "sf", 2, 0.2));
+        assert!(matches!(err, Err(StoreError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn planner_prefers_pk() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        let q = Query::all().and(Constraint::eq("id", "i1"));
+        let (rows, path) = t.execute(&q).unwrap();
+        assert_eq!(path, AccessPath::PrimaryKey);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn planner_uses_hash_index_for_eq() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(row(
+                &format!("i{i}"),
+                if i % 2 == 0 { "rf" } else { "lr" },
+                "sf",
+                i,
+                0.1,
+            ))
+            .unwrap();
+        }
+        let q = Query::all().and(Constraint::eq("model", "rf"));
+        let (rows, path) = t.execute(&q).unwrap();
+        assert_eq!(path, AccessPath::IndexEq { column: "model".into() });
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn planner_uses_btree_for_range() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.01 * i as f64))
+                .unwrap();
+        }
+        let q = Query::all().and(Constraint::lt("mape", 0.05));
+        let (rows, path) = t.execute(&q).unwrap();
+        assert_eq!(path, AccessPath::IndexRange { column: "mape".into() });
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn full_scan_for_unindexed() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        // contains is not index-servable
+        let q = Query::all().and(Constraint::new("model", Op::Contains, "r"));
+        let (rows, path) = t.execute(&q).unwrap();
+        assert_eq!(path, AccessPath::FullScan);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn residual_constraints_filtered() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        t.insert(row("i2", "rf", "nyc", 2, 0.2)).unwrap();
+        let q = Query::all()
+            .and(Constraint::eq("model", "rf"))
+            .and(Constraint::eq("city", "nyc"));
+        let (rows, _) = t.execute(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("id"), Some(&Value::from("i2")));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", 10 - i, 0.1)).unwrap();
+        }
+        let q = Query::all().order_by("created", false).limit(2);
+        let (rows, _) = t.execute(&q).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("created"), Some(&Value::Timestamp(6)));
+    }
+
+    #[test]
+    fn deprecated_rows_skipped_by_default() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        t.insert(row("i2", "rf", "sf", 2, 0.2)).unwrap();
+        t.set_flag("i2", "deprecated", true).unwrap();
+        let q = Query::all().and(Constraint::eq("model", "rf"));
+        let (rows, _) = t.execute(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        let q = q.with_deprecated();
+        let (rows, _) = t.execute(&q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn set_flag_rejects_non_flag_columns() {
+        let mut t = table();
+        t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
+        assert!(t.set_flag("i1", "model", true).is_err());
+        assert!(t.set_flag("missing", "deprecated", true).is_err());
+    }
+
+    #[test]
+    fn unknown_query_column_is_error() {
+        let mut t = table();
+        let q = Query::all().and(Constraint::eq("bogus", "x"));
+        assert!(matches!(
+            t.execute(&q),
+            Err(StoreError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_access_paths() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.1)).unwrap();
+        }
+        let _ = t.execute(&Query::all().and(Constraint::eq("model", "rf")));
+        let _ = t.execute(&Query::all().and(Constraint::new("model", Op::Contains, "r")));
+        let s = t.stats();
+        assert_eq!(s.inserts, 10);
+        assert_eq!(s.index_queries, 1);
+        assert_eq!(s.full_scans, 1);
+    }
+}

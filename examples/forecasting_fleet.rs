@@ -1,0 +1,100 @@
+//! Case study 1 (§4.2): managing a per-city forecasting fleet.
+//!
+//! Trains four model classes for each of several cities, uploads every
+//! trained instance to Gallery with searchable metadata, records
+//! validation metrics, then uses a model-selection rule to pick the
+//! champion per city and deploys it — the per-city "which model class to
+//! serve" decision the Marketplace Forecasting team automates with
+//! Gallery.
+//!
+//! Run with: `cargo run --release --example forecasting_fleet`
+
+use gallery::forecast::{
+    city_fleet, AnyForecaster, Ewma, FleetTrainer, Forecaster, MeanOfLastK, RandomForest,
+    RidgeForecaster,
+};
+use gallery::prelude::*;
+use gallery::rules::{RuleBody, RuleDoc};
+use std::sync::Arc;
+
+fn main() {
+    let gallery = Arc::new(Gallery::in_memory());
+    let trainer = FleetTrainer::new(&gallery, "marketplace-forecasting");
+
+    let cities = city_fleet(6, 2026);
+    let mut champion_rules = Vec::new();
+
+    for city in &cities {
+        let day = city.samples_per_day();
+        let series = city.generate(day * 21, 0);
+        let test_start = day * 14;
+        let (train, _) = series.split_at(test_start);
+
+        let zoo: Vec<AnyForecaster> = vec![
+            AnyForecaster::MeanOfLastK(MeanOfLastK::new(5)),
+            AnyForecaster::Ewma(Ewma::new(0.3)),
+            AnyForecaster::Ridge(RidgeForecaster::standard(day, 1.0)),
+            AnyForecaster::Forest(RandomForest::new(day, 8, 7, 10, city.seed)),
+        ];
+        println!("city {}:", city.name);
+        for forecaster in zoo {
+            let class = forecaster.name();
+            let model = trainer.register_model(&city.name, class).expect("register");
+            let entry = trainer
+                .train_and_upload(&model, forecaster, city, &train, &series, test_start)
+                .expect("train");
+            println!(
+                "  {:28} validation mape {:.2}%",
+                class,
+                100.0 * entry.validation_mape
+            );
+        }
+
+        // A selection rule per city: among this city's models, require a
+        // sane MAPE and pick the lowest.
+        let rule = RuleDoc {
+            team: "forecasting".into(),
+            uuid: format!("champion-{}", city.name),
+            rule: RuleBody {
+                given: format!(r#"city == "{}""#, city.name),
+                when: "metrics.mape <= 0.5".into(),
+                environment: "production".into(),
+                model_selection: Some("a.metrics.mape < b.metrics.mape".into()),
+                callback_actions: vec![],
+            },
+        };
+        champion_rules.push(rule);
+    }
+
+    // Run champion selection through the rule engine and deploy winners.
+    let (actions, _log) = ActionRegistry::with_defaults();
+    let engine = RuleEngine::new(Arc::clone(&gallery), actions, 2);
+    for rule in &champion_rules {
+        engine.register(CompiledRule::compile(rule).expect("valid rule"));
+    }
+    println!("\nchampions:");
+    for rule in &champion_rules {
+        let champion = engine
+            .select(&rule.uuid)
+            .expect("selection")
+            .expect("at least one candidate");
+        gallery
+            .deploy(&champion.model_id, &champion.id, "production")
+            .expect("deploy");
+        let city = champion
+            .metadata
+            .get_str("city")
+            .unwrap_or("<unknown>")
+            .to_owned();
+        let class = champion.metadata.get_str("model_name").unwrap_or("?");
+        println!("  {city:10} -> {class} (instance {})", champion.id);
+    }
+
+    // The production pointer now answers "which model do I serve?"
+    let stats = engine.stats();
+    println!(
+        "\nrule engine: {} selections, mean latency {:?}",
+        stats.completed,
+        stats.mean_latency()
+    );
+}

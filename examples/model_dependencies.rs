@@ -1,0 +1,108 @@
+//! Dependency management walkthrough (§3.4.2, Figures 5–7).
+//!
+//! Builds the paper's five-model dependency graph, retrains Model B, and
+//! adds a new dependency D — printing the automatic version bumps Gallery
+//! creates for every downstream model while production pointers stay put.
+//!
+//! Run with: `cargo run --example model_dependencies`
+
+use bytes::Bytes;
+use gallery::core::ManualClock;
+use gallery::prelude::*;
+use std::sync::Arc;
+
+fn version_of(g: &Gallery, id: &ModelId) -> String {
+    g.latest_instance(id)
+        .unwrap()
+        .map(|i| i.display_version.to_string())
+        .unwrap_or_else(|| "-".into())
+}
+
+fn show(g: &Gallery, names: &[(&str, &ModelId)]) {
+    let versions: Vec<String> = names
+        .iter()
+        .map(|(n, id)| format!("{n}={}", version_of(g, id)))
+        .collect();
+    println!("  {}", versions.join("  "));
+}
+
+fn main() {
+    let g = Gallery::in_memory_with_clock(Arc::new(ManualClock::new(1_000)));
+    let mk = |base: &str, major: u32| {
+        let m = g
+            .create_model_with_major(
+                ModelSpec::new("marketplace", base).name(base).owner("fc"),
+                major,
+            )
+            .unwrap();
+        g.upload_instance(&m.id, InstanceSpec::new(), Bytes::from(base.to_owned()))
+            .unwrap();
+        m.id
+    };
+
+    // Figure 5: X and Y depend on A; A depends on B and C. Display majors
+    // match the paper's numbering (X=7, Y=8, A=4, B=2, C=3).
+    let x = mk("model_x", 7);
+    let y = mk("model_y", 8);
+    let a = mk("model_a", 4);
+    let b = mk("model_b", 2);
+    let c = mk("model_c", 3);
+    g.add_dependency(&a, &b).unwrap();
+    g.add_dependency(&a, &c).unwrap();
+    g.add_dependency(&x, &a).unwrap();
+    g.add_dependency(&y, &a).unwrap();
+
+    let names: Vec<(&str, &ModelId)> = vec![("X", &x), ("Y", &y), ("A", &a), ("B", &b), ("C", &c)];
+    println!("figure 5 graph established (X,Y -> A -> B,C):");
+    show(&g, &names);
+
+    // Deploy A's current instance so we can watch the production pointer.
+    let prod = g.latest_instance(&a).unwrap().unwrap();
+    g.deploy(&a, &prod.id, "production").unwrap();
+
+    // Figure 6: retrain B; A, X, Y get automatic new versions.
+    println!("\nretraining B (figure 6):");
+    g.upload_instance(&b, InstanceSpec::new(), Bytes::from_static(b"b-retrained"))
+        .unwrap();
+    show(&g, &names);
+    let latest_a = g.latest_instance(&a).unwrap().unwrap();
+    println!(
+        "  A's new version is automatic: trigger = {:?}",
+        latest_a.trigger
+    );
+    assert_eq!(
+        g.deployed_instance(&a, "production").unwrap(),
+        Some(prod.id.clone()),
+        "production pointer must not move automatically"
+    );
+    println!("  production pointer of A unchanged ✓ (owner opts in explicitly)");
+
+    // The owner opts in: deploy the new version.
+    g.deploy(&a, &latest_a.id, "production").unwrap();
+    println!("  owner opted in: A now serves {}", latest_a.display_version);
+
+    // Figure 7: add a new dependency D to A.
+    println!("\nadding dependency D to A (figure 7):");
+    let d = mk("model_d", 1);
+    g.add_dependency(&a, &d).unwrap();
+    let names: Vec<(&str, &ModelId)> = vec![
+        ("X", &x),
+        ("Y", &y),
+        ("A", &a),
+        ("B", &b),
+        ("C", &c),
+        ("D", &d),
+    ];
+    show(&g, &names);
+
+    // Traversals: the holistic view §3.4.2 motivates.
+    println!("\nupstream of X: {:?}", g.transitive_upstream(&x).unwrap().len());
+    println!("downstream of B: {:?}", g.transitive_downstream(&b).unwrap().len());
+
+    // Full lineage of A, with triggers.
+    println!("\nA's instance lineage (newest first):");
+    let latest = g.latest_instance(&a).unwrap().unwrap();
+    for inst in g.instance_lineage(&latest.id).unwrap() {
+        println!("  {}  {:?}", inst.display_version, inst.trigger);
+    }
+}

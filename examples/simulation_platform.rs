@@ -1,0 +1,108 @@
+//! Case study 2 (§4.3): the Marketplace Simulation Platform, before and
+//! after Gallery.
+//!
+//! Runs the agent-based marketplace simulator twice with identical seeds:
+//! once training its demand forecaster *inline* (the pre-Gallery design),
+//! once fetching a pretrained instance from Gallery (decoupled). Prints
+//! the memory and training-CPU savings the decoupling buys.
+//!
+//! Run with: `cargo run --release --example simulation_platform`
+
+use bytes::Bytes;
+use gallery::core::metadata::fields;
+use gallery::forecast::{AnyForecaster, Forecaster, RidgeForecaster};
+use gallery::marketsim::{run, run_gallery_backed, InlineModel, ModelSource, SimConfig};
+use gallery::prelude::*;
+
+fn main() {
+    let config = SimConfig::small(42);
+    let day = config.city.samples_per_day();
+    let interval_ms = config.interval_ms();
+
+    // ---- Pre-Gallery: train inside the simulator -----------------------
+    let inline = ModelSource::inline(
+        vec![InlineModel {
+            template: AnyForecaster::Ridge(RidgeForecaster::standard(day, 1.0)),
+            fitted: None,
+            retrain_every: day / 2,
+        }],
+        interval_ms,
+        day + day / 2,
+    );
+    let before = run(&config, inline);
+
+    // ---- Post-Gallery: offline training, fetch from Gallery ------------
+    // The offline process: fit on a historical window, upload the blob.
+    let gallery = Gallery::in_memory();
+    let model = gallery
+        .create_model(
+            ModelSpec::new("simulation-platform", "sim_demand")
+                .name("ridge")
+                .owner("simulation"),
+        )
+        .unwrap();
+    let history = config.historical_counts(14);
+    let mut forecaster = AnyForecaster::Ridge(RidgeForecaster::standard(day, 1.0));
+    forecaster.fit(&history).expect("offline fit");
+    let instance = gallery
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new().metadata(
+                Metadata::new()
+                    .with(fields::MODEL_NAME, "ridge")
+                    .with(fields::CITY, config.city.name.clone()),
+            ),
+            Bytes::from(forecaster.to_blob()),
+        )
+        .unwrap();
+    let after = run_gallery_backed(&config, &gallery, &[instance.id]).expect("gallery run");
+
+    // ---- Report ---------------------------------------------------------
+    println!("marketplace simulation: {} days, {} drivers\n", config.days, config.n_drivers);
+    println!("{:34} {:>14} {:>14}", "", "inline (before)", "gallery (after)");
+    let row = |label: &str, a: String, b: String| println!("{label:34} {a:>14} {b:>14}");
+    row("trips served", before.trips_served.to_string(), after.trips_served.to_string());
+    row(
+        "service rate",
+        format!("{:.1}%", 100.0 * before.service_rate()),
+        format!("{:.1}%", 100.0 * after.service_rate()),
+    );
+    row(
+        "online forecast MAPE",
+        format!("{:.1}%", 100.0 * before.forecast_mape),
+        format!("{:.1}%", 100.0 * after.forecast_mape),
+    );
+    row(
+        "peak model memory (bytes)",
+        before.peak_model_bytes.to_string(),
+        after.peak_model_bytes.to_string(),
+    );
+    row(
+        "in-sim trainings",
+        before.trainings.to_string(),
+        after.trainings.to_string(),
+    );
+    row(
+        "in-sim training samples",
+        before.training_samples.to_string(),
+        after.training_samples.to_string(),
+    );
+    row(
+        "in-sim training wall (ms)",
+        format!("{:.1}", before.training_wall_ms),
+        format!("{:.1}", after.training_wall_ms),
+    );
+    row(
+        "total wall (ms)",
+        format!("{:.1}", before.total_wall_ms),
+        format!("{:.1}", after.total_wall_ms),
+    );
+
+    let mem_saving = before.peak_model_bytes.saturating_sub(after.peak_model_bytes);
+    println!(
+        "\ndecoupling saved {} bytes of peak simulator memory and {} in-sim training runs",
+        mem_saving, before.trainings
+    );
+    assert!(after.peak_model_bytes < before.peak_model_bytes);
+    assert_eq!(after.trainings, 0);
+}

@@ -1,0 +1,326 @@
+//! `gallery` — a command-line client over a durable, file-backed Gallery.
+//!
+//! State lives in a data directory (default `./gallery-data`): metadata in
+//! a WAL-backed store, blobs in a content-sharded directory. Every
+//! invocation opens the store, applies one operation, and exits — the
+//! paper's stateless-service property at CLI scale.
+//!
+//! ```text
+//! gallery [--data DIR] COMMAND ...
+//!
+//! commands:
+//!   create-model PROJECT BASE_ID [--name N] [--owner O] [--desc D]
+//!   models [--project P]
+//!   upload MODEL_ID BLOB_FILE [--meta key=value]...
+//!   instances MODEL_ID | base BASE_ID
+//!   fetch INSTANCE_ID OUT_FILE
+//!   metric INSTANCE_ID NAME SCOPE VALUE
+//!   metrics INSTANCE_ID
+//!   query [key=value|key<value|key>value]...
+//!   deploy MODEL_ID INSTANCE_ID ENV
+//!   deployed MODEL_ID ENV
+//!   dep-add MODEL_ID UPSTREAM_ID | dep-rm MODEL_ID UPSTREAM_ID
+//!   deps MODEL_ID
+//!   deprecate (model|instance) ID
+//!   stage INSTANCE_ID [NEW_STAGE]
+//!   health INSTANCE_ID
+//!   audit
+//!   compact
+//! ```
+
+use bytes::Bytes;
+use gallery::core::metadata::Metadata;
+use gallery::prelude::*;
+use gallery::store::blob::localfs::LocalFsBlobStore;
+use gallery::store::{Dal, MetadataStore, SyncPolicy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn open(data_dir: &std::path::Path) -> Result<Gallery, String> {
+    let meta = MetadataStore::durable(data_dir.join("wal.log"), SyncPolicy::Always)
+        .map_err(|e| e.to_string())?;
+    let blobs = LocalFsBlobStore::open(data_dir.join("blobs")).map_err(|e| e.to_string())?;
+    let dal = Dal::new(Arc::new(meta), Arc::new(blobs));
+    Gallery::open(Arc::new(dal), Arc::new(gallery::core::SystemClock)).map_err(|e| e.to_string())
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 < args.len() {
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Some(value)
+    } else {
+        args.remove(pos);
+        None
+    }
+}
+
+fn collect_meta(args: &mut Vec<String>) -> Metadata {
+    let mut meta = Metadata::new();
+    while let Some(kv) = flag_value(args, "--meta") {
+        if let Some((k, v)) = kv.split_once('=') {
+            if let Ok(n) = v.parse::<f64>() {
+                meta.insert(k, n);
+            } else {
+                meta.insert(k, v);
+            }
+        }
+    }
+    meta
+}
+
+fn parse_constraint(s: &str) -> Option<Constraint> {
+    for (sep, op) in [("<=", Op::Le), (">=", Op::Ge), ("<", Op::Lt), (">", Op::Gt), ("=", Op::Eq)] {
+        if let Some((k, v)) = s.split_once(sep) {
+            let value: gallery::store::Value = match v.parse::<f64>() {
+                Ok(n) if sep != "=" || v.contains('.') => n.into(),
+                _ => v.into(),
+            };
+            return Some(Constraint {
+                field: k.to_owned(),
+                op,
+                value,
+            });
+        }
+    }
+    None
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let data_dir = PathBuf::from(
+        flag_value(&mut args, "--data").unwrap_or_else(|| "gallery-data".to_owned()),
+    );
+    let Some(command) = (if args.is_empty() { None } else { Some(args.remove(0)) }) else {
+        eprintln!("usage: gallery [--data DIR] COMMAND ... (see --help)");
+        return Err("no command".into());
+    };
+    if command == "--help" || command == "help" {
+        println!("see the module docs at the top of src/bin/gallery.rs for the command list");
+        return Ok(());
+    }
+    let g = open(&data_dir)?;
+    let err = |e: GalleryError| e.to_string();
+
+    match command.as_str() {
+        "create-model" => {
+            let name = flag_value(&mut args, "--name").unwrap_or_else(|| "unnamed".into());
+            let owner = flag_value(&mut args, "--owner").unwrap_or_default();
+            let desc = flag_value(&mut args, "--desc").unwrap_or_default();
+            let meta = collect_meta(&mut args);
+            let [project, base]: [String; 2] = args
+                .try_into()
+                .map_err(|_| "usage: create-model PROJECT BASE_ID".to_string())?;
+            let model = g
+                .create_model(
+                    ModelSpec::new(project, base)
+                        .name(name)
+                        .owner(owner)
+                        .description(desc)
+                        .metadata(meta),
+                )
+                .map_err(err)?;
+            println!("{}", model.id);
+        }
+        "models" => {
+            let project = flag_value(&mut args, "--project");
+            let mut q = Query::all();
+            if let Some(p) = project {
+                q = q.and(Constraint::eq("project", p));
+            }
+            for m in g.find_models(&q).map_err(err)? {
+                println!("{}\t{}\t{}\t{}", m.id, m.project, m.base_version_id, m.name);
+            }
+        }
+        "upload" => {
+            let meta = collect_meta(&mut args);
+            let [model_id, blob_file]: [String; 2] = args
+                .try_into()
+                .map_err(|_| "usage: upload MODEL_ID BLOB_FILE [--meta k=v]".to_string())?;
+            let blob = std::fs::read(&blob_file).map_err(|e| format!("{blob_file}: {e}"))?;
+            let inst = g
+                .upload_instance(
+                    &ModelId(model_id),
+                    InstanceSpec::new().metadata(meta),
+                    Bytes::from(blob),
+                )
+                .map_err(err)?;
+            println!("{}\t{}", inst.id, inst.display_version);
+        }
+        "instances" => {
+            let [model_id]: [String; 1] =
+                args.try_into().map_err(|_| "usage: instances MODEL_ID".to_string())?;
+            for i in g.instances_of_model(&ModelId(model_id)).map_err(err)? {
+                println!("{}\t{}\t{}\t{:?}", i.id, i.display_version, i.created_at, i.trigger);
+            }
+        }
+        "base" => {
+            let [base]: [String; 1] =
+                args.try_into().map_err(|_| "usage: base BASE_ID".to_string())?;
+            for i in g.instances_of_base_version(&base).map_err(err)? {
+                println!("{}\t{}\t{}", i.id, i.display_version, i.created_at);
+            }
+        }
+        "fetch" => {
+            let [instance_id, out]: [String; 2] = args
+                .try_into()
+                .map_err(|_| "usage: fetch INSTANCE_ID OUT_FILE".to_string())?;
+            let blob = g.fetch_instance_blob(&InstanceId(instance_id)).map_err(err)?;
+            std::fs::write(&out, &blob).map_err(|e| format!("{out}: {e}"))?;
+            println!("{} bytes -> {out}", blob.len());
+        }
+        "metric" => {
+            let [instance_id, name, scope, value]: [String; 4] = args
+                .try_into()
+                .map_err(|_| "usage: metric INSTANCE_ID NAME SCOPE VALUE".to_string())?;
+            let scope = MetricScope::parse(&scope).map_err(err)?;
+            let value: f64 = value.parse().map_err(|e| format!("bad value: {e}"))?;
+            g.insert_metric(&InstanceId(instance_id), MetricSpec::new(name, scope, value))
+                .map_err(err)?;
+            println!("ok");
+        }
+        "metrics" => {
+            let [instance_id]: [String; 1] = args
+                .try_into()
+                .map_err(|_| "usage: metrics INSTANCE_ID".to_string())?;
+            for m in g.metrics_of_instance(&InstanceId(instance_id)).map_err(err)? {
+                println!("{}\t{}\t{}\t{}", m.name, m.scope, m.value, m.created_at);
+            }
+        }
+        "query" => {
+            let constraints: Vec<Constraint> = args
+                .iter()
+                .map(|s| parse_constraint(s).ok_or_else(|| format!("bad constraint: {s}")))
+                .collect::<Result<_, _>>()?;
+            for i in g.model_query(&constraints).map_err(err)? {
+                println!("{}\t{}\t{}", i.id, i.base_version_id, i.display_version);
+            }
+        }
+        "deploy" => {
+            let [model_id, instance_id, env]: [String; 3] = args
+                .try_into()
+                .map_err(|_| "usage: deploy MODEL_ID INSTANCE_ID ENV".to_string())?;
+            g.deploy(&ModelId(model_id), &InstanceId(instance_id), &env)
+                .map_err(err)?;
+            println!("ok");
+        }
+        "deployed" => {
+            let [model_id, env]: [String; 2] = args
+                .try_into()
+                .map_err(|_| "usage: deployed MODEL_ID ENV".to_string())?;
+            match g.deployed_instance(&ModelId(model_id), &env).map_err(err)? {
+                Some(i) => println!("{i}"),
+                None => println!("(none)"),
+            }
+        }
+        "dep-add" | "dep-rm" => {
+            let [model_id, upstream]: [String; 2] = args
+                .try_into()
+                .map_err(|_| format!("usage: {command} MODEL_ID UPSTREAM_ID"))?;
+            let (m, u) = (ModelId(model_id), ModelId(upstream));
+            if command == "dep-add" {
+                g.add_dependency(&m, &u).map_err(err)?;
+            } else {
+                g.remove_dependency(&m, &u).map_err(err)?;
+            }
+            println!("ok");
+        }
+        "deps" => {
+            let [model_id]: [String; 1] =
+                args.try_into().map_err(|_| "usage: deps MODEL_ID".to_string())?;
+            let m = ModelId(model_id);
+            println!("upstream:");
+            for u in g.upstream_of(&m).map_err(err)? {
+                println!("  {u}");
+            }
+            println!("downstream:");
+            for d in g.downstream_of(&m).map_err(err)? {
+                println!("  {d}");
+            }
+        }
+        "deprecate" => {
+            let [kind, id]: [String; 2] = args
+                .try_into()
+                .map_err(|_| "usage: deprecate (model|instance) ID".to_string())?;
+            match kind.as_str() {
+                "model" => g.deprecate_model(&ModelId(id)).map_err(err)?,
+                "instance" => g.deprecate_instance(&InstanceId(id)).map_err(err)?,
+                other => return Err(format!("unknown kind {other}")),
+            }
+            println!("ok");
+        }
+        "stage" => {
+            if args.len() == 1 {
+                let stage = g.stage_of(&InstanceId(args.remove(0))).map_err(err)?;
+                println!("{stage}");
+            } else if args.len() == 2 {
+                let id = InstanceId(args.remove(0));
+                let next = Stage::parse(&args.remove(0)).map_err(err)?;
+                let stage = g.set_stage(&id, next).map_err(err)?;
+                println!("{stage}");
+            } else {
+                return Err("usage: stage INSTANCE_ID [NEW_STAGE]".into());
+            }
+        }
+        "health" => {
+            let [instance_id]: [String; 1] = args
+                .try_into()
+                .map_err(|_| "usage: health INSTANCE_ID".to_string())?;
+            let report = g.health_report(&InstanceId(instance_id)).map_err(err)?;
+            println!("score:           {:.2}", report.score());
+            println!("reproducibility: {:.0}%", 100.0 * report.reproducibility_score);
+            println!("missing fields:  {:?}", report.missing_fields);
+            println!(
+                "metrics:         training={} validation={} production={}",
+                report.has_training_metrics,
+                report.has_validation_metrics,
+                report.has_production_metrics
+            );
+            for skew in &report.skew {
+                println!(
+                    "skew {}:        offline {:.4} vs production {:.4} ({})",
+                    skew.metric_name,
+                    skew.offline_value,
+                    skew.production_value,
+                    if skew.skewed { "SKEWED" } else { "ok" }
+                );
+            }
+        }
+        "compact" => {
+            let entries = g
+                .dal()
+                .metadata()
+                .compact()
+                .map_err(|e| e.to_string())?;
+            println!("compacted WAL to {entries} entries");
+        }
+        "audit" => {
+            let report = g
+                .dal()
+                .audit_consistency(&["instances"])
+                .map_err(|e| e.to_string())?;
+            println!(
+                "rows: {}, blobs: {}, dangling: {}, orphans: {} -> {}",
+                report.rows_checked,
+                report.blobs_checked,
+                report.dangling_metadata.len(),
+                report.orphan_blobs.len(),
+                if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" }
+            );
+        }
+        other => return Err(format!("unknown command: {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

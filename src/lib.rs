@@ -1,0 +1,73 @@
+//! # gallery
+//!
+//! A from-scratch Rust reproduction of **Gallery: A Machine Learning Model
+//! Management System at Uber** (Sun, Azari, Turakhia; EDBT 2020).
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! - [`core`] (`gallery-core`) — data model, UUID versioning with base
+//!   version ids, dependency propagation, model health, lifecycle;
+//! - [`store`] (`gallery-store`) — embedded metadata store (indexes +
+//!   WAL), blob store with cache, the unified DAL with blob-first writes;
+//! - [`rules`] (`gallery-rules`) — the Given/When/Then orchestration rule
+//!   engine with a JEXL-like expression language, versioned rule repo, and
+//!   event-driven job queue;
+//! - [`service`] (`gallery-service`) — Thrift-like wire protocol, stateless
+//!   server, typed client;
+//! - [`forecast`] (`gallery-forecast`) — the Marketplace-Forecasting
+//!   substrate: synthetic city demand + a from-scratch model zoo;
+//! - [`marketsim`] (`gallery-marketsim`) — the agent-based marketplace
+//!   discrete-event simulator of the §4.3 case study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gallery::prelude::*;
+//! use bytes::Bytes;
+//!
+//! let g = Gallery::in_memory();
+//! let model = g
+//!     .create_model(ModelSpec::new("example-project", "supply_rejection").name("random_forest"))
+//!     .unwrap();
+//! let instance = g
+//!     .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"weights"))
+//!     .unwrap();
+//! g.insert_metric(&instance.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
+//!     .unwrap();
+//! assert_eq!(g.fetch_instance_blob(&instance.id).unwrap(), Bytes::from_static(b"weights"));
+//! ```
+
+pub use gallery_core as core;
+pub use gallery_forecast as forecast;
+pub use gallery_marketsim as marketsim;
+pub use gallery_rules as rules;
+pub use gallery_service as service;
+pub use gallery_store as store;
+
+/// The most common imports for Gallery users.
+pub mod prelude {
+    pub use gallery_core::{
+        Gallery, GalleryError, InstanceId, InstanceSpec, Metadata, MetricScope, MetricSpec,
+        Model, ModelId, ModelInstance, ModelSpec, Stage,
+    };
+    pub use gallery_rules::{ActionRegistry, CompiledRule, RuleEngine, RuleRepo};
+    pub use gallery_store::{Constraint, Op, Query};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn facade_reexports_work() {
+        let g = Gallery::in_memory();
+        let m = g
+            .create_model(ModelSpec::new("p", "b").name("m"))
+            .unwrap();
+        let i = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        assert_eq!(g.fetch_instance_blob(&i.id).unwrap(), Bytes::from_static(b"x"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate durability: a Gallery over the WAL-backed metadata store
+//! and the local-FS blob store survives a full restart with models,
+//! instances, metrics, deployments, dependencies, and blobs intact.
+
+use bytes::Bytes;
+use gallery_core::{
+    Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec, SystemClock,
+};
+use gallery_store::blob::localfs::LocalFsBlobStore;
+use gallery_store::{Dal, MetadataStore, SyncPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gallery-durability-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_gallery(dir: &std::path::Path) -> Gallery {
+    let meta = MetadataStore::durable(dir.join("wal.log"), SyncPolicy::Never).unwrap();
+    let blobs = LocalFsBlobStore::open(dir.join("blobs")).unwrap();
+    let dal = Dal::new(Arc::new(meta), Arc::new(blobs));
+    Gallery::open(Arc::new(dal), Arc::new(SystemClock)).unwrap()
+}
+
+#[test]
+fn restart_preserves_everything() {
+    let dir = fresh_dir("restart");
+
+    let (model_id, inst_id, upstream_id);
+    {
+        let g = open_gallery(&dir);
+        let model = g
+            .create_model(ModelSpec::new("p", "durable_demand").name("rf").owner("fc"))
+            .unwrap();
+        let upstream = g
+            .create_model(ModelSpec::new("p", "durable_upstream").name("lr"))
+            .unwrap();
+        let inst = g
+            .upload_instance(
+                &model.id,
+                InstanceSpec::new()
+                    .metadata(Metadata::new().with("city", "sf")),
+                Bytes::from_static(b"durable weights"),
+            )
+            .unwrap();
+        g.upload_instance(&upstream.id, InstanceSpec::new(), Bytes::from_static(b"up"))
+            .unwrap();
+        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.07))
+            .unwrap();
+        g.deploy(&model.id, &inst.id, "production").unwrap();
+        g.add_dependency(&model.id, &upstream.id).unwrap();
+        model_id = model.id;
+        inst_id = inst.id;
+        upstream_id = upstream.id;
+    } // drop: everything flushed through the WAL and blob files
+
+    // "Restart": a brand new Gallery over the same directory.
+    let g = open_gallery(&dir);
+    let model = g.get_model(&model_id).unwrap();
+    assert_eq!(model.name, "rf");
+    let inst = g.get_instance(&inst_id).unwrap();
+    assert_eq!(inst.metadata.get_str("city"), Some("sf"));
+    assert_eq!(
+        g.fetch_instance_blob(&inst_id).unwrap(),
+        Bytes::from_static(b"durable weights")
+    );
+    let metric = g
+        .latest_metric(&inst_id, "mape", MetricScope::Validation)
+        .unwrap()
+        .unwrap();
+    assert_eq!(metric.value, 0.07);
+    assert_eq!(
+        g.deployed_instance(&model_id, "production").unwrap(),
+        Some(inst_id.clone())
+    );
+    assert_eq!(g.upstream_of(&model_id).unwrap(), vec![upstream_id]);
+
+    // New writes continue on top of the recovered state.
+    let v2 = g
+        .upload_instance(&model_id, InstanceSpec::new(), Bytes::from_static(b"v2"))
+        .unwrap();
+    assert_eq!(v2.display_version.to_string(), "1.2");
+}
+
+#[test]
+fn deprecation_survives_restart() {
+    let dir = fresh_dir("deprecate");
+    let inst_id;
+    {
+        let g = open_gallery(&dir);
+        let model = g
+            .create_model(ModelSpec::new("p", "dep_base").name("m"))
+            .unwrap();
+        let inst = g
+            .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+            .unwrap();
+        g.deprecate_instance(&inst.id).unwrap();
+        inst_id = inst.id;
+    }
+    let g = open_gallery(&dir);
+    assert!(g.get_instance(&inst_id).unwrap().deprecated);
+}
+
+#[test]
+fn consistency_audit_clean_after_restart() {
+    let dir = fresh_dir("audit");
+    {
+        let g = open_gallery(&dir);
+        let model = g
+            .create_model(ModelSpec::new("p", "audit_base").name("m"))
+            .unwrap();
+        for i in 0..10 {
+            g.upload_instance(
+                &model.id,
+                InstanceSpec::new(),
+                Bytes::from(format!("weights-{i}")),
+            )
+            .unwrap();
+        }
+    }
+    let g = open_gallery(&dir);
+    let report = g.dal().audit_consistency(&["instances"]).unwrap();
+    assert!(report.is_consistent());
+    assert_eq!(report.rows_checked, 10);
+}
