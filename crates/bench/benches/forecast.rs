@@ -48,9 +48,7 @@ fn bench_prediction(c: &mut Criterion) {
     for mut model in zoo(day) {
         model.fit(&series).unwrap();
         group.bench_function(BenchmarkId::new("class", model.name()), |b| {
-            b.iter(|| {
-                black_box(model.forecast_next(&series.values, series.len(), false))
-            })
+            b.iter(|| black_box(model.forecast_next(&series.values, series.len(), false)))
         });
     }
     group.finish();
@@ -64,12 +62,19 @@ fn bench_blob_roundtrip(c: &mut Criterion) {
     let mut model = AnyForecaster::Forest(RandomForest::new(day, 8, 6, 10, 7));
     model.fit(&series).unwrap();
     let blob = model.to_blob();
-    group.bench_function("serialize_forest", |b| b.iter(|| black_box(model.to_blob())));
+    group.bench_function("serialize_forest", |b| {
+        b.iter(|| black_box(model.to_blob()))
+    });
     group.bench_function("deserialize_forest", |b| {
         b.iter(|| black_box(AnyForecaster::from_blob(&blob).unwrap()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_prediction, bench_blob_roundtrip);
+criterion_group!(
+    benches,
+    bench_training,
+    bench_prediction,
+    bench_blob_roundtrip
+);
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gallery_core::metadata::fields;
 use gallery_core::{Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec};
 use gallery_rules::rule::{listing1_selection_rule, listing2_action_rule};
-use gallery_rules::{eval, parser, ActionRegistry, CompiledRule, EvalContext, EvalValue, RuleEngine};
+use gallery_rules::{
+    eval, parser, ActionRegistry, CompiledRule, EvalContext, EvalValue, RuleEngine,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -68,7 +70,11 @@ fn gallery_with_candidates(n: usize) -> Arc<Gallery> {
         gallery
             .insert_metric(
                 &inst.id,
-                MetricSpec::new("r2", MetricScope::Validation, 0.5 + 0.4 * (i as f64 / n as f64)),
+                MetricSpec::new(
+                    "r2",
+                    MetricScope::Validation,
+                    0.5 + 0.4 * (i as f64 / n as f64),
+                ),
             )
             .unwrap();
     }
@@ -140,5 +146,10 @@ fn bench_event_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expressions, bench_selection, bench_event_throughput);
+criterion_group!(
+    benches,
+    bench_expressions,
+    bench_selection,
+    bench_event_throughput
+);
 criterion_main!(benches);

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gallery_store::blob::cache::CachedBlobStore;
 use gallery_store::blob::memory::MemoryBlobStore;
 use gallery_store::{
-    ColumnDef, Constraint, LatencyModel, MetadataStore, ObjectStore, Op, Query, Record,
-    SyncPolicy, TableSchema, ValueType,
+    ColumnDef, Constraint, LatencyModel, MetadataStore, ObjectStore, Op, Query, Record, SyncPolicy,
+    TableSchema, ValueType,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -94,12 +94,17 @@ fn bench_insert(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
-    for (name, sync) in [("wal_nosync_10rows", SyncPolicy::Never), ("wal_fsync_10rows", SyncPolicy::Always)] {
+    for (name, sync) in [
+        ("wal_nosync_10rows", SyncPolicy::Never),
+        ("wal_fsync_10rows", SyncPolicy::Always),
+    ] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let dir = std::env::temp_dir()
-                        .join(format!("gallery-bench-wal-{name}-{}", rand::random::<u64>()));
+                    let dir = std::env::temp_dir().join(format!(
+                        "gallery-bench-wal-{name}-{}",
+                        rand::random::<u64>()
+                    ));
                     std::fs::create_dir_all(&dir).unwrap();
                     let store = MetadataStore::durable(dir.join("wal.log"), sync).unwrap();
                     store.create_table(schema()).unwrap();

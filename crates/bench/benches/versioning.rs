@@ -88,42 +88,40 @@ fn bench_dependency_propagation(c: &mut Criterion) {
     // Fan-out: one upstream model with N downstream consumers; measure the
     // cost of a retrain rippling through.
     for fanout in [1usize, 10, 50] {
-        group.bench_with_input(
-            BenchmarkId::new("fanout", fanout),
-            &fanout,
-            |b, &fanout| {
-                b.iter_batched(
-                    || {
-                        let gallery = Gallery::in_memory();
-                        let upstream = gallery
-                            .create_model(ModelSpec::new("bench", "upstream").name("u"))
+        group.bench_with_input(BenchmarkId::new("fanout", fanout), &fanout, |b, &fanout| {
+            b.iter_batched(
+                || {
+                    let gallery = Gallery::in_memory();
+                    let upstream = gallery
+                        .create_model(ModelSpec::new("bench", "upstream").name("u"))
+                        .unwrap();
+                    gallery
+                        .upload_instance(
+                            &upstream.id,
+                            InstanceSpec::new(),
+                            Bytes::from_static(b"u"),
+                        )
+                        .unwrap();
+                    for i in 0..fanout {
+                        let d = gallery
+                            .create_model(ModelSpec::new("bench", format!("down_{i}")).name("d"))
                             .unwrap();
                         gallery
-                            .upload_instance(&upstream.id, InstanceSpec::new(), Bytes::from_static(b"u"))
+                            .upload_instance(&d.id, InstanceSpec::new(), Bytes::from_static(b"d"))
                             .unwrap();
-                        for i in 0..fanout {
-                            let d = gallery
-                                .create_model(
-                                    ModelSpec::new("bench", format!("down_{i}")).name("d"),
-                                )
-                                .unwrap();
-                            gallery
-                                .upload_instance(&d.id, InstanceSpec::new(), Bytes::from_static(b"d"))
-                                .unwrap();
-                            gallery.add_dependency(&d.id, &upstream.id).unwrap();
-                        }
-                        (gallery, upstream.id)
-                    },
-                    |(gallery, upstream)| {
-                        gallery
-                            .upload_instance(&upstream, InstanceSpec::new(), Bytes::from_static(b"u2"))
-                            .unwrap();
-                        black_box(())
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+                        gallery.add_dependency(&d.id, &upstream.id).unwrap();
+                    }
+                    (gallery, upstream.id)
+                },
+                |(gallery, upstream)| {
+                    gallery
+                        .upload_instance(&upstream, InstanceSpec::new(), Bytes::from_static(b"u2"))
+                        .unwrap();
+                    black_box(())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

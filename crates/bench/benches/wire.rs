@@ -82,7 +82,11 @@ fn bench_full_call(c: &mut Criterion) {
         b.iter(|| black_box(client.fetch_blob(&inst.id).unwrap()))
     });
     group.bench_function("insert_metric", |b| {
-        b.iter(|| client.insert_metric(&inst.id, "mape", "production", 0.1).unwrap())
+        b.iter(|| {
+            client
+                .insert_metric(&inst.id, "mape", "production", 0.1)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -270,12 +270,18 @@ pub fn probe(registry: &mut dyn ModelRegistry) -> HashMap<Capability, bool> {
         .search("city", "sf")
         .map(|hits| !has_meta || hits.contains(&id))
         .unwrap_or(false);
-    out.insert(Capability::Searching, found && registry.search("city", "sf").is_some());
+    out.insert(
+        Capability::Searching,
+        found && registry.search("city", "sf").is_some(),
+    );
     out.insert(
         Capability::Serving,
         registry.serving_endpoint("probe_model").is_some(),
     );
-    out.insert(Capability::Metrics, registry.record_metric(&id, "mape", 0.1));
+    out.insert(
+        Capability::Metrics,
+        registry.record_metric(&id, "mape", 0.1),
+    );
     let registered = registry.register_automation("mape", 0.2, "deploy");
     let fired = registry.drive_automation(&id, "mape", 0.05);
     out.insert(
@@ -312,7 +318,14 @@ mod tests {
         let caps = capabilities_of(&mut MlflowLike::new());
         assert_eq!(
             caps,
-            vec!["Saving", "Loading", "Metadata", "Searching", "Serving", "Metrics"]
+            vec![
+                "Saving",
+                "Loading",
+                "Metadata",
+                "Searching",
+                "Serving",
+                "Metrics"
+            ]
         );
     }
 
@@ -335,7 +348,10 @@ mod tests {
 
     #[test]
     fn velox_and_tfx_lack_search_only() {
-        for reg in [&mut VeloxLike::new() as &mut dyn ModelRegistry, &mut TfxLike::new()] {
+        for reg in [
+            &mut VeloxLike::new() as &mut dyn ModelRegistry,
+            &mut TfxLike::new(),
+        ] {
             let probed = probe(reg);
             assert!(!probed[&Capability::Searching]);
             let others = Capability::ALL
@@ -351,7 +367,9 @@ mod tests {
         let mut v = VeloxLike::new();
         let id = v.save("m", Bytes::from_static(b"w")).unwrap();
         assert!(v.register_automation("mape", 0.2, "retrain"));
-        assert!(v.drive_automation(&id, "mape", 0.1).contains(&"retrain".to_owned()));
+        assert!(v
+            .drive_automation(&id, "mape", 0.1)
+            .contains(&"retrain".to_owned()));
         assert!(v.drive_automation(&id, "mape", 0.9).is_empty());
     }
 }

@@ -79,7 +79,10 @@ fn run_arm(cache_bytes: Option<usize>, blobs: usize, blob_size: usize, requests:
 }
 
 fn main() {
-    banner("ablation: blob cache at serving time", "§3.5 'The cache is updated with the requested blob'");
+    banner(
+        "ablation: blob cache at serving time",
+        "§3.5 'The cache is updated with the requested blob'",
+    );
     let blobs = 500;
     let blob_size = 512 * 1024; // 512 KiB models
     let requests = 20_000u64;

@@ -29,13 +29,34 @@ struct ManualStep {
 }
 
 const MANUAL_DEPLOYMENT: &[ManualStep] = &[
-    ManualStep { name: "locate + download candidate model file from HDFS", minutes_per_model: 10.0 },
-    ManualStep { name: "check training log + eval numbers by hand", minutes_per_model: 20.0 },
-    ManualStep { name: "derive next semantic version per city", minutes_per_model: 10.0 },
-    ManualStep { name: "copy blob to serving path, fix permissions", minutes_per_model: 15.0 },
-    ManualStep { name: "edit + review serving config (Git PR)", minutes_per_model: 30.0 },
-    ManualStep { name: "manual canary check + rollback plan", minutes_per_model: 25.0 },
-    ManualStep { name: "announce + update tracking spreadsheet", minutes_per_model: 10.0 },
+    ManualStep {
+        name: "locate + download candidate model file from HDFS",
+        minutes_per_model: 10.0,
+    },
+    ManualStep {
+        name: "check training log + eval numbers by hand",
+        minutes_per_model: 20.0,
+    },
+    ManualStep {
+        name: "derive next semantic version per city",
+        minutes_per_model: 10.0,
+    },
+    ManualStep {
+        name: "copy blob to serving path, fix permissions",
+        minutes_per_model: 15.0,
+    },
+    ManualStep {
+        name: "edit + review serving config (Git PR)",
+        minutes_per_model: 30.0,
+    },
+    ManualStep {
+        name: "manual canary check + rollback plan",
+        minutes_per_model: 25.0,
+    },
+    ManualStep {
+        name: "announce + update tracking spreadsheet",
+        minutes_per_model: 10.0,
+    },
 ];
 
 fn main() {
@@ -46,8 +67,7 @@ fn main() {
     let fleet_size = 100usize;
 
     // --- Manual arm: cost model ----------------------------------------
-    let manual_minutes_per_model: f64 =
-        MANUAL_DEPLOYMENT.iter().map(|s| s.minutes_per_model).sum();
+    let manual_minutes_per_model: f64 = MANUAL_DEPLOYMENT.iter().map(|s| s.minutes_per_model).sum();
     println!("manual pre-Gallery checklist (per model):");
     for step in MANUAL_DEPLOYMENT {
         println!("  {:>5.0} min  {}", step.minutes_per_model, step.name);
@@ -113,7 +133,10 @@ fn main() {
             .unwrap();
         // Evaluation metric lands -> rule fires -> deployment happens.
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.08))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("mape", MetricScope::Validation, 0.08),
+            )
             .unwrap();
     }
     engine.drain();
@@ -133,7 +156,10 @@ fn main() {
     ]);
     table.add_row(vec![
         "wall-clock for fleet deployment".into(),
-        format!("~{:.0} working days", manual_minutes_per_model * fleet_size as f64 / 60.0 / 8.0),
+        format!(
+            "~{:.0} working days",
+            manual_minutes_per_model * fleet_size as f64 / 60.0 / 8.0
+        ),
         format!("{wall:.2?}"),
     ]);
     table.add_row(vec![
@@ -152,9 +178,9 @@ fn main() {
 
     // Every model's production pointer is set.
     let models = gallery
-        .find_models(&gallery_store::Query::all().and(gallery_store::Constraint::eq(
-            "name", "ridge",
-        )))
+        .find_models(
+            &gallery_store::Query::all().and(gallery_store::Constraint::eq("name", "ridge")),
+        )
         .unwrap();
     let pointed = models
         .iter()

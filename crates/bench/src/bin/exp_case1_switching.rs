@@ -98,10 +98,12 @@ fn main() {
                     Bytes::from(forecaster.to_blob()),
                 )
                 .unwrap();
-            let on_events =
-                backtest_where(forecaster, &series, day * 7, |t| t < serve_start && series.event_flags[t]);
-            let off_events =
-                backtest_where(forecaster, &series, day * 7, |t| t < serve_start && !series.event_flags[t]);
+            let on_events = backtest_where(forecaster, &series, day * 7, |t| {
+                t < serve_start && series.event_flags[t]
+            });
+            let off_events = backtest_where(forecaster, &series, day * 7, |t| {
+                t < serve_start && !series.event_flags[t]
+            });
             gallery
                 .insert_metric(
                     &inst.id,
@@ -125,7 +127,11 @@ fn main() {
         let served_static: Vec<&AnyForecaster> = vec![&static_model];
         let _ = served_static;
         let pick = |event_now: bool| -> &AnyForecaster {
-            let metric = if event_now { "mape_events" } else { "mape_normal" };
+            let metric = if event_now {
+                "mape_events"
+            } else {
+                "mape_normal"
+            };
             let s = gallery
                 .latest_metric(&static_id, metric, MetricScope::Validation)
                 .unwrap()

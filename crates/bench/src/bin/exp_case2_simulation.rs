@@ -82,7 +82,11 @@ fn main() {
     // ---- Report ---------------------------------------------------------
     let mut table = TextTable::new(&["measure", "inline (before)", "Gallery (after)"]);
     let mut row = |label: &str, a: String, b: String| table.add_row(vec![label.into(), a, b]);
-    row("trips served", before.trips_served.to_string(), after.trips_served.to_string());
+    row(
+        "trips served",
+        before.trips_served.to_string(),
+        after.trips_served.to_string(),
+    );
     row(
         "service rate",
         format!("{:.1}%", 100.0 * before.service_rate()),
@@ -123,7 +127,11 @@ fn main() {
     let mem_factor = before.peak_model_bytes as f64 / after.peak_model_bytes.max(1) as f64;
     println!(
         "decoupling removed {} of peak model memory ({:.0}x) and 100% of in-sim training",
-        human_bytes(before.peak_model_bytes.saturating_sub(after.peak_model_bytes)),
+        human_bytes(
+            before
+                .peak_model_bytes
+                .saturating_sub(after.peak_model_bytes)
+        ),
         mem_factor
     );
     println!(

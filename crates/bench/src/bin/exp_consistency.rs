@@ -95,7 +95,11 @@ fn main() {
             o.failed.to_string(),
             o.dangling.to_string(),
             o.orphans.to_string(),
-            if o.dangling == 0 { "HOLDS".into() } else { "VIOLATED".to_string() },
+            if o.dangling == 0 {
+                "HOLDS".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
     println!("{}", table.render());
@@ -108,6 +112,9 @@ fn main() {
         meta_first.dangling
     );
     assert_eq!(blob_first.dangling, 0, "blob-first must keep the invariant");
-    assert!(meta_first.dangling > 0, "the ablation must demonstrate the hazard");
+    assert!(
+        meta_first.dangling > 0,
+        "the ablation must demonstrate the hazard"
+    );
     assert!(blob_first.failed > 0, "faults must actually fire");
 }

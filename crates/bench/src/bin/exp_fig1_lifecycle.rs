@@ -69,7 +69,10 @@ fn main() {
                 .owner("forecasting"),
         )
         .unwrap();
-    push("exploration", format!("model registered: base {}", model.base_version_id));
+    push(
+        "exploration",
+        format!("model registered: base {}", model.base_version_id),
+    );
 
     // 2. Training on weeks 1-3. Day-scale lags: the model forecasts from
     //    the daily pattern, so the regime change genuinely degrades it.
@@ -89,7 +92,10 @@ fn main() {
             Bytes::from(v1_model.to_blob()),
         )
         .unwrap();
-    push("trained", format!("instance {} (v{})", v1.id, v1.display_version));
+    push(
+        "trained",
+        format!("instance {} (v{})", v1.id, v1.display_version),
+    );
 
     // 3. Evaluation (backtest week 4).
     let eval = {
@@ -97,10 +103,16 @@ fn main() {
         backtest(&v1_model, &head, day * 21)
     };
     gallery
-        .insert_metric(&v1.id, MetricSpec::new("mape", MetricScope::Validation, eval.mape))
+        .insert_metric(
+            &v1.id,
+            MetricSpec::new("mape", MetricScope::Validation, eval.mape),
+        )
         .unwrap();
     gallery.set_stage(&v1.id, Stage::Evaluated).unwrap();
-    push("evaluated", format!("validation mape {:.2}%", 100.0 * eval.mape));
+    push(
+        "evaluated",
+        format!("validation mape {:.2}%", 100.0 * eval.mape),
+    );
 
     // 4. Deployment.
     gallery.deploy(&model.id, &v1.id, "production").unwrap();
@@ -138,7 +150,10 @@ fn main() {
         ),
     );
     assert!(*retrain_flag.lock(), "rule must request retraining");
-    assert!(drift_day.is_some(), "mean-shift detector must flag the regime change");
+    assert!(
+        drift_day.is_some(),
+        "mean-shift detector must flag the regime change"
+    );
 
     // 6. Retraining on fresh data (weeks 1-6).
     gallery.set_stage(&v1.id, Stage::Retraining).unwrap();
@@ -155,7 +170,10 @@ fn main() {
     let v2_eval = backtest(&v2_model, &series, day * 35);
     let v1_eval = backtest(&v1_model, &series, day * 35);
     gallery
-        .insert_metric(&v2.id, MetricSpec::new("mape", MetricScope::Validation, v2_eval.mape))
+        .insert_metric(
+            &v2.id,
+            MetricSpec::new("mape", MetricScope::Validation, v2_eval.mape),
+        )
         .unwrap();
     gallery.set_stage(&v2.id, Stage::Evaluated).unwrap();
     push(
@@ -173,7 +191,10 @@ fn main() {
     gallery.deploy(&model.id, &v2.id, "production").unwrap();
     gallery.set_stage(&v2.id, Stage::Deployed).unwrap();
     gallery.set_stage(&v1.id, Stage::Deprecated).unwrap();
-    push("deprecated", format!("old instance {} flagged, kept for consumers", v1.id));
+    push(
+        "deprecated",
+        format!("old instance {} flagged, kept for consumers", v1.id),
+    );
 
     let mut table = TextTable::new(&["lifecycle stage", "what happened"]);
     for (stage, note) in &log {

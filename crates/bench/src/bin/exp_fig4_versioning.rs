@@ -13,7 +13,10 @@ use gallery_core::{Gallery, InstanceSpec, ManualClock, ModelSpec};
 use std::sync::Arc;
 
 fn main() {
-    banner("E3: UUID versioning with base version ids", "Figure 4 + §3.4.1");
+    banner(
+        "E3: UUID versioning with base version ids",
+        "Figure 4 + §3.4.1",
+    );
     let g = Gallery::in_memory_with_clock(Arc::new(ManualClock::new(1_700_000_000_000)));
 
     // Two modeling approaches, as in the figure.
@@ -24,8 +27,12 @@ fn main() {
                 .owner("forecasting"),
         )
         .unwrap();
-    g.upload_instance(&demand.id, InstanceSpec::new(), Bytes::from_static(b"dc-v1"))
-        .unwrap();
+    g.upload_instance(
+        &demand.id,
+        InstanceSpec::new(),
+        Bytes::from_static(b"dc-v1"),
+    )
+    .unwrap();
 
     let supply = g
         .create_model(
@@ -45,7 +52,12 @@ fn main() {
         .unwrap();
     }
 
-    let mut table = TextTable::new(&["base version id", "instance uuid", "version", "created (ms)"]);
+    let mut table = TextTable::new(&[
+        "base version id",
+        "instance uuid",
+        "version",
+        "created (ms)",
+    ]);
     for base in ["demand_conversion", "supply_cancellation"] {
         for inst in g.instances_of_base_version(base).unwrap() {
             table.add_row(vec![
@@ -67,12 +79,17 @@ fn main() {
     );
     let distinct: std::collections::HashSet<_> = sc.iter().map(|i| i.id.clone()).collect();
     assert_eq!(distinct.len(), 4, "four distinct UUIDs");
-    assert!(sc.iter().all(|i| i.base_version_id.as_str() == "supply_cancellation"));
+    assert!(sc
+        .iter()
+        .all(|i| i.base_version_id.as_str() == "supply_cancellation"));
     // lineage chains to the base
     let latest = sc.last().unwrap();
     let lineage = g.instance_lineage(&latest.id).unwrap();
     assert_eq!(lineage.len(), 4);
-    println!("lineage of newest supply_cancellation instance: {} hops to root ✓", lineage.len());
+    println!(
+        "lineage of newest supply_cancellation instance: {} hops to root ✓",
+        lineage.len()
+    );
 
     // The legacy baseline the section motivates against: semantic versions
     // diverge across a 100-city fleet once per-city retraining starts.
@@ -85,15 +102,22 @@ fn main() {
     // Retrain only the cities whose models degraded (every third city,
     // some twice).
     for i in (0..100).step_by(3) {
-        fleet.apply(&format!("city_{i:03}"), ChangeKind::Retrain).unwrap();
+        fleet
+            .apply(&format!("city_{i:03}"), ChangeKind::Retrain)
+            .unwrap();
         if i % 2 == 0 {
-            fleet.apply(&format!("city_{i:03}"), ChangeKind::Retrain).unwrap();
+            fleet
+                .apply(&format!("city_{i:03}"), ChangeKind::Retrain)
+                .unwrap();
         }
     }
     let diverged = fleet.distinct_versions();
     let mut table = TextTable::new(&["fleet state", "distinct versions across 100 cities"]);
     table.add_row(vec!["initial launch".into(), aligned.to_string()]);
-    table.add_row(vec!["after selective retraining".into(), diverged.to_string()]);
+    table.add_row(vec![
+        "after selective retraining".into(),
+        diverged.to_string(),
+    ]);
     println!("{}", table.render());
     println!(
         "semantic versions lose meaning: cities no longer align ({} -> {} distinct versions)",

@@ -78,8 +78,12 @@ fn main() {
     );
 
     // --- Figure 6: retrain B ------------------------------------------
-    f.g.upload_instance(&f.b, InstanceSpec::new(), Bytes::from_static(b"b-retrained"))
-        .unwrap();
+    f.g.upload_instance(
+        &f.b,
+        InstanceSpec::new(),
+        Bytes::from_static(b"b-retrained"),
+    )
+    .unwrap();
     snapshot(&f, "figure 6 (B retrained)", &mut table);
     assert_eq!(version(&f.g, &f.b), vb.bump_minor(), "B minor-bumps");
     assert_eq!(version(&f.g, &f.a), va.bump_minor(), "A auto-bumps");
@@ -106,7 +110,11 @@ fn main() {
             .unwrap();
         m.id
     };
-    let (vx, vy, va) = (version(&f.g, &f.x), version(&f.g, &f.y), version(&f.g, &f.a));
+    let (vx, vy, va) = (
+        version(&f.g, &f.x),
+        version(&f.g, &f.y),
+        version(&f.g, &f.a),
+    );
     f.g.add_dependency(&f.a, &d).unwrap();
     snapshot(&f, "figure 7 (D added to A)", &mut table);
     assert_eq!(version(&f.g, &f.a), va.bump_minor());

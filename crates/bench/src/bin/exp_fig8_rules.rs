@@ -65,13 +65,23 @@ fn main() {
             .with(fields::MODEL_DOMAIN, "UberX")
     };
     let inst = gallery
-        .upload_instance(&rf.id, InstanceSpec::new().metadata(rf_meta()), Bytes::from_static(b"rf"))
+        .upload_instance(
+            &rf.id,
+            InstanceSpec::new().metadata(rf_meta()),
+            Bytes::from_static(b"rf"),
+        )
         .unwrap();
     gallery
-        .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
+        .insert_metric(
+            &inst.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.05),
+        )
         .unwrap();
     engine.drain();
-    println!("action rule: in-corridor bias deployed the instance ({} deployment)", deployments.lock());
+    println!(
+        "action rule: in-corridor bias deployed the instance ({} deployment)",
+        deployments.lock()
+    );
     assert_eq!(*deployments.lock(), 1);
 
     // --- Client 1: selection rule through the queue ----------------------
@@ -110,7 +120,10 @@ fn main() {
         // Alternate in/out of the bias corridor.
         let bias = if i % 2 == 0 { 0.05 } else { 0.5 };
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Production, bias))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Production, bias),
+            )
             .unwrap();
     }
     engine.drain();
@@ -119,9 +132,18 @@ fn main() {
 
     let mut table = TextTable::new(&["measure", "value"]);
     table.add_row(vec!["metric events pushed".into(), n_events.to_string()]);
-    table.add_row(vec!["rule evaluations triggered".into(), stats.triggered.to_string()]);
-    table.add_row(vec!["rules fired (conditions held)".into(), stats.fired.to_string()]);
-    table.add_row(vec!["actions executed".into(), stats.actions_executed.to_string()]);
+    table.add_row(vec![
+        "rule evaluations triggered".into(),
+        stats.triggered.to_string(),
+    ]);
+    table.add_row(vec![
+        "rules fired (conditions held)".into(),
+        stats.fired.to_string(),
+    ]);
+    table.add_row(vec![
+        "actions executed".into(),
+        stats.actions_executed.to_string(),
+    ]);
     table.add_row(vec!["errors".into(), stats.errors.to_string()]);
     table.add_row(vec![
         "throughput (events/s)".into(),

@@ -30,7 +30,10 @@ fn mape_stream(n: usize, base: f64, shift: f64, change_point: usize, seed: u64) 
 }
 
 fn main() {
-    banner("E11: drift + production-skew insights", "§3.6 Model Drift / Production Skew");
+    banner(
+        "E11: drift + production-skew insights",
+        "§3.6 Model Drift / Production Skew",
+    );
 
     // ---- Drift detectors over the same stream ---------------------------
     let n = 120;
@@ -61,7 +64,9 @@ fn main() {
     table.add_row(vec![
         "window mean shift (z=5, w=14)".into(),
         fired.is_some().to_string(),
-        fired.map(|i| (i - change_point).to_string()).unwrap_or("-".into()),
+        fired
+            .map(|i| (i - change_point).to_string())
+            .unwrap_or("-".into()),
         fp.is_some().to_string(),
     ]);
     assert!(fired.is_some() && fp.is_none());
@@ -82,7 +87,9 @@ fn main() {
     table.add_row(vec![
         "CUSUM (slack=0.02, h=0.25)".into(),
         fired.is_some().to_string(),
-        fired.map(|i| (i - change_point).to_string()).unwrap_or("-".into()),
+        fired
+            .map(|i| (i - change_point).to_string())
+            .unwrap_or("-".into()),
         fp.is_some().to_string(),
     ]);
     assert!(fired.is_some() && fp.is_none());
@@ -148,7 +155,10 @@ fn main() {
     for &mape in &stream {
         detector.observe(mape);
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, mape))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("mape", MetricScope::Production, mape),
+            )
             .unwrap();
         let verdict = detector.check();
         gallery
@@ -167,7 +177,10 @@ fn main() {
 
     // ---- Production skew on stored metrics ------------------------------
     gallery
-        .insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
+        .insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.10),
+        )
         .unwrap();
     let records = gallery.metrics_of_instance(&inst.id).unwrap();
     let verdicts = detect_skew_from_records(&records, default_direction, 0.25);
@@ -179,13 +192,21 @@ fn main() {
         100.0 * mape_verdict.relative_degradation,
         mape_verdict.skewed
     );
-    assert!(mape_verdict.skewed, "the post-drift production MAPE is skewed vs validation");
+    assert!(
+        mape_verdict.skewed,
+        "the post-drift production MAPE is skewed vs validation"
+    );
 
     let health = gallery.health_report(&inst.id).unwrap();
     println!(
         "health report: score {:.2}, skewed metrics {:?}",
         health.score(),
-        health.skew.iter().filter(|s| s.skewed).map(|s| s.metric_name.clone()).collect::<Vec<_>>()
+        health
+            .skew
+            .iter()
+            .filter(|s| s.skewed)
+            .map(|s| s.metric_name.clone())
+            .collect::<Vec<_>>()
     );
     println!("\npaper shape: drift detected shortly after the regime change with no false");
     println!("positives on a stable stream; skew surfaces the train/serve gap ✓");

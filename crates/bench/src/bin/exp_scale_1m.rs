@@ -111,10 +111,7 @@ fn main() {
         // Indexed range search: mape < 0.01 (~size/100 rows).
         let ((rows_range, path_range), range_us) = measure(|| {
             store
-                .query_explain(
-                    "instances",
-                    &Query::all().and(Constraint::lt("mape", 0.01)),
-                )
+                .query_explain("instances", &Query::all().and(Constraint::lt("mape", 0.01)))
                 .unwrap()
         });
         assert!(matches!(path_range, AccessPath::IndexRange { .. }));

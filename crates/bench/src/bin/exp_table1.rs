@@ -50,7 +50,11 @@ fn main() {
     println!("{}", table.render());
     println!(
         "Gallery supports all seven capabilities: {}",
-        if gallery_all { "yes" } else { "NO (regression!)" }
+        if gallery_all {
+            "yes"
+        } else {
+            "NO (regression!)"
+        }
     );
     println!("(paper's printed table shows Gallery Searching = N; see note in EXPERIMENTS.md)");
     assert!(gallery_all);

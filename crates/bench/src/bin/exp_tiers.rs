@@ -16,7 +16,10 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() {
-    banner("E12: tiered service offering", "§6.3 'four groups built on top of one another'");
+    banner(
+        "E12: tiered service offering",
+        "§6.3 'four groups built on top of one another'",
+    );
     let gallery = Arc::new(Gallery::in_memory());
     let mut table = TextTable::new(&["tier", "capability", "exercised with"]);
 
@@ -26,7 +29,11 @@ fn main() {
         .create_model(ModelSpec::new("new-team", "experiment_1").name("prototype"))
         .unwrap();
     let inst = gallery
-        .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"prototype-v1"))
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new(),
+            Bytes::from_static(b"prototype-v1"),
+        )
         .unwrap();
     let blob = gallery.fetch_instance_blob(&inst.id).unwrap();
     assert_eq!(blob, Bytes::from_static(b"prototype-v1"));
@@ -61,7 +68,10 @@ fn main() {
 
     // ---- Tier 3: metric storage and search ------------------------------
     gallery
-        .insert_metric(&inst2.id, MetricSpec::new("mape", MetricScope::Validation, 0.09))
+        .insert_metric(
+            &inst2.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.09),
+        )
         .unwrap();
     let found = gallery
         .model_query(&[
@@ -103,7 +113,10 @@ fn main() {
     );
     engine.attach();
     gallery
-        .insert_metric(&inst2.id, MetricSpec::new("mape", MetricScope::Validation, 0.08))
+        .insert_metric(
+            &inst2.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.08),
+        )
         .unwrap();
     engine.drain();
     assert_eq!(*fired.lock(), 1);

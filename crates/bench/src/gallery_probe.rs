@@ -6,7 +6,9 @@
 use crate::baselines::ModelRegistry;
 use bytes::Bytes;
 use gallery_core::metadata::fields;
-use gallery_core::{Gallery, InstanceId, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec};
+use gallery_core::{
+    Gallery, InstanceId, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec,
+};
 use gallery_rules::{ActionRegistry, CompiledRule, RuleBody, RuleDoc, RuleEngine};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -73,8 +75,7 @@ impl ModelRegistry for GalleryRegistry {
             .gallery
             .upload_instance(
                 &model.id,
-                InstanceSpec::new()
-                    .metadata(Metadata::new().with(fields::MODEL_NAME, name)),
+                InstanceSpec::new().metadata(Metadata::new().with(fields::MODEL_NAME, name)),
                 blob,
             )
             .ok()?;
@@ -84,9 +85,7 @@ impl ModelRegistry for GalleryRegistry {
     }
 
     fn load(&self, id: &str) -> Option<Bytes> {
-        self.gallery
-            .fetch_instance_blob(&InstanceId::from(id))
-            .ok()
+        self.gallery.fetch_instance_blob(&InstanceId::from(id)).ok()
     }
 
     fn set_metadata(&mut self, _id: &str, _key: &str, _value: &str) -> bool {
@@ -102,8 +101,7 @@ impl ModelRegistry for GalleryRegistry {
         let results = self
             .gallery
             .find_instances(
-                &gallery_store::Query::all()
-                    .and(gallery_store::Constraint::eq(field, value)),
+                &gallery_store::Query::all().and(gallery_store::Constraint::eq(field, value)),
             )
             .ok()?;
         let mut ids: Vec<String> = results.iter().map(|i| i.id.to_string()).collect();
@@ -114,10 +112,8 @@ impl ModelRegistry for GalleryRegistry {
             ids = self
                 .gallery
                 .find_instances(
-                    &gallery_store::Query::all().and(gallery_store::Constraint::eq(
-                        "model_name",
-                        "probe_model",
-                    )),
+                    &gallery_store::Query::all()
+                        .and(gallery_store::Constraint::eq("model_name", "probe_model")),
                 )
                 .ok()?
                 .iter()

@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(lines.len(), 4);
         // columns align: "value" header starts at same index as 1 and 12345
         let col = lines[0].find("value").unwrap();
-        assert_eq!(lines[2].rfind('1').map(|_| lines[2][col..].trim()), Some("1"));
+        assert_eq!(
+            lines[2].rfind('1').map(|_| lines[2][col..].trim()),
+            Some("1")
+        );
     }
 
     #[test]

@@ -76,6 +76,42 @@ impl Clock for ManualClock {
     }
 }
 
+/// A way to wait. Retry backoff needs to sleep between attempts;
+/// production sleeps for real, tests and the chaos experiment advance a
+/// [`ManualClock`] instead so a thousand retries cost zero wall time.
+pub trait Sleeper: Send + Sync {
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// Really blocks the thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemSleeper;
+
+impl Sleeper for SystemSleeper {
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// "Sleeps" by advancing a [`ManualClock`]: simulated time passes, wall
+/// time does not. Pair it with the same clock the code under test reads.
+#[derive(Debug, Clone)]
+pub struct SimulatedSleeper {
+    clock: ManualClock,
+}
+
+impl SimulatedSleeper {
+    pub fn new(clock: ManualClock) -> Self {
+        SimulatedSleeper { clock }
+    }
+}
+
+impl Sleeper for SimulatedSleeper {
+    fn sleep_ms(&self, ms: u64) {
+        self.clock.advance(ms as TimestampMs);
+    }
+}
+
 /// Wraps any clock so consecutive reads are strictly increasing (ties get
 /// +1 ms). Gallery applies this to every clock it is given: record
 /// ordering ("latest instance", "current stage", "production pointer")
@@ -143,6 +179,16 @@ mod tests {
         let c2 = c.clone();
         c.advance(100);
         assert!(c2.now_ms() >= 100);
+    }
+
+    #[test]
+    fn simulated_sleeper_advances_clock_not_wall_time() {
+        let clock = ManualClock::new(0);
+        let sleeper = SimulatedSleeper::new(clock.clone());
+        let wall_start = std::time::Instant::now();
+        sleeper.sleep_ms(3_600_000); // one simulated hour
+        assert!(clock.now_ms() >= 3_600_000);
+        assert!(wall_start.elapsed() < std::time::Duration::from_secs(1));
     }
 }
 

@@ -60,10 +60,11 @@ impl Gallery {
                 .set("created", Value::Timestamp(self.now_ms()));
             self.dal().put(tables::DEPENDENCIES, record)?;
         }
-        self.events().publish(&crate::events::GalleryEvent::DependencyAdded {
-            model_id: model.clone(),
-            upstream: upstream.clone(),
-        });
+        self.events()
+            .publish(&crate::events::GalleryEvent::DependencyAdded {
+                model_id: model.clone(),
+                upstream: upstream.clone(),
+            });
         // Fig 7: the model itself is bumped (new dependency is a change to
         // its effective inputs), then its downstream closure.
         self.create_automatic_instance(
@@ -314,8 +315,12 @@ mod tests {
         g.deploy(&a, &prod_inst.id, "production").unwrap();
 
         let vb0 = version_of(&g, &b);
-        g.upload_instance(&b.clone(), InstanceSpec::new(), Bytes::from_static(b"b-retrained"))
-            .unwrap();
+        g.upload_instance(
+            &b.clone(),
+            InstanceSpec::new(),
+            Bytes::from_static(b"b-retrained"),
+        )
+        .unwrap();
 
         assert_eq!(version_of(&g, &b), vb0.bump_minor());
         assert_eq!(version_of(&g, &a), va0.bump_minor());

@@ -30,6 +30,20 @@ pub enum GalleryError {
     NoCandidates(String),
 }
 
+impl GalleryError {
+    /// Whether the failure is transient in the [`StoreError::is_transient`]
+    /// sense: a verbatim retry may succeed. All registry-level errors
+    /// (missing models, cycles, illegal transitions, ...) are semantic and
+    /// therefore permanent; only an underlying transient storage failure
+    /// makes the whole operation transient.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GalleryError::Store(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for GalleryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

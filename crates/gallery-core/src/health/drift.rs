@@ -215,7 +215,11 @@ mod tests {
             d.observe(noise(&mut rng, 0.25, 0.02)); // MAPE jumped
         }
         let v = d.check();
-        assert!(v.drifted, "shift of 0.15 over noise 0.02 must fire (z={})", v.statistic);
+        assert!(
+            v.drifted,
+            "shift of 0.15 over noise 0.02 must fire (z={})",
+            v.statistic
+        );
     }
 
     #[test]
@@ -254,9 +258,17 @@ mod tests {
         let shifted: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() * 0.5 + 0.5).collect();
         let psi = PopulationStabilityIndex::new(10, 0.25);
         let v_same = psi.compute(&reference, &same);
-        assert!(!v_same.drifted, "identical distributions: psi={}", v_same.statistic);
+        assert!(
+            !v_same.drifted,
+            "identical distributions: psi={}",
+            v_same.statistic
+        );
         let v_shift = psi.compute(&reference, &shifted);
-        assert!(v_shift.drifted, "half-range shift: psi={}", v_shift.statistic);
+        assert!(
+            v_shift.drifted,
+            "half-range shift: psi={}",
+            v_shift.statistic
+        );
         assert!(v_shift.statistic > v_same.statistic);
     }
 

@@ -125,12 +125,21 @@ mod tests {
                 Bytes::from_static(b"w"),
             )
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Training, 0.1))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.11))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, 0.12))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Training, 0.1),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.11),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Production, 0.12),
+        )
+        .unwrap();
         let report = g.health_report(&inst.id).unwrap();
         assert!(report.is_complete());
         assert!(report.missing_fields.is_empty());
@@ -166,16 +175,24 @@ mod tests {
                 Bytes::from_static(b"w"),
             )
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, 0.30))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.10),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Production, 0.30),
+        )
+        .unwrap();
         let report = g.health_report(&inst.id).unwrap();
         assert_eq!(report.skew.len(), 1);
         assert!(report.skew[0].skewed);
         let healthy_score = {
             let g2 = Gallery::in_memory();
-            let m2 = g2.create_model(ModelSpec::new("p", "d").name("rf")).unwrap();
+            let m2 = g2
+                .create_model(ModelSpec::new("p", "d").name("rf"))
+                .unwrap();
             let i2 = g2
                 .upload_instance(
                     &m2.id,
@@ -183,10 +200,16 @@ mod tests {
                     Bytes::from_static(b"w"),
                 )
                 .unwrap();
-            g2.insert_metric(&i2.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
-                .unwrap();
-            g2.insert_metric(&i2.id, MetricSpec::new("mape", MetricScope::Production, 0.10))
-                .unwrap();
+            g2.insert_metric(
+                &i2.id,
+                MetricSpec::new("mape", MetricScope::Validation, 0.10),
+            )
+            .unwrap();
+            g2.insert_metric(
+                &i2.id,
+                MetricSpec::new("mape", MetricScope::Production, 0.10),
+            )
+            .unwrap();
             g2.health_report(&i2.id).unwrap().score()
         };
         assert!(report.score() < healthy_score);

@@ -70,7 +70,9 @@ pub fn detect_skew_from_records(
             MetricScope::Production => 2,
         };
         let entry = latest.entry(r.name.as_str()).or_default();
-        let newer = entry[slot].map(|e| r.created_at > e.created_at).unwrap_or(true);
+        let newer = entry[slot]
+            .map(|e| r.created_at > e.created_at)
+            .unwrap_or(true);
         if newer {
             entry[slot] = Some(r);
         }
@@ -172,6 +174,9 @@ mod tests {
     fn default_directions() {
         assert_eq!(default_direction("auc"), MetricDirection::HigherIsBetter);
         assert_eq!(default_direction("mape"), MetricDirection::LowerIsBetter);
-        assert_eq!(default_direction("custom_loss"), MetricDirection::LowerIsBetter);
+        assert_eq!(
+            default_direction("custom_loss"),
+            MetricDirection::LowerIsBetter
+        );
     }
 }

@@ -191,7 +191,7 @@ mod tests {
         assert!(Uuid::parse("not-a-uuid").is_none());
         assert!(Uuid::parse("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz").is_none());
         assert!(Uuid::parse("0123456789abcdef0123456789abcdef").is_none()); // no dashes
-        // dashes in wrong positions
+                                                                            // dashes in wrong positions
         assert!(Uuid::parse("012345678-9ab-cdef-0123-456789abcdef").is_none());
     }
 

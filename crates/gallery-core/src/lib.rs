@@ -41,7 +41,9 @@ pub mod schemas;
 pub mod semver;
 pub mod version;
 
-pub use clock::{Clock, ManualClock, SystemClock, TimestampMs};
+pub use clock::{
+    Clock, ManualClock, SimulatedSleeper, Sleeper, SystemClock, SystemSleeper, TimestampMs,
+};
 pub use error::{GalleryError, Result};
 pub use events::{EventBus, GalleryEvent};
 pub use id::{BaseVersionId, DeploymentId, InstanceId, MetricId, ModelId, Uuid};

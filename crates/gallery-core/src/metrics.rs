@@ -99,7 +99,9 @@ pub fn parse_metric_blob(blob: &str) -> Result<Vec<(String, f64)>> {
             .ok_or_else(|| GalleryError::Invalid(format!("bad metric pair: {pair}")))?;
         let name = name.trim();
         if name.is_empty() {
-            return Err(GalleryError::Invalid(format!("empty metric name in: {pair}")));
+            return Err(GalleryError::Invalid(format!(
+                "empty metric name in: {pair}"
+            )));
         }
         let value: f64 = value
             .trim()
@@ -125,10 +127,17 @@ mod tests {
 
     #[test]
     fn scope_roundtrip() {
-        for s in [MetricScope::Training, MetricScope::Validation, MetricScope::Production] {
+        for s in [
+            MetricScope::Training,
+            MetricScope::Validation,
+            MetricScope::Production,
+        ] {
             assert_eq!(MetricScope::parse(s.as_str()).unwrap(), s);
         }
-        assert_eq!(MetricScope::parse("Validation").unwrap(), MetricScope::Validation);
+        assert_eq!(
+            MetricScope::parse("Validation").unwrap(),
+            MetricScope::Validation
+        );
         assert!(MetricScope::parse("staging").is_err());
     }
 

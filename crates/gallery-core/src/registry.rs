@@ -110,7 +110,11 @@ impl Gallery {
             id: ModelId::generate(),
             base_version_id: spec.base_version_id.as_str().into(),
             project: spec.project,
-            name: if spec.name.is_empty() { "unnamed".into() } else { spec.name },
+            name: if spec.name.is_empty() {
+                "unnamed".into()
+            } else {
+                spec.name
+            },
             owner: spec.owner,
             description: spec.description,
             metadata: spec.metadata,
@@ -118,8 +122,10 @@ impl Gallery {
             prev: spec.prev,
             deprecated: false,
         };
-        self.dal
-            .put(tables::MODELS, schemas::model_to_record(&model, display_major))?;
+        self.dal.put(
+            tables::MODELS,
+            schemas::model_to_record(&model, display_major),
+        )?;
         self.events.publish(&GalleryEvent::ModelCreated {
             model_id: model.id.clone(),
         });
@@ -388,7 +394,11 @@ impl Gallery {
     // ------------------------------------------------------------------
 
     /// Record a metric for an instance (Listing 4).
-    pub fn insert_metric(&self, instance_id: &InstanceId, spec: MetricSpec) -> Result<MetricRecord> {
+    pub fn insert_metric(
+        &self,
+        instance_id: &InstanceId,
+        spec: MetricSpec,
+    ) -> Result<MetricRecord> {
         self.get_instance(instance_id)?;
         if !spec.value.is_finite() {
             return Err(GalleryError::Invalid(format!(
@@ -426,7 +436,9 @@ impl Gallery {
         let pairs = parse_metric_blob(blob)?;
         pairs
             .into_iter()
-            .map(|(name, value)| self.insert_metric(instance_id, MetricSpec::new(name, scope, value)))
+            .map(|(name, value)| {
+                self.insert_metric(instance_id, MetricSpec::new(name, scope, value))
+            })
             .collect()
     }
 
@@ -647,7 +659,11 @@ impl Gallery {
                 .order_by("created", true)
                 .limit(1),
         )?;
-        match rows.first().and_then(|r| r.get("stage")).and_then(Value::as_str) {
+        match rows
+            .first()
+            .and_then(|r| r.get("stage"))
+            .and_then(Value::as_str)
+        {
             Some(s) => Stage::parse(s),
             None => Ok(if instance.is_trained() {
                 Stage::Trained
@@ -783,7 +799,9 @@ mod tests {
         assert_eq!(instances.len(), 4);
         let got: Vec<_> = instances.iter().map(|i| i.id.clone()).collect();
         assert_eq!(got, ids);
-        assert!(instances.windows(2).all(|w| w[0].created_at < w[1].created_at));
+        assert!(instances
+            .windows(2)
+            .all(|w| w[0].created_at < w[1].created_at));
     }
 
     #[test]
@@ -793,10 +811,16 @@ mod tests {
         let inst = g
             .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"w"))
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.03))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.05),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.03),
+        )
+        .unwrap();
         let latest = g
             .latest_metric(&inst.id, "bias", MetricScope::Validation)
             .unwrap()
@@ -826,7 +850,10 @@ mod tests {
             .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"w"))
             .unwrap();
         assert!(g
-            .insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Training, f64::NAN))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("mae", MetricScope::Training, f64::NAN)
+            )
             .is_err());
     }
 
@@ -850,10 +877,16 @@ mod tests {
                 Bytes::from_static(b"b"),
             )
             .unwrap();
-        g.insert_metric(&good.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
-            .unwrap();
-        g.insert_metric(&bad.id, MetricSpec::new("bias", MetricScope::Validation, 0.9))
-            .unwrap();
+        g.insert_metric(
+            &good.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.05),
+        )
+        .unwrap();
+        g.insert_metric(
+            &bad.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.9),
+        )
+        .unwrap();
         // Listing 5: projectName == example-project, modelName ==
         // random_forest, metricName == bias, metricValue < 0.25.
         let found = g

@@ -35,7 +35,9 @@ pub fn models_schema() -> TableSchema {
             ColumnDef::new("description", ValueType::Str).nullable(),
             ColumnDef::new("metadata", ValueType::Str).nullable(),
             ColumnDef::new("created", ValueType::Timestamp).btree_indexed(),
-            ColumnDef::new("prev", ValueType::Str).nullable().hash_indexed(),
+            ColumnDef::new("prev", ValueType::Str)
+                .nullable()
+                .hash_indexed(),
             ColumnDef::new("display_major", ValueType::Int),
             ColumnDef::new("deprecated", ValueType::Bool).nullable(),
         ],
@@ -60,10 +62,18 @@ pub fn instances_schema() -> TableSchema {
             ColumnDef::new("created", ValueType::Timestamp).btree_indexed(),
             ColumnDef::new("trigger", ValueType::Str),
             ColumnDef::new("parent", ValueType::Str).nullable(),
-            ColumnDef::new("city", ValueType::Str).nullable().hash_indexed(),
-            ColumnDef::new("model_name", ValueType::Str).nullable().hash_indexed(),
-            ColumnDef::new("model_type", ValueType::Str).nullable().hash_indexed(),
-            ColumnDef::new("project", ValueType::Str).nullable().hash_indexed(),
+            ColumnDef::new("city", ValueType::Str)
+                .nullable()
+                .hash_indexed(),
+            ColumnDef::new("model_name", ValueType::Str)
+                .nullable()
+                .hash_indexed(),
+            ColumnDef::new("model_type", ValueType::Str)
+                .nullable()
+                .hash_indexed(),
+            ColumnDef::new("project", ValueType::Str)
+                .nullable()
+                .hash_indexed(),
             ColumnDef::new("deprecated", ValueType::Bool).nullable(),
         ],
     )
@@ -158,7 +168,10 @@ fn req_str(record: &Record, field: &str) -> Result<String> {
 }
 
 fn opt_str(record: &Record, field: &str) -> Option<String> {
-    record.get(field).and_then(|v| v.as_str()).map(str::to_owned)
+    record
+        .get(field)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
 }
 
 fn req_ts(record: &Record, field: &str) -> Result<TimestampMs> {
@@ -326,8 +339,7 @@ mod tests {
     fn all_schemas_build_and_are_distinct() {
         let schemas = all_schemas();
         assert_eq!(schemas.len(), 6);
-        let names: std::collections::HashSet<_> =
-            schemas.iter().map(|s| s.name.clone()).collect();
+        let names: std::collections::HashSet<_> = schemas.iter().map(|s| s.name.clone()).collect();
         assert_eq!(names.len(), 6);
     }
 
@@ -373,7 +385,10 @@ mod tests {
         assert_eq!(back, inst);
         // Search keys denormalized:
         assert_eq!(record.get("city"), Some(&Value::from("New York City")));
-        assert_eq!(record.get("model_name"), Some(&Value::from("Random Forest")));
+        assert_eq!(
+            record.get("model_name"),
+            Some(&Value::from("Random Forest"))
+        );
         assert_eq!(record.get("project"), Some(&Value::from("example-project")));
     }
 

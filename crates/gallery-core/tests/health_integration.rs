@@ -20,15 +20,20 @@ fn reproducible_metadata() -> Metadata {
 #[test]
 fn detectors_over_stored_metrics() {
     let g = Gallery::in_memory();
-    let model = g.create_model(ModelSpec::new("p", "drifty").name("m")).unwrap();
+    let model = g
+        .create_model(ModelSpec::new("p", "drifty").name("m"))
+        .unwrap();
     let inst = g
         .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
         .unwrap();
     // 30 stable days then 15 degraded days, written to Gallery.
     for day in 0..45 {
         let mape = if day < 30 { 0.10 } else { 0.22 } + 0.001 * (day % 3) as f64;
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Production, mape))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Production, mape),
+        )
+        .unwrap();
     }
     // A monitoring job reads the stored series back, oldest first.
     let series: Vec<f64> = g
@@ -56,8 +61,14 @@ fn detectors_over_stored_metrics() {
     }
     let shift_day = shift_day.expect("mean shift fires");
     let cusum_day = cusum_day.expect("cusum fires");
-    assert!((30..45).contains(&shift_day), "fires after the change: {shift_day}");
-    assert!((30..45).contains(&cusum_day), "fires after the change: {cusum_day}");
+    assert!(
+        (30..45).contains(&shift_day),
+        "fires after the change: {shift_day}"
+    );
+    assert!(
+        (30..45).contains(&cusum_day),
+        "fires after the change: {cusum_day}"
+    );
 }
 
 /// Health scores rank instances sensibly: complete+consistent > skewed >
@@ -65,7 +76,9 @@ fn detectors_over_stored_metrics() {
 #[test]
 fn health_scores_rank_fleet() {
     let g = Gallery::in_memory();
-    let model = g.create_model(ModelSpec::new("p", "rank").name("m")).unwrap();
+    let model = g
+        .create_model(ModelSpec::new("p", "rank").name("m"))
+        .unwrap();
 
     // (a) complete metadata, consistent metrics
     let good = g
@@ -80,7 +93,8 @@ fn health_scores_rank_fleet() {
         (MetricScope::Validation, 0.10),
         (MetricScope::Production, 0.11),
     ] {
-        g.insert_metric(&good.id, MetricSpec::new("mape", scope, v)).unwrap();
+        g.insert_metric(&good.id, MetricSpec::new("mape", scope, v))
+            .unwrap();
     }
 
     // (b) complete metadata but heavy production skew
@@ -91,10 +105,16 @@ fn health_scores_rank_fleet() {
             Bytes::from_static(b"b"),
         )
         .unwrap();
-    g.insert_metric(&skewed.id, MetricSpec::new("mape", MetricScope::Validation, 0.10))
-        .unwrap();
-    g.insert_metric(&skewed.id, MetricSpec::new("mape", MetricScope::Production, 0.40))
-        .unwrap();
+    g.insert_metric(
+        &skewed.id,
+        MetricSpec::new("mape", MetricScope::Validation, 0.10),
+    )
+    .unwrap();
+    g.insert_metric(
+        &skewed.id,
+        MetricSpec::new("mape", MetricScope::Production, 0.40),
+    )
+    .unwrap();
 
     // (c) no metadata, no metrics
     let bare = g
@@ -104,7 +124,10 @@ fn health_scores_rank_fleet() {
     let score = |id| g.health_report(id).unwrap().score();
     let (sg, ss, sb) = (score(&good.id), score(&skewed.id), score(&bare.id));
     assert!(sg > ss, "consistent ({sg}) must beat skewed ({ss})");
-    assert!(ss > sb, "skewed-but-documented ({ss}) must beat bare ({sb})");
+    assert!(
+        ss > sb,
+        "skewed-but-documented ({ss}) must beat bare ({sb})"
+    );
     assert!(g.health_report(&good.id).unwrap().is_complete());
     assert!(!g.health_report(&bare.id).unwrap().is_complete());
 }

@@ -81,7 +81,7 @@ fn fleet_search_selectivity() {
         ])
         .unwrap();
     assert_eq!(good.len(), 3 * classes.len() * 4); // city_index % 10 in {0,1,2} -> 12 cities...
-    // NOTE: 40 cities, city_index % 10 < 3 -> 12 cities; 12 * 3 classes = 36
+                                                   // NOTE: 40 cities, city_index % 10 < 3 -> 12 cities; 12 * 3 classes = 36
     assert_eq!(good.len(), 36);
 }
 
@@ -147,9 +147,7 @@ fn deprecation_sweep_hides_losers() {
     // but deprecated ones are still directly fetchable for migration
     let any_deprecated = all
         .iter()
-        .find(|i| {
-            g.get_instance(&i.id).map(|x| x.deprecated).unwrap_or(false)
-        })
+        .find(|i| g.get_instance(&i.id).map(|x| x.deprecated).unwrap_or(false))
         .expect("at least one deprecated");
     assert!(g.fetch_instance_blob(&any_deprecated.id).is_ok());
 }

@@ -104,11 +104,7 @@ impl CityConfig {
         let mut values = Vec::with_capacity(n);
         let mut flags = vec![false; n];
         for event in &self.events {
-            for flag in flags
-                .iter_mut()
-                .take(event.end.min(n))
-                .skip(event.start)
-            {
+            for flag in flags.iter_mut().take(event.end.min(n)).skip(event.start) {
                 *flag = true;
             }
         }
@@ -128,8 +124,7 @@ impl CityConfig {
             demand *= 1.0 + noise.sample(&mut rng);
             values.push(demand.max(0.0));
         }
-        TimeSeries::new(start_ms, self.interval_minutes as i64 * 60_000, values)
-            .with_events(flags)
+        TimeSeries::new(start_ms, self.interval_minutes as i64 * 60_000, values).with_events(flags)
     }
 }
 

@@ -101,7 +101,11 @@ pub fn evaluate(predictions: &[f64], actuals: &[f64]) -> EvalReport {
         0.0
     };
     EvalReport {
-        mape: if ape_n == 0 { 0.0 } else { ape_sum / ape_n as f64 },
+        mape: if ape_n == 0 {
+            0.0
+        } else {
+            ape_sum / ape_n as f64
+        },
         mae: abs_sum / nf,
         rmse: (sq_sum / nf).sqrt(),
         bias: bias_sum / nf,

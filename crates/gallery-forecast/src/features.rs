@@ -71,7 +71,11 @@ impl FeatureSpec {
         let mut row = Vec::with_capacity(self.width());
         row.push(1.0); // bias
         for &lag in &self.lags {
-            let v = if t >= lag { history[t - lag] } else { history[0] };
+            let v = if t >= lag {
+                history[t - lag]
+            } else {
+                history[0]
+            };
             row.push(v);
         }
         if self.samples_per_day > 0 {
@@ -180,7 +184,7 @@ mod tests {
         let s = series(300);
         let a = spec.row(&s.values, 100, false);
         let b = spec.row(&s.values, 196, false); // one day later
-        // Fourier terms identical one period apart (indices 2 and 3).
+                                                 // Fourier terms identical one period apart (indices 2 and 3).
         assert!((a[2] - b[2]).abs() < 1e-12);
         assert!((a[3] - b[3]).abs() < 1e-12);
     }

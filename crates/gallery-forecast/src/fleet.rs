@@ -78,7 +78,9 @@ impl<'g> FleetTrainer<'g> {
             ModelSpec::new(self.project.clone(), base)
                 .name(model_class)
                 .owner("marketplace-forecasting")
-                .description(format!("per-city demand forecaster ({model_class}) for {city}"))
+                .description(format!(
+                    "per-city demand forecaster ({model_class}) for {city}"
+                ))
                 .metadata(
                     Metadata::new()
                         .with(fields::CITY, city)
@@ -106,9 +108,15 @@ impl<'g> FleetTrainer<'g> {
             .with(fields::MODEL_TYPE, "gallery-forecast")
             .with(fields::MODEL_DOMAIN, self.model_domain.clone())
             .with(fields::TRAINING_FRAMEWORK, "gallery-forecast/0.1")
-            .with(fields::TRAINING_DATA, format!("citygen://{}/{}", city.name, city.seed))
+            .with(
+                fields::TRAINING_DATA,
+                format!("citygen://{}/{}", city.name, city.seed),
+            )
             .with(fields::TRAINING_DATA_VERSION, format!("n={}", train.len()))
-            .with(fields::TRAINING_CODE, "crates/gallery-forecast/src/fleet.rs")
+            .with(
+                fields::TRAINING_CODE,
+                "crates/gallery-forecast/src/fleet.rs",
+            )
             .with(fields::FEATURES, "lags,daily_fourier,weekly_fourier")
             .with(fields::HYPERPARAMETERS, format!("{:?}", forecaster.name()))
             .with(fields::RANDOM_SEED, city.seed as i64);
@@ -179,6 +187,10 @@ mod tests {
         assert_eq!(p, fresh.forecast_next(&series.values, series.len(), false));
         // reproducibility metadata is complete
         let health = gallery.health_report(&entry.instance_id).unwrap();
-        assert!(health.missing_fields.is_empty(), "{:?}", health.missing_fields);
+        assert!(
+            health.missing_fields.is_empty(),
+            "{:?}",
+            health.missing_fields
+        );
     }
 }

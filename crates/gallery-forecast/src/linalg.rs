@@ -153,9 +153,7 @@ mod tests {
 
     #[test]
     fn ridge_shrinks_weights() {
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![1.0, i as f64 / 10.0])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64 / 10.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|r| 5.0 * r[1]).collect();
         let w_small = ridge_fit(&xs, &ys, 1e-9).unwrap();
         let w_big = ridge_fit(&xs, &ys, 1e4).unwrap();

@@ -36,7 +36,10 @@ impl RidgeForecaster {
     /// Event-aware variant — §4.2's "models that include holiday/event
     /// features".
     pub fn event_aware(samples_per_day: usize, lambda: f64) -> Self {
-        Self::new(FeatureSpec::standard(samples_per_day).with_event_flag(), lambda)
+        Self::new(
+            FeatureSpec::standard(samples_per_day).with_event_flag(),
+            lambda,
+        )
     }
 
     pub fn is_fitted(&self) -> bool {

@@ -72,8 +72,7 @@ impl AnyForecaster {
 
     /// Deserialize from an opaque blob (what serving fetches).
     pub fn from_blob(blob: &[u8]) -> Result<Self, ModelError> {
-        serde_json::from_slice(blob)
-            .map_err(|e| ModelError::new(format!("bad model blob: {e}")))
+        serde_json::from_slice(blob).map_err(|e| ModelError::new(format!("bad model blob: {e}")))
     }
 
     fn inner(&self) -> &dyn Forecaster {

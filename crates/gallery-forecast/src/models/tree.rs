@@ -34,7 +34,11 @@ pub struct RegressionTree {
 
 impl RegressionTree {
     pub fn new(samples_per_day: usize, max_depth: usize, min_samples: usize) -> Self {
-        Self::with_spec(FeatureSpec::standard(samples_per_day), max_depth, min_samples)
+        Self::with_spec(
+            FeatureSpec::standard(samples_per_day),
+            max_depth,
+            min_samples,
+        )
     }
 
     pub fn with_spec(spec: FeatureSpec, max_depth: usize, min_samples: usize) -> Self {

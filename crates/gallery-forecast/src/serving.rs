@@ -42,7 +42,8 @@ impl RollingError {
             if self.errors.len() == self.window {
                 self.errors.pop_front();
             }
-            self.errors.push_back(((prediction - actual) / actual).abs());
+            self.errors
+                .push_back(((prediction - actual) / actual).abs());
         }
     }
 

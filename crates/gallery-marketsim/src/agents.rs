@@ -20,7 +20,9 @@ pub struct TripRequest {
 pub enum DriverStatus {
     Idle,
     /// En route to a pickup or carrying a rider; busy until the stored time.
-    Busy { until: SimTime },
+    Busy {
+        until: SimTime,
+    },
 }
 
 /// A driver-partner.

@@ -73,9 +73,7 @@ impl ModelSource {
         let mut models = Vec::with_capacity(instance_ids.len());
         let mut fetched_bytes = 0u64;
         for id in instance_ids {
-            let blob = gallery
-                .fetch_instance_blob(id)
-                .map_err(|e| e.to_string())?;
+            let blob = gallery.fetch_instance_blob(id).map_err(|e| e.to_string())?;
             fetched_bytes += blob.len() as u64;
             models.push(AnyForecaster::from_blob(&blob).map_err(|e| e.to_string())?);
         }
@@ -125,8 +123,7 @@ impl ModelSource {
                 let series = TimeSeries::new(0, *interval_ms, buffer.clone())
                     .with_events(buffer_flags.clone());
                 for model in models.iter_mut() {
-                    let due = *intervals_seen % model.retrain_every == 0
-                        || model.fitted.is_none();
+                    let due = *intervals_seen % model.retrain_every == 0 || model.fitted.is_none();
                     if !due {
                         continue;
                     }
@@ -165,7 +162,10 @@ impl ModelSource {
                 .map(|m| m.forecast_next(buffer, buffer.len(), event_now))
                 .unwrap_or_else(|| {
                     // untrained warmup: last observed value
-                    buffer.last().copied().unwrap_or(history.last().copied().unwrap_or(0.0))
+                    buffer
+                        .last()
+                        .copied()
+                        .unwrap_or(history.last().copied().unwrap_or(0.0))
                 }),
         }
     }
@@ -228,7 +228,11 @@ mod tests {
             source.observe_interval(50.0 + i as f64, false, &mut tracker);
         }
         assert!(tracker.current_bytes() >= 100 * BYTES_PER_SAMPLE);
-        assert!(tracker.trainings() >= 9, "trainings {}", tracker.trainings());
+        assert!(
+            tracker.trainings() >= 9,
+            "trainings {}",
+            tracker.trainings()
+        );
         assert!(tracker.training_samples() > 0);
         // transient training memory shows in the peak, not the steady state
         assert!(tracker.peak_bytes() > tracker.current_bytes());
@@ -255,8 +259,7 @@ mod tests {
             )
             .unwrap();
         let mut tracker = ResourceTracker::new();
-        let mut source =
-            ModelSource::from_gallery(&gallery, &[inst.id], &mut tracker).unwrap();
+        let mut source = ModelSource::from_gallery(&gallery, &[inst.id], &mut tracker).unwrap();
         let blob_bytes = tracker.current_bytes();
         assert!(blob_bytes > 0);
         // Observing many intervals adds no memory and no training.
@@ -289,11 +292,7 @@ mod tests {
     fn missing_instance_reported() {
         let gallery = Gallery::in_memory();
         let mut tracker = ResourceTracker::new();
-        let err = ModelSource::from_gallery(
-            &gallery,
-            &[InstanceId::from("ghost")],
-            &mut tracker,
-        );
+        let err = ModelSource::from_gallery(&gallery, &[InstanceId::from("ghost")], &mut tracker);
         assert!(err.is_err());
     }
 }

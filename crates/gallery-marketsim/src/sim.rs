@@ -177,13 +177,13 @@ pub fn run(config: &SimConfig, mut source: ModelSource) -> SimReport {
                 let event_now = demand.event_flags[index];
                 let forecast_counts = source.forecast(&observed, index, event_now);
                 pending_forecast = Some(forecast_counts);
-                current_surge = config
-                    .surge
-                    .surge(forecast_counts, idle_count(&drivers));
+                current_surge = config.surge.surge(forecast_counts, idle_count(&drivers));
                 // Schedule this interval's arrivals (Poisson).
                 let mean = (demand.values[index] * config.demand_scale).max(0.0);
                 let count = if mean > 0.0 {
-                    Poisson::new(mean).map(|p| p.sample(&mut rng) as u64).unwrap_or(0)
+                    Poisson::new(mean)
+                        .map(|p| p.sample(&mut rng) as u64)
+                        .unwrap_or(0)
                 } else {
                     0
                 };
@@ -192,10 +192,7 @@ pub fn run(config: &SimConfig, mut source: ModelSource) -> SimReport {
                     let origin = grid.sample_point(&mut rng);
                     let mut destination = grid.sample_point(&mut rng);
                     if destination == origin {
-                        destination = Point::new(
-                            (origin.x + 1).min(grid.size - 1),
-                            origin.y,
-                        );
+                        destination = Point::new((origin.x + 1).min(grid.size - 1), origin.y);
                     }
                     queue.schedule(
                         event.time + offset,

@@ -1,7 +1,7 @@
 //! Property tests for the marketplace simulator.
 
-use gallery_marketsim::{run, EventQueue, InlineModel, ModelSource, SimConfig};
 use gallery_forecast::models::{AnyForecaster, MeanOfLastK};
+use gallery_marketsim::{run, EventQueue, InlineModel, ModelSource, SimConfig};
 use proptest::prelude::*;
 
 fn inline_source(interval_ms: i64) -> ModelSource {

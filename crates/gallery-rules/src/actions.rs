@@ -105,7 +105,9 @@ pub struct ActionLog {
 
 impl ActionLog {
     pub fn record(&self, kind: &str, invocation: &ActionInvocation) {
-        self.entries.lock().push((kind.to_owned(), invocation.clone()));
+        self.entries
+            .lock()
+            .push((kind.to_owned(), invocation.clone()));
     }
 
     pub fn entries(&self) -> Vec<(String, ActionInvocation)> {
@@ -175,9 +177,7 @@ mod tests {
     #[test]
     fn action_error_propagates() {
         let registry = ActionRegistry::new();
-        registry.register("fails", |_| {
-            Err(EngineError::ActionFailed("boom".into()))
-        });
+        registry.register("fails", |_| Err(EngineError::ActionFailed("boom".into())));
         assert!(matches!(
             registry.invoke(&invocation("fails")),
             Err(EngineError::ActionFailed(_))

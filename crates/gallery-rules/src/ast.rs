@@ -181,7 +181,10 @@ mod tests {
             )),
             Box::new(Expr::Ident("modelName".into())),
         );
-        assert_eq!(e.referenced_roots(), vec!["metrics".to_string(), "modelName".to_string()]);
+        assert_eq!(
+            e.referenced_roots(),
+            vec!["metrics".to_string(), "modelName".to_string()]
+        );
     }
 
     #[test]
@@ -197,6 +200,9 @@ mod tests {
                 Box::new(Expr::Str("r2".into())),
             )),
         );
-        assert_eq!(e.referenced_metrics(), vec!["bias".to_string(), "r2".to_string()]);
+        assert_eq!(
+            e.referenced_metrics(),
+            vec!["bias".to_string(), "r2".to_string()]
+        );
     }
 }

@@ -129,9 +129,7 @@ mod tests {
     fn context_exposes_paper_variables() {
         let g = Gallery::in_memory();
         let model = g
-            .create_model(
-                ModelSpec::new("example-project", "demand").name("linear_regression"),
-            )
+            .create_model(ModelSpec::new("example-project", "demand").name("linear_regression"))
             .unwrap();
         let inst = g
             .upload_instance(
@@ -144,14 +142,21 @@ mod tests {
                 Bytes::from_static(b"w"),
             )
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("r2", MetricScope::Validation, 0.85))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.02))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("r2", MetricScope::Validation, 0.85),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.02),
+        )
+        .unwrap();
         let ctx = instance_context(&g, &inst).unwrap();
 
         // Listing 1 GIVEN evaluates true.
-        let given = parse(r#"modelName == "linear_regression" && model_domain == "UberX""#).unwrap();
+        let given =
+            parse(r#"modelName == "linear_regression" && model_domain == "UberX""#).unwrap();
         assert_eq!(eval(&given, &ctx).unwrap(), EvalValue::Bool(true));
         // Listing 1 WHEN (r2 <= 0.9) is true for this instance.
         let when = parse(r#"metrics["r2"] <= 0.9"#).unwrap();
@@ -171,10 +176,16 @@ mod tests {
         let inst = g
             .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Production, 0.5))
-            .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Production, 0.2))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mae", MetricScope::Production, 0.5),
+        )
+        .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mae", MetricScope::Production, 0.2),
+        )
+        .unwrap();
         let ctx = instance_context(&g, &inst).unwrap();
         let e = parse("metrics.mae == 0.2").unwrap();
         assert_eq!(eval(&e, &ctx).unwrap(), EvalValue::Bool(true));
@@ -213,8 +224,7 @@ mod scoped_tests {
         let inst = g
             .upload_instance(
                 &model.id,
-                InstanceSpec::new()
-                    .metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
+                InstanceSpec::new().metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
                 Bytes::from_static(b"w"),
             )
             .unwrap();
@@ -231,8 +241,7 @@ mod scoped_tests {
             .unwrap();
         }
         let full = instance_context(&g, &inst).unwrap();
-        let scoped =
-            instance_context_scoped(&g, &inst, &["bias".to_string()]).unwrap();
+        let scoped = instance_context_scoped(&g, &inst, &["bias".to_string()]).unwrap();
         for src in ["metrics.bias", "model_domain", "created_time"] {
             let e = parse(src).unwrap();
             assert_eq!(
@@ -243,6 +252,9 @@ mod scoped_tests {
         }
         // unwatched metric is simply absent (lenient null) in scoped ctx
         let e = parse("metrics.mae == null").unwrap();
-        assert_eq!(eval(&e, &scoped).unwrap(), crate::eval::EvalValue::Bool(true));
+        assert_eq!(
+            eval(&e, &scoped).unwrap(),
+            crate::eval::EvalValue::Bool(true)
+        );
     }
 }

@@ -223,9 +223,7 @@ impl RuleEngine {
             reply: reply_tx,
             enqueued_at: Instant::now(),
         });
-        reply_rx
-            .recv()
-            .map_err(|_| EngineError::ShuttingDown)?
+        reply_rx.recv().map_err(|_| EngineError::ShuttingDown)?
     }
 
     /// Directly trigger evaluation of an action rule against an instance
@@ -365,7 +363,12 @@ fn run_action(
     let fetch_names: Vec<String> = rule
         .watched_metrics
         .iter()
-        .filter(|m| trigger_metric.as_ref().map(|(n, _)| n != *m).unwrap_or(true))
+        .filter(|m| {
+            trigger_metric
+                .as_ref()
+                .map(|(n, _)| n != *m)
+                .unwrap_or(true)
+        })
         .cloned()
         .collect();
     let mut ctx = instance_context_scoped(&shared.gallery, &instance, &fetch_names)?;
@@ -435,14 +438,20 @@ mod tests {
         let inst = rf_instance(&gallery, "UberX");
         // In-corridor bias -> rule fires.
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.05))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Validation, 0.05),
+            )
             .unwrap();
         engine.drain();
         assert_eq!(deployed.lock().len(), 1);
         assert_eq!(deployed.lock()[0].action, "forecasting_deployment");
         // Out-of-corridor bias -> no new fire.
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.5))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Validation, 0.5),
+            )
             .unwrap();
         engine.drain();
         assert_eq!(deployed.lock().len(), 1);
@@ -461,7 +470,10 @@ mod tests {
         engine.attach();
         let inst = rf_instance(&gallery, "UberX");
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("mae", MetricScope::Validation, 0.05))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("mae", MetricScope::Validation, 0.05),
+            )
             .unwrap();
         engine.drain();
         assert_eq!(engine.stats().fired, 0);
@@ -478,10 +490,16 @@ mod tests {
         engine.attach();
         let pool_inst = rf_instance(&gallery, "UberPool");
         gallery
-            .insert_metric(&pool_inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.0))
+            .insert_metric(
+                &pool_inst.id,
+                MetricSpec::new("bias", MetricScope::Validation, 0.0),
+            )
             .unwrap();
         engine.drain();
-        assert!(log.is_empty(), "UberPool instance must not fire an UberX rule");
+        assert!(
+            log.is_empty(),
+            "UberPool instance must not fire an UberX rule"
+        );
     }
 
     #[test]
@@ -528,7 +546,10 @@ mod tests {
         // No attach: only direct triggering.
         let inst = rf_instance(&gallery, "UberX");
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.01))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Validation, 0.01),
+            )
             .unwrap();
         engine.trigger(&doc.uuid, &inst.id).unwrap();
         engine.drain();
@@ -559,7 +580,10 @@ mod tests {
         engine.attach();
         let inst = rf_instance(&gallery, "UberX");
         gallery
-            .insert_metric(&inst.id, MetricSpec::new("bias", MetricScope::Validation, 0.0))
+            .insert_metric(
+                &inst.id,
+                MetricSpec::new("bias", MetricScope::Validation, 0.0),
+            )
             .unwrap();
         engine.drain();
         assert_eq!(engine.stats().errors, 1);
@@ -601,8 +625,7 @@ mod metadata_trigger_tests {
         gallery
             .upload_instance(
                 &model.id,
-                InstanceSpec::new()
-                    .metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
+                InstanceSpec::new().metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
                 Bytes::from_static(b"w"),
             )
             .unwrap();
@@ -628,8 +651,7 @@ mod metadata_trigger_tests {
         gallery
             .upload_instance(
                 &model.id,
-                InstanceSpec::new()
-                    .metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
+                InstanceSpec::new().metadata(Metadata::new().with(fields::MODEL_DOMAIN, "UberX")),
                 Bytes::from_static(b"w3"),
             )
             .unwrap();

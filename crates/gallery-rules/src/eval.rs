@@ -392,7 +392,10 @@ mod tests {
             run(r#"contains(modelName, "regression")"#),
             EvalValue::Bool(true)
         );
-        assert_eq!(run(r#"starts_with(modelName, "linear")"#), EvalValue::Bool(true));
+        assert_eq!(
+            run(r#"starts_with(modelName, "linear")"#),
+            EvalValue::Bool(true)
+        );
         assert_eq!(run(r#"len(model_domain)"#), EvalValue::Num(5.0));
         assert_eq!(
             run(r#"modelName + "_v2""#),

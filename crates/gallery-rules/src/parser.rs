@@ -274,10 +274,7 @@ mod tests {
         assert_eq!(
             e,
             Expr::Member(
-                Box::new(Expr::Member(
-                    Box::new(Expr::Ident("a".into())),
-                    "b".into()
-                )),
+                Box::new(Expr::Member(Box::new(Expr::Ident("a".into())), "b".into())),
                 "c".into()
             )
         );

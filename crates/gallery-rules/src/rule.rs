@@ -36,10 +36,18 @@ pub struct RuleBody {
     pub environment: String,
     /// Pairwise comparator selecting the better of two candidates
     /// (selection rules), e.g. `a.created_time > b.created_time`.
-    #[serde(rename = "MODEL_SELECTION", default, skip_serializing_if = "Option::is_none")]
+    #[serde(
+        rename = "MODEL_SELECTION",
+        default,
+        skip_serializing_if = "Option::is_none"
+    )]
     pub model_selection: Option<String>,
     /// Names of registered callback actions (action rules).
-    #[serde(rename = "CALLBACK_ACTIONS", default, skip_serializing_if = "Vec::is_empty")]
+    #[serde(
+        rename = "CALLBACK_ACTIONS",
+        default,
+        skip_serializing_if = "Vec::is_empty"
+    )]
     pub callback_actions: Vec<String>,
 }
 
@@ -101,7 +109,10 @@ impl CompiledRule {
         }
         let given = parse(&doc.rule.given)?;
         let when = parse(&doc.rule.when)?;
-        let kind = match (&doc.rule.model_selection, doc.rule.callback_actions.as_slice()) {
+        let kind = match (
+            &doc.rule.model_selection,
+            doc.rule.callback_actions.as_slice(),
+        ) {
             (Some(_), actions) if !actions.is_empty() => {
                 return Err(RuleError {
                     message: "rule cannot be both selection and action".into(),

@@ -43,9 +43,7 @@ pub fn select_champion(
 ) -> Result<Option<ModelInstance>, EngineError> {
     let comparator = match &rule.kind {
         RuleKind::Selection { comparator } => comparator,
-        RuleKind::Action { .. } => {
-            return Err(EngineError::NotASelectionRule(rule.id.clone()))
-        }
+        RuleKind::Action { .. } => return Err(EngineError::NotASelectionRule(rule.id.clone())),
     };
     let survivors = filter_candidates(gallery, rule, candidates)?;
     let mut survivors = survivors.into_iter();
@@ -93,9 +91,9 @@ mod tests {
     fn setup() -> (Gallery, Vec<gallery_core::InstanceId>) {
         // Manual clock: instance creation times are strictly increasing, so
         // the "latest trained" comparator is deterministic.
-        let g = Gallery::in_memory_with_clock(std::sync::Arc::new(
-            gallery_core::ManualClock::new(1_000),
-        ));
+        let g = Gallery::in_memory_with_clock(std::sync::Arc::new(gallery_core::ManualClock::new(
+            1_000,
+        )));
         let model = g
             .create_model(ModelSpec::new("p", "demand").name("linear_regression"))
             .unwrap();

@@ -276,9 +276,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -324,8 +322,7 @@ mod tests {
 
     #[test]
     fn lex_listing1_given() {
-        let tokens = lex(r#"modelName == "linear_regression" && model_domain == "UberX""#)
-            .unwrap();
+        let tokens = lex(r#"modelName == "linear_regression" && model_domain == "UberX""#).unwrap();
         assert_eq!(
             tokens,
             vec![

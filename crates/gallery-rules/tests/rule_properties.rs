@@ -18,18 +18,26 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), "v[a-z0-9_]{0,6}")
-                .prop_map(|(e, f)| Expr::Member(Box::new(e), f)),
-            (inner.clone(), "[a-z][a-z0-9_]{0,6}").prop_map(|(e, k)| Expr::Index(
-                Box::new(e),
-                Box::new(Expr::Str(k))
-            )),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (inner.clone(), "v[a-z0-9_]{0,6}").prop_map(|(e, f)| Expr::Member(Box::new(e), f)),
+            (inner.clone(), "[a-z][a-z0-9_]{0,6}")
+                .prop_map(|(e, k)| Expr::Index(Box::new(e), Box::new(Expr::Str(k)))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             (
                 prop_oneof![
-                    Just(BinOp::Or), Just(BinOp::And), Just(BinOp::Eq), Just(BinOp::Ne),
-                    Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                    Just(BinOp::Or),
+                    Just(BinOp::And),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
                 ],
                 inner.clone(),
                 inner,
@@ -63,14 +71,10 @@ fn print(expr: &Expr) -> String {
 fn normalize(expr: &Expr) -> Expr {
     match expr {
         Expr::Member(base, f) => Expr::Member(Box::new(normalize(base)), f.clone()),
-        Expr::Index(base, k) => {
-            Expr::Index(Box::new(normalize(base)), Box::new(normalize(k)))
-        }
+        Expr::Index(base, k) => Expr::Index(Box::new(normalize(base)), Box::new(normalize(k))),
         Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(normalize).collect()),
         Expr::Unary(op, e) => Expr::Unary(*op, Box::new(normalize(e))),
-        Expr::Binary(op, l, r) => {
-            Expr::Binary(*op, Box::new(normalize(l)), Box::new(normalize(r)))
-        }
+        Expr::Binary(op, l, r) => Expr::Binary(*op, Box::new(normalize(l)), Box::new(normalize(r))),
         other => other.clone(),
     }
 }

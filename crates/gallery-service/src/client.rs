@@ -9,21 +9,39 @@
 use crate::messages::{
     ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
 };
-use crate::transport::Transport;
+use crate::resilience::Resilience;
+use crate::transport::{Transport, TransportErrorKind};
 use crate::wire::WireError;
 use bytes::Bytes;
 use std::fmt;
 use std::sync::Arc;
 
-/// Client-side error.
+/// Client-side error, classified for retry decisions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientError {
-    /// The server returned an error response.
+    /// The server returned an error response: a *verdict*, never retried.
     Remote { code: ErrorCode, message: String },
-    /// Transport failure.
-    Transport(String),
-    /// The response could not be decoded or had an unexpected shape.
+    /// Transport failure: the server never returned a verdict, so a retry
+    /// may succeed. The kind records what went wrong on the way.
+    Transport {
+        kind: TransportErrorKind,
+        message: String,
+    },
+    /// The response could not be decoded or had an unexpected shape. A
+    /// bug or version skew, not a transient condition: never retried.
     Protocol(String),
+    /// The circuit breaker for this endpoint is open; the call failed
+    /// fast without touching the wire.
+    CircuitOpen { endpoint: String },
+}
+
+impl ClientError {
+    /// Whether the resilient call loop may retry this failure. Exactly the
+    /// transport class: everything else is either a server verdict, a
+    /// protocol bug, or the breaker telling us to stop trying.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Transport { .. })
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -32,8 +50,13 @@ impl fmt::Display for ClientError {
             ClientError::Remote { code, message } => {
                 write!(f, "remote error ({code:?}): {message}")
             }
-            ClientError::Transport(m) => write!(f, "transport: {m}"),
+            ClientError::Transport { kind, message } => {
+                write!(f, "transport ({kind:?}): {message}")
+            }
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::CircuitOpen { endpoint } => {
+                write!(f, "circuit breaker open for {endpoint}")
+            }
         }
     }
 }
@@ -46,28 +69,116 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// Typed client over any transport.
+/// Typed client over any transport, optionally wrapped in a
+/// [`Resilience`] bundle (retries, deadlines, circuit breaking,
+/// idempotency keys).
 #[derive(Clone)]
 pub struct GalleryClient {
     transport: Arc<dyn Transport>,
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl GalleryClient {
     pub fn new(transport: Arc<dyn Transport>) -> Self {
-        GalleryClient { transport }
+        GalleryClient {
+            transport,
+            resilience: None,
+        }
+    }
+
+    /// Enable the resilient call path. Mutating requests are automatically
+    /// sent in the idempotency-key envelope so the retry loop is
+    /// exactly-once end to end.
+    pub fn with_resilience(mut self, resilience: Arc<Resilience>) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    pub fn resilience(&self) -> Option<&Arc<Resilience>> {
+        self.resilience.as_ref()
     }
 
     fn call(&self, request: Request) -> Result<Response, ClientError> {
-        let frame = request.encode();
+        match &self.resilience {
+            None => self.call_once(request.encode()),
+            Some(r) => self.call_resilient(r, request),
+        }
+    }
+
+    /// One attempt: encode → transport → decode → unwrap server errors.
+    fn call_once(&self, frame: Bytes) -> Result<Response, ClientError> {
         let reply = self
             .transport
             .call(frame)
-            .map_err(|e| ClientError::Transport(e.to_string()))?;
+            .map_err(|e| ClientError::Transport {
+                kind: e.kind,
+                message: e.message,
+            })?;
         let response = Response::decode(reply)?;
         if let Response::Err { code, message } = response {
             return Err(ClientError::Remote { code, message });
         }
         Ok(response)
+    }
+
+    /// The retry loop. Encodes once (mutating requests get a fresh
+    /// idempotency key that every retry re-sends verbatim), then:
+    /// breaker admit → attempt → classify → backoff within deadline.
+    fn call_resilient(
+        &self,
+        r: &Arc<Resilience>,
+        request: Request,
+    ) -> Result<Response, ClientError> {
+        let endpoint = request.method_name();
+        let frame = if request.is_mutating() {
+            request.encode_keyed(&r.next_key())
+        } else {
+            request.encode()
+        };
+        let policy = r.policy().clone();
+        let started = r.clock().now_ms();
+        r.stats_mut().calls += 1;
+        let mut retry: u32 = 0;
+        loop {
+            if let Some(breaker) = r.breaker() {
+                if !breaker.admit(endpoint) {
+                    r.stats_mut().breaker_rejections += 1;
+                    return Err(ClientError::CircuitOpen {
+                        endpoint: endpoint.to_owned(),
+                    });
+                }
+            }
+            r.stats_mut().attempts += 1;
+            let outcome = self.call_once(frame.clone());
+            // Remote and Protocol errors mean the transport did its job.
+            let transport_ok = !matches!(outcome, Err(ClientError::Transport { .. }));
+            if let Some(breaker) = r.breaker() {
+                breaker.record(endpoint, transport_ok);
+            }
+            let err = match outcome {
+                Ok(response) => return Ok(response),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => e,
+            };
+            if retry + 1 >= policy.max_attempts {
+                return Err(err);
+            }
+            let delay = r.next_delay_ms(retry);
+            if let Some(budget) = policy.deadline_ms {
+                let elapsed = (r.clock().now_ms() - started).max(0) as u64;
+                if elapsed + delay > budget {
+                    r.stats_mut().deadline_exhausted += 1;
+                    return Err(err);
+                }
+            }
+            {
+                let mut stats = r.stats_mut();
+                stats.retries += 1;
+                stats.backoff_ms_total += delay;
+            }
+            r.sleeper().sleep_ms(delay);
+            retry += 1;
+        }
     }
 
     fn unexpected(response: Response) -> ClientError {
@@ -234,11 +345,7 @@ impl GalleryClient {
         }
     }
 
-    pub fn remove_dependency(
-        &self,
-        model_id: &str,
-        upstream_id: &str,
-    ) -> Result<(), ClientError> {
+    pub fn remove_dependency(&self, model_id: &str, upstream_id: &str) -> Result<(), ClientError> {
         match self.call(Request::RemoveDependency {
             model_id: model_id.into(),
             upstream_id: upstream_id.into(),
@@ -382,8 +489,16 @@ mod tests {
         // Listing 5: query with the paper's constraints.
         let found = client
             .model_query(vec![
-                WireConstraint::new("projectName", WireOp::Eq, WireValue::Str("example-project".into())),
-                WireConstraint::new("modelName", WireOp::Eq, WireValue::Str("random_forest".into())),
+                WireConstraint::new(
+                    "projectName",
+                    WireOp::Eq,
+                    WireValue::Str("example-project".into()),
+                ),
+                WireConstraint::new(
+                    "modelName",
+                    WireOp::Eq,
+                    WireValue::Str("random_forest".into()),
+                ),
                 WireConstraint::new("metricName", WireOp::Eq, WireValue::Str("bias".into())),
                 WireConstraint::new("metricValue", WireOp::Lt, WireValue::Float(0.25)),
             ])
@@ -411,14 +526,15 @@ mod tests {
     #[test]
     fn lifecycle_via_client() {
         let (client, _cluster) = client();
-        let model = client
-            .create_model("p", "b", "m", "o", "", "{}")
-            .unwrap();
+        let model = client.create_model("p", "b", "m", "o", "", "{}").unwrap();
         let inst = client
             .upload_model(&model.id, "{}", Bytes::from_static(b"w"))
             .unwrap();
         assert_eq!(client.stage_of(&inst.id).unwrap(), "trained");
-        assert_eq!(client.set_stage(&inst.id, "evaluated").unwrap(), "evaluated");
+        assert_eq!(
+            client.set_stage(&inst.id, "evaluated").unwrap(),
+            "evaluated"
+        );
         assert_eq!(client.set_stage(&inst.id, "deployed").unwrap(), "deployed");
         // illegal transition surfaces as remote invalid
         let err = client.set_stage(&inst.id, "trained").unwrap_err();

@@ -9,9 +9,15 @@
 //! Transports ([`transport`]) carry framed messages; the in-process
 //! cluster runs several stateless replicas over one store, preserving the
 //! paper's horizontal-scalability property at thread scale.
+//!
+//! The [`resilience`] module hardens the client side: bounded retries
+//! with deterministic jittered backoff, per-call deadlines, per-endpoint
+//! circuit breakers, and idempotency-keyed mutations deduped by the
+//! server's [`server::IdempotencyCache`]. See `docs/resilience.md`.
 
 pub mod client;
 pub mod messages;
+pub mod resilience;
 pub mod server;
 pub mod transport;
 pub mod wire;
@@ -21,6 +27,12 @@ pub use messages::{
     ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireOp,
     WireValue,
 };
-pub use server::GalleryServer;
-pub use transport::{DirectTransport, InProcCluster, Transport, TransportError};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, Resilience, ResilienceStats, RetryPolicy,
+};
+pub use server::{GalleryServer, IdempotencyCache};
+pub use transport::{
+    DirectTransport, FlakyTransport, InProcCluster, LatentTransport, Transport, TransportError,
+    TransportErrorKind,
+};
 pub use wire::{Reader, WireError, Writer};

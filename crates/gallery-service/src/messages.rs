@@ -211,6 +211,11 @@ pub enum Request {
     },
 }
 
+/// Frame tag of the idempotency-key envelope. Tag 0 was never a valid
+/// request tag, so old decoders reject keyed frames cleanly and new
+/// decoders accept both framings.
+pub const KEYED_REQUEST_TAG: u8 = 0;
+
 impl Request {
     fn tag(&self) -> u8 {
         match self {
@@ -239,10 +244,79 @@ impl Request {
         }
     }
 
+    /// The wire method name, used as the circuit-breaker endpoint key and
+    /// in request logs.
+    pub fn method_name(&self) -> &'static str {
+        match self {
+            Request::CreateModel { .. } => "createGalleryModel",
+            Request::GetModel { .. } => "getModel",
+            Request::UploadModel { .. } => "uploadModel",
+            Request::GetInstance { .. } => "getInstance",
+            Request::FetchBlob { .. } => "fetchBlob",
+            Request::InsertMetric { .. } => "insertModelInstanceMetric",
+            Request::ModelQuery { .. } => "modelQuery",
+            Request::InstancesOfBaseVersion { .. } => "instancesOfBaseVersion",
+            Request::LatestInstance { .. } => "latestInstance",
+            Request::Deploy { .. } => "deploy",
+            Request::DeployedInstance { .. } => "deployedInstance",
+            Request::AddDependency { .. } => "addDependency",
+            Request::RemoveDependency { .. } => "removeDependency",
+            Request::UpstreamOf { .. } => "upstreamOf",
+            Request::DownstreamOf { .. } => "downstreamOf",
+            Request::DeprecateModel { .. } => "deprecateModel",
+            Request::DeprecateInstance { .. } => "deprecateInstance",
+            Request::SetStage { .. } => "setStage",
+            Request::StageOf { .. } => "stageOf",
+            Request::SelectChampion { .. } => "selectChampion",
+            Request::TriggerRule { .. } => "triggerRule",
+            Request::HealthReport { .. } => "healthReport",
+        }
+    }
+
+    /// Whether the request changes server state. Mutating requests are the
+    /// ones a client must attach an idempotency key to before retrying an
+    /// ambiguous failure (the request may have been applied even though the
+    /// response was lost). Rule requests count as mutating because the
+    /// engine may run promotion actions.
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::CreateModel { .. }
+                | Request::UploadModel { .. }
+                | Request::InsertMetric { .. }
+                | Request::Deploy { .. }
+                | Request::AddDependency { .. }
+                | Request::RemoveDependency { .. }
+                | Request::DeprecateModel { .. }
+                | Request::DeprecateInstance { .. }
+                | Request::SetStage { .. }
+                | Request::SelectChampion { .. }
+                | Request::TriggerRule { .. }
+        )
+    }
+
     /// Encode to a framed wire message.
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
         w.put_u8(self.tag());
+        self.encode_payload(&mut w);
+        w.frame()
+    }
+
+    /// Encode wrapped in the idempotency-key envelope: tag 0, then the
+    /// key, then the ordinary tagged payload. Servers that know the
+    /// envelope dedupe on the key; byte-identical re-sends are therefore
+    /// safe for mutating requests.
+    pub fn encode_keyed(&self, key: &str) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u8(KEYED_REQUEST_TAG);
+        w.put_str(key);
+        w.put_u8(self.tag());
+        self.encode_payload(&mut w);
+        w.frame()
+    }
+
+    fn encode_payload(&self, w: &mut Writer) {
         match self {
             Request::CreateModel {
                 project,
@@ -294,7 +368,7 @@ impl Request {
             Request::ModelQuery { constraints } => {
                 w.put_uvarint(constraints.len() as u64);
                 for c in constraints {
-                    c.encode(&mut w);
+                    c.encode(w);
                 }
             }
             Request::InstancesOfBaseVersion { base_version_id } => w.put_str(base_version_id),
@@ -338,13 +412,36 @@ impl Request {
                 w.put_str(instance_id);
             }
         }
-        w.frame()
     }
 
-    /// Decode from a framed wire message.
+    /// Decode from a framed wire message, accepting both plain and keyed
+    /// framings and discarding the key. Servers use [`Request::decode_any`]
+    /// to observe the key.
     pub fn decode(framed: Bytes) -> Result<Self, WireError> {
+        Self::decode_any(framed).map(|(_, req)| req)
+    }
+
+    /// Decode from a framed wire message, returning the idempotency key if
+    /// the frame used the keyed envelope.
+    pub fn decode_any(framed: Bytes) -> Result<(Option<String>, Self), WireError> {
         let mut r = Reader::unframe(framed)?;
-        let tag = r.get_u8()?;
+        let mut tag = r.get_u8()?;
+        let key = if tag == KEYED_REQUEST_TAG {
+            let key = r.get_str()?;
+            tag = r.get_u8()?;
+            if tag == KEYED_REQUEST_TAG {
+                return Err(WireError::new("nested keyed envelope"));
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let req = Self::decode_payload(&mut r, tag)?;
+        r.finish()?;
+        Ok((key, req))
+    }
+
+    fn decode_payload(r: &mut Reader, tag: u8) -> Result<Self, WireError> {
         let req = match tag {
             1 => Request::CreateModel {
                 project: r.get_str()?,
@@ -379,7 +476,7 @@ impl Request {
                 let n = r.get_uvarint()? as usize;
                 let mut constraints = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    constraints.push(WireConstraint::decode(&mut r)?);
+                    constraints.push(WireConstraint::decode(r)?);
                 }
                 Request::ModelQuery { constraints }
             }
@@ -437,7 +534,6 @@ impl Request {
             },
             other => return Err(WireError::new(format!("bad request tag {other}"))),
         };
-        r.finish()?;
         Ok(req)
     }
 }
@@ -768,14 +864,20 @@ mod tests {
             description: "desc".into(),
             metadata_json: "{}".into(),
         });
-        roundtrip_request(Request::GetModel { model_id: "m".into() });
+        roundtrip_request(Request::GetModel {
+            model_id: "m".into(),
+        });
         roundtrip_request(Request::UploadModel {
             model_id: "m".into(),
             metadata_json: r#"{"city":"New York City"}"#.into(),
             blob: Bytes::from_static(b"serialized model"),
         });
-        roundtrip_request(Request::GetInstance { instance_id: "i".into() });
-        roundtrip_request(Request::FetchBlob { instance_id: "i".into() });
+        roundtrip_request(Request::GetInstance {
+            instance_id: "i".into(),
+        });
+        roundtrip_request(Request::FetchBlob {
+            instance_id: "i".into(),
+        });
         roundtrip_request(Request::InsertMetric {
             instance_id: "i".into(),
             name: "bias".into(),
@@ -795,7 +897,9 @@ mod tests {
         roundtrip_request(Request::InstancesOfBaseVersion {
             base_version_id: "b".into(),
         });
-        roundtrip_request(Request::LatestInstance { model_id: "m".into() });
+        roundtrip_request(Request::LatestInstance {
+            model_id: "m".into(),
+        });
         roundtrip_request(Request::Deploy {
             model_id: "m".into(),
             instance_id: "i".into(),
@@ -813,21 +917,35 @@ mod tests {
             model_id: "m".into(),
             upstream_id: "u".into(),
         });
-        roundtrip_request(Request::UpstreamOf { model_id: "m".into() });
-        roundtrip_request(Request::DownstreamOf { model_id: "m".into() });
-        roundtrip_request(Request::DeprecateModel { model_id: "m".into() });
-        roundtrip_request(Request::DeprecateInstance { instance_id: "i".into() });
+        roundtrip_request(Request::UpstreamOf {
+            model_id: "m".into(),
+        });
+        roundtrip_request(Request::DownstreamOf {
+            model_id: "m".into(),
+        });
+        roundtrip_request(Request::DeprecateModel {
+            model_id: "m".into(),
+        });
+        roundtrip_request(Request::DeprecateInstance {
+            instance_id: "i".into(),
+        });
         roundtrip_request(Request::SetStage {
             instance_id: "i".into(),
             stage: "deployed".into(),
         });
-        roundtrip_request(Request::StageOf { instance_id: "i".into() });
-        roundtrip_request(Request::SelectChampion { rule_id: "r".into() });
+        roundtrip_request(Request::StageOf {
+            instance_id: "i".into(),
+        });
+        roundtrip_request(Request::SelectChampion {
+            rule_id: "r".into(),
+        });
         roundtrip_request(Request::TriggerRule {
             rule_id: "r".into(),
             instance_id: "i".into(),
         });
-        roundtrip_request(Request::HealthReport { instance_id: "i".into() });
+        roundtrip_request(Request::HealthReport {
+            instance_id: "i".into(),
+        });
     }
 
     #[test]
@@ -852,7 +970,10 @@ mod tests {
         roundtrip_response(Response::InstanceInfo(Box::new(sample_instance())));
         roundtrip_response(Response::MaybeInstance(None));
         roundtrip_response(Response::MaybeInstance(Some(Box::new(sample_instance()))));
-        roundtrip_response(Response::Instances(vec![sample_instance(), sample_instance()]));
+        roundtrip_response(Response::Instances(vec![
+            sample_instance(),
+            sample_instance(),
+        ]));
         roundtrip_response(Response::Blob(Bytes::from_static(b"weights")));
         roundtrip_response(Response::MaybeId(Some("i-1".into())));
         roundtrip_response(Response::MaybeId(None));
@@ -867,6 +988,66 @@ mod tests {
             skewed_metrics: vec!["mape".into()],
             score: 0.42,
         }));
+    }
+
+    #[test]
+    fn keyed_envelope_roundtrips_and_carries_key() {
+        let req = Request::CreateModel {
+            project: "p".into(),
+            base_version_id: "b".into(),
+            name: "n".into(),
+            owner: "o".into(),
+            description: "d".into(),
+            metadata_json: "{}".into(),
+        };
+        let framed = req.encode_keyed("client-7-op-42");
+        let (key, back) = Request::decode_any(framed.clone()).unwrap();
+        assert_eq!(key.as_deref(), Some("client-7-op-42"));
+        assert_eq!(back, req);
+        // Plain decode accepts keyed frames too, dropping the key.
+        assert_eq!(Request::decode(framed).unwrap(), req);
+        // Plain frames report no key.
+        let (key, back) = Request::decode_any(req.encode()).unwrap();
+        assert_eq!(key, None);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn nested_keyed_envelope_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(KEYED_REQUEST_TAG);
+        w.put_str("outer");
+        w.put_u8(KEYED_REQUEST_TAG);
+        w.put_str("inner");
+        assert!(Request::decode(w.frame()).is_err());
+    }
+
+    #[test]
+    fn method_names_and_mutability() {
+        let get = Request::GetModel {
+            model_id: "m".into(),
+        };
+        assert_eq!(get.method_name(), "getModel");
+        assert!(!get.is_mutating());
+        let up = Request::UploadModel {
+            model_id: "m".into(),
+            metadata_json: "{}".into(),
+            blob: Bytes::new(),
+        };
+        assert_eq!(up.method_name(), "uploadModel");
+        assert!(up.is_mutating());
+        assert!(Request::InsertMetric {
+            instance_id: "i".into(),
+            name: "mape".into(),
+            scope: "validation".into(),
+            value: 0.1,
+            metadata_json: "{}".into(),
+        }
+        .is_mutating());
+        assert!(!Request::ModelQuery {
+            constraints: vec![]
+        }
+        .is_mutating());
     }
 
     #[test]

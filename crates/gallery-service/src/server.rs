@@ -11,12 +11,88 @@ use crate::messages::{
 use bytes::Bytes;
 use gallery_core::metadata::Metadata;
 use gallery_core::{
-    Gallery, GalleryError, InstanceId, InstanceSpec, MetricScope, MetricSpec, Model,
-    ModelId, ModelInstance, ModelSpec, Stage,
+    Gallery, GalleryError, InstanceId, InstanceSpec, MetricScope, MetricSpec, Model, ModelId,
+    ModelInstance, ModelSpec, Stage,
 };
 use gallery_rules::RuleEngine;
 use gallery_store::{Constraint, Op, StoreError, Value};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Server-side idempotency-key dedupe (the other half of the client's
+/// keyed-request envelope). Maps key → the encoded response of the first
+/// execution; a replayed key returns the recorded response without
+/// re-dispatching, making client retries after lost responses safe.
+///
+/// Only *successful* responses are recorded: a server-side failure leaves
+/// the key unclaimed so the client's retry gets a fresh execution.
+///
+/// Cloning shares state — hand one cache to every replica of a cluster so
+/// a retry landing on a different replica still dedupes (the cache is the
+/// one piece of coordination the otherwise stateless tier needs, playing
+/// the role a shared Redis/MySQL table would in production).
+#[derive(Clone)]
+pub struct IdempotencyCache {
+    inner: Arc<Mutex<IdempotencyInner>>,
+}
+
+struct IdempotencyInner {
+    by_key: HashMap<String, Bytes>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl IdempotencyCache {
+    /// Bounded FIFO cache: beyond `capacity` keys the oldest are evicted.
+    /// Eviction re-opens the (remote) possibility of double execution for
+    /// very old retries; capacity should comfortably exceed the number of
+    /// in-flight mutations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdempotencyCache {
+            inner: Arc::new(Mutex::new(IdempotencyInner {
+                by_key: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        self.inner.lock().by_key.get(key).cloned()
+    }
+
+    fn put(&self, key: String, response: Bytes) {
+        let mut inner = self.inner.lock();
+        if inner.by_key.contains_key(&key) {
+            return;
+        }
+        while inner.by_key.len() >= inner.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.by_key.remove(&old);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.by_key.insert(key, response);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().by_key.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for IdempotencyCache {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
 
 /// Convert wire constraint triples into store constraints.
 fn to_store_constraint(c: &WireConstraint) -> Constraint {
@@ -102,6 +178,7 @@ fn error_response(e: GalleryError) -> Response {
 pub struct GalleryServer {
     gallery: Arc<Gallery>,
     engine: Option<Arc<RuleEngine>>,
+    idempotency: IdempotencyCache,
 }
 
 impl GalleryServer {
@@ -109,6 +186,7 @@ impl GalleryServer {
         GalleryServer {
             gallery,
             engine: None,
+            idempotency: IdempotencyCache::default(),
         }
     }
 
@@ -119,15 +197,38 @@ impl GalleryServer {
         self
     }
 
+    /// Share an idempotency cache (use one cache across all replicas of a
+    /// cluster so retries dedupe regardless of which replica they hit).
+    pub fn with_idempotency(mut self, cache: IdempotencyCache) -> Self {
+        self.idempotency = cache;
+        self
+    }
+
     pub fn gallery(&self) -> &Arc<Gallery> {
         &self.gallery
     }
 
+    pub fn idempotency(&self) -> &IdempotencyCache {
+        &self.idempotency
+    }
+
     /// Handle one framed request, producing a framed response. Malformed
     /// frames produce an `Err` response rather than tearing the connection.
+    /// Keyed requests replay the recorded response when the key was seen.
     pub fn handle_frame(&self, frame: Bytes) -> Bytes {
-        match Request::decode(frame) {
-            Ok(request) => self.dispatch(request).encode(),
+        match Request::decode_any(frame) {
+            Ok((Some(key), request)) => {
+                if let Some(recorded) = self.idempotency.get(&key) {
+                    return recorded;
+                }
+                let response = self.dispatch(request);
+                let encoded = response.encode();
+                if !matches!(response, Response::Err { .. }) {
+                    self.idempotency.put(key, encoded.clone());
+                }
+                encoded
+            }
+            Ok((None, request)) => self.dispatch(request).encode(),
             Err(e) => Response::Err {
                 code: ErrorCode::Invalid,
                 message: e.to_string(),
@@ -354,7 +455,12 @@ mod tests {
         let Response::ModelInfo(model) = Response::decode(resp).unwrap() else {
             panic!("expected ModelInfo");
         };
-        let resp = s.handle_frame(Request::GetModel { model_id: model.id.clone() }.encode());
+        let resp = s.handle_frame(
+            Request::GetModel {
+                model_id: model.id.clone(),
+            }
+            .encode(),
+        );
         let Response::ModelInfo(back) = Response::decode(resp).unwrap() else {
             panic!("expected ModelInfo");
         };

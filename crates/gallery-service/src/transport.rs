@@ -11,6 +11,9 @@
 use crate::server::GalleryServer;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gallery_core::clock::ManualClock;
+use gallery_store::fault::{sites, FaultPlan};
+use gallery_store::LatencyModel;
 use std::fmt;
 use std::sync::Arc;
 
@@ -20,10 +23,35 @@ pub trait Transport: Send + Sync {
     fn call(&self, frame: Bytes) -> Result<Bytes, TransportError>;
 }
 
+/// What went wrong at the transport layer. Every kind is *transient* —
+/// the defining property of a transport error is that the remote
+/// application never returned a verdict, so a retry may succeed. Errors
+/// the server did decide on travel as [`crate::messages::Response::Err`],
+/// not as transport errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// The connection (queue) to the cluster is gone.
+    ConnectionLost,
+    /// The request was accepted but dropped before a response was sent.
+    RequestDropped,
+    /// An injected fault fired at a chaos site.
+    Injected,
+}
+
 /// Transport failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransportError {
+    pub kind: TransportErrorKind,
     pub message: String,
+}
+
+impl TransportError {
+    pub fn new(kind: TransportErrorKind, message: impl Into<String>) -> Self {
+        TransportError {
+            kind,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -107,11 +135,14 @@ impl Transport for InProcTransport {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Envelope::Request(frame, reply_tx))
-            .map_err(|_| TransportError {
-                message: "cluster is down".into(),
+            .map_err(|_| {
+                TransportError::new(TransportErrorKind::ConnectionLost, "cluster is down")
             })?;
-        reply_rx.recv().map_err(|_| TransportError {
-            message: "server dropped the request".into(),
+        reply_rx.recv().map_err(|_| {
+            TransportError::new(
+                TransportErrorKind::RequestDropped,
+                "server dropped the request",
+            )
         })
     }
 }
@@ -134,11 +165,86 @@ impl Transport for DirectTransport {
     }
 }
 
+/// Chaos decorator: injects faults from a [`FaultPlan`] around any inner
+/// transport. Two sites with very different semantics:
+///
+/// - [`sites::RPC_SEND`] fires *before* the inner call — the request never
+///   reached the server. A retry is trivially safe.
+/// - [`sites::RPC_RECV`] fires *after* the inner call — the server
+///   processed the request but the response was lost. This is the
+///   ambiguous failure that makes blind retry of mutating requests unsafe
+///   and is exactly what idempotency keys exist for.
+pub struct FlakyTransport {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+}
+
+impl FlakyTransport {
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> Self {
+        FlakyTransport { inner, plan }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Transport for FlakyTransport {
+    fn call(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        if self.plan.should_fail(sites::RPC_SEND) {
+            return Err(TransportError::new(
+                TransportErrorKind::Injected,
+                format!("injected fault at {}", sites::RPC_SEND),
+            ));
+        }
+        let reply = self.inner.call(frame)?;
+        if self.plan.should_fail(sites::RPC_RECV) {
+            // The request WAS processed; only the response is lost.
+            return Err(TransportError::new(
+                TransportErrorKind::Injected,
+                format!("injected fault at {}", sites::RPC_RECV),
+            ));
+        }
+        Ok(reply)
+    }
+}
+
+/// Latency decorator: charges a [`LatencyModel`] cost for each request and
+/// response by advancing a shared [`ManualClock`] — simulated network time
+/// with zero wall-clock cost, so chaos experiments can measure
+/// latency-with-retries deterministically.
+pub struct LatentTransport {
+    inner: Arc<dyn Transport>,
+    clock: ManualClock,
+    model: LatencyModel,
+}
+
+impl LatentTransport {
+    pub fn new(inner: Arc<dyn Transport>, clock: ManualClock, model: LatencyModel) -> Self {
+        LatentTransport {
+            inner,
+            clock,
+            model,
+        }
+    }
+}
+
+impl Transport for LatentTransport {
+    fn call(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        self.clock
+            .advance(self.model.cost(frame.len()).as_millis() as i64);
+        let reply = self.inner.call(frame)?;
+        self.clock
+            .advance(self.model.cost(reply.len()).as_millis() as i64);
+        Ok(reply)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::messages::{Request, Response};
-    use gallery_core::Gallery;
+    use gallery_core::{Clock, Gallery};
 
     #[test]
     fn cluster_round_trip() {
@@ -212,11 +318,65 @@ mod tests {
     }
 
     #[test]
+    fn flaky_send_fault_blocks_request_recv_fault_loses_response() {
+        let gallery = Arc::new(Gallery::in_memory());
+        let server = Arc::new(GalleryServer::new(Arc::clone(&gallery)));
+        let plan = FaultPlan::none();
+        let flaky = FlakyTransport::new(Arc::new(DirectTransport::new(server)), plan.clone());
+        let create = Request::CreateModel {
+            project: "p".into(),
+            base_version_id: "b".into(),
+            name: "m".into(),
+            owner: "o".into(),
+            description: "".into(),
+            metadata_json: "{}".into(),
+        };
+        // rpc.send: server never sees the request.
+        let all = gallery_store::Query::all;
+        plan.fail_first_n(sites::RPC_SEND, 1);
+        let err = flaky.call(create.encode()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Injected);
+        assert!(gallery.find_models(&all()).unwrap().is_empty());
+        // rpc.recv: server processed it, response lost.
+        plan.fail_first_n(sites::RPC_RECV, 1);
+        let err = flaky.call(create.encode()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Injected);
+        assert_eq!(gallery.find_models(&all()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn latent_transport_advances_clock() {
+        let server = Arc::new(GalleryServer::new(Arc::new(Gallery::in_memory())));
+        let clock = ManualClock::new(0);
+        let model = LatencyModel {
+            per_request: std::time::Duration::from_millis(10),
+            per_byte_ns: 0.0,
+            real_sleep: false,
+        };
+        let t = LatentTransport::new(Arc::new(DirectTransport::new(server)), clock.clone(), model);
+        let _ = t
+            .call(
+                Request::GetModel {
+                    model_id: "ghost".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        // 10ms out + 10ms back.
+        assert!(clock.now_ms() >= 20);
+    }
+
+    #[test]
     fn direct_transport() {
         let server = Arc::new(GalleryServer::new(Arc::new(Gallery::in_memory())));
         let t = DirectTransport::new(server);
         let resp = t
-            .call(Request::GetModel { model_id: "ghost".into() }.encode())
+            .call(
+                Request::GetModel {
+                    model_id: "ghost".into(),
+                }
+                .encode(),
+            )
             .unwrap();
         assert!(matches!(
             Response::decode(resp).unwrap(),

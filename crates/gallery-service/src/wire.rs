@@ -7,7 +7,7 @@
 //! byte arrays, and `u8` tags for enums. Every message is framed as
 //! `[u32 little-endian payload length][payload]`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 use std::fmt;
 
 /// Decoding error.
@@ -225,7 +225,17 @@ mod tests {
 
     #[test]
     fn uvarint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = Writer::new();
             w.put_uvarint(v);
             let mut r = Reader::new(w.into_bytes());
@@ -236,7 +246,17 @@ mod tests {
 
     #[test]
     fn ivarint_roundtrip() {
-        for v in [0i64, 1, -1, 63, -64, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1_000_000,
+            -1_000_000,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let mut w = Writer::new();
             w.put_ivarint(v);
             let mut r = Reader::new(w.into_bytes());

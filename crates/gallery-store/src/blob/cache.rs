@@ -220,6 +220,29 @@ impl ObjectStore for CachedBlobStore {
         Ok(data)
     }
 
+    fn delete(&self, location: &BlobLocation) -> Result<()> {
+        // Invalidate the cache entry first so a failed backend delete never
+        // leaves us serving bytes the caller believes are gone.
+        {
+            let mut inner = self.inner.lock();
+            if let Some(idx) = inner.by_location.remove(location) {
+                inner.lru.unlink(idx);
+                inner.lru.free.push(idx);
+                let size = inner.lru.entries[idx].data.len();
+                inner.lru.entries[idx].data = Bytes::new();
+                inner.bytes -= size;
+            }
+        }
+        self.backend.delete(location)
+    }
+
+    fn get_cached_only(&self, location: &BlobLocation) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let &idx = inner.by_location.get(location)?;
+        inner.lru.move_to_front(idx);
+        Some(inner.lru.entries[idx].data.clone())
+    }
+
     fn contains(&self, location: &BlobLocation) -> bool {
         self.inner.lock().by_location.contains_key(location) || self.backend.contains(location)
     }
@@ -250,7 +273,10 @@ mod tests {
     fn read_through_and_hit() {
         let store = cached(1024);
         let info = store.backend.put(Bytes::from_static(b"blob")).unwrap();
-        assert_eq!(store.get(&info.location).unwrap(), Bytes::from_static(b"blob"));
+        assert_eq!(
+            store.get(&info.location).unwrap(),
+            Bytes::from_static(b"blob")
+        );
         assert_eq!(store.stats().misses, 1);
         let _ = store.get(&info.location).unwrap();
         assert_eq!(store.stats().hits, 1);
@@ -296,6 +322,35 @@ mod tests {
         assert_eq!(store.stats().bytes_cached, 0);
         // still retrievable from backend
         assert_eq!(store.get(&info.location).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn cached_only_peek_serves_without_backend() {
+        use crate::fault::{sites, FaultPlan};
+        let plan = FaultPlan::none();
+        let backend = Arc::new(MemoryBlobStore::new().with_faults(plan.clone()));
+        let store = CachedBlobStore::new(backend, 1024);
+        let info = store.put(Bytes::from_static(b"degraded")).unwrap();
+        // Take the backend down entirely: normal reads fail, peek survives.
+        plan.fail_always(sites::BLOB_GET);
+        assert_eq!(
+            store.get_cached_only(&info.location),
+            Some(Bytes::from_static(b"degraded"))
+        );
+        assert_eq!(
+            store.get_cached_only(&BlobLocation::new("mem://cold")),
+            None
+        );
+    }
+
+    #[test]
+    fn delete_invalidates_cache_entry() {
+        let store = cached(1024);
+        let info = store.put(Bytes::from_static(b"orphan")).unwrap();
+        store.delete(&info.location).unwrap();
+        assert_eq!(store.get_cached_only(&info.location), None);
+        assert!(!store.contains(&info.location));
+        assert_eq!(store.stats().bytes_cached, 0);
     }
 
     #[test]

@@ -126,6 +126,17 @@ impl ObjectStore for LocalFsBlobStore {
         Ok(Bytes::from(data))
     }
 
+    fn delete(&self, location: &BlobLocation) -> Result<()> {
+        let id = Self::id_of(location)?;
+        match fs::remove_file(self.path_for(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NoSuchBlob(location.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     fn contains(&self, location: &BlobLocation) -> bool {
         Self::id_of(location)
             .map(|id| self.path_for(id).exists())
@@ -178,10 +189,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gallery-blobfs-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gallery-blobfs-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -190,7 +199,10 @@ mod tests {
     fn put_get_roundtrip() {
         let store = LocalFsBlobStore::open(tmp("rt")).unwrap();
         let info = store.put(Bytes::from_static(b"weights")).unwrap();
-        assert_eq!(store.get(&info.location).unwrap(), Bytes::from_static(b"weights"));
+        assert_eq!(
+            store.get(&info.location).unwrap(),
+            Bytes::from_static(b"weights")
+        );
         assert!(store.contains(&info.location));
     }
 
@@ -199,7 +211,10 @@ mod tests {
         let root = tmp("reopen");
         let loc = {
             let store = LocalFsBlobStore::open(&root).unwrap();
-            store.put(Bytes::from_static(b"persisted")).unwrap().location
+            store
+                .put(Bytes::from_static(b"persisted"))
+                .unwrap()
+                .location
         };
         let store = LocalFsBlobStore::open(&root).unwrap();
         assert_eq!(store.get(&loc).unwrap(), Bytes::from_static(b"persisted"));
@@ -214,8 +229,8 @@ mod tests {
         let store = LocalFsBlobStore::open(&root).unwrap();
         let info = store.put(Bytes::from_static(b"fragile")).unwrap();
         // Flip a payload byte on disk.
-        let id = u64::from_str_radix(info.location.as_str().strip_prefix("fs://").unwrap(), 16)
-            .unwrap();
+        let id =
+            u64::from_str_radix(info.location.as_str().strip_prefix("fs://").unwrap(), 16).unwrap();
         let path = store.path_for(id);
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
@@ -236,6 +251,18 @@ mod tests {
         ));
         assert!(matches!(
             store.get(&BlobLocation::new("garbage")),
+            Err(StoreError::NoSuchBlob(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_file() {
+        let store = LocalFsBlobStore::open(tmp("delete")).unwrap();
+        let info = store.put(Bytes::from_static(b"gone soon")).unwrap();
+        store.delete(&info.location).unwrap();
+        assert!(!store.contains(&info.location));
+        assert!(matches!(
+            store.delete(&info.location),
             Err(StoreError::NoSuchBlob(_))
         ));
     }

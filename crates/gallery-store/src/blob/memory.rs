@@ -129,6 +129,17 @@ impl ObjectStore for MemoryBlobStore {
         Ok(data.clone())
     }
 
+    fn delete(&self, location: &BlobLocation) -> Result<()> {
+        if self.faults.should_fail(sites::BLOB_DELETE) {
+            return Err(StoreError::InjectedFault(sites::BLOB_DELETE));
+        }
+        let mut blobs = self.blobs.write();
+        match blobs.remove(location) {
+            Some(_) => Ok(()),
+            None => Err(StoreError::NoSuchBlob(location.to_string())),
+        }
+    }
+
     fn contains(&self, location: &BlobLocation) -> bool {
         self.blobs.read().contains_key(location)
     }
@@ -138,7 +149,11 @@ impl ObjectStore for MemoryBlobStore {
     }
 
     fn total_bytes(&self) -> u64 {
-        self.blobs.read().values().map(|(d, _)| d.len() as u64).sum()
+        self.blobs
+            .read()
+            .values()
+            .map(|(d, _)| d.len() as u64)
+            .sum()
     }
 
     fn list(&self) -> Vec<BlobLocation> {
@@ -206,6 +221,29 @@ mod tests {
         let _ = store.get(&info.location).unwrap();
         assert_eq!(meter.requests(), 2);
         assert_eq!(meter.total(), std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn delete_removes_and_reports_missing() {
+        let store = MemoryBlobStore::new();
+        let info = store.put(Bytes::from_static(b"orphan")).unwrap();
+        store.delete(&info.location).unwrap();
+        assert_eq!(store.blob_count(), 0);
+        let err = store.delete(&info.location);
+        assert!(matches!(err, Err(StoreError::NoSuchBlob(_))));
+    }
+
+    #[test]
+    fn injected_delete_fault_leaves_blob() {
+        let plan = FaultPlan::none();
+        plan.fail_always(sites::BLOB_DELETE);
+        let store = MemoryBlobStore::new().with_faults(plan);
+        let info = store.put(Bytes::from_static(b"sticky")).unwrap();
+        assert!(matches!(
+            store.delete(&info.location),
+            Err(StoreError::InjectedFault(_))
+        ));
+        assert_eq!(store.blob_count(), 1);
     }
 
     #[test]

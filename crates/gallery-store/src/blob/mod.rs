@@ -68,6 +68,26 @@ pub trait ObjectStore: Send + Sync {
     /// Fetch a blob by location, verifying integrity.
     fn get(&self, location: &BlobLocation) -> Result<Bytes>;
 
+    /// Delete the blob at `location`. Blobs referenced by metadata are
+    /// immutable and never deleted (deprecation is a metadata flag, §3.7);
+    /// this exists solely so the repair pass can garbage-collect *orphan*
+    /// blobs left behind by interrupted blob-first writes. Backends may
+    /// not support it.
+    fn delete(&self, location: &BlobLocation) -> Result<()> {
+        Err(crate::error::StoreError::Io(format!(
+            "backend does not support delete ({location})"
+        )))
+    }
+
+    /// Best-effort cache peek: return the blob only if it can be served
+    /// without touching the (possibly failing) backend. The default store
+    /// has no cache and returns `None`; [`cache::CachedBlobStore`]
+    /// overrides this to serve from its LRU. Used for graceful degradation
+    /// — callers must treat the result as potentially stale.
+    fn get_cached_only(&self, _location: &BlobLocation) -> Option<Bytes> {
+        None
+    }
+
     /// Whether a blob exists at the location.
     fn contains(&self, location: &BlobLocation) -> bool;
 

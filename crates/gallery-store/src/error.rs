@@ -37,6 +37,17 @@ pub enum StoreError {
     BadQuery(String),
 }
 
+impl StoreError {
+    /// Whether the failure is *transient*: retrying the exact same
+    /// operation may succeed without any other intervention. Injected
+    /// faults and I/O errors qualify; semantic errors (missing keys,
+    /// duplicate keys, schema violations) and detected corruption do not —
+    /// retrying those would either fail identically or mask a bug.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io(_) | StoreError::InjectedFault(_))
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -51,7 +62,10 @@ impl fmt::Display for StoreError {
                 column,
                 expected,
                 got,
-            } => write!(f, "type mismatch on column {column}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "type mismatch on column {column}: expected {expected}, got {got}"
+            ),
             StoreError::MissingColumn(c) => write!(f, "missing required column: {c}"),
             StoreError::NoSuchBlob(l) => write!(f, "no such blob: {l}"),
             StoreError::ChecksumMismatch { location } => {

@@ -16,9 +16,12 @@ use std::sync::Arc;
 pub mod sites {
     pub const BLOB_PUT: &str = "blob.put";
     pub const BLOB_GET: &str = "blob.get";
+    pub const BLOB_DELETE: &str = "blob.delete";
     pub const META_INSERT: &str = "meta.insert";
     pub const META_QUERY: &str = "meta.query";
     pub const WAL_APPEND: &str = "wal.append";
+    pub const RPC_SEND: &str = "rpc.send";
+    pub const RPC_RECV: &str = "rpc.recv";
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +30,8 @@ enum Mode {
     Probability(f64),
     /// Fail exactly on the nth call (0-based), then never again.
     NthCall(u64),
+    /// Fail the first n calls, then never again.
+    FirstN(u64),
     /// Fail every call.
     Always,
 }
@@ -96,6 +101,20 @@ impl FaultPlan {
         self
     }
 
+    /// Fail the first `n` calls at `site`, then let every later call
+    /// through. This is the canonical "transient outage" shape for retry
+    /// tests: an operation retried more than `n` times always succeeds.
+    pub fn fail_first_n(&self, site: &str, n: u64) -> &Self {
+        self.inner.lock().sites.insert(
+            site.to_owned(),
+            SiteState {
+                mode: Some(Mode::FirstN(n)),
+                ..Default::default()
+            },
+        );
+        self
+    }
+
     /// Fail every call at `site`.
     pub fn fail_always(&self, site: &str) -> &Self {
         self.inner.lock().sites.insert(
@@ -131,6 +150,7 @@ impl FaultPlan {
             let fail = match mode {
                 Mode::Probability(_) => roll.unwrap(),
                 Mode::NthCall(target) => n == target,
+                Mode::FirstN(count) => n < count,
                 Mode::Always => true,
             };
             if fail {
@@ -143,12 +163,22 @@ impl FaultPlan {
 
     /// How many times faults actually fired at `site`.
     pub fn fired(&self, site: &str) -> u64 {
-        self.inner.lock().sites.get(site).map(|s| s.fired).unwrap_or(0)
+        self.inner
+            .lock()
+            .sites
+            .get(site)
+            .map(|s| s.fired)
+            .unwrap_or(0)
     }
 
     /// How many calls were observed at `site`.
     pub fn calls(&self, site: &str) -> u64 {
-        self.inner.lock().sites.get(site).map(|s| s.calls).unwrap_or(0)
+        self.inner
+            .lock()
+            .sites
+            .get(site)
+            .map(|s| s.calls)
+            .unwrap_or(0)
     }
 }
 
@@ -186,11 +216,26 @@ mod tests {
     }
 
     #[test]
+    fn first_n_fails_then_recovers() {
+        let p = FaultPlan::none();
+        p.fail_first_n(sites::RPC_SEND, 3);
+        assert!(p.should_fail(sites::RPC_SEND));
+        assert!(p.should_fail(sites::RPC_SEND));
+        assert!(p.should_fail(sites::RPC_SEND));
+        assert!(!p.should_fail(sites::RPC_SEND));
+        assert!(!p.should_fail(sites::RPC_SEND));
+        assert_eq!(p.fired(sites::RPC_SEND), 3);
+        assert_eq!(p.calls(sites::RPC_SEND), 5);
+    }
+
+    #[test]
     fn probability_is_seed_deterministic() {
         let run = |seed| {
             let p = FaultPlan::with_seed(seed);
             p.fail_with_probability(sites::WAL_APPEND, 0.5);
-            (0..64).map(|_| p.should_fail(sites::WAL_APPEND)).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| p.should_fail(sites::WAL_APPEND))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8)); // overwhelmingly likely

@@ -183,7 +183,10 @@ mod tests {
         for i in 0..10i64 {
             ix.insert(Value::Int(i), i as RowId);
         }
-        let rows = ix.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        let rows = ix.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Excluded(&Value::Int(7)),
+        );
         assert_eq!(rows, vec![3, 4, 5, 6]);
         let rows = ix.range(Bound::Unbounded, Bound::Included(&Value::Int(1)));
         assert_eq!(rows, vec![0, 1]);
@@ -204,7 +207,9 @@ mod tests {
         let mut ix = Index::Hash(HashIndex::new());
         ix.insert(Value::Int(1), 7);
         assert_eq!(ix.lookup_eq(&Value::Int(1)), vec![7]);
-        assert!(ix.lookup_range(Bound::Unbounded, Bound::Unbounded).is_none());
+        assert!(ix
+            .lookup_range(Bound::Unbounded, Bound::Unbounded)
+            .is_none());
         assert!(!ix.supports_range());
 
         let mut ix = Index::BTree(BTreeIndex::new());

@@ -141,7 +141,14 @@ mod tests {
     fn meter_is_shared_across_clones() {
         let meter = LatencyMeter::new();
         let clone = meter.clone();
-        clone.charge(&LatencyModel { per_request: Duration::from_micros(5), per_byte_ns: 0.0, real_sleep: false }, 0);
+        clone.charge(
+            &LatencyModel {
+                per_request: Duration::from_micros(5),
+                per_byte_ns: 0.0,
+                real_sleep: false,
+            },
+            0,
+        );
         assert_eq!(meter.requests(), 1);
     }
 }

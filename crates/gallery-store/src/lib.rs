@@ -33,7 +33,7 @@ pub mod value;
 pub mod wal;
 
 pub use blob::{BlobInfo, BlobLocation, ObjectStore};
-pub use dal::{ConsistencyReport, Dal, StoredEntity, WriteOrdering};
+pub use dal::{ConsistencyReport, Dal, DegradedRead, RepairReport, StoredEntity, WriteOrdering};
 pub use error::{Result, StoreError};
 pub use fault::FaultPlan;
 pub use latency::{LatencyMeter, LatencyModel};

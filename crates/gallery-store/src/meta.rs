@@ -456,10 +456,8 @@ mod compaction_tests {
     }
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gallery-compact-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gallery-compact-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("wal.log")
@@ -481,8 +479,12 @@ mod compaction_tests {
         }
         for _ in 0..10 {
             for i in 0..50 {
-                store.set_flag("models", &format!("m{i}"), "deprecated", true).unwrap();
-                store.set_flag("models", &format!("m{i}"), "deprecated", false).unwrap();
+                store
+                    .set_flag("models", &format!("m{i}"), "deprecated", true)
+                    .unwrap();
+                store
+                    .set_flag("models", &format!("m{i}"), "deprecated", false)
+                    .unwrap();
             }
         }
         store.set_flag("models", "m7", "deprecated", true).unwrap();
@@ -502,7 +504,12 @@ mod compaction_tests {
         assert_eq!(rec.get("deprecated"), Some(&Value::Bool(false)));
         // Indexes rebuilt correctly.
         let rows = restored
-            .query("models", &Query::all().and(Constraint::eq("name", "rf")).with_deprecated())
+            .query(
+                "models",
+                &Query::all()
+                    .and(Constraint::eq("name", "rf"))
+                    .with_deprecated(),
+            )
             .unwrap();
         assert_eq!(rows.len(), 50);
     }

@@ -3,9 +3,9 @@
 
 use crate::error::{Result, StoreError};
 use crate::index::{dedup_rows, BTreeIndex, HashIndex, Index, RowId};
-use crate::query::{AccessPath, Op, Query};
 #[cfg(test)]
 use crate::query::Constraint;
+use crate::query::{AccessPath, Op, Query};
 use crate::record::Record;
 use crate::schema::{IndexKind, TableSchema};
 use crate::value::Value;
@@ -238,7 +238,11 @@ impl Table {
                     .iter()
                     .find(|c| c.field == self.schema.primary_key && c.op == Op::Eq)
                     .expect("planner chose PrimaryKey without pk constraint");
-                match pk_constraint.value.as_str().and_then(|s| self.pk_map.get(s)) {
+                match pk_constraint
+                    .value
+                    .as_str()
+                    .and_then(|s| self.pk_map.get(s))
+                {
                     Some(&id) => vec![id],
                     None => vec![],
                 }
@@ -280,7 +284,9 @@ impl Table {
 
         if let Some(ob) = &query.order_by {
             let cmp = |a: &&Record, b: &&Record| {
-                let ord = a.get_or_null(&ob.field).total_cmp(&b.get_or_null(&ob.field));
+                let ord = a
+                    .get_or_null(&ob.field)
+                    .total_cmp(&b.get_or_null(&ob.field));
                 if ob.descending {
                     ord.reverse()
                 } else {
@@ -324,7 +330,9 @@ mod tests {
                 ColumnDef::new("model", ValueType::Str).hash_indexed(),
                 ColumnDef::new("city", ValueType::Str).hash_indexed(),
                 ColumnDef::new("created", ValueType::Timestamp).btree_indexed(),
-                ColumnDef::new("mape", ValueType::Float).nullable().btree_indexed(),
+                ColumnDef::new("mape", ValueType::Float)
+                    .nullable()
+                    .btree_indexed(),
                 ColumnDef::new("deprecated", ValueType::Bool).nullable(),
             ],
         )
@@ -382,7 +390,12 @@ mod tests {
         }
         let q = Query::all().and(Constraint::eq("model", "rf"));
         let (rows, path) = t.execute(&q).unwrap();
-        assert_eq!(path, AccessPath::IndexEq { column: "model".into() });
+        assert_eq!(
+            path,
+            AccessPath::IndexEq {
+                column: "model".into()
+            }
+        );
         assert_eq!(rows.len(), 50);
     }
 
@@ -395,7 +408,12 @@ mod tests {
         }
         let q = Query::all().and(Constraint::lt("mape", 0.05));
         let (rows, path) = t.execute(&q).unwrap();
-        assert_eq!(path, AccessPath::IndexRange { column: "mape".into() });
+        assert_eq!(
+            path,
+            AccessPath::IndexRange {
+                column: "mape".into()
+            }
+        );
         assert_eq!(rows.len(), 5);
     }
 
@@ -427,7 +445,8 @@ mod tests {
     fn order_by_and_limit() {
         let mut t = table();
         for i in 0..5 {
-            t.insert(row(&format!("i{i}"), "rf", "sf", 10 - i, 0.1)).unwrap();
+            t.insert(row(&format!("i{i}"), "rf", "sf", 10 - i, 0.1))
+                .unwrap();
         }
         let q = Query::all().order_by("created", false).limit(2);
         let (rows, _) = t.execute(&q).unwrap();

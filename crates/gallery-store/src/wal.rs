@@ -17,8 +17,13 @@ use std::path::{Path, PathBuf};
 /// One logical operation recorded in the WAL.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum WalOp {
-    CreateTable { schema: TableSchema },
-    Insert { table: String, record: Record },
+    CreateTable {
+        schema: TableSchema,
+    },
+    Insert {
+        table: String,
+        record: Record,
+    },
     SetFlag {
         table: String,
         pk: String,
@@ -155,9 +160,7 @@ impl Wal {
                     if rest.trim().is_empty() {
                         break; // torn tail: ignore
                     }
-                    return Err(StoreError::WalCorrupt(format!(
-                        "line {line_no}: {e}"
-                    )));
+                    return Err(StoreError::WalCorrupt(format!("line {line_no}: {e}")));
                 }
             }
         }
@@ -172,7 +175,9 @@ impl Wal {
             u32::from_str_radix(crc_hex, 16).map_err(|e| format!("bad crc field: {e}"))?;
         let actual = crc32(json.as_bytes());
         if expected != actual {
-            return Err(format!("crc mismatch: expected {expected:08x}, got {actual:08x}"));
+            return Err(format!(
+                "crc mismatch: expected {expected:08x}, got {actual:08x}"
+            ));
         }
         serde_json::from_str(json).map_err(|e| format!("bad json: {e}"))
     }
@@ -185,22 +190,16 @@ mod tests {
     use crate::value::ValueType;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gallery-wal-test-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gallery-wal-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
 
     fn sample_ops() -> Vec<WalOp> {
-        let schema = TableSchema::new(
-            "t",
-            "id",
-            vec![ColumnDef::new("id", ValueType::Str)],
-        )
-        .unwrap();
+        let schema =
+            TableSchema::new("t", "id", vec![ColumnDef::new("id", ValueType::Str)]).unwrap();
         vec![
             WalOp::CreateTable { schema },
             WalOp::Insert {
@@ -230,7 +229,9 @@ mod tests {
         let ops = Wal::replay(&path).unwrap();
         assert_eq!(ops.len(), 3);
         assert!(matches!(ops[0], WalOp::CreateTable { .. }));
-        assert!(matches!(ops[2], WalOp::SetFlag { ref column, value: true, .. } if column == "deprecated"));
+        assert!(
+            matches!(ops[2], WalOp::SetFlag { ref column, value: true, .. } if column == "deprecated")
+        );
     }
 
     #[test]

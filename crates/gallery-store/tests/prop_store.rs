@@ -20,12 +20,7 @@ fn schema(indexed: bool) -> TableSchema {
         a = a.btree_indexed();
         b = b.hash_indexed();
     }
-    TableSchema::new(
-        "t",
-        "id",
-        vec![ColumnDef::new("id", ValueType::Str), a, b],
-    )
-    .unwrap()
+    TableSchema::new("t", "id", vec![ColumnDef::new("id", ValueType::Str), a, b]).unwrap()
 }
 
 fn load(store: &MetadataStore, rows: &[(i64, u8)]) {

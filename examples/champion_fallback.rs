@@ -48,7 +48,10 @@ fn main() {
     let repro_meta = Metadata::new()
         .with(fields::CITY, cfg.name.clone())
         .with(fields::MODEL_NAME, "ridge")
-        .with(fields::TRAINING_DATA, format!("citygen://{}/{}", cfg.name, cfg.seed))
+        .with(
+            fields::TRAINING_DATA,
+            format!("citygen://{}/{}", cfg.name, cfg.seed),
+        )
         .with(fields::TRAINING_DATA_VERSION, format!("n={}", train.len()))
         .with(fields::TRAINING_FRAMEWORK, "gallery-forecast/0.1")
         .with(fields::TRAINING_CODE, "examples/champion_fallback.rs")
@@ -84,7 +87,10 @@ fn main() {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("champion-only MAPE: {:.1}%", 100.0 * mean(&champion_only_err));
+    println!(
+        "champion-only MAPE: {:.1}%",
+        100.0 * mean(&champion_only_err)
+    );
     println!(
         "guarded-serving MAPE: {:.1}% (fallback served {} intervals, {} switches)",
         100.0 * mean(&served_err),
@@ -96,10 +102,17 @@ fn main() {
 
     // ---- Part 2: reproduce the champion from its metadata --------------
     let plan = g.reproduction_plan(&champ_instance.id).expect("plan");
-    println!("reproduction plan: data={} seed={:?}", plan.training_data, plan.random_seed);
+    println!(
+        "reproduction plan: data={} seed={:?}",
+        plan.training_data, plan.random_seed
+    );
     // Re-run training exactly as recorded (same generator, same seed).
     let re_series = CityConfig::new("fallback_city", plan.random_seed.unwrap() as u64)
-        .with_event(EventWindow { start: 96 * 16, end: 96 * 16 + 48, multiplier: 3.0 })
+        .with_event(EventWindow {
+            start: 96 * 16,
+            end: 96 * 16 + 48,
+            multiplier: 3.0,
+        })
         .generate(day * 18, 0);
     let (re_train, _) = re_series.split_at(serve_start);
     let mut re_champion = AnyForecaster::Ridge(RidgeForecaster::standard(day, 1.0));
@@ -113,11 +126,18 @@ fn main() {
         .unwrap();
     let verdict = g.verify_reproduction(&plan, &attempt).expect("verify");
     println!("reproduction verdict: {verdict:?}");
-    assert_eq!(verdict, ReproductionMatch::Exact, "deterministic training reproduces exactly");
+    assert_eq!(
+        verdict,
+        ReproductionMatch::Exact,
+        "deterministic training reproduces exactly"
+    );
 
     // And the reproduced model scores identically on a backtest.
     let original_eval = backtest(&champion, &series, serve_start);
     let reproduced_eval = backtest(&re_champion, &series, serve_start);
     assert_eq!(original_eval.mape, reproduced_eval.mape);
-    println!("reproduced model backtests identically (mape {:.2}%) ✓", 100.0 * original_eval.mape);
+    println!(
+        "reproduced model backtests identically (mape {:.2}%) ✓",
+        100.0 * original_eval.mape
+    );
 }

@@ -79,7 +79,10 @@ fn main() {
 
     // The owner opts in: deploy the new version.
     g.deploy(&a, &latest_a.id, "production").unwrap();
-    println!("  owner opted in: A now serves {}", latest_a.display_version);
+    println!(
+        "  owner opted in: A now serves {}",
+        latest_a.display_version
+    );
 
     // Figure 7: add a new dependency D to A.
     println!("\nadding dependency D to A (figure 7):");
@@ -96,8 +99,14 @@ fn main() {
     show(&g, &names);
 
     // Traversals: the holistic view §3.4.2 motivates.
-    println!("\nupstream of X: {:?}", g.transitive_upstream(&x).unwrap().len());
-    println!("downstream of B: {:?}", g.transitive_downstream(&b).unwrap().len());
+    println!(
+        "\nupstream of X: {:?}",
+        g.transitive_upstream(&x).unwrap().len()
+    );
+    println!(
+        "downstream of B: {:?}",
+        g.transitive_downstream(&b).unwrap().len()
+    );
 
     // Full lineage of A, with triggers.
     println!("\nA's instance lineage (newest first):");

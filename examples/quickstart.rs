@@ -7,8 +7,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use bytes::Bytes;
-use gallery::prelude::*;
 use gallery::core::metadata::fields;
+use gallery::prelude::*;
 
 fn main() {
     let g = Gallery::in_memory();
@@ -24,7 +24,10 @@ fn main() {
                 .description("per-city supply rejection classifier"),
         )
         .expect("create model");
-    println!("created model {} (base {})", model.id, model.base_version_id);
+    println!(
+        "created model {} (base {})",
+        model.id, model.base_version_id
+    );
 
     let model_blob = Bytes::from_static(b"<serialized model bytes>");
     let instance = g
@@ -38,7 +41,10 @@ fn main() {
                     .with(fields::TRAINING_FRAMEWORK, "sparkml-2.4")
                     .with(fields::TRAINING_DATA, "hdfs://warehouse/trips/2026-06")
                     .with(fields::TRAINING_DATA_VERSION, "v42")
-                    .with(fields::TRAINING_CODE, "git://models/supply_rejection@abc123")
+                    .with(
+                        fields::TRAINING_CODE,
+                        "git://models/supply_rejection@abc123",
+                    )
                     .with(fields::FEATURES, "hour_of_week,weather,events")
                     .with(fields::HYPERPARAMETERS, "trees=100,depth=12"),
             ),

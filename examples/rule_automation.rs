@@ -98,7 +98,10 @@ fn main() {
         )
         .unwrap();
     gallery
-        .insert_metric(&rf_bad.id, MetricSpec::new("bias", MetricScope::Validation, 0.4))
+        .insert_metric(
+            &rf_bad.id,
+            MetricSpec::new("bias", MetricScope::Validation, 0.4),
+        )
         .unwrap();
     engine.drain();
     assert_eq!(
@@ -112,7 +115,11 @@ fn main() {
     let lr = gallery
         .create_model(ModelSpec::new("forecasting", "lr_demand").name("linear_regression"))
         .unwrap();
-    for (r2, label) in [(0.85, "older"), (0.88, "newer"), (0.95, "too-good-to-trust")] {
+    for (r2, label) in [
+        (0.85, "older"),
+        (0.88, "newer"),
+        (0.95, "too-good-to-trust"),
+    ] {
         let inst = gallery
             .upload_instance(
                 &lr.id,

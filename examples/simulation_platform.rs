@@ -58,10 +58,20 @@ fn main() {
     let after = run_gallery_backed(&config, &gallery, &[instance.id]).expect("gallery run");
 
     // ---- Report ---------------------------------------------------------
-    println!("marketplace simulation: {} days, {} drivers\n", config.days, config.n_drivers);
-    println!("{:34} {:>14} {:>14}", "", "inline (before)", "gallery (after)");
+    println!(
+        "marketplace simulation: {} days, {} drivers\n",
+        config.days, config.n_drivers
+    );
+    println!(
+        "{:34} {:>14} {:>14}",
+        "", "inline (before)", "gallery (after)"
+    );
     let row = |label: &str, a: String, b: String| println!("{label:34} {a:>14} {b:>14}");
-    row("trips served", before.trips_served.to_string(), after.trips_served.to_string());
+    row(
+        "trips served",
+        before.trips_served.to_string(),
+        after.trips_served.to_string(),
+    );
     row(
         "service rate",
         format!("{:.1}%", 100.0 * before.service_rate()),
@@ -98,7 +108,9 @@ fn main() {
         format!("{:.1}", after.total_wall_ms),
     );
 
-    let mem_saving = before.peak_model_bytes.saturating_sub(after.peak_model_bytes);
+    let mem_saving = before
+        .peak_model_bytes
+        .saturating_sub(after.peak_model_bytes);
     println!(
         "\ndecoupling saved {} bytes of peak simulator memory and {} in-sim training runs",
         mem_saving, before.trainings

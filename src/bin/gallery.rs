@@ -6,7 +6,7 @@
 //! paper's stateless-service property at CLI scale.
 //!
 //! ```text
-//! gallery [--data DIR] COMMAND ...
+//! gallery [--data DIR] [--retries N] [--timeout-ms MS] COMMAND ...
 //!
 //! commands:
 //!   create-model PROJECT BASE_ID [--name N] [--owner O] [--desc D]
@@ -24,9 +24,14 @@
 //!   deprecate (model|instance) ID
 //!   stage INSTANCE_ID [NEW_STAGE]
 //!   health INSTANCE_ID
-//!   audit
+//!   audit [--repair]
 //!   compact
 //! ```
+//!
+//! `--retries N` re-attempts an operation up to N times when it fails
+//! with a *transient* storage error (I/O, injected fault); semantic
+//! errors (duplicate key, missing model) are never retried. `--timeout-ms`
+//! caps the total time spent across attempts and backoff.
 
 use bytes::Bytes;
 use gallery::core::metadata::Metadata;
@@ -43,6 +48,35 @@ fn open(data_dir: &std::path::Path) -> Result<Gallery, String> {
     let blobs = LocalFsBlobStore::open(data_dir.join("blobs")).map_err(|e| e.to_string())?;
     let dal = Dal::new(Arc::new(meta), Arc::new(blobs));
     Gallery::open(Arc::new(dal), Arc::new(gallery::core::SystemClock)).map_err(|e| e.to_string())
+}
+
+/// Retry `op` up to `retries` attempts, backing off exponentially, as
+/// long as the failure is transient ([`GalleryError::is_transient`]) and
+/// the optional wall-clock budget has room for the next sleep.
+fn retrying<T>(
+    retries: u32,
+    timeout_ms: Option<u64>,
+    mut op: impl FnMut() -> Result<T, GalleryError>,
+) -> Result<T, GalleryError> {
+    let started = std::time::Instant::now();
+    let budget = timeout_ms.map(std::time::Duration::from_millis);
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < retries.max(1) => {
+                let delay = std::time::Duration::from_millis(10u64 << attempt.min(6));
+                if let Some(budget) = budget {
+                    if started.elapsed() + delay > budget {
+                        return Err(e);
+                    }
+                }
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -72,7 +106,13 @@ fn collect_meta(args: &mut Vec<String>) -> Metadata {
 }
 
 fn parse_constraint(s: &str) -> Option<Constraint> {
-    for (sep, op) in [("<=", Op::Le), (">=", Op::Ge), ("<", Op::Lt), (">", Op::Gt), ("=", Op::Eq)] {
+    for (sep, op) in [
+        ("<=", Op::Le),
+        (">=", Op::Ge),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("=", Op::Eq),
+    ] {
         if let Some((k, v)) = s.split_once(sep) {
             let value: gallery::store::Value = match v.parse::<f64>() {
                 Ok(n) if sep != "=" || v.contains('.') => n.into(),
@@ -90,10 +130,20 @@ fn parse_constraint(s: &str) -> Option<Constraint> {
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let data_dir = PathBuf::from(
-        flag_value(&mut args, "--data").unwrap_or_else(|| "gallery-data".to_owned()),
-    );
-    let Some(command) = (if args.is_empty() { None } else { Some(args.remove(0)) }) else {
+    let data_dir =
+        PathBuf::from(flag_value(&mut args, "--data").unwrap_or_else(|| "gallery-data".to_owned()));
+    let retries: u32 = flag_value(&mut args, "--retries")
+        .map(|v| v.parse().map_err(|e| format!("bad --retries: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let timeout_ms: Option<u64> = flag_value(&mut args, "--timeout-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --timeout-ms: {e}")))
+        .transpose()?;
+    let Some(command) = (if args.is_empty() {
+        None
+    } else {
+        Some(args.remove(0))
+    }) else {
         eprintln!("usage: gallery [--data DIR] COMMAND ... (see --help)");
         return Err("no command".into());
     };
@@ -113,15 +163,13 @@ fn run() -> Result<(), String> {
             let [project, base]: [String; 2] = args
                 .try_into()
                 .map_err(|_| "usage: create-model PROJECT BASE_ID".to_string())?;
-            let model = g
-                .create_model(
-                    ModelSpec::new(project, base)
-                        .name(name)
-                        .owner(owner)
-                        .description(desc)
-                        .metadata(meta),
-                )
-                .map_err(err)?;
+            let spec = ModelSpec::new(project, base)
+                .name(name)
+                .owner(owner)
+                .description(desc)
+                .metadata(meta);
+            let model =
+                retrying(retries, timeout_ms, || g.create_model(spec.clone())).map_err(err)?;
             println!("{}", model.id);
         }
         "models" => {
@@ -140,25 +188,33 @@ fn run() -> Result<(), String> {
                 .try_into()
                 .map_err(|_| "usage: upload MODEL_ID BLOB_FILE [--meta k=v]".to_string())?;
             let blob = std::fs::read(&blob_file).map_err(|e| format!("{blob_file}: {e}"))?;
-            let inst = g
-                .upload_instance(
-                    &ModelId(model_id),
-                    InstanceSpec::new().metadata(meta),
-                    Bytes::from(blob),
+            let model_id = ModelId(model_id);
+            let blob = Bytes::from(blob);
+            let inst = retrying(retries, timeout_ms, || {
+                g.upload_instance(
+                    &model_id,
+                    InstanceSpec::new().metadata(meta.clone()),
+                    blob.clone(),
                 )
-                .map_err(err)?;
+            })
+            .map_err(err)?;
             println!("{}\t{}", inst.id, inst.display_version);
         }
         "instances" => {
-            let [model_id]: [String; 1] =
-                args.try_into().map_err(|_| "usage: instances MODEL_ID".to_string())?;
+            let [model_id]: [String; 1] = args
+                .try_into()
+                .map_err(|_| "usage: instances MODEL_ID".to_string())?;
             for i in g.instances_of_model(&ModelId(model_id)).map_err(err)? {
-                println!("{}\t{}\t{}\t{:?}", i.id, i.display_version, i.created_at, i.trigger);
+                println!(
+                    "{}\t{}\t{}\t{:?}",
+                    i.id, i.display_version, i.created_at, i.trigger
+                );
             }
         }
         "base" => {
-            let [base]: [String; 1] =
-                args.try_into().map_err(|_| "usage: base BASE_ID".to_string())?;
+            let [base]: [String; 1] = args
+                .try_into()
+                .map_err(|_| "usage: base BASE_ID".to_string())?;
             for i in g.instances_of_base_version(&base).map_err(err)? {
                 println!("{}\t{}\t{}", i.id, i.display_version, i.created_at);
             }
@@ -167,7 +223,9 @@ fn run() -> Result<(), String> {
             let [instance_id, out]: [String; 2] = args
                 .try_into()
                 .map_err(|_| "usage: fetch INSTANCE_ID OUT_FILE".to_string())?;
-            let blob = g.fetch_instance_blob(&InstanceId(instance_id)).map_err(err)?;
+            let instance_id = InstanceId(instance_id);
+            let blob = retrying(retries, timeout_ms, || g.fetch_instance_blob(&instance_id))
+                .map_err(err)?;
             std::fs::write(&out, &blob).map_err(|e| format!("{out}: {e}"))?;
             println!("{} bytes -> {out}", blob.len());
         }
@@ -177,15 +235,21 @@ fn run() -> Result<(), String> {
                 .map_err(|_| "usage: metric INSTANCE_ID NAME SCOPE VALUE".to_string())?;
             let scope = MetricScope::parse(&scope).map_err(err)?;
             let value: f64 = value.parse().map_err(|e| format!("bad value: {e}"))?;
-            g.insert_metric(&InstanceId(instance_id), MetricSpec::new(name, scope, value))
-                .map_err(err)?;
+            let instance_id = InstanceId(instance_id);
+            retrying(retries, timeout_ms, || {
+                g.insert_metric(&instance_id, MetricSpec::new(name.clone(), scope, value))
+            })
+            .map_err(err)?;
             println!("ok");
         }
         "metrics" => {
             let [instance_id]: [String; 1] = args
                 .try_into()
                 .map_err(|_| "usage: metrics INSTANCE_ID".to_string())?;
-            for m in g.metrics_of_instance(&InstanceId(instance_id)).map_err(err)? {
+            for m in g
+                .metrics_of_instance(&InstanceId(instance_id))
+                .map_err(err)?
+            {
                 println!("{}\t{}\t{}\t{}", m.name, m.scope, m.value, m.created_at);
             }
         }
@@ -202,8 +266,11 @@ fn run() -> Result<(), String> {
             let [model_id, instance_id, env]: [String; 3] = args
                 .try_into()
                 .map_err(|_| "usage: deploy MODEL_ID INSTANCE_ID ENV".to_string())?;
-            g.deploy(&ModelId(model_id), &InstanceId(instance_id), &env)
-                .map_err(err)?;
+            let (model_id, instance_id) = (ModelId(model_id), InstanceId(instance_id));
+            retrying(retries, timeout_ms, || {
+                g.deploy(&model_id, &instance_id, &env)
+            })
+            .map_err(err)?;
             println!("ok");
         }
         "deployed" => {
@@ -228,8 +295,9 @@ fn run() -> Result<(), String> {
             println!("ok");
         }
         "deps" => {
-            let [model_id]: [String; 1] =
-                args.try_into().map_err(|_| "usage: deps MODEL_ID".to_string())?;
+            let [model_id]: [String; 1] = args
+                .try_into()
+                .map_err(|_| "usage: deps MODEL_ID".to_string())?;
             let m = ModelId(model_id);
             println!("upstream:");
             for u in g.upstream_of(&m).map_err(err)? {
@@ -270,7 +338,10 @@ fn run() -> Result<(), String> {
                 .map_err(|_| "usage: health INSTANCE_ID".to_string())?;
             let report = g.health_report(&InstanceId(instance_id)).map_err(err)?;
             println!("score:           {:.2}", report.score());
-            println!("reproducibility: {:.0}%", 100.0 * report.reproducibility_score);
+            println!(
+                "reproducibility: {:.0}%",
+                100.0 * report.reproducibility_score
+            );
             println!("missing fields:  {:?}", report.missing_fields);
             println!(
                 "metrics:         training={} validation={} production={}",
@@ -289,26 +360,45 @@ fn run() -> Result<(), String> {
             }
         }
         "compact" => {
-            let entries = g
-                .dal()
-                .metadata()
-                .compact()
-                .map_err(|e| e.to_string())?;
+            let entries = g.dal().metadata().compact().map_err(|e| e.to_string())?;
             println!("compacted WAL to {entries} entries");
         }
         "audit" => {
-            let report = g
-                .dal()
-                .audit_consistency(&["instances"])
-                .map_err(|e| e.to_string())?;
-            println!(
-                "rows: {}, blobs: {}, dangling: {}, orphans: {} -> {}",
-                report.rows_checked,
-                report.blobs_checked,
-                report.dangling_metadata.len(),
-                report.orphan_blobs.len(),
-                if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" }
-            );
+            let repair = args.iter().any(|a| a == "--repair");
+            if repair {
+                let report = g
+                    .dal()
+                    .repair_orphans(&["instances"])
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "rows: {}, blobs: {}, dangling: {}, orphans gc'd: {}, gc failed: {}",
+                    report.audit.rows_checked,
+                    report.audit.blobs_checked,
+                    report.audit.dangling_metadata.len(),
+                    report.deleted.len(),
+                    report.failed.len(),
+                );
+                for (loc, e) in &report.failed {
+                    eprintln!("  failed to delete {loc:?}: {e}");
+                }
+            } else {
+                let report = g
+                    .dal()
+                    .audit_consistency(&["instances"])
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "rows: {}, blobs: {}, dangling: {}, orphans: {} -> {}",
+                    report.rows_checked,
+                    report.blobs_checked,
+                    report.dangling_metadata.len(),
+                    report.orphan_blobs.len(),
+                    if report.is_consistent() {
+                        "CONSISTENT"
+                    } else {
+                        "INCONSISTENT"
+                    }
+                );
+            }
         }
         other => return Err(format!("unknown command: {other}")),
     }

@@ -47,8 +47,8 @@ pub use gallery_store as store;
 /// The most common imports for Gallery users.
 pub mod prelude {
     pub use gallery_core::{
-        Gallery, GalleryError, InstanceId, InstanceSpec, Metadata, MetricScope, MetricSpec,
-        Model, ModelId, ModelInstance, ModelSpec, Stage,
+        Gallery, GalleryError, InstanceId, InstanceSpec, Metadata, MetricScope, MetricSpec, Model,
+        ModelId, ModelInstance, ModelSpec, Stage,
     };
     pub use gallery_rules::{ActionRegistry, CompiledRule, RuleEngine, RuleRepo};
     pub use gallery_store::{Constraint, Op, Query};
@@ -62,12 +62,13 @@ mod tests {
     #[test]
     fn facade_reexports_work() {
         let g = Gallery::in_memory();
-        let m = g
-            .create_model(ModelSpec::new("p", "b").name("m"))
-            .unwrap();
+        let m = g.create_model(ModelSpec::new("p", "b").name("m")).unwrap();
         let i = g
             .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"x"))
             .unwrap();
-        assert_eq!(g.fetch_instance_blob(&i.id).unwrap(), Bytes::from_static(b"x"));
+        assert_eq!(
+            g.fetch_instance_blob(&i.id).unwrap(),
+            Bytes::from_static(b"x")
+        );
     }
 }

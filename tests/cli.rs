@@ -17,7 +17,10 @@ fn data_dir() -> PathBuf {
 
 fn rand_suffix() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64
 }
 
 fn gallery(data: &PathBuf, args: &[&str]) -> Output {
@@ -46,7 +49,15 @@ fn cli_full_workflow() {
     // create-model prints the model id
     let model_id = ok_stdout(
         &data,
-        &["create-model", "marketplace", "demand/sf", "--name", "ridge", "--owner", "fc"],
+        &[
+            "create-model",
+            "marketplace",
+            "demand/sf",
+            "--name",
+            "ridge",
+            "--owner",
+            "fc",
+        ],
     );
     assert_eq!(model_id.len(), 36, "uuid expected, got {model_id}");
 
@@ -69,15 +80,29 @@ fn cli_full_workflow() {
     assert!(upload_out.ends_with("1.0"));
 
     // metric + query
-    ok_stdout(&data, &["metric", &instance_id, "mape", "validation", "0.08"]);
-    let hits = ok_stdout(&data, &["query", "model_name=ridge", "metricName=mape", "metricValue<0.25"]);
+    ok_stdout(
+        &data,
+        &["metric", &instance_id, "mape", "validation", "0.08"],
+    );
+    let hits = ok_stdout(
+        &data,
+        &[
+            "query",
+            "model_name=ridge",
+            "metricName=mape",
+            "metricValue<0.25",
+        ],
+    );
     assert!(hits.contains(&instance_id));
     let no_hits = ok_stdout(&data, &["query", "metricName=mape", "metricValue<0.01"]);
     assert!(no_hits.is_empty());
 
     // deploy + deployed
     ok_stdout(&data, &["deploy", &model_id, &instance_id, "production"]);
-    assert_eq!(ok_stdout(&data, &["deployed", &model_id, "production"]), instance_id);
+    assert_eq!(
+        ok_stdout(&data, &["deployed", &model_id, "production"]),
+        instance_id
+    );
 
     // fetch the blob back byte-identically
     let out_path = data.join("roundtrip.bin");
@@ -86,12 +111,25 @@ fn cli_full_workflow() {
 
     // stage transitions
     assert_eq!(ok_stdout(&data, &["stage", &instance_id]), "trained");
-    assert_eq!(ok_stdout(&data, &["stage", &instance_id, "evaluated"]), "evaluated");
+    assert_eq!(
+        ok_stdout(&data, &["stage", &instance_id, "evaluated"]),
+        "evaluated"
+    );
 
     // dependency wiring
-    let upstream_id = ok_stdout(&data, &["create-model", "marketplace", "weather", "--name", "wx"]);
+    let upstream_id = ok_stdout(
+        &data,
+        &["create-model", "marketplace", "weather", "--name", "wx"],
+    );
     std::fs::write(data.join("wx.bin"), b"wx").unwrap();
-    ok_stdout(&data, &["upload", &upstream_id, data.join("wx.bin").to_str().unwrap()]);
+    ok_stdout(
+        &data,
+        &[
+            "upload",
+            &upstream_id,
+            data.join("wx.bin").to_str().unwrap(),
+        ],
+    );
     ok_stdout(&data, &["dep-add", &model_id, &upstream_id]);
     let deps = ok_stdout(&data, &["deps", &model_id]);
     assert!(deps.contains(&upstream_id));
@@ -105,7 +143,10 @@ fn cli_full_workflow() {
     // compact the WAL, then confirm everything still reads back
     let compacted = ok_stdout(&data, &["compact"]);
     assert!(compacted.contains("compacted WAL"));
-    assert_eq!(ok_stdout(&data, &["deployed", &model_id, "production"]), instance_id);
+    assert_eq!(
+        ok_stdout(&data, &["deployed", &model_id, "production"]),
+        instance_id
+    );
     assert_eq!(ok_stdout(&data, &["stage", &instance_id]), "evaluated");
 
     // models listing survives restarts (every call is its own process)

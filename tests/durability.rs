@@ -12,10 +12,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn fresh_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "gallery-durability-{name}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("gallery-durability-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -44,15 +42,17 @@ fn restart_preserves_everything() {
         let inst = g
             .upload_instance(
                 &model.id,
-                InstanceSpec::new()
-                    .metadata(Metadata::new().with("city", "sf")),
+                InstanceSpec::new().metadata(Metadata::new().with("city", "sf")),
                 Bytes::from_static(b"durable weights"),
             )
             .unwrap();
         g.upload_instance(&upstream.id, InstanceSpec::new(), Bytes::from_static(b"up"))
             .unwrap();
-        g.insert_metric(&inst.id, MetricSpec::new("mape", MetricScope::Validation, 0.07))
-            .unwrap();
+        g.insert_metric(
+            &inst.id,
+            MetricSpec::new("mape", MetricScope::Validation, 0.07),
+        )
+        .unwrap();
         g.deploy(&model.id, &inst.id, "production").unwrap();
         g.add_dependency(&model.id, &upstream.id).unwrap();
         model_id = model.id;

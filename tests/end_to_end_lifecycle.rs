@@ -7,13 +7,11 @@
 use bytes::Bytes;
 use gallery_core::health::drift::WindowMeanShift;
 use gallery_core::metadata::fields;
-use gallery_core::{
-    Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec, Stage,
-};
+use gallery_core::{Gallery, InstanceSpec, Metadata, MetricScope, MetricSpec, ModelSpec, Stage};
 use gallery_forecast::{
     backtest, AnyForecaster, CityConfig, EventWindow, FeatureSpec, Forecaster, RidgeForecaster,
 };
-use gallery_rules::{ActionRegistry, CompiledRule, RuleDoc, RuleEngine, RuleBody};
+use gallery_rules::{ActionRegistry, CompiledRule, RuleBody, RuleDoc, RuleEngine};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -79,7 +77,11 @@ fn full_lifecycle_with_drift_and_retraining() {
             &gallery_core::metrics::format_metric_blob(&eval.to_pairs()),
         )
         .unwrap();
-    assert!(eval.mape < 0.2, "initial model is deployable: {}", eval.mape);
+    assert!(
+        eval.mape < 0.2,
+        "initial model is deployable: {}",
+        eval.mape
+    );
     gallery.set_stage(&v1.id, Stage::Evaluated).unwrap();
     gallery.deploy(&model.id, &v1.id, "production").unwrap();
     gallery.set_stage(&v1.id, Stage::Deployed).unwrap();
@@ -120,10 +122,8 @@ fn full_lifecycle_with_drift_and_retraining() {
         let t0 = day * (21 + week_day);
         let window_eval = {
             // daily production MAPE of the *deployed* model
-            let served = AnyForecaster::from_blob(
-                &gallery.fetch_instance_blob(&v1.id).unwrap(),
-            )
-            .unwrap();
+            let served =
+                AnyForecaster::from_blob(&gallery.fetch_instance_blob(&v1.id).unwrap()).unwrap();
             let (head, _) = series.split_at(t0 + day);
             backtest(&served, &head, t0)
         };

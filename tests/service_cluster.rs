@@ -5,16 +5,15 @@
 
 use bytes::Bytes;
 use gallery_core::Gallery;
-use gallery_forecast::{AnyForecaster, Forecaster, MeanOfLastK, CityConfig};
+use gallery_forecast::{AnyForecaster, CityConfig, Forecaster, MeanOfLastK};
 use gallery_rules::{ActionRegistry, CompiledRule, RuleEngine};
-use gallery_service::{GalleryClient, GalleryServer, InProcCluster, WireConstraint, WireOp, WireValue};
+use gallery_service::{
+    GalleryClient, GalleryServer, InProcCluster, WireConstraint, WireOp, WireValue,
+};
 use std::sync::Arc;
 
 fn cluster(gallery: Arc<Gallery>, replicas: usize) -> InProcCluster {
-    InProcCluster::start(
-        move || GalleryServer::new(Arc::clone(&gallery)),
-        replicas,
-    )
+    InProcCluster::start(move || GalleryServer::new(Arc::clone(&gallery)), replicas)
 }
 
 #[test]

@@ -1,0 +1,700 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the strategy vocabulary Gallery's property tests use —
+//! ranges, tuples, `Just`, regex-subset string literals, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `collection::{vec, btree_set}`,
+//! `any::<T>()`, `sample::Index` — plus the `proptest!` / `prop_assert*`
+//! macros. Cases are sampled from a per-test deterministic RNG (seeded
+//! from the test name), so every run exercises the same inputs. Failing
+//! cases are reported with their `Debug` form; there is NO shrinking.
+#![allow(clippy::type_complexity)]
+#![allow(clippy::redundant_closure_call)]
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A generator of values of `Self::Value`.
+    ///
+    /// `sample_raw` returns `None` when the candidate was rejected (e.g.
+    /// by a filter); the runner retries with fresh randomness.
+    pub trait Strategy: 'static {
+        type Value: 'static;
+
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| inner.sample_raw(rng).map(&f))
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| inner.sample_raw(rng).filter(|v| f(v)))
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| inner.sample_raw(rng))
+        }
+
+        /// Close the strategy over itself up to `depth` levels of nesting.
+        /// `desired_size`/`expected_branch_size` are accepted for API
+        /// compatibility; depth alone bounds recursion here.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(current).boxed();
+                let shallow = leaf.clone();
+                // Mix in leaves at every level so sizes stay bounded.
+                current = BoxedStrategy::new(move |rng| {
+                    if rng.inner().gen_bool(0.6) {
+                        deeper.sample_raw(rng)
+                    } else {
+                        shallow.sample_raw(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        sampler: Arc<dyn Fn(&mut TestRng) -> Option<V>>,
+    }
+
+    impl<V> BoxedStrategy<V> {
+        pub fn new(sampler: impl Fn(&mut TestRng) -> Option<V> + 'static) -> Self {
+            BoxedStrategy {
+                sampler: Arc::new(sampler),
+            }
+        }
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Arc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<V: 'static> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<V> {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn sample_raw(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V: 'static> Strategy for Union<V> {
+        type Value = V;
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<V> {
+            let idx = rng.inner().gen_range(0..self.options.len());
+            self.options[idx].sample_raw(rng)
+        }
+    }
+
+    // -- ranges ----------------------------------------------------------
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample_raw(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.inner().gen_range(self.clone()))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_raw(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.inner().gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<f64> {
+            Some(rng.inner().gen_range(self.clone()))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<f32> {
+            Some(rng.inner().gen_range(self.clone()))
+        }
+    }
+
+    // -- tuples ----------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample_raw(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample_raw(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    // -- regex-subset string strategies ----------------------------------
+
+    /// `&'static str` patterns generate matching strings. Supported
+    /// subset: literal chars, `[a-z0-9_]`-style classes (ranges + single
+    /// chars, no negation), and `{n}` / `{m,n}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample_raw(&self, rng: &mut TestRng) -> Option<String> {
+            Some(sample_pattern(self, rng))
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // one atom: a class or a literal char
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // optional repetition
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("repeat lower bound"),
+                        hi.trim().parse::<usize>().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.inner().gen_range(min..=max);
+            for _ in 0..count {
+                let pick = rng.inner().gen_range(0..alphabet.len());
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(spec: &[char], pattern: &str) -> Vec<char> {
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < spec.len() {
+            if i + 2 < spec.len() && spec[i + 1] == '-' {
+                let (lo, hi) = (spec[i], spec[i + 2]);
+                assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(spec[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty class in pattern {pattern:?}");
+        chars
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use rand::Rng;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary_strategy() -> BoxedStrategy<Self>;
+    }
+
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary_strategy()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_strategy() -> BoxedStrategy<bool> {
+            BoxedStrategy::new(|rng| Some(rng.inner().gen_bool(0.5)))
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_strategy() -> BoxedStrategy<$t> {
+                    BoxedStrategy::new(|rng| Some(rng.inner().gen::<$t>()))
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        /// Finite floats with a mix of magnitudes (no NaN/∞ — the tests
+        /// compare values structurally).
+        fn arbitrary_strategy() -> BoxedStrategy<f64> {
+            BoxedStrategy::new(|rng| {
+                let magnitude: f64 = [0.0, 1.0, 1e3, 1e9][rng.inner().gen_range(0..4usize)];
+                let base: f64 = rng.inner().gen_range(-1.0..1.0);
+                Some(base * magnitude.max(1.0) + if magnitude == 0.0 { 0.0 } else { base })
+            })
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_strategy() -> BoxedStrategy<f32> {
+            BoxedStrategy::new(|rng| Some(rng.inner().gen_range(-1e6f32..1e6)))
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_strategy() -> BoxedStrategy<char> {
+            BoxedStrategy::new(|rng| {
+                let c = rng.inner().gen_range(0x20u32..0x7F);
+                Some(char::from_u32(c).unwrap())
+            })
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_strategy() -> BoxedStrategy<crate::sample::Index> {
+            BoxedStrategy::new(|rng| Some(crate::sample::Index(rng.inner().gen::<usize>())))
+        }
+    }
+}
+
+pub mod sample {
+    /// A position into a collection of as-yet-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// `Vec` of `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            let n = rng.inner().gen_range(size.clone());
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(element.sample_raw(rng)?);
+            }
+            Some(out)
+        })
+    }
+
+    /// `BTreeSet` targeting `size.start..size.end` distinct elements
+    /// (duplicates are resampled a bounded number of times).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BoxedStrategy::new(move |rng| {
+            let target = rng.inner().gen_range(size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 20 {
+                if let Some(v) = element.sample_raw(rng) {
+                    out.insert(v);
+                }
+                attempts += 1;
+            }
+            (out.len() >= size.start).then_some(out)
+        })
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG (seeded from the test name).
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and builds.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(hash))
+        }
+
+        #[doc(hidden)]
+        pub fn inner(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+
+    /// Outcome of one generated test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — retry with a fresh sample.
+        Reject(String),
+        /// `prop_assert*!` failed — the test fails.
+        Fail(String),
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Abort after this many rejections (filters/assumes) without
+        /// completing a case.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config(<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strategy = ($($strat,)*);
+                let mut __done: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __done < __config.cases {
+                    let ($($arg,)*) = match $crate::strategy::Strategy::sample_raw(&__strategy, &mut __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < __config.max_global_rejects,
+                                "proptest: too many strategy rejections in {}",
+                                stringify!($name)
+                            );
+                            continue;
+                        }
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body; ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {
+                            __done += 1;
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < __config.max_global_rejects,
+                                "proptest: too many prop_assume rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case {}/{} of {} failed: {}",
+                                __done + 1,
+                                __config.cases,
+                                stringify!($name),
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, y in 0u8..3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn regex_subset_shapes(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "bad sample {:?}", s);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec((0i64..10, 0u8..2), 0..7)) {
+            prop_assert!(v.len() < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_applies(x in 0u32..10) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_samples() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, "[a-z]{3}");
+        let mut a = TestRng::for_test("fixed");
+        let mut b = TestRng::for_test("fixed");
+        for _ in 0..50 {
+            assert_eq!(strat.sample_raw(&mut a), strat.sample_raw(&mut b));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_produce_values() {
+        use crate::strategy::Strategy;
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        let leaf = prop_oneof![(0u8..10).prop_map(T::Leaf), Just(T::Leaf(99))];
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| T::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = TestRng::for_test("tree");
+        let mut saw_node = false;
+        for _ in 0..64 {
+            if matches!(tree.sample_raw(&mut rng), Some(T::Node(_, _))) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    #[test]
+    fn index_modulo() {
+        let ix = crate::sample::Index(13);
+        assert_eq!(ix.index(5), 3);
+    }
+}

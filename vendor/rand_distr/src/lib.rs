@@ -1,0 +1,144 @@
+//! Offline vendored stand-in for `rand_distr` 0.4.
+//!
+//! Provides the two distributions Gallery's simulators use: [`Normal`]
+//! (Box–Muller transform) and [`Poisson`] (Knuth's product method, with a
+//! normal approximation for large means). Matches the 0.4 API shape:
+//! `new` returns `Result`, `Poisson::sample` yields `f64`.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can generate samples of `T` given an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("std_dev must be finite and non-negative"));
+        }
+        if !mean.is_finite() {
+            return Err(Error("mean must be finite"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, mut rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one standard normal. u1 is nudged
+        // away from 0 so ln() stays finite.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(Error("lambda must be finite and > 0"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, mut rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below
+            // exp(-lambda).
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen_range(0.0..1.0);
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.gen_range(0.0f64..1.0);
+            }
+            count as f64
+        } else {
+            // Normal approximation, adequate for arrival-rate simulation.
+            let normal = Normal::new(self.lambda, self.lambda.sqrt()).expect("valid");
+            normal.sample(rng).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(5.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = Poisson::new(3.5).unwrap();
+        let n = 20_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Poisson::new(100.0).unwrap();
+        let n = 5_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,603 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! A zero-dependency proc macro (no syn/quote) that walks the raw
+//! `TokenTree`s of the derive input and emits impls of the simplified
+//! `serde::Serialize` / `serde::Deserialize` traits (the `Content`-tree
+//! model in the sibling `serde` stub). Supported shapes: named and tuple
+//! structs; enums with unit / newtype / tuple / struct variants encoded
+//! externally tagged; container attr `untagged`; field attrs `rename`,
+//! `default`, `skip_serializing_if`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Mini AST
+// ---------------------------------------------------------------------------
+
+struct Field {
+    ident: String,
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.ident)
+    }
+}
+
+enum Shape {
+    Unit,
+    /// Parenthesised payload with the given arity (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    shape: Shape,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// serde attrs collected from `#[serde(...)]` lists.
+#[derive(Default)]
+struct SerdeAttrs {
+    untagged: bool,
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+fn parse_input(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let container_attrs = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    skip_generics(&tokens, &mut i);
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: enum `{name}` has no body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        untagged: container_attrs.untagged,
+        data,
+    }
+}
+
+/// Consume leading `#[...]` attributes, returning merged serde attrs.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_attr_group(g.stream(), &mut attrs);
+                *i += 2;
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Inspect one `[...]` attribute body; merge `serde(...)` keys into `attrs`.
+fn parse_attr_group(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            parse_serde_list(g.stream(), attrs);
+        }
+        _ => {} // doc comments, cfg, derive, …
+    }
+}
+
+/// Parse `rename = "..."` / `default` / `skip_serializing_if = "..."` /
+/// `untagged` from the inside of `serde(...)`.
+fn parse_serde_list(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let value = match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) if p.as_char() == '=' => {
+                i += 2;
+                Some(unquote(&lit.to_string()))
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("untagged", _) => attrs.untagged = true,
+            ("default", _) => attrs.default = true,
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_if = Some(v),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        // skip the separating comma, if any
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while let Some(tok) = tokens.get(*i) {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                *i += 1;
+                                return;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parse `ident: Type, …` possibly with per-field attrs and visibility.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let ident = expect_ident(&tokens, &mut i);
+        // ':'
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{ident}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            ident,
+            rename: attrs.rename,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+/// Skip a type expression up to (and including) the next top-level comma.
+/// Bracketed groups arrive pre-nested; only `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1, // `->` does not close a generic
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+/// Count comma-separated entries in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ident = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // skip the separating comma, if any
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { ident, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::UnitStruct => "::serde::Content::Null".to_string(),
+        Data::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_content(&self.{idx})"))
+                .collect();
+            format!(
+                "::serde::Content::Seq(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Data::NamedStruct(fields) => {
+            gen_serialize_fields(fields, "self.", "__m") + "\n        ::serde::Content::Map(__m)"
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v, item.untagged))
+                .collect();
+            format!("match self {{\n{}\n        }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Emit `let mut <map>; <push each field>` for named fields reached via
+/// `access` (e.g. `self.` or `` for bound idents).
+fn gen_serialize_fields(fields: &[Field], access: &str, map: &str) -> String {
+    let mut out = format!(
+        "let mut {map}: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::with_capacity({});\n",
+        fields.len()
+    );
+    for f in fields {
+        let expr = format!("&{access}{}", f.ident);
+        let push = format!(
+            "        {map}.push((\"{}\".to_string(), ::serde::Serialize::to_content({expr})));",
+            f.key()
+        );
+        match &f.skip_if {
+            Some(pred) => out.push_str(&format!(
+                "        if !({pred}({expr})) {{\n    {push}\n        }}\n"
+            )),
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn gen_serialize_variant(name: &str, v: &Variant, untagged: bool) -> String {
+    let vname = &v.ident;
+    match &v.shape {
+        Shape::Unit => {
+            let content = if untagged {
+                "::serde::Content::Null".to_string()
+            } else {
+                format!("::serde::Content::Str(\"{vname}\".to_string())")
+            };
+            format!("            {name}::{vname} => {content},")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_content(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!(
+                    "::serde::Content::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            };
+            let content = if untagged {
+                inner
+            } else {
+                format!(
+                    "::serde::Content::Map(::std::vec::Vec::from([(\"{vname}\".to_string(), {inner})]))"
+                )
+            };
+            format!(
+                "            {name}::{vname}({}) => {content},",
+                binds.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+            let fill = gen_serialize_fields(fields, "", "__vm");
+            let inner = "::serde::Content::Map(__vm)";
+            let content = if untagged {
+                inner.to_string()
+            } else {
+                format!(
+                    "::serde::Content::Map(::std::vec::Vec::from([(\"{vname}\".to_string(), {inner})]))"
+                )
+            };
+            format!(
+                "            {name}::{vname} {{ {} }} => {{\n        {fill}        {content}\n            }},",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+// Generated code expands inside the deriving crate's module, where prelude
+// names like `Result` may be shadowed (e.g. `type Result<T> = ...` aliases),
+// so every prelude item must be emitted fully qualified.
+const RESULT: &str = "::std::result::Result";
+const OK: &str = "::std::result::Result::Ok";
+const ERR: &str = "::std::result::Result::Err";
+const SOME: &str = "::std::option::Option::Some";
+const NONE: &str = "::std::option::Option::None";
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::UnitStruct => format!(
+            "match __c {{ ::serde::Content::Null => {OK}({name}), __other => {ERR}(::serde::DeError::expected(\"null\", __other, \"{name}\")) }}"
+        ),
+        Data::TupleStruct(1) => {
+            format!("{OK}({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_content(&__items[{idx}])?"))
+                .collect();
+            format!(
+                "match __c {{\n            ::serde::Content::Seq(__items) if __items.len() == {n} => {OK}({name}({})),\n            __other => {ERR}(::serde::DeError::expected(\"sequence of {n}\", __other, \"{name}\")),\n        }}",
+                items.join(", ")
+            )
+        }
+        Data::NamedStruct(fields) => {
+            let build = gen_deserialize_fields(fields, name, "__m");
+            format!(
+                "let __m = match __c {{\n            ::serde::Content::Map(__m) => __m,\n            __other => return {ERR}(::serde::DeError::expected(\"map\", __other, \"{name}\")),\n        }};\n        {OK}({name} {{\n{build}        }})"
+            )
+        }
+        Data::Enum(variants) if item.untagged => gen_deserialize_untagged(name, variants),
+        Data::Enum(variants) => gen_deserialize_tagged(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_content(__c: &::serde::Content) -> {RESULT}<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Emit `field: <decode>,` lines for a struct literal, reading keys from
+/// the map binding `map`.
+fn gen_deserialize_fields(fields: &[Field], context: &str, map: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = f.key();
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            // Option fields decode Null to None; everything else reports
+            // the missing key.
+            format!(
+                "::serde::Deserialize::from_content(&::serde::Content::Null).map_err(|_| ::serde::DeError::missing_field(\"{key}\", \"{context}\"))?"
+            )
+        };
+        out.push_str(&format!(
+            "            {}: match ::serde::__find({map}, \"{key}\") {{\n                {SOME}(__v) => ::serde::Deserialize::from_content(__v)?,\n                {NONE} => {missing},\n            }},\n",
+            f.ident
+        ));
+    }
+    out
+}
+
+fn gen_deserialize_tagged(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as bare strings.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("                \"{0}\" => {OK}({name}::{0}),", v.ident))
+        .collect();
+
+    // Payload variants arrive as single-key maps.
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.ident;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "                \"{vname}\" => {OK}({name}::{vname}(::serde::Deserialize::from_content(__v)?)),"
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Deserialize::from_content(&__items[{idx}])?"))
+                        .collect();
+                    Some(format!(
+                        "                \"{vname}\" => match __v {{\n                    ::serde::Content::Seq(__items) if __items.len() == {n} => {OK}({name}::{vname}({})),\n                    __other => {ERR}(::serde::DeError::expected(\"sequence of {n}\", __other, \"{name}::{vname}\")),\n                }},",
+                        items.join(", ")
+                    ))
+                }
+                Shape::Struct(fields) => {
+                    let build = gen_deserialize_fields(fields, &format!("{name}::{vname}"), "__vm");
+                    Some(format!(
+                        "                \"{vname}\" => {{\n                    let __vm = match __v {{\n                        ::serde::Content::Map(__vm) => __vm,\n                        __other => return {ERR}(::serde::DeError::expected(\"map\", __other, \"{name}::{vname}\")),\n                    }};\n                    {OK}({name}::{vname} {{\n{build}                    }})\n                }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __c {{\n            ::serde::Content::Str(__s) => match __s.as_str() {{\n{}\n                __other => {ERR}(::serde::DeError::unknown_variant(__other, \"{name}\")),\n            }},\n            ::serde::Content::Map(__m) if __m.len() == 1 => {{\n                let (__k, __v) = &__m[0];\n                match __k.as_str() {{\n{}\n                    __other => {ERR}(::serde::DeError::unknown_variant(__other, \"{name}\")),\n                }}\n            }}\n            __other => {ERR}(::serde::DeError::expected(\"string or single-key map\", __other, \"{name}\")),\n        }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}
+
+fn gen_deserialize_untagged(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    for v in variants {
+        let vname = &v.ident;
+        let attempt = match &v.shape {
+            Shape::Unit => format!(
+                "        if let ::serde::Content::Null = __c {{ return {OK}({name}::{vname}); }}\n"
+            ),
+            Shape::Tuple(1) => format!(
+                "        {{\n            let __r: {RESULT}<Self, ::serde::DeError> = (|| {OK}({name}::{vname}(::serde::Deserialize::from_content(__c)?)))();\n            if let {OK}(__v) = __r {{ return {OK}(__v); }}\n        }}\n"
+            ),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|idx| format!("::serde::Deserialize::from_content(&__items[{idx}])?"))
+                    .collect();
+                format!(
+                    "        if let ::serde::Content::Seq(__items) = __c {{\n            if __items.len() == {n} {{\n                let __r: {RESULT}<Self, ::serde::DeError> = (|| {OK}({name}::{vname}({})))();\n                if let {OK}(__v) = __r {{ return {OK}(__v); }}\n            }}\n        }}\n",
+                    items.join(", ")
+                )
+            }
+            Shape::Struct(fields) => {
+                let build = gen_deserialize_fields(fields, &format!("{name}::{vname}"), "__vm");
+                format!(
+                    "        if let ::serde::Content::Map(__vm) = __c {{\n            let __r: {RESULT}<Self, ::serde::DeError> = (|| {OK}({name}::{vname} {{\n{build}            }}))();\n            if let {OK}(__v) = __r {{ return {OK}(__v); }}\n        }}\n"
+                )
+            }
+        };
+        out.push_str(&attempt);
+    }
+    out.push_str(&format!(
+        "        {ERR}(::serde::DeError::new(\"data did not match any variant of untagged enum {name}\"))"
+    ));
+    out
+}
