@@ -141,6 +141,27 @@ impl Clock for MonotonicClock {
     }
 }
 
+/// Adapts any core [`Clock`] into a telemetry
+/// [`gallery_telemetry::TimeSource`], so spans and events run on the same
+/// (possibly manual) clock as the rest of a simulation — the determinism
+/// tests build a `Telemetry::with_time_source` bundle over a
+/// [`ManualClock`] through this.
+pub struct ClockTimeSource {
+    inner: Arc<dyn Clock>,
+}
+
+impl ClockTimeSource {
+    pub fn new(inner: Arc<dyn Clock>) -> Self {
+        ClockTimeSource { inner }
+    }
+}
+
+impl gallery_telemetry::TimeSource for ClockTimeSource {
+    fn now_ms(&self) -> i64 {
+        self.inner.now_ms()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,7 +73,7 @@ impl Gallery {
                 new_dependency: upstream.to_string(),
             },
         )?;
-        self.propagate_from(model)?;
+        self.propagate_from(model, None)?;
         Ok(())
     }
 
@@ -170,7 +170,20 @@ impl Gallery {
     /// automatic instance version attributed to its *direct* upstream that
     /// changed; production pointers are untouched. Returns the models
     /// bumped, in propagation (BFS) order.
-    pub(crate) fn propagate_from(&self, changed: &ModelId) -> Result<Vec<ModelId>> {
+    pub(crate) fn propagate_from(
+        &self,
+        changed: &ModelId,
+        parent: Option<gallery_telemetry::SpanContext>,
+    ) -> Result<Vec<ModelId>> {
+        let metrics = self.registry_metrics();
+        let mut span = match parent {
+            Some(ctx) => metrics
+                .telemetry
+                .tracer()
+                .start_child("registry/propagate", ctx),
+            None => metrics.telemetry.tracer().start_span("registry/propagate"),
+        };
+        span.set_attr("changed", changed.as_str());
         // BFS over downstream edges; attribute each bump to the direct
         // upstream through which the change arrived.
         let mut seen: HashSet<ModelId> = HashSet::new();
@@ -192,6 +205,8 @@ impl Gallery {
                 }
             }
         }
+        metrics.propagated.add(bumped.len() as u64);
+        span.set_attr("bumped", bumped.len().to_string());
         Ok(bumped)
     }
 }

@@ -42,7 +42,8 @@ pub mod semver;
 pub mod version;
 
 pub use clock::{
-    Clock, ManualClock, SimulatedSleeper, Sleeper, SystemClock, SystemSleeper, TimestampMs,
+    Clock, ClockTimeSource, ManualClock, SimulatedSleeper, Sleeper, SystemClock, SystemSleeper,
+    TimestampMs,
 };
 pub use error::{GalleryError, Result};
 pub use events::{EventBus, GalleryEvent};

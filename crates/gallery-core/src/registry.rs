@@ -20,7 +20,41 @@ use crate::version::{DisplayVersion, InstanceTrigger};
 use bytes::Bytes;
 use gallery_store::blob::memory::MemoryBlobStore;
 use gallery_store::{Constraint, Dal, MetadataStore, Query, Record, Value};
+use gallery_telemetry::{Counter, Histogram, Telemetry};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Pre-minted registry telemetry handles, one set per [`Gallery`]
+/// (`gallery_registry_*`). Handles are resolved once at construction so
+/// the operation paths never touch the registry lock.
+pub(crate) struct RegistryMetrics {
+    pub(crate) telemetry: Arc<Telemetry>,
+    create_model: Arc<Counter>,
+    upload_instance: Arc<Counter>,
+    model_query: Arc<Counter>,
+    pub(crate) propagated: Arc<Counter>,
+    upload_ms: Arc<Histogram>,
+    query_ms: Arc<Histogram>,
+}
+
+impl RegistryMetrics {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        RegistryMetrics {
+            create_model: r.counter("gallery_registry_ops_total", &[("op", "create_model")]),
+            upload_instance: r.counter("gallery_registry_ops_total", &[("op", "upload_instance")]),
+            model_query: r.counter("gallery_registry_ops_total", &[("op", "model_query")]),
+            propagated: r.counter("gallery_registry_propagated_instances_total", &[]),
+            upload_ms: r.duration_histogram(
+                "gallery_registry_op_duration_ms",
+                &[("op", "upload_instance")],
+            ),
+            query_ms: r
+                .duration_histogram("gallery_registry_op_duration_ms", &[("op", "model_query")]),
+            telemetry,
+        }
+    }
+}
 
 /// The Gallery model-management system.
 pub struct Gallery {
@@ -32,6 +66,7 @@ pub struct Gallery {
     /// the identity; display versions are the human-facing counter and
     /// must not collide).
     version_lock: parking_lot::Mutex<()>,
+    metrics: RegistryMetrics,
 }
 
 impl Gallery {
@@ -49,7 +84,22 @@ impl Gallery {
             dal,
             events: EventBus::new(),
             version_lock: parking_lot::Mutex::new(()),
+            metrics: RegistryMetrics::new(Arc::clone(gallery_telemetry::global())),
         })
+    }
+
+    /// Record registry-level telemetry (`gallery_registry_*` metrics and
+    /// `registry/*` spans) into an explicit bundle instead of the global
+    /// one. Storage-level metrics follow the DAL's own bundle — attach the
+    /// same one via [`Dal::with_telemetry`] before [`Gallery::open`] to get
+    /// a single registry end to end.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = RegistryMetrics::new(telemetry);
+        self
+    }
+
+    pub(crate) fn registry_metrics(&self) -> &RegistryMetrics {
+        &self.metrics
     }
 
     /// Fully in-memory Gallery with the system clock — the common test and
@@ -97,6 +147,7 @@ impl Gallery {
     /// Register a new model with an explicit display-major (used by the
     /// figure-reproduction experiments to match the paper's numbering).
     pub fn create_model_with_major(&self, spec: ModelSpec, display_major: u32) -> Result<Model> {
+        self.metrics.create_model.inc();
         if spec.base_version_id.is_empty() || spec.project.is_empty() {
             return Err(GalleryError::Invalid(
                 "model spec requires project and base_version_id".into(),
@@ -201,6 +252,14 @@ impl Gallery {
         spec: InstanceSpec,
         blob: Bytes,
     ) -> Result<ModelInstance> {
+        self.metrics.upload_instance.inc();
+        let started = Instant::now();
+        let mut span = self
+            .metrics
+            .telemetry
+            .tracer()
+            .start_span("registry/upload_instance");
+        span.set_attr("model_id", model_id.as_str());
         let model = self.get_model(model_id)?;
         if model.deprecated {
             return Err(GalleryError::Deprecated(model_id.to_string()));
@@ -239,7 +298,8 @@ impl Gallery {
             automatic: false,
         });
         // A real retrain ripples through the dependency graph (Fig 6).
-        self.propagate_from(model_id)?;
+        self.propagate_from(model_id, Some(span.context()))?;
+        self.metrics.upload_ms.observe_since(started);
         Ok(instance)
     }
 
@@ -499,6 +559,23 @@ impl Gallery {
     /// (`project`, `model_name`, `city`, ...); metric-side constraints use
     /// the reserved fields `metricName`, `metricValue`, `metricScope`.
     pub fn model_query(&self, constraints: &[Constraint]) -> Result<Vec<ModelInstance>> {
+        self.metrics.model_query.inc();
+        let started = Instant::now();
+        let mut span = self
+            .metrics
+            .telemetry
+            .tracer()
+            .start_span("registry/model_query");
+        span.set_attr("constraints", constraints.len().to_string());
+        let result = self.model_query_inner(constraints);
+        if let Ok(instances) = &result {
+            span.set_attr("results", instances.len().to_string());
+        }
+        self.metrics.query_ms.observe_since(started);
+        result
+    }
+
+    fn model_query_inner(&self, constraints: &[Constraint]) -> Result<Vec<ModelInstance>> {
         let mut instance_constraints = Vec::new();
         let mut metric_name: Option<String> = None;
         let mut metric_scope: Option<String> = None;

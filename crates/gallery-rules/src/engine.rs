@@ -15,6 +15,7 @@ use crate::rule::{CompiledRule, RuleKind};
 use crate::selection;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gallery_core::{Gallery, GalleryEvent, InstanceId, ModelInstance};
+use gallery_telemetry::Telemetry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -78,6 +79,7 @@ struct EngineShared {
     actions: ActionRegistry,
     rules: RwLock<HashMap<String, CompiledRule>>,
     stats: Mutex<EngineStats>,
+    telemetry: Arc<Telemetry>,
     /// Jobs enqueued but not yet completed (drain barrier).
     in_flight: std::sync::atomic::AtomicU64,
 }
@@ -91,14 +93,33 @@ pub struct RuleEngine {
 }
 
 impl RuleEngine {
-    /// Create an engine over a Gallery with a worker pool.
+    /// Create an engine over a Gallery with a worker pool. Per-rule eval
+    /// telemetry lands in the process-global bundle; use
+    /// [`RuleEngine::new_with_telemetry`] to direct it elsewhere.
     pub fn new(gallery: Arc<Gallery>, actions: ActionRegistry, workers: usize) -> Arc<Self> {
+        Self::new_with_telemetry(
+            gallery,
+            actions,
+            workers,
+            Arc::clone(gallery_telemetry::global()),
+        )
+    }
+
+    /// [`RuleEngine::new`] with an explicit telemetry bundle for the
+    /// per-rule evaluation counters and timing histograms.
+    pub fn new_with_telemetry(
+        gallery: Arc<Gallery>,
+        actions: ActionRegistry,
+        workers: usize,
+        telemetry: Arc<Telemetry>,
+    ) -> Arc<Self> {
         let (tx, rx) = unbounded::<Job>();
         let shared = Arc::new(EngineShared {
             gallery,
             actions,
             rules: RwLock::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
+            telemetry,
             in_flight: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
@@ -282,7 +303,10 @@ fn worker_loop(shared: Arc<EngineShared>, rx: Receiver<Job>) {
                 let result = if rule_id == "__barrier__" {
                     Ok(None)
                 } else {
-                    run_selection(&shared, &rule_id)
+                    let started = Instant::now();
+                    let result = run_selection(&shared, &rule_id);
+                    observe_eval(&shared, &rule_id, "select", started);
+                    result
                 };
                 finish_job(&shared, enqueued_at, result.is_err());
                 let _ = reply.send(result);
@@ -293,19 +317,39 @@ fn worker_loop(shared: Arc<EngineShared>, rx: Receiver<Job>) {
                 trigger_metric,
                 enqueued_at,
             } => {
+                let started = Instant::now();
                 let errored = match run_action(&shared, &rule_id, &instance_id, trigger_metric) {
                     Ok(fired) => {
                         if fired {
                             shared.stats.lock().fired += 1;
+                            shared
+                                .telemetry
+                                .registry()
+                                .counter("gallery_rules_fired_total", &[("rule", &rule_id)])
+                                .inc();
                         }
                         false
                     }
                     Err(_) => true,
                 };
+                observe_eval(&shared, &rule_id, "evaluate", started);
                 finish_job(&shared, enqueued_at, errored);
             }
         }
     }
+}
+
+/// Per-rule evaluation accounting: one counter tick plus a latency sample
+/// per worker-side evaluation, labelled by rule id and job kind.
+fn observe_eval(shared: &EngineShared, rule_id: &str, kind: &str, started: Instant) {
+    let reg = shared.telemetry.registry();
+    reg.counter(
+        "gallery_rules_evals_total",
+        &[("kind", kind), ("rule", rule_id)],
+    )
+    .inc();
+    reg.duration_histogram("gallery_rule_eval_duration_ms", &[("rule", rule_id)])
+        .observe_since(started);
 }
 
 fn finish_job(shared: &EngineShared, enqueued_at: Instant, errored: bool) {

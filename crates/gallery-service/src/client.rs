@@ -13,8 +13,10 @@ use crate::resilience::Resilience;
 use crate::transport::{Transport, TransportErrorKind};
 use crate::wire::WireError;
 use bytes::Bytes;
+use gallery_telemetry::{kinds, SpanContext, Telemetry};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Client-side error, classified for retry decisions.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +78,7 @@ impl From<WireError> for ClientError {
 pub struct GalleryClient {
     transport: Arc<dyn Transport>,
     resilience: Option<Arc<Resilience>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl GalleryClient {
@@ -83,6 +86,7 @@ impl GalleryClient {
         GalleryClient {
             transport,
             resilience: None,
+            telemetry: Arc::clone(gallery_telemetry::global()),
         }
     }
 
@@ -94,15 +98,86 @@ impl GalleryClient {
         self
     }
 
+    /// Record client RPC telemetry into an explicit bundle instead of the
+    /// global one. Every logical call opens a `rpc.client/<method>` span
+    /// whose context rides in the wire envelope, and every physical
+    /// attempt emits a `rpc.attempt` event on that trace.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     pub fn resilience(&self) -> Option<&Arc<Resilience>> {
         self.resilience.as_ref()
     }
 
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     fn call(&self, request: Request) -> Result<Response, ClientError> {
-        match &self.resilience {
-            None => self.call_once(request.encode()),
-            Some(r) => self.call_resilient(r, request),
-        }
+        let method = request.method_name();
+        let started = Instant::now();
+        let mut span = self
+            .telemetry
+            .tracer()
+            .start_span(format!("rpc.client/{method}"));
+        span.set_attr("method", method);
+        let trace = span.context();
+        let result = match &self.resilience {
+            None => {
+                let outcome = self.call_once(request.encode_with(None, Some(trace)));
+                self.observe_attempt(method, trace, 1, 0, &outcome);
+                outcome
+            }
+            Some(r) => self.call_resilient(r, request, trace),
+        };
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        let reg = self.telemetry.registry();
+        reg.counter(
+            "gallery_rpc_client_calls_total",
+            &[("method", method), ("outcome", outcome)],
+        )
+        .inc();
+        reg.duration_histogram("gallery_rpc_client_call_duration_ms", &[("method", method)])
+            .observe_since(started);
+        span.set_attr("outcome", outcome);
+        span.finish();
+        result
+    }
+
+    /// Count one physical attempt and emit its `rpc.attempt` event on the
+    /// call's trace. `delay_ms` is the backoff slept before this attempt
+    /// (0 for the first).
+    fn observe_attempt(
+        &self,
+        method: &'static str,
+        trace: SpanContext,
+        attempt: u32,
+        delay_ms: u64,
+        outcome: &Result<Response, ClientError>,
+    ) {
+        self.telemetry
+            .registry()
+            .counter("gallery_rpc_client_attempts_total", &[("method", method)])
+            .inc();
+        let verdict = match outcome {
+            Ok(_) => "ok",
+            Err(ClientError::Transport { .. }) => "transport_error",
+            Err(ClientError::Remote { .. }) => "remote_error",
+            Err(ClientError::Protocol(_)) => "protocol_error",
+            Err(ClientError::CircuitOpen { .. }) => "circuit_open",
+        };
+        self.telemetry.events().emit_traced(
+            kinds::RPC_ATTEMPT,
+            Some(trace.trace_id),
+            vec![
+                ("method", method.to_string()),
+                ("attempt", attempt.to_string()),
+                ("delay_ms", delay_ms.to_string()),
+                ("outcome", verdict.to_string()),
+            ],
+        );
     }
 
     /// One attempt: encode → transport → decode → unwrap server errors.
@@ -122,27 +197,35 @@ impl GalleryClient {
     }
 
     /// The retry loop. Encodes once (mutating requests get a fresh
-    /// idempotency key that every retry re-sends verbatim), then:
-    /// breaker admit → attempt → classify → backoff within deadline.
+    /// idempotency key that every retry re-sends verbatim, and the trace
+    /// context rides in the envelope so every attempt — and the server
+    /// handler span — lands in one trace), then: breaker admit → attempt →
+    /// classify → backoff within deadline.
     fn call_resilient(
         &self,
         r: &Arc<Resilience>,
         request: Request,
+        trace: SpanContext,
     ) -> Result<Response, ClientError> {
         let endpoint = request.method_name();
-        let frame = if request.is_mutating() {
-            request.encode_keyed(&r.next_key())
-        } else {
-            request.encode()
-        };
+        let key = request.is_mutating().then(|| r.next_key());
+        let frame = request.encode_with(key.as_deref(), Some(trace));
         let policy = r.policy().clone();
         let started = r.clock().now_ms();
         r.stats_mut().calls += 1;
         let mut retry: u32 = 0;
+        let mut slept_ms: u64 = 0;
         loop {
             if let Some(breaker) = r.breaker() {
                 if !breaker.admit(endpoint) {
                     r.stats_mut().breaker_rejections += 1;
+                    self.telemetry
+                        .registry()
+                        .counter(
+                            "gallery_rpc_breaker_rejections_total",
+                            &[("method", endpoint)],
+                        )
+                        .inc();
                     return Err(ClientError::CircuitOpen {
                         endpoint: endpoint.to_owned(),
                     });
@@ -150,6 +233,7 @@ impl GalleryClient {
             }
             r.stats_mut().attempts += 1;
             let outcome = self.call_once(frame.clone());
+            self.observe_attempt(endpoint, trace, retry + 1, slept_ms, &outcome);
             // Remote and Protocol errors mean the transport did its job.
             let transport_ok = !matches!(outcome, Err(ClientError::Transport { .. }));
             if let Some(breaker) = r.breaker() {
@@ -177,6 +261,7 @@ impl GalleryClient {
                 stats.backoff_ms_total += delay;
             }
             r.sleeper().sleep_ms(delay);
+            slept_ms = delay;
             retry += 1;
         }
     }

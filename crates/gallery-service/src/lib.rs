@@ -14,6 +14,14 @@
 //! with deterministic jittered backoff, per-call deadlines, per-endpoint
 //! circuit breakers, and idempotency-keyed mutations deduped by the
 //! server's [`server::IdempotencyCache`]. See `docs/resilience.md`.
+//!
+//! The whole layer is instrumented through [`gallery_telemetry`]
+//! (re-exported as [`telemetry`]): every logical client call opens a
+//! `rpc.client/<method>` span whose context rides the wire in the trace
+//! envelope, every physical attempt emits a `rpc.attempt` event, breaker
+//! flips emit `breaker.transition` events, and the server records a
+//! `rpc.server/<method>` child span plus `gallery_rpc_*` counters and
+//! latency histograms. See `docs/observability.md`.
 
 pub mod client;
 pub mod messages;
@@ -22,10 +30,12 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
+pub use gallery_telemetry as telemetry;
+
 pub use client::{ClientError, GalleryClient};
 pub use messages::{
-    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireOp,
-    WireValue,
+    DecodedRequest, ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
+    WireOp, WireValue,
 };
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Resilience, ResilienceStats, RetryPolicy,

@@ -8,6 +8,7 @@
 
 use crate::wire::{Reader, WireError, Writer};
 use bytes::Bytes;
+use gallery_telemetry::SpanContext;
 
 /// A query constraint as carried on the wire (Listing 5's
 /// `(field, operator, value)` triples).
@@ -216,6 +217,23 @@ pub enum Request {
 /// decoders accept both framings.
 pub const KEYED_REQUEST_TAG: u8 = 0;
 
+/// Frame tag of the trace-context envelope: `[tag][trace_id uvarint]`
+/// `[span_id uvarint]` followed by a keyed or plain request. The trace
+/// envelope is always outermost, so a server can stitch its handler span
+/// into the caller's trace before it even looks at the key or method.
+/// Tag 254 is far above the request tag range, so old decoders reject
+/// traced frames cleanly.
+pub const TRACE_ENVELOPE_TAG: u8 = 254;
+
+/// A fully decoded inbound frame: the propagated trace context and
+/// idempotency key (either may be absent) plus the request itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedRequest {
+    pub trace: Option<SpanContext>,
+    pub key: Option<String>,
+    pub request: Request,
+}
+
 impl Request {
     fn tag(&self) -> u8 {
         match self {
@@ -297,10 +315,7 @@ impl Request {
 
     /// Encode to a framed wire message.
     pub fn encode(&self) -> Bytes {
-        let mut w = Writer::new();
-        w.put_u8(self.tag());
-        self.encode_payload(&mut w);
-        w.frame()
+        self.encode_with(None, None)
     }
 
     /// Encode wrapped in the idempotency-key envelope: tag 0, then the
@@ -308,9 +323,24 @@ impl Request {
     /// envelope dedupe on the key; byte-identical re-sends are therefore
     /// safe for mutating requests.
     pub fn encode_keyed(&self, key: &str) -> Bytes {
+        self.encode_with(Some(key), None)
+    }
+
+    /// Encode with any combination of envelopes: trace context outermost,
+    /// then the idempotency key, then the tagged payload. This is what the
+    /// instrumented client sends; `encode`/`encode_keyed` are the
+    /// envelope-free special cases.
+    pub fn encode_with(&self, key: Option<&str>, trace: Option<SpanContext>) -> Bytes {
         let mut w = Writer::new();
-        w.put_u8(KEYED_REQUEST_TAG);
-        w.put_str(key);
+        if let Some(ctx) = trace {
+            w.put_u8(TRACE_ENVELOPE_TAG);
+            w.put_uvarint(ctx.trace_id);
+            w.put_uvarint(ctx.span_id);
+        }
+        if let Some(key) = key {
+            w.put_u8(KEYED_REQUEST_TAG);
+            w.put_str(key);
+        }
         w.put_u8(self.tag());
         self.encode_payload(&mut w);
         w.frame()
@@ -414,31 +444,56 @@ impl Request {
         }
     }
 
-    /// Decode from a framed wire message, accepting both plain and keyed
-    /// framings and discarding the key. Servers use [`Request::decode_any`]
-    /// to observe the key.
+    /// Decode from a framed wire message, accepting any envelope framing
+    /// and discarding the envelopes. Servers use [`Request::decode_full`]
+    /// to observe the key and trace context.
     pub fn decode(framed: Bytes) -> Result<Self, WireError> {
-        Self::decode_any(framed).map(|(_, req)| req)
+        Self::decode_full(framed).map(|d| d.request)
     }
 
     /// Decode from a framed wire message, returning the idempotency key if
     /// the frame used the keyed envelope.
     pub fn decode_any(framed: Bytes) -> Result<(Option<String>, Self), WireError> {
+        Self::decode_full(framed).map(|d| (d.key, d.request))
+    }
+
+    /// Decode a frame in full: optional trace envelope, optional key
+    /// envelope, then the request. Envelopes must appear in that order,
+    /// each at most once.
+    pub fn decode_full(framed: Bytes) -> Result<DecodedRequest, WireError> {
         let mut r = Reader::unframe(framed)?;
         let mut tag = r.get_u8()?;
+        let trace = if tag == TRACE_ENVELOPE_TAG {
+            let trace_id = r.get_uvarint()?;
+            let span_id = r.get_uvarint()?;
+            tag = r.get_u8()?;
+            if tag == TRACE_ENVELOPE_TAG {
+                return Err(WireError::new("nested trace envelope"));
+            }
+            Some(SpanContext { trace_id, span_id })
+        } else {
+            None
+        };
         let key = if tag == KEYED_REQUEST_TAG {
             let key = r.get_str()?;
             tag = r.get_u8()?;
             if tag == KEYED_REQUEST_TAG {
                 return Err(WireError::new("nested keyed envelope"));
             }
+            if tag == TRACE_ENVELOPE_TAG {
+                return Err(WireError::new("trace envelope inside keyed envelope"));
+            }
             Some(key)
         } else {
             None
         };
-        let req = Self::decode_payload(&mut r, tag)?;
+        let request = Self::decode_payload(&mut r, tag)?;
         r.finish()?;
-        Ok((key, req))
+        Ok(DecodedRequest {
+            trace,
+            key,
+            request,
+        })
     }
 
     fn decode_payload(r: &mut Reader, tag: u8) -> Result<Self, WireError> {
@@ -1020,6 +1075,57 @@ mod tests {
         w.put_u8(KEYED_REQUEST_TAG);
         w.put_str("inner");
         assert!(Request::decode(w.frame()).is_err());
+    }
+
+    #[test]
+    fn trace_envelope_roundtrips_with_and_without_key() {
+        let req = Request::GetModel {
+            model_id: "m".into(),
+        };
+        let ctx = SpanContext {
+            trace_id: 77,
+            span_id: 1_000_000,
+        };
+        // Trace only.
+        let decoded = Request::decode_full(req.encode_with(None, Some(ctx))).unwrap();
+        assert_eq!(decoded.trace, Some(ctx));
+        assert_eq!(decoded.key, None);
+        assert_eq!(decoded.request, req);
+        // Trace wrapping a keyed request.
+        let decoded = Request::decode_full(req.encode_with(Some("k-1"), Some(ctx))).unwrap();
+        assert_eq!(decoded.trace, Some(ctx));
+        assert_eq!(decoded.key.as_deref(), Some("k-1"));
+        assert_eq!(decoded.request, req);
+        // Plain decode ignores both envelopes.
+        assert_eq!(
+            Request::decode(req.encode_with(Some("k-1"), Some(ctx))).unwrap(),
+            req
+        );
+        // Legacy framings report no trace.
+        assert_eq!(Request::decode_full(req.encode()).unwrap().trace, None);
+        assert_eq!(
+            Request::decode_full(req.encode_keyed("k")).unwrap().trace,
+            None
+        );
+    }
+
+    #[test]
+    fn misordered_trace_envelopes_rejected() {
+        // Trace inside trace.
+        let mut w = Writer::new();
+        w.put_u8(TRACE_ENVELOPE_TAG);
+        w.put_uvarint(1);
+        w.put_uvarint(2);
+        w.put_u8(TRACE_ENVELOPE_TAG);
+        assert!(Request::decode_full(w.frame()).is_err());
+        // Trace inside keyed (the trace envelope must be outermost).
+        let mut w = Writer::new();
+        w.put_u8(KEYED_REQUEST_TAG);
+        w.put_str("k");
+        w.put_u8(TRACE_ENVELOPE_TAG);
+        w.put_uvarint(1);
+        w.put_uvarint(2);
+        assert!(Request::decode_full(w.frame()).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! backoff sleeps cost zero wall-clock seconds.
 
 use gallery_core::clock::{Clock, Sleeper, TimestampMs};
+use gallery_telemetry::{kinds, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -154,6 +155,18 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lowercase label used in telemetry events, metric labels, and
+    /// the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct EndpointBreaker {
     state: BreakerState,
@@ -191,6 +204,7 @@ pub struct CircuitBreaker {
     config: BreakerConfig,
     clock: Arc<dyn Clock>,
     endpoints: Mutex<HashMap<String, EndpointBreaker>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl CircuitBreaker {
@@ -199,7 +213,37 @@ impl CircuitBreaker {
             config,
             clock,
             endpoints: Mutex::new(HashMap::new()),
+            telemetry: Arc::clone(gallery_telemetry::global()),
         }
+    }
+
+    /// Record state transitions into `telemetry` instead of the global
+    /// bundle (`gallery_breaker_transitions_total` plus a
+    /// `breaker.transition` event per flip).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Count and report one state flip. Called with the endpoint map
+    /// locked; both telemetry sinks use their own leaf locks, so there is
+    /// no ordering hazard.
+    fn note_transition(&self, endpoint: &str, next: BreakerState, now: TimestampMs) {
+        self.telemetry
+            .registry()
+            .counter(
+                "gallery_breaker_transitions_total",
+                &[("endpoint", endpoint), ("to", next.as_str())],
+            )
+            .inc();
+        self.telemetry.events().emit(
+            kinds::BREAKER_TRANSITION,
+            vec![
+                ("endpoint", endpoint.to_string()),
+                ("to", next.as_str().to_string()),
+                ("at_ms", now.to_string()),
+            ],
+        );
     }
 
     /// Ask to place a call on `endpoint`. `false` means fail fast without
@@ -217,6 +261,7 @@ impl CircuitBreaker {
                 if now >= b.opened_at + self.config.open_ms as TimestampMs {
                     b.transition(BreakerState::HalfOpen, now);
                     b.probe_in_flight = true;
+                    self.note_transition(endpoint, BreakerState::HalfOpen, now);
                     true
                 } else {
                     false
@@ -246,9 +291,11 @@ impl CircuitBreaker {
                 if success {
                     b.outcomes.clear();
                     b.transition(BreakerState::Closed, now);
+                    self.note_transition(endpoint, BreakerState::Closed, now);
                 } else {
                     b.opened_at = now;
                     b.transition(BreakerState::Open, now);
+                    self.note_transition(endpoint, BreakerState::Open, now);
                 }
             }
             BreakerState::Closed => {
@@ -262,6 +309,7 @@ impl CircuitBreaker {
                     if failures as f64 / n as f64 >= self.config.failure_threshold {
                         b.opened_at = now;
                         b.transition(BreakerState::Open, now);
+                        self.note_transition(endpoint, BreakerState::Open, now);
                     }
                 }
             }
@@ -327,6 +375,7 @@ pub struct Resilience {
     key_prefix: String,
     key_counter: AtomicU64,
     stats: Mutex<ResilienceStats>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Resilience {
@@ -347,13 +396,34 @@ impl Resilience {
             key_prefix: format!("c{seed:x}"),
             key_counter: AtomicU64::new(0),
             stats: Mutex::new(ResilienceStats::default()),
+            telemetry: Arc::clone(gallery_telemetry::global()),
         }
     }
 
-    /// Attach a circuit breaker (sharing this bundle's clock).
+    /// Attach a circuit breaker (sharing this bundle's clock and
+    /// telemetry).
     pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
-        self.breaker = Some(CircuitBreaker::new(config, Arc::clone(&self.clock)));
+        self.breaker = Some(
+            CircuitBreaker::new(config, Arc::clone(&self.clock))
+                .with_telemetry(Arc::clone(&self.telemetry)),
+        );
         self
+    }
+
+    /// Record retry-loop telemetry into an explicit bundle instead of the
+    /// global one. Also re-points an already-attached breaker, so the
+    /// builder order relative to [`Resilience::with_breaker`] does not
+    /// matter.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        if let Some(b) = self.breaker.take() {
+            self.breaker = Some(b.with_telemetry(Arc::clone(&telemetry)));
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     pub fn policy(&self) -> &RetryPolicy {

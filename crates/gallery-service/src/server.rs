@@ -16,9 +16,11 @@ use gallery_core::{
 };
 use gallery_rules::RuleEngine;
 use gallery_store::{Constraint, Op, StoreError, Value};
+use gallery_telemetry::{kinds, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Server-side idempotency-key dedupe (the other half of the client's
 /// keyed-request envelope). Maps key → the encoded response of the first
@@ -179,6 +181,7 @@ pub struct GalleryServer {
     gallery: Arc<Gallery>,
     engine: Option<Arc<RuleEngine>>,
     idempotency: IdempotencyCache,
+    telemetry: Arc<Telemetry>,
 }
 
 impl GalleryServer {
@@ -187,7 +190,17 @@ impl GalleryServer {
             gallery,
             engine: None,
             idempotency: IdempotencyCache::default(),
+            telemetry: Arc::clone(gallery_telemetry::global()),
         }
+    }
+
+    /// Record server-side RPC telemetry into an explicit bundle instead of
+    /// the global one. Each handled frame gets a `rpc.server/<method>`
+    /// span, stitched under the caller's span when the frame carries a
+    /// trace envelope.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Attach a rule engine so that `SelectChampion` / `TriggerRule`
@@ -215,26 +228,70 @@ impl GalleryServer {
     /// Handle one framed request, producing a framed response. Malformed
     /// frames produce an `Err` response rather than tearing the connection.
     /// Keyed requests replay the recorded response when the key was seen.
+    /// Frames carrying a trace envelope get their handler span stitched
+    /// into the caller's trace.
     pub fn handle_frame(&self, frame: Bytes) -> Bytes {
-        match Request::decode_any(frame) {
-            Ok((Some(key), request)) => {
+        let decoded = match Request::decode_full(frame) {
+            Ok(d) => d,
+            Err(e) => {
+                self.telemetry
+                    .registry()
+                    .counter("gallery_rpc_server_decode_errors_total", &[])
+                    .inc();
+                return Response::Err {
+                    code: ErrorCode::Invalid,
+                    message: e.to_string(),
+                }
+                .encode();
+            }
+        };
+        let method = decoded.request.method_name();
+        let started = Instant::now();
+        let tracer = self.telemetry.tracer();
+        let mut span = match decoded.trace {
+            Some(remote) => tracer.start_child(format!("rpc.server/{method}"), remote),
+            None => tracer.start_span(format!("rpc.server/{method}")),
+        };
+        span.set_attr("method", method);
+        let trace_id = span.context().trace_id;
+        let encoded = match decoded.key {
+            Some(key) => {
                 if let Some(recorded) = self.idempotency.get(&key) {
-                    return recorded;
+                    self.telemetry
+                        .registry()
+                        .counter(
+                            "gallery_rpc_idempotent_replays_total",
+                            &[("method", method)],
+                        )
+                        .inc();
+                    self.telemetry.events().emit_traced(
+                        kinds::IDEMPOTENT_REPLAY,
+                        Some(trace_id),
+                        vec![("method", method.to_string()), ("key", key.clone())],
+                    );
+                    span.set_attr("replay", "true");
+                    recorded
+                } else {
+                    let response = self.dispatch(decoded.request);
+                    let encoded = response.encode();
+                    if !matches!(response, Response::Err { .. }) {
+                        self.idempotency.put(key, encoded.clone());
+                    }
+                    encoded
                 }
-                let response = self.dispatch(request);
-                let encoded = response.encode();
-                if !matches!(response, Response::Err { .. }) {
-                    self.idempotency.put(key, encoded.clone());
-                }
-                encoded
             }
-            Ok((None, request)) => self.dispatch(request).encode(),
-            Err(e) => Response::Err {
-                code: ErrorCode::Invalid,
-                message: e.to_string(),
-            }
-            .encode(),
-        }
+            None => self.dispatch(decoded.request).encode(),
+        };
+        let reg = self.telemetry.registry();
+        reg.counter("gallery_rpc_server_requests_total", &[("method", method)])
+            .inc();
+        reg.duration_histogram(
+            "gallery_rpc_server_handle_duration_ms",
+            &[("method", method)],
+        )
+        .observe_since(started);
+        span.finish();
+        encoded
     }
 
     /// Dispatch a decoded request.

@@ -1,0 +1,227 @@
+//! Cross-wire trace stitching: a client span, its per-attempt events, and
+//! the server handler span must all land in ONE trace even when the
+//! transport eats attempts — the E15 acceptance scenario, pinned as a
+//! test. Also pins span-timestamp determinism under a `ManualClock` and
+//! the observability of breaker flips and idempotent replays.
+
+use gallery_core::clock::{ClockTimeSource, ManualClock, SimulatedSleeper};
+use gallery_core::Gallery;
+use gallery_service::telemetry::{kinds, Telemetry};
+use gallery_service::{
+    BreakerConfig, BreakerState, CircuitBreaker, DirectTransport, FlakyTransport, GalleryClient,
+    GalleryServer, Resilience, RetryPolicy,
+};
+use gallery_store::fault::{sites, FaultPlan};
+use gallery_store::Query;
+use std::sync::Arc;
+
+/// Client + server sharing one isolated telemetry bundle, wired through a
+/// flaky transport driven by `plan`, with simulated-time retries.
+fn rig(telemetry: &Arc<Telemetry>, plan: FaultPlan) -> (GalleryClient, Arc<Gallery>) {
+    let gallery = Arc::new(Gallery::in_memory());
+    let server =
+        Arc::new(GalleryServer::new(Arc::clone(&gallery)).with_telemetry(Arc::clone(telemetry)));
+    let flaky = Arc::new(FlakyTransport::new(
+        Arc::new(DirectTransport::new(server)),
+        plan,
+    ));
+    let clock = ManualClock::new(0);
+    let resilience = Arc::new(
+        Resilience::new(
+            RetryPolicy::standard(),
+            Arc::new(clock.clone()),
+            Arc::new(SimulatedSleeper::new(clock)),
+            7,
+        )
+        .with_telemetry(Arc::clone(telemetry)),
+    );
+    let client = GalleryClient::new(flaky)
+        .with_resilience(resilience)
+        .with_telemetry(Arc::clone(telemetry));
+    (client, gallery)
+}
+
+/// The headline criterion: two injected send-faults, one logical call ⇒
+/// one trace holding the client span, three `rpc.attempt` events, and the
+/// server handler span parented under the client span.
+#[test]
+fn retried_call_stitches_one_trace_across_the_wire() {
+    let telemetry = Telemetry::new();
+    let plan = FaultPlan::none();
+    plan.fail_first_n(sites::RPC_SEND, 2);
+    let (client, _gallery) = rig(&telemetry, plan);
+
+    client.create_model("p", "b", "m", "o", "", "{}").unwrap();
+
+    let traces = telemetry.tracer().trace_ids();
+    assert_eq!(traces.len(), 1, "everything belongs to one trace");
+    let trace_id = traces[0];
+
+    let spans = telemetry.tracer().spans_for_trace(trace_id);
+    let client_span = spans
+        .iter()
+        .find(|s| s.name == "rpc.client/createGalleryModel")
+        .expect("client span");
+    let server_span = spans
+        .iter()
+        .find(|s| s.name == "rpc.server/createGalleryModel")
+        .expect("server span");
+    assert_eq!(server_span.parent_span_id, Some(client_span.span_id));
+    assert_eq!(client_span.parent_span_id, None);
+
+    let attempts = telemetry.events().of_kind(kinds::RPC_ATTEMPT);
+    assert_eq!(attempts.len(), 3, "two faults + one success");
+    assert!(attempts.iter().all(|e| e.trace_id == Some(trace_id)));
+    assert_eq!(attempts[0].field("outcome"), Some("transport_error"));
+    assert_eq!(attempts[1].field("outcome"), Some("transport_error"));
+    assert_eq!(attempts[2].field("outcome"), Some("ok"));
+    assert_eq!(attempts[2].field("attempt"), Some("3"));
+    // Backoff before the retries is visible on the events.
+    assert_eq!(attempts[0].field("delay_ms"), Some("0"));
+    assert_ne!(attempts[1].field("delay_ms"), Some("0"));
+
+    let reg = telemetry.registry();
+    assert_eq!(
+        reg.counter(
+            "gallery_rpc_client_attempts_total",
+            &[("method", "createGalleryModel")],
+        )
+        .get(),
+        3
+    );
+    assert_eq!(
+        reg.counter(
+            "gallery_rpc_client_calls_total",
+            &[("method", "createGalleryModel"), ("outcome", "ok")],
+        )
+        .get(),
+        1
+    );
+    assert_eq!(
+        reg.counter(
+            "gallery_rpc_server_requests_total",
+            &[("method", "createGalleryModel")],
+        )
+        .get(),
+        1,
+        "the server only ever saw the surviving attempt"
+    );
+    assert_eq!(client.resilience().unwrap().stats().attempts, 3);
+}
+
+/// A lost *response* (recv fault) forces a retry the server has already
+/// applied; the idempotency replay must be visible as a counter and a
+/// traced event, and the duplicate handler span still joins the one trace.
+#[test]
+fn lost_response_replay_is_observable() {
+    let telemetry = Telemetry::new();
+    let plan = FaultPlan::none();
+    plan.fail_first_n(sites::RPC_RECV, 1);
+    let (client, gallery) = rig(&telemetry, plan);
+
+    client.create_model("p", "b", "m", "o", "", "{}").unwrap();
+    assert_eq!(
+        gallery.find_models(&Query::all()).unwrap().len(),
+        1,
+        "applied exactly once despite the duplicate delivery"
+    );
+
+    let reg = telemetry.registry();
+    assert_eq!(
+        reg.counter(
+            "gallery_rpc_idempotent_replays_total",
+            &[("method", "createGalleryModel")],
+        )
+        .get(),
+        1
+    );
+    let replays = telemetry.events().of_kind(kinds::IDEMPOTENT_REPLAY);
+    assert_eq!(replays.len(), 1);
+    assert_eq!(replays[0].field("method"), Some("createGalleryModel"));
+    assert_eq!(telemetry.tracer().trace_ids().len(), 1);
+    // Both server handler spans (first execution + replay) are children of
+    // the same client span.
+    let spans = telemetry.tracer().finished_spans();
+    let servers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "rpc.server/createGalleryModel")
+        .collect();
+    assert_eq!(servers.len(), 2);
+    assert_eq!(servers[0].parent_span_id, servers[1].parent_span_id);
+    assert!(servers
+        .iter()
+        .any(|s| s.attrs.contains(&("replay", "true".to_string()))));
+}
+
+/// Same workload, same manual clock ⇒ byte-identical span records. The
+/// tracer takes its time from the injected `TimeSource`, so nothing
+/// wall-clock leaks into the records.
+#[test]
+fn span_timestamps_deterministic_under_manual_clock() {
+    let run = || {
+        let clock = ManualClock::new(50_000);
+        let telemetry =
+            Telemetry::with_time_source(Arc::new(ClockTimeSource::new(Arc::new(clock.clone()))));
+        let gallery = Arc::new(Gallery::in_memory_with_clock(Arc::new(clock)));
+        let server = Arc::new(GalleryServer::new(gallery).with_telemetry(Arc::clone(&telemetry)));
+        let client = GalleryClient::new(Arc::new(DirectTransport::new(server)))
+            .with_telemetry(Arc::clone(&telemetry));
+        let model = client.create_model("p", "b", "m", "o", "", "{}").unwrap();
+        client.get_model(&model.id).unwrap();
+        let _ = client.get_model("ghost");
+        telemetry.tracer().finished_spans()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same clock, same IDs, same records");
+    assert_eq!(a.len(), 6, "three calls, each a client + server span");
+    assert!(a
+        .iter()
+        .all(|s| s.start_ms >= 50_000 && s.end_ms >= s.start_ms));
+}
+
+/// Breaker state flips surface as `breaker.transition` events and a
+/// per-endpoint/state counter, with the full Open → HalfOpen → Closed
+/// story in order.
+#[test]
+fn breaker_transitions_emit_events() {
+    let telemetry = Telemetry::new();
+    let clock = ManualClock::new(0);
+    let breaker = CircuitBreaker::new(
+        BreakerConfig {
+            window: 8,
+            min_calls: 4,
+            failure_threshold: 0.5,
+            open_ms: 1_000,
+        },
+        Arc::new(clock.clone()),
+    )
+    .with_telemetry(Arc::clone(&telemetry));
+
+    for _ in 0..4 {
+        breaker.admit("uploadModel");
+        breaker.record("uploadModel", false);
+    }
+    clock.advance(1_500);
+    assert!(breaker.admit("uploadModel"));
+    breaker.record("uploadModel", true);
+    assert_eq!(breaker.state("uploadModel"), BreakerState::Closed);
+
+    let events = telemetry.events().of_kind(kinds::BREAKER_TRANSITION);
+    let tos: Vec<&str> = events.iter().filter_map(|e| e.field("to")).collect();
+    assert_eq!(tos, vec!["open", "half_open", "closed"]);
+    assert!(events
+        .iter()
+        .all(|e| e.field("endpoint") == Some("uploadModel")));
+    let reg = telemetry.registry();
+    for state in ["open", "half_open", "closed"] {
+        assert_eq!(
+            reg.counter(
+                "gallery_breaker_transitions_total",
+                &[("endpoint", "uploadModel"), ("to", state)],
+            )
+            .get(),
+            1
+        );
+    }
+}

@@ -8,6 +8,7 @@
 use super::{BlobInfo, BlobLocation, ObjectStore};
 use crate::error::Result;
 use bytes::Bytes;
+use gallery_telemetry::{kinds, Counter, Gauge, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -129,7 +130,42 @@ struct CacheInner {
     lru: LruList,
     by_location: HashMap<BlobLocation, usize>,
     bytes: usize,
-    stats: CacheStats,
+}
+
+/// Telemetry handles behind [`CacheStats`]. These are the *only* tallies —
+/// the ad-hoc counters that used to live inside the cache lock are gone,
+/// so the exposition and `stats()` can never disagree. Handles are
+/// standalone (per-instance) by default and registry-minted after
+/// [`CachedBlobStore::with_telemetry`].
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    bytes_cached: Arc<Gauge>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl CacheMetrics {
+    fn standalone() -> Self {
+        CacheMetrics {
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            bytes_cached: Gauge::standalone(),
+            telemetry: Arc::clone(gallery_telemetry::global()),
+        }
+    }
+
+    fn registered(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        CacheMetrics {
+            hits: r.counter("gallery_cache_hits_total", &[]),
+            misses: r.counter("gallery_cache_misses_total", &[]),
+            evictions: r.counter("gallery_cache_evictions_total", &[]),
+            bytes_cached: r.gauge("gallery_cache_bytes", &[]),
+            telemetry,
+        }
+    }
 }
 
 /// Read-through LRU blob cache wrapping any [`ObjectStore`].
@@ -137,6 +173,7 @@ pub struct CachedBlobStore {
     backend: Arc<dyn ObjectStore>,
     capacity_bytes: usize,
     inner: Mutex<CacheInner>,
+    metrics: CacheMetrics,
 }
 
 impl CachedBlobStore {
@@ -148,16 +185,25 @@ impl CachedBlobStore {
                 lru: LruList::new(),
                 by_location: HashMap::new(),
                 bytes: 0,
-                stats: CacheStats::default(),
             }),
+            metrics: CacheMetrics::standalone(),
         }
     }
 
+    /// Record hit/miss/eviction tallies into `telemetry`'s registry (as
+    /// `gallery_cache_*`) and emit eviction events to its sink, instead of
+    /// per-instance standalone handles. Call before first use.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = CacheMetrics::registered(telemetry);
+        self
+    }
+
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
         CacheStats {
-            bytes_cached: inner.bytes as u64,
-            ..inner.stats
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            evictions: self.metrics.evictions.get(),
+            bytes_cached: self.metrics.bytes_cached.get() as u64,
         }
     }
 
@@ -174,12 +220,17 @@ impl CachedBlobStore {
                 Some((loc, size)) => {
                     inner.by_location.remove(&loc);
                     inner.bytes -= size;
-                    inner.stats.evictions += 1;
+                    self.metrics.evictions.inc();
+                    self.metrics.telemetry.events().emit(
+                        kinds::CACHE_EVICT,
+                        vec![("location", loc.to_string()), ("bytes", size.to_string())],
+                    );
                 }
                 None => break,
             }
         }
         inner.bytes += data.len();
+        self.metrics.bytes_cached.set(inner.bytes as i64);
         let idx = inner.lru.push_front(location.clone(), data);
         inner.by_location.insert(location, idx);
     }
@@ -207,10 +258,10 @@ impl ObjectStore for CachedBlobStore {
             let mut inner = self.inner.lock();
             if let Some(&idx) = inner.by_location.get(location) {
                 inner.lru.move_to_front(idx);
-                inner.stats.hits += 1;
+                self.metrics.hits.inc();
                 return Ok(inner.lru.entries[idx].data.clone());
             }
-            inner.stats.misses += 1;
+            self.metrics.misses.inc();
         }
         let data = self.backend.get(location)?;
         let mut inner = self.inner.lock();
@@ -231,6 +282,7 @@ impl ObjectStore for CachedBlobStore {
                 let size = inner.lru.entries[idx].data.len();
                 inner.lru.entries[idx].data = Bytes::new();
                 inner.bytes -= size;
+                self.metrics.bytes_cached.set(inner.bytes as i64);
             }
         }
         self.backend.delete(location)

@@ -15,8 +15,10 @@ use crate::query::{AccessPath, Query};
 use crate::record::Record;
 use crate::schema::TableSchema;
 use bytes::Bytes;
+use gallery_telemetry::{kinds, Counter, Histogram, Telemetry};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Write ordering for blob+metadata pairs. `BlobFirst` is the paper's
 /// choice; `MetadataFirst` exists only as the ablation arm of experiment
@@ -90,11 +92,68 @@ fn with_retry<T>(max_attempts: u32, mut f: impl FnMut() -> Result<T>) -> Result<
     Err(last.expect("at least one attempt"))
 }
 
+/// Pre-minted telemetry handles for the DAL hot paths. Registered once at
+/// construction so an instrumented operation costs an atomic add and a
+/// histogram observation, never a registry lookup.
+struct DalMetrics {
+    telemetry: Arc<Telemetry>,
+    get_total: Arc<Counter>,
+    put_total: Arc<Counter>,
+    put_blob_total: Arc<Counter>,
+    query_total: Arc<Counter>,
+    set_flag_total: Arc<Counter>,
+    fetch_blob_total: Arc<Counter>,
+    degraded_total: Arc<Counter>,
+    stale_total: Arc<Counter>,
+    get_ms: Arc<Histogram>,
+    put_blob_ms: Arc<Histogram>,
+    query_ms: Arc<Histogram>,
+    fetch_blob_ms: Arc<Histogram>,
+    blob_read_total: Arc<Counter>,
+    blob_write_total: Arc<Counter>,
+    blob_delete_total: Arc<Counter>,
+    blob_read_bytes: Arc<Counter>,
+    blob_write_bytes: Arc<Counter>,
+    blob_read_ms: Arc<Histogram>,
+    blob_write_ms: Arc<Histogram>,
+}
+
+impl DalMetrics {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        DalMetrics {
+            get_total: r.counter("gallery_dal_ops_total", &[("op", "get")]),
+            put_total: r.counter("gallery_dal_ops_total", &[("op", "put")]),
+            put_blob_total: r.counter("gallery_dal_ops_total", &[("op", "put_with_blob")]),
+            query_total: r.counter("gallery_dal_ops_total", &[("op", "query")]),
+            set_flag_total: r.counter("gallery_dal_ops_total", &[("op", "set_flag")]),
+            fetch_blob_total: r.counter("gallery_dal_ops_total", &[("op", "fetch_blob")]),
+            degraded_total: r.counter("gallery_dal_degraded_reads_total", &[]),
+            stale_total: r.counter("gallery_dal_stale_reads_total", &[]),
+            get_ms: r.duration_histogram("gallery_dal_op_duration_ms", &[("op", "get")]),
+            put_blob_ms: r
+                .duration_histogram("gallery_dal_op_duration_ms", &[("op", "put_with_blob")]),
+            query_ms: r.duration_histogram("gallery_dal_op_duration_ms", &[("op", "query")]),
+            fetch_blob_ms: r
+                .duration_histogram("gallery_dal_op_duration_ms", &[("op", "fetch_blob")]),
+            blob_read_total: r.counter("gallery_blob_ops_total", &[("op", "read")]),
+            blob_write_total: r.counter("gallery_blob_ops_total", &[("op", "write")]),
+            blob_delete_total: r.counter("gallery_blob_ops_total", &[("op", "delete")]),
+            blob_read_bytes: r.counter("gallery_blob_bytes_total", &[("op", "read")]),
+            blob_write_bytes: r.counter("gallery_blob_bytes_total", &[("op", "write")]),
+            blob_read_ms: r.duration_histogram("gallery_blob_op_duration_ms", &[("op", "read")]),
+            blob_write_ms: r.duration_histogram("gallery_blob_op_duration_ms", &[("op", "write")]),
+            telemetry,
+        }
+    }
+}
+
 /// Unified data access layer.
 pub struct Dal {
     meta: Arc<MetadataStore>,
     blobs: Arc<dyn ObjectStore>,
     ordering: WriteOrdering,
+    metrics: DalMetrics,
 }
 
 impl Dal {
@@ -103,6 +162,7 @@ impl Dal {
             meta,
             blobs,
             ordering: WriteOrdering::BlobFirst,
+            metrics: DalMetrics::new(Arc::clone(gallery_telemetry::global())),
         }
     }
 
@@ -110,6 +170,34 @@ impl Dal {
     pub fn with_ordering(mut self, ordering: WriteOrdering) -> Self {
         self.ordering = ordering;
         self
+    }
+
+    /// Record DAL/blob metrics and degraded-read events into `telemetry`
+    /// instead of the process global.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = DalMetrics::new(telemetry);
+        self
+    }
+
+    /// Instrumented blob write: counts ops/bytes and times the backend.
+    fn blob_put(&self, blob: Bytes) -> Result<BlobInfo> {
+        let len = blob.len() as u64;
+        let start = Instant::now();
+        let info = self.blobs.put(blob)?;
+        self.metrics.blob_write_ms.observe_since(start);
+        self.metrics.blob_write_total.inc();
+        self.metrics.blob_write_bytes.add(len);
+        Ok(info)
+    }
+
+    /// Instrumented blob read.
+    fn blob_get(&self, location: &BlobLocation) -> Result<Bytes> {
+        let start = Instant::now();
+        let data = self.blobs.get(location)?;
+        self.metrics.blob_read_ms.observe_since(start);
+        self.metrics.blob_read_total.inc();
+        self.metrics.blob_read_bytes.add(data.len() as u64);
+        Ok(data)
     }
 
     pub fn ordering(&self) -> WriteOrdering {
@@ -135,9 +223,22 @@ impl Dal {
     /// failure leaves dangling metadata (the failure mode the paper's
     /// ordering prevents).
     pub fn put_with_blob(&self, table: &str, record: Record, blob: Bytes) -> Result<StoredEntity> {
+        self.metrics.put_blob_total.inc();
+        let start = Instant::now();
+        let result = self.put_with_blob_inner(table, record, blob);
+        self.metrics.put_blob_ms.observe_since(start);
+        result
+    }
+
+    fn put_with_blob_inner(
+        &self,
+        table: &str,
+        record: Record,
+        blob: Bytes,
+    ) -> Result<StoredEntity> {
         match self.ordering {
             WriteOrdering::BlobFirst => {
-                let info = self.blobs.put(blob)?;
+                let info = self.blob_put(blob)?;
                 let record = record.set("blob_location", info.location.as_str());
                 self.meta.insert(table, record)?;
                 Ok(StoredEntity { blob: info })
@@ -177,30 +278,50 @@ impl Dal {
         if self.ordering != WriteOrdering::BlobFirst {
             return self.put_with_blob(table, record, blob);
         }
-        let info = with_retry(max_attempts, || self.blobs.put(blob.clone()))?;
-        let record = record.set("blob_location", info.location.as_str());
-        with_retry(max_attempts, || self.meta.insert(table, record.clone()))?;
-        Ok(StoredEntity { blob: info })
+        self.metrics.put_blob_total.inc();
+        let start = Instant::now();
+        let result = (|| {
+            let info = with_retry(max_attempts, || self.blob_put(blob.clone()))?;
+            let record = record.set("blob_location", info.location.as_str());
+            with_retry(max_attempts, || self.meta.insert(table, record.clone()))?;
+            Ok(StoredEntity { blob: info })
+        })();
+        self.metrics.put_blob_ms.observe_since(start);
+        result
     }
 
     /// Insert a metadata-only record (no blob).
     pub fn put(&self, table: &str, record: Record) -> Result<()> {
+        self.metrics.put_total.inc();
         self.meta.insert(table, record)
     }
 
     pub fn get(&self, table: &str, pk: &str) -> Result<Option<Record>> {
-        self.meta.get(table, pk)
+        self.metrics.get_total.inc();
+        let start = Instant::now();
+        let result = self.meta.get(table, pk);
+        self.metrics.get_ms.observe_since(start);
+        result
     }
 
     pub fn query(&self, table: &str, query: &Query) -> Result<Vec<Record>> {
-        self.meta.query(table, query)
+        self.metrics.query_total.inc();
+        let start = Instant::now();
+        let result = self.meta.query(table, query);
+        self.metrics.query_ms.observe_since(start);
+        result
     }
 
     pub fn query_explain(&self, table: &str, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
-        self.meta.query_explain(table, query)
+        self.metrics.query_total.inc();
+        let start = Instant::now();
+        let result = self.meta.query_explain(table, query);
+        self.metrics.query_ms.observe_since(start);
+        result
     }
 
     pub fn set_flag(&self, table: &str, pk: &str, column: &str, value: bool) -> Result<()> {
+        self.metrics.set_flag_total.inc();
         self.meta.set_flag(table, pk, column, value)
     }
 
@@ -209,19 +330,27 @@ impl Dal {
     /// request first goes to MySQL to get the location of the model blob,
     /// and then the model is directly accessed via the storage location."
     pub fn fetch_blob_of(&self, table: &str, pk: &str) -> Result<Bytes> {
-        let record = self
-            .meta
-            .get(table, pk)?
-            .ok_or_else(|| StoreError::NoSuchKey(pk.to_owned()))?;
-        let loc = record
-            .get("blob_location")
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| StoreError::BadQuery(format!("{table}/{pk} has no blob_location")))?;
-        self.blobs.get(&BlobLocation::new(loc))
+        self.metrics.fetch_blob_total.inc();
+        let start = Instant::now();
+        let result = (|| {
+            let record = self
+                .meta
+                .get(table, pk)?
+                .ok_or_else(|| StoreError::NoSuchKey(pk.to_owned()))?;
+            let loc = record
+                .get("blob_location")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| {
+                    StoreError::BadQuery(format!("{table}/{pk} has no blob_location"))
+                })?;
+            self.blob_get(&BlobLocation::new(loc))
+        })();
+        self.metrics.fetch_blob_ms.observe_since(start);
+        result
     }
 
     pub fn fetch_blob(&self, location: &BlobLocation) -> Result<Bytes> {
-        self.blobs.get(location)
+        self.blob_get(location)
     }
 
     /// [`Dal::fetch_blob_of`] with bounded retry and graceful degradation:
@@ -241,10 +370,22 @@ impl Dal {
             .and_then(|v| v.as_str())
             .ok_or_else(|| StoreError::BadQuery(format!("{table}/{pk} has no blob_location")))?;
         let loc = BlobLocation::new(loc);
-        match with_retry(max_attempts, || self.blobs.get(&loc)) {
+        self.metrics.degraded_total.inc();
+        match with_retry(max_attempts, || self.blob_get(&loc)) {
             Ok(data) => Ok(DegradedRead { data, stale: false }),
             Err(e) if e.is_transient() => match self.blobs.get_cached_only(&loc) {
-                Some(data) => Ok(DegradedRead { data, stale: true }),
+                Some(data) => {
+                    self.metrics.stale_total.inc();
+                    self.metrics.telemetry.events().emit(
+                        kinds::DEGRADED_READ,
+                        vec![
+                            ("table", table.to_string()),
+                            ("pk", pk.to_string()),
+                            ("stale", "true".to_string()),
+                        ],
+                    );
+                    Ok(DegradedRead { data, stale: true })
+                }
                 None => Err(e),
             },
             Err(e) => Err(e),
@@ -264,7 +405,10 @@ impl Dal {
         };
         for loc in &audit.orphan_blobs {
             match self.blobs.delete(loc) {
-                Ok(()) => report.deleted.push(loc.clone()),
+                Ok(()) => {
+                    self.metrics.blob_delete_total.inc();
+                    report.deleted.push(loc.clone());
+                }
                 Err(e) => report.failed.push((loc.clone(), e)),
             }
         }

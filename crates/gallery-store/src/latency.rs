@@ -6,7 +6,14 @@
 //! a synthetic latency model that is *accounted* (cheap, deterministic)
 //! rather than slept, plus an optional real-sleep mode for wall-clock
 //! demonstrations.
+//!
+//! Accounting lives in a telemetry [`Histogram`]: the meter owns a
+//! standalone one by default and can be re-pointed at a registry-minted
+//! histogram via [`LatencyMeter::attach_histogram`], so the simulated
+//! latency distribution shows up in `render_text()` with p50/p95/p99
+//! instead of living in a private tally nobody can export.
 
+use gallery_telemetry::{default_duration_buckets_ms, Histogram};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,48 +62,79 @@ impl Default for LatencyModel {
 }
 
 /// Shared accumulator of simulated time spent in a backend.
-#[derive(Debug, Clone, Default)]
+///
+/// The histogram is the single source of truth; `total()`/`requests()`
+/// subtract a baseline snapshot so [`LatencyMeter::reset`] keeps working
+/// even though registry histograms are append-only.
+#[derive(Debug, Clone)]
 pub struct LatencyMeter {
     inner: Arc<Mutex<MeterInner>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MeterInner {
-    total: Duration,
-    requests: u64,
+    hist: Arc<Histogram>,
+    base_count: u64,
+    base_sum_ms: f64,
+}
+
+impl Default for LatencyMeter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyMeter {
     pub fn new() -> Self {
-        Self::default()
+        LatencyMeter {
+            inner: Arc::new(Mutex::new(MeterInner {
+                hist: Histogram::standalone(default_duration_buckets_ms()),
+                base_count: 0,
+                base_sum_ms: 0.0,
+            })),
+        }
+    }
+
+    /// Re-point accounting at `hist` (typically registry-minted, e.g.
+    /// `gallery_backend_sim_latency_ms`). Prior charges stay behind in the
+    /// old histogram; the meter reads as freshly reset.
+    pub fn attach_histogram(&self, hist: Arc<Histogram>) {
+        let mut inner = self.inner.lock();
+        inner.base_count = hist.count();
+        inner.base_sum_ms = hist.sum();
+        inner.hist = hist;
+    }
+
+    /// The histogram currently receiving charges.
+    pub fn histogram(&self) -> Arc<Histogram> {
+        self.inner.lock().hist.clone()
     }
 
     /// Charge one request of `bytes` bytes under `model`.
     pub fn charge(&self, model: &LatencyModel, bytes: usize) {
         let cost = model.cost(bytes);
-        {
-            let mut inner = self.inner.lock();
-            inner.total += cost;
-            inner.requests += 1;
-        }
+        self.inner.lock().hist.observe(cost.as_nanos() as f64 / 1e6);
         if model.real_sleep && !cost.is_zero() {
             std::thread::sleep(cost);
         }
     }
 
-    /// Total simulated time charged.
+    /// Total simulated time charged since construction or the last reset.
     pub fn total(&self) -> Duration {
-        self.inner.lock().total
+        let inner = self.inner.lock();
+        let ms = (inner.hist.sum() - inner.base_sum_ms).max(0.0);
+        Duration::from_nanos((ms * 1e6).round() as u64)
     }
 
     pub fn requests(&self) -> u64 {
-        self.inner.lock().requests
+        let inner = self.inner.lock();
+        inner.hist.count().saturating_sub(inner.base_count)
     }
 
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
-        inner.total = Duration::ZERO;
-        inner.requests = 0;
+        inner.base_count = inner.hist.count();
+        inner.base_sum_ms = inner.hist.sum();
     }
 }
 
@@ -135,6 +173,7 @@ mod tests {
         assert_eq!(meter.requests(), 2);
         meter.reset();
         assert_eq!(meter.requests(), 0);
+        assert_eq!(meter.total(), Duration::ZERO);
     }
 
     #[test]
@@ -150,5 +189,26 @@ mod tests {
             0,
         );
         assert_eq!(meter.requests(), 1);
+    }
+
+    #[test]
+    fn attached_histogram_receives_charges() {
+        let reg = gallery_telemetry::Registry::new();
+        let hist = reg.duration_histogram("sim_latency_ms", &[]);
+        let meter = LatencyMeter::new();
+        let model = LatencyModel {
+            per_request: Duration::from_millis(4),
+            per_byte_ns: 0.0,
+            real_sleep: false,
+        };
+        meter.charge(&model, 0); // lands in the standalone histogram
+        meter.attach_histogram(hist.clone());
+        meter.charge(&model, 0);
+        meter.charge(&model, 0);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(meter.requests(), 2, "pre-attach charge left behind");
+        assert_eq!(meter.total(), Duration::from_millis(8));
+        // Quantiles come for free once accounting is a histogram.
+        assert!(hist.quantile(0.5).unwrap() <= 5.0);
     }
 }

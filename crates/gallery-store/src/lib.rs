@@ -17,6 +17,13 @@
 //!   backend latency, and fault injection;
 //! - [`dal::Dal`] — the unified access layer enforcing the paper's
 //!   blob-first write ordering and auditing referential integrity.
+//!
+//! Every layer is instrumented through [`gallery_telemetry`] (re-exported
+//! as [`telemetry`]): DAL and blob operations count into
+//! `gallery_dal_*`/`gallery_blob_*`, the WAL into `gallery_wal_*`, and the
+//! LRU cache into `gallery_cache_*`. Constructors default to the
+//! process-global bundle; `with_telemetry` builders swap in an isolated
+//! one.
 
 pub mod blob;
 pub mod dal;
@@ -31,6 +38,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 pub mod wal;
+
+pub use gallery_telemetry as telemetry;
 
 pub use blob::{BlobInfo, BlobLocation, ObjectStore};
 pub use dal::{ConsistencyReport, Dal, DegradedRead, RepairReport, StoredEntity, WriteOrdering};

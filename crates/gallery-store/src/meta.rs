@@ -11,9 +11,11 @@ use crate::record::Record;
 use crate::schema::TableSchema;
 use crate::table::{Table, TableStats};
 use crate::wal::{SyncPolicy, Wal, WalOp};
+use gallery_telemetry::{kinds, Telemetry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 struct MetaInner {
     tables: HashMap<String, Table>,
@@ -24,6 +26,7 @@ struct MetaInner {
 pub struct MetadataStore {
     inner: RwLock<MetaInner>,
     faults: FaultPlan,
+    telemetry: Arc<Telemetry>,
 }
 
 impl MetadataStore {
@@ -35,6 +38,7 @@ impl MetadataStore {
                 wal: None,
             }),
             faults: FaultPlan::none(),
+            telemetry: Arc::clone(gallery_telemetry::global()),
         }
     }
 
@@ -48,7 +52,7 @@ impl MetadataStore {
             for op in ops {
                 Self::apply(&mut inner.tables, op)?;
             }
-            inner.wal = Some(Wal::open(path, sync)?);
+            inner.wal = Some(Wal::open(path, sync)?.with_telemetry(&store.telemetry));
         }
         Ok(store)
     }
@@ -56,6 +60,18 @@ impl MetadataStore {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
         self
+    }
+
+    /// Route WAL metrics/events to `telemetry` instead of the process
+    /// global (isolated tests, E15 overhead baselines).
+    pub fn with_telemetry(self, telemetry: Arc<Telemetry>) -> Self {
+        {
+            let mut inner = self.inner.write();
+            if let Some(wal) = inner.wal.take() {
+                inner.wal = Some(wal.with_telemetry(&telemetry));
+            }
+        }
+        MetadataStore { telemetry, ..self }
     }
 
     fn apply(tables: &mut HashMap<String, Table>, op: WalOp) -> Result<()> {
@@ -285,7 +301,14 @@ impl MetadataStore {
         compacted.sync_all()?;
         drop(compacted);
         std::fs::rename(&tmp, &path)?;
-        inner.wal = Some(Wal::open(&path, sync)?);
+        inner.wal = Some(Wal::open(&path, sync)?.with_telemetry(&self.telemetry));
+        self.telemetry.events().emit(
+            kinds::WAL_FLUSH,
+            vec![
+                ("entries", entries.to_string()),
+                ("reason", "compact".to_string()),
+            ],
+        );
         Ok(entries)
     }
 }
@@ -408,7 +431,6 @@ mod tests {
 
     #[test]
     fn concurrent_inserts() {
-        use std::sync::Arc;
         let store = Arc::new(MetadataStore::in_memory());
         store.create_table(schema()).unwrap();
         let mut handles = Vec::new();

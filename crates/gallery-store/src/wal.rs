@@ -9,10 +9,13 @@ use crate::blob::checksum::crc32;
 use crate::error::{Result, StoreError};
 use crate::record::Record;
 use crate::schema::TableSchema;
+use gallery_telemetry::{kinds, Counter, EventSink, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One logical operation recorded in the WAL.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,12 +44,22 @@ pub enum SyncPolicy {
     Never,
 }
 
+/// Telemetry handles for one WAL instance (absent until
+/// [`Wal::with_telemetry`] attaches them).
+struct WalTelemetry {
+    appends: Arc<Counter>,
+    flushes: Arc<Counter>,
+    append_ms: Arc<Histogram>,
+    events: Arc<EventSink>,
+}
+
 /// Append-only write-ahead log.
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     sync: SyncPolicy,
     entries_written: u64,
+    telemetry: Option<WalTelemetry>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -71,6 +84,7 @@ impl Wal {
             writer: BufWriter::new(file),
             sync,
             entries_written: 0,
+            telemetry: None,
         })
     }
 
@@ -91,7 +105,22 @@ impl Wal {
             writer: BufWriter::new(file),
             sync,
             entries_written: 0,
+            telemetry: None,
         })
+    }
+
+    /// Count appends/flushes and time appends against `telemetry`
+    /// (`gallery_wal_*`), and report explicit flushes as `wal.flush`
+    /// events.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        self.telemetry = Some(WalTelemetry {
+            appends: r.counter("gallery_wal_appends_total", &[]),
+            flushes: r.counter("gallery_wal_flushes_total", &[]),
+            append_ms: r.duration_histogram("gallery_wal_append_duration_ms", &[]),
+            events: Arc::clone(telemetry.events()),
+        });
+        self
     }
 
     pub fn sync_policy(&self) -> SyncPolicy {
@@ -102,6 +131,16 @@ impl Wal {
     pub fn sync_all(&mut self) -> Result<()> {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        if let Some(t) = &self.telemetry {
+            t.flushes.inc();
+            t.events.emit(
+                kinds::WAL_FLUSH,
+                vec![
+                    ("entries", self.entries_written.to_string()),
+                    ("reason", "sync_all".to_string()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -116,6 +155,7 @@ impl Wal {
     /// Append one operation. The entry is flushed to the OS; whether it is
     /// fsynced depends on the [`SyncPolicy`].
     pub fn append(&mut self, op: &WalOp) -> Result<()> {
+        let start = Instant::now();
         let json =
             serde_json::to_string(op).map_err(|e| StoreError::Io(format!("wal encode: {e}")))?;
         let crc = crc32(json.as_bytes());
@@ -125,6 +165,13 @@ impl Wal {
             self.writer.get_ref().sync_data()?;
         }
         self.entries_written += 1;
+        if let Some(t) = &self.telemetry {
+            t.appends.inc();
+            if self.sync == SyncPolicy::Always {
+                t.flushes.inc();
+            }
+            t.append_ms.observe_since(start);
+        }
         Ok(())
     }
 

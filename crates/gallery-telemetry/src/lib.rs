@@ -1,0 +1,137 @@
+//! Telemetry substrate for the Gallery reproduction.
+//!
+//! Three pillars, one bundle:
+//!
+//! - **Metrics** ([`metrics`]): a registry of counters, gauges, and
+//!   fixed-bucket histograms with p50/p95/p99 estimates, rendered in the
+//!   Prometheus text exposition format.
+//! - **Traces** ([`trace`]): spans with trace/span IDs and parent links,
+//!   timestamped by an injectable [`TimeSource`] so manual-clock tests get
+//!   deterministic records. Span contexts are small enough to ride in the
+//!   RPC wire envelope, which is how a client span and the server handler
+//!   span end up in one trace.
+//! - **Events** ([`events`]): a bounded ring of discrete occurrences
+//!   (breaker transitions, retry attempts, WAL flushes, degraded reads,
+//!   cache evictions) with an optional JSONL mirror.
+//!
+//! Components default to the process-wide [`global()`] bundle and accept an
+//! explicit [`Telemetry`] handle for isolated tests and for E15's
+//! overhead measurements against a [`Telemetry::disabled()`] bundle.
+//!
+//! This crate is a workspace *leaf*: it depends only on the vendored
+//! `parking_lot`, so every other gallery crate — including `gallery-store`
+//! at the bottom of the stack — can be instrumented without dependency
+//! cycles.
+
+pub mod events;
+pub mod metrics;
+pub mod trace;
+
+pub use events::{kinds, EventSink, TelemetryEvent};
+pub use metrics::{
+    default_duration_buckets_ms, default_size_buckets_bytes, parse_exposition, Counter,
+    ExpositionSummary, Gauge, Histogram, Registry,
+};
+pub use trace::{Span, SpanContext, SpanRecord, TimeSource, Tracer, WallClock};
+
+use std::sync::{Arc, OnceLock};
+
+/// The three telemetry pillars behind one handle.
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+    events: Arc<EventSink>,
+}
+
+impl Telemetry {
+    /// Fully enabled bundle on wall-clock time.
+    pub fn new() -> Arc<Self> {
+        Self::with_time_source(Arc::new(WallClock))
+    }
+
+    /// Fully enabled bundle on a caller-supplied time source (deterministic
+    /// spans/events under a manual clock).
+    pub fn with_time_source(time: Arc<dyn TimeSource>) -> Arc<Self> {
+        Arc::new(Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Arc::new(Tracer::new(Arc::clone(&time))),
+            events: Arc::new(EventSink::new(time)),
+        })
+    }
+
+    /// A bundle whose every record call is a single branch and a return —
+    /// the baseline E15 compares against to measure overhead.
+    pub fn disabled() -> Arc<Self> {
+        let time: Arc<dyn TimeSource> = Arc::new(WallClock);
+        Arc::new(Telemetry {
+            registry: Arc::new(Registry::disabled()),
+            tracer: Arc::new(Tracer::disabled(Arc::clone(&time))),
+            events: Arc::new(EventSink::disabled(time)),
+        })
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    pub fn events(&self) -> &Arc<EventSink> {
+        &self.events
+    }
+
+    /// Shorthand for `registry().render_text()`.
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
+    }
+}
+
+/// The process-wide telemetry bundle. Components that are not handed an
+/// explicit [`Telemetry`] record here, which is what `gallery stats` and
+/// the service's exposition endpoint read.
+pub fn global() -> &'static Arc<Telemetry> {
+    static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_wires_one_time_source() {
+        struct Fixed;
+        impl TimeSource for Fixed {
+            fn now_ms(&self) -> i64 {
+                777
+            }
+        }
+        let t = Telemetry::with_time_source(Arc::new(Fixed));
+        t.events().emit(kinds::WAL_FLUSH, vec![]);
+        assert_eq!(t.events().recent()[0].ts_ms, 777);
+        let span = t.tracer().start_span("x");
+        span.finish();
+        assert_eq!(t.tracer().finished_spans()[0].start_ms, 777);
+    }
+
+    #[test]
+    fn global_is_singleton_and_enabled() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.registry().is_enabled());
+    }
+
+    #[test]
+    fn disabled_bundle_renders_empty_families() {
+        let t = Telemetry::disabled();
+        let c = t.registry().counter("noop_total", &[]);
+        c.add(9);
+        assert_eq!(c.get(), 0);
+        let text = t.render_text();
+        assert!(text.contains("noop_total 0"));
+        parse_exposition(&text).unwrap();
+    }
+}

@@ -1,0 +1,755 @@
+//! Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry hands out `Arc` handles that instrumented components cache
+//! at construction time, so the hot path never touches the registry lock —
+//! a counter increment is one relaxed atomic add, a histogram observation
+//! is a binary search over the bucket bounds plus two atomic adds. A
+//! registry (and every handle minted from it) can be created *disabled*,
+//! which turns each record call into a single branch; E15 uses that to
+//! measure instrumentation overhead.
+//!
+//! Exposition follows the Prometheus text format (`# TYPE` comments,
+//! `name{label="v"} value` samples, `_bucket`/`_sum`/`_count` histogram
+//! series) and [`parse_exposition`] is the matching line-format lint used
+//! by tests and CI.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    enabled: bool,
+}
+
+impl Counter {
+    fn new(enabled: bool) -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// A counter not attached to any registry (always enabled). Useful for
+    /// components that want tallies even before telemetry is wired in.
+    pub fn standalone() -> Arc<Self> {
+        Arc::new(Counter::new(true))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (e.g. bytes currently cached).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+    enabled: bool,
+}
+
+impl Gauge {
+    fn new(enabled: bool) -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+            enabled,
+        }
+    }
+
+    pub fn standalone() -> Arc<Self> {
+        Arc::new(Gauge::new(true))
+    }
+
+    pub fn set(&self, v: i64) {
+        if self.enabled {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, delta: i64) {
+        if self.enabled {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram with cheap quantile estimates.
+///
+/// Bounds are *upper* bucket edges; an implicit `+Inf` bucket catches the
+/// tail. Quantiles are estimated by linear interpolation inside the bucket
+/// containing the requested rank, so the estimate is always within one
+/// bucket of the exact order statistic (the property `tests/` proptests).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the +Inf overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits, updated with a CAS loop; Relaxed is fine — the sum is
+    /// only read for exposition, never for control flow.
+    sum_bits: AtomicU64,
+    enabled: bool,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>, enabled: bool) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            enabled,
+        }
+    }
+
+    pub fn standalone(bounds: Vec<f64>) -> Arc<Self> {
+        Arc::new(Histogram::new(bounds, true))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record the elapsed time since `start` in milliseconds.
+    pub fn observe_since(&self, start: Instant) {
+        if self.enabled {
+            self.observe(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts, including the +Inf slot.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`, or `None` if empty.
+    ///
+    /// Linear interpolation between the bucket's lower and upper edge;
+    /// observations in the +Inf bucket report the largest finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested order statistic, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += c;
+            if cumulative >= rank {
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => return Some(*self.bounds.last()?), // +Inf bucket
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let within = (rank - prev) as f64 / c as f64;
+                return Some(lower + (upper - lower) * within);
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+/// Default bucket edges for operation durations in milliseconds: roughly
+/// exponential from 1µs to 10s, fine enough that interpolated quantiles
+/// stay meaningful for both in-memory ops and simulated network latency.
+pub fn default_duration_buckets_ms() -> Vec<f64> {
+    vec![
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+        100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+    ]
+}
+
+/// Default bucket edges for payload sizes in bytes (64 B – 64 MiB).
+pub fn default_size_buckets_bytes() -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut b = 64.0;
+    while b <= 64.0 * 1024.0 * 1024.0 {
+        v.push(b);
+        b *= 4.0;
+    }
+    v
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Vec<Entry>,
+    /// (name + rendered labels) → index into `entries`.
+    index: HashMap<String, usize>,
+}
+
+/// Metric registry: mints and owns handles, renders the exposition text.
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+    enabled: bool,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner::default()),
+            enabled: true,
+        }
+    }
+
+    /// A registry whose handles drop every record on the floor after one
+    /// branch. Used to measure instrumentation overhead (E15).
+    pub fn disabled() -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner::default()),
+            enabled: false,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> String {
+        let mut k = String::from(name);
+        for (lk, lv) in labels {
+            k.push('\u{1}');
+            k.push_str(lk);
+            k.push('\u{2}');
+            k.push_str(lv);
+        }
+        k
+    }
+
+    fn get_or_insert<T, F, G>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        extract: F,
+        create: G,
+    ) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: FnOnce(bool) -> Metric,
+    {
+        let key = Self::key(name, labels);
+        let mut inner = self.inner.lock();
+        if let Some(&i) = inner.index.get(&key) {
+            return extract(&inner.entries[i].metric).unwrap_or_else(|| {
+                panic!(
+                    "metric {name} already registered as {}",
+                    inner.entries[i].metric.type_name()
+                )
+            });
+        }
+        let metric = create(self.enabled);
+        let handle = extract(&metric).expect("freshly created metric has the requested type");
+        let idx = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric,
+        });
+        inner.index.insert(key, idx);
+        handle
+    }
+
+    /// Get or create a counter. Re-registering the same name+labels returns
+    /// the same handle; re-registering with a different metric type panics.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            |enabled| Metric::Counter(Arc::new(Counter::new(enabled))),
+        )
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            |enabled| Metric::Gauge(Arc::new(Gauge::new(enabled))),
+        )
+    }
+
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            |enabled| Metric::Histogram(Arc::new(Histogram::new(bounds, enabled))),
+        )
+    }
+
+    /// Histogram with the default millisecond duration buckets.
+    pub fn duration_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(name, labels, default_duration_buckets_ms())
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format. Families keep first-registration order; a `# TYPE` comment
+    /// is emitted once per family.
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut typed: HashMap<&str, ()> = HashMap::new();
+        for entry in &inner.entries {
+            if typed.insert(entry.name.as_str(), ()).is_none() {
+                out.push_str("# TYPE ");
+                out.push_str(&entry.name);
+                out.push(' ');
+                out.push_str(entry.metric.type_name());
+                out.push('\n');
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    render_sample(&mut out, &entry.name, &entry.labels, None, c.get() as f64);
+                }
+                Metric::Gauge(g) => {
+                    render_sample(&mut out, &entry.name, &entry.labels, None, g.get() as f64);
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    let bucket_name = format!("{}_bucket", entry.name);
+                    for (i, c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        let le = match h.bounds.get(i) {
+                            Some(b) => format_f64(*b),
+                            None => "+Inf".to_string(),
+                        };
+                        render_sample(
+                            &mut out,
+                            &bucket_name,
+                            &entry.labels,
+                            Some(("le", &le)),
+                            cumulative as f64,
+                        );
+                    }
+                    render_sample(
+                        &mut out,
+                        &format!("{}_sum", entry.name),
+                        &entry.labels,
+                        None,
+                        h.sum(),
+                    );
+                    render_sample(
+                        &mut out,
+                        &format!("{}_count", entry.name),
+                        &entry.labels,
+                        None,
+                        h.count() as f64,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_f64(value));
+    out.push('\n');
+}
+
+/// Summary returned by [`parse_exposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    pub families: usize,
+    pub samples: usize,
+}
+
+/// Line-format lint for the Prometheus text exposition. Returns how many
+/// metric families and sample lines were seen, or a description of the
+/// first malformed line. CI runs this over the live `render_text()` output
+/// so the format cannot silently regress.
+pub fn parse_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut families = 0usize;
+    let mut samples = 0usize;
+    for (line_no, line) in text.lines().enumerate() {
+        let n = line_no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: TYPE without metric name"))?;
+                    if !is_valid_metric_name(name) {
+                        return Err(format!("line {n}: invalid metric name {name:?}"));
+                    }
+                    match parts.next() {
+                        Some("counter") | Some("gauge") | Some("histogram") | Some("summary")
+                        | Some("untyped") => {}
+                        other => {
+                            return Err(format!("line {n}: invalid metric type {other:?}"));
+                        }
+                    }
+                    families += 1;
+                }
+                Some("HELP") => {}
+                _ => return Err(format!("line {n}: unknown comment form: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: comment must start with '# '"));
+        }
+        parse_sample_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        samples += 1;
+    }
+    Ok(ExpositionSummary { families, samples })
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample_line(line: &str) -> Result<(), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unclosed label block".to_string())?;
+            if close < brace {
+                return Err("mismatched braces".to_string());
+            }
+            parse_labels(&line[brace + 1..close])?;
+            (&line[..brace], line[close + 1..].trim_start())
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| "missing value field".to_string())?;
+            (&line[..sp], line[sp + 1..].trim_start())
+        }
+    };
+    if !is_valid_metric_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    let mut fields = rest.split_whitespace();
+    let value = fields.next().ok_or_else(|| "missing value".to_string())?;
+    if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+        return Err(format!("unparseable value {value:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        // Optional timestamp must be an integer.
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp {ts:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing garbage after value".to_string());
+    }
+    Ok(())
+}
+
+fn parse_labels(body: &str) -> Result<(), String> {
+    if body.trim().is_empty() {
+        return Ok(());
+    }
+    // Split on commas that are not inside a quoted value.
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim();
+        if key.is_empty() || !is_valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value for {key:?} must be quoted"));
+        }
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after[1..].char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i + 1);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        let tail = after[end + 1..].trim_start();
+        if tail.is_empty() {
+            return Ok(());
+        }
+        rest = tail
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected ',' between labels, found {tail:?}"))?
+            .trim_start();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("test_total", &[("op", "get")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let again = reg.counter("test_total", &[("op", "get")]);
+        again.inc();
+        assert_eq!(c.get(), 6, "same handle for same name+labels");
+
+        let g = reg.gauge("test_bytes", &[]);
+        g.set(100);
+        g.add(20);
+        g.sub(50);
+        assert_eq!(g.get(), 70);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x_total", &[]);
+        c.add(10);
+        let h = reg.duration_histogram("x_ms", &[]);
+        h.observe(5.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("dual", &[]);
+        reg.gauge("dual", &[]);
+    }
+
+    #[test]
+    fn histogram_quantiles_simple() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms", &[], vec![1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 7.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 13.6).abs() < 1e-9);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 1.0 && p50 <= 2.0, "p50={p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 4.0 && p99 <= 8.0, "p99={p99}");
+        // Overflow values report the largest finite bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn render_and_lint_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("ops_total", &[("op", "get")]).add(3);
+        reg.counter("ops_total", &[("op", "put")]).add(1);
+        reg.gauge("bytes_cached", &[]).set(4096);
+        let h = reg.histogram("dur_ms", &[("op", "get")], vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(20.0);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE ops_total counter"));
+        assert!(text.contains("ops_total{op=\"get\"} 3"));
+        assert!(text.contains("dur_ms_bucket{op=\"get\",le=\"+Inf\"} 2"));
+        assert!(text.contains("dur_ms_count{op=\"get\"} 2"));
+        let summary = parse_exposition(&text).expect("lint-clean exposition");
+        assert_eq!(summary.families, 3);
+        // 2 counters + 1 gauge + (2 buckets + Inf + sum + count).
+        assert_eq!(summary.samples, 8);
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        assert!(parse_exposition("bad name 1\n").is_err());
+        assert!(parse_exposition("name{op=unquoted} 1\n").is_err());
+        assert!(parse_exposition("name 1 2 3\n").is_err());
+        assert!(parse_exposition("name notanumber\n").is_err());
+        assert!(parse_exposition("#bad comment\n").is_err());
+        assert!(parse_exposition("# TYPE name flavor\n").is_err());
+        assert!(parse_exposition("ok_total{l=\"a,b\"} 7\n").is_ok());
+        assert!(parse_exposition("ok_total{l=\"a\\\"b\"} 7\n").is_ok());
+    }
+
+    #[test]
+    fn escaped_label_values_render_lintable() {
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.render_text();
+        parse_exposition(&text).expect("escaped values must stay parseable");
+    }
+}

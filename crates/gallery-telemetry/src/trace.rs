@@ -1,0 +1,332 @@
+//! Span-based tracing with deterministic IDs and injectable time.
+//!
+//! The tracer is deliberately minimal: spans carry a trace ID, a span ID,
+//! an optional parent link, and start/end timestamps taken from a
+//! [`TimeSource`]. IDs come from a per-tracer counter, so a tracer driven
+//! by a manual time source produces byte-identical span records run after
+//! run — the property the determinism tests pin down.
+//!
+//! `gallery-telemetry` sits below `gallery-core` in the crate graph, so it
+//! cannot see the core `Clock` trait; [`TimeSource`] is the telemetry-side
+//! equivalent and core provides a one-line adapter over any `Clock`.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds-since-epoch time, injectable so tests can drive it.
+pub trait TimeSource: Send + Sync {
+    fn now_ms(&self) -> i64;
+}
+
+/// Real wall-clock time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+impl TimeSource for WallClock {
+    fn now_ms(&self) -> i64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0)
+    }
+}
+
+/// The propagatable identity of a span: enough to stitch a child (possibly
+/// on the other side of an RPC) into the same trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+/// A completed span as stored by the tracer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span_id: Option<u64>,
+    pub start_ms: i64,
+    pub end_ms: i64,
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+struct TracerInner {
+    finished: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// Mints spans and keeps a bounded ring of finished ones.
+pub struct Tracer {
+    time: Arc<dyn TimeSource>,
+    next_id: AtomicU64,
+    inner: Mutex<TracerInner>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl Tracer {
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    pub fn new(time: Arc<dyn TimeSource>) -> Self {
+        Self::with_capacity(time, Self::DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(time: Arc<dyn TimeSource>, capacity: usize) -> Self {
+        Tracer {
+            time,
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(TracerInner {
+                finished: VecDeque::new(),
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+            enabled: true,
+        }
+    }
+
+    /// A tracer that mints contexts but records nothing.
+    pub fn disabled(time: Arc<dyn TimeSource>) -> Self {
+        let mut t = Self::new(time);
+        t.enabled = false;
+        t
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Start a root span: a fresh trace.
+    pub fn start_span(self: &Arc<Self>, name: impl Into<String>) -> Span {
+        let trace_id = self.next_id();
+        self.start_with(name, trace_id, None)
+    }
+
+    /// Start a child span under an existing context (same trace).
+    pub fn start_child(self: &Arc<Self>, name: impl Into<String>, parent: SpanContext) -> Span {
+        self.start_with(name, parent.trace_id, Some(parent.span_id))
+    }
+
+    fn start_with(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        trace_id: u64,
+        parent_span_id: Option<u64>,
+    ) -> Span {
+        Span {
+            tracer: Arc::clone(self),
+            ctx: SpanContext {
+                trace_id,
+                span_id: self.next_id(),
+            },
+            parent_span_id,
+            name: name.into(),
+            start_ms: self.time.now_ms(),
+            attrs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn record(&self, span: SpanRecord) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.finished.len() == self.capacity {
+            inner.finished.pop_front();
+            inner.dropped += 1;
+        }
+        inner.finished.push_back(span);
+    }
+
+    /// All finished spans currently retained, oldest first.
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        self.inner.lock().finished.iter().cloned().collect()
+    }
+
+    /// Finished spans belonging to one trace, oldest first.
+    pub fn spans_for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.inner
+            .lock()
+            .finished
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct trace IDs among retained spans, in first-seen order.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut ids = Vec::new();
+        for s in &inner.finished {
+            if !ids.contains(&s.trace_id) {
+                ids.push(s.trace_id);
+            }
+        }
+        ids
+    }
+
+    /// How many finished spans fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.finished.clear();
+        inner.dropped = 0;
+    }
+}
+
+/// A live span. Finish it explicitly with [`Span::finish`]; dropping it
+/// unfinished records it too (so early-return paths are still traced).
+pub struct Span {
+    tracer: Arc<Tracer>,
+    ctx: SpanContext,
+    parent_span_id: Option<u64>,
+    name: String,
+    start_ms: i64,
+    attrs: Vec<(&'static str, String)>,
+    finished: bool,
+}
+
+impl Span {
+    /// The propagatable identity of this span.
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+
+    /// Attach a key/value attribute (e.g. `("outcome", "ok")`).
+    pub fn set_attr(&mut self, key: &'static str, value: impl Into<String>) {
+        self.attrs.push((key, value.into()));
+    }
+
+    /// Close the span, stamping the end time.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_span_id: self.parent_span_id,
+            start_ms: self.start_ms,
+            end_ms: self.tracer.time.now_ms(),
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        self.tracer.record(record);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic time source: starts at `t0`, each reading advances
+    /// by `step` (mirrors core's `ManualClock` contract of strictly
+    /// increasing readings without depending on gallery-core).
+    struct StepClock {
+        now: AtomicU64,
+        step: u64,
+    }
+
+    impl StepClock {
+        fn new(t0: i64, step: u64) -> Arc<Self> {
+            Arc::new(StepClock {
+                now: AtomicU64::new(t0 as u64),
+                step,
+            })
+        }
+    }
+
+    impl TimeSource for StepClock {
+        fn now_ms(&self) -> i64 {
+            self.now.fetch_add(self.step, Ordering::Relaxed) as i64
+        }
+    }
+
+    #[test]
+    fn parent_links_and_trace_grouping() {
+        let tracer = Arc::new(Tracer::new(StepClock::new(1000, 1)));
+        let root = tracer.start_span("request");
+        let root_ctx = root.context();
+        let child = tracer.start_child("handler", root_ctx);
+        let child_ctx = child.context();
+        child.finish();
+        root.finish();
+
+        let spans = tracer.spans_for_trace(root_ctx.trace_id);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "handler");
+        assert_eq!(spans[0].parent_span_id, Some(root_ctx.span_id));
+        assert_eq!(spans[1].name, "request");
+        assert_eq!(spans[1].parent_span_id, None);
+        assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+        assert_ne!(child_ctx.span_id, root_ctx.span_id);
+    }
+
+    #[test]
+    fn deterministic_under_manual_time() {
+        let run = || {
+            let tracer = Arc::new(Tracer::new(StepClock::new(5000, 10)));
+            let mut root = tracer.start_span("op");
+            root.set_attr("outcome", "ok");
+            let child = tracer.start_child("inner", root.context());
+            child.finish();
+            root.finish();
+            tracer.finished_spans()
+        };
+        assert_eq!(run(), run(), "same time source → identical span records");
+    }
+
+    #[test]
+    fn drop_records_unfinished_spans() {
+        let tracer = Arc::new(Tracer::new(StepClock::new(0, 1)));
+        {
+            let _span = tracer.start_span("early-return");
+        }
+        assert_eq!(tracer.finished_spans().len(), 1);
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest() {
+        let tracer = Arc::new(Tracer::with_capacity(StepClock::new(0, 1), 2));
+        for i in 0..4 {
+            tracer.start_span(format!("s{i}")).finish();
+        }
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Arc::new(Tracer::disabled(StepClock::new(0, 1)));
+        let span = tracer.start_span("invisible");
+        let ctx = span.context();
+        span.finish();
+        assert_ne!(ctx.trace_id, 0, "contexts still minted when disabled");
+        assert!(tracer.finished_spans().is_empty());
+    }
+}

@@ -26,7 +26,13 @@
 //!   health INSTANCE_ID
 //!   audit [--repair]
 //!   compact
+//!   stats [--probe]
 //! ```
+//!
+//! `stats` opens the store (replaying the WAL) and prints the
+//! Prometheus-style exposition of every telemetry counter, gauge, and
+//! histogram the invocation produced — with `--probe` it first runs a
+//! model scan + query so the DAL/query paths show non-zero samples.
 //!
 //! `--retries N` re-attempts an operation up to N times when it fails
 //! with a *transient* storage error (I/O, injected fault); semantic
@@ -358,6 +364,15 @@ fn run() -> Result<(), String> {
                     if skew.skewed { "SKEWED" } else { "ok" }
                 );
             }
+        }
+        "stats" => {
+            // Metrics are per-process: everything since `open` above
+            // (WAL replay, table scans) is already in the global registry.
+            if args.iter().any(|a| a == "--probe") {
+                let _ = g.find_models(&Query::all()).map_err(err)?;
+                let _ = g.model_query(&[]).map_err(err)?;
+            }
+            print!("{}", gallery::telemetry::global().registry().render_text());
         }
         "compact" => {
             let entries = g.dal().metadata().compact().map_err(|e| e.to_string())?;

@@ -17,7 +17,10 @@
 //! - [`forecast`] (`gallery-forecast`) — the Marketplace-Forecasting
 //!   substrate: synthetic city demand + a from-scratch model zoo;
 //! - [`marketsim`] (`gallery-marketsim`) — the agent-based marketplace
-//!   discrete-event simulator of the §4.3 case study.
+//!   discrete-event simulator of the §4.3 case study;
+//! - [`telemetry`] (`gallery-telemetry`) — process-wide metrics registry,
+//!   span tracer, and structured event sink instrumenting all of the above
+//!   (Prometheus-style exposition via `render_text`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@ pub use gallery_marketsim as marketsim;
 pub use gallery_rules as rules;
 pub use gallery_service as service;
 pub use gallery_store as store;
+pub use gallery_telemetry as telemetry;
 
 /// The most common imports for Gallery users.
 pub mod prelude {
