@@ -246,6 +246,10 @@ impl ObjectStore for CachedBlobStore {
         Ok(info)
     }
 
+    fn reserve(&self) -> Result<BlobLocation> {
+        self.backend.reserve()
+    }
+
     fn put_at(&self, location: &BlobLocation, data: Bytes) -> Result<BlobInfo> {
         let info = self.backend.put_at(location, data.clone())?;
         let mut inner = self.inner.lock();

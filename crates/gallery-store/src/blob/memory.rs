@@ -93,6 +93,11 @@ impl ObjectStore for MemoryBlobStore {
         })
     }
 
+    fn reserve(&self) -> Result<BlobLocation> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Ok(BlobLocation::new(format!("mem://{id:016x}-reserved")))
+    }
+
     fn put_at(&self, location: &BlobLocation, data: Bytes) -> Result<BlobInfo> {
         if self.faults.should_fail(sites::BLOB_PUT) {
             return Err(StoreError::InjectedFault(sites::BLOB_PUT));

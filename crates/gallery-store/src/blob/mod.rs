@@ -56,9 +56,17 @@ pub trait ObjectStore: Send + Sync {
     /// Store a blob, returning its new, unique location.
     fn put(&self, data: Bytes) -> Result<BlobInfo>;
 
-    /// Store a blob at a caller-chosen location (needed by the unsafe
-    /// metadata-first ordering ablation, where the location must be known
-    /// before the blob exists). Backends may not support this.
+    /// Mint a fresh location without storing anything (needed by the
+    /// unsafe metadata-first ordering ablation, where the location must be
+    /// known before the blob exists). Backends may not support this.
+    fn reserve(&self) -> Result<BlobLocation> {
+        Err(crate::error::StoreError::Io(
+            "backend does not support location reservation".to_string(),
+        ))
+    }
+
+    /// Store a blob at a caller-chosen location (the counterpart of
+    /// [`ObjectStore::reserve`]). Backends may not support this.
     fn put_at(&self, location: &BlobLocation, _data: Bytes) -> Result<BlobInfo> {
         Err(crate::error::StoreError::Io(format!(
             "backend does not support caller-chosen locations ({location})"

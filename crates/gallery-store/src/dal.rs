@@ -112,6 +112,7 @@ struct DalMetrics {
     blob_read_total: Arc<Counter>,
     blob_write_total: Arc<Counter>,
     blob_delete_total: Arc<Counter>,
+    orphans_repaired_total: Arc<Counter>,
     blob_read_bytes: Arc<Counter>,
     blob_write_bytes: Arc<Counter>,
     blob_read_ms: Arc<Histogram>,
@@ -139,6 +140,7 @@ impl DalMetrics {
             blob_read_total: r.counter("gallery_blob_ops_total", &[("op", "read")]),
             blob_write_total: r.counter("gallery_blob_ops_total", &[("op", "write")]),
             blob_delete_total: r.counter("gallery_blob_ops_total", &[("op", "delete")]),
+            orphans_repaired_total: r.counter("gallery_dal_orphans_repaired_total", &[]),
             blob_read_bytes: r.counter("gallery_blob_bytes_total", &[("op", "read")]),
             blob_write_bytes: r.counter("gallery_blob_bytes_total", &[("op", "write")]),
             blob_read_ms: r.duration_histogram("gallery_blob_op_duration_ms", &[("op", "read")]),
@@ -244,16 +246,12 @@ impl Dal {
                 Ok(StoredEntity { blob: info })
             }
             WriteOrdering::MetadataFirst => {
-                // Deliberately unsafe: pick the location up front, write
+                // Deliberately unsafe: reserve the location up front, write
                 // metadata referencing it, then try the blob. A failure (or
                 // crash) between the two writes leaves dangling metadata —
                 // the hazard §3.5's blob-first rule prevents. Records are
                 // immutable, so the location cannot be fixed up afterwards.
-                let crc = crate::blob::checksum::crc32(&blob);
-                let location = BlobLocation::new(format!(
-                    "mem://pre-{:016x}-{crc:08x}",
-                    self.meta.row_count(table).unwrap_or(0) as u64,
-                ));
+                let location = self.blobs.reserve()?;
                 let record = record.set("blob_location", location.as_str());
                 self.meta.insert(table, record)?;
                 let info = self.blobs.put_at(&location, blob)?;
@@ -407,6 +405,11 @@ impl Dal {
             match self.blobs.delete(loc) {
                 Ok(()) => {
                     self.metrics.blob_delete_total.inc();
+                    self.metrics.orphans_repaired_total.inc();
+                    self.metrics
+                        .telemetry
+                        .events()
+                        .emit(kinds::ORPHAN_REPAIRED, vec![("location", loc.to_string())]);
                     report.deleted.push(loc.clone());
                 }
                 Err(e) => report.failed.push((loc.clone(), e)),

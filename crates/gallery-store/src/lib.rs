@@ -35,7 +35,9 @@ pub mod meta;
 pub mod query;
 pub mod record;
 pub mod schema;
+pub mod simfs;
 pub mod table;
+pub mod testkit;
 pub mod value;
 pub mod wal;
 
@@ -50,5 +52,6 @@ pub use meta::MetadataStore;
 pub use query::{AccessPath, Constraint, Op, OrderBy, Query};
 pub use record::Record;
 pub use schema::{ColumnDef, IndexKind, TableSchema};
+pub use simfs::{real_fs, FileSystem, FsFile, RealFs, SimFaultPlan, SimFs};
 pub use value::{Value, ValueType};
 pub use wal::SyncPolicy;

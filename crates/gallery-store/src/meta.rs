@@ -9,6 +9,7 @@ use crate::fault::{sites, FaultPlan};
 use crate::query::{AccessPath, Query};
 use crate::record::Record;
 use crate::schema::TableSchema;
+use crate::simfs::{real_fs, FileSystem};
 use crate::table::{Table, TableStats};
 use crate::wal::{SyncPolicy, Wal, WalOp};
 use gallery_telemetry::{kinds, Telemetry};
@@ -27,6 +28,7 @@ pub struct MetadataStore {
     inner: RwLock<MetaInner>,
     faults: FaultPlan,
     telemetry: Arc<Telemetry>,
+    fs: Arc<dyn FileSystem>,
 }
 
 impl MetadataStore {
@@ -39,20 +41,61 @@ impl MetadataStore {
             }),
             faults: FaultPlan::none(),
             telemetry: Arc::clone(gallery_telemetry::global()),
+            fs: real_fs(),
         }
     }
 
-    /// Store durable through a WAL at `path`. Replays any existing log.
+    /// Store durable through a WAL at `path`. Replays any existing log;
+    /// a torn final record (the expected crash artifact) is truncated away
+    /// and surfaced through telemetry (see [`Wal::recover`]).
     pub fn durable(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self> {
+        Self::durable_with(
+            real_fs(),
+            path,
+            sync,
+            Arc::clone(gallery_telemetry::global()),
+        )
+    }
+
+    /// [`MetadataStore::durable`] over an explicit file system (the
+    /// crash-consistency harness passes a [`crate::simfs::SimFs`]).
+    pub fn durable_with_fs(
+        fs: Arc<dyn FileSystem>,
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
+        Self::durable_with(fs, path, sync, Arc::clone(gallery_telemetry::global()))
+    }
+
+    /// Fully explicit durable constructor: file system *and* telemetry.
+    /// Recovery-time events (torn-tail truncation) land in `telemetry`,
+    /// which `with_telemetry` — running after the fact — could not capture.
+    pub fn durable_with(
+        fs: Arc<dyn FileSystem>,
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self> {
         let path = path.as_ref();
-        let ops = Wal::replay(path)?;
-        let store = Self::in_memory();
+        let ops = Wal::recover(&*fs, path, &telemetry)?;
+        let store = MetadataStore {
+            inner: RwLock::new(MetaInner {
+                tables: HashMap::new(),
+                wal: None,
+            }),
+            faults: FaultPlan::none(),
+            telemetry,
+            fs,
+        };
         {
             let mut inner = store.inner.write();
             for op in ops {
                 Self::apply(&mut inner.tables, op)?;
             }
-            inner.wal = Some(Wal::open(path, sync)?.with_telemetry(&store.telemetry));
+            inner.wal = Some(
+                Wal::open_with_fs(Arc::clone(&store.fs), path, sync)?
+                    .with_telemetry(&store.telemetry),
+            );
         }
         Ok(store)
     }
@@ -263,7 +306,7 @@ impl MetadataStore {
     pub fn wal_size_bytes(&self) -> Option<u64> {
         let inner = self.inner.read();
         let wal = inner.wal.as_ref()?;
-        std::fs::metadata(wal.path()).ok().map(|m| m.len())
+        self.fs.len(wal.path()).ok()
     }
 
     /// Compact the WAL: rewrite it as the minimal operation sequence that
@@ -280,7 +323,7 @@ impl MetadataStore {
         let path = wal.path().to_path_buf();
         let sync = wal.sync_policy();
         let tmp = path.with_extension("compacting");
-        let mut compacted = Wal::create(&tmp, SyncPolicy::Never)?;
+        let mut compacted = Wal::create_with_fs(Arc::clone(&self.fs), &tmp, SyncPolicy::Never)?;
         let mut table_names: Vec<&String> = inner.tables.keys().collect();
         table_names.sort();
         let mut entries = 0u64;
@@ -300,8 +343,10 @@ impl MetadataStore {
         }
         compacted.sync_all()?;
         drop(compacted);
-        std::fs::rename(&tmp, &path)?;
-        inner.wal = Some(Wal::open(&path, sync)?.with_telemetry(&self.telemetry));
+        self.fs.rename(&tmp, &path)?;
+        inner.wal = Some(
+            Wal::open_with_fs(Arc::clone(&self.fs), &path, sync)?.with_telemetry(&self.telemetry),
+        );
         self.telemetry.events().emit(
             kinds::WAL_FLUSH,
             vec![

@@ -1,0 +1,217 @@
+//! Seeded random DAL workloads.
+//!
+//! A workload is a flat list of logical operations against one `instances`
+//! table. Two properties make workloads usable for crash testing:
+//!
+//! 1. **Determinism** — `Workload::generate(seed, len)` always produces the
+//!    same op list, so a failing crash scenario is reproduced from its seed
+//!    alone.
+//! 2. **Self-describing payloads** — the blob for instance `id` is
+//!    `payload_for(seed, id)`, a pure function. After a crash + recovery,
+//!    any surviving row's blob can be checked byte-for-byte without
+//!    replaying the workload.
+//!
+//! Flag mutation is deliberately monotone (instances are only ever
+//! *deprecated*, never un-deprecated, matching §3.7's immutability story).
+//! A recovered store holds a prefix of the workload, so a monotone flag
+//! admits a simple invariant: a recovered `deprecated = true` implies the
+//! full workload deprecated that instance too.
+
+use crate::dal::Dal;
+use crate::error::StoreError;
+use crate::record::Record;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::value::ValueType;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The single table crash workloads run against (mirrors the `instances`
+/// schema used throughout the test suite).
+pub const TABLE: &str = "instances";
+
+/// Schema for [`TABLE`]: primary key, nullable blob pointer, nullable
+/// deprecation flag.
+pub fn instance_schema() -> TableSchema {
+    TableSchema::new(
+        TABLE,
+        "id",
+        vec![
+            ColumnDef::new("id", ValueType::Str),
+            ColumnDef::new("blob_location", ValueType::Str).nullable(),
+            ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Deterministic blob payload for instance `id` under `seed`: 16–135 bytes
+/// derived from an FNV-mixed per-id RNG.
+pub fn payload_for(seed: u64, id: &str) -> Vec<u8> {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in id.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    let len = 16 + rng.gen_range(0..120u64) as usize;
+    (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect()
+}
+
+/// One logical DAL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// `put_with_blob`: new instance with payload `payload_for(seed, id)`.
+    PutWithBlob { id: String },
+    /// Metadata-only insert (no blob), e.g. a registered-but-unmaterialised
+    /// instance.
+    PutMeta { id: String },
+    /// Monotone flag write: `set_flag(id, "deprecated", true)`.
+    Deprecate { id: String },
+    /// Point read of the metadata row.
+    Get { id: String },
+    /// Two-hop read: metadata row, then blob bytes.
+    FetchBlob { id: String },
+    /// Orphan GC pass over [`TABLE`].
+    RepairOrphans,
+}
+
+impl WorkloadOp {
+    /// The instance this op targets, if any.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            WorkloadOp::PutWithBlob { id }
+            | WorkloadOp::PutMeta { id }
+            | WorkloadOp::Deprecate { id }
+            | WorkloadOp::Get { id }
+            | WorkloadOp::FetchBlob { id } => Some(id),
+            WorkloadOp::RepairOrphans => None,
+        }
+    }
+}
+
+/// A reproducible op sequence. The seed is carried along because payloads
+/// ([`payload_for`]) and hence all content checks depend on it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub seed: u64,
+    pub ops: Vec<WorkloadOp>,
+}
+
+impl Workload {
+    /// Generate `len` operations from `seed`. Ids are unique per workload
+    /// (the store's records are immutable; duplicate-key probing belongs to
+    /// the differential model, not the crash matrix).
+    pub fn generate(seed: u64, len: usize) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<String> = Vec::new();
+        let mut next = 0u32;
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let roll = rng.gen_range(0..100u64);
+            let op = if ids.is_empty() || roll < 45 {
+                next += 1;
+                let id = format!("inst-{next:04}");
+                ids.push(id.clone());
+                WorkloadOp::PutWithBlob { id }
+            } else if roll < 55 {
+                next += 1;
+                let id = format!("inst-{next:04}");
+                ids.push(id.clone());
+                WorkloadOp::PutMeta { id }
+            } else if roll < 70 {
+                WorkloadOp::Deprecate {
+                    id: pick(&mut rng, &ids),
+                }
+            } else if roll < 82 {
+                WorkloadOp::Get {
+                    id: pick(&mut rng, &ids),
+                }
+            } else if roll < 94 {
+                WorkloadOp::FetchBlob {
+                    id: pick(&mut rng, &ids),
+                }
+            } else {
+                WorkloadOp::RepairOrphans
+            };
+            ops.push(op);
+        }
+        Workload { seed, ops }
+    }
+}
+
+fn pick(rng: &mut StdRng, ids: &[String]) -> String {
+    ids[rng.gen_range(0..ids.len() as u64) as usize].clone()
+}
+
+/// Whether an error from [`apply`] means the *storage layer* failed (crash,
+/// injected fault, corruption) as opposed to an expected semantic outcome
+/// of the op mix (e.g. fetching the blob of a metadata-only instance).
+pub fn is_storage_failure(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Io(_)
+            | StoreError::InjectedFault(_)
+            | StoreError::WalCorrupt(_)
+            | StoreError::ChecksumMismatch { .. }
+    )
+}
+
+/// Apply one op to a DAL. Semantic errors (no such key, no blob on a
+/// metadata-only row) are swallowed — they are legitimate outcomes of a
+/// random op mix. Storage failures propagate so a crash-matrix run stops at
+/// its injected crash.
+pub fn apply(dal: &Dal, seed: u64, op: &WorkloadOp) -> crate::error::Result<()> {
+    let outcome = match op {
+        WorkloadOp::PutWithBlob { id } => dal
+            .put_with_blob(
+                TABLE,
+                Record::new().set("id", id.as_str()),
+                Bytes::from(payload_for(seed, id)),
+            )
+            .map(|_| ()),
+        WorkloadOp::PutMeta { id } => dal.put(TABLE, Record::new().set("id", id.as_str())),
+        WorkloadOp::Deprecate { id } => dal.set_flag(TABLE, id, "deprecated", true),
+        WorkloadOp::Get { id } => dal.get(TABLE, id).map(|_| ()),
+        WorkloadOp::FetchBlob { id } => dal.fetch_blob_of(TABLE, id).map(|_| ()),
+        WorkloadOp::RepairOrphans => dal.repair_orphans(&[TABLE]).map(|_| ()),
+    };
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(e) if is_storage_failure(&e) => Err(e),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(42, 64);
+        let b = Workload::generate(42, 64);
+        assert_eq!(a.ops, b.ops);
+        let c = Workload::generate(43, 64);
+        assert_ne!(a.ops, c.ops, "different seeds should differ");
+    }
+
+    #[test]
+    fn payloads_are_stable_and_id_sensitive() {
+        assert_eq!(payload_for(7, "inst-0001"), payload_for(7, "inst-0001"));
+        assert_ne!(payload_for(7, "inst-0001"), payload_for(7, "inst-0002"));
+        assert_ne!(payload_for(7, "inst-0001"), payload_for(8, "inst-0001"));
+        assert!(payload_for(7, "inst-0001").len() >= 16);
+    }
+
+    #[test]
+    fn ids_are_unique_within_a_workload() {
+        let w = Workload::generate(11, 200);
+        let mut seen = std::collections::HashSet::new();
+        for op in &w.ops {
+            if let WorkloadOp::PutWithBlob { id } | WorkloadOp::PutMeta { id } = op {
+                assert!(seen.insert(id.clone()), "duplicate insert id {id}");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+}

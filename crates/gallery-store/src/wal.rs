@@ -4,15 +4,21 @@
 //! stand-in gains durability through a simple append-only log. Each entry
 //! is a CRC-framed JSON line; replay stops cleanly at a torn tail (the
 //! standard WAL contract) but reports corruption in the middle of the log.
+//!
+//! All file IO goes through the [`FileSystem`] abstraction so the
+//! crash-consistency harness ([`crate::testkit`]) can run the WAL over a
+//! simulated disk ([`crate::simfs::SimFs`]) and crash it at every IO
+//! operation. Production paths use [`real_fs`] and perform the same
+//! syscalls as before.
 
 use crate::blob::checksum::crc32;
 use crate::error::{Result, StoreError};
 use crate::record::Record;
 use crate::schema::TableSchema;
+use crate::simfs::{real_fs, FileSystem, FsFile};
 use gallery_telemetry::{kinds, Counter, EventSink, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,7 +62,7 @@ struct WalTelemetry {
 /// Append-only write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    writer: Box<dyn FsFile>,
     sync: SyncPolicy,
     entries_written: u64,
     telemetry: Option<WalTelemetry>,
@@ -71,17 +77,44 @@ impl std::fmt::Debug for Wal {
     }
 }
 
+/// What [`Wal::replay_report`] found at the end of the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the end of the last intact entry: truncating the log
+    /// to this length removes the crash artifact.
+    pub valid_len: u64,
+    /// Garbage bytes after `valid_len`.
+    pub dropped_bytes: u64,
+}
+
+/// Outcome of replaying a log file: the intact operations plus, when the
+/// final record was torn by a crash, where the tear begins.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    pub ops: Vec<WalOp>,
+    pub torn_tail: Option<TornTail>,
+}
+
 impl Wal {
     /// Open (creating if necessary) the log at `path` for appending.
     pub fn open(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self> {
+        Self::open_with_fs(real_fs(), path, sync)
+    }
+
+    /// [`Wal::open`] over an explicit file system.
+    pub fn open_with_fs(
+        fs: Arc<dyn FileSystem>,
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            fs.create_dir_all(parent)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let writer = fs.open_append(&path)?;
         Ok(Wal {
             path,
-            writer: BufWriter::new(file),
+            writer,
             sync,
             entries_written: 0,
             telemetry: None,
@@ -91,18 +124,23 @@ impl Wal {
     /// Create a fresh log at `path`, truncating anything already there
     /// (used when writing a compacted log to a temporary file).
     pub fn create(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self> {
+        Self::create_with_fs(real_fs(), path, sync)
+    }
+
+    /// [`Wal::create`] over an explicit file system.
+    pub fn create_with_fs(
+        fs: Arc<dyn FileSystem>,
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            fs.create_dir_all(parent)?;
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        let writer = fs.create(&path)?;
         Ok(Wal {
             path,
-            writer: BufWriter::new(file),
+            writer,
             sync,
             entries_written: 0,
             telemetry: None,
@@ -130,7 +168,7 @@ impl Wal {
     /// Flush and fsync everything written so far.
     pub fn sync_all(&mut self) -> Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.writer.sync_data()?;
         if let Some(t) = &self.telemetry {
             t.flushes.inc();
             t.events.emit(
@@ -162,7 +200,7 @@ impl Wal {
         writeln!(self.writer, "{crc:08x} {json}")?;
         self.writer.flush()?;
         if self.sync == SyncPolicy::Always {
-            self.writer.get_ref().sync_data()?;
+            self.writer.sync_data()?;
         }
         self.entries_written += 1;
         if let Some(t) = &self.telemetry {
@@ -179,39 +217,93 @@ impl Wal {
     /// tolerated (it is the expected crash artifact); a CRC mismatch on a
     /// non-final line is reported as corruption.
     pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalOp>> {
+        Ok(Self::replay_report(&*real_fs(), path)?.ops)
+    }
+
+    /// [`Wal::replay`] over an explicit file system.
+    pub fn replay_with_fs(fs: &dyn FileSystem, path: impl AsRef<Path>) -> Result<Vec<WalOp>> {
+        Ok(Self::replay_report(fs, path)?.ops)
+    }
+
+    /// Replay, additionally reporting whether (and where) the final record
+    /// was torn. Does not modify the log.
+    pub fn replay_report(fs: &dyn FileSystem, path: impl AsRef<Path>) -> Result<ReplayReport> {
         let path = path.as_ref();
-        if !path.exists() {
-            return Ok(Vec::new());
+        if !fs.exists(path) {
+            return Ok(ReplayReport::default());
         }
-        let file = File::open(path)?;
-        let mut reader = BufReader::new(file);
+        let data = fs.read(path)?;
+        Self::replay_bytes(&data)
+    }
+
+    /// Replay and *heal*: when the log ends in a torn record, truncate the
+    /// tail so the artifact cannot confuse later readers, count it as
+    /// `gallery_wal_torn_tail_truncated_total`, and emit a structured
+    /// [`kinds::WAL_TORN_TAIL`] event. This is the recovery entry point
+    /// used by [`crate::meta::MetadataStore::durable`].
+    pub fn recover(
+        fs: &dyn FileSystem,
+        path: impl AsRef<Path>,
+        telemetry: &Telemetry,
+    ) -> Result<Vec<WalOp>> {
+        let path = path.as_ref();
+        let report = Self::replay_report(fs, path)?;
+        if let Some(torn) = &report.torn_tail {
+            fs.truncate(path, torn.valid_len)?;
+            telemetry
+                .registry()
+                .counter("gallery_wal_torn_tail_truncated_total", &[])
+                .inc();
+            telemetry.events().emit(
+                kinds::WAL_TORN_TAIL,
+                vec![
+                    ("path", path.display().to_string()),
+                    ("valid_len", torn.valid_len.to_string()),
+                    ("dropped_bytes", torn.dropped_bytes.to_string()),
+                ],
+            );
+        }
+        Ok(report.ops)
+    }
+
+    fn replay_bytes(data: &[u8]) -> Result<ReplayReport> {
         let mut ops = Vec::new();
-        let mut line = String::new();
+        let mut offset = 0usize;
         let mut line_no = 0usize;
-        loop {
-            line.clear();
-            let n = reader.read_line(&mut line)?;
-            if n == 0 {
+        let mut torn = false;
+        while offset < data.len() {
+            let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') else {
+                // Trailing bytes without a newline: the classic torn tail.
+                torn = true;
                 break;
-            }
+            };
             line_no += 1;
-            let trimmed = line.trim_end_matches('\n');
-            let parsed = Self::parse_entry(trimmed);
+            let line = &data[offset..offset + nl];
+            let parsed = std::str::from_utf8(line)
+                .map_err(|e| format!("invalid utf-8: {e}"))
+                .and_then(Self::parse_entry);
             match parsed {
-                Ok(op) => ops.push(op),
+                Ok(op) => {
+                    ops.push(op);
+                    offset += nl + 1;
+                }
                 Err(e) => {
-                    // Peek: if there is any further content this is mid-log
-                    // corruption, not a torn tail.
-                    let mut rest = String::new();
-                    reader.read_line(&mut rest)?;
-                    if rest.trim().is_empty() {
-                        break; // torn tail: ignore
+                    // A complete-but-bad line: torn tail if nothing but
+                    // whitespace follows, mid-log corruption otherwise.
+                    let rest = &data[offset + nl + 1..];
+                    if rest.iter().all(u8::is_ascii_whitespace) {
+                        torn = true;
+                        break;
                     }
                     return Err(StoreError::WalCorrupt(format!("line {line_no}: {e}")));
                 }
             }
         }
-        Ok(ops)
+        let torn_tail = torn.then(|| TornTail {
+            valid_len: offset as u64,
+            dropped_bytes: (data.len() - offset) as u64,
+        });
+        Ok(ReplayReport { ops, torn_tail })
     }
 
     fn parse_entry(line: &str) -> std::result::Result<WalOp, String> {
@@ -234,6 +326,7 @@ impl Wal {
 mod tests {
     use super::*;
     use crate::schema::ColumnDef;
+    use crate::simfs::SimFs;
     use crate::value::ValueType;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -301,11 +394,64 @@ mod tests {
         // Simulate a crash mid-append: garbage partial line at the end.
         {
             use std::io::Write as _;
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             write!(f, "deadbeef {{\"Ins").unwrap();
         }
         let ops = Wal::replay(&path).unwrap();
         assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_and_counts_it() {
+        let dir = tmpdir("heal");
+        let path = dir.join("wal.log");
+        let clean_len;
+        {
+            let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+            for op in sample_ops() {
+                wal.append(&op).unwrap();
+            }
+            wal.sync_all().unwrap();
+            clean_len = std::fs::metadata(&path).unwrap().len();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "deadbeef {{\"Ins").unwrap();
+        }
+        let telemetry = Telemetry::new();
+        let ops = Wal::recover(&*real_fs(), &path, &telemetry).unwrap();
+        assert_eq!(ops.len(), 3);
+        // The tail is physically gone and the healing was observable.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(
+            telemetry
+                .registry()
+                .counter("gallery_wal_torn_tail_truncated_total", &[])
+                .get(),
+            1
+        );
+        let events = telemetry.events().of_kind(kinds::WAL_TORN_TAIL);
+        assert_eq!(events.len(), 1);
+        // Healing is idempotent: a second recovery sees a clean log.
+        let telemetry2 = Telemetry::new();
+        assert_eq!(
+            Wal::recover(&*real_fs(), &path, &telemetry2).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            telemetry2
+                .registry()
+                .counter("gallery_wal_torn_tail_truncated_total", &[])
+                .get(),
+            0
+        );
     }
 
     #[test]
@@ -340,5 +486,31 @@ mod tests {
             wal.append(&sample_ops()[1]).unwrap();
         }
         assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wal_over_simfs_loses_unsynced_tail_on_crash() {
+        let fs = SimFs::new();
+        let path = PathBuf::from("/db/wal.log");
+        {
+            let mut wal =
+                Wal::open_with_fs(Arc::new(fs.clone()), &path, SyncPolicy::Never).unwrap();
+            wal.append(&sample_ops()[0]).unwrap();
+            wal.sync_all().unwrap();
+            wal.append(&sample_ops()[1]).unwrap(); // never synced
+        }
+        let after = fs.recover();
+        let ops = Wal::replay_with_fs(&after, &path).unwrap();
+        assert_eq!(ops.len(), 1, "unsynced append must not survive the crash");
+        // With SyncPolicy::Always both entries survive.
+        let fs2 = SimFs::new();
+        {
+            let mut wal =
+                Wal::open_with_fs(Arc::new(fs2.clone()), &path, SyncPolicy::Always).unwrap();
+            wal.append(&sample_ops()[0]).unwrap();
+            wal.append(&sample_ops()[1]).unwrap();
+        }
+        let ops = Wal::replay_with_fs(&fs2.recover(), &path).unwrap();
+        assert_eq!(ops.len(), 2);
     }
 }

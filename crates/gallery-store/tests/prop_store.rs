@@ -1,10 +1,12 @@
 //! Property tests for the metadata store: query planning must never change
 //! results (index vs scan equivalence), WAL replay must reproduce state
-//! exactly, and the DAL's blob-first invariant must hold under arbitrary
-//! fault schedules.
+//! exactly, the DAL's blob-first invariant must hold under arbitrary fault
+//! schedules, and degraded reads must never silently serve wrong bytes.
 
 use bytes::Bytes;
+use gallery_store::blob::cache::CachedBlobStore;
 use gallery_store::blob::memory::MemoryBlobStore;
+use gallery_store::blob::ObjectStore as _;
 use gallery_store::fault::sites;
 use gallery_store::{
     ColumnDef, Constraint, Dal, FaultPlan, MetadataStore, Op, Query, Record, SyncPolicy,
@@ -166,6 +168,74 @@ proptest! {
             let pk = format!("i{i}");
             if dal.get("instances", &pk).unwrap().is_some() {
                 prop_assert!(dal.fetch_blob_of("instances", &pk).is_ok());
+            }
+        }
+    }
+
+    /// After the backing object of one instance is corrupted or deleted, a
+    /// degraded read of *any* instance either returns exactly the bytes
+    /// originally written (a correct cache/backend hit — the `stale` flag
+    /// marks backend-unverified data) or a detected error. It never serves
+    /// wrong bytes as a success.
+    #[test]
+    fn degraded_reads_never_silently_wrong(
+        n in 1usize..10,
+        victim in any::<prop::sample::Index>(),
+        delete_instead in any::<bool>(),
+        cached in any::<bool>(),
+    ) {
+        let backend = Arc::new(MemoryBlobStore::new());
+        let store: Arc<dyn gallery_store::ObjectStore> = if cached {
+            let inner: Arc<dyn gallery_store::ObjectStore> = Arc::clone(&backend) as _;
+            Arc::new(CachedBlobStore::new(inner, 1 << 20))
+        } else {
+            Arc::clone(&backend) as _
+        };
+        let dal = Dal::new(Arc::new(MetadataStore::in_memory()), store);
+        dal.create_table(TableSchema::new(
+            "instances",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("blob_location", ValueType::Str).nullable(),
+            ],
+        ).unwrap()).unwrap();
+        let mut payloads = Vec::new();
+        for i in 0..n {
+            let body = format!("payload-{i}-{}", "x".repeat(i));
+            dal.put_with_blob(
+                "instances",
+                Record::new().set("id", format!("i{i}")),
+                Bytes::from(body.clone()),
+            ).unwrap();
+            payloads.push(body);
+        }
+        // Damage one instance's backing object behind the DAL's back.
+        let victim = victim.index(n);
+        let loc = {
+            let rec = dal.get("instances", &format!("i{victim}")).unwrap().unwrap();
+            gallery_store::BlobLocation::new(rec.get("blob_location").unwrap().as_str().unwrap())
+        };
+        if delete_instead {
+            backend.delete(&loc).unwrap();
+        } else {
+            backend.corrupt(&loc);
+        }
+        for (i, payload) in payloads.iter().enumerate() {
+            match dal.fetch_blob_of_degraded("instances", &format!("i{i}"), 2) {
+                Ok(read) => prop_assert_eq!(
+                    &read.data[..],
+                    payload.as_bytes(),
+                    "instance i{} served wrong bytes (stale={})",
+                    i,
+                    read.stale
+                ),
+                Err(e) => prop_assert!(
+                    i == victim,
+                    "undamaged instance i{} failed: {}",
+                    i,
+                    e
+                ),
             }
         }
     }

@@ -236,6 +236,11 @@ pub mod kinds {
     pub const CACHE_EVICT: &str = "cache.evict";
     /// Server answered from the idempotency cache: fields `key`, `method`.
     pub const IDEMPOTENT_REPLAY: &str = "idempotency.replay";
+    /// WAL recovery truncated a torn final record: fields `path`,
+    /// `valid_len`, `dropped_bytes`.
+    pub const WAL_TORN_TAIL: &str = "wal.torn_tail_truncated";
+    /// The repair pass garbage-collected an orphan blob: fields `location`.
+    pub const ORPHAN_REPAIRED: &str = "dal.orphan_repaired";
 }
 
 #[cfg(test)]
