@@ -35,6 +35,7 @@ pub mod lifecycle;
 pub mod metadata;
 pub mod metrics;
 pub mod model;
+pub mod monitor;
 pub mod registry;
 pub mod reproduce;
 pub mod schemas;
@@ -53,6 +54,7 @@ pub use lifecycle::Stage;
 pub use metadata::{MetaValue, Metadata};
 pub use metrics::{MetricRecord, MetricScope, MetricSpec};
 pub use model::{Model, ModelSpec};
+pub use monitor::{ModelMonitor, MonitorConfig, MonitorSnapshot, ScoringEvent};
 pub use registry::Gallery;
 pub use reproduce::{ReproductionMatch, ReproductionPlan};
 pub use schemas::Deployment;

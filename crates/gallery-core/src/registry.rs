@@ -33,6 +33,7 @@ pub(crate) struct RegistryMetrics {
     upload_instance: Arc<Counter>,
     model_query: Arc<Counter>,
     pub(crate) propagated: Arc<Counter>,
+    rollback: Arc<Counter>,
     upload_ms: Arc<Histogram>,
     query_ms: Arc<Histogram>,
 }
@@ -45,6 +46,10 @@ impl RegistryMetrics {
             upload_instance: r.counter("gallery_registry_ops_total", &[("op", "upload_instance")]),
             model_query: r.counter("gallery_registry_ops_total", &[("op", "model_query")]),
             propagated: r.counter("gallery_registry_propagated_instances_total", &[]),
+            rollback: r.counter(
+                "gallery_registry_ops_total",
+                &[("op", "rollback_production")],
+            ),
             upload_ms: r.duration_histogram(
                 "gallery_registry_op_duration_ms",
                 &[("op", "upload_instance")],
@@ -719,6 +724,37 @@ impl Gallery {
         rows.iter().map(schemas::deployment_from_record).collect()
     }
 
+    /// Roll the production pointer for (model, environment) back to the
+    /// previous *distinct* instance in the deployment history. Instances
+    /// are immutable and permanently addressable (§3.4), so a rollback is
+    /// just a fresh deployment of the prior pointer — the history keeps
+    /// the full audit trail, including the rollback itself. Returns the
+    /// instance the pointer now targets.
+    ///
+    /// This is the lifecycle action a firing model-health alert invokes
+    /// through the rules bridge (monitor gauge breach → alert → rollback).
+    pub fn rollback_production(&self, model_id: &ModelId, environment: &str) -> Result<InstanceId> {
+        let history = self.deployment_history(model_id)?;
+        let mut in_env = history.iter().filter(|d| d.environment == environment);
+        let current = in_env.next().ok_or_else(|| {
+            GalleryError::Invalid(format!(
+                "no deployment of model {model_id} in environment {environment} to roll back"
+            ))
+        })?;
+        let previous = in_env
+            .find(|d| d.instance_id != current.instance_id)
+            .ok_or_else(|| {
+                GalleryError::Invalid(format!(
+                    "no earlier distinct instance of model {model_id} in environment \
+                     {environment} to roll back to"
+                ))
+            })?;
+        let target = previous.instance_id.clone();
+        self.deploy(model_id, &target, environment)?;
+        self.metrics.rollback.inc();
+        Ok(target)
+    }
+
     // ------------------------------------------------------------------
     // Lifecycle stages
     // ------------------------------------------------------------------
@@ -1001,6 +1037,35 @@ mod tests {
         assert_eq!(g.deployment_history(&m.id).unwrap().len(), 2);
         // other environments unaffected
         assert_eq!(g.deployed_instance(&m.id, "staging").unwrap(), None);
+    }
+
+    #[test]
+    fn rollback_production_returns_to_prior_distinct_instance() {
+        let g = gallery();
+        let m = g.create_model(spec("demand")).unwrap();
+        let i1 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"1"))
+            .unwrap();
+        let i2 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"2"))
+            .unwrap();
+        // Nothing deployed yet — nothing to roll back.
+        assert!(g.rollback_production(&m.id, "production").is_err());
+        g.deploy(&m.id, &i1.id, "production").unwrap();
+        // Only one instance ever deployed — no distinct predecessor.
+        assert!(g.rollback_production(&m.id, "production").is_err());
+        g.deploy(&m.id, &i2.id, "production").unwrap();
+        let back = g.rollback_production(&m.id, "production").unwrap();
+        assert_eq!(back, i1.id);
+        assert_eq!(
+            g.deployed_instance(&m.id, "production").unwrap(),
+            Some(i1.id.clone())
+        );
+        // The rollback is itself a deployment: full audit trail retained.
+        assert_eq!(g.deployment_history(&m.id).unwrap().len(), 3);
+        // Rolling back again flips to i2 (the previous distinct pointer).
+        let forward = g.rollback_production(&m.id, "production").unwrap();
+        assert_eq!(forward, i2.id);
     }
 
     #[test]

@@ -5,7 +5,12 @@
 use bytes::Bytes;
 use gallery_core::health::drift::{Cusum, WindowMeanShift};
 use gallery_core::metadata::{Metadata, REPRODUCIBILITY_FIELDS};
-use gallery_core::{Gallery, InstanceSpec, MetricScope, MetricSpec, ModelSpec};
+use gallery_core::{
+    Gallery, InstanceSpec, ManualClock, MetricScope, MetricSpec, ModelMonitor, ModelSpec,
+    MonitorConfig, ScoringEvent,
+};
+use gallery_telemetry::Telemetry;
+use std::sync::Arc;
 
 fn reproducible_metadata() -> Metadata {
     let mut m = Metadata::new();
@@ -130,4 +135,160 @@ fn health_scores_rank_fleet() {
     );
     assert!(g.health_report(&good.id).unwrap().is_complete());
     assert!(!g.health_report(&bare.id).unwrap().is_complete());
+}
+
+/// Boundary: detectors and monitors over an *empty* (or still warming-up)
+/// window must stay silent regardless of thresholds.
+#[test]
+fn empty_window_yields_no_drift_verdict() {
+    // A fresh detector has seen nothing: no verdict even at z_threshold 0.
+    let shift = WindowMeanShift::new(5, 0.0);
+    let v = shift.check();
+    assert!(!v.drifted, "empty window must not drift");
+    assert_eq!(v.statistic, 0.0);
+    assert_eq!(shift.warmup_remaining(), 10);
+
+    // Reference full but recent window one short: still warming up, even
+    // though the values fed so far are wildly shifted.
+    let mut shift = WindowMeanShift::new(5, 0.0);
+    for _ in 0..5 {
+        shift.observe(0.1);
+    }
+    for _ in 0..4 {
+        shift.observe(99.0);
+    }
+    assert_eq!(shift.warmup_remaining(), 1);
+    assert!(!shift.check().drifted, "partial window must not drift");
+
+    // The live monitor over an empty window: no drift score, completeness
+    // defaults to 1.0 (nothing observed to be missing), staleness pegged
+    // at the full window span.
+    let telemetry = Telemetry::new();
+    let clock = Arc::new(ManualClock::new(1_000));
+    let mut monitor = ModelMonitor::new(
+        "empty-inst".into(),
+        MonitorConfig {
+            window_ms: 60_000,
+            ..MonitorConfig::default()
+        },
+        clock,
+        &telemetry,
+    );
+    let snap = monitor.evaluate();
+    assert_eq!(snap.window_events, 0);
+    assert_eq!(snap.drift_score, None);
+    assert!(!snap.drifted);
+    assert_eq!(snap.feature_completeness, 1.0);
+    assert_eq!(snap.staleness_ms, 60_000);
+}
+
+/// Boundary: an instance with nothing going for it (no reproducibility
+/// metadata, no metrics) bottoms out at score 0, and a skew pile-up can
+/// only clamp to 0 — the score never leaves [0, 1].
+#[test]
+fn all_missing_features_clamp_score_to_zero() {
+    let g = Gallery::in_memory();
+    let model = g
+        .create_model(ModelSpec::new("p", "bare").name("m"))
+        .unwrap();
+
+    // Nothing recorded at all: 0.5*0 + 0.5*0 - 0 = 0.
+    let bare = g
+        .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"w"))
+        .unwrap();
+    let report = g.health_report(&bare.id).unwrap();
+    assert_eq!(report.reproducibility_score, 0.0);
+    assert_eq!(report.missing_fields.len(), REPRODUCIBILITY_FIELDS.len());
+    assert_eq!(report.score(), 0.0);
+    assert!(!report.is_complete());
+
+    // No metadata plus three heavily skewed metrics: the raw score
+    // (0.5*0 + 0.5*(2/3) - 0.2*3 < 0) must clamp at 0, not go negative.
+    let worse = g
+        .upload_instance(&model.id, InstanceSpec::new(), Bytes::from_static(b"x"))
+        .unwrap();
+    for name in ["mape", "mae", "rmse"] {
+        g.insert_metric(
+            &worse.id,
+            MetricSpec::new(name, MetricScope::Validation, 0.10),
+        )
+        .unwrap();
+        g.insert_metric(
+            &worse.id,
+            MetricSpec::new(name, MetricScope::Production, 0.90),
+        )
+        .unwrap();
+    }
+    let report = g.health_report(&worse.id).unwrap();
+    assert_eq!(report.skew.len(), 3);
+    assert!(report.skew.iter().all(|s| s.skewed));
+    assert_eq!(report.score(), 0.0);
+
+    // Monitor-side counterpart: a window whose every feature value is
+    // missing reports completeness exactly 0.
+    let telemetry = Telemetry::new();
+    let clock = Arc::new(ManualClock::new(1_000));
+    let mut monitor = ModelMonitor::new(
+        "missing-inst".into(),
+        MonitorConfig::default(),
+        Arc::clone(&clock) as Arc<_>,
+        &telemetry,
+    );
+    for i in 0..4 {
+        monitor.record(
+            ScoringEvent::new(1_000 + i, 1.0)
+                .feature("surge", None)
+                .feature("eta", None),
+        );
+    }
+    let snap = monitor.evaluate();
+    assert_eq!(snap.feature_completeness, 0.0);
+}
+
+/// Boundary: skew uses a *strict* comparison, so relative degradation
+/// exactly equal to the tolerance is NOT skewed; one hair past it is.
+#[test]
+fn skew_tolerance_exactly_at_threshold_is_not_skewed() {
+    let g = Gallery::in_memory();
+    let model = g
+        .create_model(ModelSpec::new("p", "edge").name("m"))
+        .unwrap();
+    let inst = g
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new().metadata(reproducible_metadata()),
+            Bytes::from_static(b"w"),
+        )
+        .unwrap();
+    // 0.5 -> 0.75 is exactly +50% degradation, with every value exactly
+    // representable in binary so the equality is not at the mercy of
+    // rounding.
+    g.insert_metric(
+        &inst.id,
+        MetricSpec::new("mape", MetricScope::Validation, 0.5),
+    )
+    .unwrap();
+    g.insert_metric(
+        &inst.id,
+        MetricSpec::new("mape", MetricScope::Production, 0.75),
+    )
+    .unwrap();
+
+    let at = g.health_report_with_tolerance(&inst.id, 0.5).unwrap();
+    assert_eq!(at.skew.len(), 1);
+    assert_eq!(at.skew[0].relative_degradation, 0.5);
+    assert!(
+        !at.skew[0].skewed,
+        "degradation == tolerance must not count as skew"
+    );
+
+    let below = g.health_report_with_tolerance(&inst.id, 0.499).unwrap();
+    assert!(
+        below.skew[0].skewed,
+        "just past tolerance must count as skew"
+    );
+
+    // The score of the at-threshold report matches the skew-free formula,
+    // and tightening the tolerance costs exactly the 0.2 penalty.
+    assert!((at.score() - below.score() - 0.2).abs() < 1e-12);
 }

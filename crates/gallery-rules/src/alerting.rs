@@ -1,0 +1,213 @@
+//! Bridge between the rule language and the telemetry alert engine.
+//!
+//! The paper's rule engine (§3.7) reacts to *stored* metric updates; the
+//! alert engine in `gallery-telemetry` watches *live* monitor gauges. This
+//! module lets the two share one vocabulary:
+//!
+//! - [`compile_condition`] turns a JEXL-like expression such as
+//!   `gallery_monitor_drift_score > 3.0 && gallery_monitor_window_events >= 20`
+//!   into an [`AlertCondition`] the engine evaluates each tick. Identifiers
+//!   name metric families in the telemetry registry (`metrics.<name>` /
+//!   `metrics["name"]` also work); a family that has never been minted
+//!   binds to `Null`, and — per the language's lenient comparison rules —
+//!   a comparison against `Null` is false, so a rule over a metric that
+//!   does not exist yet simply does not fire.
+//! - [`register_lifecycle_actions`] wires a [`Gallery`] into an
+//!   [`AlertEngine`] as named action hooks, so a firing rule can deprecate
+//!   the breaching instance or roll the production pointer back along the
+//!   §3.4 deployment lineage. The target is read from the rule's
+//!   annotations (`instance`, `model`, `environment`), which also travel
+//!   on every [`AlertTransition`] for audit.
+//!
+//! Monitor gauges publish real-valued signals as integers scaled by
+//! [`gallery_core::monitor::SCALE`]; the compiler divides those families
+//! back down when binding them, so rule authors write thresholds in
+//! natural units (`drift_score > 3.0`, `feature_completeness < 0.9`).
+
+use crate::ast::Expr;
+use crate::eval::{eval, EvalContext};
+use crate::parser::{parse, ParseError};
+use gallery_core::monitor::SCALE;
+use gallery_core::registry::Gallery;
+use gallery_core::InstanceId;
+use gallery_telemetry::{AlertCondition, AlertEngine, Registry};
+use std::sync::Arc;
+
+/// Families published as fixed-point integers (value × [`SCALE`]) that the
+/// compiler rebinds in natural units.
+const SCALED_FAMILIES: &[&str] = &[
+    "gallery_monitor_drift_score",
+    "gallery_monitor_feature_completeness",
+];
+
+fn descale(name: &str, value: f64) -> f64 {
+    if SCALED_FAMILIES.contains(&name) {
+        value / SCALE
+    } else {
+        value
+    }
+}
+
+/// Compile a rule-language expression into an alert condition.
+///
+/// Root identifiers (and `metrics.<name>` members) are bound to the
+/// summed value of the matching metric family at evaluation time. The
+/// condition reports "cannot evaluate" (never breaching) if the
+/// expression does not reduce to a boolean.
+pub fn compile_condition(src: &str) -> Result<AlertCondition, ParseError> {
+    let expr = parse(src)?;
+    let roots = expr.referenced_roots();
+    let metric_members = expr.referenced_metrics();
+    let describe = src.trim().to_owned();
+    let f = Arc::new(move |registry: &Registry| evaluate(&expr, &roots, &metric_members, registry));
+    Ok(AlertCondition::Predicate { describe, f })
+}
+
+fn evaluate(
+    expr: &Expr,
+    roots: &[String],
+    metric_members: &[String],
+    registry: &Registry,
+) -> Option<bool> {
+    let mut ctx = EvalContext::new();
+    for root in roots {
+        if root == "metrics" {
+            for name in metric_members {
+                if let Some(v) = registry.family_value(name) {
+                    ctx.set_metric(name.clone(), descale(name, v));
+                }
+            }
+        } else if let Some(v) = registry.family_value(root) {
+            ctx.set(root.clone(), descale(root, v));
+        }
+    }
+    eval(expr, &ctx).ok().and_then(|v| v.as_bool())
+}
+
+/// Action name for "deprecate the instance named by the rule's `instance`
+/// annotation".
+pub const ACTION_DEPRECATE_INSTANCE: &str = "deprecate_instance";
+/// Action name for "roll the production pointer of the rule's `model` /
+/// `environment` annotations back to the prior distinct instance".
+pub const ACTION_ROLLBACK_PRODUCTION: &str = "rollback_production";
+
+/// Register the Gallery lifecycle actions on an alert engine. A rule opts
+/// in with `.action(ACTION_DEPRECATE_INSTANCE)` (needs an `instance`
+/// annotation) or `.action(ACTION_ROLLBACK_PRODUCTION)` (needs `model`,
+/// and optionally `environment`, defaulting to `production`).
+pub fn register_lifecycle_actions(engine: &AlertEngine, gallery: Arc<Gallery>) {
+    {
+        let gallery = Arc::clone(&gallery);
+        engine.register_action(
+            ACTION_DEPRECATE_INSTANCE,
+            Arc::new(move |t| {
+                let instance = t
+                    .annotation("instance")
+                    .ok_or_else(|| "missing `instance` annotation".to_owned())?;
+                gallery
+                    .deprecate_instance(&InstanceId::from(instance))
+                    .map_err(|e| e.to_string())
+            }),
+        );
+    }
+    engine.register_action(
+        ACTION_ROLLBACK_PRODUCTION,
+        Arc::new(move |t| {
+            let model = t
+                .annotation("model")
+                .ok_or_else(|| "missing `model` annotation".to_owned())?;
+            let environment = t.annotation("environment").unwrap_or("production");
+            gallery
+                .rollback_production(&model.into(), environment)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gallery_core::clock::ManualClock;
+    use gallery_core::{InstanceSpec, ModelSpec};
+    use gallery_telemetry::{AlertRule, AlertState, Telemetry};
+
+    fn breaches(cond: &AlertCondition, registry: &Registry) -> Option<bool> {
+        match cond {
+            AlertCondition::Predicate { f, .. } => f(registry),
+            _ => panic!("expected predicate"),
+        }
+    }
+
+    #[test]
+    fn condition_binds_families_and_descales_monitor_gauges() {
+        let t = Telemetry::new();
+        let r = t.registry();
+        let cond =
+            compile_condition("gallery_monitor_drift_score > 3.0 && metrics.errs_total >= 2")
+                .unwrap();
+        // Nothing minted: comparisons against Null are false, not errors.
+        assert_eq!(breaches(&cond, r), Some(false));
+        r.gauge("gallery_monitor_drift_score", &[("instance", "i1")])
+            .set((4.5 * SCALE) as i64);
+        assert_eq!(breaches(&cond, r), Some(false), "errs_total still unbound");
+        r.counter("errs_total", &[]).add(2);
+        assert_eq!(breaches(&cond, r), Some(true));
+    }
+
+    #[test]
+    fn non_boolean_expression_cannot_evaluate() {
+        let t = Telemetry::new();
+        let cond = compile_condition("1 + 1").unwrap();
+        assert_eq!(breaches(&cond, t.registry()), None);
+    }
+
+    #[test]
+    fn bad_syntax_is_a_compile_error() {
+        assert!(compile_condition("drift >").is_err());
+    }
+
+    #[test]
+    fn firing_rule_rolls_production_back() {
+        let t = Telemetry::new();
+        let g = Arc::new(Gallery::in_memory_with_clock(Arc::new(ManualClock::new(
+            1_000,
+        ))));
+        let m = g
+            .create_model(ModelSpec::new("proj", "demand").owner("fc"))
+            .unwrap();
+        let i1 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"1"))
+            .unwrap();
+        let i2 = g
+            .upload_instance(&m.id, InstanceSpec::new(), Bytes::from_static(b"2"))
+            .unwrap();
+        g.deploy(&m.id, &i1.id, "production").unwrap();
+        g.deploy(&m.id, &i2.id, "production").unwrap();
+
+        let engine = AlertEngine::new(&t);
+        register_lifecycle_actions(&engine, Arc::clone(&g));
+        engine.add_rule(
+            AlertRule::new(
+                "drift-rollback",
+                compile_condition("gallery_monitor_drift_score > 3.0").unwrap(),
+            )
+            .annotate("model", m.id.as_str())
+            .annotate("environment", "production")
+            .action(ACTION_ROLLBACK_PRODUCTION),
+        );
+
+        assert!(engine.evaluate().is_empty(), "clean registry: no firing");
+        t.registry()
+            .gauge("gallery_monitor_drift_score", &[("instance", "i2")])
+            .set((8.0 * SCALE) as i64);
+        let transitions = engine.evaluate();
+        assert!(transitions.iter().any(|tr| tr.to == AlertState::Firing));
+        assert_eq!(
+            g.deployed_instance(&m.id, "production").unwrap(),
+            Some(i1.id),
+            "firing alert rolled the production pointer back"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //!   pool (Figure 8).
 
 pub mod actions;
+pub mod alerting;
 pub mod ast;
 pub mod context;
 pub mod engine;
@@ -28,6 +29,10 @@ pub mod selection;
 pub mod token;
 
 pub use actions::{ActionInvocation, ActionLog, ActionRegistry};
+pub use alerting::{
+    compile_condition, register_lifecycle_actions, ACTION_DEPRECATE_INSTANCE,
+    ACTION_ROLLBACK_PRODUCTION,
+};
 pub use engine::{EngineStats, RuleEngine};
 pub use error::EngineError;
 pub use eval::{EvalContext, EvalValue};

@@ -522,6 +522,17 @@ impl GalleryClient {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Render the server's telemetry: `section` is `"metrics"`,
+    /// `"alerts"`, or `"all"`.
+    pub fn probe(&self, section: &str) -> Result<String, ClientError> {
+        match self.call(Request::Probe {
+            section: section.into(),
+        })? {
+            Response::Text(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
 }
 
 #[cfg(test)]

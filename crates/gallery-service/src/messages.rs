@@ -210,6 +210,13 @@ pub enum Request {
     HealthReport {
         instance_id: String,
     },
+    /// Observability probe: render the server's telemetry in text form.
+    /// `section` selects what to render — `"metrics"` (Prometheus
+    /// exposition), `"alerts"` (alert statuses + recent transitions), or
+    /// `"all"` for both.
+    Probe {
+        section: String,
+    },
 }
 
 /// Frame tag of the idempotency-key envelope. Tag 0 was never a valid
@@ -259,6 +266,7 @@ impl Request {
             Request::SelectChampion { .. } => 20,
             Request::TriggerRule { .. } => 21,
             Request::HealthReport { .. } => 22,
+            Request::Probe { .. } => 23,
         }
     }
 
@@ -288,6 +296,7 @@ impl Request {
             Request::SelectChampion { .. } => "selectChampion",
             Request::TriggerRule { .. } => "triggerRule",
             Request::HealthReport { .. } => "healthReport",
+            Request::Probe { .. } => "probe",
         }
     }
 
@@ -441,6 +450,7 @@ impl Request {
                 w.put_str(rule_id);
                 w.put_str(instance_id);
             }
+            Request::Probe { section } => w.put_str(section),
         }
     }
 
@@ -586,6 +596,9 @@ impl Request {
             },
             22 => Request::HealthReport {
                 instance_id: r.get_str()?,
+            },
+            23 => Request::Probe {
+                section: r.get_str()?,
             },
             other => return Err(WireError::new(format!("bad request tag {other}"))),
         };
@@ -766,7 +779,10 @@ impl ErrorCode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Ok,
-    Err { code: ErrorCode, message: String },
+    Err {
+        code: ErrorCode,
+        message: String,
+    },
     ModelInfo(ModelDto),
     InstanceInfo(Box<InstanceDto>),
     MaybeInstance(Option<Box<InstanceDto>>),
@@ -776,6 +792,8 @@ pub enum Response {
     Ids(Vec<String>),
     Stage(String),
     Health(HealthDto),
+    /// Free-form text payload (probe renderings).
+    Text(String),
 }
 
 impl Response {
@@ -792,6 +810,7 @@ impl Response {
             Response::Ids(_) => 8,
             Response::Stage(_) => 9,
             Response::Health(_) => 10,
+            Response::Text(_) => 11,
         }
     }
 
@@ -829,6 +848,7 @@ impl Response {
             }
             Response::Stage(s) => w.put_str(s),
             Response::Health(h) => h.encode(&mut w),
+            Response::Text(s) => w.put_str(s),
         }
         w.frame()
     }
@@ -871,6 +891,7 @@ impl Response {
             }
             9 => Response::Stage(r.get_str()?),
             10 => Response::Health(HealthDto::decode(&mut r)?),
+            11 => Response::Text(r.get_str()?),
             other => return Err(WireError::new(format!("bad response tag {other}"))),
         };
         r.finish()?;
@@ -1001,6 +1022,9 @@ mod tests {
         roundtrip_request(Request::HealthReport {
             instance_id: "i".into(),
         });
+        roundtrip_request(Request::Probe {
+            section: "alerts".into(),
+        });
     }
 
     #[test]
@@ -1043,6 +1067,9 @@ mod tests {
             skewed_metrics: vec!["mape".into()],
             score: 0.42,
         }));
+        roundtrip_response(Response::Text(
+            "# TYPE gallery_alerts_firing gauge\ngallery_alerts_firing 1\n".into(),
+        ));
     }
 
     #[test]

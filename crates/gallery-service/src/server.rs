@@ -16,7 +16,7 @@ use gallery_core::{
 };
 use gallery_rules::RuleEngine;
 use gallery_store::{Constraint, Op, StoreError, Value};
-use gallery_telemetry::{kinds, Telemetry};
+use gallery_telemetry::{kinds, AlertEngine, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -180,6 +180,7 @@ fn error_response(e: GalleryError) -> Response {
 pub struct GalleryServer {
     gallery: Arc<Gallery>,
     engine: Option<Arc<RuleEngine>>,
+    alerts: Option<Arc<AlertEngine>>,
     idempotency: IdempotencyCache,
     telemetry: Arc<Telemetry>,
 }
@@ -189,6 +190,7 @@ impl GalleryServer {
         GalleryServer {
             gallery,
             engine: None,
+            alerts: None,
             idempotency: IdempotencyCache::default(),
             telemetry: Arc::clone(gallery_telemetry::global()),
         }
@@ -207,6 +209,15 @@ impl GalleryServer {
     /// requests can be served.
     pub fn with_engine(mut self, engine: Arc<RuleEngine>) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Attach an alert engine so `Probe { section: "alerts" }` can render
+    /// the live status board. Each probe also runs one evaluation tick, so
+    /// a pull-only deployment (no background loop) still advances the
+    /// alert state machines.
+    pub fn with_alerts(mut self, alerts: Arc<AlertEngine>) -> Self {
+        self.alerts = Some(alerts);
         self
     }
 
@@ -483,6 +494,30 @@ impl GalleryServer {
                     score: report.score(),
                 })
             }
+            Request::Probe { section } => {
+                let mut out = String::new();
+                if section == "metrics" || section == "all" {
+                    // Storage gauges are pull-based: refresh at read time
+                    // instead of taxing every write.
+                    self.gallery.dal().refresh_storage_gauges();
+                    out.push_str(&self.telemetry.render_text());
+                }
+                if section == "alerts" || section == "all" {
+                    match self.alerts.as_ref() {
+                        Some(alerts) => {
+                            alerts.evaluate();
+                            out.push_str(&alerts.render_text());
+                        }
+                        None => out.push_str("# no alert engine attached\n"),
+                    }
+                }
+                if out.is_empty() {
+                    return Err(GalleryError::Invalid(format!(
+                        "unknown probe section `{section}` (expected metrics, alerts, or all)"
+                    )));
+                }
+                Response::Text(out)
+            }
         })
     }
 }
@@ -545,6 +580,49 @@ mod tests {
             owner: "".into(),
             description: "".into(),
             metadata_json: "{}".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn probe_renders_metrics_and_alerts() {
+        use gallery_telemetry::{AlertCondition, AlertRule, Cmp, MetricSelector};
+        let telemetry = Telemetry::new();
+        let alerts = Arc::new(AlertEngine::new(&telemetry));
+        alerts.add_rule(AlertRule::new(
+            "probe-rule",
+            AlertCondition::Threshold {
+                metric: MetricSelector::family("probe_gauge"),
+                cmp: Cmp::Gt,
+                threshold: 5.0,
+            },
+        ));
+        let s = GalleryServer::new(Arc::new(Gallery::in_memory()))
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_alerts(Arc::clone(&alerts));
+
+        telemetry.registry().gauge("probe_gauge", &[]).set(9);
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "all".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.contains("probe_gauge 9"), "exposition rendered");
+        assert!(text.contains("# alert rules"));
+        // The probe's evaluation tick advanced the rule to firing.
+        assert!(
+            text.contains("firing") && text.contains("probe-rule"),
+            "{text}"
+        );
+
+        let resp = s.dispatch(Request::Probe {
+            section: "bogus".into(),
         });
         assert!(matches!(
             resp,

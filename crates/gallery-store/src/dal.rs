@@ -15,7 +15,7 @@ use crate::query::{AccessPath, Query};
 use crate::record::Record;
 use crate::schema::TableSchema;
 use bytes::Bytes;
-use gallery_telemetry::{kinds, Counter, Histogram, Telemetry};
+use gallery_telemetry::{kinds, Counter, Gauge, Histogram, Telemetry};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +117,9 @@ struct DalMetrics {
     blob_write_bytes: Arc<Counter>,
     blob_read_ms: Arc<Histogram>,
     blob_write_ms: Arc<Histogram>,
+    wal_size_bytes: Arc<Gauge>,
+    meta_records: Arc<Gauge>,
+    blob_bytes_resident: Arc<Gauge>,
 }
 
 impl DalMetrics {
@@ -145,6 +148,9 @@ impl DalMetrics {
             blob_write_bytes: r.counter("gallery_blob_bytes_total", &[("op", "write")]),
             blob_read_ms: r.duration_histogram("gallery_blob_op_duration_ms", &[("op", "read")]),
             blob_write_ms: r.duration_histogram("gallery_blob_op_duration_ms", &[("op", "write")]),
+            wal_size_bytes: r.gauge("gallery_wal_size_bytes", &[]),
+            meta_records: r.gauge("gallery_meta_records", &[]),
+            blob_bytes_resident: r.gauge("gallery_blob_bytes_resident", &[]),
             telemetry,
         }
     }
@@ -208,6 +214,22 @@ impl Dal {
 
     pub fn metadata(&self) -> &Arc<MetadataStore> {
         &self.meta
+    }
+
+    /// Refresh the storage-size gauges (`gallery_wal_size_bytes`,
+    /// `gallery_meta_records`, `gallery_blob_bytes_resident`) from the
+    /// current store state. Sizes are pulled, not pushed: callers that
+    /// expose metrics (`gallery stats`, the service probe, the alert
+    /// engine's users) refresh right before reading the registry instead
+    /// of taxing every write with a size computation.
+    pub fn refresh_storage_gauges(&self) {
+        self.metrics
+            .wal_size_bytes
+            .set(self.meta.wal_size_bytes().unwrap_or(0) as i64);
+        self.metrics.meta_records.set(self.meta.total_rows() as i64);
+        self.metrics
+            .blob_bytes_resident
+            .set(self.blobs.total_bytes() as i64);
     }
 
     pub fn blobs(&self) -> &Arc<dyn ObjectStore> {

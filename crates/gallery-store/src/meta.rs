@@ -291,6 +291,13 @@ impl MetadataStore {
         inner.tables.values().map(Table::approx_size).sum()
     }
 
+    /// Total live records across all tables (the `gallery_meta_records`
+    /// gauge behind `gallery stats`).
+    pub fn total_rows(&self) -> usize {
+        let inner = self.inner.read();
+        inner.tables.values().map(|t| t.len()).sum()
+    }
+
     /// Entries appended to the WAL by this store instance (0 for
     /// in-memory stores).
     pub fn wal_entries(&self) -> u64 {

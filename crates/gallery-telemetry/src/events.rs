@@ -241,6 +241,17 @@ pub mod kinds {
     pub const WAL_TORN_TAIL: &str = "wal.torn_tail_truncated";
     /// The repair pass garbage-collected an orphan blob: fields `location`.
     pub const ORPHAN_REPAIRED: &str = "dal.orphan_repaired";
+    /// An alert rule's condition started breaching but has not held for
+    /// its `for` duration yet: fields `rule`, `value`.
+    pub const ALERT_PENDING: &str = "alert.pending";
+    /// An alert transitioned to firing: fields `rule`, `value`, plus the
+    /// rule's annotations; `trace_id` links the breaching exemplar.
+    pub const ALERT_FIRING: &str = "alert.firing";
+    /// A firing alert's condition cleared: fields `rule`.
+    pub const ALERT_RESOLVED: &str = "alert.resolved";
+    /// A firing alert invoked a registered action: fields `rule`, `action`,
+    /// `outcome`.
+    pub const ALERT_ACTION: &str = "alert.action";
 }
 
 #[cfg(test)]

@@ -23,14 +23,19 @@
 //! at the bottom of the stack — can be instrumented without dependency
 //! cycles.
 
+pub mod alerts;
 pub mod events;
 pub mod metrics;
 pub mod trace;
 
+pub use alerts::{
+    AlertCondition, AlertEngine, AlertRule, AlertState, AlertStatus, AlertTransition, BurnWindow,
+    Cmp, MetricSelector,
+};
 pub use events::{kinds, EventSink, TelemetryEvent};
 pub use metrics::{
-    default_duration_buckets_ms, default_size_buckets_bytes, parse_exposition, Counter,
-    ExpositionSummary, Gauge, Histogram, Registry,
+    default_duration_buckets_ms, default_size_buckets_bytes, parse_exemplars, parse_exposition,
+    parse_samples, Counter, ExpositionSummary, Gauge, Histogram, Registry, Sample,
 };
 pub use trace::{Span, SpanContext, SpanRecord, TimeSource, Tracer, WallClock};
 
@@ -41,6 +46,7 @@ pub struct Telemetry {
     registry: Arc<Registry>,
     tracer: Arc<Tracer>,
     events: Arc<EventSink>,
+    time: Arc<dyn TimeSource>,
 }
 
 impl Telemetry {
@@ -55,7 +61,8 @@ impl Telemetry {
         Arc::new(Telemetry {
             registry: Arc::new(Registry::new()),
             tracer: Arc::new(Tracer::new(Arc::clone(&time))),
-            events: Arc::new(EventSink::new(time)),
+            events: Arc::new(EventSink::new(Arc::clone(&time))),
+            time,
         })
     }
 
@@ -66,12 +73,18 @@ impl Telemetry {
         Arc::new(Telemetry {
             registry: Arc::new(Registry::disabled()),
             tracer: Arc::new(Tracer::disabled(Arc::clone(&time))),
-            events: Arc::new(EventSink::disabled(time)),
+            events: Arc::new(EventSink::disabled(Arc::clone(&time))),
+            time,
         })
     }
 
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The time source every pillar (and the alert engine) shares.
+    pub fn time_source(&self) -> &Arc<dyn TimeSource> {
+        &self.time
     }
 
     pub fn tracer(&self) -> &Arc<Tracer> {

@@ -106,6 +106,8 @@ pub struct Histogram {
     bounds: Vec<f64>,
     /// One slot per bound plus the +Inf overflow slot.
     buckets: Vec<AtomicU64>,
+    /// Last exemplar trace ID per bucket (0 = none), parallel to `buckets`.
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     /// f64 bits, updated with a CAS loop; Relaxed is fine — the sum is
     /// only read for exposition, never for control flow.
@@ -120,9 +122,11 @@ impl Histogram {
             "histogram bounds must be strictly increasing"
         );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram {
             bounds,
             buckets,
+            exemplars,
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             enabled,
@@ -133,11 +137,8 @@ impl Histogram {
         Arc::new(Histogram::new(bounds, true))
     }
 
-    /// Record one observation.
-    pub fn observe(&self, v: f64) {
-        if !self.enabled {
-            return;
-        }
+    /// Record one observation, returning the bucket it landed in.
+    fn record(&self, v: f64) -> usize {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -153,6 +154,28 @@ impl Histogram {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
+        }
+        idx
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.record(v);
+    }
+
+    /// Record one observation and remember `trace_id` as the bucket's
+    /// exemplar — the trace an alert on this histogram will link to. A
+    /// trace ID of 0 records the value but leaves the exemplar untouched.
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: u64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.record(v);
+        if trace_id != 0 {
+            self.exemplars[idx].store(trace_id, Ordering::Relaxed);
         }
     }
 
@@ -181,6 +204,25 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Per-bucket exemplar trace IDs (0 = none), parallel to
+    /// [`Histogram::bucket_counts`].
+    pub fn bucket_exemplars(&self) -> Vec<u64> {
+        self.exemplars
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Exemplar of the highest (tail) bucket that has one: the trace that
+    /// most recently produced an extreme observation. This is what a
+    /// firing alert links to.
+    pub fn tail_exemplar(&self) -> Option<u64> {
+        self.exemplars.iter().rev().find_map(|e| {
+            let v = e.load(Ordering::Relaxed);
+            (v != 0).then_some(v)
+        })
     }
 
     /// Estimated value at quantile `q` in `[0, 1]`, or `None` if empty.
@@ -239,6 +281,14 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+}
+
+fn metric_value(m: &Metric) -> f64 {
+    match m {
+        Metric::Counter(c) => c.get() as f64,
+        Metric::Gauge(g) => g.get() as f64,
+        Metric::Histogram(h) => h.count() as f64,
+    }
 }
 
 impl Metric {
@@ -386,6 +436,42 @@ impl Registry {
         self.histogram(name, labels, default_duration_buckets_ms())
     }
 
+    /// Current value of the series registered under exactly `name` +
+    /// `labels`: a counter's count, a gauge's value, or a histogram's
+    /// observation count. `None` if no such series exists — readers (the
+    /// alert engine) must not mint series as a side effect of looking.
+    pub fn sample_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = Self::key(name, labels);
+        let inner = self.inner.lock();
+        let &i = inner.index.get(&key)?;
+        Some(metric_value(&inner.entries[i].metric))
+    }
+
+    /// Sum of [`Registry::sample_value`] across every label set of the
+    /// family `name`, or `None` if the family was never registered.
+    pub fn family_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock();
+        let mut sum = 0.0;
+        let mut seen = false;
+        for entry in inner.entries.iter().filter(|e| e.name == name) {
+            seen = true;
+            sum += metric_value(&entry.metric);
+        }
+        seen.then_some(sum)
+    }
+
+    /// Handle of an already-registered histogram, or `None`. Unlike
+    /// [`Registry::histogram`] this never creates the series.
+    pub fn find_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Arc<Histogram>> {
+        let key = Self::key(name, labels);
+        let inner = self.inner.lock();
+        let &i = inner.index.get(&key)?;
+        match &inner.entries[i].metric {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
     /// Render every registered metric in the Prometheus text exposition
     /// format. Families keep first-registration order; a `# TYPE` comment
     /// is emitted once per family.
@@ -410,6 +496,7 @@ impl Registry {
                 }
                 Metric::Histogram(h) => {
                     let counts = h.bucket_counts();
+                    let exemplars = h.bucket_exemplars();
                     let mut cumulative = 0u64;
                     let bucket_name = format!("{}_bucket", entry.name);
                     for (i, c) in counts.iter().enumerate() {
@@ -425,6 +512,20 @@ impl Registry {
                             Some(("le", &le)),
                             cumulative as f64,
                         );
+                        if exemplars[i] != 0 {
+                            // Exemplars ride as comments so plain text-format
+                            // consumers (and the CI awk lint) skip them.
+                            let mut series = String::new();
+                            render_series_ref(
+                                &mut series,
+                                &bucket_name,
+                                &entry.labels,
+                                ("le", &le),
+                            );
+                            out.push_str("# EXEMPLAR ");
+                            out.push_str(&series);
+                            out.push_str(&format!(" trace_id={}\n", exemplars[i]));
+                        }
                     }
                     render_sample(
                         &mut out,
@@ -454,7 +555,13 @@ impl Default for Registry {
 }
 
 fn format_f64(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
+    if v.is_nan() {
+        // Spec spellings: Rust's `{}` would print "NaN" but "inf"/"-inf"
+        // for the infinities, which the text format does not accept.
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
         format!("{v}")
@@ -474,12 +581,12 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
-fn render_sample(
+/// Write `name{label="v",...}` (the series identifier without a value).
+fn render_series(
     out: &mut String,
     name: &str,
     labels: &[(String, String)],
     extra: Option<(&str, &str)>,
-    value: f64,
 ) {
     out.push_str(name);
     if !labels.is_empty() || extra.is_some() {
@@ -506,6 +613,25 @@ fn render_sample(
         }
         out.push('}');
     }
+}
+
+fn render_series_ref(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: (&str, &str),
+) {
+    render_series(out, name, labels, Some(extra));
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: f64,
+) {
+    render_series(out, name, labels, extra);
     out.push(' ');
     out.push_str(&format_f64(value));
     out.push('\n');
@@ -516,6 +642,28 @@ fn render_sample(
 pub struct ExpositionSummary {
     pub families: usize,
     pub samples: usize,
+    /// `# EXEMPLAR` comment lines (trace links on histogram buckets).
+    pub exemplars: usize,
+}
+
+/// One parsed sample line: the structured counterpart of
+/// [`render_text`](Registry::render_text)'s `name{label="v"} value`
+/// output, with label values unescaped — so render → parse round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of a named label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Line-format lint for the Prometheus text exposition. Returns how many
@@ -525,6 +673,7 @@ pub struct ExpositionSummary {
 pub fn parse_exposition(text: &str) -> Result<ExpositionSummary, String> {
     let mut families = 0usize;
     let mut samples = 0usize;
+    let mut exemplars = 0usize;
     for (line_no, line) in text.lines().enumerate() {
         let n = line_no + 1;
         if line.is_empty() {
@@ -550,6 +699,10 @@ pub fn parse_exposition(text: &str) -> Result<ExpositionSummary, String> {
                     families += 1;
                 }
                 Some("HELP") => {}
+                Some("EXEMPLAR") => {
+                    parse_exemplar_line(rest).map_err(|e| format!("line {n}: {e}"))?;
+                    exemplars += 1;
+                }
                 _ => return Err(format!("line {n}: unknown comment form: {line:?}")),
             }
             continue;
@@ -560,7 +713,58 @@ pub fn parse_exposition(text: &str) -> Result<ExpositionSummary, String> {
         parse_sample_line(line).map_err(|e| format!("line {n}: {e}"))?;
         samples += 1;
     }
-    Ok(ExpositionSummary { families, samples })
+    Ok(ExpositionSummary {
+        families,
+        samples,
+        exemplars,
+    })
+}
+
+/// Parse every sample line of an exposition into structured [`Sample`]s
+/// (comments skipped, label values unescaped). The round-trip property
+/// `parse_samples(render_text())` recovers exactly the registered series.
+pub fn parse_samples(text: &str) -> Result<Vec<Sample>, String> {
+    parse_exposition(text)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample_line(line)?);
+    }
+    Ok(out)
+}
+
+/// Exemplar trace links parsed back out of an exposition: one
+/// `(series, trace_id)` pair per `# EXEMPLAR` comment, where `series` is
+/// the parsed bucket sample with its `le` label (value is unused and 0).
+pub fn parse_exemplars(text: &str) -> Result<Vec<(Sample, u64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# EXEMPLAR ") {
+            out.push(parse_exemplar_line_body(rest)?);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_exemplar_line(rest: &str) -> Result<(), String> {
+    let body = rest
+        .strip_prefix("EXEMPLAR ")
+        .ok_or_else(|| "malformed EXEMPLAR comment".to_string())?;
+    parse_exemplar_line_body(body).map(|_| ())
+}
+
+fn parse_exemplar_line_body(body: &str) -> Result<(Sample, u64), String> {
+    let at = body
+        .rfind(" trace_id=")
+        .ok_or_else(|| "EXEMPLAR without trace_id".to_string())?;
+    let trace_id: u64 = body[at + " trace_id=".len()..]
+        .parse()
+        .map_err(|_| format!("unparseable exemplar trace_id in {body:?}"))?;
+    // Reuse the sample grammar for the series part by appending a value.
+    let sample = parse_sample_line(&format!("{} 0", &body[..at]))?;
+    Ok((sample, trace_id))
 }
 
 fn is_valid_metric_name(name: &str) -> bool {
@@ -572,8 +776,32 @@ fn is_valid_metric_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
-fn parse_sample_line(line: &str) -> Result<(), String> {
-    let (name_part, rest) = match line.find('{') {
+/// Invert [`escape_label_value`]: `\\` → `\`, `\"` → `"`, `\n` → newline.
+/// Unknown escape sequences keep the backslash verbatim.
+fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn parse_sample_line(line: &str) -> Result<Sample, String> {
+    let (name_part, labels, rest) = match line.find('{') {
         Some(brace) => {
             let close = line
                 .rfind('}')
@@ -581,14 +809,14 @@ fn parse_sample_line(line: &str) -> Result<(), String> {
             if close < brace {
                 return Err("mismatched braces".to_string());
             }
-            parse_labels(&line[brace + 1..close])?;
-            (&line[..brace], line[close + 1..].trim_start())
+            let labels = parse_labels(&line[brace + 1..close])?;
+            (&line[..brace], labels, line[close + 1..].trim_start())
         }
         None => {
             let sp = line
                 .find(' ')
                 .ok_or_else(|| "missing value field".to_string())?;
-            (&line[..sp], line[sp + 1..].trim_start())
+            (&line[..sp], Vec::new(), line[sp + 1..].trim_start())
         }
     };
     if !is_valid_metric_name(name_part) {
@@ -596,9 +824,14 @@ fn parse_sample_line(line: &str) -> Result<(), String> {
     }
     let mut fields = rest.split_whitespace();
     let value = fields.next().ok_or_else(|| "missing value".to_string())?;
-    if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
-        return Err(format!("unparseable value {value:?}"));
-    }
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value {v:?}"))?,
+    };
     if let Some(ts) = fields.next() {
         // Optional timestamp must be an integer.
         ts.parse::<i64>()
@@ -607,12 +840,17 @@ fn parse_sample_line(line: &str) -> Result<(), String> {
     if fields.next().is_some() {
         return Err("trailing garbage after value".to_string());
     }
-    Ok(())
+    Ok(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+    })
 }
 
-fn parse_labels(body: &str) -> Result<(), String> {
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
     if body.trim().is_empty() {
-        return Ok(());
+        return Ok(labels);
     }
     // Split on commas that are not inside a quoted value.
     let mut rest = body;
@@ -642,9 +880,10 @@ fn parse_labels(body: &str) -> Result<(), String> {
             }
         }
         let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        labels.push((key.to_string(), unescape_label_value(&after[1..end])));
         let tail = after[end + 1..].trim_start();
         if tail.is_empty() {
-            return Ok(());
+            return Ok(labels);
         }
         rest = tail
             .strip_prefix(',')
@@ -751,5 +990,90 @@ mod tests {
         reg.counter("weird_total", &[("path", "a\"b\\c\nd")]).inc();
         let text = reg.render_text();
         parse_exposition(&text).expect("escaped values must stay parseable");
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let reg = Registry::new();
+        let hairy = "a\"b\\c\nd,e=\"f\\\\g";
+        reg.counter("weird_total", &[("path", hairy)]).add(2);
+        reg.counter("plain_total", &[]).add(1);
+        let samples = parse_samples(&reg.render_text()).expect("structured parse");
+        let weird = samples.iter().find(|s| s.name == "weird_total").unwrap();
+        assert_eq!(weird.label("path"), Some(hairy), "unescape inverts escape");
+        assert_eq!(weird.value, 2.0);
+        let plain = samples.iter().find(|s| s.name == "plain_total").unwrap();
+        assert!(plain.labels.is_empty(), "empty label set stays empty");
+    }
+
+    #[test]
+    fn unescape_keeps_unknown_escapes_verbatim() {
+        assert_eq!(unescape_label_value(r"a\\b"), r"a\b");
+        assert_eq!(unescape_label_value(r#"q\""#), "q\"");
+        assert_eq!(unescape_label_value(r"nl\n"), "nl\n");
+        assert_eq!(unescape_label_value(r"odd\t"), r"odd\t");
+        assert_eq!(unescape_label_value(r"tail\"), r"tail\");
+    }
+
+    #[test]
+    fn non_finite_sums_render_spec_spellings() {
+        let reg = Registry::new();
+        let h = reg.histogram("inf_ms", &[], vec![1.0]);
+        h.observe(f64::INFINITY);
+        let h2 = reg.histogram("nan_ms", &[], vec![1.0]);
+        h2.observe(f64::NAN);
+        reg.gauge("neg_inf", &[]).set(i64::MIN); // stays finite: gauges are i64
+        let text = reg.render_text();
+        assert!(text.contains("inf_ms_sum +Inf"), "not +Inf: {text}");
+        assert!(text.contains("nan_ms_sum NaN"), "not NaN: {text}");
+        assert!(
+            !text.contains(" inf\n"),
+            "Rust's default inf spelling leaked"
+        );
+        let samples = parse_samples(&text).expect("non-finite values parse back");
+        let sum = samples.iter().find(|s| s.name == "inf_ms_sum").unwrap();
+        assert!(sum.value.is_infinite() && sum.value > 0.0);
+        let sum = samples.iter().find(|s| s.name == "nan_ms_sum").unwrap();
+        assert!(sum.value.is_nan());
+        assert_eq!(format_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn exemplars_render_and_parse_back() {
+        let reg = Registry::new();
+        let h = reg.histogram("err_abs", &[("instance", "i-1")], vec![1.0, 10.0]);
+        h.observe_with_exemplar(0.5, 41);
+        h.observe_with_exemplar(50.0, 42);
+        h.observe_with_exemplar(60.0, 43); // same tail bucket: last wins
+        h.observe_with_exemplar(5.0, 0); // 0 records no exemplar
+        assert_eq!(h.tail_exemplar(), Some(43));
+        assert_eq!(h.bucket_exemplars(), vec![41, 0, 43]);
+        let text = reg.render_text();
+        let summary = parse_exposition(&text).expect("exemplar comments lint clean");
+        assert_eq!(summary.exemplars, 2);
+        let exemplars = parse_exemplars(&text).unwrap();
+        let tail = exemplars
+            .iter()
+            .find(|(s, _)| s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(tail.1, 43);
+        assert_eq!(tail.0.label("instance"), Some("i-1"));
+    }
+
+    #[test]
+    fn sample_and_family_values() {
+        let reg = Registry::new();
+        reg.counter("ops_total", &[("op", "get")]).add(3);
+        reg.counter("ops_total", &[("op", "put")]).add(4);
+        reg.gauge("depth", &[]).set(-2);
+        reg.histogram("h_ms", &[], vec![1.0]).observe(0.5);
+        assert_eq!(reg.sample_value("ops_total", &[("op", "get")]), Some(3.0));
+        assert_eq!(reg.family_value("ops_total"), Some(7.0));
+        assert_eq!(reg.family_value("depth"), Some(-2.0));
+        assert_eq!(reg.family_value("h_ms"), Some(1.0), "histogram counts");
+        assert_eq!(reg.family_value("missing"), None);
+        assert_eq!(reg.sample_value("ops_total", &[("op", "del")]), None);
+        assert!(reg.find_histogram("h_ms", &[]).is_some());
+        assert!(reg.find_histogram("depth", &[]).is_none());
     }
 }

@@ -24,10 +24,21 @@
 //!   deprecate (model|instance) ID
 //!   stage INSTANCE_ID [NEW_STAGE]
 //!   health INSTANCE_ID
+//!   monitor INSTANCE_ID [--window-ms W] [--mean M] [--std S] [--z Z]
+//!   alerts INSTANCE_ID EXPR [--for-ms F] [--action NAME] [--env ENV]
+//!           [monitor flags]
 //!   audit [--repair]
 //!   compact
 //!   stats [--probe]
 //! ```
+//!
+//! `monitor` replays the instance's stored production metrics through a
+//! sliding-window [`ModelMonitor`] and prints the snapshot plus the
+//! published `gallery_monitor_*` gauges. `alerts` runs the same replay,
+//! then compiles EXPR (rule language over metric family names, e.g.
+//! `gallery_monitor_drift_score > 3.0`) into an alert rule, evaluates one
+//! tick, and prints the status board; `--action deprecate_instance` or
+//! `--action rollback_production` arms the corresponding lifecycle hook.
 //!
 //! `stats` opens the store (replaying the WAL) and prints the
 //! Prometheus-style exposition of every telemetry counter, gauge, and
@@ -41,9 +52,13 @@
 
 use bytes::Bytes;
 use gallery::core::metadata::Metadata;
+use gallery::core::monitor::{ModelMonitor, MonitorConfig, MonitorSnapshot, ScoringEvent};
+use gallery::core::ManualClock;
 use gallery::prelude::*;
+use gallery::rules::{compile_condition, register_lifecycle_actions};
 use gallery::store::blob::localfs::LocalFsBlobStore;
 use gallery::store::{Dal, MetadataStore, SyncPolicy};
+use gallery::telemetry::{AlertEngine, AlertRule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -134,6 +149,69 @@ fn parse_constraint(s: &str) -> Option<Constraint> {
     None
 }
 
+/// Parse the shared `monitor`/`alerts` tuning flags. The CLI default
+/// window is a day: stored metric histories usually span far more than the
+/// library's 60 s live-stream default.
+fn monitor_config_from_flags(args: &mut Vec<String>) -> Result<MonitorConfig, String> {
+    let mut config = MonitorConfig {
+        window_ms: 86_400_000,
+        ..MonitorConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--window-ms") {
+        config.window_ms = v.parse().map_err(|e| format!("bad --window-ms: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--mean") {
+        config.baseline_mean = v.parse().map_err(|e| format!("bad --mean: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--std") {
+        config.baseline_std = v.parse().map_err(|e| format!("bad --std: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--z") {
+        config.drift_z_threshold = v.parse().map_err(|e| format!("bad --z: {e}"))?;
+    }
+    Ok(config)
+}
+
+/// Replay an instance's stored production metrics through a sliding-window
+/// monitor, publishing `gallery_monitor_*` into the global registry.
+fn replay_monitor(
+    g: &Gallery,
+    instance_id: &InstanceId,
+    config: MonitorConfig,
+) -> Result<(ModelMonitor, MonitorSnapshot), String> {
+    let mut records = g
+        .metrics_of_instance(instance_id)
+        .map_err(|e| e.to_string())?;
+    records.retain(|m| m.scope == MetricScope::Production);
+    records.sort_by_key(|m| m.created_at);
+    let last_ts = records.last().map(|m| m.created_at).unwrap_or(0);
+    let clock = Arc::new(ManualClock::new(last_ts + 1));
+    let mut monitor = ModelMonitor::new(
+        instance_id.clone(),
+        config,
+        clock,
+        gallery::telemetry::global(),
+    );
+    for m in &records {
+        monitor.record(ScoringEvent::new(m.created_at, m.value));
+    }
+    let snapshot = monitor.evaluate();
+    Ok((monitor, snapshot))
+}
+
+fn print_snapshot(snapshot: &MonitorSnapshot) {
+    println!("window events:   {}", snapshot.window_events);
+    match snapshot.drift_score {
+        Some(score) => println!(
+            "drift:           z={score:.3} ({})",
+            if snapshot.drifted { "DRIFTED" } else { "ok" }
+        ),
+        None => println!("drift:           (empty window)"),
+    }
+    println!("completeness:    {:.3}", snapshot.feature_completeness);
+    println!("staleness:       {} ms", snapshot.staleness_ms);
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let data_dir =
@@ -157,7 +235,7 @@ fn run() -> Result<(), String> {
         println!("see the module docs at the top of src/bin/gallery.rs for the command list");
         return Ok(());
     }
-    let g = open(&data_dir)?;
+    let g = Arc::new(open(&data_dir)?);
     let err = |e: GalleryError| e.to_string();
 
     match command.as_str() {
@@ -365,6 +443,56 @@ fn run() -> Result<(), String> {
                 );
             }
         }
+        "monitor" => {
+            let config = monitor_config_from_flags(&mut args)?;
+            let [instance_id]: [String; 1] = args.try_into().map_err(|_| {
+                "usage: monitor INSTANCE_ID [--window-ms W] [--mean M] [--std S] [--z Z]"
+                    .to_string()
+            })?;
+            let (_, snapshot) = replay_monitor(&g, &InstanceId(instance_id), config)?;
+            print_snapshot(&snapshot);
+            for line in gallery::telemetry::global().render_text().lines() {
+                if line.contains("gallery_monitor_") {
+                    println!("{line}");
+                }
+            }
+        }
+        "alerts" => {
+            let config = monitor_config_from_flags(&mut args)?;
+            let for_ms: i64 = flag_value(&mut args, "--for-ms")
+                .map(|v| v.parse().map_err(|e| format!("bad --for-ms: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let env = flag_value(&mut args, "--env").unwrap_or_else(|| "production".into());
+            let mut actions = Vec::new();
+            while let Some(a) = flag_value(&mut args, "--action") {
+                actions.push(a);
+            }
+            let [instance_id, expr]: [String; 2] = args.try_into().map_err(|_| {
+                "usage: alerts INSTANCE_ID EXPR [--for-ms F] [--action NAME] [--env ENV]"
+                    .to_string()
+            })?;
+            let instance_id = InstanceId(instance_id);
+            let model_id = g.get_instance(&instance_id).map_err(err)?.model_id;
+            let (monitor, snapshot) = replay_monitor(&g, &instance_id, config)?;
+            print_snapshot(&snapshot);
+
+            let engine = AlertEngine::new(gallery::telemetry::global());
+            register_lifecycle_actions(&engine, Arc::clone(&g));
+            let condition = compile_condition(&expr).map_err(|e| e.to_string())?;
+            let mut rule = AlertRule::new("cli", condition)
+                .for_ms(for_ms)
+                .annotate("instance", instance_id.as_str())
+                .annotate("model", model_id.as_str())
+                .annotate("environment", &env)
+                .exemplar_from(monitor.error_histogram());
+            for action in actions {
+                rule = rule.action(action);
+            }
+            engine.add_rule(rule);
+            engine.evaluate();
+            print!("{}", engine.render_text());
+        }
         "stats" => {
             // Metrics are per-process: everything since `open` above
             // (WAL replay, table scans) is already in the global registry.
@@ -372,6 +500,7 @@ fn run() -> Result<(), String> {
                 let _ = g.find_models(&Query::all()).map_err(err)?;
                 let _ = g.model_query(&[]).map_err(err)?;
             }
+            g.dal().refresh_storage_gauges();
             print!("{}", gallery::telemetry::global().registry().render_text());
         }
         "compact" => {
