@@ -1,0 +1,499 @@
+//! E18 — static analysis of the rule language: mutation catch rate and
+//! analyzer throughput.
+//!
+//! Part 1 pins the false-positive floor: a production-like corpus of rule
+//! documents (Listings 1 & 2 plus the doc examples) and alert conditions
+//! used across the workspace must lint completely clean, individually and
+//! as a committed set.
+//!
+//! Part 2 measures detection: each clean source is run through a bank of
+//! seeded mutation operators modelling real authoring mistakes —
+//! identifier typos, raw ×1e6 thresholds against descaled gauges,
+//! string-quoted thresholds, unknown functions, wrong arity, non-boolean
+//! conditions, unbalanced parens, dead clauses. A mutant counts as
+//! *caught* when the analyzer reports at least one diagnostic. The
+//! overall catch rate must stay ≥ 90%, and the operators with no
+//! open-world escape hatch (syntax, unknown function, arity, type errors,
+//! dead clauses) must be caught at 100%. The residual misses are the
+//! honest cost of the open-world schema: thresholds on undeclared metrics
+//! have no range to violate.
+//!
+//! Part 3 asserts enforcement end to end: a mutated condition is rejected
+//! by `compile_condition` and a mutated rule document by
+//! `RuleRepo::validate` — the same analyzer gate the service's `Validate`
+//! RPC and `gallery lint` expose.
+//!
+//! Part 4 reports analyzer throughput (conditions, rule documents, and
+//! pairwise set analysis over a 40-rule repo) so the author-time lint
+//! stays interactive.
+//!
+//! `--smoke` shrinks iteration counts for CI.
+
+use gallery_bench::{banner, TextTable};
+use gallery_rules::rule::{listing1_selection_rule, listing2_action_rule};
+use gallery_rules::{
+    analyze_condition, analyze_rule, analyze_rule_set, compile_condition, RuleBody, RuleDoc,
+    RuleRepo,
+};
+use std::time::Instant;
+
+/// Tiny deterministic LCG so mutant positions vary without `rand`.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+/// Alert conditions in production use across the workspace (the monitor,
+/// alert-engine, and service tests all compile these).
+const CLEAN_CONDITIONS: &[&str] = &[
+    "gallery_monitor_drift_score > 3.0",
+    "gallery_monitor_staleness_ms > 60000",
+    "gallery_rpc_server_requests_total >= 1",
+    "gallery_monitor_feature_completeness < 0.9",
+    "gallery_monitor_drift_score > 3.0 && metrics.errs_total >= 2",
+    "gallery_monitor_feature_completeness >= 0.25",
+    "gallery_monitor_drift_score <= 4.5",
+];
+
+fn rule_doc(
+    uuid: &str,
+    given: &str,
+    when: &str,
+    selection: Option<&str>,
+    actions: &[&str],
+) -> RuleDoc {
+    RuleDoc {
+        team: "forecasting".into(),
+        uuid: uuid.into(),
+        rule: RuleBody {
+            given: given.into(),
+            when: when.into(),
+            environment: "production".into(),
+            model_selection: selection.map(String::from),
+            callback_actions: actions.iter().map(|a| a.to_string()).collect(),
+        },
+    }
+}
+
+/// The rule corpus: the paper's listings plus the docs' examples.
+fn clean_rules() -> Vec<RuleDoc> {
+    vec![
+        listing1_selection_rule(),
+        listing2_action_rule(),
+        rule_doc(
+            "8d1f2c3b-1111-4a5b-9c0d-000000000001",
+            r#"city == "city_007""#,
+            "metrics.mape <= 0.5",
+            Some("a.metrics.mape < b.metrics.mape"),
+            &[],
+        ),
+        rule_doc(
+            "8d1f2c3b-1111-4a5b-9c0d-000000000002",
+            r#"model_name == "ridge""#,
+            "metrics.drift_z > 5",
+            None,
+            &["alert", "trigger_retraining"],
+        ),
+    ]
+}
+
+const KEYWORDS: &[&str] = &[
+    "and",
+    "or",
+    "not",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "true",
+    "false",
+    "null",
+    "abs",
+    "min",
+    "max",
+    "contains",
+    "starts_with",
+    "defined",
+    "len",
+];
+
+/// Byte ranges of identifier words eligible for a typo: outside string
+/// literals, not a member name (no preceding `.`), length ≥ 4, not a
+/// keyword or builtin.
+fn typo_targets(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut in_str: Option<u8> = None;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if let Some(q) = in_str {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == q {
+                in_str = None;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' | b'\'' => {
+                in_str = Some(b);
+                i += 1;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let after_dot = start > 0 && bytes[start - 1] == b'.';
+                if !after_dot && word.len() >= 4 && !KEYWORDS.contains(&word) {
+                    out.push((start, i));
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Byte ranges of numeric literals outside string literals.
+fn number_targets(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut in_str: Option<u8> = None;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if let Some(q) = in_str {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == q {
+                in_str = None;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' | b'\'' => {
+                in_str = Some(b);
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let prev_ident =
+                    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                if !prev_ident {
+                    out.push((start, i));
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Transpose two distinct adjacent characters inside `word`.
+fn transpose(word: &str, rng: &mut Lcg) -> Option<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let pairs: Vec<usize> = (0..chars.len() - 1)
+        .filter(|&i| chars[i] != chars[i + 1])
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let i = pairs[rng.pick(pairs.len())];
+    let mut out = chars;
+    out.swap(i, i + 1);
+    Some(out.into_iter().collect())
+}
+
+const OPERATORS: &[&str] = &[
+    "ident-typo",
+    "raw-scale",
+    "string-threshold",
+    "unknown-fn",
+    "bad-arity",
+    "non-boolean",
+    "syntax",
+    "dead-clause",
+];
+
+/// Operators with no open-world escape: a miss would be an analyzer bug.
+const MUST_CATCH: &[&str] = &[
+    "unknown-fn",
+    "bad-arity",
+    "non-boolean",
+    "string-threshold",
+    "syntax",
+    "dead-clause",
+];
+
+/// Apply `op` to `src`; `None` when the operator does not apply (e.g. no
+/// numeric literal to rescale).
+fn mutate(op: &str, src: &str, rng: &mut Lcg) -> Option<String> {
+    match op {
+        "ident-typo" => {
+            let targets = typo_targets(src);
+            if targets.is_empty() {
+                return None;
+            }
+            let (start, end) = targets[rng.pick(targets.len())];
+            let typo = transpose(&src[start..end], rng)?;
+            Some(format!("{}{}{}", &src[..start], typo, &src[end..]))
+        }
+        "raw-scale" => {
+            let targets = number_targets(src);
+            if targets.is_empty() {
+                return None;
+            }
+            let (start, end) = targets[rng.pick(targets.len())];
+            let value: f64 = src[start..end].parse().ok()?;
+            let scaled = value * 1e6;
+            let lit = if scaled.fract() == 0.0 {
+                format!("{}", scaled as i64)
+            } else {
+                format!("{scaled}")
+            };
+            Some(format!("{}{}{}", &src[..start], lit, &src[end..]))
+        }
+        "string-threshold" => {
+            let targets = number_targets(src);
+            if targets.is_empty() {
+                return None;
+            }
+            let (start, end) = targets[rng.pick(targets.len())];
+            Some(format!(
+                "{}\"{}\"{}",
+                &src[..start],
+                &src[start..end],
+                &src[end..]
+            ))
+        }
+        "unknown-fn" => Some(format!("abss({src})")),
+        "bad-arity" => Some(format!("abs({src}, 0)")),
+        "non-boolean" => Some(format!("({src}) + 1")),
+        "syntax" => Some(format!("{src} && (")),
+        "dead-clause" => Some(format!("{src} && 1 > 2")),
+        _ => unreachable!("unknown operator {op}"),
+    }
+}
+
+/// Part 1: the clean corpus produces zero diagnostics.
+fn run_clean_floor(rules: &[RuleDoc]) {
+    for src in CLEAN_CONDITIONS {
+        let report = analyze_condition(src);
+        assert!(report.is_empty(), "{src:?} should lint clean:\n{report}");
+    }
+    for doc in rules {
+        let report = analyze_rule(doc);
+        assert!(
+            report.is_empty(),
+            "rule {} should lint clean:\n{report}",
+            doc.uuid
+        );
+    }
+    let set = analyze_rule_set(rules);
+    assert!(set.is_empty(), "rule set should lint clean:\n{set}");
+    println!(
+        "✓ clean corpus: {} conditions + {} rules, zero diagnostics\n",
+        CLEAN_CONDITIONS.len(),
+        rules.len()
+    );
+}
+
+/// Part 2: seeded mutants, catch rate per operator and overall.
+fn run_mutation_detection(rules: &[RuleDoc]) {
+    let mut table = TextTable::new(&["operator", "mutants", "caught", "rate"]);
+    let mut total = 0usize;
+    let mut total_caught = 0usize;
+    for (op_idx, op) in OPERATORS.iter().enumerate() {
+        let mut mutants = 0usize;
+        let mut caught = 0usize;
+        let mut miss_example = String::new();
+        // Two seeds per (operator, source): different literal/identifier
+        // positions inside the same expression.
+        for seed in 0..2u64 {
+            let mut targets: Vec<(String, String)> = Vec::new();
+            for (i, src) in CLEAN_CONDITIONS.iter().enumerate() {
+                let mut rng = Lcg(1 + seed * 1000 + (op_idx as u64) * 100 + i as u64);
+                if let Some(m) = mutate(op, src, &mut rng) {
+                    targets.push(("condition".into(), m));
+                }
+            }
+            for (i, doc) in rules.iter().enumerate() {
+                let mut rng = Lcg(7 + seed * 1000 + (op_idx as u64) * 100 + i as u64);
+                if let Some(when) = mutate(op, &doc.rule.when, &mut rng) {
+                    let mut mutant = doc.clone();
+                    mutant.rule.when = when;
+                    targets.push((
+                        "rule".into(),
+                        serde_json::to_string(&mutant).expect("serializable"),
+                    ));
+                }
+            }
+            for (kind, content) in targets {
+                let report = if kind == "condition" {
+                    analyze_condition(&content)
+                } else {
+                    let doc: RuleDoc = serde_json::from_str(&content).expect("round-trips");
+                    analyze_rule(&doc)
+                };
+                mutants += 1;
+                if report.is_empty() {
+                    if miss_example.is_empty() {
+                        miss_example = content;
+                    }
+                } else {
+                    caught += 1;
+                }
+            }
+        }
+        let rate = caught as f64 / mutants.max(1) as f64;
+        if MUST_CATCH.contains(op) {
+            assert_eq!(
+                caught, mutants,
+                "operator {op} must be fully caught; missed: {miss_example}"
+            );
+        }
+        table.add_row(vec![
+            op.to_string(),
+            mutants.to_string(),
+            caught.to_string(),
+            format!("{:.1}%", rate * 100.0),
+        ]);
+        total += mutants;
+        total_caught += caught;
+    }
+    let overall = total_caught as f64 / total as f64;
+    table.add_row(vec![
+        "overall".into(),
+        total.to_string(),
+        total_caught.to_string(),
+        format!("{:.1}%", overall * 100.0),
+    ]);
+    println!("{}", table.render());
+    assert!(
+        overall >= 0.90,
+        "static catch rate {overall:.3} fell below the 90% floor"
+    );
+    println!(
+        "✓ mutation catch rate {:.1}% (floor: 90%)\n",
+        overall * 100.0
+    );
+}
+
+/// Part 3: the same analyzer gates every registration path.
+fn run_enforcement(rules: &[RuleDoc]) {
+    let mut rng = Lcg(42);
+    let bad_condition = mutate("ident-typo", CLEAN_CONDITIONS[0], &mut rng).expect("applies");
+    let err = compile_condition(&bad_condition).expect_err("typo condition must be rejected");
+    assert!(err.has_errors(), "{err}");
+
+    let mut bad_rule = rules[1].clone();
+    bad_rule.rule.when = mutate("ident-typo", &bad_rule.rule.when, &mut rng).expect("applies");
+    let json = serde_json::to_string(&bad_rule).expect("serializable");
+    assert!(
+        RuleRepo::validate(&json).is_err(),
+        "typo rule must be rejected by repo validation"
+    );
+    println!("✓ enforcement: compile_condition and RuleRepo::validate reject mutants\n");
+}
+
+/// Part 4: analyzer throughput.
+fn run_throughput(rules: &[RuleDoc], smoke: bool) {
+    let iters = if smoke { 200 } else { 5_000 };
+
+    // A 40-rule repo: the champion-selection rule fanned out per city.
+    let fleet: Vec<RuleDoc> = (0..40)
+        .map(|i| {
+            rule_doc(
+                &format!("8d1f2c3b-2222-4a5b-9c0d-{i:012}"),
+                &format!(r#"city == "city_{i:03}""#),
+                "metrics.mape <= 0.5",
+                Some("a.metrics.mape < b.metrics.mape"),
+                &[],
+            )
+        })
+        .collect();
+    assert!(
+        analyze_rule_set(&fleet).is_empty(),
+        "fleet rules lint clean"
+    );
+
+    let mut table = TextTable::new(&["workload", "unit", "lints/s"]);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for src in CLEAN_CONDITIONS {
+            std::hint::black_box(analyze_condition(src));
+        }
+    }
+    let n = (iters * CLEAN_CONDITIONS.len()) as f64;
+    table.add_row(vec![
+        "alert condition".into(),
+        "expression".into(),
+        format!("{:.0}", n / start.elapsed().as_secs_f64()),
+    ]);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for doc in rules {
+            std::hint::black_box(analyze_rule(doc));
+        }
+    }
+    let n = (iters * rules.len()) as f64;
+    table.add_row(vec![
+        "rule document".into(),
+        "document".into(),
+        format!("{:.0}", n / start.elapsed().as_secs_f64()),
+    ]);
+
+    let set_iters = (iters / 20).max(1);
+    let start = Instant::now();
+    for _ in 0..set_iters {
+        std::hint::black_box(analyze_rule_set(&fleet));
+    }
+    table.add_row(vec![
+        "rule set (40 rules, pairwise)".into(),
+        "set".into(),
+        format!("{:.0}", set_iters as f64 / start.elapsed().as_secs_f64()),
+    ]);
+
+    println!("{}", table.render());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "E18: static analysis of the rule language",
+        "author-time lint — mutation catch rate, enforcement, throughput",
+    );
+    let rules = clean_rules();
+    run_clean_floor(&rules);
+    run_mutation_detection(&rules);
+    run_enforcement(&rules);
+    run_throughput(&rules, smoke);
+    println!("E18 ✓ all rule-lint criteria hold");
+}

@@ -24,6 +24,10 @@
 //! Uber's MySQL + S3/HDFS infrastructure); orchestration rules live in the
 //! `gallery-rules` crate.
 
+// Tests may unwrap freely; non-test code is held to the clippy.toml
+// disallowed-methods ban (no unwrap/expect on user-reachable paths).
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod clock;
 pub mod deps;
 pub mod error;

@@ -38,6 +38,24 @@ use std::sync::Arc;
 /// gauges: a drift score of 0.25 is exported as 250_000.
 pub const SCALE: f64 = 1e6;
 
+/// Catalog of the metric families the monitor exports, with their scales
+/// and declared (descaled) value ranges. The rule analyzer resolves alert
+/// conditions against this; `docs/metrics.md` documents the same names.
+pub const FAMILIES: &[gallery_telemetry::FamilyMeta] = &[
+    gallery_telemetry::FamilyMeta::counter("gallery_monitor_events_total"),
+    gallery_telemetry::FamilyMeta::counter("gallery_monitor_errors_total"),
+    gallery_telemetry::FamilyMeta::gauge(
+        "gallery_monitor_drift_score",
+        SCALE,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+    ),
+    gallery_telemetry::FamilyMeta::gauge("gallery_monitor_feature_completeness", SCALE, 0.0, 1.0),
+    gallery_telemetry::FamilyMeta::gauge("gallery_monitor_staleness_ms", 1.0, 0.0, f64::INFINITY),
+    gallery_telemetry::FamilyMeta::gauge("gallery_monitor_window_events", 1.0, 0.0, f64::INFINITY),
+    gallery_telemetry::FamilyMeta::histogram("gallery_monitor_abs_error"),
+];
+
 /// One scored request observed in production.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoringEvent {

@@ -1,6 +1,11 @@
 //! Table schemas backing the Gallery data model (Fig 3), and the
 //! record<->domain-type conversions.
 
+// The `.expect("… statically valid")` calls below parse compile-time
+// constant schemas; schema-construction tests cover every table, so a
+// panic here cannot be reached from user input.
+#![allow(clippy::disallowed_methods)]
+
 use crate::clock::TimestampMs;
 use crate::error::{GalleryError, Result};
 use crate::id::{BaseVersionId, DeploymentId, InstanceId, MetricId, ModelId};

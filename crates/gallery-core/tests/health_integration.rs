@@ -2,6 +2,10 @@
 //! Gallery metrics, and health scores differentiating good from bad
 //! instances across a fleet.
 
+// Integration tests unwrap freely; the disallowed-methods ban only
+// guards non-test code.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use gallery_core::health::drift::{Cusum, WindowMeanShift};
 use gallery_core::metadata::{Metadata, REPRODUCIBILITY_FIELDS};

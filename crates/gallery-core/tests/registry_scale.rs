@@ -2,6 +2,10 @@
 //! of the registry with search selectivity, concurrent writers, and the
 //! deprecation sweep pattern from §3.7.
 
+// Integration tests unwrap freely; the disallowed-methods ban only
+// guards non-test code.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use gallery_core::metadata::fields;
 use gallery_core::{

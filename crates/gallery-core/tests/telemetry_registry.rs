@@ -2,6 +2,10 @@
 //! the `registry/upload_instance` → `registry/propagate` span parentage,
 //! recorded into an isolated bundle via `Gallery::with_telemetry`.
 
+// Integration tests unwrap freely; the disallowed-methods ban only
+// guards non-test code.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use gallery_core::{Gallery, InstanceSpec, ModelSpec};
 use gallery_store::Constraint;

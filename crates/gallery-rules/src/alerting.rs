@@ -24,9 +24,10 @@
 //! back down when binding them, so rule authors write thresholds in
 //! natural units (`drift_score > 3.0`, `feature_completeness < 0.9`).
 
+use crate::analyze::{analyze_condition, Finding, LintReport};
 use crate::ast::Expr;
 use crate::eval::{eval, EvalContext};
-use crate::parser::{parse, ParseError};
+use crate::parser::parse;
 use gallery_core::monitor::SCALE;
 use gallery_core::registry::Gallery;
 use gallery_core::InstanceId;
@@ -51,11 +52,31 @@ fn descale(name: &str, value: f64) -> f64 {
 /// Compile a rule-language expression into an alert condition.
 ///
 /// Root identifiers (and `metrics.<name>` members) are bound to the
-/// summed value of the matching metric family at evaluation time. The
-/// condition reports "cannot evaluate" (never breaching) if the
-/// expression does not reduce to a boolean.
-pub fn compile_condition(src: &str) -> Result<AlertCondition, ParseError> {
-    let expr = parse(src)?;
+/// summed value of the matching metric family at evaluation time.
+///
+/// The source is first run through the static analyzer against the
+/// alert-condition schema; error-severity findings (syntax errors,
+/// non-boolean conditions, family-name typos, impossible thresholds)
+/// reject it. Warnings (unknown custom families, suspicious scales) are
+/// carried in the returned report's renderable findings but do not block.
+pub fn compile_condition(src: &str) -> Result<AlertCondition, LintReport> {
+    let report = analyze_condition(src);
+    if report.has_errors() {
+        return Err(report);
+    }
+    let expr = match parse(src) {
+        Ok(e) => e,
+        // Unreachable: a parse failure is an error-severity finding above.
+        Err(e) => {
+            return Err(LintReport {
+                findings: vec![Finding {
+                    origin: "condition".to_owned(),
+                    source: src.to_owned(),
+                    diag: crate::diag::Diagnostic::error(e.code, e.span, e.message),
+                }],
+            })
+        }
+    };
     let roots = expr.referenced_roots();
     let metric_members = expr.referenced_metrics();
     let describe = src.trim().to_owned();
@@ -157,10 +178,11 @@ mod tests {
     }
 
     #[test]
-    fn non_boolean_expression_cannot_evaluate() {
-        let t = Telemetry::new();
-        let cond = compile_condition("1 + 1").unwrap();
-        assert_eq!(breaches(&cond, t.registry()), None);
+    fn non_boolean_expression_rejected_at_compile_time() {
+        let report = compile_condition("1 + 1").unwrap_err();
+        assert!(report
+            .codes()
+            .contains(&crate::diag::codes::NON_BOOLEAN_CONDITION));
     }
 
     #[test]

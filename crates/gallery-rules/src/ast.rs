@@ -1,5 +1,12 @@
 //! Abstract syntax tree for the rule expression language.
+//!
+//! Every [`Expr`] node carries a byte-range [`Span`] into the source text
+//! it was parsed from, so evaluation errors and lint diagnostics can point
+//! at the offending subexpression. Spans are metadata: `PartialEq` on
+//! expressions compares structure only, which keeps golden-AST tests and
+//! the `parse → print → parse` round-trip span-insensitive.
 
+use crate::token::Span;
 use std::fmt;
 
 /// Binary operators, in increasing precedence groups.
@@ -32,6 +39,13 @@ impl BinOp {
             BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
         }
     }
+
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
 }
 
 impl fmt::Display for BinOp {
@@ -62,9 +76,16 @@ pub enum UnOp {
     Neg,
 }
 
-/// Expression node.
+/// Expression node: structure ([`ExprKind`]) plus source location.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+/// The structural part of an expression node.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     Null,
     Bool(bool),
     Num(f64),
@@ -81,7 +102,27 @@ pub enum Expr {
     Binary(BinOp, Box<Expr>, Box<Expr>),
 }
 
+/// Spans are metadata, not structure.
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl From<ExprKind> for Expr {
+    fn from(kind: ExprKind) -> Self {
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
 impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
     /// All identifier roots referenced by this expression (`metrics.bias`
     /// contributes `metrics`). Used by the rule engine to decide which
     /// events can affect a rule.
@@ -94,20 +135,20 @@ impl Expr {
     }
 
     fn collect_roots(&self, out: &mut Vec<String>) {
-        match self {
-            Expr::Ident(name) => out.push(name.clone()),
-            Expr::Member(base, _) => base.collect_roots(out),
-            Expr::Index(base, key) => {
+        match &self.kind {
+            ExprKind::Ident(name) => out.push(name.clone()),
+            ExprKind::Member(base, _) => base.collect_roots(out),
+            ExprKind::Index(base, key) => {
                 base.collect_roots(out);
                 key.collect_roots(out);
             }
-            Expr::Call(_, args) => {
+            ExprKind::Call(_, args) => {
                 for a in args {
                     a.collect_roots(out);
                 }
             }
-            Expr::Unary(_, e) => e.collect_roots(out),
-            Expr::Binary(_, l, r) => {
+            ExprKind::Unary(_, e) => e.collect_roots(out),
+            ExprKind::Binary(_, l, r) => {
                 l.collect_roots(out);
                 r.collect_roots(out);
             }
@@ -127,15 +168,15 @@ impl Expr {
     }
 
     fn collect_metrics(&self, out: &mut Vec<String>) {
-        match self {
-            Expr::Member(base, field) => {
-                if matches!(&**base, Expr::Ident(root) if root == "metrics") {
+        match &self.kind {
+            ExprKind::Member(base, field) => {
+                if matches!(&base.kind, ExprKind::Ident(root) if root == "metrics") {
                     out.push(field.clone());
                 }
                 base.collect_metrics(out);
             }
-            Expr::Index(base, key) => {
-                if let (Expr::Ident(root), Expr::Str(name)) = (&**base, &**key) {
+            ExprKind::Index(base, key) => {
+                if let (ExprKind::Ident(root), ExprKind::Str(name)) = (&base.kind, &key.kind) {
                     if root == "metrics" {
                         out.push(name.clone());
                     }
@@ -143,17 +184,102 @@ impl Expr {
                 base.collect_metrics(out);
                 key.collect_metrics(out);
             }
-            Expr::Call(_, args) => {
+            ExprKind::Call(_, args) => {
                 for a in args {
                     a.collect_metrics(out);
                 }
             }
-            Expr::Unary(_, e) => e.collect_metrics(out),
-            Expr::Binary(_, l, r) => {
+            ExprKind::Unary(_, e) => e.collect_metrics(out),
+            ExprKind::Binary(_, l, r) => {
                 l.collect_metrics(out);
                 r.collect_metrics(out);
             }
             _ => {}
+        }
+    }
+
+    /// Binding strength for the pretty-printer: binary nodes use their
+    /// operator precedence (1–6), unary binds tighter (7), postfix chains
+    /// and atoms tightest (8).
+    fn print_precedence(&self) -> u8 {
+        match &self.kind {
+            ExprKind::Binary(op, _, _) => op.precedence(),
+            ExprKind::Unary(..) => 7,
+            _ => 8,
+        }
+    }
+
+    fn fmt_with_parens(&self, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        if self.print_precedence() < min_prec {
+            write!(f, "(")?;
+            write!(f, "{self}")?;
+            write!(f, ")")
+        } else {
+            write!(f, "{self}")
+        }
+    }
+}
+
+fn escape_str(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '\\' => write!(f, "\\\\")?,
+            '"' => write!(f, "\\\"")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            other => write!(f, "{other}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Pretty-printer: emits source text that re-parses to the same AST
+/// (verified by the `parse → print → parse` property test). Parentheses
+/// are inserted only where precedence or associativity requires them.
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Null => write!(f, "null"),
+            ExprKind::Bool(b) => write!(f, "{b}"),
+            ExprKind::Num(x) => write!(f, "{x}"),
+            ExprKind::Str(s) => escape_str(s, f),
+            ExprKind::Ident(name) => write!(f, "{name}"),
+            ExprKind::Member(base, field) => {
+                base.fmt_with_parens(f, 8)?;
+                write!(f, ".{field}")
+            }
+            ExprKind::Index(base, key) => {
+                base.fmt_with_parens(f, 8)?;
+                write!(f, "[{key}]")
+            }
+            ExprKind::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ExprKind::Unary(op, e) => {
+                match op {
+                    UnOp::Not => write!(f, "!")?,
+                    UnOp::Neg => write!(f, "-")?,
+                }
+                // Unary binds tighter than any binary operator; nested
+                // unaries print without parens (`--x`, `!-x` re-parse).
+                e.fmt_with_parens(f, 7)
+            }
+            ExprKind::Binary(op, l, r) => {
+                let prec = op.precedence();
+                // Left-associative: the right child needs parens at equal
+                // precedence, the left does not.
+                l.fmt_with_parens(f, prec)?;
+                write!(f, " {op} ")?;
+                r.fmt_with_parens(f, prec + 1)
+            }
         }
     }
 }
@@ -161,6 +287,10 @@ impl Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn b(kind: ExprKind) -> Box<Expr> {
+        Box::new(Expr::from(kind))
+    }
 
     #[test]
     fn precedence_ordering() {
@@ -173,14 +303,14 @@ mod tests {
 
     #[test]
     fn referenced_roots() {
-        let e = Expr::Binary(
+        let e = Expr::from(ExprKind::Binary(
             BinOp::And,
-            Box::new(Expr::Member(
-                Box::new(Expr::Ident("metrics".into())),
+            b(ExprKind::Member(
+                b(ExprKind::Ident("metrics".into())),
                 "bias".into(),
             )),
-            Box::new(Expr::Ident("modelName".into())),
-        );
+            b(ExprKind::Ident("modelName".into())),
+        ));
         assert_eq!(
             e.referenced_roots(),
             vec!["metrics".to_string(), "modelName".to_string()]
@@ -189,20 +319,50 @@ mod tests {
 
     #[test]
     fn referenced_metrics_dot_and_bracket() {
-        let e = Expr::Binary(
+        let e = Expr::from(ExprKind::Binary(
             BinOp::Or,
-            Box::new(Expr::Member(
-                Box::new(Expr::Ident("metrics".into())),
+            b(ExprKind::Member(
+                b(ExprKind::Ident("metrics".into())),
                 "bias".into(),
             )),
-            Box::new(Expr::Index(
-                Box::new(Expr::Ident("metrics".into())),
-                Box::new(Expr::Str("r2".into())),
+            b(ExprKind::Index(
+                b(ExprKind::Ident("metrics".into())),
+                b(ExprKind::Str("r2".into())),
             )),
-        );
+        ));
         assert_eq!(
             e.referenced_metrics(),
             vec!["bias".to_string(), "r2".to_string()]
         );
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = Expr::new(ExprKind::Num(1.0), Span::new(0, 1));
+        let b = Expr::new(ExprKind::Num(1.0), Span::new(5, 6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn printer_minimal_parens() {
+        let parse = crate::parser::parse;
+        for (src, printed) in [
+            ("a || b && c", "a || b && c"),
+            ("(a || b) && c", "(a || b) && c"),
+            ("1 + 2 * 3 < 10", "1 + 2 * 3 < 10"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("10 - 3 - 2", "10 - 3 - 2"),
+            ("10 - (3 - 2)", "10 - (3 - 2)"),
+            ("!(a || b)", "!(a || b)"),
+            ("!a", "!a"),
+            ("-a.b", "-a.b"),
+            (r#"metrics["r2"] <= 0.9"#, "metrics[\"r2\"] <= 0.9"),
+            ("max(metrics.mae, 0.5)", "max(metrics.mae, 0.5)"),
+            (r#"name == "Uber\"X""#, "name == \"Uber\\\"X\""),
+        ] {
+            let e = parse(src).unwrap();
+            assert_eq!(e.to_string(), printed, "printing {src}");
+            assert_eq!(parse(&e.to_string()).unwrap(), e, "round-trip {src}");
+        }
     }
 }

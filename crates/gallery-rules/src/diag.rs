@@ -1,0 +1,259 @@
+//! Typed diagnostics for the rule language.
+//!
+//! Every diagnostic carries a stable machine-readable `code` (catalogued in
+//! [`codes`] and documented in `docs/rule-language.md` — a CI test keeps the
+//! two in sync), a severity, a byte-range [`Span`] into the analyzed source,
+//! a human message, and an optional help note. [`render`] produces a
+//! rustc-style annotated snippet.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Stable diagnostic codes.
+///
+/// Numbering groups: `RL00xx` syntax/document, `RL01xx` name resolution,
+/// `RL02xx` types, `RL03xx` abstract interpretation (value analysis),
+/// `RL04xx` rule-set analysis.
+pub mod codes {
+    /// Expression fails to lex or parse.
+    pub const SYNTAX: &str = "RL0001";
+    /// Expression nesting exceeds the parser/evaluator depth limit.
+    pub const NESTING: &str = "RL0002";
+    /// Rule document is not valid rule JSON (missing clauses, bad shape).
+    pub const BAD_DOCUMENT: &str = "RL0003";
+
+    /// Identifier does not resolve against the context schema (open world:
+    /// warning, since contexts may carry user-defined fields).
+    pub const UNKNOWN_IDENT: &str = "RL0101";
+    /// Identifier is within edit distance of a declared name — almost
+    /// certainly a typo, so an error.
+    pub const IDENT_TYPO: &str = "RL0102";
+    /// Call to a function the evaluator does not provide.
+    pub const UNKNOWN_FUNCTION: &str = "RL0103";
+    /// Known function called with the wrong number of arguments.
+    pub const BAD_ARITY: &str = "RL0104";
+    /// Member access on a value that is not an object.
+    pub const MEMBER_OF_SCALAR: &str = "RL0105";
+
+    /// Operator applied to operands of incompatible types.
+    pub const TYPE_MISMATCH: &str = "RL0201";
+    /// Rule condition's type is known and is not boolean.
+    pub const NON_BOOLEAN_CONDITION: &str = "RL0202";
+    /// Bracket index key is known to not be a string.
+    pub const NON_STRING_KEY: &str = "RL0203";
+
+    /// Subexpression is always true (condition never filters).
+    pub const ALWAYS_TRUE: &str = "RL0301";
+    /// Subexpression is always false (rule can never fire).
+    pub const ALWAYS_FALSE: &str = "RL0302";
+    /// Comparison against a constant outside the signal's declared range.
+    pub const OUT_OF_RANGE: &str = "RL0303";
+    /// Threshold magnitude suggests a raw (un-descaled) gauge value was
+    /// intended where the binding is already descaled, or vice versa.
+    pub const SUSPICIOUS_SCALE: &str = "RL0304";
+    /// Divisor's value interval contains zero.
+    pub const DIV_BY_ZERO: &str = "RL0305";
+    /// Conjunction of comparisons on one variable is unsatisfiable.
+    pub const CONTRADICTORY_BOUNDS: &str = "RL0306";
+    /// Comparison is implied by other comparisons in the same conjunction.
+    pub const REDUNDANT_COMPARISON: &str = "RL0307";
+
+    /// An earlier rule's condition implies a later rule's condition.
+    pub const SHADOWED_RULE: &str = "RL0401";
+    /// Two rules with overlapping triggers request opposing actions.
+    pub const CONTRADICTORY_ACTIONS: &str = "RL0402";
+    /// GIVEN and WHEN clauses are jointly unsatisfiable.
+    pub const UNREACHABLE_RULE: &str = "RL0403";
+    /// Two rules in one set share a uuid.
+    pub const DUPLICATE_RULE_ID: &str = "RL0404";
+
+    /// Every code, for the docs/fixture sync test.
+    pub const ALL: &[&str] = &[
+        SYNTAX,
+        NESTING,
+        BAD_DOCUMENT,
+        UNKNOWN_IDENT,
+        IDENT_TYPO,
+        UNKNOWN_FUNCTION,
+        BAD_ARITY,
+        MEMBER_OF_SCALAR,
+        TYPE_MISMATCH,
+        NON_BOOLEAN_CONDITION,
+        NON_STRING_KEY,
+        ALWAYS_TRUE,
+        ALWAYS_FALSE,
+        OUT_OF_RANGE,
+        SUSPICIOUS_SCALE,
+        DIV_BY_ZERO,
+        CONTRADICTORY_BOUNDS,
+        REDUNDANT_COMPARISON,
+        SHADOWED_RULE,
+        CONTRADICTORY_ACTIONS,
+        UNREACHABLE_RULE,
+        DUPLICATE_RULE_ID,
+    ];
+}
+
+/// Diagnostic severity. `Error` diagnostics reject a rule at registration;
+/// `Warning` diagnostics are reported but do not block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding against a single source expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render this diagnostic against its source text, rustc-style:
+    ///
+    /// ```text
+    /// error[RL0303]: completeness can never exceed 1
+    ///   --> rule 42 WHEN
+    ///    |
+    ///    | completeness > 1.2
+    ///    |                ^^^ declared range is [0, 1]
+    ///    = help: gauge values are already descaled
+    /// ```
+    pub fn render(&self, origin: &str, source: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        out.push_str(&format!("  --> {origin}\n"));
+        if !self.span.is_dummy() && (self.span.end as usize) <= source.len() {
+            // Locate the line containing the span start.
+            let start = self.span.start as usize;
+            let line_start = source[..start.min(source.len())]
+                .rfind('\n')
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let line_end = source[line_start..]
+                .find('\n')
+                .map(|i| line_start + i)
+                .unwrap_or(source.len());
+            let line = &source[line_start..line_end];
+            let col = start - line_start;
+            let width = ((self.span.end as usize).min(line_end) - start).max(1);
+            out.push_str("   |\n");
+            out.push_str(&format!("   | {line}\n"));
+            out.push_str(&format!("   | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        } else if !source.is_empty() {
+            out.push_str("   |\n");
+            out.push_str(&format!(
+                "   | {}\n",
+                source.lines().next().unwrap_or(source)
+            ));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("   = help: {help}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.span.is_dummy() {
+            write!(f, " (at {})", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in codes::ALL {
+            assert!(code.starts_with("RL"), "{code}");
+            assert_eq!(code.len(), 6, "{code}");
+            assert!(code[2..].chars().all(|c| c.is_ascii_digit()), "{code}");
+            assert!(seen.insert(*code), "duplicate code {code}");
+        }
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "completeness > 1.2";
+        let d = Diagnostic::error(codes::OUT_OF_RANGE, Span::new(15, 18), "out of range")
+            .with_help("declared range is [0, 1]");
+        let rendered = d.render("WHEN", src);
+        assert!(rendered.contains("error[RL0303]: out of range"));
+        assert!(rendered.contains("--> WHEN"));
+        assert!(rendered.contains("completeness > 1.2"));
+        assert!(rendered.contains("               ^^^"));
+        assert!(rendered.contains("= help: declared range is [0, 1]"));
+    }
+
+    #[test]
+    fn render_multiline_source_points_at_right_line() {
+        let src = "a == 1\n&& completeness > 1.2";
+        // span of "1.2" on the second line
+        let start = src.find("1.2").unwrap();
+        let d = Diagnostic::warning(
+            codes::OUT_OF_RANGE,
+            Span::new(start, start + 3),
+            "out of range",
+        );
+        let rendered = d.render("WHEN", src);
+        assert!(rendered.contains("| && completeness > 1.2"));
+        assert!(!rendered.contains("| a == 1"));
+    }
+
+    #[test]
+    fn render_with_dummy_span_omits_underline() {
+        let d = Diagnostic::error(codes::BAD_DOCUMENT, Span::DUMMY, "not a rule");
+        let rendered = d.render("rule.json", "{}");
+        assert!(rendered.contains("error[RL0003]"));
+        assert!(!rendered.contains('^'));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

@@ -107,6 +107,9 @@ impl RuleEngine {
 
     /// [`RuleEngine::new`] with an explicit telemetry bundle for the
     /// per-rule evaluation counters and timing histograms.
+    // Failing to spawn a worker thread at engine startup is fatal by
+    // design — there is no degraded mode without an evaluation pool.
+    #[allow(clippy::disallowed_methods)]
     pub fn new_with_telemetry(
         gallery: Arc<Gallery>,
         actions: ActionRegistry,

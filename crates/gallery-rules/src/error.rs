@@ -27,6 +27,8 @@ pub enum EngineError {
     ActionFailed(String),
     /// Rule repo violation (validation, review, unknown path...).
     Repo(String),
+    /// Static analysis rejected the rule (error-severity diagnostics).
+    Lint(String),
     /// The engine is shutting down.
     ShuttingDown,
 }
@@ -45,6 +47,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::ActionFailed(m) => write!(f, "action failed: {m}"),
             EngineError::Repo(m) => write!(f, "rule repo error: {m}"),
+            EngineError::Lint(m) => write!(f, "rule rejected by static analysis:\n{m}"),
             EngineError::ShuttingDown => write!(f, "rule engine is shutting down"),
         }
     }

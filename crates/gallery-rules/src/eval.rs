@@ -5,9 +5,15 @@
 //! comparison involving `Null` is false (so a rule over a metric that has
 //! not been reported yet simply does not fire, rather than erroring).
 
-use crate::ast::{BinOp, Expr, UnOp};
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::token::Span;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Maximum AST depth the evaluator will recurse into. Parsed expressions
+/// are already bounded by [`crate::parser::MAX_DEPTH`]; this guards
+/// hand-built ASTs the same way.
+pub const MAX_EVAL_DEPTH: usize = 256;
 
 /// Runtime value of the expression language.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,13 +55,14 @@ impl EvalValue {
     /// everything else (including 0 and "") is an error-free truthy —
     /// except numbers/strings are NOT silently coerced: boolean operators
     /// require Bool or Null to keep rules unambiguous.
-    fn truthy(&self) -> Result<bool, EvalError> {
+    fn truthy(&self, span: Span) -> Result<bool, EvalError> {
         match self {
             EvalValue::Bool(b) => Ok(*b),
             EvalValue::Null => Ok(false),
-            other => Err(EvalError {
-                message: format!("expected boolean, got {other}"),
-            }),
+            other => Err(EvalError::at(
+                span,
+                format!("expected boolean, got {other}"),
+            )),
         }
     }
 }
@@ -98,15 +105,29 @@ impl From<String> for EvalValue {
     }
 }
 
-/// Evaluation error.
+/// Evaluation error, pointing at the subexpression that failed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalError {
     pub message: String,
+    pub span: Span,
+}
+
+impl EvalError {
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        EvalError {
+            message: message.into(),
+            span,
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "eval error: {}", self.message)
+        if self.span.is_dummy() {
+            write!(f, "eval error: {}", self.message)
+        } else {
+            write!(f, "eval error at {}: {}", self.span, self.message)
+        }
     }
 }
 
@@ -163,47 +184,56 @@ impl EvalContext {
 
 /// Evaluate an expression against a context.
 pub fn eval(expr: &Expr, ctx: &EvalContext) -> Result<EvalValue, EvalError> {
-    match expr {
-        Expr::Null => Ok(EvalValue::Null),
-        Expr::Bool(b) => Ok(EvalValue::Bool(*b)),
-        Expr::Num(x) => Ok(EvalValue::Num(*x)),
-        Expr::Str(s) => Ok(EvalValue::Str(s.clone())),
-        Expr::Ident(name) => Ok(ctx.get(name).cloned().unwrap_or(EvalValue::Null)),
-        Expr::Member(base, field) => {
-            let base = eval(base, ctx)?;
+    eval_at(expr, ctx, 0)
+}
+
+fn eval_at(expr: &Expr, ctx: &EvalContext, depth: usize) -> Result<EvalValue, EvalError> {
+    if depth > MAX_EVAL_DEPTH {
+        return Err(EvalError::at(
+            expr.span,
+            format!("expression nesting exceeds {MAX_EVAL_DEPTH} levels"),
+        ));
+    }
+    match &expr.kind {
+        ExprKind::Null => Ok(EvalValue::Null),
+        ExprKind::Bool(b) => Ok(EvalValue::Bool(*b)),
+        ExprKind::Num(x) => Ok(EvalValue::Num(*x)),
+        ExprKind::Str(s) => Ok(EvalValue::Str(s.clone())),
+        ExprKind::Ident(name) => Ok(ctx.get(name).cloned().unwrap_or(EvalValue::Null)),
+        ExprKind::Member(base, field) => {
+            let base = eval_at(base, ctx, depth + 1)?;
             Ok(member(&base, field))
         }
-        Expr::Index(base, key) => {
-            let base = eval(base, ctx)?;
-            let key = eval(key, ctx)?;
-            match key {
-                EvalValue::Str(k) => Ok(member(&base, &k)),
-                other => Err(EvalError {
-                    message: format!("index key must be a string, got {other}"),
-                }),
+        ExprKind::Index(base, key) => {
+            let base_val = eval_at(base, ctx, depth + 1)?;
+            let key_val = eval_at(key, ctx, depth + 1)?;
+            match key_val {
+                EvalValue::Str(k) => Ok(member(&base_val, &k)),
+                other => Err(EvalError::at(
+                    key.span,
+                    format!("index key must be a string, got {other}"),
+                )),
             }
         }
-        Expr::Call(name, args) => {
+        ExprKind::Call(name, args) => {
             let values: Vec<EvalValue> = args
                 .iter()
-                .map(|a| eval(a, ctx))
+                .map(|a| eval_at(a, ctx, depth + 1))
                 .collect::<Result<_, _>>()?;
-            call(name, &values)
+            call(name, &values, expr.span)
         }
-        Expr::Unary(op, e) => {
-            let v = eval(e, ctx)?;
+        ExprKind::Unary(op, e) => {
+            let v = eval_at(e, ctx, depth + 1)?;
             match op {
-                UnOp::Not => Ok(EvalValue::Bool(!v.truthy()?)),
+                UnOp::Not => Ok(EvalValue::Bool(!v.truthy(e.span)?)),
                 UnOp::Neg => match v {
                     EvalValue::Num(x) => Ok(EvalValue::Num(-x)),
                     EvalValue::Null => Ok(EvalValue::Null),
-                    other => Err(EvalError {
-                        message: format!("cannot negate {other}"),
-                    }),
+                    other => Err(EvalError::at(e.span, format!("cannot negate {other}"))),
                 },
             }
         }
-        Expr::Binary(op, l, r) => eval_binary(*op, l, r, ctx),
+        ExprKind::Binary(op, l, r) => eval_binary(*op, l, r, ctx, depth),
     }
 }
 
@@ -215,29 +245,36 @@ fn member(base: &EvalValue, field: &str) -> EvalValue {
     }
 }
 
-fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &EvalContext) -> Result<EvalValue, EvalError> {
+fn eval_binary(
+    op: BinOp,
+    l: &Expr,
+    r: &Expr,
+    ctx: &EvalContext,
+    depth: usize,
+) -> Result<EvalValue, EvalError> {
+    let span = l.span.to(r.span);
     // Short-circuit boolean operators.
     match op {
         BinOp::And => {
-            let lv = eval(l, ctx)?;
-            if !lv.truthy()? {
+            let lv = eval_at(l, ctx, depth + 1)?;
+            if !lv.truthy(l.span)? {
                 return Ok(EvalValue::Bool(false));
             }
-            let rv = eval(r, ctx)?;
-            return Ok(EvalValue::Bool(rv.truthy()?));
+            let rv = eval_at(r, ctx, depth + 1)?;
+            return Ok(EvalValue::Bool(rv.truthy(r.span)?));
         }
         BinOp::Or => {
-            let lv = eval(l, ctx)?;
-            if lv.truthy()? {
+            let lv = eval_at(l, ctx, depth + 1)?;
+            if lv.truthy(l.span)? {
                 return Ok(EvalValue::Bool(true));
             }
-            let rv = eval(r, ctx)?;
-            return Ok(EvalValue::Bool(rv.truthy()?));
+            let rv = eval_at(r, ctx, depth + 1)?;
+            return Ok(EvalValue::Bool(rv.truthy(r.span)?));
         }
         _ => {}
     }
-    let lv = eval(l, ctx)?;
-    let rv = eval(r, ctx)?;
+    let lv = eval_at(l, ctx, depth + 1)?;
+    let rv = eval_at(r, ctx, depth + 1)?;
     use EvalValue::*;
     Ok(match op {
         BinOp::Eq => Bool(lv == rv),
@@ -252,9 +289,7 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &EvalContext) -> Result<EvalV
                 (Str(a), Str(b)) => Some(a.cmp(b)),
                 _ => None,
             }
-            .ok_or_else(|| EvalError {
-                message: format!("cannot compare {lv} with {rv}"),
-            })?;
+            .ok_or_else(|| EvalError::at(span, format!("cannot compare {lv} with {rv}")))?;
             Bool(match op {
                 BinOp::Lt => ord.is_lt(),
                 BinOp::Le => ord.is_le(),
@@ -266,19 +301,16 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &EvalContext) -> Result<EvalV
         BinOp::Add => match (&lv, &rv) {
             (Num(a), Num(b)) => Num(a + b),
             (Str(a), Str(b)) => Str(format!("{a}{b}")),
-            _ => {
-                return Err(EvalError {
-                    message: format!("cannot add {lv} and {rv}"),
-                })
-            }
+            _ => return Err(EvalError::at(span, format!("cannot add {lv} and {rv}"))),
         },
         BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
             let (a, b) = match (&lv, &rv) {
                 (Num(a), Num(b)) => (*a, *b),
                 _ => {
-                    return Err(EvalError {
-                        message: format!("arithmetic needs numbers, got {lv} and {rv}"),
-                    })
+                    return Err(EvalError::at(
+                        span,
+                        format!("arithmetic needs numbers, got {lv} and {rv}"),
+                    ))
                 }
             };
             Num(match op {
@@ -293,11 +325,10 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &EvalContext) -> Result<EvalV
     })
 }
 
-fn call(name: &str, args: &[EvalValue]) -> Result<EvalValue, EvalError> {
+fn call(name: &str, args: &[EvalValue], span: Span) -> Result<EvalValue, EvalError> {
     let num = |v: &EvalValue, fname: &str| -> Result<f64, EvalError> {
-        v.as_num().ok_or_else(|| EvalError {
-            message: format!("{fname} needs a number, got {v}"),
-        })
+        v.as_num()
+            .ok_or_else(|| EvalError::at(span, format!("{fname} needs a number, got {v}")))
     };
     match (name, args) {
         ("abs", [v]) => Ok(EvalValue::Num(num(v, "abs")?.abs())),
@@ -311,9 +342,10 @@ fn call(name: &str, args: &[EvalValue]) -> Result<EvalValue, EvalError> {
         }
         ("defined", [v]) => Ok(EvalValue::Bool(*v != EvalValue::Null)),
         ("len", [EvalValue::Str(s)]) => Ok(EvalValue::Num(s.chars().count() as f64)),
-        _ => Err(EvalError {
-            message: format!("unknown function {name}/{}", args.len()),
-        }),
+        _ => Err(EvalError::at(
+            span,
+            format!("unknown function {name}/{}", args.len()),
+        )),
     }
 }
 
@@ -418,6 +450,32 @@ mod tests {
         assert!(eval(&parse("1 && true").unwrap(), &ctx()).is_err());
         assert!(eval(&parse(r#"metrics[5]"#).unwrap(), &ctx()).is_err());
         assert!(eval(&parse("bogus_fn(1)").unwrap(), &ctx()).is_err());
+    }
+
+    #[test]
+    fn error_spans_point_at_failing_subexpression() {
+        let src = "modelName == \"x\" || modelName - 1 > 0";
+        let err = eval(&parse(src).unwrap(), &ctx()).unwrap_err();
+        assert_eq!(err.span.slice(src).unwrap(), "modelName - 1");
+        let src = r#"metrics[5] == null"#;
+        let err = eval(&parse(src).unwrap(), &ctx()).unwrap_err();
+        assert_eq!(err.span.slice(src).unwrap(), "5");
+    }
+
+    #[test]
+    fn deep_hand_built_ast_errors_instead_of_overflowing() {
+        use crate::ast::{ExprKind, UnOp};
+        let mut e = Expr::from(ExprKind::Bool(true));
+        for _ in 0..5_000 {
+            e = Expr::from(ExprKind::Unary(UnOp::Not, Box::new(e)));
+        }
+        let err = eval(&e, &EvalContext::new()).unwrap_err();
+        assert!(err.message.contains("nesting"), "message: {}", err.message);
+        // Dispose of the deep tree iteratively to keep drop shallow.
+        let mut cur = e;
+        while let ExprKind::Unary(_, inner) = cur.kind {
+            cur = *inner;
+        }
     }
 
     #[test]

@@ -1,18 +1,48 @@
 //! Recursive-descent / precedence-climbing parser for rule expressions.
 
-use crate::ast::{BinOp, Expr, UnOp};
-use crate::token::{lex, LexError, Token};
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::token::{lex, LexError, Span, SpannedToken, Token};
 use std::fmt;
 
-/// Parse error.
+/// Maximum expression nesting depth. Real rules sit well under 50; the
+/// guard turns a stack overflow on adversarial input (e.g. 10k nested
+/// parens) into a clean diagnostic.
+pub const MAX_DEPTH: usize = 200;
+
+/// Parse error with a byte-range span into the source and a stable
+/// diagnostic code (`RL0001` syntax, `RL0002` nesting).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub message: String,
+    pub span: Span,
+    pub code: &'static str,
+}
+
+impl ParseError {
+    pub fn syntax(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            code: crate::diag::codes::SYNTAX,
+        }
+    }
+
+    pub fn nesting(span: Span) -> Self {
+        ParseError {
+            message: format!("expression nesting exceeds {MAX_DEPTH} levels"),
+            span,
+            code: crate::diag::codes::NESTING,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error: {}", self.message)
+        if self.span.is_dummy() {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at {}: {}", self.span, self.message)
+        }
     }
 }
 
@@ -20,33 +50,48 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError {
-            message: e.to_string(),
-        }
+        ParseError::syntax(e.span(), e.to_string())
     }
 }
 
 /// Parse an expression source string into an AST.
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let end = Span::new(src.len(), src.len());
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        end,
+    };
     let expr = p.expression(0)?;
     if p.pos != p.tokens.len() {
-        return Err(ParseError {
-            message: format!("trailing tokens starting at {}", p.peek_desc()),
-        });
+        return Err(ParseError::syntax(
+            p.peek_span(),
+            format!("trailing tokens starting at {}", p.peek_desc()),
+        ));
     }
     Ok(expr)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    depth: usize,
+    /// Zero-width span at end of input, for "unexpected end" errors.
+    end: Span,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(self.end)
     }
 
     fn peek_desc(&self) -> String {
@@ -55,7 +100,7 @@ impl Parser {
             .unwrap_or_else(|| "<end>".to_owned())
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn next(&mut self) -> Option<SpannedToken> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -63,15 +108,27 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+    fn expect(&mut self, want: &Token) -> Result<Span, ParseError> {
+        let at = self.peek_span();
         match self.next() {
-            Some(t) if &t == want => Ok(()),
-            got => Err(ParseError {
-                message: format!(
+            Some(t) if &t.token == want => Ok(t.span),
+            got => Err(ParseError::syntax(
+                at,
+                format!(
                     "expected {want}, got {}",
-                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                    got.map(|t| t.token.to_string())
+                        .unwrap_or_else(|| "<end>".into())
                 ),
-            }),
+            )),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(ParseError::nesting(self.peek_span()))
+        } else {
+            Ok(())
         }
     }
 
@@ -96,6 +153,13 @@ impl Parser {
 
     /// Precedence climbing.
     fn expression(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.expression_inner(min_prec);
+        self.depth -= 1;
+        result
+    }
+
+    fn expression_inner(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
         while let Some(op) = self.peek().and_then(Self::binop_of) {
             let prec = op.precedence();
@@ -105,20 +169,40 @@ impl Parser {
             self.next();
             // left-associative: parse the rhs at prec+1
             let rhs = self.expression(prec + 1)?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
             Some(Token::Not) => {
+                let start = self.peek_span();
                 self.next();
-                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+                let operand = self.unary()?;
+                let span = start.to(operand.span);
+                Ok(Expr::new(
+                    ExprKind::Unary(UnOp::Not, Box::new(operand)),
+                    span,
+                ))
             }
             Some(Token::Minus) => {
+                let start = self.peek_span();
                 self.next();
-                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+                let operand = self.unary()?;
+                let span = start.to(operand.span);
+                Ok(Expr::new(
+                    ExprKind::Unary(UnOp::Neg, Box::new(operand)),
+                    span,
+                ))
             }
             _ => self.postfix(),
         }
@@ -131,25 +215,33 @@ impl Parser {
             match self.peek() {
                 Some(Token::Dot) => {
                     self.next();
+                    let at = self.peek_span();
                     match self.next() {
-                        Some(Token::Ident(name)) => {
-                            e = Expr::Member(Box::new(e), name);
+                        Some(SpannedToken {
+                            token: Token::Ident(name),
+                            span,
+                        }) => {
+                            let full = e.span.to(span);
+                            e = Expr::new(ExprKind::Member(Box::new(e), name), full);
                         }
                         got => {
-                            return Err(ParseError {
-                                message: format!(
+                            return Err(ParseError::syntax(
+                                at,
+                                format!(
                                     "expected member name after '.', got {}",
-                                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                                    got.map(|t| t.token.to_string())
+                                        .unwrap_or_else(|| "<end>".into())
                                 ),
-                            })
+                            ))
                         }
                     }
                 }
                 Some(Token::LBracket) => {
                     self.next();
                     let index = self.expression(0)?;
-                    self.expect(&Token::RBracket)?;
-                    e = Expr::Index(Box::new(e), Box::new(index));
+                    let close = self.expect(&Token::RBracket)?;
+                    let full = e.span.to(close);
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(index)), full);
                 }
                 _ => break,
             }
@@ -158,12 +250,28 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let at = self.peek_span();
         match self.next() {
-            Some(Token::Num(x)) => Ok(Expr::Num(x)),
-            Some(Token::Str(s)) => Ok(Expr::Str(s)),
-            Some(Token::Bool(b)) => Ok(Expr::Bool(b)),
-            Some(Token::Null) => Ok(Expr::Null),
-            Some(Token::Ident(name)) => {
+            Some(SpannedToken {
+                token: Token::Num(x),
+                span,
+            }) => Ok(Expr::new(ExprKind::Num(x), span)),
+            Some(SpannedToken {
+                token: Token::Str(s),
+                span,
+            }) => Ok(Expr::new(ExprKind::Str(s), span)),
+            Some(SpannedToken {
+                token: Token::Bool(b),
+                span,
+            }) => Ok(Expr::new(ExprKind::Bool(b), span)),
+            Some(SpannedToken {
+                token: Token::Null,
+                span,
+            }) => Ok(Expr::new(ExprKind::Null, span)),
+            Some(SpannedToken {
+                token: Token::Ident(name),
+                span,
+            }) => {
                 if self.peek() == Some(&Token::LParen) {
                     self.next();
                     let mut args = Vec::new();
@@ -178,23 +286,30 @@ impl Parser {
                             }
                         }
                     }
-                    self.expect(&Token::RParen)?;
-                    Ok(Expr::Call(name, args))
+                    let close = self.expect(&Token::RParen)?;
+                    Ok(Expr::new(ExprKind::Call(name, args), span.to(close)))
                 } else {
-                    Ok(Expr::Ident(name))
+                    Ok(Expr::new(ExprKind::Ident(name), span))
                 }
             }
-            Some(Token::LParen) => {
+            Some(SpannedToken {
+                token: Token::LParen,
+                span,
+            }) => {
                 let e = self.expression(0)?;
-                self.expect(&Token::RParen)?;
-                Ok(e)
+                let close = self.expect(&Token::RParen)?;
+                // Keep the inner node but widen its span to the parens, so
+                // diagnostics on `(x)` underline the whole group.
+                Ok(Expr::new(e.kind, span.to(close)))
             }
-            got => Err(ParseError {
-                message: format!(
+            got => Err(ParseError::syntax(
+                at,
+                format!(
                     "expected expression, got {}",
-                    got.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                    got.map(|t| t.token.to_string())
+                        .unwrap_or_else(|| "<end>".into())
                 ),
-            }),
+            )),
         }
     }
 }
@@ -202,33 +317,40 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{BinOp, Expr, UnOp};
+    use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+
+    fn b(kind: ExprKind) -> Box<Expr> {
+        Box::new(Expr::from(kind))
+    }
 
     #[test]
     fn parse_listing1_when() {
         let e = parse(r#"metrics["r2"] <= 0.9"#).unwrap();
         assert_eq!(
             e,
-            Expr::Binary(
+            Expr::from(ExprKind::Binary(
                 BinOp::Le,
-                Box::new(Expr::Index(
-                    Box::new(Expr::Ident("metrics".into())),
-                    Box::new(Expr::Str("r2".into())),
+                b(ExprKind::Index(
+                    b(ExprKind::Ident("metrics".into())),
+                    b(ExprKind::Str("r2".into())),
                 )),
-                Box::new(Expr::Num(0.9)),
-            )
+                b(ExprKind::Num(0.9)),
+            ))
         );
     }
 
     #[test]
     fn parse_listing2_when() {
         let e = parse("metrics.bias <= 0.1 && metrics.bias >= -0.1").unwrap();
-        match e {
-            Expr::Binary(BinOp::And, l, r) => {
-                assert!(matches!(*l, Expr::Binary(BinOp::Le, _, _)));
-                match *r {
-                    Expr::Binary(BinOp::Ge, _, neg) => {
-                        assert_eq!(*neg, Expr::Unary(UnOp::Neg, Box::new(Expr::Num(0.1))));
+        match e.kind {
+            ExprKind::Binary(BinOp::And, l, r) => {
+                assert!(matches!(l.kind, ExprKind::Binary(BinOp::Le, _, _)));
+                match r.kind {
+                    ExprKind::Binary(BinOp::Ge, _, neg) => {
+                        assert_eq!(
+                            *neg,
+                            Expr::from(ExprKind::Unary(UnOp::Neg, b(ExprKind::Num(0.1))))
+                        );
                     }
                     other => panic!("unexpected rhs {other:?}"),
                 }
@@ -241,15 +363,15 @@ mod tests {
     fn precedence_and_parens() {
         // a || b && c parses as a || (b && c)
         let e = parse("a || b && c").unwrap();
-        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Or, _, _)));
         // (a || b) && c
         let e = parse("(a || b) && c").unwrap();
-        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::And, _, _)));
         // arithmetic binds tighter than comparison
         let e = parse("1 + 2 * 3 < 10").unwrap();
-        match e {
-            Expr::Binary(BinOp::Lt, l, _) => {
-                assert!(matches!(*l, Expr::Binary(BinOp::Add, _, _)));
+        match e.kind {
+            ExprKind::Binary(BinOp::Lt, l, _) => {
+                assert!(matches!(l.kind, ExprKind::Binary(BinOp::Add, _, _)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -259,10 +381,10 @@ mod tests {
     fn left_associativity() {
         // 10 - 3 - 2 == (10 - 3) - 2
         let e = parse("10 - 3 - 2").unwrap();
-        match e {
-            Expr::Binary(BinOp::Sub, l, r) => {
-                assert!(matches!(*l, Expr::Binary(BinOp::Sub, _, _)));
-                assert_eq!(*r, Expr::Num(2.0));
+        match e.kind {
+            ExprKind::Binary(BinOp::Sub, l, r) => {
+                assert!(matches!(l.kind, ExprKind::Binary(BinOp::Sub, _, _)));
+                assert_eq!(*r, Expr::from(ExprKind::Num(2.0)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -273,18 +395,18 @@ mod tests {
         let e = parse("a.b.c").unwrap();
         assert_eq!(
             e,
-            Expr::Member(
-                Box::new(Expr::Member(Box::new(Expr::Ident("a".into())), "b".into())),
+            Expr::from(ExprKind::Member(
+                b(ExprKind::Member(b(ExprKind::Ident("a".into())), "b".into())),
                 "c".into()
-            )
+            ))
         );
     }
 
     #[test]
     fn call_with_args() {
         let e = parse("max(metrics.mae, 0.5)").unwrap();
-        match e {
-            Expr::Call(name, args) => {
+        match e.kind {
+            ExprKind::Call(name, args) => {
                 assert_eq!(name, "max");
                 assert_eq!(args.len(), 2);
             }
@@ -296,7 +418,7 @@ mod tests {
     fn selection_comparator_parses() {
         // Listing 1's MODEL_SELECTION comparator.
         let e = parse("a.created_time > b.created_time").unwrap();
-        assert!(matches!(e, Expr::Binary(BinOp::Gt, _, _)));
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Gt, _, _)));
     }
 
     #[test]
@@ -313,6 +435,67 @@ mod tests {
     #[test]
     fn not_operator() {
         let e = parse("!deployed && !(a || b)").unwrap();
-        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let src = "metrics.bias <= 0.1 && metrics.bias >= -0.1";
+        let e = parse(src).unwrap();
+        assert_eq!(e.span.slice(src).unwrap(), src);
+        match &e.kind {
+            ExprKind::Binary(BinOp::And, l, r) => {
+                assert_eq!(l.span.slice(src).unwrap(), "metrics.bias <= 0.1");
+                assert_eq!(r.span.slice(src).unwrap(), "metrics.bias >= -0.1");
+                match &l.kind {
+                    ExprKind::Binary(BinOp::Le, lhs, rhs) => {
+                        assert_eq!(lhs.span.slice(src).unwrap(), "metrics.bias");
+                        assert_eq!(rhs.span.slice(src).unwrap(), "0.1");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paren_group_span_includes_parens() {
+        let src = "!(a || b)";
+        let e = parse(src).unwrap();
+        match &e.kind {
+            ExprKind::Unary(UnOp::Not, inner) => {
+                assert_eq!(inner.span.slice(src).unwrap(), "(a || b)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_spans_locate_problem() {
+        let err = parse("a && ").unwrap_err();
+        assert_eq!(err.span, Span::new(5, 5), "points at end of input");
+        let err = parse("metrics. > 1").unwrap_err();
+        assert_eq!(err.span.slice("metrics. > 1").unwrap(), ">");
+    }
+
+    #[test]
+    fn deeply_nested_parens_error_instead_of_overflowing() {
+        let depth = 10_000;
+        let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse(&src).unwrap_err();
+        assert_eq!(err.code, crate::diag::codes::NESTING);
+        assert!(err.message.contains("nesting"), "message: {}", err.message);
+        // Deep unary chains are guarded too.
+        let src = format!("{}x", "!".repeat(depth));
+        let err = parse(&src).unwrap_err();
+        assert_eq!(err.code, crate::diag::codes::NESTING);
+    }
+
+    #[test]
+    fn realistic_nesting_is_fine() {
+        let depth = 64;
+        let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse(&src).is_ok());
     }
 }

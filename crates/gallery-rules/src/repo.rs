@@ -7,8 +7,9 @@
 //! every rule file is validated (compiled) before it can be committed, and
 //! commits require a reviewer distinct from the author.
 
+use crate::analyze::{analyze_rule, analyze_rule_set};
 use crate::error::EngineError;
-use crate::rule::CompiledRule;
+use crate::rule::{CompiledRule, RuleDoc};
 use gallery_store::blob::checksum::crc32;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -45,9 +46,18 @@ impl RuleRepo {
     }
 
     /// Validate rule JSON without committing — the "test framework to
-    /// validate each rule before it can impact production".
+    /// validate each rule before it can impact production". Compilation
+    /// catches malformed documents; the static analyzer then rejects
+    /// error-severity findings (typos, type errors, impossible conditions).
     pub fn validate(content: &str) -> Result<CompiledRule, EngineError> {
-        CompiledRule::from_json(content).map_err(EngineError::from)
+        let compiled = CompiledRule::from_json(content).map_err(EngineError::from)?;
+        let doc: RuleDoc = serde_json::from_str(content)
+            .map_err(|e| EngineError::Rule(format!("invalid rule JSON: {e}")))?;
+        let report = analyze_rule(&doc);
+        if report.has_errors() {
+            return Err(EngineError::Lint(report.render()));
+        }
+        Ok(compiled)
     }
 
     /// Commit a set of changes. Every added/updated file must be valid rule
@@ -86,6 +96,29 @@ impl RuleRepo {
                         )));
                     }
                 }
+            }
+        }
+        // Set-level analysis over the post-commit state: the commit may not
+        // introduce duplicate ids, shadowed rules, or contradictory actions.
+        {
+            let mut post = self.inner.read().files.clone();
+            for (path, content) in &changes {
+                match content {
+                    Some(json) => {
+                        post.insert(path.clone(), json.clone());
+                    }
+                    None => {
+                        post.remove(path);
+                    }
+                }
+            }
+            let docs: Vec<RuleDoc> = post
+                .values()
+                .filter_map(|json| serde_json::from_str(json).ok())
+                .collect();
+            let set_report = analyze_rule_set(&docs);
+            if set_report.has_errors() {
+                return Err(EngineError::Lint(set_report.render()));
             }
         }
         let mut inner = self.inner.write();

@@ -5,8 +5,55 @@
 //! rules use (Listings 1–2): identifiers, member access (`metrics.bias`),
 //! bracket indexing (`metrics["r2"]`), string/number/bool literals,
 //! comparison, boolean, and arithmetic operators, and function calls.
+//!
+//! Every token carries a byte-range [`Span`] into the source string; the
+//! parser threads spans into AST nodes so parse/eval/lint diagnostics can
+//! point at the offending text.
 
 use std::fmt;
+
+/// A byte range into an expression source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    /// A span that points nowhere (used for synthesized nodes and
+    /// rule-set-level diagnostics that have no single source location).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+
+    /// The spanned slice of `src`, if in bounds on a char boundary.
+    pub fn slice(self, src: &str) -> Option<&str> {
+        src.get(self.start as usize..self.end as usize)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
 
 /// One lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,11 +119,25 @@ impl fmt::Display for Token {
     }
 }
 
+/// A token plus the byte range of source text it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub span: Span,
+}
+
 /// Lexing error with byte position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
     pub position: usize,
     pub message: String,
+}
+
+impl LexError {
+    /// The error position as a one-byte span.
+    pub fn span(&self) -> Span {
+        Span::new(self.position, self.position + 1)
+    }
 }
 
 impl fmt::Display for LexError {
@@ -88,63 +149,69 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 /// Tokenize an expression source string.
-pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
     let bytes = src.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0usize;
+    let push = |token: Token, start: usize, end: usize, tokens: &mut Vec<SpannedToken>| {
+        tokens.push(SpannedToken {
+            token,
+            span: Span::new(start, end),
+        });
+    };
     while i < bytes.len() {
         let b = bytes[i];
         match b {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'(' => {
-                tokens.push(Token::LParen);
+                push(Token::LParen, i, i + 1, &mut tokens);
                 i += 1;
             }
             b')' => {
-                tokens.push(Token::RParen);
+                push(Token::RParen, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'[' => {
-                tokens.push(Token::LBracket);
+                push(Token::LBracket, i, i + 1, &mut tokens);
                 i += 1;
             }
             b']' => {
-                tokens.push(Token::RBracket);
+                push(Token::RBracket, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'.' => {
                 // Could be a leading-dot number like ".5"? Not supported:
                 // always member access.
-                tokens.push(Token::Dot);
+                push(Token::Dot, i, i + 1, &mut tokens);
                 i += 1;
             }
             b',' => {
-                tokens.push(Token::Comma);
+                push(Token::Comma, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token::Plus);
+                push(Token::Plus, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token::Minus);
+                push(Token::Minus, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token::Star);
+                push(Token::Star, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token::Slash);
+                push(Token::Slash, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'%' => {
-                tokens.push(Token::Percent);
+                push(Token::Percent, i, i + 1, &mut tokens);
                 i += 1;
             }
             b'=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::EqEq);
+                    push(Token::EqEq, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -155,34 +222,34 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::NotEq);
+                    push(Token::NotEq, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
-                    tokens.push(Token::Not);
+                    push(Token::Not, i, i + 1, &mut tokens);
                     i += 1;
                 }
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Le);
+                    push(Token::Le, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
-                    tokens.push(Token::Lt);
+                    push(Token::Lt, i, i + 1, &mut tokens);
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Ge);
+                    push(Token::Ge, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
-                    tokens.push(Token::Gt);
+                    push(Token::Gt, i, i + 1, &mut tokens);
                     i += 1;
                 }
             }
             b'&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token::AndAnd);
+                    push(Token::AndAnd, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -193,7 +260,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token::OrOr);
+                    push(Token::OrOr, i, i + 2, &mut tokens);
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -253,7 +320,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token::Str(s));
+                push(Token::Str(s), start, i, &mut tokens);
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -272,7 +339,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     position: start,
                     message: format!("bad number: {text}"),
                 })?;
-                tokens.push(Token::Num(value));
+                push(Token::Num(value), start, i, &mut tokens);
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
@@ -280,7 +347,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let word = &src[start..i];
-                tokens.push(match word {
+                let token = match word {
                     "true" => Token::Bool(true),
                     "false" => Token::Bool(false),
                     "null" => Token::Null,
@@ -294,7 +361,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "gt" => Token::Gt,
                     "ge" => Token::Ge,
                     _ => Token::Ident(word.to_owned()),
-                });
+                };
+                push(token, start, i, &mut tokens);
             }
             other => {
                 return Err(LexError {
@@ -320,9 +388,13 @@ fn utf8_len(first: u8) -> usize {
 mod tests {
     use super::*;
 
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
     #[test]
     fn lex_listing1_given() {
-        let tokens = lex(r#"modelName == "linear_regression" && model_domain == "UberX""#).unwrap();
+        let tokens = toks(r#"modelName == "linear_regression" && model_domain == "UberX""#);
         assert_eq!(
             tokens,
             vec![
@@ -339,7 +411,7 @@ mod tests {
 
     #[test]
     fn lex_bracket_metric_access() {
-        let tokens = lex(r#"metrics["r2"] <= 0.9"#).unwrap();
+        let tokens = toks(r#"metrics["r2"] <= 0.9"#);
         assert_eq!(
             tokens,
             vec![
@@ -355,7 +427,7 @@ mod tests {
 
     #[test]
     fn lex_dotted_and_negative() {
-        let tokens = lex("metrics.bias >= -0.1").unwrap();
+        let tokens = toks("metrics.bias >= -0.1");
         assert_eq!(
             tokens,
             vec![
@@ -371,7 +443,7 @@ mod tests {
 
     #[test]
     fn lex_word_operators() {
-        let tokens = lex("a and b or not c").unwrap();
+        let tokens = toks("a and b or not c");
         assert_eq!(
             tokens,
             vec![
@@ -387,7 +459,7 @@ mod tests {
 
     #[test]
     fn lex_single_quotes_and_escapes() {
-        let tokens = lex(r#"'New\'s' + "tab\t""#).unwrap();
+        let tokens = toks(r#"'New\'s' + "tab\t""#);
         assert_eq!(
             tokens,
             vec![
@@ -409,14 +481,43 @@ mod tests {
     #[test]
     fn lex_number_member_boundary() {
         // `5.max` must not parse "5." as a number prefix
-        let tokens = lex("5.abs()").unwrap();
+        let tokens = toks("5.abs()");
         assert_eq!(tokens[0], Token::Num(5.0));
         assert_eq!(tokens[1], Token::Dot);
     }
 
     #[test]
     fn lex_unicode_in_strings() {
-        let tokens = lex(r#""münchen""#).unwrap();
+        let tokens = toks(r#""münchen""#);
         assert_eq!(tokens, vec![Token::Str("münchen".into())]);
+    }
+
+    #[test]
+    fn spans_cover_source_bytes() {
+        let src = r#"metrics.bias <= 0.125"#;
+        let tokens = lex(src).unwrap();
+        let slices: Vec<&str> = tokens.iter().map(|t| t.span.slice(src).unwrap()).collect();
+        assert_eq!(slices, vec!["metrics", ".", "bias", "<=", "0.125"]);
+        // Spans are monotonically increasing and within bounds.
+        for w in tokens.windows(2) {
+            assert!(w[0].span.end <= w[1].span.start);
+        }
+        assert_eq!(tokens.last().unwrap().span.end as usize, src.len());
+    }
+
+    #[test]
+    fn string_spans_include_quotes() {
+        let src = r#"name == "UberX""#;
+        let tokens = lex(src).unwrap();
+        assert_eq!(tokens[2].span.slice(src).unwrap(), r#""UberX""#);
+    }
+
+    #[test]
+    fn span_merge_and_slice() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert!(Span::DUMMY.is_dummy());
     }
 }

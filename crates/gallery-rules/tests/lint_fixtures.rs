@@ -1,0 +1,397 @@
+//! Fixture corpus for the rule-language static analyzer: at least one
+//! minimal rule or expression per diagnostic code, asserting the exact
+//! code and source span, plus a clean production-like rule set asserting
+//! zero findings.
+//!
+//! `tests/diagnostic_catalog.rs` (workspace level) cross-checks that every
+//! code in `gallery_rules::codes::ALL` appears both here and in
+//! `docs/rule-language.md`, so adding a diagnostic without a fixture and a
+//! doc entry fails CI.
+
+#![allow(clippy::disallowed_methods)]
+
+use gallery_rules::{
+    analyze_condition, analyze_expr_src, analyze_rule, analyze_rule_json, analyze_rule_set, codes,
+    ContextSchema, Finding, RuleDoc, Severity,
+};
+
+fn lint_when(src: &str) -> Vec<Finding> {
+    analyze_expr_src("WHEN", src, &ContextSchema::instance_rules())
+}
+
+fn action_rule(uuid: &str, given: &str, when: &str, actions: &[&str]) -> RuleDoc {
+    serde_json::from_str(&format!(
+        r#"{{
+            "team": "forecasting",
+            "uuid": {uuid:?},
+            "rule": {{
+                "GIVEN": {given:?},
+                "WHEN": {when:?},
+                "ENVIRONMENT": "production",
+                "CALLBACK_ACTIONS": {actions:?}
+            }}
+        }}"#
+    ))
+    .unwrap()
+}
+
+// --- RL00xx: syntax and document shape -----------------------------------
+
+#[test]
+fn rl0001_syntax_error() {
+    let src = "metrics.bias <=";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0001");
+    assert_eq!(findings[0].diag.code, codes::SYNTAX);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+}
+
+#[test]
+fn rl0002_nesting_too_deep() {
+    let src = format!("{}true{}", "(".repeat(300), ")".repeat(300));
+    let findings = lint_when(&src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0002");
+    assert_eq!(findings[0].diag.code, codes::NESTING);
+}
+
+#[test]
+fn rl0003_bad_document() {
+    let report = analyze_rule_json("{ not json");
+    assert_eq!(report.codes(), vec!["RL0003"]);
+    assert_eq!(report.codes(), vec![codes::BAD_DOCUMENT]);
+    // Shape violations use the same code: a rule with both kinds.
+    let mut doc = gallery_rules::rule::listing1_selection_rule();
+    doc.rule.callback_actions = vec!["x".into()];
+    assert!(analyze_rule(&doc).codes().contains(&codes::BAD_DOCUMENT));
+}
+
+// --- RL01xx: name resolution ---------------------------------------------
+
+#[test]
+fn rl0101_unknown_identifier_warns() {
+    let src = "custom_business_tag == \"x\"";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0101");
+    assert_eq!(findings[0].diag.code, codes::UNKNOWN_IDENT);
+    assert_eq!(findings[0].diag.severity, Severity::Warning);
+    assert_eq!(
+        findings[0].diag.span.slice(src),
+        Some("custom_business_tag")
+    );
+}
+
+#[test]
+fn rl0102_identifier_typo_is_an_error() {
+    let src = "modelNmae == \"Random Forest\"";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0102");
+    assert_eq!(findings[0].diag.code, codes::IDENT_TYPO);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+    assert_eq!(findings[0].diag.span.slice(src), Some("modelNmae"));
+    assert!(findings[0]
+        .diag
+        .help
+        .as_deref()
+        .unwrap()
+        .contains("modelName"));
+    // Metric-name typos resolve against the metric catalog.
+    let src = "metrics.acuracy > 0.9";
+    let findings = lint_when(src);
+    assert_eq!(findings[0].diag.code, codes::IDENT_TYPO);
+    assert!(findings[0]
+        .diag
+        .help
+        .as_deref()
+        .unwrap()
+        .contains("accuracy"));
+}
+
+#[test]
+fn rl0103_unknown_function() {
+    let src = "abss(metrics.bias) < 1";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0103");
+    assert_eq!(findings[0].diag.code, codes::UNKNOWN_FUNCTION);
+    assert_eq!(findings[0].diag.span.slice(src), Some("abss(metrics.bias)"));
+}
+
+#[test]
+fn rl0104_bad_arity() {
+    let src = "abs(1, 2) > 0";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0104");
+    assert_eq!(findings[0].diag.code, codes::BAD_ARITY);
+    assert_eq!(findings[0].diag.span.slice(src), Some("abs(1, 2)"));
+}
+
+#[test]
+fn rl0105_member_of_scalar() {
+    let src = "modelName.length > 3";
+    let findings = lint_when(src);
+    assert!(findings.iter().any(|f| f.diag.code == "RL0105"));
+    let f = findings
+        .iter()
+        .find(|f| f.diag.code == codes::MEMBER_OF_SCALAR)
+        .unwrap();
+    assert_eq!(f.diag.severity, Severity::Warning);
+    assert_eq!(f.diag.span.slice(src), Some("modelName.length"));
+}
+
+// --- RL02xx: types --------------------------------------------------------
+
+#[test]
+fn rl0201_type_mismatch() {
+    let src = "metrics[\"r2\"] <= \"0.9\"";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0201");
+    assert_eq!(findings[0].diag.code, codes::TYPE_MISMATCH);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+    assert_eq!(findings[0].diag.span.slice(src), Some(src));
+}
+
+#[test]
+fn rl0202_non_boolean_condition() {
+    let src = "1 + 1";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0202");
+    assert_eq!(findings[0].diag.code, codes::NON_BOOLEAN_CONDITION);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+}
+
+#[test]
+fn rl0203_non_string_key() {
+    let src = "metrics[5] > 1";
+    let findings = lint_when(src);
+    assert_eq!(findings[0].diag.code, "RL0203");
+    assert_eq!(findings[0].diag.code, codes::NON_STRING_KEY);
+    assert_eq!(findings[0].diag.span.slice(src), Some("5"));
+}
+
+// --- RL03xx: abstract interpretation -------------------------------------
+
+#[test]
+fn rl0301_always_true() {
+    let src = "1 < 2";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0301");
+    assert_eq!(findings[0].diag.code, codes::ALWAYS_TRUE);
+    assert_eq!(findings[0].diag.severity, Severity::Warning);
+    assert_eq!(findings[0].diag.span.slice(src), Some(src));
+}
+
+#[test]
+fn rl0302_always_false_at_root_is_an_error() {
+    let src = "1 > 2";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0302");
+    assert_eq!(findings[0].diag.code, codes::ALWAYS_FALSE);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+    // Inside a disjunction it is only a dead branch.
+    let src = "metrics.bias > 0.1 || 1 > 2";
+    let f = lint_when(src);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].diag.code, codes::ALWAYS_FALSE);
+    assert_eq!(f[0].diag.severity, Severity::Warning);
+    assert_eq!(f[0].diag.span.slice(src), Some("1 > 2"));
+}
+
+#[test]
+fn rl0303_out_of_declared_range() {
+    let src = "metrics.auc > 1.5";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0303");
+    assert_eq!(findings[0].diag.code, codes::OUT_OF_RANGE);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+    assert_eq!(findings[0].diag.span.slice(src), Some(src));
+    // Vacuously-true range comparisons warn instead of erroring.
+    let src = "metrics.mae >= 0";
+    let f = lint_when(src);
+    assert_eq!(f[0].diag.code, codes::OUT_OF_RANGE);
+    assert_eq!(f[0].diag.severity, Severity::Warning);
+}
+
+#[test]
+fn rl0304_suspicious_scale() {
+    let src = "gallery_monitor_drift_score > 3000000";
+    let report = analyze_condition(src);
+    assert_eq!(report.codes(), vec!["RL0304"]);
+    assert_eq!(report.codes(), vec![codes::SUSPICIOUS_SCALE]);
+    let f = &report.findings[0];
+    assert_eq!(f.diag.severity, Severity::Warning);
+    assert_eq!(f.diag.span.slice(src), Some(src));
+    assert!(f.diag.help.as_deref().unwrap().contains('3'));
+}
+
+#[test]
+fn rl0305_division_by_possibly_zero() {
+    let src = "metrics.rmse / metrics.mae > 2";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0305");
+    assert_eq!(findings[0].diag.code, codes::DIV_BY_ZERO);
+    assert_eq!(findings[0].diag.severity, Severity::Warning);
+    assert_eq!(findings[0].diag.span.slice(src), Some("metrics.mae"));
+}
+
+#[test]
+fn rl0306_contradictory_bounds() {
+    let src = "metrics.bias > 0.5 && metrics.bias < 0.1";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0306");
+    assert_eq!(findings[0].diag.code, codes::CONTRADICTORY_BOUNDS);
+    assert_eq!(findings[0].diag.severity, Severity::Error);
+    assert_eq!(findings[0].diag.span.slice(src), Some("metrics.bias < 0.1"));
+}
+
+#[test]
+fn rl0307_redundant_comparison() {
+    // An inverted corridor: the author meant `<= 0.1 && >= -0.1` but
+    // flipped one comparison, leaving the second bound implied.
+    let src = "metrics.bias >= 0.1 && metrics.bias >= -0.1";
+    let findings = lint_when(src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].diag.code, "RL0307");
+    assert_eq!(findings[0].diag.code, codes::REDUNDANT_COMPARISON);
+    assert_eq!(findings[0].diag.severity, Severity::Warning);
+    assert_eq!(
+        findings[0].diag.span.slice(src),
+        Some("metrics.bias >= -0.1")
+    );
+}
+
+// --- RL04xx: rule-set analysis -------------------------------------------
+
+#[test]
+fn rl0401_shadowed_rule() {
+    let narrow = action_rule(
+        "narrow",
+        "model_domain == \"UberX\"",
+        "metrics.bias <= 0.05 && metrics.bias >= -0.05",
+        &["forecasting_deployment"],
+    );
+    let wide = action_rule(
+        "wide",
+        "model_domain == \"UberX\"",
+        "metrics.bias <= 0.1 && metrics.bias >= -0.1",
+        &["forecasting_deployment"],
+    );
+    let report = analyze_rule_set(&[narrow, wide]);
+    assert_eq!(report.codes(), vec!["RL0401"]);
+    assert_eq!(report.codes(), vec![codes::SHADOWED_RULE]);
+    let f = &report.findings[0];
+    assert_eq!(f.diag.severity, Severity::Warning);
+    assert!(f.origin.contains("wide"));
+}
+
+#[test]
+fn rl0402_contradictory_actions() {
+    let deploy = action_rule(
+        "deploy",
+        "model_domain == \"UberX\"",
+        "metrics.bias <= 0.1",
+        &["forecasting_deployment"],
+    );
+    let deprecate = action_rule(
+        "deprecate",
+        "model_domain == \"UberX\"",
+        "metrics.bias <= 0.2",
+        &["deprecate_instance"],
+    );
+    let report = analyze_rule_set(&[deploy, deprecate]);
+    assert_eq!(report.codes(), vec!["RL0402"]);
+    assert_eq!(report.codes(), vec![codes::CONTRADICTORY_ACTIONS]);
+    assert_eq!(report.findings[0].diag.severity, Severity::Error);
+    // Disjoint WHENs do not conflict.
+    let deploy = action_rule(
+        "deploy",
+        "model_domain == \"UberX\"",
+        "metrics.bias <= 0.1",
+        &["forecasting_deployment"],
+    );
+    let deprecate = action_rule(
+        "deprecate",
+        "model_domain == \"UberX\"",
+        "metrics.bias > 0.5",
+        &["deprecate_instance"],
+    );
+    assert!(analyze_rule_set(&[deploy, deprecate]).is_empty());
+}
+
+#[test]
+fn rl0403_unreachable_rule() {
+    let doc = action_rule(
+        "unreachable",
+        "model_domain == \"UberX\" && metrics.bias > 0.5",
+        "metrics.bias < 0.1",
+        &["forecasting_deployment"],
+    );
+    let report = analyze_rule(&doc);
+    assert_eq!(report.codes(), vec!["RL0403"]);
+    assert_eq!(report.codes(), vec![codes::UNREACHABLE_RULE]);
+    assert_eq!(report.findings[0].diag.severity, Severity::Error);
+    assert_eq!(report.findings[0].origin, "WHEN");
+}
+
+#[test]
+fn rl0404_duplicate_rule_id() {
+    let a = action_rule("same-id", "true", "metrics.bias <= 0.1", &["noop"]);
+    let b = action_rule("same-id", "true", "metrics.bias > 0.2", &["noop"]);
+    let report = analyze_rule_set(&[a, b]);
+    assert_eq!(report.codes(), vec!["RL0404"]);
+    assert_eq!(report.codes(), vec![codes::DUPLICATE_RULE_ID]);
+    assert_eq!(report.findings[0].diag.severity, Severity::Error);
+}
+
+// --- Clean corpus ---------------------------------------------------------
+
+/// A production-like rule set — the paper's Listing 1 and Listing 2 plus a
+/// retrained variant — lints clean, individually and as a set.
+#[test]
+fn production_like_rules_are_clean() {
+    let listing1 = gallery_rules::rule::listing1_selection_rule();
+    let listing2 = gallery_rules::rule::listing2_action_rule();
+    // A *tighter* retrained variant: not shadowed by Listing 1 (the wider
+    // earlier rule does not imply it).
+    let mut variant = gallery_rules::rule::listing1_selection_rule();
+    variant.uuid = "f1b2d5a3-0000-4c6e-9f00-000000000001".into();
+    variant.rule.when = "metrics[\"r2\"] <= 0.8".into();
+    assert!(
+        analyze_rule(&listing1).is_empty(),
+        "{}",
+        analyze_rule(&listing1)
+    );
+    assert!(
+        analyze_rule(&listing2).is_empty(),
+        "{}",
+        analyze_rule(&listing2)
+    );
+    let report = analyze_rule_set(&[listing1, listing2, variant]);
+    assert!(report.is_empty(), "expected clean set, got:\n{report}");
+}
+
+/// The alert conditions used across the workspace lint clean.
+#[test]
+fn production_like_alert_conditions_are_clean() {
+    for src in [
+        "gallery_monitor_drift_score > 3.0",
+        "gallery_monitor_staleness_ms > 60000",
+        "gallery_rpc_server_requests_total >= 1",
+        "gallery_monitor_feature_completeness < 0.9",
+        "gallery_monitor_drift_score > 3.0 && metrics.errs_total >= 2",
+    ] {
+        let report = analyze_condition(src);
+        assert!(report.is_empty(), "{src:?} should be clean, got:\n{report}");
+    }
+}

@@ -1,29 +1,42 @@
 //! Property tests for the rule expression language and rule documents.
 
-use gallery_rules::ast::{BinOp, Expr, UnOp};
+#![allow(clippy::disallowed_methods)]
+
+use gallery_rules::ast::{BinOp, Expr, ExprKind, UnOp};
 use gallery_rules::eval::{eval, EvalContext, EvalValue};
 use gallery_rules::parser::parse;
 use gallery_rules::rule::{CompiledRule, RuleBody, RuleDoc};
 use proptest::prelude::*;
 
-/// Generate random well-formed expressions together with a printer, so we
-/// can test parse(print(e)) == e.
+/// Generate random well-formed expressions. Numbers are non-negative
+/// (negative literals reparse as unary negation), identifiers avoid the
+/// reserved word operators, and strings stay in printable ASCII.
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        Just(Expr::Null),
-        any::<bool>().prop_map(Expr::Bool),
-        (0u32..1000).prop_map(|n| Expr::Num(n as f64)),
-        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Str),
-        "v[a-z0-9_]{0,8}".prop_map(Expr::Ident),
+        Just(Expr::from(ExprKind::Null)),
+        any::<bool>().prop_map(|b| Expr::from(ExprKind::Bool(b))),
+        (0u32..1000).prop_map(|n| Expr::from(ExprKind::Num(n as f64))),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| Expr::from(ExprKind::Str(s))),
+        "v[a-z0-9_]{0,8}".prop_map(|s| Expr::from(ExprKind::Ident(s))),
     ];
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), "v[a-z0-9_]{0,6}").prop_map(|(e, f)| Expr::Member(Box::new(e), f)),
-            (inner.clone(), "[a-z][a-z0-9_]{0,6}")
-                .prop_map(|(e, k)| Expr::Index(Box::new(e), Box::new(Expr::Str(k)))),
+            (inner.clone(), "v[a-z0-9_]{0,6}")
+                .prop_map(|(e, f)| Expr::from(ExprKind::Member(Box::new(e), f))),
+            (inner.clone(), "[a-z][a-z0-9_]{0,6}").prop_map(|(e, k)| {
+                Expr::from(ExprKind::Index(
+                    Box::new(e),
+                    Box::new(Expr::from(ExprKind::Str(k))),
+                ))
+            }),
+            (
+                "v[a-z0-9_]{0,6}",
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(name, args)| Expr::from(ExprKind::Call(name, args))),
             inner
                 .clone()
-                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+                .prop_map(|e| Expr::from(ExprKind::Unary(UnOp::Not, Box::new(e)))),
             (
                 prop_oneof![
                     Just(BinOp::Or),
@@ -42,50 +55,49 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 inner.clone(),
                 inner,
             )
-                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+                .prop_map(|(op, l, r)| {
+                    Expr::from(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+                }),
         ]
     })
 }
 
 /// Print an expression fully parenthesized (unambiguous).
 fn print(expr: &Expr) -> String {
-    match expr {
-        Expr::Null => "null".into(),
-        Expr::Bool(b) => b.to_string(),
-        Expr::Num(x) => format!("{x}"),
-        Expr::Str(s) => format!("{s:?}"),
-        Expr::Ident(name) => name.clone(),
-        Expr::Member(base, field) => format!("({}).{field}", print(base)),
-        Expr::Index(base, key) => format!("({})[{}]", print(base), print(key)),
-        Expr::Call(name, args) => format!(
+    match &expr.kind {
+        ExprKind::Null => "null".into(),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Num(x) => format!("{x}"),
+        ExprKind::Str(s) => format!("{s:?}"),
+        ExprKind::Ident(name) => name.clone(),
+        ExprKind::Member(base, field) => format!("({}).{field}", print(base)),
+        ExprKind::Index(base, key) => format!("({})[{}]", print(base), print(key)),
+        ExprKind::Call(name, args) => format!(
             "{name}({})",
             args.iter().map(print).collect::<Vec<_>>().join(", ")
         ),
-        Expr::Unary(UnOp::Not, e) => format!("!({})", print(e)),
-        Expr::Unary(UnOp::Neg, e) => format!("-({})", print(e)),
-        Expr::Binary(op, l, r) => format!("({}) {op} ({})", print(l), print(r)),
-    }
-}
-
-/// Structural equality modulo the parenthesization that `print` inserts.
-fn normalize(expr: &Expr) -> Expr {
-    match expr {
-        Expr::Member(base, f) => Expr::Member(Box::new(normalize(base)), f.clone()),
-        Expr::Index(base, k) => Expr::Index(Box::new(normalize(base)), Box::new(normalize(k))),
-        Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(normalize).collect()),
-        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(normalize(e))),
-        Expr::Binary(op, l, r) => Expr::Binary(*op, Box::new(normalize(l)), Box::new(normalize(r))),
-        other => other.clone(),
+        ExprKind::Unary(UnOp::Not, e) => format!("!({})", print(e)),
+        ExprKind::Unary(UnOp::Neg, e) => format!("-({})", print(e)),
+        ExprKind::Binary(op, l, r) => format!("({}) {op} ({})", print(l), print(r)),
     }
 }
 
 proptest! {
-    /// parse ∘ print is the identity on ASTs.
+    /// parse ∘ print is the identity on ASTs (Expr equality ignores spans).
     #[test]
     fn parse_print_roundtrip(expr in arb_expr()) {
         let src = print(&expr);
         let parsed = parse(&src).unwrap_or_else(|e| panic!("printed {src:?} failed: {e}"));
-        prop_assert_eq!(normalize(&parsed), normalize(&expr), "src: {}", src);
+        prop_assert_eq!(&parsed, &expr, "src: {}", src);
+    }
+
+    /// The pretty-printer (`Display`, minimal parentheses) also round-trips:
+    /// parse(to_string(e)) == e.
+    #[test]
+    fn parse_pretty_print_roundtrip(expr in arb_expr()) {
+        let src = expr.to_string();
+        let parsed = parse(&src).unwrap_or_else(|e| panic!("pretty {src:?} failed: {e}"));
+        prop_assert_eq!(&parsed, &expr, "src: {}", src);
     }
 
     /// Evaluation is deterministic and never panics over random

@@ -7,7 +7,7 @@
 //! [`GalleryClient::insert_metric`], and [`GalleryClient::model_query`].
 
 use crate::messages::{
-    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
+    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireDiagnostic,
 };
 use crate::resilience::Resilience;
 use crate::transport::{Transport, TransportErrorKind};
@@ -533,6 +533,19 @@ impl GalleryClient {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Run the server-side rule static analyzer without registering
+    /// anything. `kind` is `"condition"`, `"rule"`, or `"rules"`; the
+    /// returned diagnostics are empty when the content is clean.
+    pub fn validate(&self, kind: &str, content: &str) -> Result<Vec<WireDiagnostic>, ClientError> {
+        match self.call(Request::Validate {
+            kind: kind.into(),
+            content: content.into(),
+        })? {
+            Response::Diagnostics(list) => Ok(list),
+            other => Err(Self::unexpected(other)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -676,5 +689,41 @@ mod tests {
         let health = client.health_report(&inst.id).unwrap();
         assert_eq!(health.reproducibility_score, 0.0);
         assert_eq!(health.missing_fields.len(), 6);
+    }
+
+    #[test]
+    fn validate_via_client_reports_diagnostics() {
+        let (client, _cluster) = client();
+        // Clean condition: no findings.
+        assert!(client
+            .validate("condition", "gallery_monitor_drift_score > 3.0")
+            .unwrap()
+            .is_empty());
+        // Raw-gauge threshold against a descaled binding: warning.
+        let diags = client
+            .validate("condition", "gallery_monitor_drift_score > 3000000")
+            .unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL0304");
+        assert!(!diags[0].is_error());
+        // Ill-typed rule document: error-severity findings with spans.
+        let rule = r#"{
+            "team": "t", "uuid": "u",
+            "rule": {
+                "GIVEN": "modelNmae == \"x\"",
+                "WHEN": "metrics[\"r2\"] <= 0.9",
+                "ENVIRONMENT": "production",
+                "CALLBACK_ACTIONS": ["noop"]
+            }
+        }"#;
+        let diags = client.validate("rule", rule).unwrap();
+        assert!(diags.iter().any(|d| d.code == "RL0102" && d.is_error()));
+        let typo = diags.iter().find(|d| d.code == "RL0102").unwrap();
+        assert_eq!(
+            &typo.source[typo.start as usize..typo.end as usize],
+            "modelNmae"
+        );
+        // Unknown kind is an invalid request, not a transport failure.
+        assert!(client.validate("nonsense", "true").is_err());
     }
 }

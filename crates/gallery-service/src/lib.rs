@@ -35,7 +35,7 @@ pub use gallery_telemetry as telemetry;
 pub use client::{ClientError, GalleryClient};
 pub use messages::{
     DecodedRequest, ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
-    WireOp, WireValue,
+    WireDiagnostic, WireOp, WireValue,
 };
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Resilience, ResilienceStats, RetryPolicy,

@@ -217,6 +217,15 @@ pub enum Request {
     Probe {
         section: String,
     },
+    /// Author-time validation: run the rule-language static analyzer over
+    /// `content` without registering anything. `kind` selects the schema —
+    /// `"condition"` (alert condition expression), `"rule"` (one rule JSON
+    /// document), or `"rules"` (JSON array of rule documents, with
+    /// set-level analysis).
+    Validate {
+        kind: String,
+        content: String,
+    },
 }
 
 /// Frame tag of the idempotency-key envelope. Tag 0 was never a valid
@@ -267,6 +276,7 @@ impl Request {
             Request::TriggerRule { .. } => 21,
             Request::HealthReport { .. } => 22,
             Request::Probe { .. } => 23,
+            Request::Validate { .. } => 24,
         }
     }
 
@@ -297,6 +307,7 @@ impl Request {
             Request::TriggerRule { .. } => "triggerRule",
             Request::HealthReport { .. } => "healthReport",
             Request::Probe { .. } => "probe",
+            Request::Validate { .. } => "validate",
         }
     }
 
@@ -451,6 +462,10 @@ impl Request {
                 w.put_str(instance_id);
             }
             Request::Probe { section } => w.put_str(section),
+            Request::Validate { kind, content } => {
+                w.put_str(kind);
+                w.put_str(content);
+            }
         }
     }
 
@@ -599,6 +614,10 @@ impl Request {
             },
             23 => Request::Probe {
                 section: r.get_str()?,
+            },
+            24 => Request::Validate {
+                kind: r.get_str()?,
+                content: r.get_str()?,
             },
             other => return Err(WireError::new(format!("bad request tag {other}"))),
         };
@@ -752,6 +771,54 @@ impl HealthDto {
     }
 }
 
+/// One static-analysis finding on the wire (see `gallery_rules::diag`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDiagnostic {
+    /// Clause/file the diagnostic refers to ("WHEN", "condition", ...).
+    pub origin: String,
+    /// The analyzed source text the byte span indexes into.
+    pub source: String,
+    /// Stable diagnostic code, e.g. "RL0102".
+    pub code: String,
+    /// 0 = warning, 1 = error.
+    pub severity: u8,
+    /// Byte span into `source`.
+    pub start: u32,
+    pub end: u32,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl WireDiagnostic {
+    pub fn is_error(&self) -> bool {
+        self.severity == 1
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.origin);
+        w.put_str(&self.source);
+        w.put_str(&self.code);
+        w.put_u8(self.severity);
+        w.put_uvarint(u64::from(self.start));
+        w.put_uvarint(u64::from(self.end));
+        w.put_str(&self.message);
+        w.put_opt_str(self.help.as_deref());
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(WireDiagnostic {
+            origin: r.get_str()?,
+            source: r.get_str()?,
+            code: r.get_str()?,
+            severity: r.get_u8()?,
+            start: r.get_uvarint()? as u32,
+            end: r.get_uvarint()? as u32,
+            message: r.get_str()?,
+            help: r.get_opt_str()?,
+        })
+    }
+}
+
 /// Error codes carried by [`Response::Err`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -794,6 +861,8 @@ pub enum Response {
     Health(HealthDto),
     /// Free-form text payload (probe renderings).
     Text(String),
+    /// Static-analysis findings from a `Validate` request (empty = clean).
+    Diagnostics(Vec<WireDiagnostic>),
 }
 
 impl Response {
@@ -811,6 +880,7 @@ impl Response {
             Response::Stage(_) => 9,
             Response::Health(_) => 10,
             Response::Text(_) => 11,
+            Response::Diagnostics(_) => 12,
         }
     }
 
@@ -849,6 +919,12 @@ impl Response {
             Response::Stage(s) => w.put_str(s),
             Response::Health(h) => h.encode(&mut w),
             Response::Text(s) => w.put_str(s),
+            Response::Diagnostics(list) => {
+                w.put_uvarint(list.len() as u64);
+                for d in list {
+                    d.encode(&mut w);
+                }
+            }
         }
         w.frame()
     }
@@ -892,6 +968,14 @@ impl Response {
             9 => Response::Stage(r.get_str()?),
             10 => Response::Health(HealthDto::decode(&mut r)?),
             11 => Response::Text(r.get_str()?),
+            12 => {
+                let n = r.get_uvarint()? as usize;
+                let mut list = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    list.push(WireDiagnostic::decode(&mut r)?);
+                }
+                Response::Diagnostics(list)
+            }
             other => return Err(WireError::new(format!("bad response tag {other}"))),
         };
         r.finish()?;
@@ -1025,6 +1109,10 @@ mod tests {
         roundtrip_request(Request::Probe {
             section: "alerts".into(),
         });
+        roundtrip_request(Request::Validate {
+            kind: "condition".into(),
+            content: "gallery_monitor_drift_score > 3.0".into(),
+        });
     }
 
     #[test]
@@ -1070,6 +1158,39 @@ mod tests {
         roundtrip_response(Response::Text(
             "# TYPE gallery_alerts_firing gauge\ngallery_alerts_firing 1\n".into(),
         ));
+        roundtrip_response(Response::Diagnostics(vec![]));
+        roundtrip_response(Response::Diagnostics(vec![
+            WireDiagnostic {
+                origin: "WHEN".into(),
+                source: "metrics.auc > 1.5".into(),
+                code: "RL0303".into(),
+                severity: 1,
+                start: 0,
+                end: 17,
+                message: "comparison is always false".into(),
+                help: Some("no value can satisfy this".into()),
+            },
+            WireDiagnostic {
+                origin: "GIVEN".into(),
+                source: "custom == 1".into(),
+                code: "RL0101".into(),
+                severity: 0,
+                start: 0,
+                end: 6,
+                message: "unknown identifier".into(),
+                help: None,
+            },
+        ]));
+    }
+
+    #[test]
+    fn validate_request_is_not_mutating() {
+        let req = Request::Validate {
+            kind: "rule".into(),
+            content: "{}".into(),
+        };
+        assert_eq!(req.method_name(), "validate");
+        assert!(!req.is_mutating());
     }
 
     #[test]

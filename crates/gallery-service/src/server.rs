@@ -5,8 +5,8 @@
 //! instances can serve the same store.
 
 use crate::messages::{
-    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireOp,
-    WireValue,
+    ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint, WireDiagnostic,
+    WireOp, WireValue,
 };
 use bytes::Bytes;
 use gallery_core::metadata::Metadata;
@@ -518,7 +518,46 @@ impl GalleryServer {
                 }
                 Response::Text(out)
             }
+            Request::Validate { kind, content } => {
+                let report = match kind.as_str() {
+                    "condition" => gallery_rules::analyze_condition(&content),
+                    "rule" => gallery_rules::analyze_rule_json(&content),
+                    "rules" => {
+                        match serde_json::from_str::<Vec<gallery_rules::RuleDoc>>(&content) {
+                            Ok(docs) => gallery_rules::analyze_rule_set(&docs),
+                            Err(e) => {
+                                return Err(GalleryError::Invalid(format!(
+                                    "not a JSON array of rule documents: {e}"
+                                )))
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(GalleryError::Invalid(format!(
+                            "unknown validate kind `{other}` (expected condition, rule, or rules)"
+                        )))
+                    }
+                };
+                Response::Diagnostics(report.findings.into_iter().map(wire_diagnostic).collect())
+            }
         })
+    }
+}
+
+/// Flatten a lint finding into its wire form.
+fn wire_diagnostic(f: gallery_rules::Finding) -> WireDiagnostic {
+    WireDiagnostic {
+        origin: f.origin,
+        source: f.source,
+        code: f.diag.code.to_owned(),
+        severity: match f.diag.severity {
+            gallery_rules::Severity::Warning => 0,
+            gallery_rules::Severity::Error => 1,
+        },
+        start: f.diag.span.start,
+        end: f.diag.span.end,
+        message: f.diag.message,
+        help: f.diag.help,
     }
 }
 

@@ -28,12 +28,21 @@
 //! ends up deprecating an instance or rolling the production pointer back.
 
 use crate::events::{kinds, EventSink};
-use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::metrics::{Counter, FamilyMeta, Gauge, Histogram, Registry};
 use crate::trace::TimeSource;
 use crate::Telemetry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// The metric families the alert engine itself exports (documented in
+/// `docs/metrics.md`), for rule analyzers that resolve identifiers.
+pub const FAMILIES: &[FamilyMeta] = &[
+    FamilyMeta::counter("gallery_alert_evals_total"),
+    FamilyMeta::counter("gallery_alert_transitions_total"),
+    FamilyMeta::gauge("gallery_alerts_firing", 1.0, 0.0, f64::INFINITY),
+    FamilyMeta::counter("gallery_alert_actions_total"),
+];
 
 /// Comparison operator for threshold conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -35,7 +35,8 @@ pub use alerts::{
 pub use events::{kinds, EventSink, TelemetryEvent};
 pub use metrics::{
     default_duration_buckets_ms, default_size_buckets_bytes, parse_exemplars, parse_exposition,
-    parse_samples, Counter, ExpositionSummary, Gauge, Histogram, Registry, Sample,
+    parse_samples, Counter, ExpositionSummary, FamilyKind, FamilyMeta, Gauge, Histogram, Registry,
+    Sample,
 };
 pub use trace::{Span, SpanContext, SpanRecord, TimeSource, Tracer, WallClock};
 

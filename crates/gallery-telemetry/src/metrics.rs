@@ -19,6 +19,60 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// What kind of instrument a metric family is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Static description of a metric family: its exposition name, instrument
+/// kind, fixed-point scale (1.0 when values are exported as-is), and the
+/// declared range of the *descaled* value (`f64::INFINITY` bounds when
+/// unbounded). Producers export catalogs of these so rule analyzers can
+/// resolve identifiers and check thresholds against declared ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyMeta {
+    pub name: &'static str,
+    pub kind: FamilyKind,
+    pub scale: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl FamilyMeta {
+    pub const fn counter(name: &'static str) -> Self {
+        FamilyMeta {
+            name,
+            kind: FamilyKind::Counter,
+            scale: 1.0,
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+
+    pub const fn gauge(name: &'static str, scale: f64, lo: f64, hi: f64) -> Self {
+        FamilyMeta {
+            name,
+            kind: FamilyKind::Gauge,
+            scale,
+            lo,
+            hi,
+        }
+    }
+
+    pub const fn histogram(name: &'static str) -> Self {
+        FamilyMeta {
+            name,
+            kind: FamilyKind::Histogram,
+            scale: 1.0,
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+}
+
 /// Monotonically increasing counter.
 #[derive(Debug)]
 pub struct Counter {

@@ -30,6 +30,7 @@
 //!   audit [--repair]
 //!   compact
 //!   stats [--probe]
+//!   lint RULES_FILE | lint --expr EXPR
 //! ```
 //!
 //! `monitor` replays the instance's stored production metrics through a
@@ -212,6 +213,44 @@ fn print_snapshot(snapshot: &MonitorSnapshot) {
     println!("staleness:       {} ms", snapshot.staleness_ms);
 }
 
+/// `gallery lint` — run the rule-language static analyzer.
+///
+/// `gallery lint FILE` lints a rule document (JSON object) or rule set
+/// (JSON array); `gallery lint --expr EXPR` lints an alert condition.
+/// Findings are rendered rustc-style; error-severity findings make the
+/// command fail, which is what makes it usable as a pre-commit gate.
+fn cmd_lint(args: &mut Vec<String>) -> Result<(), String> {
+    use gallery::rules::{analyze_condition, analyze_rule_json, analyze_rule_set, LintReport};
+
+    let report: LintReport = if let Some(expr) = flag_value(args, "--expr") {
+        analyze_condition(&expr)
+    } else {
+        let [path]: [String; 1] = std::mem::take(args)
+            .try_into()
+            .map_err(|_| "usage: lint RULES_FILE | lint --expr EXPR".to_string())?;
+        let content =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trimmed = content.trim_start();
+        if trimmed.starts_with('[') {
+            match serde_json::from_str::<Vec<gallery::rules::RuleDoc>>(&content) {
+                Ok(docs) => analyze_rule_set(&docs),
+                Err(e) => return Err(format!("{path}: not a JSON array of rule documents: {e}")),
+            }
+        } else {
+            analyze_rule_json(&content)
+        }
+    };
+    if report.is_empty() {
+        println!("clean: no diagnostics");
+        return Ok(());
+    }
+    print!("{}", report.render());
+    if report.has_errors() {
+        return Err("lint failed".into());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let data_dir =
@@ -234,6 +273,11 @@ fn run() -> Result<(), String> {
     if command == "--help" || command == "help" {
         println!("see the module docs at the top of src/bin/gallery.rs for the command list");
         return Ok(());
+    }
+    // `lint` is author-time static analysis: it needs no store, so it is
+    // dispatched before the data directory is opened (or created).
+    if command == "lint" {
+        return cmd_lint(&mut args);
     }
     let g = Arc::new(open(&data_dir)?);
     let err = |e: GalleryError| e.to_string();
