@@ -1,0 +1,282 @@
+//! E19 — sharded, replicated cluster: scaling sweep and kill-a-node
+//! drills (docs/replication.md).
+//!
+//! The paper's Gallery scales its stateless service tier horizontally
+//! over shared MySQL/HDFS (§4.1); this experiment measures the
+//! reproduction's scale-out of the *stateful* tier instead. Part 1 sweeps
+//! node count 1→8 (replication 1, one worker thread per node) and
+//! reports read/write throughput through the `ClusterRouter`. Part 2 runs
+//! the deterministic kill-a-node drill across seeds and replication
+//! factors, asserting the invariants the replication design promises:
+//! zero lost acknowledged writes, zero divergence after resync, follower
+//! reads within the staleness budget.
+//!
+//! Emits `BENCH_exp_cluster.json` (uploaded as a CI artifact) alongside
+//! the human-readable tables.
+
+use gallery_bench::{arr, banner, obj, write_bench_json, TextTable};
+use gallery_core::ManualClock;
+use gallery_service::telemetry::Telemetry;
+use gallery_service::{run_drill, ClusterConfig, DrillPlan, GalleryClient, SimCluster};
+use serde::Content;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: u32 = 16;
+
+struct ScalePoint {
+    nodes: usize,
+    writes: usize,
+    write_secs: f64,
+    reads: usize,
+    read_secs: f64,
+    /// Frames handled per node, leader-routing plus read round-robin.
+    per_node: Vec<u64>,
+}
+
+impl ScalePoint {
+    fn writes_per_s(&self) -> f64 {
+        self.writes as f64 / self.write_secs.max(1e-9)
+    }
+    fn reads_per_s(&self) -> f64 {
+        self.reads as f64 / self.read_secs.max(1e-9)
+    }
+    /// How evenly the consistent hash spread the load: mean node load over
+    /// the hottest node's load (1.0 = perfectly balanced).
+    fn balance(&self) -> f64 {
+        let total: u64 = self.per_node.iter().sum();
+        let max = *self.per_node.iter().max().unwrap_or(&1) as f64;
+        (total as f64 / self.per_node.len() as f64) / max.max(1.0)
+    }
+    /// Capacity speedup over one node: with each node serializing its own
+    /// frames, cluster makespan is the hottest node's load, so capacity
+    /// grows as total/max — N× when balanced. (Wall-clock columns measure
+    /// the same run but are bounded by this host's core count.)
+    fn capacity_speedup(&self) -> f64 {
+        let total: u64 = self.per_node.iter().sum();
+        let max = *self.per_node.iter().max().unwrap_or(&1) as f64;
+        total as f64 / max.max(1.0)
+    }
+}
+
+/// Per-thread client workload: thread index + a client, returning the ids
+/// it touched.
+type ClientWork = Arc<dyn Fn(usize, &GalleryClient) -> Vec<String> + Send + Sync>;
+
+/// Throughput at one node count: `writes` creates then `reads` point
+/// lookups, spread over `threads` concurrent clients against a threaded
+/// cluster (replication 1 — this sweep isolates shard scale-out).
+fn run_scale_point(nodes: usize, writes: usize, reads: usize, threads: usize) -> ScalePoint {
+    let cluster = Arc::new(SimCluster::start(
+        ClusterConfig::new(nodes)
+            .with_shards(SHARDS)
+            .with_replication(1)
+            .threaded(),
+    ));
+
+    let spawn_clients = |work: ClientWork| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let cluster = Arc::clone(&cluster);
+            let work = Arc::clone(&work);
+            handles.push(std::thread::spawn(move || {
+                let client = GalleryClient::new(cluster.transport());
+                work(t, &client)
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect::<Vec<String>>()
+    };
+
+    let per_thread = writes / threads;
+    let t0 = Instant::now();
+    let ids = spawn_clients(Arc::new(move |t, client| {
+        (0..per_thread)
+            .map(|i| {
+                client
+                    .create_model("scale", &format!("bv-{t}-{i}"), "m", "bench", "", "{}")
+                    .map(|m| m.id)
+                    .unwrap_or_default()
+            })
+            .filter(|id| !id.is_empty())
+            .collect()
+    }));
+    let write_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(ids.len(), per_thread * threads, "every write acked");
+
+    let ids = Arc::new(ids);
+    let reads_per_thread = reads / threads;
+    let t1 = Instant::now();
+    let read_ids = spawn_clients(Arc::new(move |t, client| {
+        (0..reads_per_thread)
+            .map(|i| {
+                let id = &ids[(t * 7919 + i) % ids.len()];
+                client.get_model(id).map(|m| m.id).unwrap_or_default()
+            })
+            .filter(|id| !id.is_empty())
+            .collect()
+    }));
+    let read_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(read_ids.len(), reads_per_thread * threads, "every read hit");
+
+    ScalePoint {
+        nodes,
+        writes: per_thread * threads,
+        write_secs,
+        reads: reads_per_thread * threads,
+        read_secs,
+        per_node: (0..nodes).map(|n| cluster.node(n).handled()).collect(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "E19: sharded replicated cluster — scaling and failover drills",
+        "§4.1 horizontal scaling; §3.5 failure handling (docs/replication.md)",
+    );
+
+    // Part 1 — read/write scaling, 1 → 8 nodes.
+    let (writes, reads) = if smoke { (400, 1_600) } else { (4_000, 16_000) };
+    let threads = 8;
+    let mut scale_table = TextTable::new(&[
+        "nodes", "writes", "writes/s", "reads", "reads/s", "balance", "capacity",
+    ]);
+    let mut scale_points = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        let point = run_scale_point(nodes, writes, reads, threads);
+        scale_table.add_row(vec![
+            point.nodes.to_string(),
+            point.writes.to_string(),
+            format!("{:.0}", point.writes_per_s()),
+            point.reads.to_string(),
+            format!("{:.0}", point.reads_per_s()),
+            format!("{:.2}", point.balance()),
+            format!("{:.2}x", point.capacity_speedup()),
+        ]);
+        scale_points.push(point);
+    }
+    println!("-- part 1: throughput vs node count (replication 1, {SHARDS} shards, {threads} client threads)");
+    println!("{}", scale_table.render());
+    println!(
+        "   capacity = total frames / hottest node's frames (each node serializes its own work);"
+    );
+    println!("   wall-clock writes/s and reads/s are bounded by this host's core count.");
+    println!();
+
+    // Part 2 — kill-a-node drills across seeds and replication factors.
+    let drill_writes = if smoke { 24 } else { 60 };
+    let seeds: Vec<u64> = (1..=5).collect();
+    let mut drill_table = TextTable::new(&[
+        "seed",
+        "nodes",
+        "repl",
+        "acked",
+        "rejected",
+        "failovers",
+        "fol.reads",
+        "max lag",
+        "lost",
+        "diverged",
+        "holds",
+    ]);
+    let mut drill_rows = Vec::new();
+    let mut all_hold = true;
+    for &(nodes, replication) in &[(3usize, 2usize), (4, 3)] {
+        for &seed in &seeds {
+            let clock = ManualClock::new(0);
+            let cluster = SimCluster::start_with(
+                ClusterConfig::new(nodes)
+                    .with_shards(nodes as u32 * 2)
+                    .with_replication(replication)
+                    .with_follower_reads(true, 0),
+                Arc::new(clock.clone()),
+                Telemetry::new(),
+            );
+            // Kill the node whose id is seed % nodes — different shards
+            // lose their leader in different runs.
+            let plan = DrillPlan::kill_one(seed, drill_writes, seed as usize % nodes);
+            let report = run_drill(&cluster, &clock, &plan);
+            all_hold &= report.holds();
+            drill_table.add_row(vec![
+                seed.to_string(),
+                nodes.to_string(),
+                replication.to_string(),
+                report.acked.to_string(),
+                report.rejected.to_string(),
+                report.failovers.to_string(),
+                report.follower_reads.to_string(),
+                report.max_follower_lag_ops.to_string(),
+                report.lost.to_string(),
+                report.diverged.to_string(),
+                if report.holds() { "yes" } else { "NO" }.to_string(),
+            ]);
+            drill_rows.push(obj(vec![
+                ("seed", Content::U64(seed)),
+                ("nodes", Content::U64(nodes as u64)),
+                ("replication", Content::U64(replication as u64)),
+                ("attempted", Content::U64(report.attempted as u64)),
+                ("acked", Content::U64(report.acked as u64)),
+                ("rejected", Content::U64(report.rejected as u64)),
+                ("failovers", Content::U64(report.failovers)),
+                ("follower_reads", Content::U64(report.follower_reads)),
+                (
+                    "max_follower_lag_ops",
+                    Content::U64(report.max_follower_lag_ops),
+                ),
+                ("lost", Content::U64(report.lost as u64)),
+                ("diverged", Content::U64(report.diverged as u64)),
+                ("holds", Content::Bool(report.holds())),
+            ]));
+        }
+    }
+    println!("-- part 2: kill-a-node drills ({drill_writes} writes, kill at 1/3, revive at 2/3)");
+    println!("{}", drill_table.render());
+
+    let results = obj(vec![
+        ("smoke", Content::Bool(smoke)),
+        ("shards", Content::U64(SHARDS as u64)),
+        ("client_threads", Content::U64(threads as u64)),
+        (
+            "scaling",
+            arr(scale_points
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("nodes", Content::U64(p.nodes as u64)),
+                        ("writes", Content::U64(p.writes as u64)),
+                        ("writes_per_s", Content::F64(p.writes_per_s())),
+                        ("reads", Content::U64(p.reads as u64)),
+                        ("reads_per_s", Content::F64(p.reads_per_s())),
+                        ("balance", Content::F64(p.balance())),
+                        ("capacity_speedup", Content::F64(p.capacity_speedup())),
+                        (
+                            "per_node_frames",
+                            arr(p.per_node.iter().map(|c| Content::U64(*c)).collect()),
+                        ),
+                    ])
+                })
+                .collect()),
+        ),
+        ("drills", arr(drill_rows)),
+        ("all_drills_hold", Content::Bool(all_hold)),
+    ]);
+    match write_bench_json("E19", "exp_cluster", results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: could not write BENCH_exp_cluster.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !all_hold {
+        eprintln!("FAIL: a drill violated the replication invariants (see table above)");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} drills hold: zero lost acked writes, zero divergence, bounded staleness",
+        seeds.len() * 2
+    );
+}

@@ -1,0 +1,92 @@
+//! Machine-readable experiment output: `BENCH_<name>.json` files the CI
+//! uploads as artifacts, so scaling numbers are comparable across runs
+//! without scraping stdout tables.
+//!
+//! The schema is deliberately shallow: a top-level object with the
+//! experiment id, the binary name, and whatever result arrays the
+//! experiment produces. Consumers should treat unknown keys as additive.
+//! Values are built as the vendored serde's [`Content`] tree (the repo's
+//! JSON data model — there is no `json!` macro offline).
+
+use serde::Content;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A JSON object from `(key, value)` pairs, preserving insertion order.
+pub fn obj<K: Into<String>>(entries: Vec<(K, Content)>) -> Content {
+    Content::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// A JSON array.
+pub fn arr(items: Vec<Content>) -> Content {
+    Content::Seq(items)
+}
+
+/// Where `BENCH_*.json` files land: `$BENCH_OUT_DIR` if set, else the
+/// current directory (the repo root under `cargo run`).
+pub fn bench_out_dir() -> PathBuf {
+    std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Write `BENCH_<name>.json` containing `experiment`/`name` plus the
+/// experiment's own `results` value, pretty-printed with a trailing
+/// newline. Returns the path written.
+pub fn write_bench_json(
+    experiment: &str,
+    name: &str,
+    results: Content,
+) -> std::io::Result<PathBuf> {
+    let doc = obj(vec![
+        ("experiment", Content::Str(experiment.into())),
+        ("name", Content::Str(name.into())),
+        ("results", results),
+    ]);
+    let pretty = serde_json::to_string_pretty(&doc).map_err(std::io::Error::other)?;
+    let dir = bench_out_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(pretty.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bench-emit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let results = obj(vec![(
+            "rows",
+            arr(vec![Content::U64(1), Content::U64(2), Content::U64(3)]),
+        )]);
+        let path = write_bench_json("E99", "emit_selftest", results).unwrap();
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert_eq!(path, dir.join("BENCH_emit_selftest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: Content = serde_json::from_str(&text).unwrap();
+        match &doc {
+            Content::Map(entries) => {
+                assert_eq!(
+                    serde::__find(entries, "experiment"),
+                    Some(&Content::Str("E99".into()))
+                );
+                match serde::__find(entries, "results") {
+                    Some(Content::Map(results)) => match serde::__find(results, "rows") {
+                        Some(Content::Seq(rows)) => assert_eq!(rows.len(), 3),
+                        other => panic!("rows: {other:?}"),
+                    },
+                    other => panic!("results: {other:?}"),
+                }
+            }
+            other => panic!("doc: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

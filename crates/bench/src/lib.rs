@@ -7,9 +7,11 @@
 //! latency-sensitive paths have Criterion benches under `benches/`.
 
 pub mod baselines;
+pub mod emit;
 pub mod gallery_probe;
 pub mod report;
 
 pub use baselines::{probe, Capability, ModelRegistry};
+pub use emit::{arr, bench_out_dir, obj, write_bench_json};
 pub use gallery_probe::GalleryRegistry;
 pub use report::{banner, human_bytes, TextTable};

@@ -44,6 +44,7 @@ pub mod registry;
 pub mod reproduce;
 pub mod schemas;
 pub mod semver;
+pub mod shard;
 pub mod version;
 
 pub use clock::{
@@ -63,4 +64,5 @@ pub use registry::Gallery;
 pub use reproduce::{ReproductionMatch, ReproductionPlan};
 pub use schemas::Deployment;
 pub use semver::{ChangeKind, SemVer, SemVerFleet};
+pub use shard::{shard_of, IdPolicy};
 pub use version::{DisplayVersion, InstanceTrigger};

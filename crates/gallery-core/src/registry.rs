@@ -71,6 +71,10 @@ pub struct Gallery {
     /// the identity; display versions are the human-facing counter and
     /// must not collide).
     version_lock: parking_lot::Mutex<()>,
+    /// When set (sharded deployments), minted model/instance ids are
+    /// rejection-sampled until they hash onto this registry's shard, so
+    /// the cluster router can locate any entity from its id alone.
+    id_policy: Option<crate::shard::IdPolicy>,
     metrics: RegistryMetrics,
 }
 
@@ -89,8 +93,38 @@ impl Gallery {
             dal,
             events: EventBus::new(),
             version_lock: parking_lot::Mutex::new(()),
+            id_policy: None,
             metrics: RegistryMetrics::new(Arc::clone(gallery_telemetry::global())),
         })
+    }
+
+    /// Constrain minted model/instance ids to one shard of a sharded
+    /// deployment (see [`crate::shard::IdPolicy`]).
+    pub fn with_id_policy(mut self, policy: crate::shard::IdPolicy) -> Self {
+        self.id_policy = Some(policy);
+        self
+    }
+
+    /// Mint a model id honoring the shard id-policy, if any.
+    pub(crate) fn mint_model_id(&self) -> ModelId {
+        loop {
+            let id = ModelId::generate();
+            match &self.id_policy {
+                Some(p) if !p.accepts(id.as_str()) => continue,
+                _ => return id,
+            }
+        }
+    }
+
+    /// Mint an instance id honoring the shard id-policy, if any.
+    pub(crate) fn mint_instance_id(&self) -> InstanceId {
+        loop {
+            let id = InstanceId::generate();
+            match &self.id_policy {
+                Some(p) if !p.accepts(id.as_str()) => continue,
+                _ => return id,
+            }
+        }
     }
 
     /// Record registry-level telemetry (`gallery_registry_*` metrics and
@@ -168,7 +202,7 @@ impl Gallery {
             self.get_model(prev)?;
         }
         let model = Model {
-            id: ModelId::generate(),
+            id: self.mint_model_id(),
             base_version_id: spec.base_version_id.as_str().into(),
             project: spec.project,
             name: if spec.name.is_empty() {
@@ -285,7 +319,7 @@ impl Gallery {
             };
             let parent = spec.parent.or_else(|| latest.map(|i| i.id));
             let instance = ModelInstance {
-                id: InstanceId::generate(),
+                id: self.mint_instance_id(),
                 model_id: model_id.clone(),
                 base_version_id: model.base_version_id.clone(),
                 display_version,
@@ -335,7 +369,7 @@ impl Gallery {
             ),
         };
         let instance = ModelInstance {
-            id: InstanceId::generate(),
+            id: self.mint_instance_id(),
             model_id: model_id.clone(),
             base_version_id: model.base_version_id.clone(),
             display_version,

@@ -1,0 +1,116 @@
+//! Consistent shard placement for the multi-node deployment (ROADMAP
+//! item 3, docs/replication.md).
+//!
+//! Every routable entity id (model UUID, instance UUID) is mapped to one
+//! of a fixed number of shards by hashing the id string — the Redis-slot
+//! flavor of consistent hashing: keys hash to a *fixed* slot space and
+//! membership changes move slots between nodes, never keys between slots.
+//! The hash must therefore be (a) stable across processes — no
+//! `RandomState` — and (b) shared by every layer that routes: the service
+//! router picks the target shard with [`shard_of`], and a shard's own
+//! registry mints ids that [`shard_of`] maps back to itself (see
+//! [`IdPolicy`]), so point lookups never need a directory.
+
+/// 64-bit FNV-1a. Deterministic, dependency-free, and good enough
+/// dispersion for shard placement (we only take the value mod a small
+/// shard count).
+pub fn fnv1a64(key: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The shard a routing key lives on, out of `shards` total. `shards = 0`
+/// is treated as 1 (everything on shard 0) so a misconfigured caller
+/// degrades to single-shard behavior instead of panicking.
+pub fn shard_of(key: &str, shards: u32) -> u32 {
+    let shards = shards.max(1);
+    (fnv1a64(key) % u64::from(shards)) as u32
+}
+
+/// Constrains the ids a registry mints so they hash onto its own shard.
+///
+/// The chicken-and-egg of sharding by model UUID is that the UUID does
+/// not exist until the owning node mints it. Rather than tag ids with a
+/// shard prefix (which would leak topology into the id format and break
+/// the canonical UUID shape), the minting registry rejection-samples
+/// random UUIDs until one lands on its shard — expected `shards` draws,
+/// a few hundred nanoseconds for any realistic shard count. Routing
+/// stays a pure function of the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdPolicy {
+    /// The shard this registry serves.
+    pub shard: u32,
+    /// Total shards in the deployment.
+    pub shards: u32,
+}
+
+impl IdPolicy {
+    pub fn new(shard: u32, shards: u32) -> Self {
+        IdPolicy {
+            shard: shard.min(shards.saturating_sub(1)),
+            shards: shards.max(1),
+        }
+    }
+
+    /// Whether an id hashes onto this policy's shard.
+    pub fn accepts(&self, id: &str) -> bool {
+        shard_of(id, self.shards) == self.shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable() {
+        // Golden values: these must never change, or routing breaks
+        // across versions.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(shard_of("a", 8), (0xaf63_dc4c_8601_ec8cu64 % 8) as u32);
+    }
+
+    #[test]
+    fn shards_cover_the_range_and_disperse() {
+        let shards = 8;
+        let mut seen = vec![0usize; shards as usize];
+        for i in 0..4000 {
+            let s = shard_of(&format!("key-{i}"), shards);
+            assert!(s < shards);
+            seen[s as usize] += 1;
+        }
+        // With 4000 keys over 8 shards, every shard should hold a
+        // non-trivial share (expected 500 each).
+        for (s, n) in seen.iter().enumerate() {
+            assert!(*n > 250, "shard {s} underloaded: {n}/4000");
+        }
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        assert_eq!(shard_of("anything", 0), 0);
+        let p = IdPolicy::new(5, 0);
+        assert_eq!(p.shards, 1);
+        assert_eq!(p.shard, 0);
+        assert!(p.accepts("anything"));
+    }
+
+    #[test]
+    fn policy_accepts_only_own_shard() {
+        let p = IdPolicy::new(3, 8);
+        assert!(p.accepts("k") == (shard_of("k", 8) == 3));
+        let hit = (0..1000)
+            .map(|i| format!("id-{i}"))
+            .filter(|k| p.accepts(k))
+            .count();
+        // Roughly 1/8 of random keys land on any given shard.
+        assert!(hit > 50 && hit < 300, "unexpected acceptance rate {hit}");
+    }
+}

@@ -40,7 +40,11 @@ pub enum ClientError {
 impl ClientError {
     /// Whether the resilient call loop may retry this failure. Exactly the
     /// transport class: everything else is either a server verdict, a
-    /// protocol bug, or the breaker telling us to stop trying.
+    /// protocol bug, or the breaker telling us to stop trying. The
+    /// cluster-routing kinds ([`TransportErrorKind::WrongShard`],
+    /// [`TransportErrorKind::LeaderUnavailable`]) are retryable by design:
+    /// the router re-resolves its shard map on every attempt, so the retry
+    /// is what picks up a moved shard or a freshly promoted leader.
     pub fn is_retryable(&self) -> bool {
         matches!(self, ClientError::Transport { .. })
     }
@@ -725,5 +729,32 @@ mod tests {
         );
         // Unknown kind is an invalid request, not a transport failure.
         assert!(client.validate("nonsense", "true").is_err());
+    }
+
+    #[test]
+    fn cluster_routing_outcomes_are_retryable() {
+        // The retry loop must re-resolve after a stale shard map or a
+        // mid-failover leader gap; both are transport-class by design.
+        for kind in [
+            TransportErrorKind::WrongShard,
+            TransportErrorKind::LeaderUnavailable,
+            TransportErrorKind::ConnectionLost,
+            TransportErrorKind::RequestDropped,
+            TransportErrorKind::Injected,
+        ] {
+            let err = ClientError::Transport {
+                kind,
+                message: "x".into(),
+            };
+            assert!(err.is_retryable(), "{kind:?} must be retryable");
+        }
+        // Server verdicts — including WrongShard as a *remote* code before
+        // the router converts it — are not blindly retried by the client.
+        assert!(!ClientError::Remote {
+            code: ErrorCode::WrongShard,
+            message: "x".into(),
+        }
+        .is_retryable());
+        assert!(!ClientError::Protocol("x".into()).is_retryable());
     }
 }

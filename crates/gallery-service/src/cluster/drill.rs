@@ -1,0 +1,215 @@
+//! Kill-a-node failover drills: deterministic chaos scripts over a
+//! [`SimCluster`] that verify the replication invariants end to end.
+//!
+//! A drill is a write workload with kill/revive events pinned to write
+//! indices, run on a [`ManualClock`] (retry backoff advances simulated
+//! time, not wall time). After the workload the drill revives everything,
+//! pumps replication dry, and audits:
+//!
+//! - **zero lost acknowledged writes** — every write the client got an
+//!   ack for is readable through the router AND present on every live
+//!   replica of its shard;
+//! - **bounded staleness** — no follower read was served beyond the
+//!   configured lag budget (the router enforces this; the drill
+//!   cross-checks the observed maximum);
+//! - **convergence** — after the final pump, every replica of every
+//!   shard sits at the leader's oplog sequence.
+
+use crate::client::GalleryClient;
+use crate::cluster::SimCluster;
+use crate::resilience::{Resilience, RetryPolicy};
+use gallery_core::{ManualClock, SimulatedSleeper};
+use std::sync::Arc;
+
+/// One scripted membership event, pinned to a write index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrillAction {
+    Kill(usize),
+    Revive(usize),
+}
+
+/// A deterministic drill script.
+#[derive(Debug, Clone)]
+pub struct DrillPlan {
+    /// Seeds the client's retry jitter and idempotency key prefix.
+    pub seed: u64,
+    /// Total write attempts.
+    pub writes: usize,
+    /// `(write_index, action)` pairs, applied just before that write.
+    pub events: Vec<(usize, DrillAction)>,
+    /// Simulated milliseconds between writes.
+    pub step_ms: i64,
+}
+
+impl DrillPlan {
+    /// The canonical kill-a-node drill: kill `node` a third of the way
+    /// in, revive it at two thirds, writes throughout.
+    pub fn kill_one(seed: u64, writes: usize, node: usize) -> Self {
+        DrillPlan {
+            seed,
+            writes,
+            events: vec![
+                (writes / 3, DrillAction::Kill(node)),
+                (writes * 2 / 3, DrillAction::Revive(node)),
+            ],
+            step_ms: 10,
+        }
+    }
+}
+
+/// What a drill observed and verified.
+#[derive(Debug, Clone, Default)]
+pub struct DrillReport {
+    pub seed: u64,
+    pub attempted: usize,
+    /// Writes the client got a success verdict for.
+    pub acked: usize,
+    /// Writes the client gave up on (never acked; allowed during the
+    /// leaderless window).
+    pub rejected: usize,
+    /// Acked writes that could not be read back through the router — the
+    /// number this whole subsystem exists to keep at zero.
+    pub lost: usize,
+    /// Acked writes missing from some live replica of their shard after
+    /// the final pump (replication divergence).
+    pub diverged: usize,
+    /// Leader failovers the router performed.
+    pub failovers: u64,
+    /// Reads served by followers during the drill.
+    pub follower_reads: u64,
+    /// Worst live-follower lag (ops) observed at any ack point.
+    pub max_follower_lag_ops: u64,
+    /// The budget the router enforced.
+    pub staleness_budget_ops: u64,
+    /// Reads attempted mid-drill that failed even after retries.
+    pub failed_reads: usize,
+}
+
+impl DrillReport {
+    /// The invariants every drill must hold, as one predicate benches and
+    /// tests share.
+    pub fn holds(&self) -> bool {
+        self.lost == 0
+            && self.diverged == 0
+            && self.max_follower_lag_ops <= self.staleness_budget_ops
+            && self.acked > 0
+    }
+}
+
+/// Run a drill against a cluster. The cluster should be in direct
+/// (non-threaded) mode with the same [`ManualClock`] it was built on, so
+/// the run is deterministic for a given plan.
+pub fn run_drill(cluster: &SimCluster, clock: &ManualClock, plan: &DrillPlan) -> DrillReport {
+    let resilience = Arc::new(
+        Resilience::new(
+            // Generous attempts: the client must outlast one failover.
+            RetryPolicy::standard()
+                .with_max_attempts(8)
+                .with_deadline_ms(60_000),
+            Arc::new(clock.clone()),
+            Arc::new(SimulatedSleeper::new(clock.clone())),
+            plan.seed,
+        )
+        .with_telemetry(Arc::clone(cluster.telemetry())),
+    );
+    let client = GalleryClient::new(cluster.transport())
+        .with_resilience(resilience)
+        .with_telemetry(Arc::clone(cluster.telemetry()));
+
+    let mut report = DrillReport {
+        seed: plan.seed,
+        staleness_budget_ops: cluster.router().staleness_budget(),
+        ..DrillReport::default()
+    };
+    let mut acked_models: Vec<String> = Vec::new();
+
+    for i in 0..plan.writes {
+        for (at, action) in &plan.events {
+            if *at == i {
+                match action {
+                    DrillAction::Kill(node) => cluster.kill_node(*node),
+                    DrillAction::Revive(node) => cluster.revive_node(*node),
+                }
+            }
+        }
+        clock.advance(plan.step_ms);
+        report.attempted += 1;
+        match client.create_model(
+            "drill",
+            &format!("bv-{}-{i}", plan.seed),
+            "drill-model",
+            "drill",
+            "",
+            "{}",
+        ) {
+            Ok(model) => {
+                report.acked += 1;
+                acked_models.push(model.id);
+                for shard in 0..cluster.router().shard_count() {
+                    report.max_follower_lag_ops = report
+                        .max_follower_lag_ops
+                        .max(cluster.router().follower_lag(shard));
+                }
+            }
+            Err(_) => report.rejected += 1,
+        }
+        // Interleave reads so follower serving is exercised mid-failover.
+        if i % 5 == 4 {
+            if let Some(id) = acked_models.last() {
+                if client.get_model(id).is_err() {
+                    report.failed_reads += 1;
+                }
+            }
+        }
+    }
+
+    // Heal the cluster and pump replication dry.
+    for node in 0..cluster.router().node_count() {
+        if !cluster.router().is_up(node) || cluster.node(node).is_down() {
+            cluster.revive_node(node);
+        }
+    }
+    for shard in 0..cluster.router().shard_count() {
+        let _ = cluster.router().pump(shard);
+    }
+
+    // Audit: every acked write must be readable through the router...
+    for id in &acked_models {
+        if client.get_model(id).is_err() {
+            report.lost += 1;
+        }
+    }
+    // ...and present on every replica of its shard.
+    let map = cluster.router().map_snapshot();
+    for id in &acked_models {
+        let shard = gallery_core::shard_of(id, map.shard_count());
+        for node in map.replicas(shard).all() {
+            let present = cluster
+                .node(node)
+                .replica(shard)
+                .map(|server| {
+                    server
+                        .gallery()
+                        .get_model(&gallery_core::ModelId(id.clone()))
+                        .is_ok()
+                })
+                .unwrap_or(false);
+            if !present {
+                report.diverged += 1;
+                break;
+            }
+        }
+    }
+
+    report.failovers = cluster
+        .telemetry()
+        .registry()
+        .counter("gallery_cluster_failovers_total", &[])
+        .get();
+    report.follower_reads = cluster
+        .telemetry()
+        .registry()
+        .counter("gallery_cluster_follower_reads_total", &[])
+        .get();
+    report
+}

@@ -1,0 +1,325 @@
+//! One Gallery node of the sharded deployment: a process boundary that
+//! hosts a [`GalleryServer`] replica per shard it participates in.
+//!
+//! Frames arrive shard-enveloped from the router; the node peels the
+//! envelope and dispatches to the addressed replica. Each replica has its
+//! own metadata store and oplog (the unit of WAL shipping), while all
+//! replicas share the cluster's blob store — mirroring the paper's split
+//! between per-shard MySQL metadata and a common HDFS/Terrablob blob
+//! tier.
+
+use crate::messages::{decode_sharded, ErrorCode, Response};
+use crate::server::{GalleryServer, ReplicaRole};
+use crate::transport::{Transport, TransportError, TransportErrorKind};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builds a fresh replica server for (shard, role) — used at bootstrap
+/// and again when a revived node is re-seeded with an empty store.
+pub type ReplicaFactory = Box<dyn Fn(u32, ReplicaRole) -> Arc<GalleryServer> + Send + Sync>;
+
+/// A cluster node: shard → replica server, plus a liveness flag the
+/// kill-a-node drills flip.
+pub struct ClusterNode {
+    id: usize,
+    replicas: Mutex<HashMap<u32, Arc<GalleryServer>>>,
+    make_replica: ReplicaFactory,
+    down: AtomicBool,
+    handled: AtomicU64,
+}
+
+impl ClusterNode {
+    pub fn new(id: usize, shards: &[(u32, ReplicaRole)], make_replica: ReplicaFactory) -> Self {
+        let replicas = shards
+            .iter()
+            .map(|(shard, role)| (*shard, make_replica(*shard, *role)))
+            .collect();
+        ClusterNode {
+            id,
+            replicas: Mutex::new(replicas),
+            make_replica,
+            down: AtomicBool::new(false),
+            handled: AtomicU64::new(0),
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Frames this node has handled — per-node load, for balance and
+    /// capacity measurements (E19).
+    pub fn handled(&self) -> u64 {
+        self.handled.load(Ordering::Relaxed)
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Kill or revive the node. A down node fails every call at the
+    /// transport layer — its state is unreachable, not gone.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    pub fn replica(&self, shard: u32) -> Option<Arc<GalleryServer>> {
+        self.replicas.lock().get(&shard).cloned()
+    }
+
+    /// Discard the replica's state and restart it with a fresh store in
+    /// the given role — the node side of a post-revive re-seed. A crashed
+    /// old leader may hold applied-but-never-shipped (and therefore
+    /// never-acked) ops that diverge from the new leader's history;
+    /// resetting and re-shipping from scratch is how that divergence is
+    /// resolved (docs/replication.md).
+    pub fn reset_replica(&self, shard: u32, role: ReplicaRole) -> Arc<GalleryServer> {
+        let server = (self.make_replica)(shard, role);
+        self.replicas.lock().insert(shard, Arc::clone(&server));
+        server
+    }
+
+    /// Handle one frame addressed to this node. Shard-enveloped frames go
+    /// to the addressed replica; bare frames go to the node's only
+    /// replica when it has exactly one (single-shard deployments keep
+    /// working without envelopes).
+    pub fn handle(&self, frame: Bytes) -> Bytes {
+        self.handled.fetch_add(1, Ordering::Relaxed);
+        let (shard, inner) = match decode_sharded(frame.clone()) {
+            Ok(Some((shard, inner))) => (shard, inner),
+            Ok(None) => {
+                let replicas = self.replicas.lock();
+                if replicas.len() == 1 {
+                    let only = *replicas.keys().next().unwrap_or(&0);
+                    (only, frame)
+                } else {
+                    return Response::Err {
+                        code: ErrorCode::Invalid,
+                        message: format!(
+                            "node {} hosts {} shards; frames must be shard-enveloped",
+                            self.id,
+                            replicas.len()
+                        ),
+                    }
+                    .encode();
+                }
+            }
+            Err(e) => {
+                return Response::Err {
+                    code: ErrorCode::Invalid,
+                    message: e.to_string(),
+                }
+                .encode()
+            }
+        };
+        match self.replica(shard) {
+            Some(server) => server.handle_frame(inner),
+            None => Response::Err {
+                code: ErrorCode::WrongShard,
+                message: format!("node {} does not host shard {shard}", self.id),
+            }
+            .encode(),
+        }
+    }
+}
+
+/// Direct (same-thread) transport into a node — the deterministic mode
+/// drills run in. Honors the liveness flag: calls to a down node fail the
+/// way a dead TCP peer would.
+pub struct NodeTransport {
+    node: Arc<ClusterNode>,
+}
+
+impl NodeTransport {
+    pub fn new(node: Arc<ClusterNode>) -> Self {
+        NodeTransport { node }
+    }
+}
+
+impl Transport for NodeTransport {
+    fn call(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        if self.node.is_down() {
+            return Err(TransportError::new(
+                TransportErrorKind::ConnectionLost,
+                format!("node {} is down", self.node.id()),
+            ));
+        }
+        Ok(self.node.handle(frame))
+    }
+}
+
+enum NodeEnvelope {
+    Request(Bytes, Sender<Bytes>),
+    Shutdown,
+}
+
+/// Threaded transport into a node: one worker thread drains the node's
+/// queue, so N nodes give N-way parallelism for the scaling experiments
+/// (each node serializes its own work, like a real single-threaded event
+/// loop per process).
+pub struct ThreadedNodeTransport {
+    node: Arc<ClusterNode>,
+    tx: Sender<NodeEnvelope>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ThreadedNodeTransport {
+    pub fn start(node: Arc<ClusterNode>) -> Self {
+        let (tx, rx): (Sender<NodeEnvelope>, Receiver<NodeEnvelope>) = unbounded();
+        let worker_node = Arc::clone(&node);
+        let worker = std::thread::Builder::new()
+            .name(format!("gallery-node-{}", node.id()))
+            .spawn(move || {
+                while let Ok(envelope) = rx.recv() {
+                    match envelope {
+                        NodeEnvelope::Shutdown => break,
+                        NodeEnvelope::Request(frame, reply) => {
+                            let _ = reply.send(worker_node.handle(frame));
+                        }
+                    }
+                }
+            })
+            .ok();
+        ThreadedNodeTransport {
+            node,
+            tx,
+            worker: Mutex::new(worker),
+        }
+    }
+}
+
+impl Transport for ThreadedNodeTransport {
+    fn call(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        if self.node.is_down() {
+            return Err(TransportError::new(
+                TransportErrorKind::ConnectionLost,
+                format!("node {} is down", self.node.id()),
+            ));
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(NodeEnvelope::Request(frame, reply_tx))
+            .map_err(|_| {
+                TransportError::new(
+                    TransportErrorKind::ConnectionLost,
+                    format!("node {} worker is gone", self.node.id()),
+                )
+            })?;
+        reply_rx.recv().map_err(|_| {
+            TransportError::new(
+                TransportErrorKind::RequestDropped,
+                format!("node {} dropped the request", self.node.id()),
+            )
+        })
+    }
+}
+
+impl Drop for ThreadedNodeTransport {
+    fn drop(&mut self) {
+        let _ = self.tx.send(NodeEnvelope::Shutdown);
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{encode_sharded, Request};
+    use gallery_core::Gallery;
+
+    fn node(shards: &[(u32, ReplicaRole)]) -> Arc<ClusterNode> {
+        Arc::new(ClusterNode::new(
+            7,
+            shards,
+            Box::new(|_, role| {
+                Arc::new(GalleryServer::new(Arc::new(Gallery::in_memory())).with_role(role))
+            }),
+        ))
+    }
+
+    #[test]
+    fn routes_enveloped_frames_to_the_addressed_replica() {
+        let node = node(&[(0, ReplicaRole::Leader), (3, ReplicaRole::Follower)]);
+        let probe = Request::ReplStatus.encode();
+        let resp = Response::decode(node.handle(encode_sharded(0, probe.clone()))).unwrap();
+        assert!(matches!(resp, Response::ReplInfo { ref role, .. } if role == "leader"));
+        let resp = Response::decode(node.handle(encode_sharded(3, probe.clone()))).unwrap();
+        assert!(matches!(resp, Response::ReplInfo { ref role, .. } if role == "follower"));
+        // An unhosted shard is a WrongShard verdict, not a crash.
+        let resp = Response::decode(node.handle(encode_sharded(9, probe))).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::WrongShard,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bare_frames_need_a_single_replica() {
+        let single = node(&[(2, ReplicaRole::Leader)]);
+        let resp = Response::decode(single.handle(Request::ReplStatus.encode())).unwrap();
+        assert!(matches!(resp, Response::ReplInfo { .. }));
+        let multi = node(&[(0, ReplicaRole::Leader), (1, ReplicaRole::Leader)]);
+        let resp = Response::decode(multi.handle(Request::ReplStatus.encode())).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn down_node_fails_at_the_transport() {
+        let node = node(&[(0, ReplicaRole::Leader)]);
+        let t = NodeTransport::new(Arc::clone(&node));
+        assert!(t.call(Request::ReplStatus.encode()).is_ok());
+        node.set_down(true);
+        let err = t.call(Request::ReplStatus.encode()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectionLost);
+        node.set_down(false);
+        assert!(t.call(Request::ReplStatus.encode()).is_ok());
+    }
+
+    #[test]
+    fn reset_replica_discards_state() {
+        let node = node(&[(0, ReplicaRole::Leader)]);
+        let before = node.replica(0).unwrap();
+        let seq_before = before.applied_seq();
+        node.handle(encode_sharded(
+            0,
+            Request::CreateModel {
+                project: "p".into(),
+                base_version_id: "b".into(),
+                name: "m".into(),
+                owner: "o".into(),
+                description: "".into(),
+                metadata_json: "{}".into(),
+            }
+            .encode(),
+        ));
+        assert!(node.replica(0).unwrap().applied_seq() > seq_before);
+        let fresh = node.reset_replica(0, ReplicaRole::Follower);
+        assert_eq!(fresh.applied_seq(), seq_before, "schema prefix only");
+        assert_eq!(fresh.role(), ReplicaRole::Follower);
+    }
+
+    #[test]
+    fn threaded_transport_round_trips() {
+        let node = node(&[(0, ReplicaRole::Leader)]);
+        let t = ThreadedNodeTransport::start(Arc::clone(&node));
+        let resp = Response::decode(t.call(Request::ReplStatus.encode()).unwrap()).unwrap();
+        assert!(matches!(resp, Response::ReplInfo { .. }));
+        node.set_down(true);
+        assert!(t.call(Request::ReplStatus.encode()).is_err());
+    }
+}

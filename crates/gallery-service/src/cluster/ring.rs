@@ -1,0 +1,155 @@
+//! Shard placement: which nodes replicate which shard, and who leads.
+//!
+//! Key → shard is the fixed-slot consistent hash in
+//! [`gallery_core::shard`]; this module owns the other half of the map,
+//! shard → replica set. Placement is deterministic round-robin at
+//! bootstrap (shard `s` lands on nodes `s, s+1, …, s+R-1 mod N`), and
+//! failover mutates only the leader pointer — replica membership never
+//! moves at runtime, so a router holding a stale map is at worst one
+//! `WrongShard` retry away from the truth.
+
+/// Replica set of one shard: the leading node plus follower nodes, by
+/// node index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReplicas {
+    pub leader: usize,
+    pub followers: Vec<usize>,
+}
+
+impl ShardReplicas {
+    /// Leader first, then followers — the order failover candidates are
+    /// considered in.
+    pub fn all(&self) -> Vec<usize> {
+        let mut nodes = Vec::with_capacity(1 + self.followers.len());
+        nodes.push(self.leader);
+        nodes.extend_from_slice(&self.followers);
+        nodes
+    }
+
+    pub fn hosts(&self, node: usize) -> bool {
+        self.leader == node || self.followers.contains(&node)
+    }
+}
+
+/// The cluster's routing table: per-shard replica sets plus an epoch that
+/// bumps on every leadership change (so two routers can tell whose view
+/// is newer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: Vec<ShardReplicas>,
+    epoch: u64,
+}
+
+impl ShardMap {
+    /// Round-robin placement of `shards` shards over `nodes` nodes with
+    /// `replication` replicas each (clamped to the node count).
+    pub fn new(shards: u32, nodes: usize, replication: usize) -> Self {
+        let nodes = nodes.max(1);
+        let replication = replication.clamp(1, nodes);
+        let shards = (0..shards.max(1))
+            .map(|s| {
+                let first = s as usize % nodes;
+                ShardReplicas {
+                    leader: first,
+                    followers: (1..replication).map(|k| (first + k) % nodes).collect(),
+                }
+            })
+            .collect();
+        ShardMap { shards, epoch: 0 }
+    }
+
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn replicas(&self, shard: u32) -> &ShardReplicas {
+        &self.shards[shard as usize % self.shards.len()]
+    }
+
+    pub fn leader_of(&self, shard: u32) -> usize {
+        self.replicas(shard).leader
+    }
+
+    /// Every shard a node participates in (leading or following).
+    pub fn shards_of(&self, node: usize) -> Vec<u32> {
+        (0..self.shard_count())
+            .filter(|s| self.replicas(*s).hosts(node))
+            .collect()
+    }
+
+    /// Shards a node currently leads.
+    pub fn led_by(&self, node: usize) -> Vec<u32> {
+        (0..self.shard_count())
+            .filter(|s| self.leader_of(*s) == node)
+            .collect()
+    }
+
+    /// Make `node` the shard's leader. The old leader joins the follower
+    /// list (it will be re-seeded when it comes back); the new leader
+    /// leaves it. Bumps the epoch. No-op if `node` already leads.
+    pub fn promote(&mut self, shard: u32, node: usize) {
+        let idx = shard as usize % self.shards.len();
+        let replicas = &mut self.shards[idx];
+        if replicas.leader == node {
+            return;
+        }
+        let old = replicas.leader;
+        replicas.followers.retain(|n| *n != node);
+        replicas.followers.push(old);
+        replicas.leader = node;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_placement_spreads_leaders() {
+        let map = ShardMap::new(8, 4, 2);
+        assert_eq!(map.shard_count(), 8);
+        // Leaders cycle over the nodes, followers are the next node over.
+        assert_eq!(map.leader_of(0), 0);
+        assert_eq!(map.leader_of(5), 1);
+        assert_eq!(map.replicas(2).followers, vec![3]);
+        // Every node leads 2 of the 8 shards.
+        for node in 0..4 {
+            assert_eq!(map.led_by(node).len(), 2, "node {node}");
+            assert_eq!(map.shards_of(node).len(), 4, "node {node}");
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_node_count() {
+        let map = ShardMap::new(4, 2, 5);
+        for s in 0..4 {
+            assert_eq!(map.replicas(s).all().len(), 2);
+        }
+        // Single node: leader only, no self-follower.
+        let map = ShardMap::new(4, 1, 3);
+        assert!(map.replicas(0).followers.is_empty());
+    }
+
+    #[test]
+    fn promote_moves_leadership_and_bumps_epoch() {
+        let mut map = ShardMap::new(2, 3, 3);
+        let old = map.leader_of(0);
+        let next = map.replicas(0).followers[0];
+        map.promote(0, next);
+        assert_eq!(map.leader_of(0), next);
+        assert!(map.replicas(0).followers.contains(&old));
+        assert!(!map.replicas(0).followers.contains(&next));
+        assert_eq!(map.epoch(), 1);
+        assert_eq!(map.replicas(0).all().len(), 3, "membership unchanged");
+        // Promoting the sitting leader is a no-op.
+        map.promote(0, next);
+        assert_eq!(map.epoch(), 1);
+        // The untouched shard keeps its leader.
+        assert_eq!(map.leader_of(1), 1);
+    }
+}

@@ -1,0 +1,575 @@
+//! The gallery-service router: a [`Transport`] that fronts a sharded,
+//! replicated cluster of Gallery nodes (docs/replication.md).
+//!
+//! Clients speak to the router exactly as they would to a single server —
+//! typed client, resilience bundle, idempotency keys all unchanged. The
+//! router:
+//!
+//! - picks the target shard from the request's routing key with the same
+//!   fixed-slot hash the shards mint their ids under ([`shard_of`]), so
+//!   point lookups never consult a directory;
+//! - forwards the client's frame *byte-for-byte* inside the shard
+//!   envelope (never re-encoding what the client keyed);
+//! - after every successful mutation, synchronously pumps WAL shipping
+//!   from the shard's leader to its live followers **before** acking —
+//!   the invariant behind "zero lost acknowledged writes": an op is only
+//!   acked once every replica that could be promoted holds it;
+//! - serves `modelQuery` by scatter-gather over all shards, optionally
+//!   from bounded-staleness followers;
+//! - health-checks leaders by their failures: a dead leader is demoted
+//!   and the most caught-up live follower is promoted, after which the
+//!   client's transport-level retry lands on the new leader.
+
+use crate::cluster::ring::ShardMap;
+use crate::messages::{encode_sharded, ErrorCode, Request, Response};
+use crate::transport::{Transport, TransportError, TransportErrorKind};
+use bytes::Bytes;
+use gallery_core::shard_of;
+use gallery_telemetry::{kinds, Telemetry};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How many frames one `ShipWal`/`ApplyWal` exchange carries.
+const SHIP_BATCH: u64 = 256;
+
+/// Where a request must go.
+enum Route {
+    /// Hash this key to a shard; mutations go to its leader.
+    Key(String),
+    /// Fan out to every shard and merge (modelQuery).
+    Scatter,
+    /// Cluster-level control/observability: shard 0's leader.
+    Control,
+}
+
+fn route_of(request: &Request) -> Route {
+    match request {
+        Request::CreateModel {
+            base_version_id, ..
+        }
+        | Request::InstancesOfBaseVersion { base_version_id } => {
+            Route::Key(base_version_id.clone())
+        }
+        Request::GetModel { model_id }
+        | Request::UploadModel { model_id, .. }
+        | Request::LatestInstance { model_id }
+        | Request::Deploy { model_id, .. }
+        | Request::DeployedInstance { model_id, .. }
+        | Request::AddDependency { model_id, .. }
+        | Request::RemoveDependency { model_id, .. }
+        | Request::UpstreamOf { model_id }
+        | Request::DownstreamOf { model_id }
+        | Request::DeprecateModel { model_id } => Route::Key(model_id.clone()),
+        Request::GetInstance { instance_id }
+        | Request::FetchBlob { instance_id }
+        | Request::InsertMetric { instance_id, .. }
+        | Request::DeprecateInstance { instance_id }
+        | Request::SetStage { instance_id, .. }
+        | Request::StageOf { instance_id }
+        | Request::HealthReport { instance_id } => Route::Key(instance_id.clone()),
+        Request::SelectChampion { rule_id } | Request::TriggerRule { rule_id, .. } => {
+            Route::Key(rule_id.clone())
+        }
+        Request::ModelQuery { .. } => Route::Scatter,
+        Request::Probe { .. }
+        | Request::Validate { .. }
+        | Request::ShipWal { .. }
+        | Request::ApplyWal { .. }
+        | Request::ReplStatus
+        | Request::SetShardRole { .. } => Route::Control,
+    }
+}
+
+/// Router over per-node transports. Cheap to share: all state is behind
+/// locks, and `Transport::call` takes `&self`.
+pub struct ClusterRouter {
+    transports: Vec<Arc<dyn Transport>>,
+    map: RwLock<ShardMap>,
+    node_up: Vec<std::sync::atomic::AtomicBool>,
+    /// Last applied sequence we shipped each (shard, node) follower to.
+    progress: Mutex<HashMap<(u32, usize), u64>>,
+    /// Last observed leader sequence per shard (updated by every pump).
+    leader_seq: Mutex<HashMap<u32, u64>>,
+    follower_reads: bool,
+    staleness_budget_ops: u64,
+    reads_rr: AtomicU64,
+    telemetry: Arc<Telemetry>,
+}
+
+impl ClusterRouter {
+    pub fn new(
+        transports: Vec<Arc<dyn Transport>>,
+        map: ShardMap,
+        follower_reads: bool,
+        staleness_budget_ops: u64,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        let nodes = transports.len();
+        telemetry
+            .registry()
+            .gauge("gallery_cluster_nodes_up", &[])
+            .set(nodes as i64);
+        ClusterRouter {
+            transports,
+            map: RwLock::new(map),
+            node_up: (0..nodes)
+                .map(|_| std::sync::atomic::AtomicBool::new(true))
+                .collect(),
+            progress: Mutex::new(HashMap::new()),
+            leader_seq: Mutex::new(HashMap::new()),
+            follower_reads,
+            staleness_budget_ops,
+            reads_rr: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    pub fn map_snapshot(&self) -> ShardMap {
+        self.map.read().clone()
+    }
+
+    pub fn shard_count(&self) -> u32 {
+        self.map.read().shard_count()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.transports.len()
+    }
+
+    pub fn is_up(&self, node: usize) -> bool {
+        self.node_up[node].load(Ordering::SeqCst)
+    }
+
+    /// The follower-read staleness budget, in oplog ops.
+    pub fn staleness_budget(&self) -> u64 {
+        self.staleness_budget_ops
+    }
+
+    fn nodes_up_gauge(&self) {
+        let up = (0..self.node_count()).filter(|n| self.is_up(*n)).count();
+        self.telemetry
+            .registry()
+            .gauge("gallery_cluster_nodes_up", &[])
+            .set(up as i64);
+    }
+
+    /// Record a node as unhealthy (a call to it failed at the transport).
+    pub fn mark_node_down(&self, node: usize, reason: &str) {
+        if self.node_up[node].swap(false, Ordering::SeqCst) {
+            self.telemetry.events().emit(
+                kinds::CLUSTER_NODE_DOWN,
+                vec![("node", node.to_string()), ("reason", reason.to_owned())],
+            );
+            self.nodes_up_gauge();
+        }
+    }
+
+    /// Record a node as healthy again (after the drill revives it and its
+    /// replicas have been re-seeded).
+    pub fn mark_node_up(&self, node: usize) {
+        self.node_up[node].store(true, Ordering::SeqCst);
+        self.nodes_up_gauge();
+    }
+
+    /// Forget shipping progress for a follower that was re-seeded with an
+    /// empty store: the next pump re-ships its shard's log from scratch.
+    pub fn reset_progress(&self, shard: u32, node: usize) {
+        self.progress.lock().insert((shard, node), 0);
+    }
+
+    /// The replication lag (in oplog ops) of the worst live follower of a
+    /// shard, as of the last pump. 0 when every live follower is caught
+    /// up — which pump-before-ack guarantees between writes.
+    pub fn follower_lag(&self, shard: u32) -> u64 {
+        let leader_seq = self.leader_seq.lock().get(&shard).copied().unwrap_or(0);
+        let map = self.map.read();
+        let progress = self.progress.lock();
+        map.replicas(shard)
+            .followers
+            .iter()
+            .filter(|f| self.is_up(**f))
+            .map(|f| leader_seq.saturating_sub(progress.get(&(shard, *f)).copied().unwrap_or(0)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn counter(&self, name: &'static str) {
+        self.telemetry.registry().counter(name, &[]).inc();
+    }
+
+    fn call_node(&self, node: usize, frame: Bytes) -> Result<Bytes, TransportError> {
+        match self.transports[node].call(frame) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) => {
+                self.mark_node_down(node, &e.message);
+                Err(e)
+            }
+        }
+    }
+
+    fn request_to(
+        &self,
+        node: usize,
+        shard: u32,
+        request: &Request,
+    ) -> Result<Response, TransportError> {
+        let bytes = self.call_node(node, encode_sharded(shard, request.encode()))?;
+        Response::decode(bytes).map_err(|e| {
+            TransportError::new(TransportErrorKind::RequestDropped, format!("protocol: {e}"))
+        })
+    }
+
+    /// Ship the leader's oplog to every live follower of `shard` until
+    /// they are caught up. Follower failures mark the follower down and
+    /// move on (a dead follower must not block acks); a leader failure is
+    /// returned (the caller must not ack).
+    pub fn pump(&self, shard: u32) -> Result<(), TransportError> {
+        let (leader, followers) = {
+            let map = self.map.read();
+            let replicas = map.replicas(shard);
+            (replicas.leader, replicas.followers.clone())
+        };
+        let mut observed_leader_seq = None;
+        for follower in followers {
+            if !self.is_up(follower) {
+                continue;
+            }
+            let mut from = self
+                .progress
+                .lock()
+                .get(&(shard, follower))
+                .copied()
+                .unwrap_or(0);
+            let mut stalled = 0u32;
+            loop {
+                let shipped = self.request_to(
+                    leader,
+                    shard,
+                    &Request::ShipWal {
+                        from_seq: from,
+                        max: SHIP_BATCH,
+                    },
+                )?;
+                let Response::WalFrames { leader_seq, frames } = shipped else {
+                    return Err(TransportError::new(
+                        TransportErrorKind::LeaderUnavailable,
+                        format!("shard {shard} leader answered shipWal with {shipped:?}"),
+                    ));
+                };
+                observed_leader_seq = Some(leader_seq);
+                if frames.is_empty() {
+                    self.progress.lock().insert((shard, follower), from);
+                    break;
+                }
+                let count = frames.len() as u64;
+                let applied = match self.request_to(follower, shard, &Request::ApplyWal { frames })
+                {
+                    Ok(Response::ReplInfo { applied_seq, .. }) => applied_seq,
+                    Ok(other) => {
+                        // A verdict other than ReplInfo means the replica
+                        // cannot apply (diverging): stop serving it.
+                        self.mark_node_down(follower, &format!("applyWal: {other:?}"));
+                        break;
+                    }
+                    Err(_) => break, // already marked down
+                };
+                self.telemetry
+                    .registry()
+                    .counter("gallery_cluster_replication_frames_total", &[])
+                    .add(count);
+                if applied <= from {
+                    stalled += 1;
+                    if stalled > 2 {
+                        self.mark_node_down(follower, "applyWal makes no progress");
+                        break;
+                    }
+                } else {
+                    stalled = 0;
+                }
+                from = applied;
+                self.progress.lock().insert((shard, follower), from);
+                if applied >= leader_seq {
+                    break;
+                }
+            }
+        }
+        if let Some(seq) = observed_leader_seq {
+            self.leader_seq.lock().insert(shard, seq);
+        }
+        let shard_label = shard.to_string();
+        self.telemetry
+            .registry()
+            .gauge(
+                "gallery_cluster_replication_lag_ops",
+                &[("shard", shard_label.as_str())],
+            )
+            .set(self.follower_lag(shard) as i64);
+        Ok(())
+    }
+
+    /// Demote a dead leader: promote the most caught-up live follower.
+    /// Holding the map write lock across the election keeps concurrent
+    /// failovers of the same shard from double-promoting.
+    fn failover(&self, shard: u32) {
+        let mut map = self.map.write();
+        let leader = map.leader_of(shard);
+        if self.is_up(leader) {
+            return; // someone already failed this shard over
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for follower in map.replicas(shard).followers.clone() {
+            if !self.is_up(follower) {
+                continue;
+            }
+            if let Ok(Response::ReplInfo { applied_seq, .. }) =
+                self.request_to(follower, shard, &Request::ReplStatus)
+            {
+                if best.is_none_or(|(_, seq)| applied_seq > seq) {
+                    best = Some((follower, applied_seq));
+                }
+            }
+        }
+        let Some((node, applied_seq)) = best else {
+            return; // no live replica to promote; the shard is offline
+        };
+        match self.request_to(
+            node,
+            shard,
+            &Request::SetShardRole {
+                role: "leader".into(),
+            },
+        ) {
+            Ok(Response::ReplInfo { .. }) => {}
+            _ => return, // promotion did not land; retry on next failure
+        }
+        map.promote(shard, node);
+        let epoch = map.epoch();
+        self.counter("gallery_cluster_failovers_total");
+        self.telemetry.events().emit(
+            kinds::CLUSTER_PROMOTE,
+            vec![
+                ("shard", shard.to_string()),
+                ("node", node.to_string()),
+                ("applied_seq", applied_seq.to_string()),
+            ],
+        );
+        self.telemetry.events().emit(
+            kinds::CLUSTER_FAILOVER,
+            vec![
+                ("shard", shard.to_string()),
+                ("from", leader.to_string()),
+                ("to", node.to_string()),
+                ("epoch", epoch.to_string()),
+            ],
+        );
+    }
+
+    /// The answering replica disagreed with our map about who leads the
+    /// shard. Re-elect from live replicas' own claims.
+    fn resolve(&self, shard: u32) {
+        self.counter("gallery_cluster_wrong_shard_total");
+        let claimed: Option<usize> = {
+            let map = self.map.read();
+            map.replicas(shard).all().into_iter().find(|node| {
+                self.is_up(*node)
+                    && matches!(
+                        self.request_to(*node, shard, &Request::ReplStatus),
+                        Ok(Response::ReplInfo { ref role, .. }) if role == "leader"
+                    )
+            })
+        };
+        match claimed {
+            Some(node) => self.map.write().promote(shard, node),
+            None => self.failover(shard),
+        }
+    }
+
+    fn is_wrong_shard(bytes: &Bytes) -> bool {
+        matches!(
+            Response::decode(bytes.clone()),
+            Ok(Response::Err {
+                code: ErrorCode::WrongShard,
+                ..
+            })
+        )
+    }
+
+    /// Forward a mutation to the shard leader and pump replication before
+    /// acking. Any failure surfaces as a retryable transport error; the
+    /// retried frame carries the same idempotency key, so the leader
+    /// replays instead of re-executing.
+    fn forward_mutation(&self, shard: u32, frame: Bytes) -> Result<Bytes, TransportError> {
+        let leader = self.map.read().leader_of(shard);
+        if !self.is_up(leader) {
+            self.failover(shard);
+            return Err(TransportError::new(
+                TransportErrorKind::LeaderUnavailable,
+                format!("shard {shard} leader {leader} is down; failed over"),
+            ));
+        }
+        self.telemetry
+            .registry()
+            .counter("gallery_cluster_forwards_total", &[("target", "leader")])
+            .inc();
+        let response = match self.call_node(leader, encode_sharded(shard, frame)) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.failover(shard);
+                return Err(TransportError::new(
+                    TransportErrorKind::LeaderUnavailable,
+                    format!(
+                        "shard {shard} leader {leader} failed mid-write: {}",
+                        e.message
+                    ),
+                ));
+            }
+        };
+        if Self::is_wrong_shard(&response) {
+            self.resolve(shard);
+            return Err(TransportError::new(
+                TransportErrorKind::WrongShard,
+                format!("shard {shard}: node {leader} no longer leads; map re-resolved"),
+            ));
+        }
+        // Pump BEFORE acking. If the leader dies here the client never
+        // sees an ack, so the write is not "lost" even if the op vanishes
+        // with the dead leader.
+        self.pump(shard)?;
+        Ok(response)
+    }
+
+    /// Pick the replica to serve a read: the leader, or — when follower
+    /// reads are on — round-robin over the leader and every live follower
+    /// within the staleness budget.
+    fn pick_read_target(&self, shard: u32) -> (usize, bool) {
+        let map = self.map.read();
+        let replicas = map.replicas(shard);
+        let leader = replicas.leader;
+        if !self.follower_reads {
+            return (leader, false);
+        }
+        let leader_seq = self.leader_seq.lock().get(&shard).copied().unwrap_or(0);
+        let progress = self.progress.lock();
+        let mut candidates: Vec<(usize, bool)> = vec![(leader, false)];
+        for f in &replicas.followers {
+            if !self.is_up(*f) {
+                continue;
+            }
+            let lag = leader_seq.saturating_sub(progress.get(&(shard, *f)).copied().unwrap_or(0));
+            if lag <= self.staleness_budget_ops {
+                candidates.push((*f, true));
+            }
+        }
+        let pick = self.reads_rr.fetch_add(1, Ordering::Relaxed) as usize % candidates.len();
+        candidates[pick]
+    }
+
+    fn forward_read(&self, shard: u32, frame: Bytes) -> Result<Bytes, TransportError> {
+        let (target, is_follower) = self.pick_read_target(shard);
+        if !self.is_up(target) {
+            if !is_follower {
+                self.failover(shard);
+            }
+            return Err(TransportError::new(
+                TransportErrorKind::LeaderUnavailable,
+                format!("shard {shard} read target {target} is down"),
+            ));
+        }
+        if is_follower {
+            self.counter("gallery_cluster_follower_reads_total");
+        }
+        self.telemetry
+            .registry()
+            .counter(
+                "gallery_cluster_forwards_total",
+                &[("target", if is_follower { "follower" } else { "leader" })],
+            )
+            .inc();
+        let response = match self.call_node(target, encode_sharded(shard, frame)) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                if !is_follower {
+                    self.failover(shard);
+                }
+                return Err(TransportError::new(
+                    TransportErrorKind::LeaderUnavailable,
+                    format!("shard {shard} read failed on node {target}: {}", e.message),
+                ));
+            }
+        };
+        if Self::is_wrong_shard(&response) {
+            self.resolve(shard);
+            return Err(TransportError::new(
+                TransportErrorKind::WrongShard,
+                format!("shard {shard}: stale read routing; map re-resolved"),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// modelQuery across every shard, merged into one response. Each
+    /// shard's slice may come from a bounded-staleness follower; the
+    /// merged result is sorted by creation time then id so the output is
+    /// deterministic regardless of shard visit order.
+    fn scatter(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        let shards = self.shard_count();
+        let mut merged = Vec::new();
+        for shard in 0..shards {
+            let bytes = self.forward_read(shard, frame.clone())?;
+            match Response::decode(bytes.clone()) {
+                Ok(Response::Instances(list)) => merged.extend(list),
+                Ok(Response::Err { .. }) => return Ok(bytes),
+                Ok(other) => {
+                    return Err(TransportError::new(
+                        TransportErrorKind::RequestDropped,
+                        format!("shard {shard} answered modelQuery with {other:?}"),
+                    ))
+                }
+                Err(e) => {
+                    return Err(TransportError::new(
+                        TransportErrorKind::RequestDropped,
+                        format!("protocol: {e}"),
+                    ))
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.created_at.cmp(&b.created_at).then(a.id.cmp(&b.id)));
+        Ok(Response::Instances(merged).encode())
+    }
+}
+
+impl Transport for ClusterRouter {
+    fn call(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+        let decoded = match Request::decode_full(frame.clone()) {
+            Ok(d) => d,
+            Err(e) => {
+                return Ok(Response::Err {
+                    code: ErrorCode::Invalid,
+                    message: e.to_string(),
+                }
+                .encode())
+            }
+        };
+        let shards = self.shard_count();
+        match route_of(&decoded.request) {
+            Route::Scatter => self.scatter(frame),
+            Route::Control => {
+                if decoded.request.is_mutating() {
+                    self.forward_mutation(0, frame)
+                } else {
+                    self.forward_read(0, frame)
+                }
+            }
+            Route::Key(key) => {
+                let shard = shard_of(&key, shards);
+                if decoded.request.is_mutating() {
+                    self.forward_mutation(shard, frame)
+                } else {
+                    self.forward_read(shard, frame)
+                }
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! latency histograms. See `docs/observability.md`.
 
 pub mod client;
+pub mod cluster;
 pub mod messages;
 pub mod resilience;
 pub mod server;
@@ -33,14 +34,17 @@ pub mod wire;
 pub use gallery_telemetry as telemetry;
 
 pub use client::{ClientError, GalleryClient};
+pub use cluster::{
+    run_drill, ClusterConfig, ClusterRouter, DrillAction, DrillPlan, DrillReport, SimCluster,
+};
 pub use messages::{
     DecodedRequest, ErrorCode, HealthDto, InstanceDto, ModelDto, Request, Response, WireConstraint,
-    WireDiagnostic, WireOp, WireValue,
+    WireDiagnostic, WireOp, WireValue, WireWalFrame,
 };
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Resilience, ResilienceStats, RetryPolicy,
 };
-pub use server::{GalleryServer, IdempotencyCache};
+pub use server::{GalleryServer, IdempotencyCache, ReplicaRole};
 pub use transport::{
     DirectTransport, FlakyTransport, InProcCluster, LatentTransport, Transport, TransportError,
     TransportErrorKind,

@@ -226,6 +226,49 @@ pub enum Request {
         kind: String,
         content: String,
     },
+    /// Replication (docs/replication.md): ask a shard leader for the WAL
+    /// frames a follower at `from_seq` is missing, at most `max`.
+    ShipWal {
+        from_seq: u64,
+        max: u64,
+    },
+    /// Replication: apply a batch of shipped WAL frames on a follower.
+    /// Seq-idempotent on the store side, so re-sends are safe without an
+    /// idempotency key.
+    ApplyWal {
+        frames: Vec<WireWalFrame>,
+    },
+    /// Replication: report a replica's applied sequence and role (used by
+    /// the router to pick the most caught-up follower at failover).
+    ReplStatus,
+    /// Cluster control: set this replica's role for the shard (`"leader"`
+    /// or `"follower"`). Idempotent — setting the current role is a no-op.
+    SetShardRole {
+        role: String,
+    },
+}
+
+/// One shipped WAL op on the wire: the leader's 1-based commit sequence
+/// plus the op in the physical WAL's JSON encoding (see
+/// `gallery_store::ShipFrame` — this is its wire twin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireWalFrame {
+    pub seq: u64,
+    pub op_json: String,
+}
+
+impl WireWalFrame {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.seq);
+        w.put_str(&self.op_json);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(WireWalFrame {
+            seq: r.get_uvarint()?,
+            op_json: r.get_str()?,
+        })
+    }
 }
 
 /// Frame tag of the idempotency-key envelope. Tag 0 was never a valid
@@ -240,6 +283,39 @@ pub const KEYED_REQUEST_TAG: u8 = 0;
 /// Tag 254 is far above the request tag range, so old decoders reject
 /// traced frames cleanly.
 pub const TRACE_ENVELOPE_TAG: u8 = 254;
+
+/// Frame tag of the shard envelope the cluster router wraps forwarded
+/// frames in: `[253][shard uvarint][complete inner frame as bytes]`. The
+/// inner frame is carried opaquely (it keeps its own length prefix and
+/// any trace/key envelopes), so the router never re-encodes what the
+/// client signed with an idempotency key. A node peels this envelope,
+/// checks it owns the shard in the claimed role, and dispatches the inner
+/// frame to its per-shard server. Single-node transports that receive an
+/// unsharded frame are unaffected — tag 253 was never a request tag.
+pub const SHARD_ENVELOPE_TAG: u8 = 253;
+
+/// Wrap a complete frame in the shard envelope.
+pub fn encode_sharded(shard: u32, inner: Bytes) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u8(SHARD_ENVELOPE_TAG);
+    w.put_uvarint(u64::from(shard));
+    w.put_bytes(&inner);
+    w.frame()
+}
+
+/// If `framed` is shard-enveloped, return the target shard and the inner
+/// frame; otherwise `None` (a plain frame for the node's default shard).
+pub fn decode_sharded(framed: Bytes) -> Result<Option<(u32, Bytes)>, WireError> {
+    if framed.len() < 5 || framed[4] != SHARD_ENVELOPE_TAG {
+        return Ok(None);
+    }
+    let mut r = Reader::unframe(framed)?;
+    r.get_u8()?; // the envelope tag just peeked
+    let shard = r.get_uvarint()? as u32;
+    let inner = r.get_bytes()?;
+    r.finish()?;
+    Ok(Some((shard, inner)))
+}
 
 /// A fully decoded inbound frame: the propagated trace context and
 /// idempotency key (either may be absent) plus the request itself.
@@ -277,6 +353,10 @@ impl Request {
             Request::HealthReport { .. } => 22,
             Request::Probe { .. } => 23,
             Request::Validate { .. } => 24,
+            Request::ShipWal { .. } => 25,
+            Request::ApplyWal { .. } => 26,
+            Request::ReplStatus => 27,
+            Request::SetShardRole { .. } => 28,
         }
     }
 
@@ -308,6 +388,10 @@ impl Request {
             Request::HealthReport { .. } => "healthReport",
             Request::Probe { .. } => "probe",
             Request::Validate { .. } => "validate",
+            Request::ShipWal { .. } => "shipWal",
+            Request::ApplyWal { .. } => "applyWal",
+            Request::ReplStatus => "replStatus",
+            Request::SetShardRole { .. } => "setShardRole",
         }
     }
 
@@ -316,6 +400,12 @@ impl Request {
     /// ambiguous failure (the request may have been applied even though the
     /// response was lost). Rule requests count as mutating because the
     /// engine may run promotion actions.
+    ///
+    /// The replication requests (`ShipWal`, `ApplyWal`, `ReplStatus`,
+    /// `SetShardRole`) deliberately do NOT count: `ApplyWal` and
+    /// `SetShardRole` change state but are sequence-/value-idempotent by
+    /// construction, so the router retries them freely without minting
+    /// keys — the idempotency cache is reserved for client writes.
     pub fn is_mutating(&self) -> bool {
         matches!(
             self,
@@ -466,6 +556,18 @@ impl Request {
                 w.put_str(kind);
                 w.put_str(content);
             }
+            Request::ShipWal { from_seq, max } => {
+                w.put_uvarint(*from_seq);
+                w.put_uvarint(*max);
+            }
+            Request::ApplyWal { frames } => {
+                w.put_uvarint(frames.len() as u64);
+                for f in frames {
+                    f.encode(w);
+                }
+            }
+            Request::ReplStatus => {}
+            Request::SetShardRole { role } => w.put_str(role),
         }
     }
 
@@ -619,6 +721,20 @@ impl Request {
                 kind: r.get_str()?,
                 content: r.get_str()?,
             },
+            25 => Request::ShipWal {
+                from_seq: r.get_uvarint()?,
+                max: r.get_uvarint()?,
+            },
+            26 => {
+                let n = r.get_uvarint()? as usize;
+                let mut frames = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    frames.push(WireWalFrame::decode(r)?);
+                }
+                Request::ApplyWal { frames }
+            }
+            27 => Request::ReplStatus,
+            28 => Request::SetShardRole { role: r.get_str()? },
             other => return Err(WireError::new(format!("bad request tag {other}"))),
         };
         Ok(req)
@@ -827,6 +943,11 @@ pub enum ErrorCode {
     Conflict = 3,
     Storage = 4,
     Internal = 5,
+    /// The answering replica does not own the target shard in the role
+    /// the request needs (e.g. a mutation sent to a follower). The router
+    /// converts this into a transport-level retry that re-resolves the
+    /// shard map — clients never act on a stale map twice.
+    WrongShard = 6,
 }
 
 impl ErrorCode {
@@ -837,6 +958,7 @@ impl ErrorCode {
             3 => ErrorCode::Conflict,
             4 => ErrorCode::Storage,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::WrongShard,
             other => return Err(WireError::new(format!("bad error code {other}"))),
         })
     }
@@ -863,6 +985,18 @@ pub enum Response {
     Text(String),
     /// Static-analysis findings from a `Validate` request (empty = clean).
     Diagnostics(Vec<WireDiagnostic>),
+    /// Answer to `ShipWal`: the leader's own applied sequence plus the
+    /// frames the follower is missing (possibly empty when caught up).
+    WalFrames {
+        leader_seq: u64,
+        frames: Vec<WireWalFrame>,
+    },
+    /// Answer to `ReplStatus` / `ApplyWal` / `SetShardRole`: the
+    /// replica's applied sequence and current role after the operation.
+    ReplInfo {
+        applied_seq: u64,
+        role: String,
+    },
 }
 
 impl Response {
@@ -881,6 +1015,8 @@ impl Response {
             Response::Health(_) => 10,
             Response::Text(_) => 11,
             Response::Diagnostics(_) => 12,
+            Response::WalFrames { .. } => 13,
+            Response::ReplInfo { .. } => 14,
         }
     }
 
@@ -924,6 +1060,17 @@ impl Response {
                 for d in list {
                     d.encode(&mut w);
                 }
+            }
+            Response::WalFrames { leader_seq, frames } => {
+                w.put_uvarint(*leader_seq);
+                w.put_uvarint(frames.len() as u64);
+                for f in frames {
+                    f.encode(&mut w);
+                }
+            }
+            Response::ReplInfo { applied_seq, role } => {
+                w.put_uvarint(*applied_seq);
+                w.put_str(role);
             }
         }
         w.frame()
@@ -976,6 +1123,19 @@ impl Response {
                 }
                 Response::Diagnostics(list)
             }
+            13 => {
+                let leader_seq = r.get_uvarint()?;
+                let n = r.get_uvarint()? as usize;
+                let mut frames = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    frames.push(WireWalFrame::decode(&mut r)?);
+                }
+                Response::WalFrames { leader_seq, frames }
+            }
+            14 => Response::ReplInfo {
+                applied_seq: r.get_uvarint()?,
+                role: r.get_str()?,
+            },
             other => return Err(WireError::new(format!("bad response tag {other}"))),
         };
         r.finish()?;
@@ -1113,6 +1273,26 @@ mod tests {
             kind: "condition".into(),
             content: "gallery_monitor_drift_score > 3.0".into(),
         });
+        roundtrip_request(Request::ShipWal {
+            from_seq: 42,
+            max: 256,
+        });
+        roundtrip_request(Request::ApplyWal {
+            frames: vec![
+                WireWalFrame {
+                    seq: 43,
+                    op_json: r#"{"Insert":{}}"#.into(),
+                },
+                WireWalFrame {
+                    seq: 44,
+                    op_json: "{}".into(),
+                },
+            ],
+        });
+        roundtrip_request(Request::ReplStatus);
+        roundtrip_request(Request::SetShardRole {
+            role: "leader".into(),
+        });
     }
 
     #[test]
@@ -1159,6 +1339,25 @@ mod tests {
             "# TYPE gallery_alerts_firing gauge\ngallery_alerts_firing 1\n".into(),
         ));
         roundtrip_response(Response::Diagnostics(vec![]));
+        roundtrip_response(Response::WalFrames {
+            leader_seq: 99,
+            frames: vec![WireWalFrame {
+                seq: 7,
+                op_json: "{}".into(),
+            }],
+        });
+        roundtrip_response(Response::WalFrames {
+            leader_seq: 0,
+            frames: vec![],
+        });
+        roundtrip_response(Response::ReplInfo {
+            applied_seq: 12,
+            role: "follower".into(),
+        });
+        roundtrip_response(Response::Err {
+            code: ErrorCode::WrongShard,
+            message: "shard 3 moved".into(),
+        });
         roundtrip_response(Response::Diagnostics(vec![
             WireDiagnostic {
                 origin: "WHEN".into(),
@@ -1302,6 +1501,60 @@ mod tests {
             constraints: vec![]
         }
         .is_mutating());
+    }
+
+    #[test]
+    fn replication_requests_are_not_keyed() {
+        assert!(!Request::ShipWal {
+            from_seq: 0,
+            max: 10
+        }
+        .is_mutating());
+        assert!(!Request::ApplyWal { frames: vec![] }.is_mutating());
+        assert!(!Request::ReplStatus.is_mutating());
+        assert!(!Request::SetShardRole {
+            role: "leader".into()
+        }
+        .is_mutating());
+        assert_eq!(Request::ReplStatus.method_name(), "replStatus");
+    }
+
+    #[test]
+    fn shard_envelope_wraps_any_frame_opaquely() {
+        let req = Request::GetModel {
+            model_id: "m".into(),
+        };
+        // Plain inner frame.
+        let wrapped = encode_sharded(5, req.encode());
+        let (shard, inner) = decode_sharded(wrapped).unwrap().unwrap();
+        assert_eq!(shard, 5);
+        assert_eq!(Request::decode(inner).unwrap(), req);
+        // The inner frame keeps its envelopes byte-for-byte: a keyed,
+        // traced frame survives the wrap/unwrap unchanged.
+        let ctx = SpanContext {
+            trace_id: 9,
+            span_id: 10,
+        };
+        let signed = req.encode_with(Some("k-1"), Some(ctx));
+        let (shard, inner) = decode_sharded(encode_sharded(0, signed.clone()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(shard, 0);
+        assert_eq!(inner, signed);
+        // Unsharded frames pass through as None.
+        assert_eq!(decode_sharded(req.encode()).unwrap(), None);
+        assert_eq!(decode_sharded(req.encode_keyed("k")).unwrap(), None);
+        assert_eq!(
+            decode_sharded(req.encode_with(None, Some(ctx))).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn truncated_shard_envelope_rejected() {
+        let wrapped = encode_sharded(3, Request::ReplStatus.encode());
+        let truncated = wrapped.slice(..wrapped.len() - 2);
+        assert!(decode_sharded(truncated).is_err());
     }
 
     #[test]

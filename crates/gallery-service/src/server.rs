@@ -18,7 +18,7 @@ use gallery_rules::RuleEngine;
 use gallery_store::{Constraint, Op, StoreError, Value};
 use gallery_telemetry::{kinds, AlertEngine, Telemetry};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,38 +30,127 @@ use std::time::Instant;
 /// Only *successful* responses are recorded: a server-side failure leaves
 /// the key unclaimed so the client's retry gets a fresh execution.
 ///
-/// Cloning shares state — hand one cache to every replica of a cluster so
-/// a retry landing on a different replica still dedupes (the cache is the
-/// one piece of coordination the otherwise stateless tier needs, playing
-/// the role a shared Redis/MySQL table would in production).
+/// The cache is bounded two ways: an LRU capacity (replays touch their
+/// key, so keys a client is actively retrying survive even when the cache
+/// churns at capacity — a FIFO would evict exactly the hot keys under
+/// write bursts) and an optional TTL (a retry older than the client's own
+/// give-up horizon no longer needs dedupe). Either bound re-opens the
+/// (remote) possibility of double execution for very old retries;
+/// capacity should comfortably exceed the number of in-flight mutations.
+///
+/// Cloning shares state — hand one cache to every replica of a *stateless*
+/// server pool so a retry landing on a different replica still dedupes
+/// (the role a shared Redis/MySQL table plays in production). Do NOT
+/// share one cache across replicas with *distinct* stores (e.g. the
+/// shard replicas of docs/replication.md): a cached response would then
+/// claim an op that the replica's own store never saw.
 #[derive(Clone)]
 pub struct IdempotencyCache {
     inner: Arc<Mutex<IdempotencyInner>>,
 }
 
+struct IdempotencyEntry {
+    response: Bytes,
+    /// Recency token; key into `recency`.
+    touch: u64,
+    /// Absolute expiry (clock ms), when a TTL is configured.
+    expires_at: Option<i64>,
+}
+
 struct IdempotencyInner {
-    by_key: HashMap<String, Bytes>,
-    order: VecDeque<String>,
+    by_key: HashMap<String, IdempotencyEntry>,
+    /// Recency index: monotone touch token → key. The smallest token is
+    /// the least recently used key (a BTreeMap stands in for an intrusive
+    /// LRU list; entries are few and operations are O(log n)).
+    recency: BTreeMap<u64, String>,
+    next_touch: u64,
     capacity: usize,
+    ttl_ms: Option<i64>,
+    clock: Option<Arc<dyn gallery_core::Clock>>,
+    evictions: u64,
+    evictions_metric: Option<Arc<gallery_telemetry::Counter>>,
+}
+
+impl IdempotencyInner {
+    fn now(&self) -> i64 {
+        self.clock.as_ref().map(|c| c.now_ms()).unwrap_or(0)
+    }
+
+    fn evict(&mut self, key: &str) {
+        if let Some(entry) = self.by_key.remove(key) {
+            self.recency.remove(&entry.touch);
+            self.evictions += 1;
+            if let Some(metric) = &self.evictions_metric {
+                metric.inc();
+            }
+        }
+    }
 }
 
 impl IdempotencyCache {
-    /// Bounded FIFO cache: beyond `capacity` keys the oldest are evicted.
-    /// Eviction re-opens the (remote) possibility of double execution for
-    /// very old retries; capacity should comfortably exceed the number of
-    /// in-flight mutations.
+    /// Bounded LRU cache: beyond `capacity` keys the least recently used
+    /// (inserted or replayed) are evicted.
     pub fn with_capacity(capacity: usize) -> Self {
         IdempotencyCache {
             inner: Arc::new(Mutex::new(IdempotencyInner {
                 by_key: HashMap::new(),
-                order: VecDeque::new(),
+                recency: BTreeMap::new(),
+                next_touch: 0,
                 capacity: capacity.max(1),
+                ttl_ms: None,
+                clock: None,
+                evictions: 0,
+                evictions_metric: None,
             })),
         }
     }
 
+    /// Expire entries `ttl_ms` after they were recorded. Needs a clock;
+    /// pass a `ManualClock` in tests for deterministic expiry.
+    pub fn with_ttl(self, ttl_ms: i64, clock: Arc<dyn gallery_core::Clock>) -> Self {
+        {
+            let mut inner = self.inner.lock();
+            inner.ttl_ms = Some(ttl_ms.max(1));
+            inner.clock = Some(clock);
+        }
+        self
+    }
+
+    /// Count evictions into `gallery_idempotency_evictions_total` in the
+    /// given telemetry bundle (the in-struct [`IdempotencyCache::evictions`]
+    /// count is always kept).
+    pub fn with_telemetry(self, telemetry: &Telemetry) -> Self {
+        self.inner.lock().evictions_metric = Some(
+            telemetry
+                .registry()
+                .counter("gallery_idempotency_evictions_total", &[]),
+        );
+        self
+    }
+
     fn get(&self, key: &str) -> Option<Bytes> {
-        self.inner.lock().by_key.get(key).cloned()
+        let mut inner = self.inner.lock();
+        let now = inner.now();
+        match inner.by_key.get(key) {
+            None => None,
+            Some(entry) if entry.expires_at.is_some_and(|at| now >= at) => {
+                inner.evict(key);
+                None
+            }
+            Some(entry) => {
+                let response = entry.response.clone();
+                let old_touch = entry.touch;
+                // Replay = use: bump the key to most recently used.
+                let touch = inner.next_touch;
+                inner.next_touch += 1;
+                inner.recency.remove(&old_touch);
+                inner.recency.insert(touch, key.to_owned());
+                if let Some(entry) = inner.by_key.get_mut(key) {
+                    entry.touch = touch;
+                }
+                Some(response)
+            }
+        }
     }
 
     fn put(&self, key: String, response: Bytes) {
@@ -70,15 +159,23 @@ impl IdempotencyCache {
             return;
         }
         while inner.by_key.len() >= inner.capacity {
-            match inner.order.pop_front() {
-                Some(old) => {
-                    inner.by_key.remove(&old);
-                }
+            match inner.recency.values().next().cloned() {
+                Some(lru) => inner.evict(&lru),
                 None => break,
             }
         }
-        inner.order.push_back(key.clone());
-        inner.by_key.insert(key, response);
+        let touch = inner.next_touch;
+        inner.next_touch += 1;
+        let expires_at = inner.ttl_ms.map(|ttl| inner.now() + ttl);
+        inner.recency.insert(touch, key.clone());
+        inner.by_key.insert(
+            key,
+            IdempotencyEntry {
+                response,
+                touch,
+                expires_at,
+            },
+        );
     }
 
     pub fn len(&self) -> usize {
@@ -88,11 +185,45 @@ impl IdempotencyCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total keys evicted (capacity or TTL) over this cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
 }
 
 impl Default for IdempotencyCache {
     fn default() -> Self {
         Self::with_capacity(4096)
+    }
+}
+
+/// A replica's role for the shard it serves (docs/replication.md). The
+/// role lives on the server so the write gate and the replication
+/// handlers agree without a second source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Accepts client mutations; its oplog is the shard's history.
+    Leader,
+    /// Applies shipped WAL frames only; client mutations are rejected
+    /// with [`ErrorCode::WrongShard`] so the router re-resolves.
+    Follower,
+}
+
+impl ReplicaRole {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplicaRole::Leader => "leader",
+            ReplicaRole::Follower => "follower",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "leader" => Some(ReplicaRole::Leader),
+            "follower" => Some(ReplicaRole::Follower),
+            _ => None,
+        }
     }
 }
 
@@ -183,6 +314,7 @@ pub struct GalleryServer {
     alerts: Option<Arc<AlertEngine>>,
     idempotency: IdempotencyCache,
     telemetry: Arc<Telemetry>,
+    role: Mutex<ReplicaRole>,
 }
 
 impl GalleryServer {
@@ -193,6 +325,7 @@ impl GalleryServer {
             alerts: None,
             idempotency: IdempotencyCache::default(),
             telemetry: Arc::clone(gallery_telemetry::global()),
+            role: Mutex::new(ReplicaRole::Leader),
         }
     }
 
@@ -228,12 +361,29 @@ impl GalleryServer {
         self
     }
 
+    /// Start this server in a replica role other than the standalone
+    /// default ([`ReplicaRole::Leader`]).
+    pub fn with_role(self, role: ReplicaRole) -> Self {
+        *self.role.lock() = role;
+        self
+    }
+
     pub fn gallery(&self) -> &Arc<Gallery> {
         &self.gallery
     }
 
     pub fn idempotency(&self) -> &IdempotencyCache {
         &self.idempotency
+    }
+
+    pub fn role(&self) -> ReplicaRole {
+        *self.role.lock()
+    }
+
+    /// The metadata oplog sequence this replica has committed — what WAL
+    /// shipping advances and failover compares.
+    pub fn applied_seq(&self) -> u64 {
+        self.gallery.dal().metadata().applied_seq()
     }
 
     /// Handle one framed request, producing a framed response. Malformed
@@ -305,11 +455,30 @@ impl GalleryServer {
         encoded
     }
 
-    /// Dispatch a decoded request.
+    /// Dispatch a decoded request. Client mutations are gated on the
+    /// replica role: a follower answers them with `WrongShard` so the
+    /// router (or a direct client) re-resolves who leads the shard.
     pub fn dispatch(&self, request: Request) -> Response {
+        if request.is_mutating() && self.role() == ReplicaRole::Follower {
+            return Response::Err {
+                code: ErrorCode::WrongShard,
+                message: format!(
+                    "{} requires the shard leader; this replica is a follower",
+                    request.method_name()
+                ),
+            };
+        }
         match self.try_dispatch(request) {
             Ok(resp) => resp,
             Err(e) => error_response(e),
+        }
+    }
+
+    /// This replica's `ReplInfo` response.
+    fn repl_info(&self) -> Response {
+        Response::ReplInfo {
+            applied_seq: self.applied_seq(),
+            role: self.role().as_str().to_owned(),
         }
     }
 
@@ -540,6 +709,46 @@ impl GalleryServer {
                 };
                 Response::Diagnostics(report.findings.into_iter().map(wire_diagnostic).collect())
             }
+            Request::ShipWal { from_seq, max } => {
+                let (leader_seq, frames) = self
+                    .gallery
+                    .dal()
+                    .metadata()
+                    .ship_since(from_seq, (max as usize).min(65_536))?;
+                Response::WalFrames {
+                    leader_seq,
+                    frames: frames
+                        .into_iter()
+                        .map(|f| crate::messages::WireWalFrame {
+                            seq: f.seq,
+                            op_json: f.op_json,
+                        })
+                        .collect(),
+                }
+            }
+            Request::ApplyWal { frames } => {
+                let frames: Vec<gallery_store::ShipFrame> = frames
+                    .into_iter()
+                    .map(|f| gallery_store::ShipFrame {
+                        seq: f.seq,
+                        op_json: f.op_json,
+                    })
+                    .collect();
+                // A gap is not an error: the response carries the applied
+                // sequence, which tells the shipper where to resume.
+                self.gallery.dal().metadata().apply_ship(&frames)?;
+                self.repl_info()
+            }
+            Request::ReplStatus => self.repl_info(),
+            Request::SetShardRole { role } => {
+                let role = ReplicaRole::parse(&role).ok_or_else(|| {
+                    GalleryError::Invalid(format!(
+                        "unknown replica role `{role}` (expected leader or follower)"
+                    ))
+                })?;
+                *self.role.lock() = role;
+                self.repl_info()
+            }
         })
     }
 }
@@ -689,5 +898,158 @@ mod tests {
             rule_id: "r".into(),
         });
         assert!(matches!(resp, Response::Err { .. }));
+    }
+
+    fn create_frame(n: usize) -> Bytes {
+        Request::CreateModel {
+            project: "p".into(),
+            base_version_id: format!("bv-{n}"),
+            name: "m".into(),
+            owner: "o".into(),
+            description: "".into(),
+            metadata_json: "{}".into(),
+        }
+        .encode_keyed(&format!("key-{n}"))
+    }
+
+    #[test]
+    fn full_cache_still_dedupes_recent_keys() {
+        let telemetry = Telemetry::new();
+        let cache = IdempotencyCache::with_capacity(4).with_telemetry(&telemetry);
+        let s = GalleryServer::new(Arc::new(Gallery::in_memory()))
+            .with_idempotency(cache.clone())
+            .with_telemetry(Arc::clone(&telemetry));
+        // Fill the cache: keys 0..4 recorded.
+        let first: Vec<Bytes> = (0..4).map(|n| s.handle_frame(create_frame(n))).collect();
+        assert_eq!(cache.len(), 4);
+        // Replay key-0 — that touch makes it the MOST recently used.
+        assert_eq!(s.handle_frame(create_frame(0)), first[0]);
+        // Two more writes at capacity evict the LRU keys, which are now
+        // key-1 and key-2 — NOT the just-replayed key-0 (a FIFO would
+        // have evicted key-0 first).
+        s.handle_frame(create_frame(4));
+        s.handle_frame(create_frame(5));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(
+            s.handle_frame(create_frame(0)),
+            first[0],
+            "recently replayed key survives a full cache"
+        );
+        // key-1 was evicted: its retry re-executes and mints a NEW model
+        // id — dedupe is gone for evicted keys.
+        let original = match Response::decode(first[1].clone()).unwrap() {
+            Response::ModelInfo(m) => m.id,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let retried = match Response::decode(s.handle_frame(create_frame(1))).unwrap() {
+            Response::ModelInfo(m) => m.id,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_ne!(original, retried, "evicted key re-executes");
+        // The eviction counter is exported (the key-1 retry above evicted
+        // a third entry when its new response was cached).
+        let text = telemetry.render_text();
+        assert!(
+            text.contains("gallery_idempotency_evictions_total 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ttl_expires_stale_keys() {
+        use gallery_core::ManualClock;
+        let clock = ManualClock::new(0);
+        let cache =
+            IdempotencyCache::with_capacity(16).with_ttl(1_000, Arc::new(clock.clone()) as _);
+        let s = GalleryServer::new(Arc::new(Gallery::in_memory())).with_idempotency(cache.clone());
+        let first = s.handle_frame(create_frame(0));
+        // Within the TTL the retry replays.
+        clock.advance(999);
+        assert_eq!(s.handle_frame(create_frame(0)), first);
+        // Past the TTL the key is expired: re-execution mints a new model
+        // id, counted as an eviction.
+        clock.advance(2);
+        let original = match Response::decode(first.clone()).unwrap() {
+            Response::ModelInfo(m) => m.id,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let retried = match Response::decode(s.handle_frame(create_frame(0))).unwrap() {
+            Response::ModelInfo(m) => m.id,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_ne!(original, retried, "expired key re-executes");
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn follower_rejects_mutations_with_wrong_shard() {
+        let s = server().with_role(ReplicaRole::Follower);
+        let resp = s.dispatch(Request::CreateModel {
+            project: "p".into(),
+            base_version_id: "b".into(),
+            name: "m".into(),
+            owner: "o".into(),
+            description: "".into(),
+            metadata_json: "{}".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Err {
+                code: ErrorCode::WrongShard,
+                ..
+            }
+        ));
+        // Reads still work on a follower (bounded-staleness reads).
+        let resp = s.dispatch(Request::ModelQuery {
+            constraints: vec![],
+        });
+        assert!(matches!(resp, Response::Instances(_)));
+        // Role flips are idempotent and reflected in ReplInfo.
+        let resp = s.dispatch(Request::SetShardRole {
+            role: "leader".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::ReplInfo { ref role, .. } if role == "leader"
+        ));
+        assert_eq!(s.role(), ReplicaRole::Leader);
+    }
+
+    #[test]
+    fn wal_ships_between_two_servers() {
+        let leader = server();
+        let follower = server().with_role(ReplicaRole::Follower);
+        for n in 0..3 {
+            leader.handle_frame(create_frame(n));
+        }
+        // Pump: ask the leader for frames, apply on the follower.
+        let resp = leader.dispatch(Request::ShipWal {
+            from_seq: follower.applied_seq(),
+            max: 1_000,
+        });
+        let Response::WalFrames { leader_seq, frames } = resp else {
+            panic!("expected WalFrames");
+        };
+        assert_eq!(leader_seq, leader.applied_seq());
+        assert!(!frames.is_empty());
+        let resp = follower.dispatch(Request::ApplyWal { frames });
+        let Response::ReplInfo { applied_seq, role } = resp else {
+            panic!("expected ReplInfo");
+        };
+        assert_eq!(role, "follower");
+        assert_eq!(applied_seq, leader.applied_seq());
+        // The follower now serves the same models.
+        let Response::Instances(instances) = follower.dispatch(Request::ModelQuery {
+            constraints: vec![],
+        }) else {
+            panic!("expected Instances");
+        };
+        assert!(instances.is_empty()); // no instances uploaded, only models
+        let all = gallery_store::Query::all;
+        assert_eq!(
+            follower.gallery().find_models(&all()).unwrap().len(),
+            leader.gallery().find_models(&all()).unwrap().len()
+        );
     }
 }

@@ -36,6 +36,14 @@ pub enum TransportErrorKind {
     RequestDropped,
     /// An injected fault fired at a chaos site.
     Injected,
+    /// The node that answered no longer owns the target shard (stale
+    /// shard map, mid-failover role change). Retrying through the router
+    /// re-resolves the shard map, so this is transient by construction.
+    WrongShard,
+    /// The shard's leader is down or mid-failover and no replica can
+    /// accept the write yet. Transient: a retry after the router promotes
+    /// a follower succeeds.
+    LeaderUnavailable,
 }
 
 /// Transport failure.

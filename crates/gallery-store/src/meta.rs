@@ -21,6 +21,24 @@ use std::sync::Arc;
 struct MetaInner {
     tables: HashMap<String, Table>,
     wal: Option<Wal>,
+    /// The logical operation log, in commit order. Sequence numbers are
+    /// 1-based positions into this vector. This is what WAL shipping
+    /// replicates: a leader serves `ops_since`, a follower applies through
+    /// `apply_shipped`. Recovery seeds it from the physical WAL, so a
+    /// restarted follower resumes at exactly the sequence its disk holds.
+    ops: Vec<WalOp>,
+}
+
+/// Outcome of [`MetadataStore::apply_shipped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipApply {
+    /// The op was committed at the given sequence.
+    Applied,
+    /// The local log already contains this sequence; nothing was done.
+    AlreadyApplied,
+    /// The op is ahead of the local log; the shipper must resend from
+    /// `expected`.
+    Gap { expected: u64 },
 }
 
 /// Thread-safe, optionally durable metadata store.
@@ -38,6 +56,7 @@ impl MetadataStore {
             inner: RwLock::new(MetaInner {
                 tables: HashMap::new(),
                 wal: None,
+                ops: Vec::new(),
             }),
             faults: FaultPlan::none(),
             telemetry: Arc::clone(gallery_telemetry::global()),
@@ -82,6 +101,7 @@ impl MetadataStore {
             inner: RwLock::new(MetaInner {
                 tables: HashMap::new(),
                 wal: None,
+                ops: Vec::new(),
             }),
             faults: FaultPlan::none(),
             telemetry,
@@ -90,7 +110,8 @@ impl MetadataStore {
         {
             let mut inner = store.inner.write();
             for op in ops {
-                Self::apply(&mut inner.tables, op)?;
+                Self::apply(&mut inner.tables, op.clone())?;
+                inner.ops.push(op);
             }
             inner.wal = Some(
                 Wal::open_with_fs(Arc::clone(&store.fs), path, sync)?
@@ -147,11 +168,59 @@ impl MetadataStore {
         }
     }
 
+    /// Commit an op to the logs: physical WAL first (durability), then the
+    /// in-memory oplog (replication). A crash between WAL append and the
+    /// caller's in-memory apply heals on recovery, which replays the WAL
+    /// and reseeds the oplog from it.
     fn log(inner: &mut MetaInner, op: &WalOp) -> Result<()> {
         if let Some(wal) = inner.wal.as_mut() {
             wal.append(op)?;
         }
+        inner.ops.push(op.clone());
         Ok(())
+    }
+
+    /// Number of operations committed to this store, ever (1-based
+    /// sequence of the newest op). Followers report this as their applied
+    /// sequence; `leader.applied_seq() - follower.applied_seq()` is the
+    /// replication lag in ops.
+    pub fn applied_seq(&self) -> u64 {
+        self.inner.read().ops.len() as u64
+    }
+
+    /// Ops with sequence numbers in `(from_seq, from_seq + max]` — what a
+    /// leader ships to a follower that has applied `from_seq`.
+    pub fn ops_since(&self, from_seq: u64, max: usize) -> Vec<(u64, WalOp)> {
+        let inner = self.inner.read();
+        let start = (from_seq as usize).min(inner.ops.len());
+        inner.ops[start..]
+            .iter()
+            .take(max)
+            .enumerate()
+            .map(|(i, op)| ((start + i + 1) as u64, op.clone()))
+            .collect()
+    }
+
+    /// Apply one shipped op at sequence `seq`. Replay-idempotent: a seq at
+    /// or below the local applied sequence is skipped (the follower
+    /// already has it — e.g. both sides bootstrapped the same schema ops,
+    /// or a re-ship overlapped), a seq exactly one past it is committed
+    /// through the same WAL-first path as local writes, and a seq further
+    /// ahead reports the gap so the shipper can rewind.
+    pub fn apply_shipped(&self, seq: u64, op: WalOp) -> Result<ShipApply> {
+        let mut inner = self.inner.write();
+        let applied = inner.ops.len() as u64;
+        if seq <= applied {
+            return Ok(ShipApply::AlreadyApplied);
+        }
+        if seq > applied + 1 {
+            return Ok(ShipApply::Gap {
+                expected: applied + 1,
+            });
+        }
+        Self::log(&mut inner, &op)?;
+        Self::apply(&mut inner.tables, op)?;
+        Ok(ShipApply::Applied)
     }
 
     /// Create a table.
@@ -322,6 +391,12 @@ impl MetadataStore {
     /// the rows). The compacted log is written to a temporary file, fsynced,
     /// and atomically renamed over the old log, so a crash at any point
     /// leaves a replayable log. No-op for in-memory stores.
+    ///
+    /// Compaction rewrites the *physical* log only; the in-memory oplog
+    /// (replication sequence) is untouched. A restart after compaction
+    /// reseeds the oplog from the compacted WAL, which renumbers the
+    /// sequence — so compact a replicated shard store only when its
+    /// followers will be re-seeded from scratch (see docs/replication.md).
     pub fn compact(&self) -> Result<u64> {
         let mut inner = self.inner.write();
         let Some(wal) = inner.wal.as_ref() else {
@@ -505,6 +580,142 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.row_count("models").unwrap(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod oplog_tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::{Value, ValueType};
+    use std::path::PathBuf;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "models",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("name", ValueType::Str).hash_indexed(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gallery-oplog-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn leader_with_ops() -> MetadataStore {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        for i in 0..5 {
+            store
+                .insert(
+                    "models",
+                    Record::new().set("id", format!("m{i}")).set("name", "rf"),
+                )
+                .unwrap();
+        }
+        store.set_flag("models", "m2", "deprecated", true).unwrap();
+        store
+    }
+
+    #[test]
+    fn every_commit_advances_the_sequence() {
+        let leader = leader_with_ops();
+        // 1 create-table + 5 inserts + 1 set-flag.
+        assert_eq!(leader.applied_seq(), 7);
+        let all = leader.ops_since(0, 100);
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0].0, 1);
+        assert_eq!(all[6].0, 7);
+        // Windowing.
+        let tail = leader.ops_since(5, 100);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 6);
+        assert_eq!(leader.ops_since(7, 100).len(), 0);
+        assert_eq!(leader.ops_since(999, 100).len(), 0);
+        assert_eq!(leader.ops_since(0, 3).len(), 3);
+    }
+
+    #[test]
+    fn rejected_writes_do_not_advance_the_sequence() {
+        let leader = leader_with_ops();
+        let seq = leader.applied_seq();
+        assert!(leader
+            .insert("models", Record::new().set("id", "m0").set("name", "x"))
+            .is_err());
+        assert!(leader.insert("nope", Record::new().set("id", "z")).is_err());
+        assert_eq!(leader.applied_seq(), seq);
+    }
+
+    #[test]
+    fn shipped_ops_replicate_a_leader() {
+        let leader = leader_with_ops();
+        let follower = MetadataStore::in_memory();
+        for (seq, op) in leader.ops_since(0, 1000) {
+            assert_eq!(follower.apply_shipped(seq, op).unwrap(), ShipApply::Applied);
+        }
+        assert_eq!(follower.applied_seq(), leader.applied_seq());
+        assert_eq!(follower.row_count("models").unwrap(), 5);
+        let rec = follower.get("models", "m2").unwrap().unwrap();
+        assert_eq!(rec.get("deprecated"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn apply_shipped_is_replay_idempotent_and_detects_gaps() {
+        let leader = leader_with_ops();
+        let follower = MetadataStore::in_memory();
+        let ops = leader.ops_since(0, 1000);
+        // A gap is reported, not applied.
+        assert_eq!(
+            follower.apply_shipped(3, ops[2].1.clone()).unwrap(),
+            ShipApply::Gap { expected: 1 }
+        );
+        assert_eq!(follower.applied_seq(), 0);
+        // Normal apply, then replay the same frames: all skipped.
+        for (seq, op) in &ops {
+            follower.apply_shipped(*seq, op.clone()).unwrap();
+        }
+        for (seq, op) in &ops {
+            assert_eq!(
+                follower.apply_shipped(*seq, op.clone()).unwrap(),
+                ShipApply::AlreadyApplied
+            );
+        }
+        assert_eq!(follower.applied_seq(), leader.applied_seq());
+        assert_eq!(follower.row_count("models").unwrap(), 5);
+    }
+
+    #[test]
+    fn durable_follower_resumes_sequence_after_restart() {
+        let path = tmp("resume");
+        let leader = leader_with_ops();
+        let ops = leader.ops_since(0, 1000);
+        {
+            let follower = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+            for (seq, op) in ops.iter().take(4) {
+                follower.apply_shipped(*seq, op.clone()).unwrap();
+            }
+            assert_eq!(follower.applied_seq(), 4);
+        }
+        // Restart: the WAL holds exactly the shipped prefix, so the oplog
+        // reseeds to sequence 4 and shipping resumes from there.
+        let follower = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(follower.applied_seq(), 4);
+        for (seq, op) in ops.iter().skip(4) {
+            assert_eq!(
+                follower.apply_shipped(*seq, op.clone()).unwrap(),
+                ShipApply::Applied
+            );
+        }
+        assert_eq!(follower.applied_seq(), leader.applied_seq());
+        assert_eq!(follower.row_count("models").unwrap(), 5);
     }
 }
 

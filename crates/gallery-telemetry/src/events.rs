@@ -252,6 +252,17 @@ pub mod kinds {
     /// A firing alert invoked a registered action: fields `rule`, `action`,
     /// `outcome`.
     pub const ALERT_ACTION: &str = "alert.action";
+    /// The cluster router marked a node down: fields `node`, `reason`.
+    pub const CLUSTER_NODE_DOWN: &str = "cluster.node_down";
+    /// A follower was promoted to shard leader: fields `shard`, `node`,
+    /// `applied_seq`.
+    pub const CLUSTER_PROMOTE: &str = "cluster.promote";
+    /// A shard completed leader failover (demotion + promotion + epoch
+    /// bump): fields `shard`, `from`, `to`, `epoch`.
+    pub const CLUSTER_FAILOVER: &str = "cluster.failover";
+    /// A revived replica was reset and re-seeded from the leader's log:
+    /// fields `shard`, `node`, `shipped`.
+    pub const CLUSTER_RESYNC: &str = "cluster.resync";
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@
 //!   compact
 //!   stats [--probe]
 //!   lint RULES_FILE | lint --expr EXPR
+//!   cluster [--nodes N] [--shards S] [--replication R] [--writes W]
+//!           [--kill NODE] [--seed SEED]
 //! ```
 //!
 //! `monitor` replays the instance's stored production metrics through a
@@ -251,6 +253,63 @@ fn cmd_lint(args: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cluster` — run an in-process kill-a-node failover drill against a
+/// sharded, replicated cluster (docs/replication.md) and print the
+/// report. Exits non-zero if any replication invariant is violated.
+fn cmd_cluster(args: &mut Vec<String>) -> Result<(), String> {
+    use gallery::core::ManualClock as Clock;
+    use gallery::service::telemetry::Telemetry;
+    use gallery::service::{run_drill, ClusterConfig, DrillPlan, SimCluster};
+
+    let parse = |args: &mut Vec<String>, flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(args, flag)
+            .map(|v| v.parse().map_err(|e| format!("bad {flag}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let nodes = parse(args, "--nodes", 3)? as usize;
+    let shards = parse(args, "--shards", nodes as u64 * 2)? as u32;
+    let replication = parse(args, "--replication", 2)? as usize;
+    let writes = parse(args, "--writes", 30)? as usize;
+    let kill = parse(args, "--kill", 0)? as usize % nodes.max(1);
+    let seed = parse(args, "--seed", 1)?;
+
+    let clock = Clock::new(0);
+    let cluster = SimCluster::start_with(
+        ClusterConfig::new(nodes)
+            .with_shards(shards)
+            .with_replication(replication)
+            .with_follower_reads(true, 0),
+        Arc::new(clock.clone()),
+        Telemetry::new(),
+    );
+    let plan = DrillPlan::kill_one(seed, writes, kill);
+    let report = run_drill(&cluster, &clock, &plan);
+    println!("cluster:    {nodes} nodes, {shards} shards, replication {replication}");
+    println!(
+        "drill:      kill node {kill} at write {}, revive at {} (seed {seed})",
+        writes / 3,
+        writes * 2 / 3
+    );
+    println!(
+        "writes:     {} attempted, {} acked, {} rejected",
+        report.attempted, report.acked, report.rejected
+    );
+    println!("failovers:  {}", report.failovers);
+    println!(
+        "reads:      {} served by followers, max lag {} ops (budget {})",
+        report.follower_reads, report.max_follower_lag_ops, report.staleness_budget_ops
+    );
+    println!("lost acked: {}", report.lost);
+    println!("diverged:   {}", report.diverged);
+    if report.holds() {
+        println!("drill holds: zero lost acknowledged writes, zero divergence, bounded staleness");
+        Ok(())
+    } else {
+        Err("drill violated a replication invariant".into())
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let data_dir =
@@ -278,6 +337,11 @@ fn run() -> Result<(), String> {
     // dispatched before the data directory is opened (or created).
     if command == "lint" {
         return cmd_lint(&mut args);
+    }
+    // `cluster` builds its own in-process multi-node cluster — it never
+    // touches the data directory either.
+    if command == "cluster" {
+        return cmd_cluster(&mut args);
     }
     let g = Arc::new(open(&data_dir)?);
     let err = |e: GalleryError| e.to_string();
