@@ -32,7 +32,7 @@ use crate::transport::Transport;
 use gallery_core::{Clock, Gallery, IdPolicy, SystemClock};
 use gallery_store::blob::memory::MemoryBlobStore;
 use gallery_store::{Dal, MetadataStore, ObjectStore};
-use gallery_telemetry::{kinds, Telemetry};
+use gallery_telemetry::{kinds, Registry, Telemetry};
 use std::sync::Arc;
 
 /// Shape of a simulated cluster.
@@ -97,6 +97,7 @@ pub struct SimCluster {
     nodes: Vec<Arc<ClusterNode>>,
     router: Arc<ClusterRouter>,
     telemetry: Arc<Telemetry>,
+    node_telemetry: Vec<Arc<Telemetry>>,
 }
 
 impl SimCluster {
@@ -117,6 +118,21 @@ impl SimCluster {
         // only; blob bytes are durable the moment the leader writes them.
         let blobs: Arc<dyn ObjectStore> = Arc::new(MemoryBlobStore::new());
         let shard_total = config.shards;
+        // Each node gets a *private* metrics registry — federation
+        // (`ClusterRouter::federate`) scrapes the nodes separately and
+        // tells them apart by `node` label — but shares the cluster's
+        // tracer, event ring, and time source, so a mutation's spans land
+        // in one trace no matter how many nodes it crosses.
+        let node_telemetry: Vec<Arc<Telemetry>> = (0..config.nodes)
+            .map(|_| {
+                Telemetry::from_parts(
+                    Arc::new(Registry::new()),
+                    Arc::clone(telemetry.tracer()),
+                    Arc::clone(telemetry.events()),
+                    Arc::clone(telemetry.time_source()),
+                )
+            })
+            .collect();
         let nodes: Vec<Arc<ClusterNode>> = (0..config.nodes)
             .map(|id| {
                 let shards: Vec<(u32, ReplicaRole)> = map
@@ -133,7 +149,7 @@ impl SimCluster {
                     .collect();
                 let blobs = Arc::clone(&blobs);
                 let clock = Arc::clone(&clock);
-                let telemetry = Arc::clone(&telemetry);
+                let telemetry = Arc::clone(&node_telemetry[id]);
                 Arc::new(ClusterNode::new(
                     id,
                     &shards,
@@ -182,6 +198,7 @@ impl SimCluster {
             nodes,
             router,
             telemetry,
+            node_telemetry,
         }
     }
 
@@ -200,6 +217,12 @@ impl SimCluster {
 
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// One node's telemetry bundle: its private metrics registry plus the
+    /// shared tracer/event ring (see `start_with`).
+    pub fn node_telemetry(&self, id: usize) -> &Arc<Telemetry> {
+        &self.node_telemetry[id]
     }
 
     /// Kill a node: every call to it fails at the transport from now on.

@@ -25,9 +25,9 @@ use crate::messages::{encode_sharded, ErrorCode, Request, Response};
 use crate::transport::{Transport, TransportError, TransportErrorKind};
 use bytes::Bytes;
 use gallery_core::shard_of;
-use gallery_telemetry::{kinds, Telemetry};
+use gallery_telemetry::{kinds, relabel_exposition, Registry, Span, SpanContext, Telemetry};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -209,16 +209,33 @@ impl ClusterRouter {
         }
     }
 
+    /// Router-minted request to one node. When `trace` is given, the frame
+    /// carries it in the trace envelope, so the node's `rpc.server/*` span
+    /// joins the same trace as the client call that caused this hop.
     fn request_to(
         &self,
         node: usize,
         shard: u32,
         request: &Request,
+        trace: Option<SpanContext>,
     ) -> Result<Response, TransportError> {
-        let bytes = self.call_node(node, encode_sharded(shard, request.encode()))?;
+        let bytes = self.call_node(
+            node,
+            encode_sharded(shard, request.encode_with(None, trace)),
+        )?;
         Response::decode(bytes).map_err(|e| {
             TransportError::new(TransportErrorKind::RequestDropped, format!("protocol: {e}"))
         })
+    }
+
+    /// Open a span that is a child of `parent` when one exists (a traced
+    /// client call) and a root otherwise (internal housekeeping).
+    fn span(&self, name: &'static str, parent: Option<SpanContext>) -> Span {
+        let tracer = self.telemetry.tracer();
+        match parent {
+            Some(ctx) => tracer.start_child(name, ctx),
+            None => tracer.start_span(name),
+        }
     }
 
     /// Ship the leader's oplog to every live follower of `shard` until
@@ -226,12 +243,25 @@ impl ClusterRouter {
     /// move on (a dead follower must not block acks); a leader failure is
     /// returned (the caller must not ack).
     pub fn pump(&self, shard: u32) -> Result<(), TransportError> {
+        self.pump_traced(shard, None)
+    }
+
+    /// [`pump`](Self::pump) under a `cluster/ship` span. When `parent` is
+    /// the mutation's route span, the whole shipping exchange — the
+    /// leader's `shipWal` and each follower's `applyWal` server spans —
+    /// stitches into the mutation's trace, which is what makes an acked
+    /// write's trace cover every follower ack.
+    fn pump_traced(&self, shard: u32, parent: Option<SpanContext>) -> Result<(), TransportError> {
+        let mut span = self.span("cluster/ship", parent);
+        span.set_attr("shard", shard.to_string());
+        let ship_ctx = span.context();
         let (leader, followers) = {
             let map = self.map.read();
             let replicas = map.replicas(shard);
             (replicas.leader, replicas.followers.clone())
         };
         let mut observed_leader_seq = None;
+        let mut frames_shipped = 0u64;
         for follower in followers {
             if !self.is_up(follower) {
                 continue;
@@ -251,6 +281,7 @@ impl ClusterRouter {
                         from_seq: from,
                         max: SHIP_BATCH,
                     },
+                    Some(ship_ctx),
                 )?;
                 let Response::WalFrames { leader_seq, frames } = shipped else {
                     return Err(TransportError::new(
@@ -264,8 +295,12 @@ impl ClusterRouter {
                     break;
                 }
                 let count = frames.len() as u64;
-                let applied = match self.request_to(follower, shard, &Request::ApplyWal { frames })
-                {
+                let applied = match self.request_to(
+                    follower,
+                    shard,
+                    &Request::ApplyWal { frames },
+                    Some(ship_ctx),
+                ) {
                     Ok(Response::ReplInfo { applied_seq, .. }) => applied_seq,
                     Ok(other) => {
                         // A verdict other than ReplInfo means the replica
@@ -279,8 +314,24 @@ impl ClusterRouter {
                     .registry()
                     .counter("gallery_cluster_replication_frames_total", &[])
                     .add(count);
+                frames_shipped += count;
                 if applied <= from {
+                    // The follower applied less than we shipped it to: a
+                    // sequence gap (e.g. a replica reset behind our back).
+                    // The next batch resends from the follower's truth.
                     stalled += 1;
+                    let epoch = self.map.read().epoch();
+                    self.telemetry.events().emit_traced(
+                        kinds::CLUSTER_SHIP_GAP,
+                        Some(ship_ctx.trace_id),
+                        vec![
+                            ("shard", shard.to_string()),
+                            ("node", follower.to_string()),
+                            ("epoch", epoch.to_string()),
+                            ("from_seq", from.to_string()),
+                            ("applied_seq", applied.to_string()),
+                        ],
+                    );
                     if stalled > 2 {
                         self.mark_node_down(follower, "applyWal makes no progress");
                         break;
@@ -295,6 +346,7 @@ impl ClusterRouter {
                 }
             }
         }
+        span.set_attr("frames", frames_shipped.to_string());
         if let Some(seq) = observed_leader_seq {
             self.leader_seq.lock().insert(shard, seq);
         }
@@ -311,11 +363,18 @@ impl ClusterRouter {
 
     /// Demote a dead leader: promote the most caught-up live follower.
     /// Holding the map write lock across the election keeps concurrent
-    /// failovers of the same shard from double-promoting.
-    fn failover(&self, shard: u32) {
+    /// failovers of the same shard from double-promoting. When `parent` is
+    /// the failing request's span, the election — its `replStatus` probes,
+    /// the promotion RPC, and the `cluster.promote`/`cluster.failover`
+    /// events — lands in that request's trace.
+    fn failover(&self, shard: u32, parent: Option<SpanContext>) {
+        let mut span = self.span("cluster/failover", parent);
+        span.set_attr("shard", shard.to_string());
+        let ctx = span.context();
         let mut map = self.map.write();
         let leader = map.leader_of(shard);
         if self.is_up(leader) {
+            span.set_attr("outcome", "already-led");
             return; // someone already failed this shard over
         }
         let mut best: Option<(usize, u64)> = None;
@@ -324,7 +383,7 @@ impl ClusterRouter {
                 continue;
             }
             if let Ok(Response::ReplInfo { applied_seq, .. }) =
-                self.request_to(follower, shard, &Request::ReplStatus)
+                self.request_to(follower, shard, &Request::ReplStatus, Some(ctx))
             {
                 if best.is_none_or(|(_, seq)| applied_seq > seq) {
                     best = Some((follower, applied_seq));
@@ -332,6 +391,7 @@ impl ClusterRouter {
             }
         }
         let Some((node, applied_seq)) = best else {
+            span.set_attr("outcome", "no-live-replica");
             return; // no live replica to promote; the shard is offline
         };
         match self.request_to(
@@ -340,23 +400,29 @@ impl ClusterRouter {
             &Request::SetShardRole {
                 role: "leader".into(),
             },
+            Some(ctx),
         ) {
             Ok(Response::ReplInfo { .. }) => {}
-            _ => return, // promotion did not land; retry on next failure
+            _ => {
+                span.set_attr("outcome", "promotion-failed");
+                return; // promotion did not land; retry on next failure
+            }
         }
         map.promote(shard, node);
         let epoch = map.epoch();
         self.counter("gallery_cluster_failovers_total");
-        self.telemetry.events().emit(
+        self.telemetry.events().emit_traced(
             kinds::CLUSTER_PROMOTE,
+            Some(ctx.trace_id),
             vec![
                 ("shard", shard.to_string()),
                 ("node", node.to_string()),
                 ("applied_seq", applied_seq.to_string()),
             ],
         );
-        self.telemetry.events().emit(
+        self.telemetry.events().emit_traced(
             kinds::CLUSTER_FAILOVER,
+            Some(ctx.trace_id),
             vec![
                 ("shard", shard.to_string()),
                 ("from", leader.to_string()),
@@ -364,25 +430,29 @@ impl ClusterRouter {
                 ("epoch", epoch.to_string()),
             ],
         );
+        span.set_attr("from", leader.to_string());
+        span.set_attr("to", node.to_string());
+        span.set_attr("epoch", epoch.to_string());
+        span.set_attr("outcome", "promoted");
     }
 
     /// The answering replica disagreed with our map about who leads the
     /// shard. Re-elect from live replicas' own claims.
-    fn resolve(&self, shard: u32) {
+    fn resolve(&self, shard: u32, parent: Option<SpanContext>) {
         self.counter("gallery_cluster_wrong_shard_total");
         let claimed: Option<usize> = {
             let map = self.map.read();
             map.replicas(shard).all().into_iter().find(|node| {
                 self.is_up(*node)
                     && matches!(
-                        self.request_to(*node, shard, &Request::ReplStatus),
+                        self.request_to(*node, shard, &Request::ReplStatus, parent),
                         Ok(Response::ReplInfo { ref role, .. }) if role == "leader"
                     )
             })
         };
         match claimed {
             Some(node) => self.map.write().promote(shard, node),
-            None => self.failover(shard),
+            None => self.failover(shard, parent),
         }
     }
 
@@ -400,15 +470,22 @@ impl ClusterRouter {
     /// acking. Any failure surfaces as a retryable transport error; the
     /// retried frame carries the same idempotency key, so the leader
     /// replays instead of re-executing.
-    fn forward_mutation(&self, shard: u32, frame: Bytes) -> Result<Bytes, TransportError> {
+    fn forward_mutation(
+        &self,
+        shard: u32,
+        frame: Bytes,
+        span: &mut Span,
+    ) -> Result<Bytes, TransportError> {
+        let ctx = span.context();
         let leader = self.map.read().leader_of(shard);
         if !self.is_up(leader) {
-            self.failover(shard);
+            self.failover(shard, Some(ctx));
             return Err(TransportError::new(
                 TransportErrorKind::LeaderUnavailable,
                 format!("shard {shard} leader {leader} is down; failed over"),
             ));
         }
+        span.set_attr("leader", leader.to_string());
         self.telemetry
             .registry()
             .counter("gallery_cluster_forwards_total", &[("target", "leader")])
@@ -416,7 +493,7 @@ impl ClusterRouter {
         let response = match self.call_node(leader, encode_sharded(shard, frame)) {
             Ok(bytes) => bytes,
             Err(e) => {
-                self.failover(shard);
+                self.failover(shard, Some(ctx));
                 return Err(TransportError::new(
                     TransportErrorKind::LeaderUnavailable,
                     format!(
@@ -427,7 +504,7 @@ impl ClusterRouter {
             }
         };
         if Self::is_wrong_shard(&response) {
-            self.resolve(shard);
+            self.resolve(shard, Some(ctx));
             return Err(TransportError::new(
                 TransportErrorKind::WrongShard,
                 format!("shard {shard}: node {leader} no longer leads; map re-resolved"),
@@ -435,8 +512,13 @@ impl ClusterRouter {
         }
         // Pump BEFORE acking. If the leader dies here the client never
         // sees an ack, so the write is not "lost" even if the op vanishes
-        // with the dead leader.
-        self.pump(shard)?;
+        // with the dead leader. The ship segment is annotated on the route
+        // span — time the ack spent waiting on follower replication.
+        let time = Arc::clone(self.telemetry.time_source());
+        let ship_start = time.now_ms();
+        let pumped = self.pump_traced(shard, Some(ctx));
+        span.set_attr("ship_ms", (time.now_ms() - ship_start).to_string());
+        pumped?;
         Ok(response)
     }
 
@@ -466,11 +548,17 @@ impl ClusterRouter {
         candidates[pick]
     }
 
-    fn forward_read(&self, shard: u32, frame: Bytes) -> Result<Bytes, TransportError> {
+    fn forward_read(
+        &self,
+        shard: u32,
+        frame: Bytes,
+        span: &mut Span,
+    ) -> Result<Bytes, TransportError> {
+        let ctx = span.context();
         let (target, is_follower) = self.pick_read_target(shard);
         if !self.is_up(target) {
             if !is_follower {
-                self.failover(shard);
+                self.failover(shard, Some(ctx));
             }
             return Err(TransportError::new(
                 TransportErrorKind::LeaderUnavailable,
@@ -491,7 +579,7 @@ impl ClusterRouter {
             Ok(bytes) => bytes,
             Err(e) => {
                 if !is_follower {
-                    self.failover(shard);
+                    self.failover(shard, Some(ctx));
                 }
                 return Err(TransportError::new(
                     TransportErrorKind::LeaderUnavailable,
@@ -500,7 +588,7 @@ impl ClusterRouter {
             }
         };
         if Self::is_wrong_shard(&response) {
-            self.resolve(shard);
+            self.resolve(shard, Some(ctx));
             return Err(TransportError::new(
                 TransportErrorKind::WrongShard,
                 format!("shard {shard}: stale read routing; map re-resolved"),
@@ -513,11 +601,11 @@ impl ClusterRouter {
     /// shard's slice may come from a bounded-staleness follower; the
     /// merged result is sorted by creation time then id so the output is
     /// deterministic regardless of shard visit order.
-    fn scatter(&self, frame: Bytes) -> Result<Bytes, TransportError> {
+    fn scatter(&self, frame: Bytes, span: &mut Span) -> Result<Bytes, TransportError> {
         let shards = self.shard_count();
         let mut merged = Vec::new();
         for shard in 0..shards {
-            let bytes = self.forward_read(shard, frame.clone())?;
+            let bytes = self.forward_read(shard, frame.clone(), span)?;
             match Response::decode(bytes.clone()) {
                 Ok(Response::Instances(list)) => merged.extend(list),
                 Ok(Response::Err { .. }) => return Ok(bytes),
@@ -538,6 +626,113 @@ impl ClusterRouter {
         merged.sort_by(|a, b| a.created_at.cmp(&b.created_at).then(a.id.cmp(&b.id)));
         Ok(Response::Instances(merged).encode())
     }
+
+    /// Federate the cluster's metrics into one exposition: scrape every
+    /// live node's Prometheus text over the wire (`Probe{"metrics"}`),
+    /// re-label each node's series with `node="<id>"` (the router's own
+    /// registry as `node="router"`), and prepend cluster-level derived
+    /// gauges — liveness, per-follower applied-seq lag, follower-read
+    /// staleness. A node that fails its scrape is skipped (and marked
+    /// down), visible as `gallery_cluster_node_up{node} 0` rather than an
+    /// error. The output parses under `parse_exposition`; `# TYPE` lines
+    /// are deduped across sections since every node exports the same
+    /// families.
+    pub fn federate(&self) -> String {
+        let map = self.map.read().clone();
+        // Scrape first: failures update liveness, so the derived gauges
+        // below describe the cluster as seen by *this* scrape.
+        let mut sections: Vec<(String, String)> = Vec::new();
+        for node in 0..self.node_count() {
+            if !self.is_up(node) {
+                continue;
+            }
+            let Some(&shard) = map.shards_of(node).first() else {
+                continue;
+            };
+            let request = Request::Probe {
+                section: "metrics".into(),
+            };
+            match self.request_to(node, shard, &request, None) {
+                Ok(Response::Text(text)) => sections.push((node.to_string(), text)),
+                _ => continue, // marked down by call_node; skipped below
+            }
+        }
+
+        let derived = Registry::new();
+        let live = (0..self.node_count()).filter(|n| self.is_up(*n)).count();
+        derived
+            .gauge("gallery_cluster_live_nodes", &[])
+            .set(live as i64);
+        for node in 0..self.node_count() {
+            let node_label = node.to_string();
+            derived
+                .gauge("gallery_cluster_node_up", &[("node", node_label.as_str())])
+                .set(i64::from(self.is_up(node)));
+        }
+        {
+            let leader_seq = self.leader_seq.lock().clone();
+            let progress = self.progress.lock().clone();
+            for shard in 0..map.shard_count() {
+                let shard_label = shard.to_string();
+                let lseq = leader_seq.get(&shard).copied().unwrap_or(0);
+                let mut staleness = 0u64;
+                for f in &map.replicas(shard).followers {
+                    let lag = lseq.saturating_sub(progress.get(&(shard, *f)).copied().unwrap_or(0));
+                    let node_label = f.to_string();
+                    derived
+                        .gauge(
+                            "gallery_cluster_shard_applied_lag_ops",
+                            &[
+                                ("shard", shard_label.as_str()),
+                                ("node", node_label.as_str()),
+                            ],
+                        )
+                        .set(lag as i64);
+                    // Staleness of follower reads: the worst lag among the
+                    // followers reads may actually land on (live and within
+                    // budget).
+                    if self.follower_reads && self.is_up(*f) && lag <= self.staleness_budget_ops {
+                        staleness = staleness.max(lag);
+                    }
+                }
+                derived
+                    .gauge(
+                        "gallery_cluster_read_staleness_ops",
+                        &[("shard", shard_label.as_str())],
+                    )
+                    .set(staleness as i64);
+            }
+        }
+
+        let mut out = String::new();
+        let mut typed = HashSet::new();
+        append_exposition_section(&mut out, &mut typed, &derived.render_text());
+        if let Ok(text) = relabel_exposition(&self.telemetry.render_text(), &[("node", "router")]) {
+            append_exposition_section(&mut out, &mut typed, &text);
+        }
+        for (node_label, text) in &sections {
+            if let Ok(text) = relabel_exposition(text, &[("node", node_label.as_str())]) {
+                append_exposition_section(&mut out, &mut typed, &text);
+            }
+        }
+        out
+    }
+}
+
+/// Append one exposition section, keeping only the first `# TYPE` line
+/// per family: federated output concatenates many nodes that all export
+/// the same families.
+fn append_exposition_section(out: &mut String, typed: &mut HashSet<String>, section: &str) {
+    for line in section.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap_or_default();
+            if !typed.insert(name.to_string()) {
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
 }
 
 impl Transport for ClusterRouter {
@@ -552,24 +747,51 @@ impl Transport for ClusterRouter {
                 .encode())
             }
         };
+        // The route span: child of the client's span when the frame
+        // carries a trace envelope, a fresh root otherwise. The inner
+        // frame is still forwarded byte-for-byte, so the node's server
+        // span parents to the *client* span — route and server spans are
+        // siblings under the same root, and the shipping/failover work
+        // hangs off the route span.
+        let mut span = self.span("cluster/route", decoded.trace);
+        span.set_attr("method", decoded.request.method_name());
+        // A cluster-section probe is answered by the router itself: shard
+        // state, liveness, and every node's registry are only visible
+        // here.
+        if matches!(&decoded.request, Request::Probe { section } if section == "cluster") {
+            span.set_attr("route", "router");
+            span.set_attr("outcome", "ok");
+            let text = self.federate();
+            span.finish();
+            return Ok(Response::Text(text).encode());
+        }
         let shards = self.shard_count();
-        match route_of(&decoded.request) {
-            Route::Scatter => self.scatter(frame),
+        let result = match route_of(&decoded.request) {
+            Route::Scatter => {
+                span.set_attr("route", "scatter");
+                self.scatter(frame, &mut span)
+            }
             Route::Control => {
+                span.set_attr("route", "control");
                 if decoded.request.is_mutating() {
-                    self.forward_mutation(0, frame)
+                    self.forward_mutation(0, frame, &mut span)
                 } else {
-                    self.forward_read(0, frame)
+                    self.forward_read(0, frame, &mut span)
                 }
             }
             Route::Key(key) => {
                 let shard = shard_of(&key, shards);
+                span.set_attr("route", "key");
+                span.set_attr("shard", shard.to_string());
                 if decoded.request.is_mutating() {
-                    self.forward_mutation(shard, frame)
+                    self.forward_mutation(shard, frame, &mut span)
                 } else {
-                    self.forward_read(shard, frame)
+                    self.forward_read(shard, frame, &mut span)
                 }
             }
-        }
+        };
+        span.set_attr("outcome", if result.is_ok() { "ok" } else { "error" });
+        span.finish();
+        result
     }
 }

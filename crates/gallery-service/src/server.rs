@@ -392,6 +392,11 @@ impl GalleryServer {
     /// Frames carrying a trace envelope get their handler span stitched
     /// into the caller's trace.
     pub fn handle_frame(&self, frame: Bytes) -> Bytes {
+        // Timing segments come from the telemetry time source (not
+        // `Instant`): real durations under a wall clock, flat zeros under
+        // a test's manual clock — which keeps traced runs deterministic.
+        let time = Arc::clone(self.telemetry.time_source());
+        let t_recv = time.now_ms();
         let decoded = match Request::decode_full(frame) {
             Ok(d) => d,
             Err(e) => {
@@ -406,6 +411,7 @@ impl GalleryServer {
                 .encode();
             }
         };
+        let decode_ms = time.now_ms() - t_recv;
         let method = decoded.request.method_name();
         let started = Instant::now();
         let tracer = self.telemetry.tracer();
@@ -415,6 +421,18 @@ impl GalleryServer {
         };
         span.set_attr("method", method);
         let trace_id = span.context().trace_id;
+        // Time the store work (dispatch) and response encode separately.
+        let timed_dispatch = |request: Request| {
+            let t0 = time.now_ms();
+            let response = self.dispatch(request);
+            let t1 = time.now_ms();
+            let encoded = response.encode();
+            let t2 = time.now_ms();
+            let is_err = matches!(response, Response::Err { .. });
+            (encoded, is_err, t1 - t0, t2 - t1)
+        };
+        let mut store_ms = 0i64;
+        let mut encode_ms = 0i64;
         let encoded = match decoded.key {
             Some(key) => {
                 if let Some(recorded) = self.idempotency.get(&key) {
@@ -433,16 +451,28 @@ impl GalleryServer {
                     span.set_attr("replay", "true");
                     recorded
                 } else {
-                    let response = self.dispatch(decoded.request);
-                    let encoded = response.encode();
-                    if !matches!(response, Response::Err { .. }) {
+                    let (encoded, is_err, s_ms, e_ms) = timed_dispatch(decoded.request);
+                    store_ms = s_ms;
+                    encode_ms = e_ms;
+                    if !is_err {
                         self.idempotency.put(key, encoded.clone());
                     }
                     encoded
                 }
             }
-            None => self.dispatch(decoded.request).encode(),
+            None => {
+                let (encoded, _, s_ms, e_ms) = timed_dispatch(decoded.request);
+                store_ms = s_ms;
+                encode_ms = e_ms;
+                encoded
+            }
         };
+        // Per-request server-side timing segments as span annotations:
+        // where inside the node a slow request spent its time. (The ship
+        // segment is router-side, on the route span.)
+        span.set_attr("decode_ms", decode_ms.to_string());
+        span.set_attr("store_ms", store_ms.to_string());
+        span.set_attr("encode_ms", encode_ms.to_string());
         let reg = self.telemetry.registry();
         reg.counter("gallery_rpc_server_requests_total", &[("method", method)])
             .inc();

@@ -8,8 +8,8 @@ use gallery_core::clock::{ClockTimeSource, ManualClock, SimulatedSleeper};
 use gallery_core::Gallery;
 use gallery_service::telemetry::{kinds, Telemetry};
 use gallery_service::{
-    BreakerConfig, BreakerState, CircuitBreaker, DirectTransport, FlakyTransport, GalleryClient,
-    GalleryServer, Resilience, RetryPolicy,
+    BreakerConfig, BreakerState, CircuitBreaker, ClusterConfig, DirectTransport, FlakyTransport,
+    GalleryClient, GalleryServer, Resilience, RetryPolicy, SimCluster,
 };
 use gallery_store::fault::{sites, FaultPlan};
 use gallery_store::Query;
@@ -178,6 +178,85 @@ fn span_timestamps_deterministic_under_manual_clock() {
     assert!(a
         .iter()
         .all(|s| s.start_ms >= 50_000 && s.end_ms >= s.start_ms));
+}
+
+/// One mutation through a 3-node replicated cluster lands in ONE trace
+/// covering the client, the router's route/ship spans, the leader's
+/// handler, and a handler span per follower ack — and the whole record
+/// set is deterministic under a `ManualClock`.
+#[test]
+fn cluster_mutation_stitches_one_trace_across_router_leader_and_followers() {
+    let run = || {
+        let clock = ManualClock::new(10_000);
+        let telemetry =
+            Telemetry::with_time_source(Arc::new(ClockTimeSource::new(Arc::new(clock.clone()))));
+        let cluster = SimCluster::start_with(
+            ClusterConfig::new(3)
+                .with_shards(3)
+                .with_replication(3)
+                .with_follower_reads(true, 0),
+            Arc::new(clock),
+            telemetry,
+        );
+        let client =
+            GalleryClient::new(cluster.transport()).with_telemetry(Arc::clone(cluster.telemetry()));
+        client
+            .create_model("p", "bv-trace", "m", "o", "", "{}")
+            .unwrap();
+        let tracer = cluster.telemetry().tracer();
+        assert_eq!(tracer.trace_ids().len(), 1, "one logical call, one trace");
+        tracer.finished_spans()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same clock, same IDs, same records");
+
+    let root = a
+        .iter()
+        .find(|s| s.name == "rpc.client/createGalleryModel")
+        .expect("client root span");
+    assert_eq!(root.parent_span_id, None);
+    assert!(a.iter().all(|s| s.trace_id == root.trace_id));
+    // Every non-root span's parent is in the same capture: the tree is
+    // connected, client → router → leader → followers.
+    for s in &a {
+        if let Some(parent) = s.parent_span_id {
+            assert!(
+                a.iter().any(|x| x.span_id == parent),
+                "orphan span {} in {a:#?}",
+                s.name
+            );
+        }
+    }
+    let names: Vec<&str> = a.iter().map(|s| s.name.as_str()).collect();
+    let count = |n: &str| names.iter().filter(|x| **x == n).count();
+    assert_eq!(count("cluster/route"), 1, "{names:?}");
+    assert_eq!(count("rpc.server/createGalleryModel"), 1, "{names:?}");
+    assert_eq!(count("cluster/ship"), 1, "{names:?}");
+    assert!(count("rpc.server/shipWal") >= 1, "{names:?}");
+    assert_eq!(
+        count("rpc.server/applyWal"),
+        2,
+        "3-way replication: one handler span per follower ack: {names:?}"
+    );
+    // Per-request timing segments ride as span attributes.
+    let server = a
+        .iter()
+        .find(|s| s.name == "rpc.server/createGalleryModel")
+        .unwrap();
+    for key in ["decode_ms", "store_ms", "encode_ms"] {
+        assert!(
+            server.attrs.iter().any(|(k, _)| *k == key),
+            "server span missing {key}: {:?}",
+            server.attrs
+        );
+    }
+    let route = a.iter().find(|s| s.name == "cluster/route").unwrap();
+    assert!(
+        route.attrs.iter().any(|(k, _)| *k == "ship_ms"),
+        "route span missing ship_ms: {:?}",
+        route.attrs
+    );
 }
 
 /// Breaker state flips surface as `breaker.transition` events and a

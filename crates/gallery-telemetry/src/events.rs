@@ -263,6 +263,11 @@ pub mod kinds {
     /// A revived replica was reset and re-seeded from the leader's log:
     /// fields `shard`, `node`, `shipped`.
     pub const CLUSTER_RESYNC: &str = "cluster.resync";
+    /// WAL shipping hit a sequence gap: a follower applied less than the
+    /// router believed it had, so the next batch resends from the
+    /// follower's truth. Fields `shard`, `node`, `epoch`, `from_seq`,
+    /// `applied_seq`.
+    pub const CLUSTER_SHIP_GAP: &str = "cluster.ship_gap";
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 
 pub mod alerts;
 pub mod events;
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
@@ -33,10 +34,11 @@ pub use alerts::{
     Cmp, MetricSelector,
 };
 pub use events::{kinds, EventSink, TelemetryEvent};
+pub use flight::{render_tree, FlightRecorder, SlowCapture};
 pub use metrics::{
     default_duration_buckets_ms, default_size_buckets_bytes, parse_exemplars, parse_exposition,
-    parse_samples, Counter, ExpositionSummary, FamilyKind, FamilyMeta, Gauge, Histogram, Registry,
-    Sample,
+    parse_samples, relabel_exposition, Counter, ExpositionSummary, FamilyKind, FamilyMeta, Gauge,
+    Histogram, Registry, Sample,
 };
 pub use trace::{Span, SpanContext, SpanRecord, TimeSource, Tracer, WallClock};
 
@@ -75,6 +77,25 @@ impl Telemetry {
             registry: Arc::new(Registry::disabled()),
             tracer: Arc::new(Tracer::disabled(Arc::clone(&time))),
             events: Arc::new(EventSink::disabled(Arc::clone(&time))),
+            time,
+        })
+    }
+
+    /// Assemble a bundle from explicit parts. The cluster uses this to
+    /// give each node a *private* metrics [`Registry`] — so federation can
+    /// tell the nodes apart when it scrapes them — while every node shares
+    /// one tracer, event ring, and time source, which is what lets a
+    /// cross-node trace land in a single place.
+    pub fn from_parts(
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        events: Arc<EventSink>,
+        time: Arc<dyn TimeSource>,
+    ) -> Arc<Self> {
+        Arc::new(Telemetry {
+            registry,
+            tracer,
+            events,
             time,
         })
     }
@@ -128,6 +149,26 @@ mod tests {
         let span = t.tracer().start_span("x");
         span.finish();
         assert_eq!(t.tracer().finished_spans()[0].start_ms, 777);
+    }
+
+    #[test]
+    fn from_parts_shares_tracer_but_not_registry() {
+        let shared = Telemetry::new();
+        let node = Telemetry::from_parts(
+            Arc::new(Registry::new()),
+            Arc::clone(shared.tracer()),
+            Arc::clone(shared.events()),
+            Arc::clone(shared.time_source()),
+        );
+        // Same span ring: a span opened on the node bundle is visible on
+        // the shared one.
+        node.tracer().start_span("cross-node").finish();
+        assert_eq!(shared.tracer().finished_spans().len(), 1);
+        // Separate registries: node counters never leak into the shared
+        // exposition.
+        node.registry().counter("node_only_total", &[]).add(3);
+        assert!(!shared.render_text().contains("node_only_total"));
+        assert!(node.render_text().contains("node_only_total 3"));
     }
 
     #[test]

@@ -802,6 +802,64 @@ pub fn parse_exemplars(text: &str) -> Result<Vec<(Sample, u64)>, String> {
     Ok(out)
 }
 
+/// Re-render an exposition with `extra` labels spliced into every sample
+/// and `# EXEMPLAR` line — how federation tags each node's scrape with
+/// `node="N"` before concatenating them. `# TYPE`/`# HELP` comments pass
+/// through untouched. Extra labels come first in the re-rendered series
+/// and replace any same-named label already present. The output parses
+/// under [`parse_exposition`] whenever the input did.
+pub fn relabel_exposition(text: &str, extra: &[(&str, &str)]) -> Result<String, String> {
+    let mut out = String::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let n = line_no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix("# EXEMPLAR ") {
+            let (sample, trace_id) =
+                parse_exemplar_line_body(body).map_err(|e| format!("line {n}: {e}"))?;
+            out.push_str("# EXEMPLAR ");
+            render_series(
+                &mut out,
+                &sample.name,
+                &merge_labels(&sample.labels, extra),
+                None,
+            );
+            out.push_str(&format!(" trace_id={trace_id}\n"));
+            continue;
+        }
+        if line.starts_with('#') {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let sample = parse_sample_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        render_sample(
+            &mut out,
+            &sample.name,
+            &merge_labels(&sample.labels, extra),
+            None,
+            sample.value,
+        );
+    }
+    Ok(out)
+}
+
+/// Extra labels first (a stable federation key order), then the series'
+/// own labels minus any the extras replace.
+fn merge_labels(own: &[(String, String)], extra: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut merged: Vec<(String, String)> = extra
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    merged.extend(
+        own.iter()
+            .filter(|(k, _)| !extra.iter().any(|(ek, _)| ek == k))
+            .cloned(),
+    );
+    merged
+}
+
 fn parse_exemplar_line(rest: &str) -> Result<(), String> {
     let body = rest
         .strip_prefix("EXEMPLAR ")
@@ -1112,6 +1170,39 @@ mod tests {
             .unwrap();
         assert_eq!(tail.1, 43);
         assert_eq!(tail.0.label("instance"), Some("i-1"));
+    }
+
+    #[test]
+    fn relabel_splices_node_label_into_every_series() {
+        let reg = Registry::new();
+        reg.counter("ops_total", &[("op", "get")]).add(3);
+        reg.counter("bare_total", &[]).add(1);
+        let h = reg.histogram("dur_ms", &[], vec![1.0]);
+        h.observe_with_exemplar(0.5, 77);
+        let text = reg.render_text();
+
+        let tagged = relabel_exposition(&text, &[("node", "2")]).expect("relabel");
+        parse_exposition(&tagged).expect("relabeled output still lints clean");
+        assert!(tagged.contains("ops_total{node=\"2\",op=\"get\"} 3"));
+        assert!(tagged.contains("bare_total{node=\"2\"} 1"));
+        assert!(tagged.contains("# TYPE ops_total counter"), "comments pass");
+        let samples = parse_samples(&tagged).unwrap();
+        assert!(samples.iter().all(|s| s.label("node") == Some("2")));
+        let exemplars = parse_exemplars(&tagged).unwrap();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].0.label("node"), Some("2"));
+        assert_eq!(exemplars[0].1, 77);
+    }
+
+    #[test]
+    fn relabel_replaces_clashing_labels_and_keeps_nonfinite_values() {
+        let text = "x_sum +Inf\nx_nan NaN\ny_total{node=\"old\",op=\"a\"} 4\n";
+        let tagged = relabel_exposition(text, &[("node", "new")]).unwrap();
+        assert!(tagged.contains("x_sum{node=\"new\"} +Inf"));
+        assert!(tagged.contains("x_nan{node=\"new\"} NaN"));
+        assert!(tagged.contains("y_total{node=\"new\",op=\"a\"} 4"));
+        assert!(!tagged.contains("old"), "clashing label replaced");
+        assert!(relabel_exposition("garbage line\n", &[("n", "1")]).is_err());
     }
 
     #[test]

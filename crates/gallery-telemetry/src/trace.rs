@@ -10,6 +10,7 @@
 //! cannot see the core `Clock` trait; [`TimeSource`] is the telemetry-side
 //! equivalent and core provides a one-line adapter over any `Clock`.
 
+use crate::flight::{FlightRecorder, SlowCapture};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +67,7 @@ pub struct Tracer {
     inner: Mutex<TracerInner>,
     capacity: usize,
     enabled: bool,
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl Tracer {
@@ -85,7 +87,20 @@ impl Tracer {
             }),
             capacity: capacity.max(1),
             enabled: true,
+            flight: Mutex::new(None),
         }
+    }
+
+    /// Attach a flight recorder: from now on, every finished *root* span
+    /// at least `recorder.threshold_ms()` long captures its whole trace
+    /// (as retained by this tracer's ring) into the recorder.
+    pub fn attach_flight_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.flight.lock() = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.lock().clone()
     }
 
     /// A tracer that mints contexts but records nothing.
@@ -138,12 +153,44 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        let mut inner = self.inner.lock();
-        if inner.finished.len() == self.capacity {
-            inner.finished.pop_front();
-            inner.dropped += 1;
+        // Only root spans can trip the flight recorder: the root closes
+        // last, so its trace is complete in the ring at this moment.
+        let recorder = if span.parent_span_id.is_none() {
+            self.flight.lock().clone()
+        } else {
+            None
+        };
+        let trace_id = span.trace_id;
+        let duration_ms = span.end_ms - span.start_ms;
+        let capture = {
+            let mut inner = self.inner.lock();
+            if inner.finished.len() == self.capacity {
+                inner.finished.pop_front();
+                inner.dropped += 1;
+            }
+            inner.finished.push_back(span);
+            match &recorder {
+                Some(rec) if duration_ms >= rec.threshold_ms() => Some(
+                    inner
+                        .finished
+                        .iter()
+                        .filter(|s| s.trace_id == trace_id)
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            }
+        };
+        // The recorder takes its own lock; call it outside ours.
+        if let (Some(rec), Some(spans)) = (recorder, capture) {
+            let root_name = spans.last().map(|s| s.name.clone()).unwrap_or_default();
+            rec.record(SlowCapture {
+                trace_id,
+                root_name,
+                duration_ms,
+                spans,
+            });
         }
-        inner.finished.push_back(span);
     }
 
     /// All finished spans currently retained, oldest first.
@@ -318,6 +365,47 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].name, "s2");
         assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn flight_recorder_captures_slow_root_with_whole_trace() {
+        // step=10 and three spans: root start, child start, child end,
+        // root end → root duration 30ms, child 10ms.
+        let tracer = Arc::new(Tracer::new(StepClock::new(0, 10)));
+        let recorder = Arc::new(FlightRecorder::new(30));
+        tracer.attach_flight_recorder(Arc::clone(&recorder));
+
+        let root = tracer.start_span("slow-request");
+        let child = tracer.start_child("handler", root.context());
+        child.finish();
+        root.finish();
+
+        let captures = recorder.captures();
+        assert_eq!(captures.len(), 1);
+        assert_eq!(captures[0].root_name, "slow-request");
+        assert_eq!(captures[0].duration_ms, 30);
+        let names: Vec<&str> = captures[0].spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["handler", "slow-request"]);
+    }
+
+    #[test]
+    fn flight_recorder_ignores_fast_roots_and_slow_children() {
+        let tracer = Arc::new(Tracer::new(StepClock::new(0, 10)));
+        let recorder = Arc::new(FlightRecorder::new(25));
+        tracer.attach_flight_recorder(Arc::clone(&recorder));
+
+        // Fast root: start/end one step apart → 10ms < 25ms.
+        tracer.start_span("fast").finish();
+        // Slow child under a fast root: the child alone never triggers.
+        let root = tracer.start_span("parent");
+        let ctx = root.context();
+        root.finish(); // 10ms
+        let slow_child = tracer.start_child("slow-child", ctx);
+        for _ in 0..5 {
+            tracer.start_span("noise").finish();
+        }
+        slow_child.finish(); // well over threshold, but not a root
+        assert_eq!(recorder.total_captured(), 0);
     }
 
     #[test]

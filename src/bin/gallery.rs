@@ -30,6 +30,7 @@
 //!   audit [--repair]
 //!   compact
 //!   stats [--probe]
+//!   stats --cluster [--nodes N] [--shards S] [--replication R] [--writes W]
 //!   lint RULES_FILE | lint --expr EXPR
 //!   cluster [--nodes N] [--shards S] [--replication R] [--writes W]
 //!           [--kill NODE] [--seed SEED]
@@ -47,6 +48,11 @@
 //! Prometheus-style exposition of every telemetry counter, gauge, and
 //! histogram the invocation produced — with `--probe` it first runs a
 //! model scan + query so the DAL/query paths show non-zero samples.
+//! `stats --cluster` instead spins up an in-process sharded cluster,
+//! drives a few writes and reads through it, and prints the *federated*
+//! exposition ([`ClusterRouter::federate`]): every node's registry
+//! relabeled with `node="<id>"` plus the derived `gallery_cluster_*`
+//! gauges (docs/observability.md, "Cluster tracing & federation").
 //!
 //! `--retries N` re-attempts an operation up to N times when it fails
 //! with a *transient* storage error (I/O, injected fault); semantic
@@ -310,6 +316,51 @@ fn cmd_cluster(args: &mut Vec<String>) -> Result<(), String> {
     }
 }
 
+/// `stats --cluster` — build an in-process sharded cluster, push a small
+/// traced workload through the router, and print the federated metrics
+/// exposition the router serves for `Probe{section: "cluster"}`.
+fn cmd_cluster_stats(args: &mut Vec<String>) -> Result<(), String> {
+    use gallery::core::ManualClock as Clock;
+    use gallery::service::telemetry::Telemetry;
+    use gallery::service::{ClusterConfig, GalleryClient, SimCluster};
+
+    let parse = |args: &mut Vec<String>, flag: &str, default: u64| -> Result<u64, String> {
+        flag_value(args, flag)
+            .map(|v| v.parse().map_err(|e| format!("bad {flag}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let nodes = parse(args, "--nodes", 3)? as usize;
+    let shards = parse(args, "--shards", nodes as u64 * 2)? as u32;
+    let replication = parse(args, "--replication", 2)? as usize;
+    let writes = parse(args, "--writes", 12)? as usize;
+
+    let clock = Clock::new(0);
+    let cluster = SimCluster::start_with(
+        ClusterConfig::new(nodes)
+            .with_shards(shards)
+            .with_replication(replication)
+            .with_follower_reads(true, 0),
+        Arc::new(clock),
+        Telemetry::new(),
+    );
+    let client =
+        GalleryClient::new(cluster.transport()).with_telemetry(Arc::clone(cluster.telemetry()));
+    let mut ids = Vec::new();
+    for i in 0..writes {
+        let model = client
+            .create_model("stats", &format!("bv-{i}"), "m", "cli", "", "{}")
+            .map_err(|e| e.to_string())?;
+        ids.push(model.id);
+    }
+    for id in &ids {
+        client.get_model(id).map_err(|e| e.to_string())?;
+    }
+    client.model_query(Vec::new()).map_err(|e| e.to_string())?;
+    print!("{}", client.probe("cluster").map_err(|e| e.to_string())?);
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let data_dir =
@@ -342,6 +393,12 @@ fn run() -> Result<(), String> {
     // touches the data directory either.
     if command == "cluster" {
         return cmd_cluster(&mut args);
+    }
+    // `stats --cluster` likewise: federated metrics come from an
+    // in-process cluster, not the local store.
+    if command == "stats" && args.iter().any(|a| a == "--cluster") {
+        args.retain(|a| a != "--cluster");
+        return cmd_cluster_stats(&mut args);
     }
     let g = Arc::new(open(&data_dir)?);
     let err = |e: GalleryError| e.to_string();
