@@ -316,6 +316,16 @@ impl Dal {
         self.meta.insert(table, record)
     }
 
+    /// Insert a batch of metadata-only records through the store's group
+    /// commit, normally one WAL write + fsync for the whole batch. All
+    /// records are validated before any commits; not a transaction (see
+    /// [`MetadataStore::insert_many`]).
+    pub fn put_many(&self, table: &str, records: Vec<Record>) -> Result<usize> {
+        let n = self.meta.insert_many(table, records)?;
+        self.metrics.put_total.add(n as u64);
+        Ok(n)
+    }
+
     pub fn get(&self, table: &str, pk: &str) -> Result<Option<Record>> {
         self.metrics.get_total.inc();
         let start = Instant::now();

@@ -4,6 +4,14 @@
 //! (§3.5 "model metadata searchability"): hash indexes for equality lookups
 //! and ordered (btree) indexes for range predicates such as
 //! `created_time > t` or `metricValue < 0.25`.
+//!
+//! Indexes are maintained *deferred*: [`crate::table::Table`] accumulates
+//! newly inserted rows as an un-indexed tail per stripe and applies them
+//! here in one pass ([`Index::insert_many`]) once the tail crosses the
+//! configured batch size. Index lookups therefore under-approximate — they
+//! may miss tail rows, never return stale ones for inserts — and the table
+//! merges the un-indexed tail back into every index-driven access path, so
+//! query results stay exact at all times.
 
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -141,6 +149,27 @@ impl Index {
 
     pub fn supports_range(&self) -> bool {
         matches!(self, Index::BTree(_))
+    }
+
+    /// Apply a batch of pending entries in one pass — the flush half of
+    /// deferred index maintenance. Equivalent to `insert` per entry but
+    /// hashes/rebalances against a warm map in a tight loop.
+    pub fn insert_many<I>(&mut self, entries: I)
+    where
+        I: IntoIterator<Item = (Value, RowId)>,
+    {
+        match self {
+            Index::Hash(ix) => {
+                for (value, row) in entries {
+                    ix.insert(value, row);
+                }
+            }
+            Index::BTree(ix) => {
+                for (value, row) in entries {
+                    ix.insert(value, row);
+                }
+            }
+        }
     }
 }
 

@@ -49,11 +49,11 @@ pub use dal::{ConsistencyReport, Dal, DegradedRead, RepairReport, StoredEntity, 
 pub use error::{Result, StoreError};
 pub use fault::FaultPlan;
 pub use latency::{LatencyMeter, LatencyModel};
-pub use meta::{MetadataStore, ShipApply};
+pub use meta::{MetadataStore, ShipApply, StoreConfig};
 pub use query::{AccessPath, Constraint, Op, OrderBy, Query};
 pub use record::Record;
 pub use schema::{ColumnDef, IndexKind, TableSchema};
 pub use ship::{ShipFrame, ShipReport};
 pub use simfs::{real_fs, FileSystem, FsFile, RealFs, SimFaultPlan, SimFs};
 pub use value::{Value, ValueType};
-pub use wal::{SyncPolicy, WalOp};
+pub use wal::{GroupCommitConfig, SyncPolicy, WalOp};

@@ -1,8 +1,23 @@
-//! The metadata store: named tables behind one lock, optionally durable
-//! through a [`Wal`]. This is Gallery's stand-in for the HA MySQL service
-//! of §3.5 — it provides typed rows, secondary indexes, flexible
-//! constraint queries, and durability; replication/HA is out of scope (see
-//! DESIGN.md substitutions).
+//! The metadata store: named tables, sharded internal locking, group
+//! commit, optionally durable through a [`Wal`]. This is Gallery's
+//! stand-in for the HA MySQL service of §3.5 — it provides typed rows,
+//! secondary indexes, flexible constraint queries, and durability;
+//! replication/HA is out of scope (see DESIGN.md substitutions).
+//!
+//! ## Write path
+//!
+//! A local mutation (a) takes the *commit gate* read lock (compaction
+//! quiesces writers by taking it in write mode), (b) validates against the
+//! schema and checks duplicates under the row's *stripe* write lock (see
+//! [`Table`] for the striping), (c) commits the op through the group
+//! [`Committer`] — which coalesces concurrent commits into one WAL write +
+//! one fsync and assigns the op its global sequence number — and (d)
+//! applies the op to the stripe, still under the stripe lock. Because the
+//! stripe lock spans steps (b)–(d), per-stripe apply order equals WAL
+//! order and the WAL never contains an op that fails on replay.
+//!
+//! Lock order (outer to inner): gate → catalog → stripe → oplog/commit
+//! queue. The committer itself never takes catalog or stripe locks.
 
 use crate::error::{Result, StoreError};
 use crate::fault::{sites, FaultPlan};
@@ -10,23 +25,36 @@ use crate::query::{AccessPath, Query};
 use crate::record::Record;
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem};
-use crate::table::{Table, TableStats};
-use crate::wal::{SyncPolicy, Wal, WalOp};
+use crate::table::{IndexDeltaCounters, Table, TableStats};
+use crate::wal::{Committer, GroupCommitConfig, Oplog, SyncPolicy, Wal, WalOp};
 use gallery_telemetry::{kinds, Telemetry};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex as PlMutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
-struct MetaInner {
-    tables: HashMap<String, Table>,
-    wal: Option<Wal>,
-    /// The logical operation log, in commit order. Sequence numbers are
-    /// 1-based positions into this vector. This is what WAL shipping
-    /// replicates: a leader serves `ops_since`, a follower applies through
-    /// `apply_shipped`. Recovery seeds it from the physical WAL, so a
-    /// restarted follower resumes at exactly the sequence its disk holds.
-    ops: Vec<WalOp>,
+/// Tuning knobs for the store's write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Lock stripes per table (clamped to
+    /// [`crate::table::MAX_LOCK_STRIPES`]). 1 reproduces the old
+    /// store-wide single lock.
+    pub lock_stripes: usize,
+    /// Rows a stripe accumulates before applying its pending secondary
+    /// index delta. 1 reproduces eager (per-insert) index maintenance.
+    pub index_batch: usize,
+    /// Group-commit batching for the WAL.
+    pub group_commit: GroupCommitConfig,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            lock_stripes: 16,
+            index_batch: 1024,
+            group_commit: GroupCommitConfig::default(),
+        }
+    }
 }
 
 /// Outcome of [`MetadataStore::apply_shipped`].
@@ -41,26 +69,75 @@ pub enum ShipApply {
     Gap { expected: u64 },
 }
 
+/// Store-level metric handles (`gallery_meta_*`), re-minted whenever the
+/// telemetry sink changes.
+struct MetaMetrics {
+    delta: IndexDeltaCounters,
+}
+
+fn mint_metrics(telemetry: &Telemetry, cfg: &StoreConfig) -> MetaMetrics {
+    let r = telemetry.registry();
+    r.gauge("gallery_meta_lock_stripes", &[])
+        .set(cfg.lock_stripes.clamp(1, crate::table::MAX_LOCK_STRIPES) as i64);
+    MetaMetrics {
+        delta: IndexDeltaCounters {
+            flushes: r.counter("gallery_meta_index_delta_flushes_total", &[]),
+            applied: r.counter("gallery_meta_index_delta_applied_total", &[]),
+        },
+    }
+}
+
 /// Thread-safe, optionally durable metadata store.
 pub struct MetadataStore {
-    inner: RwLock<MetaInner>,
+    /// Table name -> table. Tables are internally striped, so the catalog
+    /// lock is only held to look up or create tables, never across a
+    /// commit (except by `create_table`, which must be atomic with its
+    /// duplicate check).
+    catalog: RwLock<HashMap<String, Arc<Table>>>,
+    /// The logical operation log, in commit order. Sequence numbers are
+    /// 1-based positions into this vector. This is what WAL shipping
+    /// replicates: a leader serves `ops_since`, a follower applies through
+    /// `apply_shipped`. Recovery seeds it from the physical WAL, so a
+    /// restarted follower resumes at exactly the sequence its disk holds.
+    oplog: Arc<PlMutex<Oplog>>,
+    /// Group-commit front end over the WAL; `None` for in-memory stores
+    /// (they push straight to the oplog).
+    committer: Option<Committer>,
+    /// Commit gate: every mutation holds it in read mode for its full
+    /// duration; compaction takes write mode to quiesce the write path.
+    gate: RwLock<()>,
+    /// Serializes `apply_shipped` callers so the seq check and commit are
+    /// atomic. A store is a shipping leader XOR a follower: local writes
+    /// and `apply_shipped` must not interleave (see docs/replication.md).
+    ship_lock: PlMutex<()>,
+    cfg: StoreConfig,
     faults: FaultPlan,
     telemetry: Arc<Telemetry>,
     fs: Arc<dyn FileSystem>,
+    metrics: RwLock<MetaMetrics>,
 }
 
 impl MetadataStore {
     /// Purely in-memory store.
     pub fn in_memory() -> Self {
+        Self::in_memory_with_config(StoreConfig::default())
+    }
+
+    /// [`MetadataStore::in_memory`] with explicit write-path tuning.
+    pub fn in_memory_with_config(cfg: StoreConfig) -> Self {
+        let telemetry = Arc::clone(gallery_telemetry::global());
+        let metrics = mint_metrics(&telemetry, &cfg);
         MetadataStore {
-            inner: RwLock::new(MetaInner {
-                tables: HashMap::new(),
-                wal: None,
-                ops: Vec::new(),
-            }),
+            catalog: RwLock::new(HashMap::new()),
+            oplog: Arc::new(PlMutex::new(Oplog::new())),
+            committer: None,
+            gate: RwLock::new(()),
+            ship_lock: PlMutex::new(()),
+            cfg,
             faults: FaultPlan::none(),
-            telemetry: Arc::clone(gallery_telemetry::global()),
+            telemetry,
             fs: real_fs(),
+            metrics: RwLock::new(metrics),
         }
     }
 
@@ -95,29 +172,51 @@ impl MetadataStore {
         sync: SyncPolicy,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self> {
+        Self::durable_with_config(fs, path, sync, telemetry, StoreConfig::default())
+    }
+
+    /// [`MetadataStore::durable_with`] with explicit write-path tuning.
+    /// The config must be supplied at construction because recovery
+    /// replay already builds (striped) tables.
+    pub fn durable_with_config(
+        fs: Arc<dyn FileSystem>,
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+        telemetry: Arc<Telemetry>,
+        cfg: StoreConfig,
+    ) -> Result<Self> {
         let path = path.as_ref();
         let ops = Wal::recover(&*fs, path, &telemetry)?;
-        let store = MetadataStore {
-            inner: RwLock::new(MetaInner {
-                tables: HashMap::new(),
-                wal: None,
-                ops: Vec::new(),
-            }),
+        let metrics = mint_metrics(&telemetry, &cfg);
+        let mut store = MetadataStore {
+            catalog: RwLock::new(HashMap::new()),
+            oplog: Arc::new(PlMutex::new(Oplog::new())),
+            committer: None,
+            gate: RwLock::new(()),
+            ship_lock: PlMutex::new(()),
+            cfg,
             faults: FaultPlan::none(),
             telemetry,
             fs,
+            metrics: RwLock::new(metrics),
         };
         {
-            let mut inner = store.inner.write();
+            let mut catalog = store.catalog.write();
+            let mut oplog = store.oplog.lock();
             for op in ops {
-                Self::apply(&mut inner.tables, op.clone())?;
-                inner.ops.push(op);
+                let seq = oplog.len() as u64 + 1;
+                store.apply_to_tables(&mut catalog, &op, seq)?;
+                oplog.push(Arc::new(op));
             }
-            inner.wal = Some(
-                Wal::open_with_fs(Arc::clone(&store.fs), path, sync)?
-                    .with_telemetry(&store.telemetry),
-            );
         }
+        let wal =
+            Wal::open_with_fs(Arc::clone(&store.fs), path, sync)?.with_telemetry(&store.telemetry);
+        store.committer = Some(Committer::new(
+            wal,
+            store.cfg.group_commit,
+            Arc::clone(store.telemetry.time_source()),
+            Arc::clone(&store.oplog),
+        ));
         Ok(store)
     }
 
@@ -129,29 +228,95 @@ impl MetadataStore {
     /// Route WAL metrics/events to `telemetry` instead of the process
     /// global (isolated tests, E15 overhead baselines).
     pub fn with_telemetry(self, telemetry: Arc<Telemetry>) -> Self {
-        {
-            let mut inner = self.inner.write();
-            if let Some(wal) = inner.wal.take() {
-                inner.wal = Some(wal.with_telemetry(&telemetry));
-            }
+        if let Some(c) = &self.committer {
+            c.wal()
+                .lock()
+                .expect("wal poisoned")
+                .set_telemetry(&telemetry);
         }
+        let metrics = mint_metrics(&telemetry, &self.cfg);
+        for table in self.catalog.read().values() {
+            table.set_delta_counters(metrics.delta.clone());
+        }
+        *self.metrics.write() = metrics;
         MetadataStore { telemetry, ..self }
     }
 
-    fn apply(tables: &mut HashMap<String, Table>, op: WalOp) -> Result<()> {
+    /// The store's write-path configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
+    }
+
+    fn new_table(&self, schema: TableSchema) -> Arc<Table> {
+        let table = Table::with_config(schema, self.cfg.lock_stripes, self.cfg.index_batch);
+        table.set_delta_counters(self.metrics.read().delta.clone());
+        Arc::new(table)
+    }
+
+    fn table_arc(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Commit one op: WAL (group commit) first for durability, then the
+    /// oplog, which assigns the sequence. In-memory stores skip the WAL.
+    fn commit(&self, op: WalOp) -> Result<u64> {
+        match &self.committer {
+            Some(c) => c.commit(op),
+            None => {
+                let mut oplog = self.oplog.lock();
+                oplog.push(Arc::new(op));
+                Ok(oplog.len() as u64)
+            }
+        }
+    }
+
+    fn commit_many(&self, ops: Vec<WalOp>) -> Result<Vec<u64>> {
+        match &self.committer {
+            Some(c) => c.commit_many(ops),
+            None => {
+                let mut oplog = self.oplog.lock();
+                Ok(ops
+                    .into_iter()
+                    .map(|op| {
+                        oplog.push(Arc::new(op));
+                        oplog.len() as u64
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Apply an op directly to the tables (recovery replay: the op is
+    /// already durable, so there is nothing to commit).
+    fn apply_to_tables(
+        &self,
+        catalog: &mut HashMap<String, Arc<Table>>,
+        op: &WalOp,
+        seq: u64,
+    ) -> Result<()> {
         match op {
             WalOp::CreateTable { schema } => {
-                if tables.contains_key(&schema.name) {
-                    return Err(StoreError::TableExists(schema.name));
+                if catalog.contains_key(&schema.name) {
+                    return Err(StoreError::TableExists(schema.name.clone()));
                 }
-                tables.insert(schema.name.clone(), Table::new(schema));
+                catalog.insert(schema.name.clone(), self.new_table(schema.clone()));
                 Ok(())
             }
             WalOp::Insert { table, record } => {
-                let t = tables
-                    .get_mut(&table)
-                    .ok_or(StoreError::NoSuchTable(table))?;
-                t.insert(record)?;
+                let t = catalog
+                    .get(table)
+                    .ok_or_else(|| StoreError::NoSuchTable(table.clone()))?;
+                t.schema().validate_row(record.fields())?;
+                let pk = t.pk_of(record.as_ref())?;
+                let mut token = t.lock_stripe(&pk);
+                if token.contains(&pk) {
+                    return Err(StoreError::DuplicateKey(pk));
+                }
+                token.apply_insert(Arc::clone(record), seq);
                 Ok(())
             }
             WalOp::SetFlag {
@@ -160,24 +325,12 @@ impl MetadataStore {
                 column,
                 value,
             } => {
-                let t = tables
-                    .get_mut(&table)
-                    .ok_or(StoreError::NoSuchTable(table))?;
-                t.set_flag(&pk, &column, value)
+                let t = catalog
+                    .get(table)
+                    .ok_or_else(|| StoreError::NoSuchTable(table.clone()))?;
+                t.set_flag(pk, column, *value)
             }
         }
-    }
-
-    /// Commit an op to the logs: physical WAL first (durability), then the
-    /// in-memory oplog (replication). A crash between WAL append and the
-    /// caller's in-memory apply heals on recovery, which replays the WAL
-    /// and reseeds the oplog from it.
-    fn log(inner: &mut MetaInner, op: &WalOp) -> Result<()> {
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.append(op)?;
-        }
-        inner.ops.push(op.clone());
-        Ok(())
     }
 
     /// Number of operations committed to this store, ever (1-based
@@ -185,19 +338,19 @@ impl MetadataStore {
     /// sequence; `leader.applied_seq() - follower.applied_seq()` is the
     /// replication lag in ops.
     pub fn applied_seq(&self) -> u64 {
-        self.inner.read().ops.len() as u64
+        self.oplog.lock().len() as u64
     }
 
     /// Ops with sequence numbers in `(from_seq, from_seq + max]` — what a
     /// leader ships to a follower that has applied `from_seq`.
     pub fn ops_since(&self, from_seq: u64, max: usize) -> Vec<(u64, WalOp)> {
-        let inner = self.inner.read();
-        let start = (from_seq as usize).min(inner.ops.len());
-        inner.ops[start..]
+        let oplog = self.oplog.lock();
+        let start = (from_seq as usize).min(oplog.len());
+        oplog[start..]
             .iter()
             .take(max)
             .enumerate()
-            .map(|(i, op)| ((start + i + 1) as u64, op.clone()))
+            .map(|(i, op)| ((start + i + 1) as u64, (**op).clone()))
             .collect()
     }
 
@@ -208,8 +361,9 @@ impl MetadataStore {
     /// through the same WAL-first path as local writes, and a seq further
     /// ahead reports the gap so the shipper can rewind.
     pub fn apply_shipped(&self, seq: u64, op: WalOp) -> Result<ShipApply> {
-        let mut inner = self.inner.write();
-        let applied = inner.ops.len() as u64;
+        let _gate = self.gate.read();
+        let _ship = self.ship_lock.lock();
+        let applied = self.applied_seq();
         if seq <= applied {
             return Ok(ShipApply::AlreadyApplied);
         }
@@ -218,104 +372,164 @@ impl MetadataStore {
                 expected: applied + 1,
             });
         }
-        Self::log(&mut inner, &op)?;
-        Self::apply(&mut inner.tables, op)?;
+        let committed = match op {
+            WalOp::CreateTable { schema } => self.create_table_inner(schema)?,
+            WalOp::Insert { table, record } => self.insert_inner(&table, record)?,
+            WalOp::SetFlag {
+                table,
+                pk,
+                column,
+                value,
+            } => self.set_flag_inner(&table, &pk, &column, value)?,
+        };
+        debug_assert_eq!(
+            committed, seq,
+            "shipped seq must match committed seq (leader-XOR-follower violated?)"
+        );
         Ok(ShipApply::Applied)
     }
 
     /// Create a table.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
-        let mut inner = self.inner.write();
-        if inner.tables.contains_key(&schema.name) {
-            return Err(StoreError::TableExists(schema.name));
-        }
-        let op = WalOp::CreateTable {
-            schema: schema.clone(),
-        };
-        Self::log(&mut inner, &op)?;
-        inner.tables.insert(schema.name.clone(), Table::new(schema));
+        let _gate = self.gate.read();
+        self.create_table_inner(schema)?;
         Ok(())
     }
 
+    fn create_table_inner(&self, schema: TableSchema) -> Result<u64> {
+        // Hold the catalog write lock across the commit so the duplicate
+        // check and the insert are atomic.
+        let mut catalog = self.catalog.write();
+        if catalog.contains_key(&schema.name) {
+            return Err(StoreError::TableExists(schema.name));
+        }
+        let seq = self.commit(WalOp::CreateTable {
+            schema: schema.clone(),
+        })?;
+        catalog.insert(schema.name.clone(), self.new_table(schema));
+        Ok(seq)
+    }
+
     pub fn has_table(&self, name: &str) -> bool {
-        self.inner.read().tables.contains_key(name)
+        self.catalog.read().contains_key(name)
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.read().tables.keys().cloned().collect()
+        self.catalog.read().keys().cloned().collect()
     }
 
     /// Insert an immutable record. WAL-first so that an acknowledged insert
-    /// survives restart.
+    /// survives restart. The row's stripe stays locked from the duplicate
+    /// check through the commit and apply, so concurrent inserts to other
+    /// stripes proceed in parallel while same-key races are impossible.
     pub fn insert(&self, table: &str, record: Record) -> Result<()> {
         if self.faults.should_fail(sites::META_INSERT) {
             return Err(StoreError::InjectedFault(sites::META_INSERT));
         }
-        let mut inner = self.inner.write();
+        let _gate = self.gate.read();
+        self.insert_inner(table, Arc::new(record))?;
+        Ok(())
+    }
+
+    fn insert_inner(&self, table: &str, record: Arc<Record>) -> Result<u64> {
+        let t = self.table_arc(table)?;
         // Validate against schema before logging so the WAL never contains
         // an op that fails on replay.
-        {
-            let t = inner
-                .tables
-                .get(table)
-                .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        t.schema().validate_row(record.fields())?;
+        let pk = t.pk_of(record.as_ref())?;
+        let mut token = t.lock_stripe(&pk);
+        if token.contains(&pk) {
+            return Err(StoreError::DuplicateKey(pk));
+        }
+        // The oplog entry and the table row share one allocation.
+        let seq = self.commit(WalOp::Insert {
+            table: table.to_owned(),
+            record: Arc::clone(&record),
+        })?;
+        token.apply_insert(record, seq);
+        Ok(seq)
+    }
+
+    /// Insert a batch of records. All rows are validated (schema,
+    /// duplicate keys — within the batch and against the table) before
+    /// anything commits; the involved stripes are locked in index order;
+    /// the whole batch is enqueued to the group committer at once, so it
+    /// normally lands in a single WAL write + fsync.
+    ///
+    /// Not a transaction: on a mid-batch crash a *prefix* of the batch may
+    /// survive recovery — but the call only returns `Ok` after every row
+    /// is durable, so no acknowledged row can be lost.
+    pub fn insert_many(&self, table: &str, records: Vec<Record>) -> Result<usize> {
+        if records.is_empty() {
+            return Ok(0);
+        }
+        if self.faults.should_fail(sites::META_INSERT) {
+            return Err(StoreError::InjectedFault(sites::META_INSERT));
+        }
+        let _gate = self.gate.read();
+        let t = self.table_arc(table)?;
+        let mut pks = Vec::with_capacity(records.len());
+        for record in &records {
             t.schema().validate_row(record.fields())?;
-            let pk_col = &t.schema().primary_key;
-            if let Some(pk) = record.get(pk_col).and_then(|v| v.as_str()) {
-                if t.contains(pk) {
-                    return Err(StoreError::DuplicateKey(pk.to_owned()));
-                }
+            pks.push(t.pk_of(record)?);
+        }
+        let mut seen = HashSet::with_capacity(pks.len());
+        for pk in &pks {
+            if !seen.insert(pk.as_str()) {
+                return Err(StoreError::DuplicateKey(pk.clone()));
             }
         }
-        let op = WalOp::Insert {
-            table: table.to_owned(),
-            record: record.clone(),
-        };
-        Self::log(&mut inner, &op)?;
-        let t = inner.tables.get_mut(table).expect("checked above");
-        t.insert(record)?;
-        Ok(())
+        let mut token = t.lock_stripe_set(&pks);
+        for pk in &pks {
+            if token.contains(pk) {
+                return Err(StoreError::DuplicateKey(pk.clone()));
+            }
+        }
+        let records: Vec<Arc<Record>> = records.into_iter().map(Arc::new).collect();
+        let ops: Vec<WalOp> = records
+            .iter()
+            .map(|r| WalOp::Insert {
+                table: table.to_owned(),
+                record: Arc::clone(r),
+            })
+            .collect();
+        let seqs = self.commit_many(ops)?;
+        let n = records.len();
+        for (record, seq) in records.into_iter().zip(seqs) {
+            token.apply_insert(record, seq);
+        }
+        Ok(n)
     }
 
     /// Point lookup by primary key.
     pub fn get(&self, table: &str, pk: &str) -> Result<Option<Record>> {
-        let inner = self.inner.read();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
-        Ok(t.peek(pk).cloned())
+        let t = self.table_arc(table)?;
+        Ok(t.peek(pk))
     }
 
     /// Set a mutable flag column (e.g. `deprecated`).
     pub fn set_flag(&self, table: &str, pk: &str, column: &str, value: bool) -> Result<()> {
-        let mut inner = self.inner.write();
-        // Validate before logging.
-        {
-            let t = inner
-                .tables
-                .get(table)
-                .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
-            if !t.contains(pk) {
-                return Err(StoreError::NoSuchKey(pk.to_owned()));
-            }
+        let _gate = self.gate.read();
+        self.set_flag_inner(table, pk, column, value)?;
+        Ok(())
+    }
+
+    fn set_flag_inner(&self, table: &str, pk: &str, column: &str, value: bool) -> Result<u64> {
+        let t = self.table_arc(table)?;
+        // Validate everything before logging.
+        t.check_flag_column(column)?;
+        let mut token = t.lock_stripe(pk);
+        if !token.contains(pk) {
+            return Err(StoreError::NoSuchKey(pk.to_owned()));
         }
-        let op = WalOp::SetFlag {
+        let seq = self.commit(WalOp::SetFlag {
             table: table.to_owned(),
             pk: pk.to_owned(),
             column: column.to_owned(),
             value,
-        };
-        // set_flag still validates the column is a flag column; do that
-        // first on a dry-run basis by checking the constant here.
-        if !crate::table::MUTABLE_FLAG_COLUMNS.contains(&column) {
-            return Err(StoreError::BadQuery(format!(
-                "column {column} is immutable"
-            )));
-        }
-        Self::log(&mut inner, &op)?;
-        let t = inner.tables.get_mut(table).expect("checked above");
-        t.set_flag(pk, column, value)
+        })?;
+        token.apply_set_flag(pk, column, value);
+        Ok(seq)
     }
 
     /// Execute a constraint query.
@@ -328,61 +542,54 @@ impl MetadataStore {
         if self.faults.should_fail(sites::META_QUERY) {
             return Err(StoreError::InjectedFault(sites::META_QUERY));
         }
-        let mut inner = self.inner.write();
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
+        let t = self.table_arc(table)?;
         t.execute(query)
     }
 
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        let inner = self.inner.read();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
-        Ok(t.len())
+        Ok(self.table_arc(table)?.len())
     }
 
     pub fn table_stats(&self, table: &str) -> Result<TableStats> {
-        let inner = self.inner.read();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| StoreError::NoSuchTable(table.to_owned()))?;
-        Ok(t.stats())
+        Ok(self.table_arc(table)?.stats())
+    }
+
+    /// Force-apply every table's pending secondary-index delta; returns
+    /// rows applied. Queries never need this (read-side merge keeps them
+    /// exact); tests and benchmarks use it to compare deferred vs flushed
+    /// index states.
+    pub fn flush_index_deltas(&self) -> usize {
+        let tables: Vec<Arc<Table>> = self.catalog.read().values().cloned().collect();
+        tables.iter().map(|t| t.flush_index_deltas()).sum()
     }
 
     /// Approximate resident bytes across all tables.
     pub fn approx_size(&self) -> usize {
-        let inner = self.inner.read();
-        inner.tables.values().map(Table::approx_size).sum()
+        let catalog = self.catalog.read();
+        catalog.values().map(|t| t.approx_size()).sum()
     }
 
     /// Total live records across all tables (the `gallery_meta_records`
     /// gauge behind `gallery stats`).
     pub fn total_rows(&self) -> usize {
-        let inner = self.inner.read();
-        inner.tables.values().map(|t| t.len()).sum()
+        let catalog = self.catalog.read();
+        catalog.values().map(|t| t.len()).sum()
     }
 
     /// Entries appended to the WAL by this store instance (0 for
     /// in-memory stores).
     pub fn wal_entries(&self) -> u64 {
-        self.inner
-            .read()
-            .wal
+        self.committer
             .as_ref()
-            .map(|w| w.entries_written())
+            .map(|c| c.wal().lock().expect("wal poisoned").entries_written())
             .unwrap_or(0)
     }
 
     /// On-disk WAL size in bytes, if durable.
     pub fn wal_size_bytes(&self) -> Option<u64> {
-        let inner = self.inner.read();
-        let wal = inner.wal.as_ref()?;
-        self.fs.len(wal.path()).ok()
+        let c = self.committer.as_ref()?;
+        let path = c.wal().lock().expect("wal poisoned").path().to_path_buf();
+        self.fs.len(&path).ok()
     }
 
     /// Compact the WAL: rewrite it as the minimal operation sequence that
@@ -392,33 +599,39 @@ impl MetadataStore {
     /// and atomically renamed over the old log, so a crash at any point
     /// leaves a replayable log. No-op for in-memory stores.
     ///
+    /// Takes the commit gate in write mode, which quiesces every writer
+    /// (all mutations hold the gate in read mode across their commit), so
+    /// the snapshot is consistent and no commit can race the WAL swap.
+    ///
     /// Compaction rewrites the *physical* log only; the in-memory oplog
     /// (replication sequence) is untouched. A restart after compaction
     /// reseeds the oplog from the compacted WAL, which renumbers the
     /// sequence — so compact a replicated shard store only when its
     /// followers will be re-seeded from scratch (see docs/replication.md).
     pub fn compact(&self) -> Result<u64> {
-        let mut inner = self.inner.write();
-        let Some(wal) = inner.wal.as_ref() else {
+        let Some(committer) = &self.committer else {
             return Ok(0);
         };
+        let _quiesce = self.gate.write();
+        let mut wal = committer.wal().lock().expect("wal poisoned");
         let path = wal.path().to_path_buf();
         let sync = wal.sync_policy();
         let tmp = path.with_extension("compacting");
         let mut compacted = Wal::create_with_fs(Arc::clone(&self.fs), &tmp, SyncPolicy::Never)?;
-        let mut table_names: Vec<&String> = inner.tables.keys().collect();
+        let catalog = self.catalog.read();
+        let mut table_names: Vec<&String> = catalog.keys().collect();
         table_names.sort();
         let mut entries = 0u64;
         for name in table_names {
-            let table = &inner.tables[name];
+            let table = &catalog[name];
             compacted.append(&WalOp::CreateTable {
                 schema: table.schema().clone(),
             })?;
             entries += 1;
-            for record in table.iter() {
+            for record in table.snapshot_seq_order() {
                 compacted.append(&WalOp::Insert {
                     table: name.clone(),
-                    record: record.clone(),
+                    record,
                 })?;
                 entries += 1;
             }
@@ -426,9 +639,8 @@ impl MetadataStore {
         compacted.sync_all()?;
         drop(compacted);
         self.fs.rename(&tmp, &path)?;
-        inner.wal = Some(
-            Wal::open_with_fs(Arc::clone(&self.fs), &path, sync)?.with_telemetry(&self.telemetry),
-        );
+        *wal =
+            Wal::open_with_fs(Arc::clone(&self.fs), &path, sync)?.with_telemetry(&self.telemetry);
         self.telemetry.events().emit(
             kinds::WAL_FLUSH,
             vec![
@@ -580,6 +792,102 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.row_count("models").unwrap(), 1000);
+        assert_eq!(store.applied_seq(), 1001);
+    }
+
+    #[test]
+    fn concurrent_durable_inserts_group_commit() {
+        let path = tmp("group-commit");
+        let store = Arc::new(MetadataStore::durable(&path, SyncPolicy::Always).unwrap());
+        store.create_table(schema()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    store
+                        .insert(
+                            "models",
+                            Record::new()
+                                .set("id", format!("g{t}-{i}"))
+                                .set("name", "rf"),
+                        )
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.row_count("models").unwrap(), 400);
+        assert_eq!(store.wal_entries(), 401);
+        drop(store);
+        // Everything durable and replayable.
+        let restored = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(restored.row_count("models").unwrap(), 400);
+        assert_eq!(restored.applied_seq(), 401);
+    }
+
+    #[test]
+    fn insert_many_batch() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        let records: Vec<Record> = (0..10)
+            .map(|i| Record::new().set("id", format!("b{i}")).set("name", "rf"))
+            .collect();
+        assert_eq!(store.insert_many("models", records).unwrap(), 10);
+        assert_eq!(store.row_count("models").unwrap(), 10);
+        assert_eq!(store.applied_seq(), 11);
+        // Query sees all batch rows.
+        let rows = store
+            .query("models", &Query::all().and(Constraint::eq("name", "rf")))
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn insert_many_rejects_dups_atomically() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        store
+            .insert("models", Record::new().set("id", "x").set("name", "rf"))
+            .unwrap();
+        // Duplicate against the table.
+        let batch = vec![
+            Record::new().set("id", "a").set("name", "rf"),
+            Record::new().set("id", "x").set("name", "rf"),
+        ];
+        assert!(matches!(
+            store.insert_many("models", batch),
+            Err(StoreError::DuplicateKey(_))
+        ));
+        // Duplicate within the batch.
+        let batch = vec![
+            Record::new().set("id", "b").set("name", "rf"),
+            Record::new().set("id", "b").set("name", "rf"),
+        ];
+        assert!(matches!(
+            store.insert_many("models", batch),
+            Err(StoreError::DuplicateKey(_))
+        ));
+        // Nothing from either rejected batch landed.
+        assert_eq!(store.row_count("models").unwrap(), 1);
+        assert_eq!(store.applied_seq(), 2);
+    }
+
+    #[test]
+    fn insert_many_durable_roundtrip() {
+        let path = tmp("many-durable");
+        {
+            let store = MetadataStore::durable(&path, SyncPolicy::Always).unwrap();
+            store.create_table(schema()).unwrap();
+            let records: Vec<Record> = (0..20)
+                .map(|i| Record::new().set("id", format!("d{i}")).set("name", "rf"))
+                .collect();
+            store.insert_many("models", records).unwrap();
+        }
+        let restored = MetadataStore::durable(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(restored.row_count("models").unwrap(), 20);
     }
 }
 
@@ -823,5 +1131,81 @@ mod compaction_tests {
         assert_eq!(store.compact().unwrap(), 0);
         assert_eq!(store.wal_entries(), 0);
         assert!(store.wal_size_bytes().is_none());
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use crate::query::Constraint;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "models",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("name", ValueType::Str).hash_indexed(),
+                ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eager_config_reproduces_old_write_path() {
+        // lock_stripes=1 + index_batch=1 = the pre-overhaul store: one
+        // lock, eager indexes. Behaviour must be identical.
+        let eager = MetadataStore::in_memory_with_config(StoreConfig {
+            lock_stripes: 1,
+            index_batch: 1,
+            group_commit: GroupCommitConfig::default(),
+        });
+        let tuned = MetadataStore::in_memory();
+        for store in [&eager, &tuned] {
+            store.create_table(schema()).unwrap();
+            for i in 0..100 {
+                store
+                    .insert(
+                        "models",
+                        Record::new()
+                            .set("id", format!("m{i}"))
+                            .set("name", if i % 3 == 0 { "rf" } else { "lr" }),
+                    )
+                    .unwrap();
+            }
+        }
+        let q = Query::all().and(Constraint::eq("name", "rf"));
+        assert_eq!(
+            eager.query("models", &q).unwrap(),
+            tuned.query("models", &q).unwrap()
+        );
+        // Eager config has no pending deltas; tuned config may.
+        assert_eq!(eager.flush_index_deltas(), 0);
+    }
+
+    #[test]
+    fn deferred_deltas_flush_on_demand() {
+        let store = MetadataStore::in_memory();
+        store.create_table(schema()).unwrap();
+        for i in 0..10 {
+            store
+                .insert(
+                    "models",
+                    Record::new().set("id", format!("m{i}")).set("name", "rf"),
+                )
+                .unwrap();
+        }
+        // Default index_batch (1024) > 10: everything is still pending.
+        let q = Query::all().and(Constraint::eq("name", "rf"));
+        let before = store.query("models", &q).unwrap();
+        assert_eq!(store.flush_index_deltas(), 10);
+        let after = store.query("models", &q).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after.len(), 10);
+        let stats = store.table_stats("models").unwrap();
+        assert_eq!(stats.index_delta_applied, 10);
     }
 }

@@ -120,7 +120,7 @@ mod tests {
     fn frames_roundtrip_the_wal_encoding() {
         let op = WalOp::Insert {
             table: "models".into(),
-            record: Record::new().set("id", "m1").set("name", "rf"),
+            record: std::sync::Arc::new(Record::new().set("id", "m1").set("name", "rf")),
         };
         let frame = ShipFrame::new(42, &op).unwrap();
         let back = frame.op().unwrap();

@@ -185,6 +185,10 @@ pub struct IoOpRecord {
     pub op: IoOp,
     pub path: PathBuf,
     pub bytes: usize,
+    /// Newline count in the write payload. Line-framed files (the WAL) use
+    /// one line per record, so `newlines > 1` marks a group-commit batch —
+    /// the crash matrix uses this to target mid-batch crash points.
+    pub newlines: usize,
 }
 
 /// Deterministic fault plan for a [`SimFs`]. All fields compose; the
@@ -363,6 +367,9 @@ impl SimFs {
             op,
             path: path.to_path_buf(),
             bytes: payload.map(<[u8]>::len).unwrap_or(0),
+            newlines: payload
+                .map(|b| b.iter().filter(|c| **c == b'\n').count())
+                .unwrap_or(0),
         });
         Ok(())
     }

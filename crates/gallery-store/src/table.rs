@@ -1,19 +1,74 @@
-//! A single metadata table: immutable row arena + primary key map +
+//! A single metadata table: striped row arenas + primary key maps +
 //! secondary indexes + a constraint-query executor with a tiny planner.
+//!
+//! ## Lock striping
+//!
+//! Rows are partitioned into N stripes by the FNV-1a hash of their primary
+//! key — the same hash family the cluster layer uses for shard routing —
+//! and every stripe sits behind its own `RwLock`. Writers touching
+//! different stripes proceed in parallel; a writer holds exactly its
+//! stripe's write lock across validate → duplicate-check → WAL commit →
+//! in-memory apply, so per-stripe apply order always equals WAL order and
+//! duplicate-key races are impossible. Readers take all stripe read locks
+//! (in index order, the global lock order) for a consistent snapshot.
+//!
+//! ## Deferred secondary-index maintenance
+//!
+//! Inserts append the row and update the primary-key map immediately, but
+//! secondary-index entries are *deferred*: each stripe tracks
+//! `indexed_upto`, the slot boundary below which indexes are current.
+//! Once the unindexed tail reaches `index_batch` rows the whole delta is
+//! applied in one column-major pass. Queries stay exact because the
+//! candidate set is the index result *plus every unindexed tail slot* —
+//! the two ranges are disjoint by construction, and the executor re-checks
+//! every constraint against every candidate row anyway.
 
 use crate::error::{Result, StoreError};
 use crate::index::{dedup_rows, BTreeIndex, HashIndex, Index, RowId};
-#[cfg(test)]
-use crate::query::Constraint;
 use crate::query::{AccessPath, Op, Query};
 use crate::record::Record;
 use crate::schema::{IndexKind, TableSchema};
 use crate::value::Value;
+use gallery_telemetry::Counter;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Columns that the store treats as in-place mutable flags. Everything else
 /// is immutable after insert (paper §3.1 "Immutable").
 pub const MUTABLE_FLAG_COLUMNS: &[&str] = &["deprecated"];
+
+/// Low bits of a [`RowId`] hold the slot within a stripe; the high bits
+/// hold the stripe number.
+const SLOT_BITS: u32 = 27;
+const SLOT_MASK: RowId = (1 << SLOT_BITS) - 1;
+
+/// Upper bound on `lock_stripes` imposed by the [`RowId`] packing.
+pub const MAX_LOCK_STRIPES: usize = 1 << (32 - SLOT_BITS);
+
+fn pack(stripe: usize, slot: usize) -> RowId {
+    debug_assert!(slot <= SLOT_MASK as usize, "stripe overflow: slot {slot}");
+    ((stripe as RowId) << SLOT_BITS) | slot as RowId
+}
+
+fn unpack(id: RowId) -> (usize, usize) {
+    ((id >> SLOT_BITS) as usize, (id & SLOT_MASK) as usize)
+}
+
+/// FNV-1a over the primary key — the same hash family `gallery-core`'s
+/// shard router uses, replicated here because `gallery-store` sits below
+/// `gallery-core` in the crate graph.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// Counters describing how queries were executed; used by benchmarks and
 /// the scale experiment to show index-vs-scan behaviour.
@@ -24,58 +79,164 @@ pub struct TableStats {
     pub index_queries: u64,
     pub full_scans: u64,
     pub rows_examined: u64,
+    /// Times a stripe's pending index delta was applied.
+    pub index_delta_flushes: u64,
+    /// Rows whose deferred index entries have been applied.
+    pub index_delta_applied: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    inserts: AtomicU64,
+    pk_lookups: AtomicU64,
+    index_queries: AtomicU64,
+    full_scans: AtomicU64,
+    rows_examined: AtomicU64,
+    index_delta_flushes: AtomicU64,
+    index_delta_applied: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> TableStats {
+        TableStats {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            pk_lookups: self.pk_lookups.load(Ordering::Relaxed),
+            index_queries: self.index_queries.load(Ordering::Relaxed),
+            full_scans: self.full_scans.load(Ordering::Relaxed),
+            rows_examined: self.rows_examined.load(Ordering::Relaxed),
+            index_delta_flushes: self.index_delta_flushes.load(Ordering::Relaxed),
+            index_delta_applied: self.index_delta_applied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Telemetry handles for deferred-index flushes, shared by every table of
+/// a store (`gallery_meta_index_delta_*`).
+#[derive(Clone)]
+pub struct IndexDeltaCounters {
+    pub flushes: Arc<Counter>,
+    pub applied: Arc<Counter>,
+}
+
+impl std::fmt::Debug for IndexDeltaCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexDeltaCounters").finish()
+    }
+}
+
+/// One row plus its global commit sequence. Sequence order is insertion
+/// order across the whole store, so queries merge stripes by `seq`.
+///
+/// The record is behind an `Arc` shared with the store's oplog entry for
+/// the same insert — one allocation serves both. Flag mutations go
+/// through `Arc::make_mut`, which copies only if the oplog still holds
+/// the other reference, so logged history stays immutable.
+#[derive(Debug)]
+struct StoredRow {
+    seq: u64,
+    record: Arc<Record>,
+}
+
+/// One lock stripe: a row arena, the primary-key map for rows hashed
+/// here, this stripe's shard of every secondary index, and the deferred
+/// index watermark.
+#[derive(Debug)]
+struct Stripe {
+    rows: Vec<StoredRow>,
+    /// pk -> slot in `rows`. Always current (never deferred): duplicate
+    /// detection and point lookups must be exact at all times.
+    pk_map: HashMap<String, usize>,
+    /// column name -> this stripe's shard of the secondary index. Row ids
+    /// are packed `(stripe, slot)`.
+    indexes: HashMap<String, Index>,
+    /// Slots below this boundary are reflected in `indexes`; slots at or
+    /// above it are the pending index delta (scanned by queries).
+    indexed_upto: usize,
 }
 
 #[derive(Debug)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Record>,
-    pk_map: HashMap<String, RowId>,
-    /// column name -> secondary index
-    indexes: HashMap<String, Index>,
-    stats: TableStats,
+    /// Pending-delta threshold that triggers an index flush.
+    index_batch: usize,
+    stripes: Vec<RwLock<Stripe>>,
+    stats: AtomicStats,
+    row_count: AtomicUsize,
+    /// Sequence source for standalone (non-store) tables only; tables
+    /// mounted in a [`crate::meta::MetadataStore`] get their sequence from
+    /// the store's commit log.
+    next_seq: AtomicU64,
+    delta_counters: RwLock<Option<IndexDeltaCounters>>,
 }
 
 impl Table {
     pub fn new(schema: TableSchema) -> Self {
-        let mut indexes = HashMap::new();
-        for col in &schema.columns {
-            match col.index {
-                Some(IndexKind::Hash) => {
-                    indexes.insert(col.name.clone(), Index::Hash(HashIndex::new()));
+        Self::with_config(schema, 16, 1024)
+    }
+
+    /// `lock_stripes` is clamped to `1..=MAX_LOCK_STRIPES`; `index_batch`
+    /// of 1 means eager (classic) index maintenance.
+    pub fn with_config(schema: TableSchema, lock_stripes: usize, index_batch: usize) -> Self {
+        let n = lock_stripes.clamp(1, MAX_LOCK_STRIPES);
+        let stripes = (0..n)
+            .map(|_| {
+                let mut indexes = HashMap::new();
+                for col in &schema.columns {
+                    match col.index {
+                        Some(IndexKind::Hash) => {
+                            indexes.insert(col.name.clone(), Index::Hash(HashIndex::new()));
+                        }
+                        Some(IndexKind::BTree) => {
+                            indexes.insert(col.name.clone(), Index::BTree(BTreeIndex::new()));
+                        }
+                        None => {}
+                    }
                 }
-                Some(IndexKind::BTree) => {
-                    indexes.insert(col.name.clone(), Index::BTree(BTreeIndex::new()));
-                }
-                None => {}
-            }
-        }
+                RwLock::new(Stripe {
+                    rows: Vec::new(),
+                    pk_map: HashMap::new(),
+                    indexes,
+                    indexed_upto: 0,
+                })
+            })
+            .collect();
         Table {
             schema,
-            rows: Vec::new(),
-            pk_map: HashMap::new(),
-            indexes,
-            stats: TableStats::default(),
+            index_batch: index_batch.max(1),
+            stripes,
+            stats: AtomicStats::default(),
+            row_count: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+            delta_counters: RwLock::new(None),
         }
+    }
+
+    /// Attach (or replace) the shared deferred-index telemetry counters.
+    pub fn set_delta_counters(&self, counters: IndexDeltaCounters) {
+        *self.delta_counters.write() = Some(counters);
     }
 
     pub fn schema(&self) -> &TableSchema {
         &self.schema
     }
 
+    pub fn lock_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.row_count.load(Ordering::Relaxed)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     pub fn stats(&self) -> TableStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn pk_of(&self, record: &Record) -> Result<String> {
+    pub(crate) fn pk_of(&self, record: &Record) -> Result<String> {
         match record.get(&self.schema.primary_key) {
             Some(Value::Str(s)) => Ok(s.clone()),
             Some(v) => Err(StoreError::TypeMismatch {
@@ -87,45 +248,88 @@ impl Table {
         }
     }
 
-    /// Insert an immutable record. Duplicate primary keys are rejected —
-    /// updates must create new versions (new keys) instead.
-    pub fn insert(&mut self, record: Record) -> Result<RowId> {
+    /// Which stripe a primary key hashes to.
+    pub fn stripe_of(&self, pk: &str) -> usize {
+        (fnv1a64(pk.as_bytes()) % self.stripes.len() as u64) as usize
+    }
+
+    /// Take the write lock on the stripe owning `pk`. The token pins the
+    /// stripe across duplicate-check → commit → apply, so no competing
+    /// writer can interleave on this stripe.
+    pub fn lock_stripe(&self, pk: &str) -> StripeToken<'_> {
+        let stripe = self.stripe_of(pk);
+        StripeToken {
+            table: self,
+            stripe,
+            guard: self.stripes[stripe].write(),
+        }
+    }
+
+    /// Lock every stripe owning any of `pks`, in index order (the global
+    /// lock order), for a multi-row insert.
+    pub fn lock_stripe_set(&self, pks: &[String]) -> StripeSetToken<'_> {
+        let mut idxs: Vec<usize> = pks.iter().map(|pk| self.stripe_of(pk)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let guards = idxs
+            .into_iter()
+            .map(|i| (i, self.stripes[i].write()))
+            .collect();
+        StripeSetToken {
+            table: self,
+            guards,
+        }
+    }
+
+    /// Insert an immutable record (standalone-table path: validates,
+    /// checks duplicates, and self-assigns a sequence). Duplicate primary
+    /// keys are rejected — updates must create new versions (new keys).
+    pub fn insert(&self, record: Record) -> Result<RowId> {
         self.schema.validate_row(record.fields())?;
         let pk = self.pk_of(&record)?;
-        if self.pk_map.contains_key(&pk) {
+        let mut token = self.lock_stripe(&pk);
+        if token.contains(&pk) {
             return Err(StoreError::DuplicateKey(pk));
         }
-        let row_id = self.rows.len() as RowId;
-        for (col, index) in self.indexes.iter_mut() {
-            let v = record.get_or_null(col);
-            if !v.is_null() {
-                index.insert(v, row_id);
-            }
-        }
-        self.pk_map.insert(pk, row_id);
-        self.rows.push(record);
-        self.stats.inserts += 1;
-        Ok(row_id)
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(token.apply_insert(Arc::new(record), seq))
     }
 
     /// Point lookup by primary key.
-    pub fn get(&mut self, pk: &str) -> Option<&Record> {
-        self.stats.pk_lookups += 1;
-        self.pk_map.get(pk).map(|&id| &self.rows[id as usize])
+    pub fn get(&self, pk: &str) -> Option<Record> {
+        self.stats.pk_lookups.fetch_add(1, Ordering::Relaxed);
+        self.peek(pk)
     }
 
     /// Non-stat-mutating lookup (for internal use and read-only callers).
-    pub fn peek(&self, pk: &str) -> Option<&Record> {
-        self.pk_map.get(pk).map(|&id| &self.rows[id as usize])
+    pub fn peek(&self, pk: &str) -> Option<Record> {
+        let stripe = self.stripes[self.stripe_of(pk)].read();
+        stripe
+            .pk_map
+            .get(pk)
+            .map(|&slot| stripe.rows[slot].record.as_ref().clone())
     }
 
     pub fn contains(&self, pk: &str) -> bool {
-        self.pk_map.contains_key(pk)
+        let stripe = self.stripes[self.stripe_of(pk)].read();
+        stripe.pk_map.contains_key(pk)
     }
 
     /// Set one of the explicitly mutable flag columns (e.g. `deprecated`).
     /// All other columns are immutable; attempting to touch them is an error.
-    pub fn set_flag(&mut self, pk: &str, column: &str, value: bool) -> Result<()> {
+    pub fn set_flag(&self, pk: &str, column: &str, value: bool) -> Result<()> {
+        self.check_flag_column(column)?;
+        let mut token = self.lock_stripe(pk);
+        if !token.contains(pk) {
+            return Err(StoreError::NoSuchKey(pk.to_owned()));
+        }
+        token.apply_set_flag(pk, column, value);
+        Ok(())
+    }
+
+    /// Validate that `column` may be mutated in place (exists and is a
+    /// flag column) *before* anything is committed.
+    pub(crate) fn check_flag_column(&self, column: &str) -> Result<()> {
         if !MUTABLE_FLAG_COLUMNS.contains(&column) {
             return Err(StoreError::BadQuery(format!(
                 "column {column} is immutable; only flag columns {MUTABLE_FLAG_COLUMNS:?} may be set in place"
@@ -137,45 +341,105 @@ impl Table {
                 column: column.to_owned(),
             });
         }
-        let row_id = *self
-            .pk_map
-            .get(pk)
-            .ok_or_else(|| StoreError::NoSuchKey(pk.to_owned()))?;
-        let old = self.rows[row_id as usize].get_or_null(column);
-        if let Some(index) = self.indexes.get_mut(column) {
-            if !old.is_null() {
-                index.remove(&old, row_id);
-            }
-            index.insert(Value::Bool(value), row_id);
-        }
-        let rec = std::mem::take(&mut self.rows[row_id as usize]);
-        self.rows[row_id as usize] = rec.set(column, value);
         Ok(())
     }
 
-    /// Iterate all rows (snapshot order = insertion order).
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.rows.iter()
+    /// Force-apply every stripe's pending index delta; returns the number
+    /// of rows whose deltas were applied. Queries never need this (they
+    /// merge the pending tail), but tests and benchmarks use it to compare
+    /// deferred vs flushed states.
+    pub fn flush_index_deltas(&self) -> usize {
+        let mut applied = 0;
+        for (i, stripe) in self.stripes.iter().enumerate() {
+            let mut s = stripe.write();
+            applied += self.flush_stripe(i, &mut s);
+        }
+        applied
+    }
+
+    /// Rows currently sitting in pending index deltas across all stripes.
+    pub fn pending_index_delta(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                let s = s.read();
+                s.rows.len() - s.indexed_upto
+            })
+            .sum()
+    }
+
+    /// Apply `stripe`'s pending delta in one column-major pass. Caller
+    /// holds the stripe write lock.
+    fn flush_stripe(&self, stripe_idx: usize, s: &mut Stripe) -> usize {
+        let from = s.indexed_upto;
+        let to = s.rows.len();
+        if from == to {
+            return 0;
+        }
+        let Stripe {
+            rows,
+            indexes,
+            indexed_upto,
+            ..
+        } = s;
+        for (col, index) in indexes.iter_mut() {
+            index.insert_many(rows[from..to].iter().enumerate().filter_map(|(i, row)| {
+                match row.record.get_or_null(col) {
+                    v if v.is_null() => None,
+                    v => Some((v, pack(stripe_idx, from + i))),
+                }
+            }));
+        }
+        *indexed_upto = to;
+        let applied = to - from;
+        self.stats
+            .index_delta_flushes
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .index_delta_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        if let Some(c) = &*self.delta_counters.read() {
+            c.flushes.inc();
+            c.applied.add(applied as u64);
+        }
+        applied
     }
 
     /// Plan a query: prefer primary-key equality, then an indexed equality
     /// constraint, then an indexed range constraint, else a full scan.
     pub fn plan(&self, query: &Query) -> AccessPath {
+        let guards: Vec<RwLockReadGuard<'_, Stripe>> =
+            self.stripes.iter().map(|s| s.read()).collect();
+        self.plan_with(&guards, query)
+    }
+
+    fn indexed(&self, column: &str) -> bool {
+        self.schema
+            .column(column)
+            .map(|c| c.index.is_some())
+            .unwrap_or(false)
+    }
+
+    fn plan_with(&self, guards: &[RwLockReadGuard<'_, Stripe>], query: &Query) -> AccessPath {
         for c in &query.constraints {
             if c.field == self.schema.primary_key && c.op == Op::Eq {
                 return AccessPath::PrimaryKey;
             }
         }
         // Indexed equality first; among several indexed eq constraints pick
-        // the smallest bucket (cheapest candidate set).
+        // the smallest candidate set (bucket plus the unindexed tails).
         let mut best_eq: Option<(&str, usize)> = None;
         for c in &query.constraints {
-            if c.op.index_eq_usable() {
-                if let Some(index) = self.indexes.get(&c.field) {
-                    let len = index.eq_bucket_len(&c.value);
-                    if best_eq.map(|(_, b)| len < b).unwrap_or(true) {
-                        best_eq = Some((&c.field, len));
-                    }
+            if c.op.index_eq_usable() && self.indexed(&c.field) {
+                let len: usize = guards
+                    .iter()
+                    .map(|g| {
+                        g.indexes[&c.field].eq_bucket_len(&c.value)
+                            + (g.rows.len() - g.indexed_upto)
+                    })
+                    .sum();
+                if best_eq.map(|(_, b)| len < b).unwrap_or(true) {
+                    best_eq = Some((&c.field, len));
                 }
             }
         }
@@ -185,14 +449,13 @@ impl Table {
             };
         }
         for c in &query.constraints {
-            if c.op.index_range_usable() {
-                if let Some(ix) = self.indexes.get(&c.field) {
-                    if ix.supports_range() {
-                        return AccessPath::IndexRange {
-                            column: c.field.clone(),
-                        };
-                    }
-                }
+            if c.op.index_range_usable()
+                && self.indexed(&c.field)
+                && guards[0].indexes[&c.field].supports_range()
+            {
+                return AccessPath::IndexRange {
+                    column: c.field.clone(),
+                };
             }
         }
         AccessPath::FullScan
@@ -211,8 +474,10 @@ impl Table {
     }
 
     /// Execute a query, returning matching records (cloned) and the access
-    /// path the planner chose.
-    pub fn execute(&mut self, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+    /// path the planner chose. Takes every stripe read lock (in index
+    /// order) for a consistent snapshot; results are merged in sequence
+    /// (= insertion) order.
+    pub fn execute(&self, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
         for c in &query.constraints {
             if self.schema.column(&c.field).is_none() {
                 return Err(StoreError::NoSuchColumn {
@@ -229,64 +494,92 @@ impl Table {
                 });
             }
         }
-        let path = self.plan(query);
-        let candidate_rows: Vec<RowId> = match &path {
+        let guards: Vec<RwLockReadGuard<'_, Stripe>> =
+            self.stripes.iter().map(|s| s.read()).collect();
+        let path = self.plan_with(&guards, query);
+        // Candidates as (stripe, slot). Index-served paths add every
+        // stripe's unindexed tail so pending deltas never hide rows.
+        let mut cands: Vec<(usize, usize)> = Vec::new();
+        match &path {
             AccessPath::PrimaryKey => {
-                self.stats.pk_lookups += 1;
+                self.stats.pk_lookups.fetch_add(1, Ordering::Relaxed);
                 let pk_constraint = query
                     .constraints
                     .iter()
                     .find(|c| c.field == self.schema.primary_key && c.op == Op::Eq)
                     .expect("planner chose PrimaryKey without pk constraint");
-                match pk_constraint
-                    .value
-                    .as_str()
-                    .and_then(|s| self.pk_map.get(s))
-                {
-                    Some(&id) => vec![id],
-                    None => vec![],
+                if let Some(pk) = pk_constraint.value.as_str() {
+                    let si = self.stripe_of(pk);
+                    if let Some(&slot) = guards[si].pk_map.get(pk) {
+                        cands.push((si, slot));
+                    }
                 }
             }
             AccessPath::IndexEq { column } => {
-                self.stats.index_queries += 1;
+                self.stats.index_queries.fetch_add(1, Ordering::Relaxed);
                 let c = query
                     .constraints
                     .iter()
                     .find(|c| &c.field == column && c.op == Op::Eq)
                     .expect("planner chose IndexEq without eq constraint");
-                self.indexes[column].lookup_eq(&c.value)
+                for (si, g) in guards.iter().enumerate() {
+                    for id in dedup_rows(g.indexes[column].lookup_eq(&c.value)) {
+                        cands.push(unpack(id));
+                    }
+                    for slot in g.indexed_upto..g.rows.len() {
+                        cands.push((si, slot));
+                    }
+                }
             }
             AccessPath::IndexRange { column } => {
-                self.stats.index_queries += 1;
+                self.stats.index_queries.fetch_add(1, Ordering::Relaxed);
                 let c = query
                     .constraints
                     .iter()
                     .find(|c| &c.field == column && c.op.index_range_usable())
                     .expect("planner chose IndexRange without range constraint");
                 let (lo, hi) = c.op.bounds(&c.value).expect("range op has bounds");
-                self.indexes[column]
-                    .lookup_range(lo, hi)
-                    .expect("planner chose IndexRange on non-range index")
+                for (si, g) in guards.iter().enumerate() {
+                    let ids = g.indexes[column]
+                        .lookup_range(lo, hi)
+                        .expect("planner chose IndexRange on non-range index");
+                    for id in dedup_rows(ids) {
+                        cands.push(unpack(id));
+                    }
+                    for slot in g.indexed_upto..g.rows.len() {
+                        cands.push((si, slot));
+                    }
+                }
             }
             AccessPath::FullScan => {
-                self.stats.full_scans += 1;
-                (0..self.rows.len() as RowId).collect()
+                self.stats.full_scans.fetch_add(1, Ordering::Relaxed);
+                for (si, g) in guards.iter().enumerate() {
+                    for slot in 0..g.rows.len() {
+                        cands.push((si, slot));
+                    }
+                }
             }
-        };
-        let candidate_rows = dedup_rows(candidate_rows);
-        self.stats.rows_examined += candidate_rows.len() as u64;
+        }
+        self.stats
+            .rows_examined
+            .fetch_add(cands.len() as u64, Ordering::Relaxed);
 
-        let mut matches: Vec<&Record> = candidate_rows
+        let mut matches: Vec<(u64, &Record)> = cands
             .into_iter()
-            .map(|id| &self.rows[id as usize])
-            .filter(|r| self.row_matches(r, query))
+            .map(|(si, slot)| {
+                let row = &guards[si].rows[slot];
+                (row.seq, row.record.as_ref())
+            })
+            .filter(|(_, r)| self.row_matches(r, query))
             .collect();
+        // Sequence order = insertion order, across stripes.
+        matches.sort_unstable_by_key(|(seq, _)| *seq);
 
         if let Some(ob) = &query.order_by {
-            let cmp = |a: &&Record, b: &&Record| {
-                let ord = a
-                    .get_or_null(&ob.field)
-                    .total_cmp(&b.get_or_null(&ob.field));
+            let cmp = |a: &(u64, &Record), b: &(u64, &Record)| {
+                let ord =
+                    a.1.get_or_null(&ob.field)
+                        .total_cmp(&b.1.get_or_null(&ob.field));
                 if ob.descending {
                     ord.reverse()
                 } else {
@@ -306,18 +599,154 @@ impl Table {
         if let Some(limit) = query.limit {
             matches.truncate(limit);
         }
-        Ok((matches.into_iter().cloned().collect(), path))
+        Ok((matches.into_iter().map(|(_, r)| r.clone()).collect(), path))
+    }
+
+    /// All rows (shared handles, not deep copies) in sequence
+    /// (= insertion) order. Compaction uses this to rewrite the WAL as a
+    /// replayable op sequence.
+    pub fn snapshot_seq_order(&self) -> Vec<Arc<Record>> {
+        let mut rows: Vec<(u64, Arc<Record>)> = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            let s = stripe.read();
+            rows.extend(s.rows.iter().map(|r| (r.seq, Arc::clone(&r.record))));
+        }
+        rows.sort_unstable_by_key(|(seq, _)| *seq);
+        rows.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Approximate memory footprint of all rows.
     pub fn approx_size(&self) -> usize {
-        self.rows.iter().map(Record::approx_size).sum()
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.read()
+                    .rows
+                    .iter()
+                    .map(|r| r.record.approx_size())
+                    .sum::<usize>()
+            })
+            .sum()
     }
+}
+
+/// Write lock on one stripe, pinning it across duplicate-check → commit →
+/// apply. Obtained from [`Table::lock_stripe`].
+pub struct StripeToken<'a> {
+    table: &'a Table,
+    stripe: usize,
+    guard: RwLockWriteGuard<'a, Stripe>,
+}
+
+impl StripeToken<'_> {
+    pub fn contains(&self, pk: &str) -> bool {
+        self.guard.pk_map.contains_key(pk)
+    }
+
+    /// Apply a validated, committed insert at sequence `seq`. The caller
+    /// has already checked schema validity and key uniqueness under this
+    /// token.
+    pub fn apply_insert(&mut self, record: Arc<Record>, seq: u64) -> RowId {
+        apply_insert_inner(self.table, self.stripe, &mut self.guard, record, seq)
+    }
+
+    /// Apply a validated, committed flag mutation. The caller has already
+    /// checked (under this token) that `pk` exists and `column` is a
+    /// mutable flag column, so this cannot fail.
+    pub fn apply_set_flag(&mut self, pk: &str, column: &str, value: bool) {
+        apply_set_flag_inner(self.stripe, &mut self.guard, pk, column, value);
+    }
+}
+
+/// Write locks on the set of stripes owning a batch of primary keys, in
+/// stripe-index order. Obtained from [`Table::lock_stripe_set`].
+pub struct StripeSetToken<'a> {
+    table: &'a Table,
+    guards: Vec<(usize, RwLockWriteGuard<'a, Stripe>)>,
+}
+
+impl StripeSetToken<'_> {
+    pub fn contains(&self, pk: &str) -> bool {
+        let si = self.table.stripe_of(pk);
+        self.guard_of(si).pk_map.contains_key(pk)
+    }
+
+    /// Apply one validated, committed insert from the batch.
+    pub fn apply_insert(&mut self, record: Arc<Record>, seq: u64) -> RowId {
+        let pk = record
+            .get(&self.table.schema.primary_key)
+            .and_then(Value::as_str)
+            .expect("validated pk")
+            .to_owned();
+        let si = self.table.stripe_of(&pk);
+        let table = self.table;
+        let stripe = self.stripe_mut(si);
+        apply_insert_inner(table, si, stripe, record, seq)
+    }
+
+    fn guard_of(&self, stripe: usize) -> &Stripe {
+        let i = self
+            .guards
+            .binary_search_by_key(&stripe, |(s, _)| *s)
+            .expect("stripe not locked by this token");
+        &self.guards[i].1
+    }
+
+    fn stripe_mut(&mut self, stripe: usize) -> &mut Stripe {
+        let i = self
+            .guards
+            .binary_search_by_key(&stripe, |(s, _)| *s)
+            .expect("stripe not locked by this token");
+        &mut self.guards[i].1
+    }
+}
+
+fn apply_insert_inner(
+    table: &Table,
+    stripe_idx: usize,
+    s: &mut Stripe,
+    record: Arc<Record>,
+    seq: u64,
+) -> RowId {
+    let pk = record
+        .get(&table.schema.primary_key)
+        .and_then(Value::as_str)
+        .expect("validated pk")
+        .to_owned();
+    let slot = s.rows.len();
+    s.pk_map.insert(pk, slot);
+    s.rows.push(StoredRow { seq, record });
+    table.row_count.fetch_add(1, Ordering::Relaxed);
+    table.stats.inserts.fetch_add(1, Ordering::Relaxed);
+    if !s.indexes.is_empty() && s.rows.len() - s.indexed_upto >= table.index_batch {
+        table.flush_stripe(stripe_idx, s);
+    }
+    pack(stripe_idx, slot)
+}
+
+fn apply_set_flag_inner(stripe_idx: usize, s: &mut Stripe, pk: &str, column: &str, value: bool) {
+    let slot = s.pk_map[pk];
+    let old = s.rows[slot].record.get_or_null(column);
+    // Rows above the watermark are not in the index yet; their (new)
+    // value is picked up when the pending delta flushes.
+    if slot < s.indexed_upto {
+        if let Some(index) = s.indexes.get_mut(column) {
+            if !old.is_null() {
+                index.remove(&old, pack(stripe_idx, slot));
+            }
+            index.insert(Value::Bool(value), pack(stripe_idx, slot));
+        }
+    }
+    // Copy-on-write: clones the record only if the oplog still shares the
+    // allocation, so the logged insert op never sees the mutation.
+    let rec = Arc::make_mut(&mut s.rows[slot].record);
+    *rec = std::mem::take(rec).set(column, value);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Constraint;
     use crate::schema::ColumnDef;
     use crate::value::ValueType;
 
@@ -351,7 +780,7 @@ mod tests {
 
     #[test]
     fn insert_and_get() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         assert_eq!(t.get("i1").unwrap().get("model"), Some(&Value::from("rf")));
         assert!(t.get("nope").is_none());
@@ -359,7 +788,7 @@ mod tests {
 
     #[test]
     fn duplicate_pk_rejected() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         let err = t.insert(row("i1", "rf", "sf", 2, 0.2));
         assert!(matches!(err, Err(StoreError::DuplicateKey(_))));
@@ -367,7 +796,7 @@ mod tests {
 
     #[test]
     fn planner_prefers_pk() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         let q = Query::all().and(Constraint::eq("id", "i1"));
         let (rows, path) = t.execute(&q).unwrap();
@@ -377,7 +806,7 @@ mod tests {
 
     #[test]
     fn planner_uses_hash_index_for_eq() {
-        let mut t = table();
+        let t = table();
         for i in 0..100 {
             t.insert(row(
                 &format!("i{i}"),
@@ -401,7 +830,7 @@ mod tests {
 
     #[test]
     fn planner_uses_btree_for_range() {
-        let mut t = table();
+        let t = table();
         for i in 0..10 {
             t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.01 * i as f64))
                 .unwrap();
@@ -419,7 +848,7 @@ mod tests {
 
     #[test]
     fn full_scan_for_unindexed() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         // contains is not index-servable
         let q = Query::all().and(Constraint::new("model", Op::Contains, "r"));
@@ -430,7 +859,7 @@ mod tests {
 
     #[test]
     fn residual_constraints_filtered() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         t.insert(row("i2", "rf", "nyc", 2, 0.2)).unwrap();
         let q = Query::all()
@@ -443,7 +872,7 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let mut t = table();
+        let t = table();
         for i in 0..5 {
             t.insert(row(&format!("i{i}"), "rf", "sf", 10 - i, 0.1))
                 .unwrap();
@@ -456,7 +885,7 @@ mod tests {
 
     #[test]
     fn deprecated_rows_skipped_by_default() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         t.insert(row("i2", "rf", "sf", 2, 0.2)).unwrap();
         t.set_flag("i2", "deprecated", true).unwrap();
@@ -470,7 +899,7 @@ mod tests {
 
     #[test]
     fn set_flag_rejects_non_flag_columns() {
-        let mut t = table();
+        let t = table();
         t.insert(row("i1", "rf", "sf", 1, 0.1)).unwrap();
         assert!(t.set_flag("i1", "model", true).is_err());
         assert!(t.set_flag("missing", "deprecated", true).is_err());
@@ -478,7 +907,7 @@ mod tests {
 
     #[test]
     fn unknown_query_column_is_error() {
-        let mut t = table();
+        let t = table();
         let q = Query::all().and(Constraint::eq("bogus", "x"));
         assert!(matches!(
             t.execute(&q),
@@ -488,7 +917,7 @@ mod tests {
 
     #[test]
     fn stats_track_access_paths() {
-        let mut t = table();
+        let t = table();
         for i in 0..10 {
             t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.1)).unwrap();
         }
@@ -498,5 +927,141 @@ mod tests {
         assert_eq!(s.inserts, 10);
         assert_eq!(s.index_queries, 1);
         assert_eq!(s.full_scans, 1);
+    }
+
+    #[test]
+    fn rows_spread_across_stripes() {
+        let t = table();
+        for i in 0..200 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.1)).unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        let touched = (0..200)
+            .map(|i| t.stripe_of(&format!("i{i}")))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(
+            touched.len() > 1,
+            "FNV-1a striping must spread keys over stripes"
+        );
+        // Every row still reachable by pk and by full query.
+        for i in 0..200 {
+            assert!(t.contains(&format!("i{i}")));
+        }
+        let (rows, _) = t
+            .execute(&Query::all().and(Constraint::eq("model", "rf")))
+            .unwrap();
+        assert_eq!(rows.len(), 200);
+    }
+
+    #[test]
+    fn query_results_in_insertion_order_across_stripes() {
+        let t = table();
+        for i in 0..50 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.1)).unwrap();
+        }
+        let (rows, _) = t.execute(&Query::all()).unwrap();
+        let ids: Vec<String> = rows
+            .iter()
+            .map(|r| r.get("id").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        let expected: Vec<String> = (0..50).map(|i| format!("i{i}")).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn deferred_index_delta_is_query_transparent() {
+        let schema = table().schema.clone();
+        // Huge batch threshold: nothing flushes on its own.
+        let t = Table::with_config(schema, 4, 1_000_000);
+        for i in 0..100 {
+            t.insert(row(
+                &format!("i{i}"),
+                if i % 2 == 0 { "rf" } else { "lr" },
+                "sf",
+                i,
+                0.01 * i as f64,
+            ))
+            .unwrap();
+        }
+        assert_eq!(t.pending_index_delta(), 100);
+        let q_eq = Query::all().and(Constraint::eq("model", "rf"));
+        let q_range = Query::all().and(Constraint::lt("mape", 0.25));
+        let (eq_before, path) = t.execute(&q_eq).unwrap();
+        assert!(matches!(path, AccessPath::IndexEq { .. }));
+        let (range_before, _) = t.execute(&q_range).unwrap();
+        // Force the flush: results must be identical.
+        assert_eq!(t.flush_index_deltas(), 100);
+        assert_eq!(t.pending_index_delta(), 0);
+        let (eq_after, _) = t.execute(&q_eq).unwrap();
+        let (range_after, _) = t.execute(&q_range).unwrap();
+        assert_eq!(eq_before, eq_after);
+        assert_eq!(range_before, range_after);
+        assert_eq!(eq_after.len(), 50);
+        assert_eq!(range_after.len(), 25);
+        let s = t.stats();
+        assert!(s.index_delta_flushes >= 1);
+        assert_eq!(s.index_delta_applied, 100);
+    }
+
+    #[test]
+    fn set_flag_on_unindexed_tail_row_stays_exact() {
+        let schema = TableSchema::new(
+            "m",
+            "id",
+            vec![
+                ColumnDef::new("id", ValueType::Str),
+                ColumnDef::new("deprecated", ValueType::Bool)
+                    .nullable()
+                    .hash_indexed(),
+            ],
+        )
+        .unwrap();
+        let t = Table::with_config(schema, 2, 1_000_000);
+        t.insert(Record::new().set("id", "a")).unwrap();
+        t.insert(Record::new().set("id", "b")).unwrap();
+        // Flag flips before the delta ever flushed.
+        t.set_flag("a", "deprecated", true).unwrap();
+        let q = Query::all()
+            .and(Constraint::eq("deprecated", true))
+            .with_deprecated();
+        let (before, _) = t.execute(&q).unwrap();
+        t.flush_index_deltas();
+        let (after, _) = t.execute(&q).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].get("id"), Some(&Value::from("a")));
+        // And a flip *after* the flush updates the index in place.
+        t.set_flag("b", "deprecated", true).unwrap();
+        let (both, _) = t.execute(&q).unwrap();
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn row_id_packing_roundtrip() {
+        for (stripe, slot) in [(0, 0), (3, 17), (31, (1 << 27) - 1)] {
+            assert_eq!(unpack(pack(stripe, slot)), (stripe, slot));
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vector() {
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn stripe_set_token_batch_insert() {
+        let t = table();
+        let pks: Vec<String> = (0..10).map(|i| format!("b{i}")).collect();
+        {
+            let mut token = t.lock_stripe_set(&pks);
+            for (i, pk) in pks.iter().enumerate() {
+                assert!(!token.contains(pk));
+                token.apply_insert(Arc::new(row(pk, "rf", "sf", i as i64, 0.1)), i as u64 + 1);
+            }
+        }
+        assert_eq!(t.len(), 10);
+        for pk in &pks {
+            assert!(t.contains(pk));
+        }
     }
 }

@@ -22,6 +22,13 @@
 //!   monotone, so any durable prefix agrees).
 //! - **Orphans are repairable** — `repair_orphans` deletes every orphan
 //!   blob and a re-audit comes back clean.
+//! - **Acked ops are durable** — every op the DAL acknowledged before the
+//!   crash survives recovery (rows present, acked deprecations set). With
+//!   group commit in the write path this is the load-bearing check: a
+//!   crash *inside* a batched WAL write may lose or tear the in-flight
+//!   batch (none of it acked yet), but must never lose an acknowledged
+//!   row. Applies to clean-crash and torn-write scenarios; lossy
+//!   scenarios (lying fsync, bit rot) legitimately lose acked data.
 //!
 //! Beyond clean crashes the matrix optionally tears the final write
 //! (prefix-persisted), drops fsyncs on a matching path (lying disk), and
@@ -119,6 +126,7 @@ impl fmt::Display for Violation {
 pub mod invariants {
     pub const FAULT_FREE_RUN: &str = "fault-free-run";
     pub const RECOVERY_SUCCEEDS: &str = "recovery-succeeds";
+    pub const ACKED_DURABLE: &str = "acked-ops-durable";
     pub const NO_DANGLING_METADATA: &str = "no-dangling-metadata";
     pub const NO_SILENT_CORRUPTION: &str = "no-silent-corruption";
     pub const BLOB_READABLE: &str = "blob-readable-after-clean-crash";
@@ -172,10 +180,13 @@ impl CrashMatrixReport {
 /// Classify an IO-trace record into the site it belongs to. `wal.commit`
 /// (the fsync making a metadata record durable) and `blob.publish` (the
 /// rename exposing a blob under its final key) are the two commit points
-/// §3.5's ordering argument is about.
+/// §3.5's ordering argument is about. A WAL write carrying more than one
+/// line is a group-commit batch (`wal.append.batch`) — crashing there is
+/// the mid-batch crash the acked-durability invariant targets.
 pub fn classify(rec: &IoOpRecord) -> &'static str {
     let wal = rec.path.to_string_lossy().contains("wal");
     match (wal, rec.op) {
+        (true, IoOp::Write) if rec.newlines > 1 => "wal.append.batch",
         (true, IoOp::Write) => "wal.append",
         (true, IoOp::Sync) => "wal.commit",
         (true, _) => "wal.other",
@@ -213,7 +224,7 @@ pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
 
     // Pass 1: fault-free trace enumerating every mutating IO op.
     let trace_fs = SimFs::new();
-    if let Err(e) = run_workload(&trace_fs, &w, cfg.ordering) {
+    if let (_, Err(e)) = run_workload(&trace_fs, &w, cfg.ordering) {
         report.violations.push(Violation {
             scenario: "trace".to_string(),
             invariant: invariants::FAULT_FREE_RUN,
@@ -225,9 +236,15 @@ pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
     report.io_ops_traced = trace.len();
 
     // Pass 2: crash at every (stride-sampled) IO op, plus a torn variant
-    // for multi-byte writes.
+    // for multi-byte writes. Group-commit batch writes are always crash
+    // points, even when the stride would skip them — mid-batch crashes are
+    // what the acked-durability invariant exists to judge.
     let stride = cfg.stride.max(1);
-    for (k, rec) in trace.iter().enumerate().step_by(stride) {
+    for (k, rec) in trace
+        .iter()
+        .enumerate()
+        .filter(|(k, rec)| k % stride == 0 || classify(rec) == "wal.append.batch")
+    {
         *report.sites.entry(classify(rec).to_string()).or_insert(0) += 1;
         let name = format!("crash@{k}/{}:{}", rec.op.name(), rec.path.display());
         let plan = SimFaultPlan {
@@ -246,6 +263,22 @@ pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
             };
             run_scenario(cfg, &w, &model, &mut report, name, plan, Rigor::Strict);
             report.crash_points += 1;
+            // Torn *batch*: a multi-record group-commit write torn at a
+            // line boundary minus one byte — every record but the last
+            // persists whole, the last heals away as a torn tail. None of
+            // the batch was acked, so losing its suffix must be invisible
+            // to the acked-durability check.
+            if rec.newlines > 1 {
+                let keep = rec.bytes - 1;
+                let name = format!("torn-batch@{k}(keep={keep}):{}", rec.path.display());
+                let plan = SimFaultPlan {
+                    crash_at_op: Some(k as u64),
+                    torn_write_keep: Some(keep),
+                    ..Default::default()
+                };
+                run_scenario(cfg, &w, &model, &mut report, name, plan, Rigor::Strict);
+                report.crash_points += 1;
+            }
         }
     }
 
@@ -284,25 +317,44 @@ pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
 }
 
 /// Build the store stack over `fs` and run the workload, stopping at the
-/// first storage failure (the injected crash).
-fn run_workload(fs: &SimFs, w: &Workload, ordering: WriteOrdering) -> crate::error::Result<()> {
+/// first storage failure (the injected crash). Returns how many ops were
+/// *acknowledged* (applied successfully, all durability syncs included)
+/// before the failure, plus the failure itself if any — the acked prefix
+/// feeds the acked-durability invariant.
+fn run_workload(
+    fs: &SimFs,
+    w: &Workload,
+    ordering: WriteOrdering,
+) -> (usize, crate::error::Result<()>) {
     let fs_arc: Arc<dyn FileSystem> = Arc::new(fs.clone());
     let telemetry = Telemetry::new();
-    let meta = Arc::new(MetadataStore::durable_with(
-        Arc::clone(&fs_arc),
-        WAL_PATH,
-        SyncPolicy::Always,
-        Arc::clone(&telemetry),
-    )?);
-    let blobs = Arc::new(LocalFsBlobStore::open_with_fs(fs_arc, BLOB_ROOT)?);
-    let dal = Dal::new(meta, blobs)
-        .with_ordering(ordering)
-        .with_telemetry(telemetry);
-    dal.create_table(instance_schema())?;
-    for op in &w.ops {
-        workload::apply(&dal, w.seed, op)?;
+    let setup = || -> crate::error::Result<Dal> {
+        let meta = Arc::new(MetadataStore::durable_with(
+            Arc::clone(&fs_arc),
+            WAL_PATH,
+            SyncPolicy::Always,
+            Arc::clone(&telemetry),
+        )?);
+        let blobs = Arc::new(LocalFsBlobStore::open_with_fs(
+            Arc::clone(&fs_arc),
+            BLOB_ROOT,
+        )?);
+        let dal = Dal::new(meta, blobs)
+            .with_ordering(ordering)
+            .with_telemetry(Arc::clone(&telemetry));
+        dal.create_table(instance_schema())?;
+        Ok(dal)
+    };
+    let dal = match setup() {
+        Ok(d) => d,
+        Err(e) => return (0, Err(e)),
+    };
+    for (i, op) in w.ops.iter().enumerate() {
+        if let Err(e) = workload::apply(&dal, w.seed, op) {
+            return (i, Err(e));
+        }
     }
-    Ok(())
+    (w.ops.len(), Ok(()))
 }
 
 fn run_scenario(
@@ -318,14 +370,18 @@ fn run_scenario(
     let fs = SimFs::with_plan(plan);
     // The run is expected to die at the crash point (bit-flip scenarios
     // run to completion); either way the recovered image is what matters.
-    let _ = run_workload(&fs, w, cfg.ordering);
+    let (acked, _) = run_workload(&fs, w, cfg.ordering);
     let recovered = fs.recover();
-    check_recovery(cfg, model, report, &name, rigor, &recovered);
+    check_recovery(cfg, w, acked, model, report, &name, rigor, &recovered);
 }
 
 /// Recover stores from a post-crash disk image and check every invariant.
+/// `acked` is the count of workload ops the crashed run acknowledged.
+#[allow(clippy::too_many_arguments)]
 fn check_recovery(
     cfg: &CrashMatrixConfig,
+    w: &Workload,
+    acked: usize,
     model: &RefModel,
     report: &mut CrashMatrixReport,
     scenario: &str,
@@ -492,6 +548,48 @@ fn check_recovery(
         }
     }
 
+    // Acked durability: everything the DAL acknowledged before the crash
+    // must have survived. Only sound under Strict rigor — lying fsyncs and
+    // bit rot lose acked data by design (detected, not denied).
+    if rigor == Rigor::Strict {
+        let recovered: BTreeMap<&str, bool> = rows
+            .iter()
+            .filter_map(|row| {
+                row.get("id").and_then(|v| v.as_str()).map(|pk| {
+                    (
+                        pk,
+                        row.get("deprecated")
+                            .and_then(|v| v.as_bool())
+                            .unwrap_or(false),
+                    )
+                })
+            })
+            .collect();
+        for op in &w.ops[..acked] {
+            for id in op.inserted_ids() {
+                if !recovered.contains_key(id.as_str()) {
+                    report.violations.push(fail(
+                        invariants::ACKED_DURABLE,
+                        format!("{id}: insert was acknowledged but lost by recovery"),
+                    ));
+                }
+            }
+            if let workload::WorkloadOp::Deprecate { id } = op {
+                // Deprecate on a not-yet-inserted id is a swallowed
+                // semantic no-op; only check ids the acked prefix created.
+                let inserted = w.ops[..acked]
+                    .iter()
+                    .any(|o| o.inserted_ids().iter().any(|i| i == id));
+                if inserted && recovered.get(id.as_str()) != Some(&true) {
+                    report.violations.push(fail(
+                        invariants::ACKED_DURABLE,
+                        format!("{id}: acknowledged deprecation lost by recovery"),
+                    ));
+                }
+            }
+        }
+    }
+
     // Orphans (interrupted blob-first writes) must be fully repairable.
     match dal.repair_orphans(&[TABLE]) {
         Ok(rep) => {
@@ -565,13 +663,44 @@ mod tests {
             op: IoOp::Sync,
             path: PathBuf::from(WAL_PATH),
             bytes: 0,
+            newlines: 0,
         };
         assert_eq!(classify(&wal), "wal.commit");
         let blob = IoOpRecord {
             op: IoOp::Rename,
             path: PathBuf::from("/db/blobs/00/x.blob"),
             bytes: 0,
+            newlines: 0,
         };
         assert_eq!(classify(&blob), "blob.publish");
+        // One line per record: multi-line writes are group-commit batches.
+        let single = IoOpRecord {
+            op: IoOp::Write,
+            path: PathBuf::from(WAL_PATH),
+            bytes: 64,
+            newlines: 1,
+        };
+        assert_eq!(classify(&single), "wal.append");
+        let batch = IoOpRecord {
+            op: IoOp::Write,
+            path: PathBuf::from(WAL_PATH),
+            bytes: 256,
+            newlines: 4,
+        };
+        assert_eq!(classify(&batch), "wal.append.batch");
+    }
+
+    #[test]
+    fn matrix_exercises_mid_batch_crash_points() {
+        // The workload mix includes put_many, so the fault-free trace must
+        // contain multi-record WAL batch writes, and the matrix must have
+        // crashed inside them (clean + torn-batch) without violations.
+        let report = run_crash_matrix(&CrashMatrixConfig::smoke(0xBA7C4));
+        assert!(
+            report.sites.contains_key("wal.append.batch"),
+            "trace sites: {:?}",
+            report.sites
+        );
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
     }
 }

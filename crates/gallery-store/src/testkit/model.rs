@@ -56,6 +56,14 @@ impl RefModel {
                     deprecated: false,
                 });
             }
+            WorkloadOp::PutMany { ids } => {
+                for id in ids {
+                    self.rows.entry(id.clone()).or_insert(RefRow {
+                        has_blob: false,
+                        deprecated: false,
+                    });
+                }
+            }
             WorkloadOp::Deprecate { id } => {
                 if let Some(row) = self.rows.get_mut(id) {
                     row.deprecated = true;

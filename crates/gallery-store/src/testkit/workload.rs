@@ -65,6 +65,10 @@ pub enum WorkloadOp {
     /// Metadata-only insert (no blob), e.g. a registered-but-unmaterialised
     /// instance.
     PutMeta { id: String },
+    /// Batched metadata-only insert through the store's group commit —
+    /// `put_many`, one WAL batch for all ids. Acknowledged atomically from
+    /// the caller's view, but a crash mid-batch may persist a prefix.
+    PutMany { ids: Vec<String> },
     /// Monotone flag write: `set_flag(id, "deprecated", true)`.
     Deprecate { id: String },
     /// Point read of the metadata row.
@@ -76,7 +80,8 @@ pub enum WorkloadOp {
 }
 
 impl WorkloadOp {
-    /// The instance this op targets, if any.
+    /// The instance this op targets, if any (batch ops target many; see
+    /// [`WorkloadOp::inserted_ids`]).
     pub fn id(&self) -> Option<&str> {
         match self {
             WorkloadOp::PutWithBlob { id }
@@ -84,7 +89,17 @@ impl WorkloadOp {
             | WorkloadOp::Deprecate { id }
             | WorkloadOp::Get { id }
             | WorkloadOp::FetchBlob { id } => Some(id),
-            WorkloadOp::RepairOrphans => None,
+            WorkloadOp::PutMany { .. } | WorkloadOp::RepairOrphans => None,
+        }
+    }
+
+    /// Ids this op inserts (empty for reads/flags/repair). The crash
+    /// matrix's acked-durability invariant walks these.
+    pub fn inserted_ids(&self) -> &[String] {
+        match self {
+            WorkloadOp::PutWithBlob { id } | WorkloadOp::PutMeta { id } => std::slice::from_ref(id),
+            WorkloadOp::PutMany { ids } => ids,
+            _ => &[],
         }
     }
 }
@@ -108,16 +123,27 @@ impl Workload {
         let mut ops = Vec::with_capacity(len);
         for _ in 0..len {
             let roll = rng.gen_range(0..100u64);
-            let op = if ids.is_empty() || roll < 45 {
+            let op = if ids.is_empty() || roll < 40 {
                 next += 1;
                 let id = format!("inst-{next:04}");
                 ids.push(id.clone());
                 WorkloadOp::PutWithBlob { id }
-            } else if roll < 55 {
+            } else if roll < 50 {
                 next += 1;
                 let id = format!("inst-{next:04}");
                 ids.push(id.clone());
                 WorkloadOp::PutMeta { id }
+            } else if roll < 58 {
+                let n = 2 + rng.gen_range(0..4u64) as usize;
+                let batch: Vec<String> = (0..n)
+                    .map(|_| {
+                        next += 1;
+                        let id = format!("inst-{next:04}");
+                        ids.push(id.clone());
+                        id
+                    })
+                    .collect();
+                WorkloadOp::PutMany { ids: batch }
             } else if roll < 70 {
                 WorkloadOp::Deprecate {
                     id: pick(&mut rng, &ids),
@@ -170,6 +196,14 @@ pub fn apply(dal: &Dal, seed: u64, op: &WorkloadOp) -> crate::error::Result<()> 
             )
             .map(|_| ()),
         WorkloadOp::PutMeta { id } => dal.put(TABLE, Record::new().set("id", id.as_str())),
+        WorkloadOp::PutMany { ids } => dal
+            .put_many(
+                TABLE,
+                ids.iter()
+                    .map(|id| Record::new().set("id", id.as_str()))
+                    .collect(),
+            )
+            .map(|_| ()),
         WorkloadOp::Deprecate { id } => dal.set_flag(TABLE, id, "deprecated", true),
         WorkloadOp::Get { id } => dal.get(TABLE, id).map(|_| ()),
         WorkloadOp::FetchBlob { id } => dal.fetch_blob_of(TABLE, id).map(|_| ()),
@@ -208,10 +242,27 @@ mod tests {
         let w = Workload::generate(11, 200);
         let mut seen = std::collections::HashSet::new();
         for op in &w.ops {
-            if let WorkloadOp::PutWithBlob { id } | WorkloadOp::PutMeta { id } = op {
+            for id in op.inserted_ids() {
                 assert!(seen.insert(id.clone()), "duplicate insert id {id}");
             }
         }
         assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn workloads_include_batch_inserts() {
+        let w = Workload::generate(11, 200);
+        let batches: Vec<&WorkloadOp> = w
+            .ops
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::PutMany { .. }))
+            .collect();
+        assert!(!batches.is_empty(), "op mix must exercise put_many");
+        for op in batches {
+            let WorkloadOp::PutMany { ids } = op else {
+                unreachable!()
+            };
+            assert!((2..=5).contains(&ids.len()));
+        }
     }
 }

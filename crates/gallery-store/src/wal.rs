@@ -13,15 +13,18 @@
 
 use crate::blob::checksum::crc32;
 use crate::error::{Result, StoreError};
-use crate::record::Record;
+use crate::record::{EncodeBuf, Record};
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem, FsFile};
-use gallery_telemetry::{kinds, Counter, EventSink, Histogram, Telemetry};
+use gallery_telemetry::{kinds, Counter, EventSink, Histogram, Telemetry, TimeSource};
+use parking_lot::Mutex as PlMutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One logical operation recorded in the WAL.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,7 +34,11 @@ pub enum WalOp {
     },
     Insert {
         table: String,
-        record: Record,
+        /// Shared with the table's row storage: the oplog keeps an `Arc`
+        /// clone of the same allocation instead of a deep copy, halving
+        /// the write path's memory traffic. Flag writes copy-on-write
+        /// (`Arc::make_mut`) so logged history is never mutated.
+        record: Arc<Record>,
     },
     SetFlag {
         table: String,
@@ -56,6 +63,9 @@ struct WalTelemetry {
     appends: Arc<Counter>,
     flushes: Arc<Counter>,
     append_ms: Arc<Histogram>,
+    group_commit_batches: Arc<Counter>,
+    group_commit_ops: Arc<Counter>,
+    group_commit_batch_size: Arc<Histogram>,
     events: Arc<EventSink>,
 }
 
@@ -66,6 +76,9 @@ pub struct Wal {
     sync: SyncPolicy,
     entries_written: u64,
     telemetry: Option<WalTelemetry>,
+    /// Reused across batches: framed lines accumulate here so one batch is
+    /// one `write` syscall and (at most) one fsync.
+    encode_buf: EncodeBuf,
 }
 
 impl std::fmt::Debug for Wal {
@@ -118,6 +131,7 @@ impl Wal {
             sync,
             entries_written: 0,
             telemetry: None,
+            encode_buf: EncodeBuf::new(),
         })
     }
 
@@ -144,6 +158,7 @@ impl Wal {
             sync,
             entries_written: 0,
             telemetry: None,
+            encode_buf: EncodeBuf::new(),
         })
     }
 
@@ -151,14 +166,27 @@ impl Wal {
     /// (`gallery_wal_*`), and report explicit flushes as `wal.flush`
     /// events.
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place variant of [`Wal::with_telemetry`] (used when the WAL is
+    /// already mounted inside a store's committer).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         let r = telemetry.registry();
         self.telemetry = Some(WalTelemetry {
             appends: r.counter("gallery_wal_appends_total", &[]),
             flushes: r.counter("gallery_wal_flushes_total", &[]),
             append_ms: r.duration_histogram("gallery_wal_append_duration_ms", &[]),
+            group_commit_batches: r.counter("gallery_wal_group_commit_batches_total", &[]),
+            group_commit_ops: r.counter("gallery_wal_group_commit_ops_total", &[]),
+            group_commit_batch_size: r.histogram(
+                "gallery_wal_group_commit_batch_size",
+                &[],
+                vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+            ),
             events: Arc::clone(telemetry.events()),
         });
-        self
     }
 
     pub fn sync_policy(&self) -> SyncPolicy {
@@ -193,21 +221,43 @@ impl Wal {
     /// Append one operation. The entry is flushed to the OS; whether it is
     /// fsynced depends on the [`SyncPolicy`].
     pub fn append(&mut self, op: &WalOp) -> Result<()> {
+        self.append_batch(&[op])
+    }
+
+    /// Append a whole commit batch: every entry is framed into one reused
+    /// buffer, handed to the file in a *single* buffered write, and made
+    /// durable with (at most) a *single* fsync. This is the group-commit
+    /// primitive — N coalesced commits cost one write + one sync instead
+    /// of N of each. The batch buffer is one write syscall, so a crash can
+    /// tear it mid-batch; replay then recovers a clean prefix of the batch
+    /// (entries are self-framed lines) and none of them were acked.
+    pub fn append_batch(&mut self, ops: &[&WalOp]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
         let start = Instant::now();
-        let json =
-            serde_json::to_string(op).map_err(|e| StoreError::Io(format!("wal encode: {e}")))?;
-        let crc = crc32(json.as_bytes());
-        writeln!(self.writer, "{crc:08x} {json}")?;
+        self.encode_buf.reset();
+        for op in ops {
+            let json = serde_json::to_string(op)
+                .map_err(|e| StoreError::Io(format!("wal encode: {e}")))?;
+            let crc = crc32(json.as_bytes());
+            let line = self.encode_buf.buf_mut();
+            let _ = writeln!(line, "{crc:08x} {json}");
+        }
+        self.writer.write_all(self.encode_buf.as_bytes())?;
         self.writer.flush()?;
         if self.sync == SyncPolicy::Always {
             self.writer.sync_data()?;
         }
-        self.entries_written += 1;
+        self.entries_written += ops.len() as u64;
         if let Some(t) = &self.telemetry {
-            t.appends.inc();
+            t.appends.add(ops.len() as u64);
             if self.sync == SyncPolicy::Always {
                 t.flushes.inc();
             }
+            t.group_commit_batches.inc();
+            t.group_commit_ops.add(ops.len() as u64);
+            t.group_commit_batch_size.observe(ops.len() as f64);
             t.append_ms.observe_since(start);
         }
         Ok(())
@@ -322,6 +372,219 @@ impl Wal {
     }
 }
 
+/// In-memory operation log shared between the committer (producer) and the
+/// store/shipping layers (readers). Position `i` holds the op with sequence
+/// number `i + 1`; sequence order always equals WAL order.
+pub type Oplog = Vec<Arc<WalOp>>;
+
+/// Tuning knobs for the group-commit queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Largest number of operations flushed in one WAL write + fsync.
+    pub max_batch: usize,
+    /// How long a batch leader lingers for stragglers before flushing.
+    /// `0` (the default) flushes whatever is queued the moment a leader
+    /// takes over — concurrency alone provides the batching. The wait is
+    /// bounded against the injectable [`TimeSource`] with a real-time
+    /// backstop, so simulated clocks cannot stall a flush forever.
+    pub max_wait_ms: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batch: 256,
+            max_wait_ms: 0,
+        }
+    }
+}
+
+/// Pending commits plus the results the leader publishes back to waiters.
+/// All of it lives behind one mutex paired with one condvar: waiters block
+/// on the condvar and each wake re-checks (a) "are my tickets done?" and
+/// (b) "should I become the leader?" — so leadership always lands on some
+/// live waiter and a finished leader can hand off without a dedicated
+/// wake-the-next-leader dance.
+struct CommitQueue {
+    pending: Vec<(u64, Arc<WalOp>)>,
+    results: HashMap<u64, std::result::Result<u64, String>>,
+    next_ticket: u64,
+    flushing: bool,
+}
+
+/// Group-commit front end for a durable store: concurrent committers
+/// enqueue operations, one of them becomes the batch leader, and the whole
+/// batch hits the WAL as a single buffered write + single fsync
+/// ([`Wal::append_batch`]). After the WAL write the leader appends the
+/// batch to the shared [`Oplog`] in batch order, which assigns each op its
+/// sequence number — so oplog order, sequence order, and WAL order are the
+/// same by construction.
+///
+/// Error fan-out: a failed batch write fails every commit in the batch
+/// (the WAL file position is undefined after a mid-batch IO error, exactly
+/// like a failed single append before group commit existed).
+pub(crate) struct Committer {
+    wal: Mutex<Wal>,
+    queue: Mutex<CommitQueue>,
+    cv: Condvar,
+    cfg: GroupCommitConfig,
+    time: Arc<dyn TimeSource>,
+    oplog: Arc<PlMutex<Oplog>>,
+}
+
+impl std::fmt::Debug for Committer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Committer").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Committer {
+    pub(crate) fn new(
+        wal: Wal,
+        cfg: GroupCommitConfig,
+        time: Arc<dyn TimeSource>,
+        oplog: Arc<PlMutex<Oplog>>,
+    ) -> Self {
+        Committer {
+            wal: Mutex::new(wal),
+            queue: Mutex::new(CommitQueue {
+                pending: Vec::new(),
+                results: HashMap::new(),
+                next_ticket: 0,
+                flushing: false,
+            }),
+            cv: Condvar::new(),
+            cfg: GroupCommitConfig {
+                max_batch: cfg.max_batch.max(1),
+                ..cfg
+            },
+            time,
+            oplog,
+        }
+    }
+
+    /// The WAL behind this committer. Callers locking it must not hold the
+    /// commit queue lock (compaction quiesces commits via the store gate
+    /// instead).
+    pub(crate) fn wal(&self) -> &Mutex<Wal> {
+        &self.wal
+    }
+
+    /// Durably commit one operation; returns its sequence number.
+    pub(crate) fn commit(&self, op: WalOp) -> Result<u64> {
+        let seqs = self.commit_many(vec![op])?;
+        Ok(seqs[0])
+    }
+
+    /// Durably commit several operations as one unit of enqueueing: they
+    /// enter the queue atomically (preserving their relative order) and
+    /// normally flush in a single batch, though `max_batch` may split
+    /// them. Returns each op's sequence number, in input order.
+    pub(crate) fn commit_many(&self, ops: Vec<WalOp>) -> Result<Vec<u64>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut q = self.queue.lock().expect("commit queue poisoned");
+        let tickets: Vec<u64> = ops
+            .into_iter()
+            .map(|op| {
+                let t = q.next_ticket;
+                q.next_ticket += 1;
+                q.pending.push((t, Arc::new(op)));
+                t
+            })
+            .collect();
+        loop {
+            if tickets.iter().all(|t| q.results.contains_key(t)) {
+                let mut seqs = Vec::with_capacity(tickets.len());
+                let mut first_err = None;
+                for t in &tickets {
+                    match q.results.remove(t) {
+                        Some(Ok(seq)) => seqs.push(seq),
+                        Some(Err(msg)) => {
+                            if first_err.is_none() {
+                                first_err = Some(msg);
+                            }
+                        }
+                        None => unreachable!("ticket result vanished"),
+                    }
+                }
+                return match first_err {
+                    Some(msg) => Err(StoreError::Io(msg)),
+                    None => Ok(seqs),
+                };
+            }
+            if !q.flushing && !q.pending.is_empty() {
+                q.flushing = true;
+                q = self.lead_flush(q);
+                self.cv.notify_all();
+                continue;
+            }
+            q = self.cv.wait(q).expect("commit queue poisoned");
+        }
+    }
+
+    /// Leader path: optionally linger for stragglers, drain up to
+    /// `max_batch` ops, flush them outside the queue lock, publish
+    /// results. Called with `flushing` already set; returns with it
+    /// cleared and the queue re-locked.
+    fn lead_flush<'a>(
+        &'a self,
+        mut q: std::sync::MutexGuard<'a, CommitQueue>,
+    ) -> std::sync::MutexGuard<'a, CommitQueue> {
+        if self.cfg.max_wait_ms > 0 {
+            let clock_deadline = self.time.now_ms() + self.cfg.max_wait_ms as i64;
+            let real_deadline = Instant::now() + Duration::from_millis(self.cfg.max_wait_ms);
+            while q.pending.len() < self.cfg.max_batch
+                && self.time.now_ms() < clock_deadline
+                && Instant::now() < real_deadline
+            {
+                let budget = real_deadline.saturating_duration_since(Instant::now());
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(q, budget.max(Duration::from_millis(1)))
+                    .expect("commit queue poisoned");
+                q = guard;
+            }
+        }
+        let take = q.pending.len().min(self.cfg.max_batch);
+        let batch: Vec<(u64, Arc<WalOp>)> = q.pending.drain(..take).collect();
+        drop(q);
+
+        let flush_res = self.flush_batch(&batch);
+
+        let mut q = self.queue.lock().expect("commit queue poisoned");
+        match flush_res {
+            Ok(first_seq) => {
+                for (i, (t, _)) in batch.iter().enumerate() {
+                    q.results.insert(*t, Ok(first_seq + i as u64));
+                }
+            }
+            Err(msg) => {
+                for (t, _) in &batch {
+                    q.results.insert(*t, Err(msg.clone()));
+                }
+            }
+        }
+        q.flushing = false;
+        q
+    }
+
+    /// One WAL write + one fsync for the whole batch, then append to the
+    /// oplog in batch order. Returns the sequence number of the first op.
+    fn flush_batch(&self, batch: &[(u64, Arc<WalOp>)]) -> std::result::Result<u64, String> {
+        {
+            let mut wal = self.wal.lock().expect("wal poisoned");
+            let refs: Vec<&WalOp> = batch.iter().map(|(_, op)| op.as_ref()).collect();
+            wal.append_batch(&refs).map_err(|e| e.to_string())?;
+        }
+        let mut oplog = self.oplog.lock();
+        let first_seq = oplog.len() as u64 + 1;
+        oplog.extend(batch.iter().map(|(_, op)| Arc::clone(op)));
+        Ok(first_seq)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,7 +607,7 @@ mod tests {
             WalOp::CreateTable { schema },
             WalOp::Insert {
                 table: "t".into(),
-                record: Record::new().set("id", "x"),
+                record: Arc::new(Record::new().set("id", "x")),
             },
             WalOp::SetFlag {
                 table: "t".into(),
@@ -512,5 +775,120 @@ mod tests {
         }
         let ops = Wal::replay_with_fs(&fs2.recover(), &path).unwrap();
         assert_eq!(ops.len(), 2);
+    }
+
+    fn test_committer(dir: &Path, cfg: GroupCommitConfig) -> (Committer, Arc<Telemetry>) {
+        let telemetry = Telemetry::new();
+        let wal = Wal::open(dir.join("wal.log"), SyncPolicy::Always)
+            .unwrap()
+            .with_telemetry(&telemetry);
+        let oplog = Arc::new(PlMutex::new(Oplog::new()));
+        (
+            Committer::new(wal, cfg, Arc::new(gallery_telemetry::WallClock), oplog),
+            telemetry,
+        )
+    }
+
+    fn insert_op(i: usize) -> WalOp {
+        WalOp::Insert {
+            table: "t".into(),
+            record: Arc::new(Record::new().set("id", format!("row-{i}"))),
+        }
+    }
+
+    #[test]
+    fn commit_many_is_one_batch_with_contiguous_seqs() {
+        let dir = tmpdir("commit-batch");
+        let (committer, telemetry) = test_committer(&dir, GroupCommitConfig::default());
+        let seqs = committer
+            .commit_many((0..10).map(insert_op).collect())
+            .unwrap();
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
+        // The whole call coalesced into a single WAL write + fsync.
+        let r = telemetry.registry();
+        assert_eq!(
+            r.counter("gallery_wal_group_commit_batches_total", &[])
+                .get(),
+            1
+        );
+        assert_eq!(
+            r.counter("gallery_wal_group_commit_ops_total", &[]).get(),
+            10
+        );
+        assert_eq!(r.counter("gallery_wal_flushes_total", &[]).get(), 1);
+        // Oplog order == WAL order.
+        let replayed = Wal::replay(dir.join("wal.log")).unwrap();
+        assert_eq!(replayed.len(), 10);
+        let oplog = committer.oplog.lock();
+        for (i, op) in oplog.iter().enumerate() {
+            match (op.as_ref(), &replayed[i]) {
+                (WalOp::Insert { record: a, .. }, WalOp::Insert { record: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                other => panic!("unexpected op pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_batch_splits_large_commits() {
+        let dir = tmpdir("commit-split");
+        let cfg = GroupCommitConfig {
+            max_batch: 4,
+            max_wait_ms: 0,
+        };
+        let (committer, telemetry) = test_committer(&dir, cfg);
+        let seqs = committer
+            .commit_many((0..10).map(insert_op).collect())
+            .unwrap();
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
+        // 10 ops under max_batch=4 → 3 batches (4 + 4 + 2), 3 fsyncs.
+        let r = telemetry.registry();
+        assert_eq!(
+            r.counter("gallery_wal_group_commit_batches_total", &[])
+                .get(),
+            3
+        );
+        assert_eq!(r.counter("gallery_wal_flushes_total", &[]).get(), 3);
+        assert_eq!(Wal::replay(dir.join("wal.log")).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn concurrent_commits_coalesce_and_stay_ordered() {
+        let dir = tmpdir("commit-threads");
+        let (committer, telemetry) = test_committer(&dir, GroupCommitConfig::default());
+        let committer = Arc::new(committer);
+        let threads = 8;
+        let per_thread = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = Arc::clone(&committer);
+                std::thread::spawn(move || {
+                    (0..per_thread)
+                        .map(|i| c.commit(insert_op(t * 1000 + i)).unwrap())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all_seqs: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all_seqs.sort_unstable();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(all_seqs, (1..=total).collect::<Vec<u64>>());
+        // Durable and ordered: replay sees every op, in oplog order.
+        let replayed = Wal::replay(dir.join("wal.log")).unwrap();
+        assert_eq!(replayed.len(), total as usize);
+        // Group commit must have coalesced at least some of the 400
+        // concurrent fsync-policy commits into shared flushes.
+        let batches = telemetry
+            .registry()
+            .counter("gallery_wal_group_commit_batches_total", &[])
+            .get();
+        assert!(batches <= total, "batches {batches} > ops {total}");
+        // Per-commit seq matches oplog position.
+        let oplog = committer.oplog.lock();
+        assert_eq!(oplog.len(), total as usize);
     }
 }

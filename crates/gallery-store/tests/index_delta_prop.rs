@@ -1,0 +1,205 @@
+//! Property tests for deferred secondary-index maintenance.
+//!
+//! The store batches index updates per stripe and merges the un-indexed
+//! tail back into reads, so deferral must be *observationally invisible*:
+//! for any sequence of inserts and flag writes, every query's results with
+//! a pending index delta are byte-identical (JSON-serialized) to the same
+//! query's results after a forced flush — and to an eager store
+//! (`index_batch = 1`) that indexed every row at insert time.
+
+use gallery_store::meta::StoreConfig;
+use gallery_store::{
+    ColumnDef, Constraint, MetadataStore, Op, Query, Record, TableSchema, ValueType,
+};
+use proptest::prelude::*;
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        "id",
+        vec![
+            ColumnDef::new("id", ValueType::Str),
+            ColumnDef::new("group", ValueType::Str).hash_indexed(),
+            ColumnDef::new("score", ValueType::Int).btree_indexed(),
+            ColumnDef::new("deprecated", ValueType::Bool).nullable(),
+        ],
+    )
+    .unwrap()
+}
+
+/// One step of a generated history.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert row `n` (ids are dense, so `n` = current row count).
+    Insert { group: u8, score: i64 },
+    /// Batch-insert rows through `insert_many` (lands as one commit).
+    InsertMany { rows: Vec<(u8, i64)> },
+    /// Flip `deprecated` on row `pick % count`, if any rows exist.
+    Deprecate { pick: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..5, -50i64..50).prop_map(|(group, score)| Step::Insert { group, score }),
+        (0u8..5, -50i64..50).prop_map(|(group, score)| Step::Insert { group, score }),
+        proptest::collection::vec((0u8..5, -50i64..50), 2..6)
+            .prop_map(|rows| Step::InsertMany { rows }),
+        (0usize..1000).prop_map(|pick| Step::Deprecate { pick }),
+    ]
+}
+
+fn apply(store: &MetadataStore, steps: &[Step]) {
+    let mut count = 0usize;
+    for step in steps {
+        match step {
+            Step::Insert { group, score } => {
+                store
+                    .insert(
+                        "t",
+                        Record::new()
+                            .set("id", format!("r{count:04}"))
+                            .set("group", format!("g{group}"))
+                            .set("score", *score),
+                    )
+                    .unwrap();
+                count += 1;
+            }
+            Step::InsertMany { rows } => {
+                let records: Vec<Record> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (group, score))| {
+                        Record::new()
+                            .set("id", format!("r{:04}", count + i))
+                            .set("group", format!("g{group}"))
+                            .set("score", *score)
+                    })
+                    .collect();
+                count += records.len();
+                store.insert_many("t", records).unwrap();
+            }
+            Step::Deprecate { pick } => {
+                if count > 0 {
+                    store
+                        .set_flag("t", &format!("r{:04}", pick % count), "deprecated", true)
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// The query suite exercised against every store state: hash-index
+/// equality, btree ranges, combinations, ordering, limits, and the
+/// deprecated filter (whose flag writes race the pending delta).
+fn queries() -> Vec<Query> {
+    let mut qs = Vec::new();
+    for g in 0..5u8 {
+        qs.push(Query::all().and(Constraint::eq("group", format!("g{g}"))));
+        qs.push(
+            Query::all()
+                .and(Constraint::eq("group", format!("g{g}")))
+                .with_deprecated(),
+        );
+    }
+    for threshold in [-25i64, 0, 25] {
+        qs.push(Query::all().and(Constraint::new("score", Op::Ge, threshold)));
+        qs.push(
+            Query::all()
+                .and(Constraint::new("score", Op::Lt, threshold))
+                .with_deprecated(),
+        );
+    }
+    qs.push(
+        Query::all()
+            .and(Constraint::eq("group", "g2"))
+            .and(Constraint::new("score", Op::Ge, 0i64))
+            .with_deprecated(),
+    );
+    qs.push(
+        Query::all()
+            .with_deprecated()
+            .order_by("score", true)
+            .limit(7),
+    );
+    qs
+}
+
+/// Serialize results so the comparison is byte-identical, not just
+/// structurally equal.
+fn observe(store: &MetadataStore) -> Vec<String> {
+    queries()
+        .iter()
+        .map(|q| {
+            let (rows, path) = store.query_explain("t", q).unwrap();
+            format!("{path:?}:{}", serde_json::to_string(&rows).unwrap())
+        })
+        .collect()
+}
+
+/// Results only (access paths will legitimately differ between deferred
+/// and eager stores once deltas change planner cost estimates).
+fn observe_rows(store: &MetadataStore) -> Vec<String> {
+    queries()
+        .iter()
+        .map(|q| serde_json::to_string(&store.query("t", q).unwrap()).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pending-delta reads == post-flush reads, byte for byte, and both ==
+    /// an eager store's reads.
+    #[test]
+    fn deferred_index_delta_is_invisible(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        // Deferred: nothing auto-flushes within this test's row counts.
+        let deferred = MetadataStore::in_memory_with_config(StoreConfig {
+            index_batch: usize::MAX,
+            ..StoreConfig::default()
+        });
+        deferred.create_table(schema()).unwrap();
+        apply(&deferred, &steps);
+
+        // Eager: every insert indexes immediately (the old write path).
+        let eager = MetadataStore::in_memory_with_config(StoreConfig {
+            index_batch: 1,
+            ..StoreConfig::default()
+        });
+        eager.create_table(schema()).unwrap();
+        apply(&eager, &steps);
+
+        let pending = observe(&deferred);
+        prop_assert_eq!(observe_rows(&deferred), observe_rows(&eager),
+            "deferred store disagrees with eager store");
+
+        let applied = deferred.flush_index_deltas();
+        let flushed = observe(&deferred);
+        prop_assert_eq!(&pending, &flushed,
+            "flushing the index delta changed query results (applied {} rows)", applied);
+    }
+
+    /// Auto-flush thresholds mid-history are equally invisible: a tiny
+    /// index_batch makes stripes flush at arbitrary points between steps.
+    #[test]
+    fn auto_flush_boundaries_are_invisible(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        batch in 1usize..8,
+    ) {
+        let auto = MetadataStore::in_memory_with_config(StoreConfig {
+            index_batch: batch,
+            ..StoreConfig::default()
+        });
+        auto.create_table(schema()).unwrap();
+        apply(&auto, &steps);
+
+        let eager = MetadataStore::in_memory_with_config(StoreConfig {
+            index_batch: 1,
+            ..StoreConfig::default()
+        });
+        eager.create_table(schema()).unwrap();
+        apply(&eager, &steps);
+
+        prop_assert_eq!(observe_rows(&auto), observe_rows(&eager));
+    }
+}
