@@ -695,13 +695,16 @@ impl GalleryServer {
             }
             Request::Probe { section } => {
                 let mut out = String::new();
+                let mut matched = false;
                 if section == "metrics" || section == "all" {
+                    matched = true;
                     // Storage gauges are pull-based: refresh at read time
                     // instead of taxing every write.
                     self.gallery.dal().refresh_storage_gauges();
                     out.push_str(&self.telemetry.render_text());
                 }
                 if section == "alerts" || section == "all" {
+                    matched = true;
                     match self.alerts.as_ref() {
                         Some(alerts) => {
                             alerts.evaluate();
@@ -710,9 +713,25 @@ impl GalleryServer {
                         None => out.push_str("# no alert engine attached\n"),
                     }
                 }
-                if out.is_empty() {
+                if section == "slowlog" || section == "all" {
+                    matched = true;
+                    out.push_str(&self.gallery.dal().metadata().slow_log().render_text());
+                }
+                if section == "profile" || section == "all" {
+                    matched = true;
+                    // Collapsed-stack text, directly consumable by
+                    // flamegraph tooling.
+                    let collapsed = self.telemetry.profile().collapsed();
+                    if collapsed.is_empty() {
+                        out.push_str("# span profile: no finished spans\n");
+                    } else {
+                        out.push_str(&collapsed);
+                    }
+                }
+                if !matched {
                     return Err(GalleryError::Invalid(format!(
-                        "unknown probe section `{section}` (expected metrics, alerts, or all)"
+                        "unknown probe section `{section}` (expected metrics, alerts, \
+                         slowlog, profile, or all)"
                     )));
                 }
                 Response::Text(out)
@@ -909,6 +928,59 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn probe_serves_slowlog_and_profile() {
+        let telemetry = Telemetry::new();
+        let s = GalleryServer::new(Arc::new(Gallery::in_memory()))
+            .with_telemetry(Arc::clone(&telemetry));
+
+        // Drive one query through the store so the slow-query ring (default
+        // threshold 0: capture everything) has an entry to serve.
+        s.gallery
+            .dal()
+            .query("models", &gallery_store::Query::all())
+            .unwrap();
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "slowlog".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.starts_with("# slow-query log:"), "{text}");
+        assert!(text.contains("table=models shape=full_scan"), "{text}");
+
+        // No finished spans yet: the profile section says so rather than
+        // returning an empty body.
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "profile".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.contains("# span profile: no finished spans"), "{text}");
+
+        // Finish a span tree and the probe serves collapsed stacks.
+        let root = telemetry.tracer().start_span("request");
+        telemetry
+            .tracer()
+            .start_child("handler", root.context())
+            .finish();
+        root.finish();
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "profile".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.contains("request;handler "), "{text}");
+
+        // `all` includes the new sections after metrics and alerts.
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "all".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.contains("# slow-query log:"), "{text}");
+        assert!(text.contains("request;handler "), "{text}");
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub use dal::{ConsistencyReport, Dal, DegradedRead, RepairReport, StoredEntity, 
 pub use error::{Result, StoreError};
 pub use fault::FaultPlan;
 pub use latency::{LatencyMeter, LatencyModel};
-pub use meta::{MetadataStore, ShipApply, StoreConfig};
-pub use query::{AccessPath, Constraint, Op, OrderBy, Query};
+pub use meta::{MetadataStore, ShipApply, SlowQueryEntry, SlowQueryLog, StoreConfig};
+pub use query::{AccessPath, Constraint, Explain, Op, OrderBy, Query};
 pub use record::Record;
 pub use schema::{ColumnDef, IndexKind, TableSchema};
 pub use ship::{ShipFrame, ShipReport};

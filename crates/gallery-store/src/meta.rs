@@ -21,17 +21,19 @@
 
 use crate::error::{Result, StoreError};
 use crate::fault::{sites, FaultPlan};
-use crate::query::{AccessPath, Query};
+use crate::query::{AccessPath, Explain, Query};
 use crate::record::Record;
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem};
-use crate::table::{IndexDeltaCounters, Table, TableStats};
+use crate::table::{IndexDeltaCounters, StripeLockMetrics, Table, TableStats};
 use crate::wal::{Committer, GroupCommitConfig, Oplog, SyncPolicy, Wal, WalOp};
-use gallery_telemetry::{kinds, Telemetry};
+use gallery_telemetry::{kinds, Counter, Histogram, Telemetry};
 use parking_lot::{Mutex as PlMutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning knobs for the store's write path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,13 @@ pub struct StoreConfig {
     pub index_batch: usize,
     /// Group-commit batching for the WAL.
     pub group_commit: GroupCommitConfig,
+    /// Queries at least this slow (total executor milliseconds) are
+    /// captured into the slow-query ring. 0 captures *every* query,
+    /// turning the ring into a recent-query log — the default, so
+    /// `gallery slowlog` has something to show on an idle dev store.
+    pub slow_query_ms: u64,
+    /// Bounded capacity of the slow-query ring.
+    pub slow_query_capacity: usize,
 }
 
 impl Default for StoreConfig {
@@ -53,6 +62,8 @@ impl Default for StoreConfig {
             lock_stripes: 16,
             index_batch: 1024,
             group_commit: GroupCommitConfig::default(),
+            slow_query_ms: 0,
+            slow_query_capacity: SlowQueryLog::DEFAULT_CAPACITY,
         }
     }
 }
@@ -69,21 +80,197 @@ pub enum ShipApply {
     Gap { expected: u64 },
 }
 
-/// Store-level metric handles (`gallery_meta_*`), re-minted whenever the
-/// telemetry sink changes.
+/// The four values [`AccessPath::shape`] can take. Per-shape metric
+/// cardinality is bounded by this list — shapes are plan classes, never
+/// user data.
+const QUERY_SHAPES: [&str; 4] = ["pk", "index_eq", "index_range", "full_scan"];
+
+/// Wait-time bucket bounds for stripe lock acquisition, in ms. Coarser
+/// than the default duration buckets: there are up to
+/// [`crate::table::MAX_LOCK_STRIPES`] stripes, and lock contention is an
+/// order-of-magnitude question.
+fn stripe_wait_buckets_ms() -> Vec<f64> {
+    vec![0.001, 0.01, 0.1, 1.0, 10.0, 100.0]
+}
+
+/// Store-level metric handles (`gallery_meta_*`, `gallery_store_*`),
+/// re-minted whenever the telemetry sink changes.
 struct MetaMetrics {
     delta: IndexDeltaCounters,
+    /// Per-stripe lock contention handles; the `stripe` label is the
+    /// stripe index, so cardinality is capped at the configured (clamped)
+    /// stripe count.
+    stripe_locks: StripeLockMetrics,
+    /// Per-plan-shape query counter + latency histogram, pre-minted for
+    /// every possible shape so the query hot path never touches the
+    /// registry's mint lock.
+    query_shapes: Vec<(&'static str, Arc<Counter>, Arc<Histogram>)>,
+    /// Queries captured into the slow-query ring.
+    slow_queries: Arc<Counter>,
+}
+
+impl MetaMetrics {
+    fn query_shape(&self, shape: &str) -> Option<(&Arc<Counter>, &Arc<Histogram>)> {
+        self.query_shapes
+            .iter()
+            .find(|(s, _, _)| *s == shape)
+            .map(|(_, c, h)| (c, h))
+    }
 }
 
 fn mint_metrics(telemetry: &Telemetry, cfg: &StoreConfig) -> MetaMetrics {
     let r = telemetry.registry();
+    let stripes = cfg.lock_stripes.clamp(1, crate::table::MAX_LOCK_STRIPES);
     r.gauge("gallery_meta_lock_stripes", &[])
-        .set(cfg.lock_stripes.clamp(1, crate::table::MAX_LOCK_STRIPES) as i64);
+        .set(stripes as i64);
+    let stripe_locks = StripeLockMetrics {
+        wait_ms: (0..stripes)
+            .map(|i| {
+                r.histogram(
+                    "gallery_store_stripe_lock_wait_ms",
+                    &[("stripe", &i.to_string())],
+                    stripe_wait_buckets_ms(),
+                )
+            })
+            .collect(),
+        hold_us_total: (0..stripes)
+            .map(|i| {
+                r.counter(
+                    "gallery_store_stripe_lock_hold_us_total",
+                    &[("stripe", &i.to_string())],
+                )
+            })
+            .collect(),
+    };
     MetaMetrics {
         delta: IndexDeltaCounters {
             flushes: r.counter("gallery_meta_index_delta_flushes_total", &[]),
             applied: r.counter("gallery_meta_index_delta_applied_total", &[]),
         },
+        stripe_locks,
+        query_shapes: QUERY_SHAPES
+            .iter()
+            .map(|s| {
+                (
+                    *s,
+                    r.counter("gallery_store_query_total", &[("shape", s)]),
+                    r.duration_histogram("gallery_store_query_duration_ms", &[("shape", s)]),
+                )
+            })
+            .collect(),
+        slow_queries: r.counter("gallery_store_slow_queries_total", &[]),
+    }
+}
+
+/// One capture in the slow-query ring: where the query ran, its full
+/// [`Explain`] artifact, and the trace active on the calling thread when
+/// it executed (0 when none).
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    pub table: String,
+    pub explain: Explain,
+    pub total_ms: f64,
+    pub trace_id: u64,
+}
+
+struct SlowLogInner {
+    ring: VecDeque<SlowQueryEntry>,
+    total: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of recent slow queries — FlightRecorder-style: always on,
+/// cheap to keep, inspected after the fact via `Probe{"slowlog"}` or
+/// `gallery slowlog`. Threshold and capacity come from [`StoreConfig`].
+pub struct SlowQueryLog {
+    threshold_ms: u64,
+    capacity: usize,
+    inner: PlMutex<SlowLogInner>,
+}
+
+impl SlowQueryLog {
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    fn new(threshold_ms: u64, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold_ms,
+            capacity: capacity.max(1),
+            inner: PlMutex::new(SlowLogInner {
+                ring: VecDeque::new(),
+                total: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Queries at or above this total latency are captured; 0 captures
+    /// every query.
+    pub fn threshold_ms(&self) -> u64 {
+        self.threshold_ms
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn record(&self, entry: SlowQueryEntry) {
+        let mut inner = self.inner.lock();
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(entry);
+        inner.total += 1;
+    }
+
+    /// Retained captures, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Captures ever recorded, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Captures evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.ring.clear();
+        inner.total = 0;
+        inner.dropped = 0;
+    }
+
+    /// Human-readable dump, newest first — the payload behind
+    /// `Probe{"slowlog"}` and `gallery slowlog`.
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = format!(
+            "# slow-query log: {} retained, {} captured, {} evicted, threshold {} ms\n",
+            inner.ring.len(),
+            inner.total,
+            inner.dropped,
+            self.threshold_ms
+        );
+        for (i, e) in inner.ring.iter().rev().enumerate() {
+            let _ = writeln!(
+                out,
+                "[{}] table={} shape={} total_ms={:.3} trace_id={}",
+                i + 1,
+                e.table,
+                e.explain.shape(),
+                e.total_ms,
+                e.trace_id
+            );
+            for line in e.explain.render().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
     }
 }
 
@@ -115,6 +302,7 @@ pub struct MetadataStore {
     telemetry: Arc<Telemetry>,
     fs: Arc<dyn FileSystem>,
     metrics: RwLock<MetaMetrics>,
+    slow_log: SlowQueryLog,
 }
 
 impl MetadataStore {
@@ -138,6 +326,7 @@ impl MetadataStore {
             telemetry,
             fs: real_fs(),
             metrics: RwLock::new(metrics),
+            slow_log: SlowQueryLog::new(cfg.slow_query_ms, cfg.slow_query_capacity),
         }
     }
 
@@ -199,6 +388,7 @@ impl MetadataStore {
             telemetry,
             fs,
             metrics: RwLock::new(metrics),
+            slow_log: SlowQueryLog::new(cfg.slow_query_ms, cfg.slow_query_capacity),
         };
         {
             let mut catalog = store.catalog.write();
@@ -211,12 +401,14 @@ impl MetadataStore {
         }
         let wal =
             Wal::open_with_fs(Arc::clone(&store.fs), path, sync)?.with_telemetry(&store.telemetry);
-        store.committer = Some(Committer::new(
+        let committer = Committer::new(
             wal,
             store.cfg.group_commit,
             Arc::clone(store.telemetry.time_source()),
             Arc::clone(&store.oplog),
-        ));
+        );
+        committer.set_telemetry(&store.telemetry);
+        store.committer = Some(committer);
         Ok(store)
     }
 
@@ -233,10 +425,12 @@ impl MetadataStore {
                 .lock()
                 .expect("wal poisoned")
                 .set_telemetry(&telemetry);
+            c.set_telemetry(&telemetry);
         }
         let metrics = mint_metrics(&telemetry, &self.cfg);
         for table in self.catalog.read().values() {
             table.set_delta_counters(metrics.delta.clone());
+            table.set_lock_metrics(metrics.stripe_locks.clone());
         }
         *self.metrics.write() = metrics;
         MetadataStore { telemetry, ..self }
@@ -249,7 +443,9 @@ impl MetadataStore {
 
     fn new_table(&self, schema: TableSchema) -> Arc<Table> {
         let table = Table::with_config(schema, self.cfg.lock_stripes, self.cfg.index_batch);
-        table.set_delta_counters(self.metrics.read().delta.clone());
+        let metrics = self.metrics.read();
+        table.set_delta_counters(metrics.delta.clone());
+        table.set_lock_metrics(metrics.stripe_locks.clone());
         Arc::new(table)
     }
 
@@ -539,11 +735,61 @@ impl MetadataStore {
 
     /// Execute a query and also report the access path chosen.
     pub fn query_explain(&self, table: &str, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+        let (rows, explain) = self.query_explain_full(table, query)?;
+        Ok((rows, explain.path))
+    }
+
+    /// Execute a query and return the full [`Explain`] artifact: chosen
+    /// path, estimated vs. actual rows scanned, deferred-index tail-merge
+    /// size, and per-stage timings. Every query — whichever entry point it
+    /// arrived through — funnels here, so the per-shape metrics and the
+    /// slow-query ring see all of them.
+    pub fn query_explain_full(&self, table: &str, query: &Query) -> Result<(Vec<Record>, Explain)> {
         if self.faults.should_fail(sites::META_QUERY) {
             return Err(StoreError::InjectedFault(sites::META_QUERY));
         }
         let t = self.table_arc(table)?;
-        t.execute(query)
+        let started = Instant::now();
+        let (rows, explain) = t.execute_explain(query)?;
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.record_query(table, &explain, total_ms);
+        Ok((rows, explain))
+    }
+
+    /// Feed one finished query into the per-shape metrics and (if it
+    /// clears the threshold) the slow-query ring. A disabled telemetry
+    /// bundle skips everything — the introspection layer must cost nothing
+    /// when it is off (E21's overhead gate).
+    fn record_query(&self, table: &str, explain: &Explain, total_ms: f64) {
+        if !self.telemetry.registry().is_enabled() {
+            return;
+        }
+        let trace_id = self.telemetry.tracer().current_trace_id();
+        let capture = {
+            let metrics = self.metrics.read();
+            if let Some((counter, histogram)) = metrics.query_shape(explain.shape()) {
+                counter.inc();
+                histogram.observe_with_exemplar(total_ms, trace_id);
+            }
+            let capture = total_ms >= self.slow_log.threshold_ms() as f64;
+            if capture {
+                metrics.slow_queries.inc();
+            }
+            capture
+        };
+        if capture {
+            self.slow_log.record(SlowQueryEntry {
+                table: table.to_owned(),
+                explain: explain.clone(),
+                total_ms,
+                trace_id,
+            });
+        }
+    }
+
+    /// The slow-query ring: plan, timings, and trace id per capture.
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
     }
 
     pub fn row_count(&self, table: &str) -> Result<usize> {
@@ -1161,7 +1407,7 @@ mod config_tests {
         let eager = MetadataStore::in_memory_with_config(StoreConfig {
             lock_stripes: 1,
             index_batch: 1,
-            group_commit: GroupCommitConfig::default(),
+            ..StoreConfig::default()
         });
         let tuned = MetadataStore::in_memory();
         for store in [&eager, &tuned] {
@@ -1184,6 +1430,134 @@ mod config_tests {
         );
         // Eager config has no pending deltas; tuned config may.
         assert_eq!(eager.flush_index_deltas(), 0);
+    }
+
+    #[test]
+    fn query_explain_full_records_shapes_and_slowlog() {
+        let telemetry = Telemetry::new();
+        let store = MetadataStore::in_memory().with_telemetry(Arc::clone(&telemetry));
+        store.create_table(schema()).unwrap();
+        for i in 0..10 {
+            store
+                .insert(
+                    "models",
+                    Record::new()
+                        .set("id", format!("m{i}"))
+                        .set("name", if i % 2 == 0 { "rf" } else { "lr" }),
+                )
+                .unwrap();
+        }
+        let q = Query::all().and(Constraint::eq("name", "rf"));
+        let (rows, explain) = store.query_explain_full("models", &q).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(explain.shape(), "index_eq");
+        assert!(explain.rows_scanned >= rows.len());
+        // Default index_batch (1024) > 10: every row is still an unindexed
+        // tail entry, and the executor must report merging it.
+        assert_eq!(explain.tail_merge_rows, 10);
+
+        let r = telemetry.registry();
+        assert_eq!(
+            r.sample_value("gallery_store_query_total", &[("shape", "index_eq")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            r.sample_value("gallery_store_query_total", &[("shape", "full_scan")]),
+            Some(0.0)
+        );
+
+        // Threshold 0 (default): the query is also in the slow-query ring.
+        assert_eq!(store.slow_log().total(), 1);
+        let entries = store.slow_log().entries();
+        assert_eq!(entries[0].table, "models");
+        assert_eq!(entries[0].explain.shape(), "index_eq");
+        assert!(entries[0].total_ms >= 0.0);
+        let text = store.slow_log().render_text();
+        assert!(text.contains("table=models shape=index_eq"), "{text}");
+        assert!(text.contains("tail_merge=10"), "{text}");
+        assert_eq!(
+            r.sample_value("gallery_store_slow_queries_total", &[]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn slow_query_ring_is_bounded_and_threshold_filters() {
+        let telemetry = Telemetry::new();
+        let store = MetadataStore::in_memory_with_config(StoreConfig {
+            slow_query_capacity: 4,
+            ..StoreConfig::default()
+        })
+        .with_telemetry(Arc::clone(&telemetry));
+        store.create_table(schema()).unwrap();
+        for _ in 0..10 {
+            store.query("models", &Query::all()).unwrap();
+        }
+        assert_eq!(store.slow_log().total(), 10);
+        assert_eq!(store.slow_log().entries().len(), 4);
+        assert_eq!(store.slow_log().dropped(), 6);
+
+        // An unreachable threshold captures nothing, but per-shape metrics
+        // still see every query.
+        let telemetry = Telemetry::new();
+        let quiet = MetadataStore::in_memory_with_config(StoreConfig {
+            slow_query_ms: u64::MAX,
+            ..StoreConfig::default()
+        })
+        .with_telemetry(Arc::clone(&telemetry));
+        quiet.create_table(schema()).unwrap();
+        quiet.query("models", &Query::all()).unwrap();
+        assert_eq!(quiet.slow_log().total(), 0);
+        assert_eq!(
+            telemetry
+                .registry()
+                .sample_value("gallery_store_query_total", &[("shape", "full_scan")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn stripe_lock_metrics_surface_contention_per_stripe() {
+        let telemetry = Telemetry::new();
+        let store = MetadataStore::in_memory_with_config(StoreConfig {
+            lock_stripes: 4,
+            ..StoreConfig::default()
+        })
+        .with_telemetry(Arc::clone(&telemetry));
+        store.create_table(schema()).unwrap();
+        for i in 0..20 {
+            store
+                .insert(
+                    "models",
+                    Record::new().set("id", format!("m{i}")).set("name", "rf"),
+                )
+                .unwrap();
+        }
+        let r = telemetry.registry();
+        // Every insert acquires exactly one stripe write lock; the waits
+        // land somewhere across the four per-stripe histograms.
+        let total_waits: f64 = (0..4)
+            .filter_map(|i| {
+                r.find_histogram(
+                    "gallery_store_stripe_lock_wait_ms",
+                    &[("stripe", &i.to_string())],
+                )
+                .map(|h| h.count() as f64)
+            })
+            .sum();
+        assert_eq!(total_waits, 20.0);
+        // Hold time is credited on release (µs granularity, may be 0 for
+        // very fast holds — only the label set is asserted here).
+        assert!(r
+            .sample_value(
+                "gallery_store_stripe_lock_hold_us_total",
+                &[("stripe", "0")]
+            )
+            .is_some());
+        // No stripe label beyond the configured count was ever minted.
+        assert!(r
+            .find_histogram("gallery_store_stripe_lock_wait_ms", &[("stripe", "4")])
+            .is_none());
     }
 
     #[test]

@@ -189,8 +189,9 @@ impl Query {
     }
 }
 
-/// How the planner decided to execute a query — surfaced for tests,
-/// benchmarks, and the E9 scale experiment.
+/// How the planner decided to execute a query — the plan-shape half of an
+/// [`Explain`], also surfaced on its own for tests, benchmarks, and the E9
+/// scale experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AccessPath {
     /// Full table scan, filtering every row.
@@ -201,6 +202,90 @@ pub enum AccessPath {
     IndexRange { column: String },
     /// Direct primary-key lookup.
     PrimaryKey,
+}
+
+impl AccessPath {
+    /// Bounded-cardinality shape label for per-shape metrics: one of
+    /// `pk`, `index_eq`, `index_range`, `full_scan`.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            AccessPath::FullScan => "full_scan",
+            AccessPath::IndexEq { .. } => "index_eq",
+            AccessPath::IndexRange { .. } => "index_range",
+            AccessPath::PrimaryKey => "pk",
+        }
+    }
+}
+
+/// EXPLAIN artifact for one executed query: the chosen access path, the
+/// planner's row estimate vs. what the scan actually touched, how much of
+/// the scan came from merging unindexed deferred-index tails, and the
+/// per-stage timings. Produced by `Table::execute_explain` and recorded
+/// into the slow-query ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explain {
+    /// The plan the planner chose.
+    pub path: AccessPath,
+    /// Rows the planner expected the access path to yield as candidates.
+    pub estimated_rows: usize,
+    /// Candidate rows the executor actually examined (before residual
+    /// filtering).
+    pub rows_scanned: usize,
+    /// Rows that survived every constraint (before `limit`).
+    pub matched_rows: usize,
+    /// Of `rows_scanned`, how many came from per-stripe unindexed tails
+    /// merged on top of the index (deferred secondary-index maintenance).
+    /// Always 0 for `PrimaryKey` and `FullScan`.
+    pub tail_merge_rows: usize,
+    /// Time spent choosing the plan, in milliseconds.
+    pub plan_ms: f64,
+    /// Time spent collecting and filtering candidates, in milliseconds.
+    pub scan_ms: f64,
+    /// Time spent ordering/truncating the result, in milliseconds.
+    pub sort_ms: f64,
+}
+
+impl Explain {
+    /// Bounded-cardinality shape label, forwarded from the access path.
+    pub fn shape(&self) -> &'static str {
+        self.path.shape()
+    }
+
+    /// Total executor time (plan + scan + sort), in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.plan_ms + self.scan_ms + self.sort_ms
+    }
+
+    /// Multi-line human-readable rendering, used by `gallery explain` and
+    /// the slow-query log.
+    pub fn render(&self) -> String {
+        let path = match &self.path {
+            AccessPath::FullScan => "FullScan".to_string(),
+            AccessPath::IndexEq { column } => format!("IndexEq({column})"),
+            AccessPath::IndexRange { column } => format!("IndexRange({column})"),
+            AccessPath::PrimaryKey => "PrimaryKey".to_string(),
+        };
+        format!(
+            "path: {path} [{}]\n\
+             rows: estimated={} scanned={} matched={} tail_merge={}\n\
+             timings_ms: plan={:.3} scan={:.3} sort={:.3} total={:.3}",
+            self.shape(),
+            self.estimated_rows,
+            self.rows_scanned,
+            self.matched_rows,
+            self.tail_merge_rows,
+            self.plan_ms,
+            self.scan_ms,
+            self.sort_ms,
+            self.total_ms(),
+        )
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +327,39 @@ mod tests {
         let (lo, hi) = Op::Gt.bounds(&v).unwrap();
         assert_eq!(lo, Bound::Excluded(&v));
         assert_eq!(hi, Bound::Unbounded);
+    }
+
+    #[test]
+    fn explain_shapes_and_render() {
+        assert_eq!(AccessPath::PrimaryKey.shape(), "pk");
+        assert_eq!(
+            AccessPath::IndexEq { column: "c".into() }.shape(),
+            "index_eq"
+        );
+        assert_eq!(
+            AccessPath::IndexRange { column: "c".into() }.shape(),
+            "index_range"
+        );
+        assert_eq!(AccessPath::FullScan.shape(), "full_scan");
+        let ex = Explain {
+            path: AccessPath::IndexEq {
+                column: "city".into(),
+            },
+            estimated_rows: 12,
+            rows_scanned: 10,
+            matched_rows: 7,
+            tail_merge_rows: 2,
+            plan_ms: 0.5,
+            scan_ms: 1.5,
+            sort_ms: 0.25,
+        };
+        assert_eq!(ex.shape(), "index_eq");
+        assert!((ex.total_ms() - 2.25).abs() < 1e-9);
+        let text = ex.render();
+        assert!(text.contains("IndexEq(city)"), "{text}");
+        assert!(text.contains("estimated=12 scanned=10"), "{text}");
+        assert!(text.contains("tail_merge=2"), "{text}");
+        assert_eq!(format!("{ex}"), text);
     }
 
     #[test]

@@ -25,15 +25,16 @@
 
 use crate::error::{Result, StoreError};
 use crate::index::{dedup_rows, BTreeIndex, HashIndex, Index, RowId};
-use crate::query::{AccessPath, Op, Query};
+use crate::query::{AccessPath, Explain, Op, Query};
 use crate::record::Record;
 use crate::schema::{IndexKind, TableSchema};
 use crate::value::Value;
-use gallery_telemetry::Counter;
+use gallery_telemetry::{Counter, Histogram};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Columns that the store treats as in-place mutable flags. Everything else
 /// is immutable after insert (paper §3.1 "Immutable").
@@ -124,6 +125,27 @@ impl std::fmt::Debug for IndexDeltaCounters {
     }
 }
 
+/// Per-stripe write-lock contention handles, one slot per stripe index
+/// (`gallery_store_stripe_lock_wait_ms{stripe}` /
+/// `gallery_store_stripe_lock_hold_us_total{stripe}`). Label cardinality
+/// is bounded by construction: the minting side allocates exactly one
+/// series per configured stripe, and [`MAX_LOCK_STRIPES`] caps that at 32.
+#[derive(Clone)]
+pub struct StripeLockMetrics {
+    /// Time writers spent waiting to *acquire* each stripe's write lock.
+    pub wait_ms: Vec<Arc<Histogram>>,
+    /// Cumulative time each stripe's write lock was *held*, in µs.
+    pub hold_us_total: Vec<Arc<Counter>>,
+}
+
+impl std::fmt::Debug for StripeLockMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripeLockMetrics")
+            .field("stripes", &self.wait_ms.len())
+            .finish()
+    }
+}
+
 /// One row plus its global commit sequence. Sequence order is insertion
 /// order across the whole store, so queries merge stripes by `seq`.
 ///
@@ -167,6 +189,7 @@ pub struct Table {
     /// the store's commit log.
     next_seq: AtomicU64,
     delta_counters: RwLock<Option<IndexDeltaCounters>>,
+    lock_metrics: RwLock<Option<StripeLockMetrics>>,
 }
 
 impl Table {
@@ -208,12 +231,20 @@ impl Table {
             row_count: AtomicUsize::new(0),
             next_seq: AtomicU64::new(0),
             delta_counters: RwLock::new(None),
+            lock_metrics: RwLock::new(None),
         }
     }
 
     /// Attach (or replace) the shared deferred-index telemetry counters.
     pub fn set_delta_counters(&self, counters: IndexDeltaCounters) {
         *self.delta_counters.write() = Some(counters);
+    }
+
+    /// Attach (or replace) the per-stripe lock-contention handles. Handle
+    /// vectors shorter than the stripe count leave the excess stripes
+    /// uninstrumented rather than panicking.
+    pub fn set_lock_metrics(&self, metrics: StripeLockMetrics) {
+        *self.lock_metrics.write() = Some(metrics);
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -253,15 +284,38 @@ impl Table {
         (fnv1a64(pk.as_bytes()) % self.stripes.len() as u64) as usize
     }
 
+    /// Observe one stripe write-lock acquisition wait, when handles are
+    /// attached.
+    fn observe_lock_wait(&self, stripe: usize, waited: Instant) {
+        if let Some(m) = &*self.lock_metrics.read() {
+            if let Some(h) = m.wait_ms.get(stripe) {
+                h.observe(waited.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+
+    /// Credit one stripe's hold-time counter, when handles are attached.
+    fn observe_lock_hold(&self, stripe: usize, held: Instant) {
+        if let Some(m) = &*self.lock_metrics.read() {
+            if let Some(c) = m.hold_us_total.get(stripe) {
+                c.add(held.elapsed().as_micros() as u64);
+            }
+        }
+    }
+
     /// Take the write lock on the stripe owning `pk`. The token pins the
     /// stripe across duplicate-check → commit → apply, so no competing
     /// writer can interleave on this stripe.
     pub fn lock_stripe(&self, pk: &str) -> StripeToken<'_> {
         let stripe = self.stripe_of(pk);
+        let waited = Instant::now();
+        let guard = self.stripes[stripe].write();
+        self.observe_lock_wait(stripe, waited);
         StripeToken {
             table: self,
             stripe,
-            guard: self.stripes[stripe].write(),
+            guard,
+            acquired: Instant::now(),
         }
     }
 
@@ -273,11 +327,17 @@ impl Table {
         idxs.dedup();
         let guards = idxs
             .into_iter()
-            .map(|i| (i, self.stripes[i].write()))
+            .map(|i| {
+                let waited = Instant::now();
+                let g = self.stripes[i].write();
+                self.observe_lock_wait(i, waited);
+                (i, g)
+            })
             .collect();
         StripeSetToken {
             table: self,
             guards,
+            acquired: Instant::now(),
         }
     }
 
@@ -474,10 +534,20 @@ impl Table {
     }
 
     /// Execute a query, returning matching records (cloned) and the access
-    /// path the planner chose. Takes every stripe read lock (in index
+    /// path the planner chose. Thin wrapper over
+    /// [`Table::execute_explain`] for callers that only care about rows
+    /// and plan shape.
+    pub fn execute(&self, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+        let (rows, explain) = self.execute_explain(query)?;
+        Ok((rows, explain.path))
+    }
+
+    /// Execute a query, returning matching records (cloned) and the full
+    /// [`Explain`] artifact (plan, estimated vs. actual rows, tail-merge
+    /// size, per-stage timings). Takes every stripe read lock (in index
     /// order) for a consistent snapshot; results are merged in sequence
     /// (= insertion) order.
-    pub fn execute(&self, query: &Query) -> Result<(Vec<Record>, AccessPath)> {
+    pub fn execute_explain(&self, query: &Query) -> Result<(Vec<Record>, Explain)> {
         for c in &query.constraints {
             if self.schema.column(&c.field).is_none() {
                 return Err(StoreError::NoSuchColumn {
@@ -494,9 +564,41 @@ impl Table {
                 });
             }
         }
+        let plan_started = Instant::now();
         let guards: Vec<RwLockReadGuard<'_, Stripe>> =
             self.stripes.iter().map(|s| s.read()).collect();
         let path = self.plan_with(&guards, query);
+        let total_rows: usize = guards.iter().map(|g| g.rows.len()).sum();
+        let tail_rows: usize = guards.iter().map(|g| g.rows.len() - g.indexed_upto).sum();
+        // The planner's candidate estimate. PrimaryKey resolves at most
+        // one row; IndexEq reuses the planner's bucket-plus-tail count; a
+        // range scan has no value-distribution statistics, so it is
+        // bounded by the full row count, as is a full scan.
+        let estimated_rows = match &path {
+            AccessPath::PrimaryKey => 1,
+            AccessPath::IndexEq { column } => guards
+                .iter()
+                .map(|g| {
+                    g.indexes[column].eq_bucket_len(
+                        &query
+                            .constraints
+                            .iter()
+                            .find(|c| &c.field == column && c.op == Op::Eq)
+                            .expect("planner chose IndexEq without eq constraint")
+                            .value,
+                    ) + (g.rows.len() - g.indexed_upto)
+                })
+                .sum(),
+            AccessPath::IndexRange { .. } | AccessPath::FullScan => total_rows,
+        };
+        // Of the scanned candidates, how many were merged from unindexed
+        // deferred-index tails (index-served paths only).
+        let tail_merge_rows = match &path {
+            AccessPath::IndexEq { .. } | AccessPath::IndexRange { .. } => tail_rows,
+            AccessPath::PrimaryKey | AccessPath::FullScan => 0,
+        };
+        let plan_ms = plan_started.elapsed().as_secs_f64() * 1e3;
+        let scan_started = Instant::now();
         // Candidates as (stripe, slot). Index-served paths add every
         // stripe's unindexed tail so pending deltas never hide rows.
         let mut cands: Vec<(usize, usize)> = Vec::new();
@@ -563,6 +665,7 @@ impl Table {
         self.stats
             .rows_examined
             .fetch_add(cands.len() as u64, Ordering::Relaxed);
+        let rows_scanned = cands.len();
 
         let mut matches: Vec<(u64, &Record)> = cands
             .into_iter()
@@ -574,6 +677,9 @@ impl Table {
             .collect();
         // Sequence order = insertion order, across stripes.
         matches.sort_unstable_by_key(|(seq, _)| *seq);
+        let matched_rows = matches.len();
+        let scan_ms = scan_started.elapsed().as_secs_f64() * 1e3;
+        let sort_started = Instant::now();
 
         if let Some(ob) = &query.order_by {
             let cmp = |a: &(u64, &Record), b: &(u64, &Record)| {
@@ -599,7 +705,21 @@ impl Table {
         if let Some(limit) = query.limit {
             matches.truncate(limit);
         }
-        Ok((matches.into_iter().map(|(_, r)| r.clone()).collect(), path))
+        let sort_ms = sort_started.elapsed().as_secs_f64() * 1e3;
+        let explain = Explain {
+            path,
+            estimated_rows,
+            rows_scanned,
+            matched_rows,
+            tail_merge_rows,
+            plan_ms,
+            scan_ms,
+            sort_ms,
+        };
+        Ok((
+            matches.into_iter().map(|(_, r)| r.clone()).collect(),
+            explain,
+        ))
     }
 
     /// All rows (shared handles, not deep copies) in sequence
@@ -636,6 +756,15 @@ pub struct StripeToken<'a> {
     table: &'a Table,
     stripe: usize,
     guard: RwLockWriteGuard<'a, Stripe>,
+    /// When the write lock was acquired; credited to the stripe's
+    /// hold-time counter on release.
+    acquired: Instant,
+}
+
+impl Drop for StripeToken<'_> {
+    fn drop(&mut self) {
+        self.table.observe_lock_hold(self.stripe, self.acquired);
+    }
 }
 
 impl StripeToken<'_> {
@@ -663,6 +792,17 @@ impl StripeToken<'_> {
 pub struct StripeSetToken<'a> {
     table: &'a Table,
     guards: Vec<(usize, RwLockWriteGuard<'a, Stripe>)>,
+    /// When the last write lock of the set was acquired; credited to every
+    /// locked stripe's hold-time counter on release.
+    acquired: Instant,
+}
+
+impl Drop for StripeSetToken<'_> {
+    fn drop(&mut self) {
+        for (i, _) in &self.guards {
+            self.table.observe_lock_hold(*i, self.acquired);
+        }
+    }
 }
 
 impl StripeSetToken<'_> {
@@ -1046,6 +1186,111 @@ mod tests {
     #[test]
     fn fnv1a64_matches_reference_vector() {
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn execute_explain_reports_estimates_and_tails() {
+        let schema = table().schema.clone();
+        // Huge batch threshold: every row sits in an unindexed tail.
+        let t = Table::with_config(schema, 4, 1_000_000);
+        for i in 0..100 {
+            t.insert(row(
+                &format!("i{i}"),
+                if i % 2 == 0 { "rf" } else { "lr" },
+                "sf",
+                i,
+                0.01 * i as f64,
+            ))
+            .unwrap();
+        }
+        let q_eq = Query::all().and(Constraint::eq("model", "rf"));
+        let (rows, ex) = t.execute_explain(&q_eq).unwrap();
+        assert_eq!(
+            ex.path,
+            AccessPath::IndexEq {
+                column: "model".into()
+            }
+        );
+        assert_eq!(ex.tail_merge_rows, 100, "all rows pending -> all merged");
+        assert_eq!(ex.rows_scanned, 100);
+        assert_eq!(ex.estimated_rows, 100, "bucket 0 + tails 100");
+        assert_eq!(ex.matched_rows, 50);
+        assert_eq!(rows.len(), 50);
+        assert!(ex.plan_ms >= 0.0 && ex.scan_ms >= 0.0 && ex.sort_ms >= 0.0);
+
+        // After the flush the index serves exactly the bucket.
+        t.flush_index_deltas();
+        let (_, ex) = t.execute_explain(&q_eq).unwrap();
+        assert_eq!(ex.tail_merge_rows, 0);
+        assert_eq!(ex.rows_scanned, 50);
+        assert_eq!(ex.estimated_rows, 50);
+        assert_eq!(ex.matched_rows, 50);
+
+        let (_, ex) = t
+            .execute_explain(&Query::all().and(Constraint::eq("id", "i7")))
+            .unwrap();
+        assert_eq!(ex.path, AccessPath::PrimaryKey);
+        assert_eq!(
+            (ex.estimated_rows, ex.rows_scanned, ex.matched_rows),
+            (1, 1, 1)
+        );
+        assert_eq!(ex.tail_merge_rows, 0);
+
+        let (_, ex) = t
+            .execute_explain(&Query::all().and(Constraint::new("model", Op::Contains, "r")))
+            .unwrap();
+        assert_eq!(ex.path, AccessPath::FullScan);
+        assert_eq!(ex.estimated_rows, 100);
+        assert_eq!(ex.rows_scanned, 100);
+        assert_eq!(ex.tail_merge_rows, 0);
+
+        let (_, ex) = t
+            .execute_explain(&Query::all().and(Constraint::lt("mape", 0.25)))
+            .unwrap();
+        assert_eq!(
+            ex.path,
+            AccessPath::IndexRange {
+                column: "mape".into()
+            }
+        );
+        assert_eq!(
+            ex.estimated_rows, 100,
+            "range estimate is the row-count bound"
+        );
+        assert_eq!(ex.rows_scanned, 25);
+        assert_eq!(ex.matched_rows, 25);
+    }
+
+    #[test]
+    fn stripe_lock_metrics_record_waits_and_holds() {
+        let t = Table::with_config(table().schema.clone(), 4, 1024);
+        let metrics = StripeLockMetrics {
+            wait_ms: (0..4)
+                .map(|_| Histogram::standalone(vec![1.0, 10.0]))
+                .collect(),
+            hold_us_total: (0..4).map(|_| Counter::standalone()).collect(),
+        };
+        t.set_lock_metrics(metrics.clone());
+        for i in 0..20 {
+            t.insert(row(&format!("i{i}"), "rf", "sf", i, 0.1)).unwrap();
+        }
+        let single_waits: u64 = metrics.wait_ms.iter().map(|h| h.count()).sum();
+        assert_eq!(single_waits, 20, "one wait observation per insert");
+
+        let pks: Vec<String> = (0..10).map(|i| format!("b{i}")).collect();
+        let stripes_locked = {
+            let mut token = t.lock_stripe_set(&pks);
+            for (i, pk) in pks.iter().enumerate() {
+                token.apply_insert(Arc::new(row(pk, "rf", "sf", i as i64, 0.1)), 100 + i as u64);
+            }
+            token.guards.len() as u64
+        };
+        let total_waits: u64 = metrics.wait_ms.iter().map(|h| h.count()).sum();
+        assert_eq!(
+            total_waits,
+            20 + stripes_locked,
+            "one wait per locked stripe"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::error::{Result, StoreError};
 use crate::record::{EncodeBuf, Record};
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem, FsFile};
-use gallery_telemetry::{kinds, Counter, EventSink, Histogram, Telemetry, TimeSource};
+use gallery_telemetry::{kinds, Counter, EventSink, Gauge, Histogram, Telemetry, TimeSource};
 use parking_lot::Mutex as PlMutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -430,6 +430,19 @@ pub(crate) struct Committer {
     cfg: GroupCommitConfig,
     time: Arc<dyn TimeSource>,
     oplog: Arc<PlMutex<Oplog>>,
+    telemetry: PlMutex<Option<CommitterTelemetry>>,
+}
+
+/// Telemetry handles for the group-commit queue itself (absent until
+/// [`Committer::set_telemetry`] attaches them): queue depth, who led vs.
+/// followed each flush, how full batches ran relative to `max_batch`, and
+/// the time to make a batch durable (`gallery_wal_commit_queue_*`).
+struct CommitterTelemetry {
+    queue_depth: Arc<Gauge>,
+    leaders: Arc<Counter>,
+    followers: Arc<Counter>,
+    batch_occupancy: Arc<Histogram>,
+    fsync_ms: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Committer {
@@ -460,7 +473,26 @@ impl Committer {
             },
             time,
             oplog,
+            telemetry: PlMutex::new(None),
         }
+    }
+
+    /// Attach (or replace) commit-queue telemetry
+    /// (`gallery_wal_commit_queue_*`). Single-series families: the queue
+    /// is one per store, so label cardinality is constant.
+    pub(crate) fn set_telemetry(&self, telemetry: &Telemetry) {
+        let r = telemetry.registry();
+        *self.telemetry.lock() = Some(CommitterTelemetry {
+            queue_depth: r.gauge("gallery_wal_commit_queue_depth", &[]),
+            leaders: r.counter("gallery_wal_commit_queue_leader_total", &[]),
+            followers: r.counter("gallery_wal_commit_queue_follower_total", &[]),
+            batch_occupancy: r.histogram(
+                "gallery_wal_commit_queue_batch_occupancy",
+                &[],
+                vec![0.0625, 0.125, 0.25, 0.5, 0.75, 1.0],
+            ),
+            fsync_ms: r.duration_histogram("gallery_wal_commit_queue_fsync_ms", &[]),
+        });
     }
 
     /// The WAL behind this committer. Callers locking it must not hold the
@@ -494,6 +526,12 @@ impl Committer {
                 t
             })
             .collect();
+        if let Some(t) = &*self.telemetry.lock() {
+            t.queue_depth.set(q.pending.len() as i64);
+        }
+        // Whether this call ever blocked behind another leader's flush —
+        // counted once per commit, not once per condvar wakeup.
+        let mut was_follower = false;
         loop {
             if tickets.iter().all(|t| q.results.contains_key(t)) {
                 let mut seqs = Vec::with_capacity(tickets.len());
@@ -516,9 +554,18 @@ impl Committer {
             }
             if !q.flushing && !q.pending.is_empty() {
                 q.flushing = true;
+                if let Some(t) = &*self.telemetry.lock() {
+                    t.leaders.inc();
+                }
                 q = self.lead_flush(q);
                 self.cv.notify_all();
                 continue;
+            }
+            if !was_follower {
+                was_follower = true;
+                if let Some(t) = &*self.telemetry.lock() {
+                    t.followers.inc();
+                }
             }
             q = self.cv.wait(q).expect("commit queue poisoned");
         }
@@ -549,9 +596,18 @@ impl Committer {
         }
         let take = q.pending.len().min(self.cfg.max_batch);
         let batch: Vec<(u64, Arc<WalOp>)> = q.pending.drain(..take).collect();
+        if let Some(t) = &*self.telemetry.lock() {
+            t.queue_depth.set(q.pending.len() as i64);
+            t.batch_occupancy
+                .observe(take as f64 / self.cfg.max_batch as f64);
+        }
         drop(q);
 
+        let flush_started = Instant::now();
         let flush_res = self.flush_batch(&batch);
+        if let Some(t) = &*self.telemetry.lock() {
+            t.fsync_ms.observe_since(flush_started);
+        }
 
         let mut q = self.queue.lock().expect("commit queue poisoned");
         match flush_res {
@@ -851,6 +907,47 @@ mod tests {
         );
         assert_eq!(r.counter("gallery_wal_flushes_total", &[]).get(), 3);
         assert_eq!(Wal::replay(dir.join("wal.log")).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn commit_queue_telemetry_tracks_leaders_and_occupancy() {
+        let dir = tmpdir("commit-telemetry");
+        let cfg = GroupCommitConfig {
+            max_batch: 4,
+            max_wait_ms: 0,
+        };
+        let (committer, telemetry) = test_committer(&dir, cfg);
+        committer.set_telemetry(&telemetry);
+        committer
+            .commit_many((0..10).map(insert_op).collect())
+            .unwrap();
+        let r = telemetry.registry();
+        // One caller, 10 ops, max_batch=4: it led all 3 flushes itself
+        // (4 + 4 + 2) and never waited behind another leader.
+        assert_eq!(
+            r.counter("gallery_wal_commit_queue_leader_total", &[])
+                .get(),
+            3
+        );
+        assert_eq!(
+            r.counter("gallery_wal_commit_queue_follower_total", &[])
+                .get(),
+            0
+        );
+        let occ = r
+            .find_histogram("gallery_wal_commit_queue_batch_occupancy", &[])
+            .unwrap();
+        assert_eq!(occ.count(), 3);
+        assert!(
+            (occ.sum() - 2.5).abs() < 1e-9,
+            "occupancies 1.0 + 1.0 + 0.5, got sum {}",
+            occ.sum()
+        );
+        let fsync = r
+            .find_histogram("gallery_wal_commit_queue_fsync_ms", &[])
+            .unwrap();
+        assert_eq!(fsync.count(), 3);
+        assert_eq!(r.gauge("gallery_wal_commit_queue_depth", &[]).get(), 0);
     }
 
     #[test]

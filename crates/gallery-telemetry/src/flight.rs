@@ -9,9 +9,11 @@
 //! distributed trace the client's root span closes last, so by then every
 //! downstream span the tracer ring still holds is already recorded.
 
+use crate::metrics::Counter;
 use crate::trace::SpanRecord;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One captured slow request: the root span's identity plus every span of
 /// its trace that the tracer ring still held at capture time.
@@ -33,11 +35,18 @@ struct FlightInner {
     total: u64,
 }
 
-/// Bounded ring of [`SlowCapture`]s. The threshold is fixed at
-/// construction; the tracer drives captures on root-span finish.
+/// Bounded ring of [`SlowCapture`]s; the tracer drives captures on
+/// root-span finish. Construct directly with an explicit threshold and
+/// capacity, or through
+/// [`Telemetry::attach_flight_recorder`](crate::Telemetry::attach_flight_recorder),
+/// which also wires ring evictions to the
+/// `gallery_flight_captures_dropped_total` counter.
 pub struct FlightRecorder {
     threshold_ms: i64,
     capacity: usize,
+    /// Incremented alongside the internal drop count, so evictions show
+    /// up in the metrics exposition without polling the recorder.
+    dropped_counter: Option<Arc<Counter>>,
     inner: Mutex<FlightInner>,
 }
 
@@ -53,6 +62,7 @@ impl FlightRecorder {
         FlightRecorder {
             threshold_ms,
             capacity: capacity.max(1),
+            dropped_counter: None,
             inner: Mutex::new(FlightInner {
                 ring: VecDeque::new(),
                 dropped: 0,
@@ -61,8 +71,19 @@ impl FlightRecorder {
         }
     }
 
+    /// Mirror ring evictions into `counter` (builder-style, before the
+    /// recorder is shared).
+    pub fn with_dropped_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.dropped_counter = Some(counter);
+        self
+    }
+
     pub fn threshold_ms(&self) -> i64 {
         self.threshold_ms
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Record one capture. Normally the tracer calls this; tests may call
@@ -73,6 +94,9 @@ impl FlightRecorder {
         if inner.ring.len() == self.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;
+            if let Some(counter) = &self.dropped_counter {
+                counter.inc();
+            }
         }
         inner.ring.push_back(capture);
     }
@@ -171,6 +195,17 @@ mod tests {
         rec.clear();
         assert!(rec.captures().is_empty());
         assert_eq!(rec.total_captured(), 5, "totals survive clear");
+    }
+
+    #[test]
+    fn evictions_mirror_into_the_dropped_counter() {
+        let counter = Counter::standalone();
+        let rec = FlightRecorder::with_capacity(50, 2).with_dropped_counter(Arc::clone(&counter));
+        for i in 0..5 {
+            rec.record(capture(i));
+        }
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(counter.get(), 3);
     }
 
     #[test]

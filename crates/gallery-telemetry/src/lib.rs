@@ -27,6 +27,7 @@ pub mod alerts;
 pub mod events;
 pub mod flight;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use alerts::{
@@ -40,6 +41,7 @@ pub use metrics::{
     parse_samples, relabel_exposition, Counter, ExpositionSummary, FamilyKind, FamilyMeta, Gauge,
     Histogram, Registry, Sample,
 };
+pub use profile::{FrameStats, Profile};
 pub use trace::{Span, SpanContext, SpanRecord, TimeSource, Tracer, WallClock};
 
 use std::sync::{Arc, OnceLock};
@@ -121,6 +123,33 @@ impl Telemetry {
     pub fn render_text(&self) -> String {
         self.registry.render_text()
     }
+
+    /// Attach a flight recorder with an explicit threshold and capacity —
+    /// the configuration seam the recorder itself lacks (its knobs are
+    /// fixed at construction). Ring evictions are mirrored into the
+    /// `gallery_flight_captures_dropped_total` counter of this bundle's
+    /// registry. Returns the recorder so callers can inspect captures.
+    pub fn attach_flight_recorder(
+        &self,
+        threshold_ms: i64,
+        capacity: usize,
+    ) -> Arc<FlightRecorder> {
+        let dropped = self
+            .registry
+            .counter("gallery_flight_captures_dropped_total", &[]);
+        let recorder = Arc::new(
+            FlightRecorder::with_capacity(threshold_ms, capacity).with_dropped_counter(dropped),
+        );
+        self.tracer.attach_flight_recorder(Arc::clone(&recorder));
+        recorder
+    }
+
+    /// Fold the tracer's retained spans into a [`Profile`] (self/total
+    /// time per stack) — the artifact behind `Probe{"profile"}` and
+    /// `gallery profile`.
+    pub fn profile(&self) -> Profile {
+        Profile::fold(&self.tracer.finished_spans())
+    }
 }
 
 /// The process-wide telemetry bundle. Components that are not handed an
@@ -169,6 +198,31 @@ mod tests {
         node.registry().counter("node_only_total", &[]).add(3);
         assert!(!shared.render_text().contains("node_only_total"));
         assert!(node.render_text().contains("node_only_total 3"));
+    }
+
+    #[test]
+    fn bundle_attaches_configured_flight_recorder_with_drop_counter() {
+        struct Fixed;
+        impl TimeSource for Fixed {
+            fn now_ms(&self) -> i64 {
+                0
+            }
+        }
+        let t = Telemetry::with_time_source(Arc::new(Fixed));
+        let rec = t.attach_flight_recorder(0, 2);
+        assert_eq!(rec.threshold_ms(), 0);
+        assert_eq!(rec.capacity(), 2);
+        assert!(Arc::ptr_eq(&rec, &t.tracer().flight_recorder().unwrap()));
+        // Threshold 0 captures every root span; capacity 2 evicts the rest.
+        for i in 0..5 {
+            t.tracer().start_span(format!("r{i}")).finish();
+        }
+        assert_eq!(rec.captures().len(), 2);
+        assert_eq!(
+            t.registry()
+                .sample_value("gallery_flight_captures_dropped_total", &[]),
+            Some(3.0)
+        );
     }
 
     #[test]

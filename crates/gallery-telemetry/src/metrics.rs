@@ -375,6 +375,15 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// Longest label value accepted for registration. Label values are
+    /// bounded enums (shapes, outcomes, stripe indices); anything longer
+    /// is almost certainly user data leaking into the label space.
+    pub const MAX_LABEL_VALUE_LEN: usize = 128;
+    /// Most series one family may hold. Generous — the widest legitimate
+    /// family is per-stripe at 32 series — but finite, so an unbounded
+    /// label can never OOM the registry.
+    pub const MAX_SERIES_PER_FAMILY: usize = 128;
+
     pub fn new() -> Self {
         Registry {
             inner: Mutex::new(RegistryInner::default()),
@@ -406,6 +415,31 @@ impl Registry {
         k
     }
 
+    /// Record one rejected registration in the
+    /// `gallery_metric_series_capped_total` counter, registering the
+    /// counter on first use. Runs under the registry lock, so it inserts
+    /// the entry directly instead of re-entering `get_or_insert`.
+    fn bump_capped(inner: &mut RegistryInner, enabled: bool) {
+        const NAME: &str = "gallery_metric_series_capped_total";
+        let key = Self::key(NAME, &[]);
+        let idx = match inner.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let idx = inner.entries.len();
+                inner.entries.push(Entry {
+                    name: NAME.to_string(),
+                    labels: Vec::new(),
+                    metric: Metric::Counter(Arc::new(Counter::new(enabled))),
+                });
+                inner.index.insert(key, idx);
+                idx
+            }
+        };
+        if let Metric::Counter(c) = &inner.entries[idx].metric {
+            c.inc();
+        }
+    }
+
     fn get_or_insert<T, F, G>(
         &self,
         name: &str,
@@ -426,6 +460,28 @@ impl Registry {
                     inner.entries[i].metric.type_name()
                 )
             });
+        }
+        // Cardinality guard: a label value that looks like user data (too
+        // long to be a bounded enum) or a family already at its series cap
+        // never registers. The caller still gets a working handle — it
+        // just isn't wired into the exposition — and the rejection is
+        // counted. Oversized label values additionally assert in debug
+        // builds: they are always a bug, not load.
+        let oversized = labels
+            .iter()
+            .any(|(_, v)| v.len() > Self::MAX_LABEL_VALUE_LEN);
+        let at_cap =
+            inner.entries.iter().filter(|e| e.name == name).count() >= Self::MAX_SERIES_PER_FAMILY;
+        if oversized || at_cap {
+            Self::bump_capped(&mut inner, self.enabled);
+            debug_assert!(
+                !oversized,
+                "metric {name}: label value exceeds {} bytes — label values must be \
+                 bounded enums, never user data",
+                Self::MAX_LABEL_VALUE_LEN
+            );
+            let metric = create(self.enabled);
+            return extract(&metric).expect("freshly created metric has the requested type");
         }
         let metric = create(self.enabled);
         let handle = extract(&metric).expect("freshly created metric has the requested type");
@@ -1203,6 +1259,128 @@ mod tests {
         assert!(tagged.contains("y_total{node=\"new\",op=\"a\"} 4"));
         assert!(!tagged.contains("old"), "clashing label replaced");
         assert!(relabel_exposition("garbage line\n", &[("n", "1")]).is_err());
+    }
+
+    #[test]
+    fn per_family_series_cap_rejects_overflow_with_counter() {
+        let reg = Registry::new();
+        for i in 0..Registry::MAX_SERIES_PER_FAMILY + 8 {
+            reg.counter("burst_total", &[("i", &i.to_string())]).inc();
+        }
+        // Exactly the cap registered; the rest were counted and rejected.
+        let text = reg.render_text();
+        let series = text
+            .lines()
+            .filter(|l| l.starts_with("burst_total{"))
+            .count();
+        assert_eq!(series, Registry::MAX_SERIES_PER_FAMILY);
+        assert_eq!(
+            reg.sample_value("gallery_metric_series_capped_total", &[]),
+            Some(8.0)
+        );
+        // Existing series still resolve to their shared handle past the cap.
+        reg.counter("burst_total", &[("i", "0")]).inc();
+        assert_eq!(reg.sample_value("burst_total", &[("i", "0")]), Some(2.0));
+        // Rejected registrations still hand back working (orphan) handles.
+        let orphan = reg.counter("burst_total", &[("i", "999")]);
+        orphan.inc();
+        assert_eq!(orphan.get(), 1);
+        assert!(reg.sample_value("burst_total", &[("i", "999")]).is_none());
+    }
+
+    #[test]
+    fn oversized_label_values_are_rejected_and_assert_in_debug() {
+        let reg = Registry::new();
+        let huge = "x".repeat(Registry::MAX_LABEL_VALUE_LEN + 1);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected assert
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.counter("leak_total", &[("pk", &huge)])
+        }));
+        std::panic::set_hook(prev);
+        if cfg!(debug_assertions) {
+            assert!(
+                result.is_err(),
+                "debug builds assert on unbounded label values"
+            );
+        } else {
+            // Release builds degrade to an orphan handle instead.
+            let c = result.unwrap();
+            c.inc();
+            assert_eq!(c.get(), 1);
+        }
+        // Either way: nothing registered, and the rejection was counted.
+        assert!(reg.sample_value("leak_total", &[("pk", &huge)]).is_none());
+        assert_eq!(
+            reg.sample_value("gallery_metric_series_capped_total", &[]),
+            Some(1.0)
+        );
+        assert!(!reg.render_text().contains(&huge));
+    }
+
+    #[test]
+    fn introspection_families_round_trip_byte_stable() {
+        // Mirror the families the introspection layer mints — per-stripe
+        // wait histograms with exemplars, hold counters, commit-queue
+        // occupancy, per-shape query latency — and pin the full
+        // render → parse → relabel loop down to the byte.
+        let reg = Registry::new();
+        for stripe in 0..4 {
+            let s = stripe.to_string();
+            let h = reg.histogram(
+                "gallery_store_stripe_lock_wait_ms",
+                &[("stripe", &s)],
+                vec![0.001, 0.01, 0.1, 1.0, 10.0, 100.0],
+            );
+            h.observe_with_exemplar(0.05 * (stripe + 1) as f64, 100 + stripe as u64);
+            reg.counter("gallery_store_stripe_lock_hold_us_total", &[("stripe", &s)])
+                .add(17 * (stripe as u64 + 1));
+        }
+        let occ = reg.histogram(
+            "gallery_wal_commit_queue_batch_occupancy",
+            &[],
+            vec![0.0625, 0.125, 0.25, 0.5, 0.75, 1.0],
+        );
+        occ.observe(0.25);
+        occ.observe(1.0);
+        for shape in ["pk", "index_eq", "index_range", "full_scan"] {
+            reg.duration_histogram("gallery_store_query_duration_ms", &[("shape", shape)])
+                .observe_with_exemplar(1.5, 7);
+        }
+
+        let text = reg.render_text();
+        let summary = parse_exposition(&text).expect("new families lint clean");
+        assert!(summary.exemplars >= 5, "stripe + shape exemplars survive");
+
+        // render_text is a pure function of registry state.
+        assert_eq!(text, reg.render_text(), "rendering is stable");
+
+        // Relabel: still lintable, every series tagged, exemplars intact,
+        // histogram bucket structure untouched.
+        let tagged = relabel_exposition(&text, &[("node", "n1")]).expect("relabel");
+        parse_exposition(&tagged).expect("relabeled text lints clean");
+        let samples = parse_samples(&tagged).unwrap();
+        assert!(samples.iter().all(|s| s.label("node") == Some("n1")));
+        let buckets = samples
+            .iter()
+            .filter(|s| s.name == "gallery_wal_commit_queue_batch_occupancy_bucket")
+            .count();
+        assert_eq!(buckets, 7, "6 bounds + the +Inf bucket");
+        let exemplars = parse_exemplars(&tagged).unwrap();
+        assert!(exemplars
+            .iter()
+            .any(|(s, id)| { s.label("stripe") == Some("3") && *id == 103 }));
+
+        // Relabeling is idempotent: applying the same extras again is a
+        // byte-for-byte no-op.
+        let tagged_again = relabel_exposition(&tagged, &[("node", "n1")]).unwrap();
+        assert_eq!(tagged, tagged_again, "relabel is byte-stable");
+
+        // And the untagged text survives a full parse → re-render loop at
+        // the sample level: same names, labels, and values.
+        let before = parse_samples(&text).unwrap();
+        let after = parse_samples(&reg.render_text()).unwrap();
+        assert_eq!(before, after);
     }
 
     #[test]

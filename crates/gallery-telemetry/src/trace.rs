@@ -12,10 +12,20 @@
 
 use crate::flight::{FlightRecorder, SlowCapture};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+thread_local! {
+    /// Spans started on this thread and not yet finished, innermost last:
+    /// `(tracer identity, span_id, trace_id)`. This is the ambient context
+    /// behind [`Tracer::current_trace_id`] — how the store stamps
+    /// slow-query captures and histogram exemplars with the trace that was
+    /// active when no one threaded a `SpanContext` down to it.
+    static ACTIVE_SPANS: RefCell<Vec<(usize, u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Milliseconds-since-epoch time, injectable so tests can drive it.
 pub trait TimeSource: Send + Sync {
@@ -135,18 +145,39 @@ impl Tracer {
         trace_id: u64,
         parent_span_id: Option<u64>,
     ) -> Span {
+        let span_id = self.next_id();
+        if self.enabled {
+            let tracer = Arc::as_ptr(self) as usize;
+            ACTIVE_SPANS.with(|s| s.borrow_mut().push((tracer, span_id, trace_id)));
+        }
         Span {
             tracer: Arc::clone(self),
-            ctx: SpanContext {
-                trace_id,
-                span_id: self.next_id(),
-            },
+            ctx: SpanContext { trace_id, span_id },
             parent_span_id,
             name: name.into(),
             start_ms: self.time.now_ms(),
             attrs: Vec::new(),
             finished: false,
         }
+    }
+
+    /// Trace ID of the innermost span started *by this tracer, on this
+    /// thread* and not yet finished; 0 when none. A span that migrates to
+    /// another thread before finishing is invisible here — ambient context
+    /// is strictly thread-local.
+    pub fn current_trace_id(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let tracer = self as *const Tracer as usize;
+        ACTIVE_SPANS.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _, _)| *t == tracer)
+                .map(|(_, _, trace_id)| *trace_id)
+                .unwrap_or(0)
+        })
     }
 
     fn record(&self, span: SpanRecord) {
@@ -266,6 +297,18 @@ impl Span {
             return;
         }
         self.finished = true;
+        if self.tracer.enabled {
+            let tracer = Arc::as_ptr(&self.tracer) as usize;
+            ACTIVE_SPANS.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack
+                    .iter()
+                    .rposition(|(t, id, _)| *t == tracer && *id == self.ctx.span_id)
+                {
+                    stack.remove(pos);
+                }
+            });
+        }
         let record = SpanRecord {
             name: std::mem::take(&mut self.name),
             trace_id: self.ctx.trace_id,
@@ -406,6 +449,29 @@ mod tests {
         }
         slow_child.finish(); // well over threshold, but not a root
         assert_eq!(recorder.total_captured(), 0);
+    }
+
+    #[test]
+    fn current_trace_id_tracks_innermost_open_span() {
+        let tracer = Arc::new(Tracer::new(StepClock::new(0, 1)));
+        assert_eq!(tracer.current_trace_id(), 0);
+        let root = tracer.start_span("outer");
+        let root_trace = root.context().trace_id;
+        assert_eq!(tracer.current_trace_id(), root_trace);
+        {
+            // A fresh root on the same thread shadows the outer one...
+            let inner = tracer.start_span("inner-root");
+            assert_eq!(tracer.current_trace_id(), inner.context().trace_id);
+        }
+        // ...and finishing it restores the outer trace.
+        assert_eq!(tracer.current_trace_id(), root_trace);
+        root.finish();
+        assert_eq!(tracer.current_trace_id(), 0);
+
+        // Two tracers on one thread never see each other's spans.
+        let other = Arc::new(Tracer::new(StepClock::new(0, 1)));
+        let _span = tracer.start_span("mine");
+        assert_eq!(other.current_trace_id(), 0);
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!   compact
 //!   stats [--probe]
 //!   stats --cluster [--nodes N] [--shards S] [--replication R] [--writes W]
+//!   explain TABLE [key=value|key<value|key>value]...
+//!   slowlog [--probe]
+//!   profile [--collapsed] [--probe]
 //!   lint RULES_FILE | lint --expr EXPR
 //!   cluster [--nodes N] [--shards S] [--replication R] [--writes W]
 //!           [--kill NODE] [--seed SEED]
@@ -53,6 +56,17 @@
 //! exposition ([`ClusterRouter::federate`]): every node's registry
 //! relabeled with `node="<id>"` plus the derived `gallery_cluster_*`
 //! gauges (docs/observability.md, "Cluster tracing & federation").
+//!
+//! `explain` plans and runs one store-level query against TABLE (e.g.
+//! `models`, `instances`) and prints the [`Explain`] artifact: chosen
+//! access path, estimated vs. actual rows scanned, deferred-index
+//! tail-merge size, and per-stage timings. `slowlog` prints the store's
+//! bounded slow-query ring (docs/observability.md, "Profiling & query
+//! introspection"); `profile` folds the tracer's finished spans into a
+//! self/total-time profile — `--collapsed` emits collapsed-stack lines
+//! that flamegraph tooling ingests directly. All three read *this
+//! invocation's* process-local state, so `--probe` first drives a model
+//! scan + query (wrapped in spans for `profile`) to produce samples.
 //!
 //! `--retries N` re-attempts an operation up to N times when it fails
 //! with a *transient* storage error (I/O, injected fault); semantic
@@ -667,6 +681,53 @@ fn run() -> Result<(), String> {
             }
             g.dal().refresh_storage_gauges();
             print!("{}", gallery::telemetry::global().registry().render_text());
+        }
+        "explain" => {
+            if args.is_empty() {
+                return Err("usage: explain TABLE [key=value|key<value|key>value]...".into());
+            }
+            let table = args.remove(0);
+            let mut q = Query::all();
+            for s in &args {
+                q = q.and(parse_constraint(s).ok_or_else(|| format!("bad constraint: {s}"))?);
+            }
+            let (rows, explain) = g
+                .dal()
+                .query_explain_full(&table, &q)
+                .map_err(|e| e.to_string())?;
+            println!("{explain}");
+            println!("returned: {} rows", rows.len());
+        }
+        "slowlog" => {
+            // The ring is per-process: only queries this invocation ran
+            // are in it. `--probe` drives a scan + query first so a fresh
+            // store still demonstrates the capture format.
+            if args.iter().any(|a| a == "--probe") {
+                let _ = g.find_models(&Query::all()).map_err(err)?;
+                let _ = g.model_query(&[]).map_err(err)?;
+            }
+            print!("{}", g.dal().metadata().slow_log().render_text());
+        }
+        "profile" => {
+            if args.iter().any(|a| a == "--probe") {
+                let tracer = gallery::telemetry::global().tracer();
+                let root = tracer.start_span("cli");
+                let scan = tracer.start_child("find_models", root.context());
+                let _ = g.find_models(&Query::all()).map_err(err)?;
+                scan.finish();
+                let query = tracer.start_child("model_query", root.context());
+                let _ = g.model_query(&[]).map_err(err)?;
+                query.finish();
+                root.finish();
+            }
+            let profile = gallery::telemetry::global().profile();
+            if args.iter().any(|a| a == "--collapsed") {
+                print!("{}", profile.collapsed());
+            } else if profile.is_empty() {
+                println!("# span profile: no finished spans");
+            } else {
+                print!("{}", profile.render_text());
+            }
         }
         "compact" => {
             let entries = g.dal().metadata().compact().map_err(|e| e.to_string())?;
