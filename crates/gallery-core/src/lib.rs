@@ -47,6 +47,11 @@ pub mod semver;
 pub mod shard;
 pub mod version;
 
+/// Rank-checked synchronization primitives (the lock-rank analyzer).
+/// Lives in its own leaf crate so `gallery-store` can use the wrappers
+/// too; re-exported here as the canonical `gallery_core::sync` path.
+pub use gallery_sync as sync;
+
 pub use clock::{
     Clock, ClockTimeSource, ManualClock, SimulatedSleeper, Sleeper, SystemClock, SystemSleeper,
     TimestampMs,

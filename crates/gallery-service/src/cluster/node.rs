@@ -13,7 +13,8 @@ use crate::server::{GalleryServer, ReplicaRole};
 use crate::transport::{Transport, TransportError, TransportErrorKind};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,7 +27,7 @@ pub type ReplicaFactory = Box<dyn Fn(u32, ReplicaRole) -> Arc<GalleryServer> + S
 /// kill-a-node drills flip.
 pub struct ClusterNode {
     id: usize,
-    replicas: Mutex<HashMap<u32, Arc<GalleryServer>>>,
+    replicas: OrderedMutex<HashMap<u32, Arc<GalleryServer>>>,
     make_replica: ReplicaFactory,
     down: AtomicBool,
     handled: AtomicU64,
@@ -40,7 +41,7 @@ impl ClusterNode {
             .collect();
         ClusterNode {
             id,
-            replicas: Mutex::new(replicas),
+            replicas: OrderedMutex::new(rank::NODE_REPLICAS, replicas),
             make_replica,
             down: AtomicBool::new(false),
             handled: AtomicU64::new(0),
@@ -164,7 +165,7 @@ enum NodeEnvelope {
 pub struct ThreadedNodeTransport {
     node: Arc<ClusterNode>,
     tx: Sender<NodeEnvelope>,
-    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    worker: OrderedMutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl ThreadedNodeTransport {
@@ -187,7 +188,7 @@ impl ThreadedNodeTransport {
         ThreadedNodeTransport {
             node,
             tx,
-            worker: Mutex::new(worker),
+            worker: OrderedMutex::new(rank::WORKER_HANDLE, worker),
         }
     }
 }

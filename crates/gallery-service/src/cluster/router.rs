@@ -25,8 +25,9 @@ use crate::messages::{encode_sharded, ErrorCode, Request, Response};
 use crate::transport::{Transport, TransportError, TransportErrorKind};
 use bytes::Bytes;
 use gallery_core::shard_of;
+use gallery_sync::locks::{OrderedMutex, OrderedRwLock};
+use gallery_sync::rank;
 use gallery_telemetry::{kinds, relabel_exposition, Registry, Span, SpanContext, Telemetry};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,12 +87,12 @@ fn route_of(request: &Request) -> Route {
 /// locks, and `Transport::call` takes `&self`.
 pub struct ClusterRouter {
     transports: Vec<Arc<dyn Transport>>,
-    map: RwLock<ShardMap>,
+    map: OrderedRwLock<ShardMap>,
     node_up: Vec<std::sync::atomic::AtomicBool>,
     /// Last applied sequence we shipped each (shard, node) follower to.
-    progress: Mutex<HashMap<(u32, usize), u64>>,
+    progress: OrderedMutex<HashMap<(u32, usize), u64>>,
     /// Last observed leader sequence per shard (updated by every pump).
-    leader_seq: Mutex<HashMap<u32, u64>>,
+    leader_seq: OrderedMutex<HashMap<u32, u64>>,
     follower_reads: bool,
     staleness_budget_ops: u64,
     reads_rr: AtomicU64,
@@ -113,12 +114,12 @@ impl ClusterRouter {
             .set(nodes as i64);
         ClusterRouter {
             transports,
-            map: RwLock::new(map),
+            map: OrderedRwLock::new(rank::SHARD_MAP, map),
             node_up: (0..nodes)
                 .map(|_| std::sync::atomic::AtomicBool::new(true))
                 .collect(),
-            progress: Mutex::new(HashMap::new()),
-            leader_seq: Mutex::new(HashMap::new()),
+            progress: OrderedMutex::new(rank::PROGRESS, HashMap::new()),
+            leader_seq: OrderedMutex::new(rank::LEADER_SEQ, HashMap::new()),
             follower_reads,
             staleness_budget_ops,
             reads_rr: AtomicU64::new(0),

@@ -23,8 +23,9 @@
 //! backoff sleeps cost zero wall-clock seconds.
 
 use gallery_core::clock::{Clock, Sleeper, TimestampMs};
+use gallery_sync::locks::{OrderedMutex, OrderedMutexGuard};
+use gallery_sync::rank;
 use gallery_telemetry::{kinds, Telemetry};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
@@ -203,7 +204,7 @@ impl EndpointBreaker {
 pub struct CircuitBreaker {
     config: BreakerConfig,
     clock: Arc<dyn Clock>,
-    endpoints: Mutex<HashMap<String, EndpointBreaker>>,
+    endpoints: OrderedMutex<HashMap<String, EndpointBreaker>>,
     telemetry: Arc<Telemetry>,
 }
 
@@ -212,7 +213,7 @@ impl CircuitBreaker {
         CircuitBreaker {
             config,
             clock,
-            endpoints: Mutex::new(HashMap::new()),
+            endpoints: OrderedMutex::new(rank::BREAKER, HashMap::new()),
             telemetry: Arc::clone(gallery_telemetry::global()),
         }
     }
@@ -371,10 +372,10 @@ pub struct Resilience {
     breaker: Option<CircuitBreaker>,
     clock: Arc<dyn Clock>,
     sleeper: Arc<dyn Sleeper>,
-    rng: Mutex<StdRng>,
+    rng: OrderedMutex<StdRng>,
     key_prefix: String,
     key_counter: AtomicU64,
-    stats: Mutex<ResilienceStats>,
+    stats: OrderedMutex<ResilienceStats>,
     telemetry: Arc<Telemetry>,
 }
 
@@ -392,10 +393,10 @@ impl Resilience {
             breaker: None,
             clock,
             sleeper,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: OrderedMutex::new(rank::RETRY_RNG, StdRng::seed_from_u64(seed)),
             key_prefix: format!("c{seed:x}"),
             key_counter: AtomicU64::new(0),
-            stats: Mutex::new(ResilienceStats::default()),
+            stats: OrderedMutex::new(rank::RESILIENCE_STATS, ResilienceStats::default()),
             telemetry: Arc::clone(gallery_telemetry::global()),
         }
     }
@@ -458,7 +459,7 @@ impl Resilience {
         *self.stats.lock()
     }
 
-    pub(crate) fn stats_mut(&self) -> parking_lot::MutexGuard<'_, ResilienceStats> {
+    pub(crate) fn stats_mut(&self) -> OrderedMutexGuard<'_, ResilienceStats> {
         self.stats.lock()
     }
 }

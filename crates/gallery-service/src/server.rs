@@ -16,8 +16,9 @@ use gallery_core::{
 };
 use gallery_rules::RuleEngine;
 use gallery_store::{Constraint, Op, StoreError, Value};
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use gallery_telemetry::{kinds, AlertEngine, Telemetry};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,7 +47,7 @@ use std::time::Instant;
 /// claim an op that the replica's own store never saw.
 #[derive(Clone)]
 pub struct IdempotencyCache {
-    inner: Arc<Mutex<IdempotencyInner>>,
+    inner: Arc<OrderedMutex<IdempotencyInner>>,
 }
 
 struct IdempotencyEntry {
@@ -76,13 +77,17 @@ impl IdempotencyInner {
         self.clock.as_ref().map(|c| c.now_ms()).unwrap_or(0)
     }
 
-    fn evict(&mut self, key: &str) {
+    /// Remove `key` from the cache. Returns whether an entry was
+    /// evicted; the *caller* mirrors evictions into the telemetry counter
+    /// after releasing the cache lock — the counter is shared process
+    /// state and has no business inside this critical section.
+    fn evict(&mut self, key: &str) -> bool {
         if let Some(entry) = self.by_key.remove(key) {
             self.recency.remove(&entry.touch);
             self.evictions += 1;
-            if let Some(metric) = &self.evictions_metric {
-                metric.inc();
-            }
+            true
+        } else {
+            false
         }
     }
 }
@@ -92,16 +97,19 @@ impl IdempotencyCache {
     /// (inserted or replayed) are evicted.
     pub fn with_capacity(capacity: usize) -> Self {
         IdempotencyCache {
-            inner: Arc::new(Mutex::new(IdempotencyInner {
-                by_key: HashMap::new(),
-                recency: BTreeMap::new(),
-                next_touch: 0,
-                capacity: capacity.max(1),
-                ttl_ms: None,
-                clock: None,
-                evictions: 0,
-                evictions_metric: None,
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                rank::IDEMPOTENCY,
+                IdempotencyInner {
+                    by_key: HashMap::new(),
+                    recency: BTreeMap::new(),
+                    next_touch: 0,
+                    capacity: capacity.max(1),
+                    ttl_ms: None,
+                    clock: None,
+                    evictions: 0,
+                    evictions_metric: None,
+                },
+            )),
         }
     }
 
@@ -129,53 +137,79 @@ impl IdempotencyCache {
     }
 
     fn get(&self, key: &str) -> Option<Bytes> {
-        let mut inner = self.inner.lock();
-        let now = inner.now();
-        match inner.by_key.get(key) {
-            None => None,
-            Some(entry) if entry.expires_at.is_some_and(|at| now >= at) => {
-                inner.evict(key);
-                None
-            }
-            Some(entry) => {
-                let response = entry.response.clone();
-                let old_touch = entry.touch;
-                // Replay = use: bump the key to most recently used.
-                let touch = inner.next_touch;
-                inner.next_touch += 1;
-                inner.recency.remove(&old_touch);
-                inner.recency.insert(touch, key.to_owned());
-                if let Some(entry) = inner.by_key.get_mut(key) {
-                    entry.touch = touch;
+        let mut evicted = 0u64;
+        let mut metric = None;
+        let result = {
+            let mut inner = self.inner.lock();
+            let now = inner.now();
+            match inner.by_key.get(key) {
+                None => None,
+                Some(entry) if entry.expires_at.is_some_and(|at| now >= at) => {
+                    if inner.evict(key) {
+                        evicted += 1;
+                        metric = inner.evictions_metric.clone();
+                    }
+                    None
                 }
-                Some(response)
+                Some(entry) => {
+                    let response = entry.response.clone();
+                    let old_touch = entry.touch;
+                    // Replay = use: bump the key to most recently used.
+                    let touch = inner.next_touch;
+                    inner.next_touch += 1;
+                    inner.recency.remove(&old_touch);
+                    inner.recency.insert(touch, key.to_owned());
+                    if let Some(entry) = inner.by_key.get_mut(key) {
+                        entry.touch = touch;
+                    }
+                    Some(response)
+                }
+            }
+        };
+        if evicted > 0 {
+            if let Some(m) = metric {
+                m.add(evicted);
             }
         }
+        result
     }
 
     fn put(&self, key: String, response: Bytes) {
-        let mut inner = self.inner.lock();
-        if inner.by_key.contains_key(&key) {
-            return;
-        }
-        while inner.by_key.len() >= inner.capacity {
-            match inner.recency.values().next().cloned() {
-                Some(lru) => inner.evict(&lru),
-                None => break,
+        let mut evicted = 0u64;
+        let metric = {
+            let mut inner = self.inner.lock();
+            if inner.by_key.contains_key(&key) {
+                return;
+            }
+            while inner.by_key.len() >= inner.capacity {
+                match inner.recency.values().next().cloned() {
+                    Some(lru) => {
+                        if inner.evict(&lru) {
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            let touch = inner.next_touch;
+            inner.next_touch += 1;
+            let expires_at = inner.ttl_ms.map(|ttl| inner.now() + ttl);
+            inner.recency.insert(touch, key.clone());
+            inner.by_key.insert(
+                key,
+                IdempotencyEntry {
+                    response,
+                    touch,
+                    expires_at,
+                },
+            );
+            inner.evictions_metric.clone()
+        };
+        if evicted > 0 {
+            if let Some(m) = metric {
+                m.add(evicted);
             }
         }
-        let touch = inner.next_touch;
-        inner.next_touch += 1;
-        let expires_at = inner.ttl_ms.map(|ttl| inner.now() + ttl);
-        inner.recency.insert(touch, key.clone());
-        inner.by_key.insert(
-            key,
-            IdempotencyEntry {
-                response,
-                touch,
-                expires_at,
-            },
-        );
     }
 
     pub fn len(&self) -> usize {
@@ -314,7 +348,7 @@ pub struct GalleryServer {
     alerts: Option<Arc<AlertEngine>>,
     idempotency: IdempotencyCache,
     telemetry: Arc<Telemetry>,
-    role: Mutex<ReplicaRole>,
+    role: OrderedMutex<ReplicaRole>,
 }
 
 impl GalleryServer {
@@ -325,7 +359,7 @@ impl GalleryServer {
             alerts: None,
             idempotency: IdempotencyCache::default(),
             telemetry: Arc::clone(gallery_telemetry::global()),
-            role: Mutex::new(ReplicaRole::Leader),
+            role: OrderedMutex::new(rank::REPLICA_ROLE, ReplicaRole::Leader),
         }
     }
 
@@ -701,6 +735,7 @@ impl GalleryServer {
                     // Storage gauges are pull-based: refresh at read time
                     // instead of taxing every write.
                     self.gallery.dal().refresh_storage_gauges();
+                    gallery_sync::checker::export_metrics(self.telemetry.registry());
                     out.push_str(&self.telemetry.render_text());
                 }
                 if section == "alerts" || section == "all" {
@@ -728,10 +763,17 @@ impl GalleryServer {
                         out.push_str(&collapsed);
                     }
                 }
+                if section == "lockgraph" || section == "all" {
+                    matched = true;
+                    // Diagnostics and the acquired-before graph accumulated
+                    // since process start (or the last reset). Empty unless
+                    // rank checking is on — debug builds, or GALLERY_LOCKCHECK.
+                    out.push_str(&gallery_sync::report().render_text());
+                }
                 if !matched {
                     return Err(GalleryError::Invalid(format!(
                         "unknown probe section `{section}` (expected metrics, alerts, \
-                         slowlog, profile, or all)"
+                         slowlog, profile, lockgraph, or all)"
                     )));
                 }
                 Response::Text(out)
@@ -981,6 +1023,17 @@ mod tests {
         };
         assert!(text.contains("# slow-query log:"), "{text}");
         assert!(text.contains("request;handler "), "{text}");
+    }
+
+    #[test]
+    fn probe_serves_lockgraph() {
+        let s = server();
+        let Response::Text(text) = s.dispatch(Request::Probe {
+            section: "lockgraph".into(),
+        }) else {
+            panic!("expected Text");
+        };
+        assert!(text.starts_with("# lock graph:"), "{text}");
     }
 
     #[test]

@@ -8,8 +8,9 @@
 use super::{BlobInfo, BlobLocation, ObjectStore};
 use crate::error::Result;
 use bytes::Bytes;
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use gallery_telemetry::{kinds, Counter, Gauge, Telemetry};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -172,7 +173,7 @@ impl CacheMetrics {
 pub struct CachedBlobStore {
     backend: Arc<dyn ObjectStore>,
     capacity_bytes: usize,
-    inner: Mutex<CacheInner>,
+    inner: OrderedMutex<CacheInner>,
     metrics: CacheMetrics,
 }
 
@@ -181,11 +182,14 @@ impl CachedBlobStore {
         CachedBlobStore {
             backend,
             capacity_bytes,
-            inner: Mutex::new(CacheInner {
-                lru: LruList::new(),
-                by_location: HashMap::new(),
-                bytes: 0,
-            }),
+            inner: OrderedMutex::new(
+                rank::BLOB_CACHE,
+                CacheInner {
+                    lru: LruList::new(),
+                    by_location: HashMap::new(),
+                    bytes: 0,
+                },
+            ),
             metrics: CacheMetrics::standalone(),
         }
     }

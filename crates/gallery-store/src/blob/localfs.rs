@@ -14,7 +14,8 @@ use super::{BlobInfo, BlobLocation, ObjectStore};
 use crate::error::{Result, StoreError};
 use crate::simfs::{real_fs, FileSystem};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +28,7 @@ pub struct LocalFsBlobStore {
     fs: Arc<dyn FileSystem>,
     next_id: AtomicU64,
     // serializes directory creation; file writes are already unique-path
-    dir_lock: Mutex<()>,
+    dir_lock: OrderedMutex<()>,
     swept_tmp: u64,
 }
 
@@ -72,7 +73,7 @@ impl LocalFsBlobStore {
             root,
             fs,
             next_id: AtomicU64::new(max_id),
-            dir_lock: Mutex::new(()),
+            dir_lock: OrderedMutex::new(rank::BLOB_STORE, ()),
             swept_tmp,
         })
     }

@@ -6,7 +6,8 @@ use crate::error::{Result, StoreError};
 use crate::fault::{sites, FaultPlan};
 use crate::latency::{LatencyMeter, LatencyModel};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use gallery_sync::locks::OrderedRwLock;
+use gallery_sync::rank;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,12 +16,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// (immutability: re-uploading produces a new version, never a silent
 /// dedup that would alias two instances).
 pub struct MemoryBlobStore {
-    blobs: RwLock<HashMap<BlobLocation, (Bytes, u32)>>,
+    blobs: OrderedRwLock<HashMap<BlobLocation, (Bytes, u32)>>,
     next_id: AtomicU64,
     faults: FaultPlan,
     latency: LatencyModel,
     meter: LatencyMeter,
-    corrupt_next: RwLock<Option<BlobLocation>>,
+    corrupt_next: OrderedRwLock<Option<BlobLocation>>,
 }
 
 impl Default for MemoryBlobStore {
@@ -32,12 +33,12 @@ impl Default for MemoryBlobStore {
 impl MemoryBlobStore {
     pub fn new() -> Self {
         MemoryBlobStore {
-            blobs: RwLock::new(HashMap::new()),
+            blobs: OrderedRwLock::new(rank::BLOB_STORE, HashMap::new()),
             next_id: AtomicU64::new(0),
             faults: FaultPlan::none(),
             latency: LatencyModel::instant(),
             meter: LatencyMeter::new(),
-            corrupt_next: RwLock::new(None),
+            corrupt_next: OrderedRwLock::new(rank::BLOB_STORE, None),
         }
     }
 

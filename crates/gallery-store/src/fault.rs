@@ -5,7 +5,8 @@
 //! then the model instance will not be available in the system". To test
 //! that property we need controllable failures at each write site.
 
-use parking_lot::Mutex;
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -44,9 +45,20 @@ struct SiteState {
 }
 
 /// A shareable fault plan. Cloning shares state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FaultPlan {
-    inner: Arc<Mutex<FaultPlanInner>>,
+    inner: Arc<OrderedMutex<FaultPlanInner>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            inner: Arc::new(OrderedMutex::new(
+                rank::FAULT_PLAN,
+                FaultPlanInner::default(),
+            )),
+        }
+    }
 }
 
 #[derive(Debug)]

@@ -13,8 +13,9 @@
 //! latency distribution shows up in `render_text()` with p50/p95/p99
 //! instead of living in a private tally nobody can export.
 
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use gallery_telemetry::{default_duration_buckets_ms, Histogram};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,7 +69,7 @@ impl Default for LatencyModel {
 /// even though registry histograms are append-only.
 #[derive(Debug, Clone)]
 pub struct LatencyMeter {
-    inner: Arc<Mutex<MeterInner>>,
+    inner: Arc<OrderedMutex<MeterInner>>,
 }
 
 #[derive(Debug)]
@@ -87,11 +88,14 @@ impl Default for LatencyMeter {
 impl LatencyMeter {
     pub fn new() -> Self {
         LatencyMeter {
-            inner: Arc::new(Mutex::new(MeterInner {
-                hist: Histogram::standalone(default_duration_buckets_ms()),
-                base_count: 0,
-                base_sum_ms: 0.0,
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                rank::LATENCY_METER,
+                MeterInner {
+                    hist: Histogram::standalone(default_duration_buckets_ms()),
+                    base_count: 0,
+                    base_sum_ms: 0.0,
+                },
+            )),
         }
     }
 

@@ -26,9 +26,12 @@ use crate::record::Record;
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem};
 use crate::table::{IndexDeltaCounters, StripeLockMetrics, Table, TableStats};
-use crate::wal::{Committer, GroupCommitConfig, Oplog, SyncPolicy, Wal, WalOp};
+use crate::wal::{
+    new_shared_oplog, Committer, GroupCommitConfig, SharedOplog, SyncPolicy, Wal, WalOp,
+};
+use gallery_sync::locks::{OrderedMutex, OrderedRwLock};
+use gallery_sync::rank;
 use gallery_telemetry::{kinds, Counter, Histogram, Telemetry};
-use parking_lot::{Mutex as PlMutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -185,7 +188,7 @@ struct SlowLogInner {
 pub struct SlowQueryLog {
     threshold_ms: u64,
     capacity: usize,
-    inner: PlMutex<SlowLogInner>,
+    inner: OrderedMutex<SlowLogInner>,
 }
 
 impl SlowQueryLog {
@@ -195,11 +198,14 @@ impl SlowQueryLog {
         SlowQueryLog {
             threshold_ms,
             capacity: capacity.max(1),
-            inner: PlMutex::new(SlowLogInner {
-                ring: VecDeque::new(),
-                total: 0,
-                dropped: 0,
-            }),
+            inner: OrderedMutex::new(
+                rank::SLOW_LOG,
+                SlowLogInner {
+                    ring: VecDeque::new(),
+                    total: 0,
+                    dropped: 0,
+                },
+            ),
         }
     }
 
@@ -248,15 +254,25 @@ impl SlowQueryLog {
     /// Human-readable dump, newest first — the payload behind
     /// `Probe{"slowlog"}` and `gallery slowlog`.
     pub fn render_text(&self) -> String {
-        let inner = self.inner.lock();
+        // Snapshot under the lock, format outside it: rendering a full
+        // dump (explain artifacts included) is milliseconds of string
+        // work, and the ring lock sits on the query hot path.
+        let (entries, total, dropped) = {
+            let inner = self.inner.lock();
+            (
+                inner.ring.iter().cloned().collect::<Vec<_>>(),
+                inner.total,
+                inner.dropped,
+            )
+        };
         let mut out = format!(
             "# slow-query log: {} retained, {} captured, {} evicted, threshold {} ms\n",
-            inner.ring.len(),
-            inner.total,
-            inner.dropped,
+            entries.len(),
+            total,
+            dropped,
             self.threshold_ms
         );
-        for (i, e) in inner.ring.iter().rev().enumerate() {
+        for (i, e) in entries.iter().rev().enumerate() {
             let _ = writeln!(
                 out,
                 "[{}] table={} shape={} total_ms={:.3} trace_id={}",
@@ -280,28 +296,28 @@ pub struct MetadataStore {
     /// lock is only held to look up or create tables, never across a
     /// commit (except by `create_table`, which must be atomic with its
     /// duplicate check).
-    catalog: RwLock<HashMap<String, Arc<Table>>>,
+    catalog: OrderedRwLock<HashMap<String, Arc<Table>>>,
     /// The logical operation log, in commit order. Sequence numbers are
     /// 1-based positions into this vector. This is what WAL shipping
     /// replicates: a leader serves `ops_since`, a follower applies through
     /// `apply_shipped`. Recovery seeds it from the physical WAL, so a
     /// restarted follower resumes at exactly the sequence its disk holds.
-    oplog: Arc<PlMutex<Oplog>>,
+    oplog: SharedOplog,
     /// Group-commit front end over the WAL; `None` for in-memory stores
     /// (they push straight to the oplog).
     committer: Option<Committer>,
     /// Commit gate: every mutation holds it in read mode for its full
     /// duration; compaction takes write mode to quiesce the write path.
-    gate: RwLock<()>,
+    gate: OrderedRwLock<()>,
     /// Serializes `apply_shipped` callers so the seq check and commit are
     /// atomic. A store is a shipping leader XOR a follower: local writes
     /// and `apply_shipped` must not interleave (see docs/replication.md).
-    ship_lock: PlMutex<()>,
+    ship_lock: OrderedMutex<()>,
     cfg: StoreConfig,
     faults: FaultPlan,
     telemetry: Arc<Telemetry>,
     fs: Arc<dyn FileSystem>,
-    metrics: RwLock<MetaMetrics>,
+    metrics: OrderedRwLock<MetaMetrics>,
     slow_log: SlowQueryLog,
 }
 
@@ -316,16 +332,16 @@ impl MetadataStore {
         let telemetry = Arc::clone(gallery_telemetry::global());
         let metrics = mint_metrics(&telemetry, &cfg);
         MetadataStore {
-            catalog: RwLock::new(HashMap::new()),
-            oplog: Arc::new(PlMutex::new(Oplog::new())),
+            catalog: OrderedRwLock::new(rank::CATALOG, HashMap::new()),
+            oplog: new_shared_oplog(),
             committer: None,
-            gate: RwLock::new(()),
-            ship_lock: PlMutex::new(()),
+            gate: OrderedRwLock::new(rank::GATE, ()),
+            ship_lock: OrderedMutex::new(rank::SHIP_LOCK, ()),
             cfg,
             faults: FaultPlan::none(),
             telemetry,
             fs: real_fs(),
-            metrics: RwLock::new(metrics),
+            metrics: OrderedRwLock::new(rank::META_METRICS, metrics),
             slow_log: SlowQueryLog::new(cfg.slow_query_ms, cfg.slow_query_capacity),
         }
     }
@@ -378,25 +394,27 @@ impl MetadataStore {
         let ops = Wal::recover(&*fs, path, &telemetry)?;
         let metrics = mint_metrics(&telemetry, &cfg);
         let mut store = MetadataStore {
-            catalog: RwLock::new(HashMap::new()),
-            oplog: Arc::new(PlMutex::new(Oplog::new())),
+            catalog: OrderedRwLock::new(rank::CATALOG, HashMap::new()),
+            oplog: new_shared_oplog(),
             committer: None,
-            gate: RwLock::new(()),
-            ship_lock: PlMutex::new(()),
+            gate: OrderedRwLock::new(rank::GATE, ()),
+            ship_lock: OrderedMutex::new(rank::SHIP_LOCK, ()),
             cfg,
             faults: FaultPlan::none(),
             telemetry,
             fs,
-            metrics: RwLock::new(metrics),
+            metrics: OrderedRwLock::new(rank::META_METRICS, metrics),
             slow_log: SlowQueryLog::new(cfg.slow_query_ms, cfg.slow_query_capacity),
         };
         {
+            // The oplog ranks after the stripes, so it is locked briefly
+            // per op rather than held across `apply_to_tables` (which
+            // takes stripe locks). Recovery is single-threaded; this is
+            // purely lock-order hygiene.
             let mut catalog = store.catalog.write();
-            let mut oplog = store.oplog.lock();
-            for op in ops {
-                let seq = oplog.len() as u64 + 1;
-                store.apply_to_tables(&mut catalog, &op, seq)?;
-                oplog.push(Arc::new(op));
+            for (i, op) in ops.into_iter().enumerate() {
+                store.apply_to_tables(&mut catalog, &op, i as u64 + 1)?;
+                store.oplog.lock().push(Arc::new(op));
             }
         }
         let wal =
@@ -421,10 +439,7 @@ impl MetadataStore {
     /// global (isolated tests, E15 overhead baselines).
     pub fn with_telemetry(self, telemetry: Arc<Telemetry>) -> Self {
         if let Some(c) = &self.committer {
-            c.wal()
-                .lock()
-                .expect("wal poisoned")
-                .set_telemetry(&telemetry);
+            c.wal().lock().set_telemetry(&telemetry);
             c.set_telemetry(&telemetry);
         }
         let metrics = mint_metrics(&telemetry, &self.cfg);
@@ -827,14 +842,14 @@ impl MetadataStore {
     pub fn wal_entries(&self) -> u64 {
         self.committer
             .as_ref()
-            .map(|c| c.wal().lock().expect("wal poisoned").entries_written())
+            .map(|c| c.wal().lock().entries_written())
             .unwrap_or(0)
     }
 
     /// On-disk WAL size in bytes, if durable.
     pub fn wal_size_bytes(&self) -> Option<u64> {
         let c = self.committer.as_ref()?;
-        let path = c.wal().lock().expect("wal poisoned").path().to_path_buf();
+        let path = c.wal().lock().path().to_path_buf();
         self.fs.len(&path).ok()
     }
 
@@ -859,12 +874,15 @@ impl MetadataStore {
             return Ok(0);
         };
         let _quiesce = self.gate.write();
-        let mut wal = committer.wal().lock().expect("wal poisoned");
+        // Catalog before WAL, per the declared rank order: create_table
+        // holds the catalog across its commit (catalog → wal), so taking
+        // the WAL lock first here would close an acquired-before cycle.
+        let catalog = self.catalog.read();
+        let mut wal = committer.wal().lock();
         let path = wal.path().to_path_buf();
         let sync = wal.sync_policy();
         let tmp = path.with_extension("compacting");
         let mut compacted = Wal::create_with_fs(Arc::clone(&self.fs), &tmp, SyncPolicy::Never)?;
-        let catalog = self.catalog.read();
         let mut table_names: Vec<&String> = catalog.keys().collect();
         table_names.sort();
         let mut entries = 0u64;

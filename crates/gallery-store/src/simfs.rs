@@ -23,7 +23,8 @@
 //! After a simulated crash, [`SimFs::recover`] produces the disk as a
 //! rebooted machine would see it: durable bytes only, volatile state gone.
 
-use parking_lot::Mutex;
+use gallery_sync::locks::OrderedMutex;
+use gallery_sync::rank;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -244,9 +245,17 @@ struct SimState {
 
 /// Deterministic in-memory file system. Cloning shares state (it is the
 /// same disk).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SimFs {
-    state: Arc<Mutex<SimState>>,
+    state: Arc<OrderedMutex<SimState>>,
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        SimFs {
+            state: Arc::new(OrderedMutex::new(rank::SIM_FS, SimState::default())),
+        }
+    }
 }
 
 impl std::fmt::Debug for SimFs {

@@ -29,8 +29,12 @@ use crate::query::{AccessPath, Explain, Op, Query};
 use crate::record::Record;
 use crate::schema::{IndexKind, TableSchema};
 use crate::value::Value;
+use gallery_sync::locks::{
+    OrderedRwLock, OrderedRwLockReadGuard as RwLockReadGuard,
+    OrderedRwLockWriteGuard as RwLockWriteGuard,
+};
+use gallery_sync::rank;
 use gallery_telemetry::{Counter, Histogram};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -181,15 +185,15 @@ pub struct Table {
     schema: TableSchema,
     /// Pending-delta threshold that triggers an index flush.
     index_batch: usize,
-    stripes: Vec<RwLock<Stripe>>,
+    stripes: Vec<OrderedRwLock<Stripe>>,
     stats: AtomicStats,
     row_count: AtomicUsize,
     /// Sequence source for standalone (non-store) tables only; tables
     /// mounted in a [`crate::meta::MetadataStore`] get their sequence from
     /// the store's commit log.
     next_seq: AtomicU64,
-    delta_counters: RwLock<Option<IndexDeltaCounters>>,
-    lock_metrics: RwLock<Option<StripeLockMetrics>>,
+    delta_counters: OrderedRwLock<Option<IndexDeltaCounters>>,
+    lock_metrics: OrderedRwLock<Option<StripeLockMetrics>>,
 }
 
 impl Table {
@@ -202,7 +206,7 @@ impl Table {
     pub fn with_config(schema: TableSchema, lock_stripes: usize, index_batch: usize) -> Self {
         let n = lock_stripes.clamp(1, MAX_LOCK_STRIPES);
         let stripes = (0..n)
-            .map(|_| {
+            .map(|i| {
                 let mut indexes = HashMap::new();
                 for col in &schema.columns {
                     match col.index {
@@ -215,12 +219,15 @@ impl Table {
                         None => {}
                     }
                 }
-                RwLock::new(Stripe {
-                    rows: Vec::new(),
-                    pk_map: HashMap::new(),
-                    indexes,
-                    indexed_upto: 0,
-                })
+                OrderedRwLock::new(
+                    rank::stripe(i),
+                    Stripe {
+                        rows: Vec::new(),
+                        pk_map: HashMap::new(),
+                        indexes,
+                        indexed_upto: 0,
+                    },
+                )
             })
             .collect();
         Table {
@@ -230,8 +237,8 @@ impl Table {
             stats: AtomicStats::default(),
             row_count: AtomicUsize::new(0),
             next_seq: AtomicU64::new(0),
-            delta_counters: RwLock::new(None),
-            lock_metrics: RwLock::new(None),
+            delta_counters: OrderedRwLock::new(rank::INDEX_DELTAS, None),
+            lock_metrics: OrderedRwLock::new(rank::STRIPE_METRICS, None),
         }
     }
 

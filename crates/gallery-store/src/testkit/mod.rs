@@ -16,7 +16,11 @@
 //!   simulated disk ([`crate::simfs::SimFs`]), then replay it crashing at
 //!   *every* recorded IO operation (optionally with torn final writes,
 //!   lying fsyncs, and bit flips), recover, and assert the paper's
-//!   invariants on the survivor.
+//!   invariants on the survivor;
+//! - [`schedule`] — seeded schedule perturbation: a hook at every ordered
+//!   lock acquisition that yields or sleeps per a deterministic stream,
+//!   widening race windows so concurrency tests explore more
+//!   interleavings (drives the E22 lock-lint experiment).
 //!
 //! Everything is seeded: a failing scenario prints its seed, and re-running
 //! with that seed reproduces the exact workload, IO trace, and crash point.
@@ -26,10 +30,12 @@
 
 pub mod crashmatrix;
 pub mod model;
+pub mod schedule;
 pub mod workload;
 
 pub use crashmatrix::{
     run_crash_matrix, CrashMatrixConfig, CrashMatrixReport, Violation, BLOB_ROOT, WAL_PATH,
 };
 pub use model::{run_differential, DiffReport, RefModel, RefRow};
+pub use schedule::ScheduleShaker;
 pub use workload::{instance_schema, payload_for, Workload, WorkloadOp, TABLE};

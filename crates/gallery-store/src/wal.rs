@@ -16,14 +16,15 @@ use crate::error::{Result, StoreError};
 use crate::record::{EncodeBuf, Record};
 use crate::schema::TableSchema;
 use crate::simfs::{real_fs, FileSystem, FsFile};
+use gallery_sync::locks::{OrderedCondvar, OrderedMutex, OrderedMutexGuard};
+use gallery_sync::{io_section, rank};
 use gallery_telemetry::{kinds, Counter, EventSink, Gauge, Histogram, Telemetry, TimeSource};
-use parking_lot::Mutex as PlMutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One logical operation recorded in the WAL.
@@ -196,7 +197,7 @@ impl Wal {
     /// Flush and fsync everything written so far.
     pub fn sync_all(&mut self) -> Result<()> {
         self.writer.flush()?;
-        self.writer.sync_data()?;
+        io_section("wal.sync_all", || self.writer.sync_data())?;
         if let Some(t) = &self.telemetry {
             t.flushes.inc();
             t.events.emit(
@@ -247,7 +248,7 @@ impl Wal {
         self.writer.write_all(self.encode_buf.as_bytes())?;
         self.writer.flush()?;
         if self.sync == SyncPolicy::Always {
-            self.writer.sync_data()?;
+            io_section("wal.append_batch", || self.writer.sync_data())?;
         }
         self.entries_written += ops.len() as u64;
         if let Some(t) = &self.telemetry {
@@ -372,6 +373,15 @@ impl Wal {
     }
 }
 
+/// The oplog's shared handle: every holder locks it at [`rank::OPLOG`],
+/// the innermost rank of the write path.
+pub type SharedOplog = Arc<OrderedMutex<Oplog>>;
+
+/// Fresh, empty, correctly ranked oplog handle.
+pub fn new_shared_oplog() -> SharedOplog {
+    Arc::new(OrderedMutex::new(rank::OPLOG, Oplog::new()))
+}
+
 /// In-memory operation log shared between the committer (producer) and the
 /// store/shipping layers (readers). Position `i` holds the op with sequence
 /// number `i + 1`; sequence order always equals WAL order.
@@ -424,13 +434,13 @@ struct CommitQueue {
 /// (the WAL file position is undefined after a mid-batch IO error, exactly
 /// like a failed single append before group commit existed).
 pub(crate) struct Committer {
-    wal: Mutex<Wal>,
-    queue: Mutex<CommitQueue>,
-    cv: Condvar,
+    wal: OrderedMutex<Wal>,
+    queue: OrderedMutex<CommitQueue>,
+    cv: OrderedCondvar,
     cfg: GroupCommitConfig,
     time: Arc<dyn TimeSource>,
-    oplog: Arc<PlMutex<Oplog>>,
-    telemetry: PlMutex<Option<CommitterTelemetry>>,
+    oplog: SharedOplog,
+    telemetry: OrderedMutex<Option<CommitterTelemetry>>,
 }
 
 /// Telemetry handles for the group-commit queue itself (absent until
@@ -456,24 +466,27 @@ impl Committer {
         wal: Wal,
         cfg: GroupCommitConfig,
         time: Arc<dyn TimeSource>,
-        oplog: Arc<PlMutex<Oplog>>,
+        oplog: SharedOplog,
     ) -> Self {
         Committer {
-            wal: Mutex::new(wal),
-            queue: Mutex::new(CommitQueue {
-                pending: Vec::new(),
-                results: HashMap::new(),
-                next_ticket: 0,
-                flushing: false,
-            }),
-            cv: Condvar::new(),
+            wal: OrderedMutex::new(rank::WAL, wal),
+            queue: OrderedMutex::new(
+                rank::COMMIT_QUEUE,
+                CommitQueue {
+                    pending: Vec::new(),
+                    results: HashMap::new(),
+                    next_ticket: 0,
+                    flushing: false,
+                },
+            ),
+            cv: OrderedCondvar::new(),
             cfg: GroupCommitConfig {
                 max_batch: cfg.max_batch.max(1),
                 ..cfg
             },
             time,
             oplog,
-            telemetry: PlMutex::new(None),
+            telemetry: OrderedMutex::new(rank::COMMITTER_STATS, None),
         }
     }
 
@@ -498,7 +511,7 @@ impl Committer {
     /// The WAL behind this committer. Callers locking it must not hold the
     /// commit queue lock (compaction quiesces commits via the store gate
     /// instead).
-    pub(crate) fn wal(&self) -> &Mutex<Wal> {
+    pub(crate) fn wal(&self) -> &OrderedMutex<Wal> {
         &self.wal
     }
 
@@ -516,7 +529,7 @@ impl Committer {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
-        let mut q = self.queue.lock().expect("commit queue poisoned");
+        let mut q = self.queue.lock();
         let tickets: Vec<u64> = ops
             .into_iter()
             .map(|op| {
@@ -567,7 +580,7 @@ impl Committer {
                     t.followers.inc();
                 }
             }
-            q = self.cv.wait(q).expect("commit queue poisoned");
+            q = self.cv.wait(q);
         }
     }
 
@@ -577,8 +590,8 @@ impl Committer {
     /// cleared and the queue re-locked.
     fn lead_flush<'a>(
         &'a self,
-        mut q: std::sync::MutexGuard<'a, CommitQueue>,
-    ) -> std::sync::MutexGuard<'a, CommitQueue> {
+        mut q: OrderedMutexGuard<'a, CommitQueue>,
+    ) -> OrderedMutexGuard<'a, CommitQueue> {
         if self.cfg.max_wait_ms > 0 {
             let clock_deadline = self.time.now_ms() + self.cfg.max_wait_ms as i64;
             let real_deadline = Instant::now() + Duration::from_millis(self.cfg.max_wait_ms);
@@ -589,8 +602,7 @@ impl Committer {
                 let budget = real_deadline.saturating_duration_since(Instant::now());
                 let (guard, _) = self
                     .cv
-                    .wait_timeout(q, budget.max(Duration::from_millis(1)))
-                    .expect("commit queue poisoned");
+                    .wait_timeout(q, budget.max(Duration::from_millis(1)));
                 q = guard;
             }
         }
@@ -609,7 +621,7 @@ impl Committer {
             t.fsync_ms.observe_since(flush_started);
         }
 
-        let mut q = self.queue.lock().expect("commit queue poisoned");
+        let mut q = self.queue.lock();
         match flush_res {
             Ok(first_seq) => {
                 for (i, (t, _)) in batch.iter().enumerate() {
@@ -630,7 +642,7 @@ impl Committer {
     /// oplog in batch order. Returns the sequence number of the first op.
     fn flush_batch(&self, batch: &[(u64, Arc<WalOp>)]) -> std::result::Result<u64, String> {
         {
-            let mut wal = self.wal.lock().expect("wal poisoned");
+            let mut wal = self.wal.lock();
             let refs: Vec<&WalOp> = batch.iter().map(|(_, op)| op.as_ref()).collect();
             wal.append_batch(&refs).map_err(|e| e.to_string())?;
         }
@@ -838,7 +850,7 @@ mod tests {
         let wal = Wal::open(dir.join("wal.log"), SyncPolicy::Always)
             .unwrap()
             .with_telemetry(&telemetry);
-        let oplog = Arc::new(PlMutex::new(Oplog::new()));
+        let oplog = new_shared_oplog();
         (
             Committer::new(wal, cfg, Arc::new(gallery_telemetry::WallClock), oplog),
             telemetry,

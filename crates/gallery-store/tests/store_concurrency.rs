@@ -236,6 +236,26 @@ fn soak_smoke_durable_group_commit() {
     soak_durable(8, 60, 0xD0C5);
 }
 
+/// Clean-tree gate: the full soak under rank checking *and* seeded
+/// schedule perturbation must produce zero `GL` diagnostics. The shaker
+/// widens race windows at every lock boundary, so an ordering bug that
+/// only bites in rare interleavings still has to survive this to land.
+#[test]
+fn soak_rank_checked_is_diagnostic_free() {
+    use gallery_store::testkit::schedule::ScheduleShaker;
+    let shaker = ScheduleShaker::install(0x10C4);
+    soak_in_memory(4, 80, 0x50AC, StoreConfig::default());
+    soak_durable(4, 40, 0xD0C5);
+    let report = gallery_sync::checker::report();
+    assert!(
+        report.is_clean(),
+        "lock-order diagnostics on the clean tree: {:?}",
+        report.diagnostics
+    );
+    assert!(report.acquisitions > 0, "checker was not actually on");
+    assert!(shaker.injections() > 0, "shaker never perturbed a schedule");
+}
+
 #[test]
 #[ignore = "long soak; run with --ignored"]
 fn soak_full() {

@@ -1,0 +1,190 @@
+//! Typed diagnostics for the lock-rank analyzer.
+//!
+//! Mirrors the rule language's `RLnnnn` layer (`gallery-rules::diag`):
+//! every finding carries a stable machine-readable `GLnnnn` code
+//! (catalogued in [`codes`] and documented in `docs/concurrency.md` — a
+//! CI test keeps the two in sync), a severity, the lock labels involved,
+//! a human message, and an optional help note. [`Diagnostic::render`]
+//! produces a rustc-style annotated snippet whose "source line" is the
+//! declared acquisition order.
+
+use crate::rank;
+use std::fmt;
+
+/// Stable diagnostic codes.
+///
+/// Numbering groups: `GL01xx` acquisition-time rank violations, `GL02xx`
+/// whole-graph analysis, `GL03xx` lock-vs-IO and condvar hygiene.
+pub mod codes {
+    /// A lock was acquired while a lock of equal or later rank was held —
+    /// the acquisition order inverted the declared table.
+    pub const INVERSION: &str = "GL0101";
+    /// A lock was acquired whose rank is not in the declared rank table.
+    pub const UNDECLARED: &str = "GL0102";
+    /// The process-wide acquired-before graph contains a cycle: two code
+    /// paths acquire the same ranks in opposite orders, so a schedule
+    /// exists that deadlocks them against each other.
+    pub const CYCLE: &str = "GL0201";
+    /// A lock outside the declared write path was held across a WAL
+    /// fsync.
+    pub const HELD_ACROSS_FSYNC: &str = "GL0301";
+    /// A condvar wait parked the thread while it held a lock ranked at or
+    /// after the condvar's own mutex — a lock the waker side may need.
+    pub const WAIT_HOLDING_FOREIGN: &str = "GL0302";
+
+    /// Every code, for the docs/fixture sync test.
+    pub const ALL: &[&str] = &[
+        INVERSION,
+        UNDECLARED,
+        CYCLE,
+        HELD_ACROSS_FSYNC,
+        WAIT_HOLDING_FOREIGN,
+    ];
+}
+
+/// Diagnostic severity. Every current `GL` code is an error: each one
+/// describes a schedule that can hang the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Lock labels involved, acquisition order first (e.g. the held lock,
+    /// then the lock whose acquisition tripped the check).
+    pub locks: Vec<String>,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, locks: Vec<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            locks,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Stable identity for dedup: one report per (code, lock set).
+    pub fn dedup_key(&self) -> (&'static str, String) {
+        (self.code, self.locks.join("→"))
+    }
+
+    /// Render rustc-style against the declared order line:
+    ///
+    /// ```text
+    /// error[GL0101]: rank inversion: acquired `Catalog` while holding `Stripe[3]`
+    ///   --> thread 'writer-2'
+    ///    |
+    ///    | ... < Catalog < Stripe(i) < CommitQueue < ...
+    ///    |       ^^^^^^^ acquired here while a later rank was held
+    ///    = help: acquire Catalog before any stripe lock (docs/concurrency.md)
+    /// ```
+    pub fn render(&self, origin: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        out.push_str(&format!("  --> {origin}\n"));
+        let line = rank::order_line();
+        out.push_str("   |\n");
+        out.push_str(&format!("   | {line}\n"));
+        // Underline the family name of the last lock involved (the one
+        // whose acquisition tripped the check), when it appears in the
+        // order line.
+        if let Some(last) = self.locks.last() {
+            let family = last.split('[').next().unwrap_or(last);
+            if let Some(col) = line.find(family) {
+                out.push_str(&format!(
+                    "   | {}{} violation involves this rank\n",
+                    " ".repeat(col),
+                    "^".repeat(family.len())
+                ));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("   = help: {help}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.locks.is_empty() {
+            write!(f, " ({})", self.locks.join(" → "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in codes::ALL {
+            assert!(code.starts_with("GL"), "{code}");
+            assert_eq!(code.len(), 6, "{code}");
+            assert!(code[2..].chars().all(|c| c.is_ascii_digit()), "{code}");
+            assert!(seen.insert(*code), "duplicate code {code}");
+        }
+    }
+
+    #[test]
+    fn render_underlines_the_offending_rank() {
+        let d = Diagnostic::error(
+            codes::INVERSION,
+            vec!["Stripe[3]".into(), "Catalog".into()],
+            "rank inversion: acquired `Catalog` while holding `Stripe[3]`",
+        )
+        .with_help("acquire Catalog before any stripe lock");
+        let rendered = d.render("thread 'writer-2'");
+        assert!(rendered.contains("error[GL0101]"));
+        assert!(rendered.contains("--> thread 'writer-2'"));
+        assert!(rendered.contains("^^^^^^^ violation involves this rank"));
+        assert!(rendered.contains("= help: acquire Catalog"));
+    }
+
+    #[test]
+    fn display_lists_the_lock_chain() {
+        let d = Diagnostic::error(
+            codes::CYCLE,
+            vec!["Stripe[1]".into(), "Stripe[2]".into(), "Stripe[1]".into()],
+            "cycle",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[GL0201]: cycle (Stripe[1] → Stripe[2] → Stripe[1])"
+        );
+    }
+
+    #[test]
+    fn dedup_key_distinguishes_lock_sets() {
+        let a = Diagnostic::error(codes::INVERSION, vec!["A".into(), "B".into()], "x");
+        let b = Diagnostic::error(codes::INVERSION, vec!["A".into(), "C".into()], "x");
+        assert_ne!(a.dedup_key(), b.dedup_key());
+    }
+}

@@ -1,0 +1,419 @@
+//! Rank-checked lock wrappers.
+//!
+//! Drop-in replacements for `std::sync::{Mutex, RwLock, Condvar}` (with
+//! the vendored `parking_lot` facade's poison-recovery behavior: a
+//! poisoned lock yields its data rather than an error). Each wrapper
+//! carries a [`Rank`]; when checking is on ([`crate::checker::enabled`])
+//! every acquisition is validated against the thread's held-rank stack
+//! and folded into the process-wide acquired-before graph. When checking
+//! is off the wrappers cost one relaxed atomic load over the raw lock.
+//!
+//! All checker bookkeeping runs *outside* the raw lock's critical
+//! section: the held-stack push happens before the raw acquire (the
+//! stack is thread-local, so nobody can observe the early entry while
+//! the thread blocks) and the pop happens after the raw guard is
+//! dropped. Checking therefore never lengthens a lock hold, so it never
+//! amplifies contention — its cost is pure per-thread straight-line work.
+
+use crate::checker;
+use crate::rank::Rank;
+use std::sync;
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// OrderedMutex
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct OrderedMutex<T: ?Sized> {
+    rank: Rank,
+    /// [`checker::mixed_key`]\(rank\), precomputed once at construction.
+    mixed: u64,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    pub const fn new(rank: Rank, value: T) -> Self {
+        OrderedMutex {
+            rank,
+            mixed: checker::mixed_key(&rank),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        // Try-first so the uncontended path pays no clock reads; only a
+        // genuinely blocking acquire is timed into the lock-wait total.
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                if checking {
+                    let started = Instant::now();
+                    let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    checker::note_wait(started.elapsed());
+                    g
+                } else {
+                    self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+                }
+            }
+        };
+        OrderedMutexGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        }
+    }
+
+    /// Non-blocking acquire. A successful `try_lock` still goes through
+    /// the full rank check: opportunistic acquisition out of order is
+    /// still an ordering bug waiting for contention to expose it.
+    pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        Some(OrderedMutexGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    lock: &'a OrderedMutex<T>,
+    tracked: bool,
+    /// `None` only transiently inside [`OrderedCondvar::wait`], which
+    /// hands the raw guard to the condvar and defuses this one.
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.guard {
+            Some(g) => g,
+            None => unreachable!("ordered mutex guard used after condvar handoff"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.guard {
+            Some(g) => g,
+            None => unreachable!("ordered mutex guard used after condvar handoff"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the raw lock first, then pop the held stack: waiters
+        // wake without paying for the checker's bookkeeping.
+        self.guard = None;
+        if self.tracked {
+            checker::on_release(&self.lock.rank, self.lock.mixed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OrderedCondvar
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub struct OrderedCondvar {
+    inner: sync::Condvar,
+}
+
+pub use std::sync::WaitTimeoutResult;
+
+impl OrderedCondvar {
+    pub const fn new() -> Self {
+        OrderedCondvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically release the guard's mutex and park. Checks condvar
+    /// hygiene (GL0302: no rank *after* the paired mutex may be held
+    /// while waiting), pops the mutex rank for the duration of the wait,
+    /// and re-runs the full acquisition protocol on wakeup.
+    pub fn wait<'a, T>(&self, guard: OrderedMutexGuard<'a, T>) -> OrderedMutexGuard<'a, T> {
+        let (lock, raw) = Self::detach(guard);
+        let raw = self.inner.wait(raw).unwrap_or_else(PoisonError::into_inner);
+        Self::reattach(lock, raw)
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: OrderedMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (OrderedMutexGuard<'a, T>, WaitTimeoutResult) {
+        let (lock, raw) = Self::detach(guard);
+        let (raw, timed_out) = self
+            .inner
+            .wait_timeout(raw, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        (Self::reattach(lock, raw), timed_out)
+    }
+
+    fn detach<'a, T>(
+        mut guard: OrderedMutexGuard<'a, T>,
+    ) -> (&'a OrderedMutex<T>, sync::MutexGuard<'a, T>) {
+        let lock = guard.lock;
+        if guard.tracked {
+            checker::on_condvar_wait(&lock.rank);
+            checker::on_release(&lock.rank, lock.mixed);
+            guard.tracked = false;
+        }
+        let raw = match guard.guard.take() {
+            Some(g) => g,
+            None => unreachable!("ordered mutex guard already detached"),
+        };
+        (lock, raw)
+    }
+
+    fn reattach<'a, T>(
+        lock: &'a OrderedMutex<T>,
+        raw: sync::MutexGuard<'a, T>,
+    ) -> OrderedMutexGuard<'a, T> {
+        // Wakeup re-acquires the mutex; restore the held stack without
+        // re-running the full check (redundant after the wait-time
+        // hygiene check, and this runs inside the re-acquired critical
+        // section). Wait time while parked is deliberately not credited
+        // to lock contention.
+        let checking = checker::enabled();
+        if checking {
+            checker::reattach_after_wait(&lock.rank, lock.mixed);
+        }
+        OrderedMutexGuard {
+            lock,
+            tracked: checking,
+            guard: Some(raw),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OrderedRwLock
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct OrderedRwLock<T: ?Sized> {
+    rank: Rank,
+    /// [`checker::mixed_key`]\(rank\), precomputed once at construction.
+    mixed: u64,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    pub const fn new(rank: Rank, value: T) -> Self {
+        OrderedRwLock {
+            rank,
+            mixed: checker::mixed_key(&rank),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        let guard = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                if checking {
+                    let started = Instant::now();
+                    let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                    checker::note_wait(started.elapsed());
+                    g
+                } else {
+                    self.inner.read().unwrap_or_else(PoisonError::into_inner)
+                }
+            }
+        };
+        OrderedRwLockReadGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        }
+    }
+
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        let guard = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                if checking {
+                    let started = Instant::now();
+                    let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                    checker::note_wait(started.elapsed());
+                    g
+                } else {
+                    self.inner.write().unwrap_or_else(PoisonError::into_inner)
+                }
+            }
+        };
+        OrderedRwLockWriteGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        }
+    }
+
+    pub fn try_read(&self) -> Option<OrderedRwLockReadGuard<'_, T>> {
+        let guard = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        Some(OrderedRwLockReadGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        })
+    }
+
+    pub fn try_write(&self) -> Option<OrderedRwLockWriteGuard<'_, T>> {
+        let guard = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let checking = checker::enabled();
+        if checking {
+            checker::before_acquire(&self.rank, self.mixed);
+        }
+        Some(OrderedRwLockWriteGuard {
+            lock: self,
+            tracked: checking,
+            guard: Some(guard),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a OrderedRwLock<T>,
+    tracked: bool,
+    /// `Some` for the guard's whole life; taken in `Drop` so the raw
+    /// read lock releases before the held-stack pop.
+    guard: Option<sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.guard {
+            Some(g) => g,
+            None => unreachable!("ordered rwlock read guard already released"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        if self.tracked {
+            checker::on_release(&self.lock.rank, self.lock.mixed);
+        }
+    }
+}
+
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a OrderedRwLock<T>,
+    tracked: bool,
+    /// `Some` for the guard's whole life; taken in `Drop` so the raw
+    /// write lock releases before the held-stack pop.
+    guard: Option<sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.guard {
+            Some(g) => g,
+            None => unreachable!("ordered rwlock write guard already released"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.guard {
+            Some(g) => g,
+            None => unreachable!("ordered rwlock write guard already released"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        if self.tracked {
+            checker::on_release(&self.lock.rank, self.lock.mixed);
+        }
+    }
+}

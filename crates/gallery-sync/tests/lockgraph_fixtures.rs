@@ -1,0 +1,172 @@
+//! Deterministic repros for every `GLnnnn` diagnostic the lock-rank
+//! analyzer can emit — the concurrency twin of
+//! `gallery-rules/tests/lint_fixtures.rs`. Each fixture drives the real
+//! wrappers through the smallest acquisition sequence that trips one
+//! code and asserts the exact code *and* the exact lock labels, so a
+//! renamed rank or re-numbered diagnostic fails loudly here before it
+//! confuses a user. `tests/lockgraph_catalog.rs` (workspace root)
+//! cross-checks that every code in `codes::ALL` has a fixture in this
+//! file and a row in docs/concurrency.md.
+
+use gallery_sync::checker;
+use gallery_sync::rank;
+use gallery_sync::{codes, io_section, OrderedCondvar, OrderedMutex, Rank};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// The checker's graph and violation log are process-global; fixtures
+/// must not interleave.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Run `fixture` on a clean checker and return the diagnostics it left.
+fn diagnostics_of(fixture: impl FnOnce()) -> Vec<gallery_sync::Diagnostic> {
+    checker::enable();
+    checker::reset();
+    fixture();
+    let report = checker::report();
+    checker::reset();
+    checker::reset_mode();
+    report.diagnostics
+}
+
+#[test]
+fn gl0101_inversion_stripe_under_commit_queue() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let queue = OrderedMutex::new(rank::COMMIT_QUEUE, ());
+        let stripe = OrderedMutex::new(rank::stripe(0), ());
+        let _gq = queue.lock();
+        let _gs = stripe.lock(); // GL0101: stripe ranks before the queue
+    });
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, codes::INVERSION);
+    assert_eq!(
+        diags[0].locks,
+        vec!["CommitQueue".to_string(), "Stripe[0]".to_string()]
+    );
+}
+
+#[test]
+fn gl0101_inversion_reacquired_same_rank() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let a = OrderedMutex::new(rank::CATALOG, ());
+        let b = OrderedMutex::new(rank::CATALOG, ());
+        let _ga = a.lock();
+        let _gb = b.lock(); // GL0101: the ordered locks are not reentrant
+    });
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, codes::INVERSION);
+    assert_eq!(
+        diags[0].locks,
+        vec!["Catalog".to_string(), "Catalog".to_string()]
+    );
+    assert!(diags[0].message.contains("re-acquired"));
+}
+
+#[test]
+fn gl0102_undeclared_rank() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let rogue = OrderedMutex::new(Rank::new(123, "Sidecar"), ());
+        drop(rogue.lock()); // GL0102: 123 is not in the declared table
+    });
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, codes::UNDECLARED);
+    assert_eq!(diags[0].locks, vec!["Sidecar".to_string()]);
+}
+
+#[test]
+fn gl0201_opposite_orders_form_a_cycle() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let wal = OrderedMutex::new(rank::WAL, ());
+        let oplog = OrderedMutex::new(rank::OPLOG, ());
+        {
+            let _a = wal.lock();
+            let _b = oplog.lock(); // declared order
+        }
+        {
+            let _b = oplog.lock();
+            let _a = wal.lock(); // opposite order — closes the cycle
+        }
+    });
+    let cycle = diags
+        .iter()
+        .find(|d| d.code == codes::CYCLE)
+        .expect("GL0201 cycle diagnostic");
+    assert!(cycle.locks.contains(&"Wal".to_string()));
+    assert!(cycle.locks.contains(&"Oplog".to_string()));
+    // The acquisition that closed the cycle is also an inversion.
+    assert!(diags.iter().any(|d| d.code == codes::INVERSION));
+}
+
+#[test]
+fn gl0301_foreign_lock_held_across_wal_fsync() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let cache = OrderedMutex::new(rank::IDEMPOTENCY, ());
+        let _g = cache.lock();
+        io_section("wal.fsync", || {}); // GL0301: Idempotency may not span fsync
+    });
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, codes::HELD_ACROSS_FSYNC);
+    assert_eq!(
+        diags[0].locks,
+        vec!["Idempotency".to_string(), "wal.fsync".to_string()]
+    );
+}
+
+#[test]
+fn gl0302_condvar_wait_holding_foreign_rank() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let queue = OrderedMutex::new(rank::COMMIT_QUEUE, ());
+        let oplog = OrderedMutex::new(rank::OPLOG, ());
+        let cv = OrderedCondvar::new();
+        let gq = queue.lock();
+        let _go = oplog.lock();
+        // GL0302: parking on the queue's condvar while holding the oplog,
+        // a rank the waking (flush) side needs to make progress.
+        let (gq, _timed_out) = cv.wait_timeout(gq, Duration::from_millis(1));
+        drop(gq);
+    });
+    let wait = diags
+        .iter()
+        .find(|d| d.code == codes::WAIT_HOLDING_FOREIGN)
+        .expect("GL0302 diagnostic");
+    assert_eq!(
+        wait.locks,
+        vec!["Oplog".to_string(), "CommitQueue".to_string()]
+    );
+}
+
+#[test]
+fn clean_write_path_order_produces_no_diagnostics() {
+    let _g = serial();
+    let diags = diagnostics_of(|| {
+        let gate = OrderedMutex::new(rank::GATE, ());
+        let catalog = OrderedMutex::new(rank::CATALOG, ());
+        let s0 = OrderedMutex::new(rank::stripe(0), ());
+        let s1 = OrderedMutex::new(rank::stripe(1), ());
+        let queue = OrderedMutex::new(rank::COMMIT_QUEUE, ());
+        let wal = OrderedMutex::new(rank::WAL, ());
+        let oplog = OrderedMutex::new(rank::OPLOG, ());
+        let _a = gate.lock();
+        let _b = catalog.lock();
+        let _c = s0.lock();
+        let _d = s1.lock();
+        // The leader enqueues under the commit queue but releases it
+        // before the durability point — the queue may not span the fsync.
+        drop(queue.lock());
+        let _f = wal.lock();
+        io_section("wal.fsync", || {});
+        let _h = oplog.lock();
+    });
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -89,16 +89,24 @@ impl FlightRecorder {
     /// Record one capture. Normally the tracer calls this; tests may call
     /// it directly.
     pub fn record(&self, capture: SlowCapture) {
-        let mut inner = self.inner.lock();
-        inner.total += 1;
-        if inner.ring.len() == self.capacity {
-            inner.ring.pop_front();
-            inner.dropped += 1;
+        let evicted = {
+            let mut inner = self.inner.lock();
+            inner.total += 1;
+            let evicted = inner.ring.len() == self.capacity;
+            if evicted {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(capture);
+            evicted
+        };
+        // The counter touches a foreign lock-free-but-shared structure;
+        // keep the ring's critical section to pure ring bookkeeping.
+        if evicted {
             if let Some(counter) = &self.dropped_counter {
                 counter.inc();
             }
         }
-        inner.ring.push_back(capture);
     }
 
     /// Retained captures, oldest first.

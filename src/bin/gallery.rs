@@ -35,6 +35,7 @@
 //!   slowlog [--probe]
 //!   profile [--collapsed] [--probe]
 //!   lint RULES_FILE | lint --expr EXPR
+//!   lockgraph [--dot]
 //!   cluster [--nodes N] [--shards S] [--replication R] [--writes W]
 //!           [--kill NODE] [--seed SEED]
 //! ```
@@ -67,6 +68,13 @@
 //! that flamegraph tooling ingests directly. All three read *this
 //! invocation's* process-local state, so `--probe` first drives a model
 //! scan + query (wrapped in spans for `profile`) to produce samples.
+//!
+//! `lockgraph` turns on lock-rank checking (normally off in release
+//! builds), drives an in-memory model workload through the full write
+//! path, and prints the acquired-before lock graph plus any `GLnnnn`
+//! ordering diagnostics (docs/concurrency.md) — `--dot` emits Graphviz
+//! instead of text. A running server exposes the same dump as
+//! `Probe{section: "lockgraph"}`.
 //!
 //! `--retries N` re-attempts an operation up to N times when it fails
 //! with a *transient* storage error (I/O, injected fault); semantic
@@ -273,6 +281,60 @@ fn cmd_lint(args: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `gallery lockgraph [--dot]` — dump the lock-rank analyzer's report.
+///
+/// Rank checking is off in release builds by default, so the command
+/// turns it on first, then drives an in-memory model workload through
+/// the full write path (create → upload → metric → query → fetch) to
+/// populate the acquired-before graph before printing the report.
+/// `GLnnnn` diagnostics (docs/concurrency.md) make the command fail, so
+/// it doubles as a pre-commit smoke gate for lock-order regressions.
+fn cmd_lockgraph(args: &mut Vec<String>) -> Result<(), String> {
+    use gallery::core::sync::checker;
+
+    let dot = args.iter().any(|a| a == "--dot");
+    args.retain(|a| a != "--dot");
+    if !args.is_empty() {
+        return Err("usage: lockgraph [--dot]".into());
+    }
+
+    checker::enable();
+    checker::reset();
+    let g = Gallery::in_memory();
+    let model = g
+        .create_model(ModelSpec::new("lockgraph", "smoke").name("probe"))
+        .map_err(|e| e.to_string())?;
+    let instance = g
+        .upload_instance(
+            &model.id,
+            InstanceSpec::new(),
+            Bytes::from_static(b"weights"),
+        )
+        .map_err(|e| e.to_string())?;
+    g.insert_metric(
+        &instance.id,
+        MetricSpec::new("mape", MetricScope::Validation, 0.1),
+    )
+    .map_err(|e| e.to_string())?;
+    g.find_models(&Query::all()).map_err(|e| e.to_string())?;
+    g.fetch_instance_blob(&instance.id)
+        .map_err(|e| e.to_string())?;
+
+    let report = checker::report();
+    if dot {
+        print!("{}", report.render_dot());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "lock graph has {} diagnostics",
+            report.diagnostics.len()
+        ));
+    }
+    Ok(())
+}
+
 /// `cluster` — run an in-process kill-a-node failover drill against a
 /// sharded, replicated cluster (docs/replication.md) and print the
 /// report. Exits non-zero if any replication invariant is violated.
@@ -402,6 +464,10 @@ fn run() -> Result<(), String> {
     // dispatched before the data directory is opened (or created).
     if command == "lint" {
         return cmd_lint(&mut args);
+    }
+    // `lockgraph` instruments its own in-memory workload — store-less too.
+    if command == "lockgraph" {
+        return cmd_lockgraph(&mut args);
     }
     // `cluster` builds its own in-process multi-node cluster — it never
     // touches the data directory either.
